@@ -1,0 +1,68 @@
+//! Criterion benches on the simulation stack itself: executor throughput
+//! and full-scenario simulation cost (how fast the figures regenerate).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcomm_netmodel::MachineConfig;
+use pcomm_simcore::{Dur, Sim};
+use pcomm_simmpi::scenario::{run_scenario, Approach, Scenario};
+
+/// Raw executor throughput: tasks ping-ponging through timers.
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore_executor");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n_tasks in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("timer_storm", n_tasks), &n_tasks, |b, &n| {
+            b.iter(|| {
+                let sim = Sim::new();
+                for i in 0..n as u64 {
+                    let s = sim.clone();
+                    sim.spawn(async move {
+                        for k in 0..20u64 {
+                            s.sleep(Dur::from_ns((i * 7 + k) % 100 + 1)).await;
+                        }
+                    });
+                }
+                sim.run();
+                sim.polls()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end scenario simulation cost per strategy (small scenario).
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simmpi_scenarios");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let cfg = MachineConfig::meluxina();
+    for a in Approach::ALL {
+        let sc = Scenario::immediate(8, 1, 4096, 10);
+        g.bench_with_input(
+            BenchmarkId::new("iterate", a.label().replace(' ', "_")),
+            &sc,
+            |b, sc| b.iter(|| run_scenario(&cfg, 2, 1, a, sc)),
+        );
+    }
+    g.finish();
+}
+
+/// The congestion scenario the paper's Fig. 5 needs (heaviest case).
+fn bench_fig5_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simmpi_fig5_cell");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let cfg = MachineConfig::meluxina();
+    let sc = Scenario::immediate(32, 1, 512, 10);
+    for a in [Approach::PtpPart, Approach::PtpMany, Approach::RmaManyPassive] {
+        g.bench_with_input(
+            BenchmarkId::new("32threads", a.label().replace(' ', "_")),
+            &sc,
+            |b, sc| b.iter(|| run_scenario(&cfg, 1, 1, a, sc)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_scenarios, bench_fig5_cell);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--out DIR] <target>...
+//! targets: fig4 fig5 fig6 fig7 fig8 tables model appendix summary all
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pcomm_bench::figures;
+use pcomm_bench::runner::RunOpts;
+use pcomm_netmodel::MachineConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = RunOpts::paper();
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts = RunOpts::quick(),
+            "--out" => {
+                out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--quick] [--out DIR] <fig4|fig5|fig6|fig7|fig8|theta|ablation|sensitivity|trace|tables|model|appendix|summary|all>..."
+                );
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ["tables", "model", "appendix", "fig4", "fig5", "fig6", "fig7", "fig8", "theta", "ablation", "sensitivity", "trace", "summary"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let cfg = MachineConfig::meluxina();
+    println!(
+        "machine: MeluXina-like ({} GB/s, {} latency), protocol: {} iters + {} warmup, CI 90% ≤ {}%",
+        cfg.bandwidth / 1e9,
+        cfg.latency,
+        opts.iterations,
+        opts.warmup,
+        opts.rel_halfwidth * 100.0
+    );
+    for t in targets {
+        let t0 = Instant::now();
+        match t.as_str() {
+            "tables" => print!("{}", figures::tables()),
+            "model" => print!("{}", figures::model_examples()),
+            "appendix" => print!("{}", figures::appendix()),
+            "summary" => print!("{}", figures::summary(&cfg, &opts)),
+            "ablation" => print!("{}", figures::ablation(&cfg, &opts)),
+            "sensitivity" => print!("{}", figures::sensitivity(&opts)),
+            "trace" => print!("{}", figures::trace()),
+            "theta" => {
+                let fig = figures::theta_sweep(&cfg, &opts);
+                print!("{}", fig.render_text());
+                match fig.write_csv(&out_dir) {
+                    Ok(p) => println!("   -> {}", p.display()),
+                    Err(e) => eprintln!("   csv write failed: {e}"),
+                }
+            }
+            "fig4" | "fig5" | "fig6" | "fig7" | "fig8" => {
+                let fig = match t.as_str() {
+                    "fig4" => figures::fig4(&cfg, &opts),
+                    "fig5" => figures::fig5(&cfg, &opts),
+                    "fig6" => figures::fig6(&cfg, &opts),
+                    "fig7" => figures::fig7(&cfg, &opts),
+                    _ => figures::fig8(&cfg, &opts),
+                };
+                print!("{}", fig.render_text());
+                match fig.write_csv(&out_dir) {
+                    Ok(p) => println!("   -> {}", p.display()),
+                    Err(e) => eprintln!("   csv write failed: {e}"),
+                }
+            }
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        }
+        println!("   [{} took {:.1?}]\n", t, t0.elapsed());
+    }
+}

@@ -1,0 +1,527 @@
+//! The shared-memory fabric: tag matching, eager and rendezvous transfer.
+//!
+//! # Structure
+//!
+//! Each rank owns `n_shards` *match shards* — independently locked
+//! matching queues. A shard is the in-process analogue of an MPICH VCI:
+//! all traffic of a communicator goes through one shard, so threads
+//! sending on the *same* communicator contend on one lock, while threads
+//! with `dup()`ed communicators spread over shards and do not (the
+//! mechanism behind the paper's Figs. 5–6).
+//!
+//! # Transfer paths
+//!
+//! * **Eager** (`len <= eager_max`): the sender copies the payload into a
+//!   heap buffer, then either fulfills a posted receive (second copy into
+//!   the destination) or parks the buffer in the unexpected queue. The
+//!   send completes locally — the bcopy path.
+//! * **Rendezvous** (`len > eager_max`): the sender publishes a raw
+//!   pointer to its buffer; whoever completes the match (sender if the
+//!   receive was pre-posted, receiver otherwise) copies directly from the
+//!   source into the destination, then signals the sender — the zcopy
+//!   path. The sender's request completes only then.
+//!
+//! # Safety
+//!
+//! The raw pointers crossing threads are governed by two invariants,
+//! enforced by the safe wrappers in [`crate::p2p`] / [`crate::part`]:
+//!
+//! 1. A rendezvous source buffer stays immutable and alive until its
+//!    `done` completion is set (senders block or hold the ticket).
+//! 2. A posted destination buffer stays exclusively borrowed and alive
+//!    until its `completion` is set (receivers block or own the buffer).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::sync::Completion;
+
+/// Envelope information returned by receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgInfo {
+    /// Source rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: i64,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Rendezvous handoff: pointer to the sender's buffer plus the completion
+/// the copier must set.
+pub(crate) struct RdvHandoff {
+    pub(crate) src_ptr: *const u8,
+    pub(crate) len: usize,
+    pub(crate) done: Arc<Completion>,
+}
+
+// SAFETY: the pointer is only dereferenced by the matching thread before
+// `done.set()`; invariant (1) above guarantees the buffer outlives that.
+unsafe impl Send for RdvHandoff {}
+
+pub(crate) enum Payload {
+    Eager(Vec<u8>),
+    Rdv(RdvHandoff),
+}
+
+impl Payload {
+    fn len(&self) -> usize {
+        match self {
+            Payload::Eager(v) => v.len(),
+            Payload::Rdv(h) => h.len,
+        }
+    }
+}
+
+/// A receive posted into a shard, waiting for its message.
+pub(crate) struct PostedRecv {
+    pub(crate) ctx: u64,
+    pub(crate) src: Option<usize>,
+    pub(crate) tag: Option<i64>,
+    pub(crate) dest_ptr: *mut u8,
+    pub(crate) dest_cap: usize,
+    pub(crate) info: Arc<Mutex<Option<MsgInfo>>>,
+    pub(crate) completion: Arc<Completion>,
+}
+
+// SAFETY: the destination is only written by the fulfilling thread before
+// `completion.set()`; invariant (2) above guarantees exclusive access.
+unsafe impl Send for PostedRecv {}
+
+impl PostedRecv {
+    fn matches(&self, ctx: u64, src: usize, tag: i64) -> bool {
+        self.ctx == ctx
+            && self.src.map(|s| s == src).unwrap_or(true)
+            && self.tag.map(|t| t == tag).unwrap_or(true)
+    }
+}
+
+struct UnexpectedMsg {
+    ctx: u64,
+    src: usize,
+    tag: i64,
+    payload: Payload,
+}
+
+#[derive(Default)]
+struct MatchQueues {
+    posted: Vec<PostedRecv>,
+    unexpected: Vec<UnexpectedMsg>,
+}
+
+/// Ticket for an in-flight send; `None` completion means it completed
+/// locally (eager).
+pub(crate) struct SendTicket {
+    done: Option<Arc<Completion>>,
+}
+
+impl SendTicket {
+    /// Block until the send buffer is reusable.
+    pub(crate) fn wait(&self) {
+        if let Some(d) = &self.done {
+            d.wait();
+        }
+    }
+
+    /// Non-blocking completion probe.
+    pub(crate) fn test(&self) -> bool {
+        self.done.as_ref().map(|d| d.is_set()).unwrap_or(true)
+    }
+}
+
+/// Ticket for an in-flight receive.
+pub(crate) struct RecvTicket {
+    pub(crate) completion: Arc<Completion>,
+    pub(crate) info: Arc<Mutex<Option<MsgInfo>>>,
+}
+
+impl RecvTicket {
+    pub(crate) fn wait(&self) -> MsgInfo {
+        self.completion.wait();
+        self.info.lock().expect("completed receive carries info")
+    }
+
+    pub(crate) fn test(&self) -> bool {
+        self.completion.is_set()
+    }
+}
+
+/// The shared-memory interconnect between ranks.
+pub(crate) struct Fabric {
+    n_ranks: usize,
+    n_shards: usize,
+    eager_max: usize,
+    /// `[rank][shard]` matching queues.
+    shards: Vec<Vec<Mutex<MatchQueues>>>,
+    /// Deterministic child-context derivation (dup/window/partitioned);
+    /// collective creation order must agree across ranks, as in MPI.
+    ctx_counters: Mutex<HashMap<(usize, u64, u8), u64>>,
+    /// Window registry for collective window creation.
+    win_registry: Mutex<HashMap<u64, Arc<crate::rma::WinMem>>>,
+    win_cv: Condvar,
+    /// Rank-level barrier (sense-reversing).
+    barrier: std::sync::Barrier,
+    /// Messages matched so far (diagnostics).
+    matched: AtomicU64,
+}
+
+/// Child-context kinds (must match across ranks for a given creation).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CtxKind {
+    Dup = 1,
+    Win = 2,
+    Part = 3,
+}
+
+impl Fabric {
+    pub(crate) fn new(n_ranks: usize, n_shards: usize, eager_max: usize) -> Arc<Fabric> {
+        assert!(n_ranks >= 1 && n_shards >= 1);
+        Arc::new(Fabric {
+            n_ranks,
+            n_shards,
+            eager_max,
+            shards: (0..n_ranks)
+                .map(|_| (0..n_shards).map(|_| Mutex::new(MatchQueues::default())).collect())
+                .collect(),
+            ctx_counters: Mutex::new(HashMap::new()),
+            win_registry: Mutex::new(HashMap::new()),
+            win_cv: Condvar::new(),
+            barrier: std::sync::Barrier::new(n_ranks),
+            matched: AtomicU64::new(0),
+        })
+    }
+
+    pub(crate) fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    pub(crate) fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    pub(crate) fn eager_max(&self) -> usize {
+        self.eager_max
+    }
+
+    pub(crate) fn matched_count(&self) -> u64 {
+        self.matched.load(Ordering::Relaxed)
+    }
+
+    /// Rank-level barrier; must be called by exactly one thread per rank.
+    pub(crate) fn rank_barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Derive a child context id; creation order must agree across ranks.
+    pub(crate) fn alloc_child_ctx(&self, rank: usize, parent: u64, kind: CtxKind) -> u64 {
+        let mut c = self.ctx_counters.lock();
+        let counter = c.entry((rank, parent, kind as u8)).or_insert(0);
+        let idx = *counter;
+        *counter += 1;
+        assert!(idx < 1 << 16, "too many child contexts");
+        parent * (1 << 18) + ((kind as u64) << 16) + idx + 1
+    }
+
+    /// The shard a context's traffic uses (round-robin by context id).
+    pub(crate) fn shard_of_ctx(&self, ctx: u64) -> usize {
+        (ctx % self.n_shards as u64) as usize
+    }
+
+    /// Register a window's memory under its context (target side).
+    pub(crate) fn register_win(&self, win_ctx: u64, mem: Arc<crate::rma::WinMem>) {
+        let mut reg = self.win_registry.lock();
+        let prev = reg.insert(win_ctx, mem);
+        assert!(prev.is_none(), "window registered twice");
+        self.win_cv.notify_all();
+    }
+
+    /// Look up a window's memory, blocking until the target registers it.
+    pub(crate) fn attach_win(&self, win_ctx: u64) -> Arc<crate::rma::WinMem> {
+        let mut reg = self.win_registry.lock();
+        loop {
+            if let Some(mem) = reg.get(&win_ctx) {
+                return Arc::clone(mem);
+            }
+            self.win_cv.wait(&mut reg);
+        }
+    }
+
+    /// Send `data` to `dst` on `(ctx, shard, tag)`.
+    ///
+    /// Eager messages complete locally (the returned ticket is already
+    /// done); rendezvous tickets complete when a receiver has copied the
+    /// data out.
+    ///
+    /// # Safety contract (rendezvous)
+    /// The caller must keep `data`'s memory alive and unmodified until the
+    /// ticket completes. The safe wrappers guarantee this by blocking or
+    /// by owning the buffer alongside the ticket.
+    pub(crate) fn send_raw(
+        &self,
+        dst: usize,
+        shard: usize,
+        ctx: u64,
+        src_rank: usize,
+        tag: i64,
+        data: &[u8],
+    ) -> SendTicket {
+        if data.len() <= self.eager_max {
+            let payload = Payload::Eager(data.to_vec());
+            self.deliver(dst, shard, ctx, src_rank, tag, payload);
+            SendTicket { done: None }
+        } else {
+            let done = Completion::new();
+            let payload = Payload::Rdv(RdvHandoff {
+                src_ptr: data.as_ptr(),
+                len: data.len(),
+                done: Arc::clone(&done),
+            });
+            self.deliver(dst, shard, ctx, src_rank, tag, payload);
+            SendTicket { done: Some(done) }
+        }
+    }
+
+    fn deliver(
+        &self,
+        dst: usize,
+        shard: usize,
+        ctx: u64,
+        src_rank: usize,
+        tag: i64,
+        payload: Payload,
+    ) {
+        assert!(dst < self.n_ranks, "destination rank out of range");
+        let mut q = self.shards[dst][shard].lock();
+        if let Some(pos) = q.posted.iter().position(|p| p.matches(ctx, src_rank, tag)) {
+            let posted = q.posted.remove(pos);
+            drop(q); // copy outside the shard lock
+            self.fulfill(posted, payload, src_rank, tag);
+        } else {
+            q.unexpected.push(UnexpectedMsg {
+                ctx,
+                src: src_rank,
+                tag,
+                payload,
+            });
+        }
+    }
+
+    /// Post a receive into `(rank, shard)`; matches the oldest unexpected
+    /// message first.
+    pub(crate) fn post_recv(&self, rank: usize, shard: usize, posted: PostedRecv) -> RecvTicket {
+        let ticket = RecvTicket {
+            completion: Arc::clone(&posted.completion),
+            info: Arc::clone(&posted.info),
+        };
+        let mut q = self.shards[rank][shard].lock();
+        if let Some(pos) = q
+            .unexpected
+            .iter()
+            .position(|u| u.ctx == posted.ctx && posted.matches(u.ctx, u.src, u.tag))
+        {
+            let u = q.unexpected.remove(pos);
+            drop(q);
+            self.fulfill(posted, u.payload, u.src, u.tag);
+        } else {
+            q.posted.push(posted);
+        }
+        ticket
+    }
+
+    /// Complete a matched pair: copy the payload into the destination and
+    /// fire the completions.
+    fn fulfill(&self, posted: PostedRecv, payload: Payload, src: usize, tag: i64) {
+        let len = payload.len();
+        assert!(
+            len <= posted.dest_cap,
+            "message of {len} bytes overflows {}-byte receive buffer",
+            posted.dest_cap
+        );
+        match payload {
+            Payload::Eager(v) => {
+                if len > 0 {
+                    // SAFETY: invariant (2) — exclusive, live destination.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(v.as_ptr(), posted.dest_ptr, len);
+                    }
+                }
+            }
+            Payload::Rdv(h) => {
+                if len > 0 {
+                    // SAFETY: invariants (1) and (2); source and
+                    // destination are distinct allocations.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(h.src_ptr, posted.dest_ptr, len);
+                    }
+                }
+                h.done.set();
+            }
+        }
+        *posted.info.lock() = Some(MsgInfo { src, tag, len });
+        self.matched.fetch_add(1, Ordering::Relaxed);
+        posted.completion.set();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(
+        fabric: &Fabric,
+        rank: usize,
+        shard: usize,
+        ctx: u64,
+        src: Option<usize>,
+        tag: Option<i64>,
+        buf: &mut [u8],
+    ) -> RecvTicket {
+        fabric.post_recv(
+            rank,
+            shard,
+            PostedRecv {
+                ctx,
+                src,
+                tag,
+                dest_ptr: buf.as_mut_ptr(),
+                dest_cap: buf.len(),
+                info: Arc::new(Mutex::new(None)),
+                completion: Completion::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn eager_send_to_posted_recv() {
+        let f = Fabric::new(2, 1, 1024);
+        let mut buf = vec![0u8; 16];
+        let ticket = post(&f, 1, 0, 0, Some(0), Some(7), &mut buf);
+        let st = f.send_raw(1, 0, 0, 0, 7, &[1, 2, 3]);
+        assert!(st.test(), "eager completes locally");
+        let info = ticket.wait();
+        assert_eq!(info, MsgInfo { src: 0, tag: 7, len: 3 });
+        assert_eq!(&buf[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn eager_unexpected_then_post() {
+        let f = Fabric::new(2, 1, 1024);
+        f.send_raw(1, 0, 0, 0, 9, &[42; 8]);
+        let mut buf = vec![0u8; 8];
+        let ticket = post(&f, 1, 0, 0, None, Some(9), &mut buf);
+        assert!(ticket.test());
+        assert_eq!(buf, vec![42; 8]);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_recv() {
+        let f = Fabric::new(2, 1, 64);
+        let data = vec![7u8; 1000]; // > eager_max
+        let ticket = f.send_raw(1, 0, 0, 0, 1, &data);
+        assert!(!ticket.test(), "rendezvous must not complete locally");
+        let mut buf = vec![0u8; 1000];
+        let rt = post(&f, 1, 0, 0, Some(0), Some(1), &mut buf);
+        assert!(ticket.test(), "receiver copy completes the send");
+        assert_eq!(rt.wait().len, 1000);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn rendezvous_preposted_recv() {
+        let f = Fabric::new(2, 1, 64);
+        let mut buf = vec![0u8; 256];
+        let rt = post(&f, 1, 0, 0, Some(0), Some(2), &mut buf);
+        let data: Vec<u8> = (0..=255).collect();
+        let st = f.send_raw(1, 0, 0, 0, 2, &data);
+        st.wait();
+        rt.wait();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn context_and_tag_isolation() {
+        let f = Fabric::new(2, 1, 1024);
+        let mut buf = vec![0u8; 4];
+        let rt = post(&f, 1, 0, 5, Some(0), Some(1), &mut buf);
+        f.send_raw(1, 0, 6, 0, 1, &[1]); // wrong ctx
+        f.send_raw(1, 0, 5, 0, 2, &[2]); // wrong tag
+        assert!(!rt.test());
+        f.send_raw(1, 0, 5, 0, 1, &[3]);
+        assert!(rt.test());
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn cross_thread_eager_roundtrip() {
+        let f = Fabric::new(2, 2, 256);
+        let f2 = Arc::clone(&f);
+        let sender = std::thread::spawn(move || {
+            for i in 0..100u8 {
+                f2.send_raw(1, 1, 0, 0, i as i64, &[i]).wait();
+            }
+        });
+        let mut got = Vec::new();
+        for i in 0..100u8 {
+            let mut b = [0u8; 1];
+            let rt = post(&f, 1, 1, 0, Some(0), Some(i as i64), &mut b);
+            rt.wait();
+            got.push(b[0]);
+        }
+        sender.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn cross_thread_rendezvous_roundtrip() {
+        let f = Fabric::new(2, 1, 16);
+        let f2 = Arc::clone(&f);
+        let payload: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let sender = std::thread::spawn(move || {
+            f2.send_raw(1, 0, 0, 0, 3, &payload).wait();
+        });
+        let mut buf = vec![0u8; 5000];
+        let rt = post(&f, 1, 0, 0, Some(0), Some(3), &mut buf);
+        rt.wait();
+        sender.join().unwrap();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn ctx_derivation_symmetric() {
+        let f = Fabric::new(2, 4, 64);
+        let a = f.alloc_child_ctx(0, 0, CtxKind::Dup);
+        let b = f.alloc_child_ctx(1, 0, CtxKind::Dup);
+        assert_eq!(a, b);
+        let a2 = f.alloc_child_ctx(0, 0, CtxKind::Dup);
+        assert_ne!(a, a2);
+        // Shards cycle with consecutive contexts.
+        let shards: Vec<usize> = (0..8)
+            .map(|_| f.shard_of_ctx(f.alloc_child_ctx(0, 0, CtxKind::Dup)))
+            .collect();
+        let distinct: std::collections::HashSet<_> = shards.iter().collect();
+        assert_eq!(distinct.len(), 4, "dup contexts should cover all shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_message_panics() {
+        let f = Fabric::new(2, 1, 1024);
+        let mut buf = vec![0u8; 2];
+        let _rt = post(&f, 1, 0, 0, None, None, &mut buf);
+        f.send_raw(1, 0, 0, 0, 0, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn matched_counter_increments() {
+        let f = Fabric::new(2, 1, 1024);
+        assert_eq!(f.matched_count(), 0);
+        let mut buf = [0u8; 1];
+        let _rt = post(&f, 1, 0, 0, None, None, &mut buf);
+        f.send_raw(1, 0, 0, 0, 0, &[1]);
+        assert_eq!(f.matched_count(), 1);
+    }
+}

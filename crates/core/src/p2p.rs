@@ -1,0 +1,437 @@
+//! Point-to-point operations: blocking sends/receives and persistent
+//! requests, over the eager/rendezvous fabric.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::fabric::{MsgInfo, PostedRecv, RecvTicket, SendTicket};
+use crate::sync::Completion;
+
+impl Comm {
+    /// Blocking send. Eager messages return as soon as the payload is
+    /// buffered; rendezvous messages block until a receiver has copied
+    /// the data out (which is what keeps the borrow of `data` sound).
+    pub fn send(&self, dst: usize, tag: i64, data: &[u8]) {
+        let ticket = self
+            .fabric()
+            .send_raw(dst, self.shard(), self.ctx(), self.rank(), tag, data);
+        ticket.wait();
+    }
+
+    /// Blocking receive into `buf`; returns the envelope. `None` matches
+    /// any source / any tag.
+    pub fn recv_into(&self, src: Option<usize>, tag: Option<i64>, buf: &mut [u8]) -> MsgInfo {
+        let completion = Completion::new();
+        let info = Arc::new(Mutex::new(None));
+        let ticket = self.fabric().post_recv(
+            self.rank(),
+            self.shard(),
+            PostedRecv {
+                ctx: self.ctx(),
+                src,
+                tag,
+                dest_ptr: buf.as_mut_ptr(),
+                dest_cap: buf.len(),
+                info,
+                completion,
+            },
+        );
+        // Block until fulfilled: `buf` stays exclusively borrowed.
+        ticket.wait()
+    }
+
+    /// Convenience: receive up to `max_len` bytes into a fresh vector.
+    pub fn recv_vec(&self, src: Option<usize>, tag: Option<i64>, max_len: usize) -> (Vec<u8>, MsgInfo) {
+        let mut buf = vec![0u8; max_len];
+        let info = self.recv_into(src, tag, &mut buf);
+        buf.truncate(info.len);
+        (buf, info)
+    }
+
+    /// Create a persistent send request over an owned buffer of `len`
+    /// bytes (`MPI_Send_init`). Fill it with
+    /// [`PersistentSend::write`] before each `start`.
+    pub fn send_init(&self, dst: usize, tag: i64, len: usize) -> PersistentSend {
+        PersistentSend {
+            comm: self.clone(),
+            dst,
+            tag,
+            buf: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
+            active: Mutex::new(None),
+            in_flight: AtomicBool::new(false),
+        }
+    }
+
+    /// Create a persistent receive request with an owned buffer of `len`
+    /// bytes (`MPI_Recv_init`).
+    pub fn recv_init(&self, src: usize, tag: i64, len: usize) -> PersistentRecv {
+        PersistentRecv {
+            comm: self.clone(),
+            src,
+            tag,
+            buf: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
+            active: Mutex::new(None),
+            in_flight: AtomicBool::new(false),
+            last_info: Mutex::new(None),
+        }
+    }
+}
+
+/// Persistent send request owning its buffer.
+///
+/// Usable from multiple threads of a rank (`Sync`); the start/wait cycle
+/// is enforced at runtime.
+pub struct PersistentSend {
+    comm: Comm,
+    dst: usize,
+    tag: i64,
+    buf: UnsafeCell<Box<[u8]>>,
+    active: Mutex<Option<SendTicket>>,
+    in_flight: AtomicBool,
+}
+
+// SAFETY: buffer access is gated by `in_flight` (no writes while a ticket
+// is outstanding); the fabric only reads the buffer until the ticket
+// completes.
+unsafe impl Sync for PersistentSend {}
+unsafe impl Send for PersistentSend {}
+
+impl PersistentSend {
+    /// Buffer length.
+    pub fn len(&self) -> usize {
+        unsafe { (&*self.buf.get()).len() }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutate the send buffer. Panics while a send is in flight.
+    pub fn write(&self, f: impl FnOnce(&mut [u8])) {
+        assert!(
+            !self.in_flight.load(Ordering::Acquire),
+            "cannot write send buffer while the request is active"
+        );
+        // SAFETY: not in flight → the fabric holds no pointer to the
+        // buffer; `&self` plus the runtime flag gate exclusive access
+        // (concurrent `write` calls are a usage error the benchmark
+        // structure never produces; MPI gives the same contract).
+        f(unsafe { &mut *self.buf.get() });
+    }
+
+    /// `MPI_Start`: inject the message.
+    pub fn start(&self) {
+        assert!(
+            !self.in_flight.swap(true, Ordering::AcqRel),
+            "persistent send started twice without wait"
+        );
+        // SAFETY: in_flight now true → no writer can touch the buffer
+        // until wait(); the slice stays valid for the fabric.
+        let data: &[u8] = unsafe { &*self.buf.get() };
+        let ticket = self.comm.fabric().send_raw(
+            self.dst,
+            self.comm.shard(),
+            self.comm.ctx(),
+            self.comm.rank(),
+            self.tag,
+            data,
+        );
+        *self.active.lock() = Some(ticket);
+    }
+
+    /// `MPI_Wait`: block until the buffer is reusable.
+    pub fn wait(&self) {
+        let ticket = self
+            .active
+            .lock()
+            .take()
+            .expect("persistent send not started");
+        ticket.wait();
+        self.in_flight.store(false, Ordering::Release);
+    }
+
+    /// Non-blocking completion probe (`MPI_Test`).
+    pub fn test(&self) -> bool {
+        self.active.lock().as_ref().map(|t| t.test()).unwrap_or(true)
+    }
+}
+
+impl Drop for PersistentSend {
+    fn drop(&mut self) {
+        // A rendezvous ticket holds a pointer into our buffer: drain it.
+        if let Some(t) = self.active.get_mut().take() {
+            t.wait();
+        }
+    }
+}
+
+/// Persistent receive request owning its buffer.
+pub struct PersistentRecv {
+    comm: Comm,
+    src: usize,
+    tag: i64,
+    buf: UnsafeCell<Box<[u8]>>,
+    active: Mutex<Option<RecvTicket>>,
+    in_flight: AtomicBool,
+    last_info: Mutex<Option<MsgInfo>>,
+}
+
+// SAFETY: as for PersistentSend; the fabric writes the buffer only while
+// in_flight, and readers are gated on completion.
+unsafe impl Sync for PersistentRecv {}
+unsafe impl Send for PersistentRecv {}
+
+impl PersistentRecv {
+    /// Buffer length.
+    pub fn len(&self) -> usize {
+        unsafe { (&*self.buf.get()).len() }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `MPI_Start`: post the receive.
+    pub fn start(&self) {
+        assert!(
+            !self.in_flight.swap(true, Ordering::AcqRel),
+            "persistent recv started twice without wait"
+        );
+        let completion = Completion::new();
+        let info = Arc::new(Mutex::new(None));
+        // SAFETY: in_flight gates all other access until wait().
+        let buf: &mut [u8] = unsafe { &mut *self.buf.get() };
+        let ticket = self.comm.fabric().post_recv(
+            self.comm.rank(),
+            self.comm.shard(),
+            PostedRecv {
+                ctx: self.comm.ctx(),
+                src: Some(self.src),
+                tag: Some(self.tag),
+                dest_ptr: buf.as_mut_ptr(),
+                dest_cap: buf.len(),
+                info,
+                completion,
+            },
+        );
+        *self.active.lock() = Some(ticket);
+    }
+
+    /// `MPI_Wait`: block until the message landed; returns the envelope.
+    pub fn wait(&self) -> MsgInfo {
+        let ticket = self
+            .active
+            .lock()
+            .take()
+            .expect("persistent recv not started");
+        let info = ticket.wait();
+        *self.last_info.lock() = Some(info);
+        self.in_flight.store(false, Ordering::Release);
+        info
+    }
+
+    /// Non-blocking arrival probe.
+    pub fn test(&self) -> bool {
+        self.active.lock().as_ref().map(|t| t.test()).unwrap_or(true)
+    }
+
+    /// Envelope of the most recently completed receive, if any.
+    pub fn last_info(&self) -> Option<MsgInfo> {
+        *self.last_info.lock()
+    }
+
+    /// Read the received data. Panics while a receive is in flight.
+    pub fn read(&self, f: impl FnOnce(&[u8])) {
+        assert!(
+            !self.in_flight.load(Ordering::Acquire),
+            "cannot read recv buffer while the request is active"
+        );
+        // SAFETY: not in flight → fabric holds no pointer to the buffer.
+        f(unsafe { &*self.buf.get() });
+    }
+}
+
+impl Drop for PersistentRecv {
+    fn drop(&mut self) {
+        if let Some(t) = self.active.get_mut().take() {
+            t.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn blocking_send_recv_roundtrip() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, b"hello fabric");
+            } else {
+                let (data, info) = comm.recv_vec(Some(0), Some(5), 64);
+                assert_eq!(&data, b"hello fabric");
+                assert_eq!(info.src, 0);
+                assert_eq!(info.tag, 5);
+            }
+        });
+    }
+
+    #[test]
+    fn rendezvous_roundtrip_through_universe() {
+        Universe::new(2).with_eager_max(128).run(|comm| {
+            let big: Vec<u8> = (0..10_000).map(|i| (i * 7 % 256) as u8) .collect();
+            if comm.rank() == 0 {
+                comm.send(1, 0, &big);
+            } else {
+                let mut buf = vec![0u8; 10_000];
+                let info = comm.recv_into(Some(0), Some(0), &mut buf);
+                assert_eq!(info.len, 10_000);
+                assert_eq!(buf, big);
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_receive() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 77, &[9]);
+            } else {
+                let (data, info) = comm.recv_vec(None, None, 8);
+                assert_eq!(data, vec![9]);
+                assert_eq!(info.tag, 77);
+            }
+        });
+    }
+
+    #[test]
+    fn many_messages_in_order_same_channel() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..200u8 {
+                    comm.send(1, 1, &[i]);
+                }
+            } else {
+                // Same (src, tag, ctx): FIFO matching guarantees order.
+                for i in 0..200u8 {
+                    let mut b = [0u8; 1];
+                    comm.recv_into(Some(0), Some(1), &mut b);
+                    assert_eq!(b[0], i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_send_recv_cycles() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.send_init(1, 3, 8);
+                for it in 0..20u8 {
+                    ps.write(|b| b.fill(it));
+                    ps.start();
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.recv_init(0, 3, 8);
+                for it in 0..20u8 {
+                    pr.start();
+                    let info = pr.wait();
+                    assert_eq!(info.len, 8);
+                    pr.read(|b| assert!(b.iter().all(|&x| x == it)));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_rendezvous_cycles() {
+        Universe::new(2).with_eager_max(64).run(|comm| {
+            let n = 4096;
+            if comm.rank() == 0 {
+                let ps = comm.send_init(1, 0, n);
+                for it in 0..5u8 {
+                    ps.write(|b| b.fill(it));
+                    ps.start();
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.recv_init(0, 0, n);
+                for it in 0..5u8 {
+                    pr.start();
+                    pr.wait();
+                    pr.read(|b| assert!(b.iter().all(|&x| x == it)));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn dup_isolates_traffic() {
+        Universe::new(2).with_shards(2).run(|comm| {
+            let d = comm.dup();
+            if comm.rank() == 0 {
+                // Same tag on two communicators: no crosstalk.
+                comm.send(1, 1, &[1]);
+                d.send(1, 1, &[2]);
+            } else {
+                let mut b = [0u8; 1];
+                d.recv_into(Some(0), Some(1), &mut b);
+                assert_eq!(b[0], 2);
+                comm.recv_into(Some(0), Some(1), &mut b);
+                assert_eq!(b[0], 1);
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_thread_sends_on_dup_comms() {
+        // The Pt2Pt-many pattern: per-thread communicators, concurrent
+        // sends, all messages arrive intact.
+        let n_threads = 8;
+        Universe::new(2).with_shards(8).run(|comm| {
+            let comms: Vec<Comm> = (0..n_threads).map(|_| comm.dup()).collect();
+            if comm.rank() == 0 {
+                std::thread::scope(|s| {
+                    for (t, c) in comms.iter().enumerate() {
+                        s.spawn(move || {
+                            c.send(1, t as i64, &[t as u8; 32]);
+                        });
+                    }
+                });
+            } else {
+                std::thread::scope(|s| {
+                    for (t, c) in comms.iter().enumerate() {
+                        s.spawn(move || {
+                            let mut b = [0u8; 32];
+                            c.recv_into(Some(0), Some(t as i64), &mut b);
+                            assert!(b.iter().all(|&x| x == t as u8));
+                        });
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn double_start_panics() {
+        // Rank 1 stays passive: the eager message parks in its unexpected
+        // queue, so no rank blocks while rank 0 panics.
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.send_init(1, 0, 4);
+                ps.start();
+                ps.start();
+            }
+        });
+    }
+}

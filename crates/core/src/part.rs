@@ -1,0 +1,1055 @@
+//! MPI-4 partitioned communication with real atomics (paper §3).
+//!
+//! The improved path (default) mirrors the paper's MPICH changes: the
+//! partition buffer is split into internal messages — `gcd(N_send,
+//! N_recv)` base messages, aggregated under
+//! [`PartOptions::aggr_size`] — each guarded by an `AtomicI64` counter of
+//! outstanding partitions. `pready(p)` decrements its message's counter;
+//! the thread that brings it to zero injects the message *itself*, on a
+//! match shard chosen round-robin by message index — a physically real
+//! early-bird send. The legacy mode sends the whole buffer as a single
+//! message only in `wait`, after a per-iteration CTS round-trip, exactly
+//! the behaviour whose cost Fig. 4 exposes.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::fabric::{PostedRecv, RecvTicket, SendTicket};
+use crate::sync::Completion;
+
+/// Tag of the legacy clear-to-send control message.
+const TAG_CTS: i64 = -1;
+/// Tag of the legacy single data message.
+const TAG_DATA: i64 = -2;
+
+/// Options for a partitioned request.
+#[derive(Debug, Clone, Default)]
+pub struct PartOptions {
+    /// Aggregation upper bound in bytes (`MPIR_CVAR_PART_AGGR_SIZE`
+    /// analogue); `None` disables aggregation.
+    pub aggr_size: Option<usize>,
+    /// Use the legacy single-message path (CTS every iteration, no
+    /// early-bird) instead of the improved multi-message path.
+    pub legacy_single_message: bool,
+    /// MPIX_Stream-style hint: `hint[p]` is the thread owning partition
+    /// `p`; messages are injected on the owning thread's match shard
+    /// instead of round-robin by message index (the paper's future-work
+    /// fix for the inflexible θ > 1 attribution, §5).
+    pub thread_hint: Option<Arc<Vec<usize>>>,
+    /// Ablation: defer all sends to `wait()` (disables early-bird).
+    pub defer_sends: bool,
+}
+
+
+/// One internal message of the improved path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSpec {
+    /// First sender partition contributing.
+    pub first_spart: usize,
+    /// Sender partitions contributing.
+    pub n_sparts: usize,
+    /// First receiver partition covered.
+    pub first_rpart: usize,
+    /// Receiver partitions covered.
+    pub n_rparts: usize,
+    /// Payload bytes.
+    pub bytes: usize,
+}
+
+/// The negotiated partition→message mapping (paper §3.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgLayout {
+    /// Messages in buffer order.
+    pub msgs: Vec<MsgSpec>,
+}
+
+impl MsgLayout {
+    /// Message index a sender partition contributes to.
+    pub fn msg_of_spart(&self, p: usize) -> usize {
+        self.msgs
+            .iter()
+            .position(|m| p >= m.first_spart && p < m.first_spart + m.n_sparts)
+            .expect("sender partition out of range")
+    }
+
+    /// Message index covering a receiver partition.
+    pub fn msg_of_rpart(&self, p: usize) -> usize {
+        self.msgs
+            .iter()
+            .position(|m| p >= m.first_rpart && p < m.first_rpart + m.n_rparts)
+            .expect("receiver partition out of range")
+    }
+
+    /// Number of messages.
+    pub fn n_msgs(&self) -> usize {
+        self.msgs.len()
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Receiver-decided layout: `gcd` base count, then greedy aggregation of
+/// consecutive messages under the `aggr_size` bound.
+pub fn negotiate_layout(
+    n_send: usize,
+    n_recv: usize,
+    send_part_bytes: usize,
+    aggr_size: Option<usize>,
+) -> MsgLayout {
+    assert!(n_send >= 1 && n_recv >= 1, "partition counts must be >= 1");
+    let g = gcd(n_send, n_recv);
+    let sparts = n_send / g;
+    let rparts = n_recv / g;
+    let bytes = sparts * send_part_bytes;
+    let mut msgs: Vec<MsgSpec> = Vec::with_capacity(g);
+    for i in 0..g {
+        let spec = MsgSpec {
+            first_spart: i * sparts,
+            n_sparts: sparts,
+            first_rpart: i * rparts,
+            n_rparts: rparts,
+            bytes,
+        };
+        match (aggr_size, msgs.last_mut()) {
+            (Some(limit), Some(prev)) if prev.bytes + spec.bytes <= limit => {
+                prev.n_sparts += spec.n_sparts;
+                prev.n_rparts += spec.n_rparts;
+                prev.bytes += spec.bytes;
+            }
+            _ => msgs.push(spec),
+        }
+    }
+    MsgLayout { msgs }
+}
+
+/// Per-partition buffer state machine.
+const PART_WRITABLE: u8 = 0;
+const PART_WRITING: u8 = 1;
+const PART_READY: u8 = 2;
+
+/// The partitioned buffer: contiguous storage with per-partition access
+/// states that make the raw-pointer sharing sound.
+struct PartStorage {
+    data: UnsafeCell<Box<[u8]>>,
+    states: Vec<AtomicU8>,
+    part_bytes: usize,
+}
+
+// SAFETY: all access to `data` is mediated by the per-partition state
+// machine (WRITABLE→WRITING→WRITABLE→READY): writers hold WRITING
+// exclusively; readers (message injection) only touch READY partitions,
+// which can no longer be written this iteration.
+unsafe impl Sync for PartStorage {}
+unsafe impl Send for PartStorage {}
+
+impl PartStorage {
+    fn new(n_parts: usize, part_bytes: usize) -> PartStorage {
+        PartStorage {
+            data: UnsafeCell::new(vec![0u8; n_parts * part_bytes].into_boxed_slice()),
+            states: (0..n_parts).map(|_| AtomicU8::new(PART_WRITABLE)).collect(),
+            part_bytes,
+        }
+    }
+
+    fn reset(&self) {
+        for s in &self.states {
+            s.store(PART_WRITABLE, Ordering::Release);
+        }
+    }
+
+    fn write_partition(&self, p: usize, f: impl FnOnce(&mut [u8])) {
+        let s = &self.states[p];
+        s.compare_exchange(
+            PART_WRITABLE,
+            PART_WRITING,
+            Ordering::Acquire,
+            Ordering::Relaxed,
+        )
+        .unwrap_or_else(|cur| {
+            panic!("partition {p} not writable (state {cur}): already ready or being written")
+        });
+        let off = p * self.part_bytes;
+        // SAFETY: WRITING grants exclusive access to this disjoint range.
+        let slice = unsafe {
+            let all = &mut *self.data.get();
+            &mut all[off..off + self.part_bytes]
+        };
+        f(slice);
+        s.store(PART_WRITABLE, Ordering::Release);
+    }
+
+    fn mark_ready(&self, p: usize) {
+        self.states[p]
+            .compare_exchange(
+                PART_WRITABLE,
+                PART_READY,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .unwrap_or_else(|cur| {
+                panic!("partition {p} cannot become ready (state {cur}): readied twice?")
+            });
+    }
+
+    /// A read-only view of a byte range whose partitions are all READY.
+    ///
+    /// # Safety
+    /// Caller must ensure every partition in the range is READY (no
+    /// writers) and remains READY while the slice is used.
+    unsafe fn ready_slice(&self, byte_off: usize, len: usize) -> &[u8] {
+        let all = &*self.data.get();
+        &all[byte_off..byte_off + len]
+    }
+
+    /// Mutable view for the receive side (fabric writes while in flight).
+    ///
+    /// # Safety
+    /// Caller must guarantee no concurrent access until completion.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn raw_range(&self, byte_off: usize, len: usize) -> &mut [u8] {
+        let all = &mut *self.data.get();
+        &mut all[byte_off..byte_off + len]
+    }
+
+    fn read_partition(&self, p: usize) -> &[u8] {
+        // Reads are only exposed by PrecvRequest after wait() — no writer
+        // exists then.
+        let off = p * self.part_bytes;
+        unsafe { &(&*self.data.get())[off..off + self.part_bytes] }
+    }
+}
+
+struct PsendShared {
+    comm: Comm,
+    dst: usize,
+    n_parts: usize,
+    part_bytes: usize,
+    layout: MsgLayout,
+    legacy: bool,
+    thread_hint: Option<Arc<Vec<usize>>>,
+    defer_sends: bool,
+    storage: PartStorage,
+    counters: Vec<AtomicI64>,
+    /// Per-iteration "message m injected" signals (fresh each start).
+    issued: Mutex<Vec<Arc<Completion>>>,
+    tickets: Mutex<Vec<Option<SendTicket>>>,
+    started: AtomicBool,
+    /// Legacy: CTS receive posted at start.
+    cts: Mutex<Option<RecvTicket>>,
+}
+
+/// Sender-side partitioned request. Clone freely across the rank's
+/// threads; `pready` is thread-safe.
+#[derive(Clone)]
+pub struct PsendRequest {
+    inner: Arc<PsendShared>,
+}
+
+impl Comm {
+    /// `MPI_Psend_init`: create a partitioned send of `n_parts` partitions
+    /// of `part_bytes` each towards `dst`. The receiver must create the
+    /// matching `precv_init` with the same tag and compatible options.
+    pub fn psend_init(
+        &self,
+        dst: usize,
+        tag: i64,
+        n_parts: usize,
+        part_bytes: usize,
+        opts: PartOptions,
+    ) -> PsendRequest {
+        self.psend_init_general(dst, tag, n_parts, part_bytes, n_parts, opts)
+    }
+
+    /// `MPI_Psend_init` with a different partition count on the receiver
+    /// side: the internal message count becomes `gcd(n_parts,
+    /// n_recv_parts)` (paper §3.2.1). The total buffer sizes must match:
+    /// `n_parts · part_bytes == n_recv_parts · recv_part_bytes`.
+    pub fn psend_init_general(
+        &self,
+        dst: usize,
+        tag: i64,
+        n_parts: usize,
+        part_bytes: usize,
+        n_recv_parts: usize,
+        opts: PartOptions,
+    ) -> PsendRequest {
+        assert!(n_parts >= 1 && part_bytes >= 1 && n_recv_parts >= 1);
+        assert_eq!(
+            (n_parts * part_bytes) % n_recv_parts,
+            0,
+            "total size must divide into receiver partitions"
+        );
+        if let Some(hint) = &opts.thread_hint {
+            assert_eq!(hint.len(), n_parts, "thread hint must cover every partition");
+        }
+        let layout = negotiate_layout(n_parts, n_recv_parts, part_bytes, opts.aggr_size);
+        let part_comm = Comm::part_comm(self, tag);
+        let n_msgs = layout.n_msgs();
+        PsendRequest {
+            inner: Arc::new(PsendShared {
+                comm: part_comm,
+                dst,
+                n_parts,
+                part_bytes,
+                layout,
+                legacy: opts.legacy_single_message,
+                thread_hint: opts.thread_hint.clone(),
+                defer_sends: opts.defer_sends,
+                storage: PartStorage::new(n_parts, part_bytes),
+                counters: (0..n_msgs).map(|_| AtomicI64::new(0)).collect(),
+                issued: Mutex::new((0..n_msgs).map(|_| Completion::new()).collect()),
+                tickets: Mutex::new((0..n_msgs).map(|_| None).collect()),
+                started: AtomicBool::new(false),
+                cts: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// `MPI_Precv_init`: the matching receive side.
+    pub fn precv_init(
+        &self,
+        src: usize,
+        tag: i64,
+        n_parts: usize,
+        part_bytes: usize,
+        opts: PartOptions,
+    ) -> PrecvRequest {
+        self.precv_init_general(src, tag, n_parts, part_bytes, n_parts, n_parts * part_bytes / n_parts, opts)
+    }
+
+    /// `MPI_Precv_init` with a different partition count on the sender
+    /// side; `n_send_parts`/`send_part_bytes` describe the incoming
+    /// layout (agreed during init, as in the improved MPICH protocol).
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Precv_init's arity
+    pub fn precv_init_general(
+        &self,
+        src: usize,
+        tag: i64,
+        n_parts: usize,
+        part_bytes: usize,
+        n_send_parts: usize,
+        send_part_bytes: usize,
+        opts: PartOptions,
+    ) -> PrecvRequest {
+        assert!(n_parts >= 1 && part_bytes >= 1);
+        assert_eq!(
+            n_parts * part_bytes,
+            n_send_parts * send_part_bytes,
+            "sender and receiver buffer sizes must agree"
+        );
+        let layout = negotiate_layout(n_send_parts, n_parts, send_part_bytes, opts.aggr_size);
+        let part_comm = Comm::part_comm(self, tag);
+        let n_msgs = layout.n_msgs();
+        PrecvRequest {
+            inner: Arc::new(PrecvShared {
+                comm: part_comm,
+                src,
+                n_parts,
+                part_bytes,
+                layout,
+                legacy: opts.legacy_single_message,
+                thread_hint: opts.thread_hint.clone(),
+                storage: PartStorage::new(n_parts, part_bytes),
+                tickets: Mutex::new((0..n_msgs).map(|_| None).collect()),
+                started: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn part_comm(parent: &Comm, tag: i64) -> Comm {
+        let ctx = parent.part_ctx(tag);
+        let shard = parent.fabric().shard_of_ctx(ctx);
+        parent.with_ctx(ctx, shard)
+    }
+}
+
+impl PsendRequest {
+    /// Number of internal messages.
+    pub fn n_msgs(&self) -> usize {
+        if self.inner.legacy {
+            1
+        } else {
+            self.inner.layout.n_msgs()
+        }
+    }
+
+    /// The negotiated layout.
+    pub fn layout(&self) -> &MsgLayout {
+        &self.inner.layout
+    }
+
+    /// `MPI_Start`: arm the iteration.
+    pub fn start(&self) {
+        let s = &self.inner;
+        assert!(
+            !s.started.swap(true, Ordering::AcqRel),
+            "partitioned send started twice"
+        );
+        s.storage.reset();
+        if s.legacy {
+            // Post the CTS receive; the data send happens in wait().
+            let completion = Completion::new();
+            let info = Arc::new(Mutex::new(None));
+            let ticket = s.comm.fabric().post_recv(
+                s.comm.rank(),
+                s.comm.shard(),
+                PostedRecv {
+                    ctx: s.comm.ctx(),
+                    src: Some(s.dst),
+                    tag: Some(TAG_CTS),
+                    dest_ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    dest_cap: 0,
+                    info,
+                    completion,
+                },
+            );
+            *s.cts.lock() = Some(ticket);
+            s.counters[0].store(s.n_parts as i64, Ordering::Release);
+        } else {
+            for (m, spec) in s.layout.msgs.iter().enumerate() {
+                s.counters[m].store(spec.n_sparts as i64, Ordering::Release);
+            }
+            let n = s.layout.n_msgs();
+            *s.issued.lock() = (0..n).map(|_| Completion::new()).collect();
+            let mut tickets = s.tickets.lock();
+            for slot in tickets.iter_mut() {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Fill partition `p`'s bytes. Panics after `pready(p)`.
+    pub fn write_partition(&self, p: usize, f: impl FnOnce(&mut [u8])) {
+        assert!(p < self.inner.n_parts, "partition out of range");
+        self.inner.storage.write_partition(p, f);
+    }
+
+    /// `MPI_Pready`: mark partition `p` ready. If this completes an
+    /// internal message, the calling thread injects it (early-bird).
+    pub fn pready(&self, p: usize) {
+        let s = &self.inner;
+        assert!(s.started.load(Ordering::Acquire), "pready before start");
+        assert!(p < s.n_parts, "partition out of range");
+        s.storage.mark_ready(p);
+        if s.legacy {
+            let left = s.counters[0].fetch_sub(1, Ordering::AcqRel) - 1;
+            assert!(left >= 0, "partition readied twice");
+            return;
+        }
+        let m = s.layout.msg_of_spart(p);
+        let left = s.counters[m].fetch_sub(1, Ordering::AcqRel) - 1;
+        assert!(left >= 0, "partition readied twice");
+        if left == 0 && !s.defer_sends {
+            self.issue(m);
+        }
+    }
+
+    /// `MPI_Pready_range`: mark partitions `lo..=hi` ready, in order.
+    pub fn pready_range(&self, lo: usize, hi: usize) {
+        assert!(lo <= hi, "empty or inverted range");
+        for p in lo..=hi {
+            self.pready(p);
+        }
+    }
+
+    /// `MPI_Pready_list`: mark the listed partitions ready, in order.
+    pub fn pready_list(&self, parts: &[usize]) {
+        for &p in parts {
+            self.pready(p);
+        }
+    }
+
+    fn issue(&self, m: usize) {
+        let s = &self.inner;
+        let spec = s.layout.msgs[m];
+        let byte_off = spec.first_spart * s.part_bytes;
+        let shard = match &s.thread_hint {
+            // Round-robin message→shard attribution (paper §3.2.2).
+            None => m % s.comm.n_shards(),
+            // Stream hint: the owning thread's shard.
+            Some(hint) => hint[spec.first_spart] % s.comm.n_shards(),
+        };
+        // SAFETY: every partition of message m is READY (its counter hit
+        // zero) and stays READY until wait() resets the iteration.
+        let data = unsafe { s.storage.ready_slice(byte_off, spec.bytes) };
+        let ticket = s.comm.fabric().send_raw(
+            s.dst,
+            shard,
+            s.comm.ctx(),
+            s.comm.rank(),
+            m as i64,
+            data,
+        );
+        s.tickets.lock()[m] = Some(ticket);
+        s.issued.lock()[m].set();
+    }
+
+    /// `MPI_Wait`: complete the iteration. In legacy mode this waits for
+    /// the CTS, then sends the whole buffer as one message.
+    pub fn wait(&self) {
+        let s = &self.inner;
+        assert!(s.started.load(Ordering::Acquire), "wait before start");
+        if s.legacy {
+            assert_eq!(
+                s.counters[0].load(Ordering::Acquire),
+                0,
+                "legacy wait requires all partitions ready"
+            );
+            let cts = s.cts.lock().take().expect("CTS posted at start");
+            cts.wait();
+            let total = s.n_parts * s.part_bytes;
+            // SAFETY: all partitions READY; exclusive until reset.
+            let data = unsafe { s.storage.ready_slice(0, total) };
+            let ticket = s.comm.fabric().send_raw(
+                s.dst,
+                s.comm.shard(),
+                s.comm.ctx(),
+                s.comm.rank(),
+                TAG_DATA,
+                data,
+            );
+            ticket.wait();
+        } else {
+            if s.defer_sends {
+                for m in 0..s.layout.n_msgs() {
+                    assert_eq!(
+                        s.counters[m].load(Ordering::Acquire),
+                        0,
+                        "deferred wait requires all partitions ready"
+                    );
+                    self.issue(m);
+                }
+            }
+            for m in 0..s.layout.n_msgs() {
+                let issued = Arc::clone(&s.issued.lock()[m]);
+                issued.wait();
+                let ticket = s.tickets.lock()[m].take().expect("issued message");
+                ticket.wait();
+            }
+        }
+        s.started.store(false, Ordering::Release);
+    }
+}
+
+struct PrecvShared {
+    comm: Comm,
+    src: usize,
+    n_parts: usize,
+    part_bytes: usize,
+    layout: MsgLayout,
+    legacy: bool,
+    thread_hint: Option<Arc<Vec<usize>>>,
+    storage: PartStorage,
+    tickets: Mutex<Vec<Option<RecvTicket>>>,
+    started: AtomicBool,
+}
+
+/// Receiver-side partitioned request.
+#[derive(Clone)]
+pub struct PrecvRequest {
+    inner: Arc<PrecvShared>,
+}
+
+impl PrecvRequest {
+    /// Number of internal messages.
+    pub fn n_msgs(&self) -> usize {
+        if self.inner.legacy {
+            1
+        } else {
+            self.inner.layout.n_msgs()
+        }
+    }
+
+    /// `MPI_Start`: post the internal receives (improved) or send the CTS
+    /// and post the single data receive (legacy).
+    pub fn start(&self) {
+        let s = &self.inner;
+        assert!(
+            !s.started.swap(true, Ordering::AcqRel),
+            "partitioned recv started twice"
+        );
+        if s.legacy {
+            s.comm.fabric().send_raw(
+                s.src,
+                s.comm.shard(),
+                s.comm.ctx(),
+                s.comm.rank(),
+                TAG_CTS,
+                &[],
+            );
+            let total = s.n_parts * s.part_bytes;
+            // SAFETY: buffer exclusively owned by the fabric until wait().
+            let buf = unsafe { s.storage.raw_range(0, total) };
+            let ticket = s.comm.fabric().post_recv(
+                s.comm.rank(),
+                s.comm.shard(),
+                PostedRecv {
+                    ctx: s.comm.ctx(),
+                    src: Some(s.src),
+                    tag: Some(TAG_DATA),
+                    dest_ptr: buf.as_mut_ptr(),
+                    dest_cap: buf.len(),
+                    info: Arc::new(Mutex::new(None)),
+                    completion: Completion::new(),
+                },
+            );
+            s.tickets.lock()[0] = Some(ticket);
+        } else {
+            let mut tickets = s.tickets.lock();
+            for (m, spec) in s.layout.msgs.iter().enumerate() {
+                let byte_off = spec.first_rpart * s.part_bytes;
+                let shard = match &s.thread_hint {
+                    None => m % s.comm.n_shards(),
+                    Some(hint) => hint[spec.first_spart] % s.comm.n_shards(),
+                };
+                // SAFETY: disjoint ranges, fabric-exclusive until wait().
+                let buf = unsafe { s.storage.raw_range(byte_off, spec.bytes) };
+                let ticket = s.comm.fabric().post_recv(
+                    s.comm.rank(),
+                    shard,
+                    PostedRecv {
+                        ctx: s.comm.ctx(),
+                        src: Some(s.src),
+                        tag: Some(m as i64),
+                        dest_ptr: buf.as_mut_ptr(),
+                        dest_cap: buf.len(),
+                        info: Arc::new(Mutex::new(None)),
+                        completion: Completion::new(),
+                    },
+                );
+                tickets[m] = Some(ticket);
+            }
+        }
+    }
+
+    /// `MPI_Parrived`: has receiver partition `p` landed?
+    pub fn parrived(&self, p: usize) -> bool {
+        let s = &self.inner;
+        assert!(p < s.n_parts, "partition out of range");
+        let m = if s.legacy { 0 } else { s.layout.msg_of_rpart(p) };
+        s.tickets.lock()[m]
+            .as_ref()
+            .map(|t| t.test())
+            .unwrap_or(!s.started.load(Ordering::Acquire))
+    }
+
+    /// `MPI_Wait`: block until every internal message landed.
+    pub fn wait(&self) {
+        let s = &self.inner;
+        assert!(s.started.load(Ordering::Acquire), "wait before start");
+        let n = if s.legacy { 1 } else { s.layout.n_msgs() };
+        for m in 0..n {
+            let ticket = s.tickets.lock()[m].take().expect("started recv");
+            ticket.wait();
+        }
+        s.started.store(false, Ordering::Release);
+    }
+
+    /// Read partition `p`'s bytes (after `wait`).
+    pub fn partition(&self, p: usize) -> &[u8] {
+        let s = &self.inner;
+        assert!(
+            !s.started.load(Ordering::Acquire),
+            "cannot read partitions while an iteration is active"
+        );
+        assert!(p < s.n_parts, "partition out of range");
+        s.storage.read_partition(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    fn opts() -> PartOptions {
+        PartOptions::default()
+    }
+
+    #[test]
+    fn layout_gcd_and_aggregation() {
+        let l = negotiate_layout(12, 8, 100, None);
+        assert_eq!(l.n_msgs(), 4);
+        let l = negotiate_layout(16, 16, 512, Some(2048));
+        assert_eq!(l.n_msgs(), 4);
+        assert!(l.msgs.iter().all(|m| m.bytes == 2048));
+        // Mapping is total on both sides.
+        for p in 0..16 {
+            let _ = l.msg_of_spart(p);
+            let _ = l.msg_of_rpart(p);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_data_integrity() {
+        Universe::new(2).with_shards(4).run(|comm| {
+            let n = 8;
+            let bytes = 256;
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, n, bytes, opts());
+                ps.start();
+                for p in 0..n {
+                    ps.write_partition(p, |b| b.fill(p as u8 + 1));
+                    ps.pready(p);
+                }
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, n, bytes, opts());
+                pr.start();
+                pr.wait();
+                for p in 0..n {
+                    assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 1));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn multithreaded_preadys_from_worker_threads() {
+        Universe::new(2).with_shards(4).run(|comm| {
+            let n_threads = 4;
+            let theta = 4;
+            let n = n_threads * theta;
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, n, 64, opts());
+                for _iter in 0..5 {
+                    ps.start();
+                    std::thread::scope(|s| {
+                        for t in 0..n_threads {
+                            let ps = ps.clone();
+                            s.spawn(move || {
+                                for j in 0..theta {
+                                    let p = t + j * n_threads;
+                                    ps.write_partition(p, |b| b.fill(p as u8));
+                                    ps.pready(p);
+                                }
+                            });
+                        }
+                    });
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.precv_init(0, 0, n, 64, opts());
+                for _iter in 0..5 {
+                    pr.start();
+                    pr.wait();
+                    for p in 0..n {
+                        assert!(pr.partition(p).iter().all(|&x| x == p as u8));
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn aggregation_reduces_message_count() {
+        Universe::new(2).run(|comm| {
+            let o = PartOptions {
+                aggr_size: Some(4096),
+                ..PartOptions::default()
+            };
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 32, 512, o);
+                assert_eq!(ps.n_msgs(), 4);
+                ps.start();
+                for p in 0..32 {
+                    ps.pready(p);
+                }
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, 32, 512, o);
+                assert_eq!(pr.n_msgs(), 4);
+                pr.start();
+                pr.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn early_bird_parrived_before_last_pready() {
+        use std::sync::atomic::AtomicBool;
+        static SAW_EARLY: AtomicBool = AtomicBool::new(false);
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 2, 128, opts());
+                ps.start();
+                ps.pready(0);
+                // Give the receiver time to observe partition 0.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                ps.pready(1);
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, 2, 128, opts());
+                pr.start();
+                // Poll for the early partition while the last is delayed.
+                let t0 = std::time::Instant::now();
+                while !pr.parrived(0) && t0.elapsed().as_millis() < 25 {
+                    std::hint::spin_loop();
+                }
+                if pr.parrived(0) && !pr.parrived(1) {
+                    SAW_EARLY.store(true, Ordering::SeqCst);
+                }
+                pr.wait();
+            }
+        });
+        assert!(
+            SAW_EARLY.load(Ordering::SeqCst),
+            "partition 0 should arrive while partition 1 is still delayed"
+        );
+    }
+
+    #[test]
+    fn legacy_single_message_roundtrip() {
+        Universe::new(2).run(|comm| {
+            let o = PartOptions {
+                legacy_single_message: true,
+                ..PartOptions::default()
+            };
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 4, 128, o);
+                for _ in 0..3 {
+                    ps.start();
+                    for p in 0..4 {
+                        ps.write_partition(p, |b| b.fill(9));
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.precv_init(0, 0, 4, 128, o);
+                for _ in 0..3 {
+                    pr.start();
+                    pr.wait();
+                    assert!(pr.partition(3).iter().all(|&x| x == 9));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn rendezvous_sized_partitions() {
+        Universe::new(2).with_eager_max(1024).run(|comm| {
+            let bytes = 16 * 1024; // above eager_max → zcopy path
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 4, bytes, opts());
+                ps.start();
+                for p in 0..4 {
+                    ps.write_partition(p, |b| b.fill(p as u8 + 10));
+                    ps.pready(p);
+                }
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, 4, bytes, opts());
+                pr.start();
+                pr.wait();
+                for p in 0..4 {
+                    assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 10));
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn write_after_ready_panics() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 2, 64, opts());
+                ps.start();
+                ps.pready(0);
+                ps.write_partition(0, |b| b.fill(1));
+            } else {
+                // Keep rank 1 passive; messages park unexpected.
+            }
+        });
+    }
+
+    #[test]
+    fn pready_range_and_list() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 8, 64, PartOptions::default());
+                ps.start();
+                ps.pready_range(0, 3);
+                ps.pready_list(&[6, 4, 7, 5]);
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, 8, 64, PartOptions::default());
+                pr.start();
+                pr.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn mismatched_partition_counts_use_gcd() {
+        // 12 sender partitions of 100 B vs 8 receiver partitions of 150 B:
+        // gcd = 4 messages of 300 B; data lands bit-exact.
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init_general(1, 0, 12, 100, 8, PartOptions::default());
+                assert_eq!(ps.n_msgs(), 4);
+                ps.start();
+                for p in 0..12 {
+                    ps.write_partition(p, |b| {
+                        for (i, x) in b.iter_mut().enumerate() {
+                            *x = ((p * 100 + i) % 251) as u8;
+                        }
+                    });
+                    ps.pready(p);
+                }
+                ps.wait();
+            } else {
+                let pr = comm.precv_init_general(0, 0, 8, 150, 12, 100, PartOptions::default());
+                assert_eq!(pr.n_msgs(), 4);
+                pr.start();
+                pr.wait();
+                // Receiver partition r covers global bytes [150r, 150r+150).
+                for r in 0..8 {
+                    let data = pr.partition(r);
+                    for (i, &x) in data.iter().enumerate() {
+                        let g = r * 150 + i; // global byte index
+                        assert_eq!(x as usize, g % 251, "recv part {r} byte {i}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn mismatched_counts_with_aggregation() {
+        Universe::new(2).run(|comm| {
+            let opts = PartOptions {
+                aggr_size: Some(600),
+                ..PartOptions::default()
+            };
+            if comm.rank() == 0 {
+                let ps = comm.psend_init_general(1, 0, 12, 100, 8, opts.clone());
+                // 4 base messages of 300 B aggregate pairwise under 600 B.
+                assert_eq!(ps.n_msgs(), 2);
+                ps.start();
+                for p in 0..12 {
+                    ps.write_partition(p, |b| b.fill(p as u8));
+                    ps.pready(p);
+                }
+                ps.wait();
+            } else {
+                let pr = comm.precv_init_general(0, 0, 8, 150, 12, 100, opts);
+                assert_eq!(pr.n_msgs(), 2);
+                pr.start();
+                pr.wait();
+                // Global byte g belongs to sender partition g / 100.
+                for r in 0..8 {
+                    for (i, &x) in pr.partition(r).iter().enumerate() {
+                        let g = r * 150 + i;
+                        assert_eq!(x as usize, g / 100, "recv part {r} byte {i}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn thread_hint_roundtrip_with_block_assignment() {
+        // Block partition→thread ownership (the θ>1 layout §3.2.2 warns
+        // about): the stream hint keeps each thread on its own shard.
+        let n_threads = 2;
+        let theta = 4;
+        let n = n_threads * theta;
+        let hint: Arc<Vec<usize>> = Arc::new((0..n).map(|p| p / theta).collect());
+        Universe::new(2).with_shards(2).run(|comm| {
+            let opts = PartOptions {
+                thread_hint: Some(Arc::clone(&hint)),
+                ..PartOptions::default()
+            };
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, n, 128, opts);
+                ps.start();
+                std::thread::scope(|s| {
+                    for t in 0..n_threads {
+                        let ps = ps.clone();
+                        s.spawn(move || {
+                            for j in 0..theta {
+                                let p = t * theta + j; // block ownership
+                                ps.write_partition(p, |b| b.fill(p as u8 + 1));
+                                ps.pready(p);
+                            }
+                        });
+                    }
+                });
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, n, 128, opts);
+                pr.start();
+                pr.wait();
+                for p in 0..n {
+                    assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 1));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn deferred_sends_arrive_only_at_wait() {
+        Universe::new(2).run(|comm| {
+            let opts = PartOptions {
+                defer_sends: true,
+                ..PartOptions::default()
+            };
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 2, 64, opts);
+                ps.start();
+                ps.pready(0);
+                // Give the receiver time to (not) observe partition 0.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                ps.pready(1);
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, 2, 64, opts);
+                pr.start();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                assert!(
+                    !pr.parrived(0),
+                    "deferred mode must not deliver before wait"
+                );
+                pr.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn reuse_many_iterations_data_fresh() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 2, 32, opts());
+                for it in 0..10u8 {
+                    ps.start();
+                    for p in 0..2 {
+                        ps.write_partition(p, |b| b.fill(it * 2 + p as u8));
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.precv_init(0, 0, 2, 32, opts());
+                for it in 0..10u8 {
+                    pr.start();
+                    pr.wait();
+                    for p in 0..2 {
+                        assert!(pr.partition(p).iter().all(|&x| x == it * 2 + p as u8));
+                    }
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,114 @@
+//! Small synchronization helpers for the real runtime.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A one-shot completion flag with blocking wait (Mutex + Condvar).
+///
+/// Used for request completion: the completing thread calls [`set`],
+/// waiters block in [`wait`]. Cheap `is_set` polling supports
+/// `MPI_Test`-style probes.
+///
+/// [`set`]: Completion::set
+/// [`wait`]: Completion::wait
+#[derive(Default)]
+pub(crate) struct Completion {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Arc<Completion> {
+        Arc::new(Completion::default())
+    }
+
+    /// Mark complete and wake all waiters. Idempotent.
+    pub(crate) fn set(&self) {
+        let mut d = self.done.lock();
+        if !*d {
+            *d = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until complete.
+    pub(crate) fn wait(&self) {
+        let mut d = self.done.lock();
+        while !*d {
+            self.cv.wait(&mut d);
+        }
+    }
+
+    /// Non-blocking probe.
+    pub(crate) fn is_set(&self) -> bool {
+        *self.done.lock()
+    }
+}
+
+/// Spin for `micros` microseconds of wall time.
+///
+/// `std::thread::sleep` has ~50 µs granularity on Linux, far too coarse
+/// for injecting the µs-scale compute delays the benchmarks need; a
+/// calibrated busy-wait keeps the thread hot, like real compute would.
+pub fn spin_for_micros(micros: f64) {
+    if micros <= 0.0 {
+        return;
+    }
+    let start = std::time::Instant::now();
+    let target = std::time::Duration::from_nanos((micros * 1000.0) as u64);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn completion_set_then_wait() {
+        let c = Completion::new();
+        assert!(!c.is_set());
+        c.set();
+        assert!(c.is_set());
+        c.wait(); // returns immediately
+    }
+
+    #[test]
+    fn completion_wakes_blocked_waiter() {
+        let c = Completion::new();
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || {
+            c2.wait();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        c.set();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn completion_set_is_idempotent() {
+        let c = Completion::new();
+        c.set();
+        c.set();
+        assert!(c.is_set());
+    }
+
+    #[test]
+    fn spin_waits_roughly_right() {
+        let t0 = Instant::now();
+        spin_for_micros(200.0);
+        let e = t0.elapsed();
+        assert!(e >= Duration::from_micros(200), "spun only {e:?}");
+        assert!(e < Duration::from_millis(50), "spun way too long {e:?}");
+    }
+
+    #[test]
+    fn spin_zero_is_noop() {
+        spin_for_micros(0.0);
+        spin_for_micros(-5.0);
+    }
+}

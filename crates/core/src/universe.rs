@@ -1,0 +1,106 @@
+//! The [`Universe`]: spawns rank threads over a shared fabric.
+
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::fabric::Fabric;
+
+/// Default eager/rendezvous switch: MPICH's shared-memory eager limit is
+/// of this order; messages above it use the zero-copy handoff path.
+pub const DEFAULT_EAGER_MAX: usize = 64 * 1024;
+
+/// Builder/runner for a multi-rank in-process job.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    n_ranks: usize,
+    n_shards: usize,
+    eager_max: usize,
+}
+
+impl Universe {
+    /// A universe of `n_ranks` ranks with one match shard (VCI) per rank.
+    pub fn new(n_ranks: usize) -> Universe {
+        assert!(n_ranks >= 1, "need at least one rank");
+        Universe {
+            n_ranks,
+            n_shards: 1,
+            eager_max: DEFAULT_EAGER_MAX,
+        }
+    }
+
+    /// Set the number of match shards per rank (the `MPIR_CVAR_NUM_VCIS`
+    /// analogue).
+    pub fn with_shards(mut self, n_shards: usize) -> Universe {
+        assert!(n_shards >= 1, "need at least one shard");
+        self.n_shards = n_shards;
+        self
+    }
+
+    /// Set the eager/rendezvous threshold in bytes.
+    pub fn with_eager_max(mut self, eager_max: usize) -> Universe {
+        self.eager_max = eager_max;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Run `f` once per rank, each on its own OS thread, and collect the
+    /// per-rank results in rank order. Panics in any rank propagate.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        let fabric = Fabric::new(self.n_ranks, self.n_shards, self.eager_max);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.n_ranks)
+                .map(|rank| {
+                    let fabric = Arc::clone(&fabric);
+                    let f = &f;
+                    scope.spawn(move || f(Comm::world(fabric, rank)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_collects_results_in_rank_order() {
+        let out = Universe::new(4).run(|comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn comm_world_properties() {
+        let sizes = Universe::new(3).run(|comm| (comm.rank(), comm.size()));
+        assert_eq!(sizes, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arrived = AtomicUsize::new(0);
+        Universe::new(4).run(|comm| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(arrived.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Universe::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! `pcomm-netmodel` — machine and network cost model for the simulated MPI
+//! runtime.
+//!
+//! The model is LogGP-flavoured: per-message CPU overheads, a one-way wire
+//! latency, a per-byte bandwidth term, plus the structure that the paper's
+//! figures depend on:
+//!
+//! * **UCX-like protocol switching** (paper §4.1): *short* for tiny
+//!   messages, *bcopy* eager (extra memcpy at both ends) up to the
+//!   rendezvous threshold, *zcopy* rendezvous (RTS/CTS round-trip, then
+//!   full-bandwidth zero-copy) above it. The time-vs-size curve therefore
+//!   jumps between 1 KiB→2 KiB and 8 KiB→16 KiB as in Fig. 4.
+//! * **VCIs** ([`VciPool`]): virtual communication interfaces are exclusive
+//!   FIFO resources; concurrent senders on one VCI serialize and pay a
+//!   contention penalty that grows with the number of waiters (cache-line
+//!   bouncing on the VCI lock).
+//! * **Thread/atomic costs**: barrier cost (log₂ tree), atomic
+//!   read-modify-write cost for partition counters, per-request setup and
+//!   completion costs.
+//!
+//! All constants live in [`MachineConfig`]; [`MachineConfig::meluxina`] is
+//! calibrated against the paper's testbed (25 GB/s, 1.22 µs HDR200-IB).
+
+#![warn(missing_docs)]
+
+mod config;
+mod noise;
+mod vci;
+
+pub use config::{MachineConfig, Protocol};
+pub use noise::NoiseInjector;
+pub use vci::VciPool;

@@ -1,0 +1,120 @@
+//! Multiplicative timing noise for CPU-side costs.
+
+use pcomm_prng::{Normal, Rng64, Xoshiro256pp};
+use pcomm_simcore::Dur;
+
+/// Injects multiplicative Gaussian noise `N(1, rel_sd)` into durations.
+///
+/// The simulator applies this to CPU-side costs only — wire time is kept
+/// exact so that bandwidth asymptotes match theory — which mirrors the
+/// paper's observation that system noise is a property of execution, not of
+/// the link. Noise keeps the Student-t confidence intervals of the
+/// measurement protocol meaningful.
+#[derive(Debug, Clone)]
+pub struct NoiseInjector {
+    dist: Normal,
+    rng: Xoshiro256pp,
+}
+
+impl NoiseInjector {
+    /// Create an injector with relative standard deviation `rel_sd`,
+    /// seeded deterministically.
+    pub fn new(rel_sd: f64, seed: u64) -> Self {
+        NoiseInjector {
+            dist: Normal::new(1.0, rel_sd),
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
+    }
+
+    /// A disabled injector (always returns the input unchanged).
+    pub fn disabled() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// Whether this injector actually perturbs values.
+    pub fn is_enabled(&self) -> bool {
+        self.dist.sd() > 0.0
+    }
+
+    /// Apply noise to a duration (clamped at zero).
+    pub fn jitter(&mut self, d: Dur) -> Dur {
+        if !self.is_enabled() {
+            return d;
+        }
+        let factor = self.dist.sample_clamped_min(&mut self.rng, 0.0);
+        d.mul_f64(factor)
+    }
+
+    /// Draw a raw multiplicative factor (used for compute-time noise).
+    pub fn factor(&mut self) -> f64 {
+        self.dist.sample_clamped_min(&mut self.rng, 0.0)
+    }
+
+    /// Derive an independent child injector (per simulated entity).
+    pub fn split(&mut self) -> Self {
+        NoiseInjector {
+            dist: self.dist,
+            rng: self.rng.split(),
+        }
+    }
+
+    /// Access the underlying RNG (for auxiliary draws).
+    pub fn rng(&mut self) -> &mut impl Rng64 {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_identity() {
+        let mut n = NoiseInjector::disabled();
+        let d = Dur::from_us(5);
+        for _ in 0..10 {
+            assert_eq!(n.jitter(d), d);
+        }
+        assert!(!n.is_enabled());
+    }
+
+    #[test]
+    fn jitter_stays_close_for_small_sd() {
+        let mut n = NoiseInjector::new(0.01, 7);
+        let d = Dur::from_us(100);
+        for _ in 0..1000 {
+            let j = n.jitter(d);
+            let rel = (j.as_us_f64() - 100.0).abs() / 100.0;
+            assert!(rel < 0.08, "jitter {j} too far from 100us");
+        }
+    }
+
+    #[test]
+    fn jitter_mean_is_unbiased() {
+        let mut n = NoiseInjector::new(0.05, 11);
+        let d = Dur::from_us(10);
+        let total: f64 = (0..20_000).map(|_| n.jitter(d).as_us_f64()).sum();
+        let mean = total / 20_000.0;
+        assert!((mean - 10.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = NoiseInjector::new(0.05, 3);
+        let mut b = NoiseInjector::new(0.05, 3);
+        let d = Dur::from_us(1);
+        for _ in 0..100 {
+            assert_eq!(a.jitter(d), b.jitter(d));
+        }
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut parent = NoiseInjector::new(0.05, 3);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let d = Dur::from_us(1);
+        let same = (0..100).filter(|_| a.jitter(d) == b.jitter(d)).count();
+        assert!(same < 5);
+    }
+}

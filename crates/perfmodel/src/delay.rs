@@ -1,0 +1,288 @@
+//! Delay-rate model (paper Appendix A).
+//!
+//! The delay `D` between the first and last partition becoming ready is
+//! modeled as `D = γ_θ · S_part` with (eq. 9)
+//!
+//! ```text
+//! γ_θ = µ · (θ + (ε+δ)/2 · (√θ + 1) − 1)
+//! ```
+//!
+//! where `µ` is the average per-byte compute rate (eq. 6), `ε` the system
+//! noise and `δ` the algorithmic imbalance.
+
+/// Per-byte compute rate from hardware/algorithm parameters (eq. 6):
+/// `µ = (AI / CI) · 1 / (flops_per_cycle · F)` in s/B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeProfile {
+    /// Arithmetic intensity (flop/B of memory used).
+    pub arithmetic_intensity: f64,
+    /// Communication intensity (bytes sent / bytes of memory used).
+    pub communication_intensity: f64,
+    /// CPU clock in Hz.
+    pub freq_hz: f64,
+    /// Flops retired per cycle (the paper's fixed factor 8).
+    pub flops_per_cycle: f64,
+}
+
+impl ComputeProfile {
+    /// The average compute rate µ in seconds per *communicated* byte.
+    pub fn mu(&self) -> f64 {
+        assert!(
+            self.communication_intensity > 0.0 && self.freq_hz > 0.0 && self.flops_per_cycle > 0.0,
+            "profile parameters must be positive"
+        );
+        (self.arithmetic_intensity / self.communication_intensity)
+            / (self.flops_per_cycle * self.freq_hz)
+    }
+
+    /// Distributed FFT preset (Appendix A.2.1): AI ≈ 5, CI = 1, on a
+    /// 3.5 GHz, 8 flop/cycle core (the frequency reproducing the paper's
+    /// γ values exactly).
+    pub fn fft() -> Self {
+        ComputeProfile {
+            arithmetic_intensity: 5.0,
+            communication_intensity: 1.0,
+            freq_hz: 3.5e9,
+            flops_per_cycle: 8.0,
+        }
+    }
+
+    /// 3D finite-difference stencil preset (Appendix A.2.2): one 64³ block,
+    /// two ghost points → CI = (66/64)³ − 1; 4th-order stencil AI ≈ 1/13.
+    pub fn stencil3d() -> Self {
+        ComputeProfile {
+            arithmetic_intensity: 1.0 / 13.0,
+            communication_intensity: (66.0f64 / 64.0).powi(3) - 1.0,
+            freq_hz: 3.5e9,
+            flops_per_cycle: 8.0,
+        }
+    }
+}
+
+/// Noise model: σ = (ε + δ)/2 (Appendix A.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// System execution noise ε (relative).
+    pub epsilon: f64,
+    /// Algorithmic imbalance δ (relative; e.g. 0.5 = some branches cost
+    /// 50% more compute).
+    pub delta: f64,
+}
+
+impl NoiseModel {
+    /// Combined relative standard deviation σ = (ε + δ)/2.
+    pub fn sigma(&self) -> f64 {
+        assert!(
+            self.epsilon >= 0.0 && self.delta >= 0.0,
+            "noise terms must be non-negative"
+        );
+        0.5 * (self.epsilon + self.delta)
+    }
+}
+
+/// The full delay model: compute rate plus noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Average compute rate µ in s/B.
+    pub mu: f64,
+    /// Noise parameters.
+    pub noise: NoiseModel,
+}
+
+impl DelayModel {
+    /// Build from a compute profile and noise parameters.
+    pub fn new(profile: ComputeProfile, noise: NoiseModel) -> Self {
+        DelayModel {
+            mu: profile.mu(),
+            noise,
+        }
+    }
+
+    /// Delay rate γ_θ in s/B (eq. 9).
+    pub fn gamma(&self, theta: u64) -> f64 {
+        assert!(theta >= 1, "θ must be >= 1");
+        let t = theta as f64;
+        let sigma = self.noise.sigma();
+        self.mu * (t + sigma * (t.sqrt() + 1.0) - 1.0)
+    }
+
+    /// Delay time `D = γ_θ · S_part` in seconds (eq. 8).
+    pub fn delay(&self, theta: u64, s_part: f64) -> f64 {
+        self.gamma(theta) * s_part
+    }
+
+    /// Time when the *first* partition is expected ready:
+    /// `µ·S_part·(1 − σ)` (Appendix A.1).
+    pub fn first_ready(&self, s_part: f64) -> f64 {
+        (self.mu * s_part * (1.0 - self.noise.sigma())).max(0.0)
+    }
+
+    /// Time when the *last* of θ partitions on a thread is expected ready:
+    /// `µ·S_part·(θ + √θ·σ)` (Appendix A.1).
+    pub fn last_ready(&self, theta: u64, s_part: f64) -> f64 {
+        let t = theta as f64;
+        self.mu * s_part * (t + t.sqrt() * self.noise.sigma())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eta_large, s_per_b_to_us_per_mb};
+
+    fn close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() < tol,
+            "actual {actual}, expected {expected}"
+        );
+    }
+
+    /// Appendix A.2.1 (FFT, ε = 0.04, δ = 0):
+    /// γ₁ = 7.1428, γ₂ = 187.1936, γ₈ = 1263.67 µs/MB.
+    #[test]
+    fn fft_gamma_values() {
+        let m = DelayModel::new(
+            ComputeProfile::fft(),
+            NoiseModel {
+                epsilon: 0.04,
+                delta: 0.0,
+            },
+        );
+        close(s_per_b_to_us_per_mb(m.gamma(1)), 7.1428, 5e-3);
+        close(s_per_b_to_us_per_mb(m.gamma(2)), 187.1936, 5e-3);
+        close(s_per_b_to_us_per_mb(m.gamma(8)), 1263.67, 5e-2);
+    }
+
+    /// Appendix A.2.1: associated gains with N = 8, β = 25 GB/s:
+    /// η = 1.0228, 1.4134, 1.9748.
+    #[test]
+    fn fft_eta_values() {
+        let m = DelayModel::new(
+            ComputeProfile::fft(),
+            NoiseModel {
+                epsilon: 0.04,
+                delta: 0.0,
+            },
+        );
+        let beta = 25e9;
+        close(eta_large(8, 1, m.gamma(1), beta), 1.0228, 5e-4);
+        close(eta_large(8, 2, m.gamma(2), beta), 1.4134, 5e-4);
+        close(eta_large(8, 8, m.gamma(8), beta), 1.9748, 5e-4);
+    }
+
+    /// Appendix A.2.2 (stencil, ε = 0.04, δ = 0.5):
+    /// γ₁ = 15.3398, γ₂ = 46.92385411, γ₈ = 228.21310932 µs/MB.
+    #[test]
+    fn stencil_gamma_values() {
+        let m = DelayModel::new(
+            ComputeProfile::stencil3d(),
+            NoiseModel {
+                epsilon: 0.04,
+                delta: 0.5,
+            },
+        );
+        close(s_per_b_to_us_per_mb(m.gamma(1)), 15.3398, 5e-3);
+        close(s_per_b_to_us_per_mb(m.gamma(2)), 46.92385411, 5e-3);
+        close(s_per_b_to_us_per_mb(m.gamma(8)), 228.21310932, 5e-3);
+    }
+
+    /// Appendix A.2.2 reports η = 1.1060 / 1.1718 / 1.2169, which are
+    /// consistent with *twice* the listed γ values (a paper-internal
+    /// inconsistency; the FFT numbers use 1×γ). We assert our formula
+    /// reproduces the paper's numbers under the 2γ reading and records the
+    /// 1γ values too (see EXPERIMENTS.md).
+    #[test]
+    fn stencil_eta_values_under_2gamma_reading() {
+        let m = DelayModel::new(
+            ComputeProfile::stencil3d(),
+            NoiseModel {
+                epsilon: 0.04,
+                delta: 0.5,
+            },
+        );
+        let beta = 25e9;
+        close(eta_large(8, 1, 2.0 * m.gamma(1), beta), 1.1060, 5e-4);
+        close(eta_large(8, 2, 2.0 * m.gamma(2), beta), 1.1718, 5e-4);
+        close(eta_large(8, 8, 2.0 * m.gamma(8), beta), 1.2169, 5e-4);
+        // 1×γ values for the record:
+        close(eta_large(8, 1, m.gamma(1), beta), 1.0503, 5e-4);
+    }
+
+    #[test]
+    fn gamma_grows_with_theta() {
+        let m = DelayModel::new(
+            ComputeProfile::fft(),
+            NoiseModel {
+                epsilon: 0.04,
+                delta: 0.0,
+            },
+        );
+        let mut prev = 0.0;
+        for theta in 1..=16 {
+            let g = m.gamma(theta);
+            assert!(g > prev, "γ must increase with θ");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn gamma_theta1_is_pure_noise() {
+        // θ=1: γ₁ = µ·σ·2 − wait: θ + σ(√θ+1) − 1 = 2σ at θ=1.
+        let m = DelayModel {
+            mu: 1e-10,
+            noise: NoiseModel {
+                epsilon: 0.1,
+                delta: 0.3,
+            },
+        };
+        close(m.gamma(1), 1e-10 * 2.0 * 0.2, 1e-20);
+    }
+
+    #[test]
+    fn delay_is_gamma_times_size() {
+        let m = DelayModel {
+            mu: 2e-10,
+            noise: NoiseModel {
+                epsilon: 0.0,
+                delta: 0.0,
+            },
+        };
+        // No noise: γ_θ = µ(θ−1); θ=3, S=1e6 → D = 2e-10·2·1e6 = 4e-4.
+        close(m.delay(3, 1e6), 4e-4, 1e-15);
+    }
+
+    #[test]
+    fn first_last_ready_bracket_delay() {
+        let m = DelayModel::new(
+            ComputeProfile::fft(),
+            NoiseModel {
+                epsilon: 0.04,
+                delta: 0.0,
+            },
+        );
+        let s = 1e6;
+        for theta in [1u64, 2, 8] {
+            let d = m.last_ready(theta, s) - m.first_ready(s);
+            close(d, m.delay(theta, s), 1e-12);
+        }
+    }
+
+    #[test]
+    fn mu_example_fft_is_178_57_us_per_mb() {
+        // µ = 5 / (8 · 3.5e9) s/B = 178.571 µs/MB.
+        let mu = ComputeProfile::fft().mu();
+        close(s_per_b_to_us_per_mb(mu), 178.5714, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_profile_rejected() {
+        let p = ComputeProfile {
+            arithmetic_intensity: 1.0,
+            communication_intensity: 0.0,
+            freq_hz: 1.0,
+            flops_per_cycle: 1.0,
+        };
+        let _ = p.mu();
+    }
+}

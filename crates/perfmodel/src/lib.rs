@@ -1,0 +1,58 @@
+//! `pcomm-perfmodel` — the analytical performance model of pipelined
+//! (partitioned) communication from *Quantifying the Performance Benefits of
+//! Partitioned Communication in MPI* (ICPP 2023), Section 2.2 and Appendix A.
+//!
+//! Everything here is closed-form; the crate has no dependencies and is used
+//! both to overlay "theory" curves on the simulator's figures and to check
+//! the simulator/real-runtime results against the model.
+//!
+//! Units: this crate uses SI throughout — seconds, bytes, bytes/second and
+//! seconds/byte. Helpers convert the paper's µs/MB delay rates
+//! ([`us_per_mb_to_s_per_b`]).
+
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod gain;
+pub mod metrics;
+pub mod stats;
+
+pub use delay::{ComputeProfile, DelayModel, NoiseModel};
+pub use metrics::{bandwidth_efficiency, early_bird_utilization, perceived_bandwidth, OverheadMetric};
+pub use gain::{eta_large, eta_small, t_bulk, t_pipelined, RefinedGainModel};
+pub use stats::{mean, sample_sd, student_t_90, ConfidenceInterval, MeasureOutcome, Protocol};
+
+/// Convert a delay rate from the paper's µs/MB to s/B.
+///
+/// `1 µs/MB = 1e-6 s / 1e6 B = 1e-12 s/B`.
+pub fn us_per_mb_to_s_per_b(us_per_mb: f64) -> f64 {
+    us_per_mb * 1e-12
+}
+
+/// Convert a delay rate from s/B to the paper's µs/MB.
+pub fn s_per_b_to_us_per_mb(s_per_b: f64) -> f64 {
+    s_per_b * 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_rate_unit_roundtrip() {
+        let g = us_per_mb_to_s_per_b(100.0);
+        assert!((g - 1e-10).abs() < 1e-25);
+        assert!((s_per_b_to_us_per_mb(g) - 100.0).abs() < 1e-9);
+    }
+
+    /// §2.2.2: with γ = 100 µs/MB and 1 µs latency, a 1 kB buffer generates
+    /// delay worth about 10% of a single message latency.
+    #[test]
+    fn small_message_delay_example() {
+        let gamma = us_per_mb_to_s_per_b(100.0);
+        let delay = gamma * 1024.0;
+        let latency = 1e-6;
+        let frac = delay / latency;
+        assert!((frac - 0.1024).abs() < 1e-12, "frac = {frac}");
+    }
+}

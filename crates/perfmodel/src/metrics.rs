@@ -1,0 +1,130 @@
+//! Benchmark metrics beyond time-to-solution.
+//!
+//! The paper (§2.1) measures *time-to-solution* but situates it against
+//! the metrics of prior partitioned-communication studies: the *perceived
+//! bandwidth* of Dosanjh et al. \[2\] and the overhead / application
+//! availability / early-bird metrics of Temucin et al. \[5\]. This module
+//! provides those metrics so results can be compared across conventions.
+
+/// Perceived bandwidth \[2\]: total payload divided by the time from the
+/// start operation to completion on the receiver, in bytes/second.
+pub fn perceived_bandwidth(total_bytes: usize, time_to_solution_s: f64) -> f64 {
+    assert!(
+        time_to_solution_s > 0.0,
+        "time to solution must be positive"
+    );
+    total_bytes as f64 / time_to_solution_s
+}
+
+/// Bandwidth efficiency: perceived bandwidth as a fraction of the link
+/// bandwidth β.
+pub fn bandwidth_efficiency(total_bytes: usize, time_to_solution_s: f64, beta: f64) -> f64 {
+    perceived_bandwidth(total_bytes, time_to_solution_s) / beta
+}
+
+/// Communication overhead \[5\]: the time the *CPU* is occupied by
+/// communication calls (not the wire time), per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadMetric {
+    /// CPU time spent inside MPI calls, seconds.
+    pub cpu_in_mpi_s: f64,
+    /// Total iteration time, seconds.
+    pub iteration_s: f64,
+}
+
+impl OverheadMetric {
+    /// Application availability \[5\]: fraction of the iteration during
+    /// which the CPU is free for application work.
+    pub fn availability(&self) -> f64 {
+        assert!(self.iteration_s > 0.0, "iteration time must be positive");
+        assert!(
+            self.cpu_in_mpi_s <= self.iteration_s + 1e-12,
+            "CPU time cannot exceed the iteration"
+        );
+        (1.0 - self.cpu_in_mpi_s / self.iteration_s).max(0.0)
+    }
+}
+
+/// Early-bird utilization \[5\]: the fraction of the inter-thread delay `D`
+/// that was hidden behind communication — 1.0 means the pipelined schedule
+/// absorbed the whole delay.
+pub fn early_bird_utilization(t_bulk_s: f64, t_pipelined_s: f64, delay_s: f64) -> f64 {
+    assert!(delay_s >= 0.0, "delay must be non-negative");
+    if delay_s == 0.0 {
+        return 0.0;
+    }
+    ((t_bulk_s - t_pipelined_s) / delay_s).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perceived_bandwidth_basics() {
+        // 1 MB in 40 µs = 25 GB/s.
+        let bw = perceived_bandwidth(1_000_000, 40e-6);
+        assert!((bw - 25e9).abs() < 1.0);
+        assert!((bandwidth_efficiency(1_000_000, 40e-6, 25e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perceived_bandwidth_degrades_with_overhead() {
+        let ideal = perceived_bandwidth(1 << 20, 42e-6);
+        let with_latency = perceived_bandwidth(1 << 20, 44e-6);
+        assert!(with_latency < ideal);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_rejected() {
+        let _ = perceived_bandwidth(1, 0.0);
+    }
+
+    #[test]
+    fn availability_bounds() {
+        let m = OverheadMetric {
+            cpu_in_mpi_s: 2e-6,
+            iteration_s: 10e-6,
+        };
+        assert!((m.availability() - 0.8).abs() < 1e-12);
+        let busy = OverheadMetric {
+            cpu_in_mpi_s: 10e-6,
+            iteration_s: 10e-6,
+        };
+        assert_eq!(busy.availability(), 0.0);
+    }
+
+    #[test]
+    fn early_bird_utilization_full_overlap() {
+        // Bulk = D + T, pipelined = T → the whole delay was hidden.
+        let d = 100e-6;
+        let t = 160e-6;
+        assert!((early_bird_utilization(t + d, t, d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_bird_utilization_partial_and_none() {
+        assert!((early_bird_utilization(200e-6, 150e-6, 100e-6) - 0.5).abs() < 1e-12);
+        assert_eq!(early_bird_utilization(200e-6, 210e-6, 100e-6), 0.0);
+        assert_eq!(early_bird_utilization(200e-6, 100e-6, 0.0), 0.0);
+    }
+
+    /// Consistency with the §2.2 gain model: full overlap at γβ ≥ Nθ−1.
+    #[test]
+    fn utilization_consistent_with_gain_model() {
+        use crate::gain::{t_bulk, t_pipelined};
+        let beta = 25e9;
+        let s = 4e6;
+        let n = 4u64;
+        let delay = 2.5 * s / beta; // γβ = 2.5 < N−1 = 3: full overlap
+        let tb = t_bulk(n, s, beta);
+        let tp = t_pipelined(n, s, beta, delay);
+        assert!((early_bird_utilization(tb, tp, delay) - 1.0).abs() < 1e-9);
+        // Oversized delay: only part of it can be hidden.
+        let big_delay = 5.0 * s / beta; // > (N−1)·S/β
+        let tp2 = t_pipelined(n, s, beta, big_delay);
+        let u = early_bird_utilization(tb, tp2, big_delay);
+        assert!(u < 1.0 && u > 0.5, "utilization {u}");
+    }
+}

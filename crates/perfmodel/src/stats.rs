@@ -1,0 +1,307 @@
+//! The paper's measurement protocol (§4, "Performance results").
+//!
+//! Each data point is the average of 150 iterations (after 1 warm-up),
+//! with a 90% confidence interval under a Student-t distribution. If the
+//! half-width of the interval exceeds 5% of the mean, the measurement is
+//! rerun, up to 50 times.
+
+/// Arithmetic mean. Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator). Zero for n < 2.
+pub fn sample_sd(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+}
+
+/// Two-sided 90% Student-t critical value `t_{0.95, df}`.
+///
+/// Table interpolated in `1/df` between tabulated points; exact at the
+/// tabulated dfs, within ~1e-3 elsewhere — ample for a benchmark CI.
+pub fn student_t_90(df: u64) -> f64 {
+    assert!(df >= 1, "degrees of freedom must be >= 1");
+    const TABLE: &[(u64, f64)] = &[
+        (1, 6.3138),
+        (2, 2.9200),
+        (3, 2.3534),
+        (4, 2.1318),
+        (5, 2.0150),
+        (6, 1.9432),
+        (7, 1.8946),
+        (8, 1.8595),
+        (9, 1.8331),
+        (10, 1.8125),
+        (12, 1.7823),
+        (15, 1.7531),
+        (20, 1.7247),
+        (25, 1.7081),
+        (30, 1.6973),
+        (40, 1.6839),
+        (60, 1.6706),
+        (120, 1.6577),
+    ];
+    const T_INF: f64 = 1.6449; // normal quantile z_{0.95}
+    if let Some(&(_, t)) = TABLE.iter().find(|&&(d, _)| d == df) {
+        return t;
+    }
+    if df > 120 {
+        // Interpolate between df=120 and infinity in 1/df.
+        let (d0, t0) = (120.0, 1.6577);
+        let w = (1.0 / df as f64) / (1.0 / d0);
+        return T_INF + w * (t0 - T_INF);
+    }
+    // Between two tabulated values, interpolate in 1/df.
+    let idx = TABLE.iter().position(|&(d, _)| d > df).unwrap();
+    let (d0, t0) = TABLE[idx - 1];
+    let (d1, t1) = TABLE[idx];
+    let x0 = 1.0 / d0 as f64;
+    let x1 = 1.0 / d1 as f64;
+    let x = 1.0 / df as f64;
+    t1 + (t0 - t1) * (x - x1) / (x0 - x1)
+}
+
+/// A mean with its symmetric confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the two-sided 90% interval.
+    pub halfwidth: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Compute the 90% Student-t interval of a sample.
+    pub fn of(xs: &[f64]) -> ConfidenceInterval {
+        let n = xs.len();
+        let m = mean(xs);
+        let hw = if n < 2 {
+            0.0
+        } else {
+            student_t_90((n - 1) as u64) * sample_sd(xs) / (n as f64).sqrt()
+        };
+        ConfidenceInterval {
+            mean: m,
+            halfwidth: hw,
+            n,
+        }
+    }
+
+    /// Relative half-width (`halfwidth / mean`); infinite if the mean is 0.
+    pub fn relative_halfwidth(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.halfwidth / self.mean).abs()
+        }
+    }
+}
+
+/// The paper's measurement protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Protocol {
+    /// Measured iterations per attempt (paper: 150).
+    pub iterations: usize,
+    /// Warm-up iterations discarded per attempt (paper: 1).
+    pub warmup: usize,
+    /// Maximum reruns when the interval is too wide (paper: 50).
+    pub max_retries: usize,
+    /// Accepted relative half-width (paper: 0.05).
+    pub rel_halfwidth: f64,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol {
+            iterations: 150,
+            warmup: 1,
+            max_retries: 50,
+            rel_halfwidth: 0.05,
+        }
+    }
+}
+
+/// Result of running the measurement protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureOutcome {
+    /// Final accepted (or last-attempt) interval.
+    pub ci: ConfidenceInterval,
+    /// Number of reruns performed (0 = first attempt accepted).
+    pub retries: usize,
+    /// Whether the relative half-width criterion was met.
+    pub converged: bool,
+}
+
+impl Protocol {
+    /// Run the protocol: `sample(iter_index)` returns one iteration's
+    /// measured time; warm-up iterations are invoked but discarded.
+    pub fn measure(&self, mut sample: impl FnMut(usize) -> f64) -> MeasureOutcome {
+        assert!(self.iterations >= 1, "need at least one iteration");
+        let mut retries = 0;
+        loop {
+            let mut xs = Vec::with_capacity(self.iterations);
+            for i in 0..(self.warmup + self.iterations) {
+                let x = sample(i);
+                if i >= self.warmup {
+                    xs.push(x);
+                }
+            }
+            let ci = ConfidenceInterval::of(&xs);
+            let converged = ci.relative_halfwidth() <= self.rel_halfwidth;
+            if converged || retries >= self.max_retries {
+                return MeasureOutcome {
+                    ci,
+                    retries,
+                    converged,
+                };
+            }
+            retries += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_sd_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        // Known sample sd of this classic dataset: sqrt(32/7).
+        assert!((sample_sd(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sd_of_singleton_is_zero() {
+        assert_eq!(sample_sd(&[3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_empty_panics() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    fn t_table_exact_points() {
+        assert_eq!(student_t_90(1), 6.3138);
+        assert_eq!(student_t_90(10), 1.8125);
+        assert_eq!(student_t_90(120), 1.6577);
+    }
+
+    #[test]
+    fn t_decreases_with_df() {
+        let mut prev = f64::INFINITY;
+        for df in 1..=300 {
+            let t = student_t_90(df);
+            assert!(t <= prev + 1e-12, "t({df}) = {t} > t({}) = {prev}", df - 1);
+            assert!(t >= 1.6449);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn t_149_matches_paper_protocol() {
+        // 150 iterations → df = 149; t ≈ 1.655.
+        let t = student_t_90(149);
+        assert!((t - 1.655).abs() < 3e-3, "t(149) = {t}");
+    }
+
+    #[test]
+    fn ci_of_constant_sample_has_zero_width() {
+        let ci = ConfidenceInterval::of(&[5.0; 100]);
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.halfwidth, 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        // Alternating values: same sd regardless of n, so hw ∝ t/√n.
+        let make = |n: usize| -> Vec<f64> { (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect() };
+        let small = ConfidenceInterval::of(&make(10));
+        let large = ConfidenceInterval::of(&make(1000));
+        assert!(large.halfwidth < small.halfwidth / 5.0);
+    }
+
+    #[test]
+    fn protocol_discards_warmup() {
+        // First call (warm-up) returns a huge outlier; the mean must not
+        // see it.
+        let p = Protocol {
+            iterations: 10,
+            warmup: 1,
+            max_retries: 0,
+            rel_halfwidth: 0.05,
+        };
+        let out = p.measure(|i| if i == 0 { 1e9 } else { 2.0 });
+        assert_eq!(out.ci.mean, 2.0);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn protocol_retries_until_quiet() {
+        // Attempt 0 noisy, attempt 1 quiet: one retry, converged.
+        let p = Protocol {
+            iterations: 50,
+            warmup: 0,
+            max_retries: 5,
+            rel_halfwidth: 0.05,
+        };
+        let mut call = 0usize;
+        let out = p.measure(|i| {
+            let attempt = call / 50;
+            call += 1;
+            if attempt == 0 {
+                if i % 2 == 0 {
+                    1.0
+                } else {
+                    100.0
+                }
+            } else {
+                10.0
+            }
+        });
+        assert_eq!(out.retries, 1);
+        assert!(out.converged);
+        assert_eq!(out.ci.mean, 10.0);
+    }
+
+    #[test]
+    fn protocol_gives_up_after_max_retries() {
+        let p = Protocol {
+            iterations: 10,
+            warmup: 0,
+            max_retries: 3,
+            rel_halfwidth: 0.0001,
+        };
+        let mut call = 0usize;
+        let out = p.measure(|_| {
+            call += 1;
+            if call.is_multiple_of(2) {
+                1.0
+            } else {
+                2.0
+            }
+        });
+        assert_eq!(out.retries, 3);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn paper_default_protocol() {
+        let p = Protocol::default();
+        assert_eq!(p.iterations, 150);
+        assert_eq!(p.warmup, 1);
+        assert_eq!(p.max_retries, 50);
+        assert_eq!(p.rel_halfwidth, 0.05);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic pseudo-random number generation for the `pcomm` workspace.
+//!
+//! The discrete-event simulator must be bit-reproducible across runs and
+//! platforms, so we implement the generators directly instead of pulling in
+//! an external RNG crate:
+//!
+//! * [`SplitMix64`] — used to expand a 64-bit seed into generator state.
+//! * [`Xoshiro256pp`] — the main generator (xoshiro256++ by Blackman and
+//!   Vigna), fast and with a 2^256 − 1 period.
+//! * [`Normal`] — Gaussian sampling via the Box–Muller transform, used for
+//!   the paper's compute-noise model `N(1, (ε+δ)/2)` (Appendix A, eq. 7).
+
+mod normal;
+mod splitmix;
+mod xoshiro;
+
+pub use normal::Normal;
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256pp;
+
+/// Convenience trait implemented by all generators in this crate.
+pub trait Rng64 {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; multiply by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (unbiased).
+    #[inline]
+    fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    fn next_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn next_bounded_respects_bound() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(rng.next_bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_bounded_one_is_zero() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(rng.next_bounded(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_bounded_zero_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        rng.next_bounded(0);
+    }
+
+    #[test]
+    fn next_bounded_small_bound_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[rng.next_bounded(4) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 each; allow 5% deviation.
+            assert!((9500..10500).contains(&c), "counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        Xoshiro256pp::seed_from_u64(5).shuffle(&mut a);
+        Xoshiro256pp::seed_from_u64(5).shuffle(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_f64_within_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.next_range_f64(-3.0, 7.5);
+            assert!((-3.0..7.5).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! The paper's Appendix A models per-partition compute time as
+//! `µ · S · N(1, (ε+δ)/2)` (eq. 7); this module provides the `N(mean, sd)`
+//! sampler used by `pcomm-workloads` and the simulator's noise injection.
+
+use crate::Rng64;
+
+/// A normal distribution `N(mean, sd)`.
+///
+/// Sampling uses Box–Muller, producing two variates per two uniforms; the
+/// spare variate is cached so consecutive calls cost one uniform on average.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Create a normal distribution. `sd` must be finite and non-negative.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd.is_finite() && sd >= 0.0, "sd must be finite and >= 0");
+        assert!(mean.is_finite(), "mean must be finite");
+        Self {
+            mean,
+            sd,
+            spare: None,
+        }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng64>(&mut self, rng: &mut R) -> f64 {
+        if self.sd == 0.0 {
+            return self.mean;
+        }
+        let z = if let Some(z) = self.spare.take() {
+            z
+        } else {
+            // Box–Muller: u1 in (0,1], u2 in [0,1).
+            let u1 = 1.0 - rng.next_f64();
+            let u2 = rng.next_f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        self.mean + self.sd * z
+    }
+
+    /// Draw one sample truncated below at `lo` (resample-free clamping).
+    ///
+    /// The paper's compute times must be non-negative even under noise; the
+    /// simulator clamps rather than resamples to keep the stream length
+    /// deterministic regardless of parameters.
+    pub fn sample_clamped_min<R: Rng64>(&mut self, rng: &mut R, lo: f64) -> f64 {
+        self.sample(rng).max(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256pp;
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let mut n = Normal::new(3.5, 0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn sample_mean_and_sd_converge() {
+        let mut n = Normal::new(10.0, 2.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let count = 200_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        assert!((mean - 10.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn roughly_symmetric_tails() {
+        let mut n = Normal::new(0.0, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let count = 100_000;
+        let above = (0..count).filter(|_| n.sample(&mut rng) > 0.0).count();
+        let frac = above as f64 / count as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac above mean: {frac}");
+    }
+
+    #[test]
+    fn clamped_never_below_floor() {
+        let mut n = Normal::new(0.0, 5.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(n.sample_clamped_min(&mut rng, 0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sd must be finite")]
+    fn negative_sd_rejected() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn within_five_sigma() {
+        let mut n = Normal::new(0.0, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for _ in 0..100_000 {
+            let x = n.sample(&mut rng);
+            assert!(x.abs() < 6.0, "implausible tail sample {x}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! xoshiro256++ — Blackman & Vigna's all-purpose 64-bit generator.
+//!
+//! Period 2^256 − 1; passes BigCrush. Public-domain reference:
+//! <https://prng.di.unimi.it/xoshiro256plusplus.c>.
+
+use crate::{Rng64, SplitMix64};
+
+/// xoshiro256++ generator. 256 bits of state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Create from full 256-bit state. The state must not be all zero.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+        Self { s }
+    }
+
+    /// Seed from a single 64-bit value by expanding through SplitMix64,
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 output of four consecutive words is never all-zero.
+        Self { s }
+    }
+
+    /// Derive an independent child generator (for per-entity RNG streams).
+    ///
+    /// Uses the current generator to seed a fresh one; statistically
+    /// independent enough for simulation noise streams.
+    pub fn split(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+
+    /// Equivalent to 2^128 calls to `next_u64`; used to generate
+    /// non-overlapping subsequences.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut t = [0u64; 4];
+        for &jump_word in &JUMP {
+            for b in 0..64 {
+                if jump_word & (1u64 << b) != 0 {
+                    for (ti, si) in t.iter_mut().zip(self.s.iter()) {
+                        *ti ^= si;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+}
+
+impl Rng64 for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First outputs for state {1,2,3,4}, cross-checked against the
+    /// reference C implementation.
+    #[test]
+    fn reference_vector_state_1234() {
+        let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        // result = rotl(s0 + s3, 23) + s0 = rotl(1+4,23)+1 = 5<<23 + 1
+        assert_eq!(rng.next_u64(), (5u64 << 23) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn all_zero_state_rejected() {
+        let _ = Xoshiro256pp::from_state([0; 4]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(99);
+        let mut b = Xoshiro256pp::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn jump_changes_sequence() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = a;
+        b.jump();
+        let collisions = (0..128).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut parent = Xoshiro256pp::seed_from_u64(17);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let collisions = (0..128).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

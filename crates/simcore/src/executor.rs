@@ -1,0 +1,591 @@
+//! The discrete-event executor.
+//!
+//! Simulated processes are plain Rust `Future`s driven by a single-threaded
+//! executor over virtual time. Blocking operations (`sleep`, barriers,
+//! channel receives, resource acquisition) register wakers that fire either
+//! immediately (state change) or at a scheduled virtual time (timers).
+//!
+//! Determinism: the run loop drains ready tasks in FIFO wake order, then
+//! advances the clock to the earliest timer; ties are broken by registration
+//! sequence number. No OS threads, no wall-clock time, no global state.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{Dur, SimTime};
+
+/// Identifier of a spawned task.
+pub type TaskId = u64;
+
+/// The cross-thread-safe part of the executor: the ready queue that wakers
+/// push into. Wakers must be `Send + Sync`, so this lives behind an `Arc`
+/// even though the executor itself is single-threaded.
+struct WakeQueue {
+    ready: Mutex<VecDeque<TaskId>>,
+}
+
+impl WakeQueue {
+    fn push(&self, id: TaskId) {
+        self.ready.lock().unwrap().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.ready.lock().unwrap().pop_front()
+    }
+}
+
+struct TaskWaker {
+    queue: Arc<WakeQueue>,
+    id: TaskId,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.push(self.id);
+    }
+}
+
+/// A timer entry; ordered by `(at, seq)` so simultaneous timers fire in
+/// registration order.
+struct Timer {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+type BoxedTask = Pin<Box<dyn Future<Output = ()>>>;
+
+struct Core {
+    now: SimTime,
+    timer_seq: u64,
+    timers: BinaryHeap<Reverse<Timer>>,
+    tasks: HashMap<TaskId, BoxedTask>,
+    next_task: TaskId,
+    events_processed: u64,
+    running: bool,
+}
+
+/// Outcome of [`Sim::try_run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of tasks that never completed (a nonzero value indicates a
+    /// deadlock: tasks waiting on conditions no other task can produce).
+    pub stuck_tasks: usize,
+    /// Virtual time when the run loop stopped.
+    pub finished_at: SimTime,
+    /// Total task polls performed.
+    pub polls: u64,
+}
+
+/// Handle to a discrete-event simulation.
+///
+/// Cheap to clone; all clones refer to the same simulation. Not `Send`:
+/// the executor and every simulated entity live on one thread.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+    wakes: Arc<WakeQueue>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create a new simulation at `t = 0` with no tasks.
+    pub fn new() -> Sim {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                timer_seq: 0,
+                timers: BinaryHeap::new(),
+                tasks: HashMap::new(),
+                next_task: 0,
+                events_processed: 0,
+                running: false,
+            })),
+            wakes: Arc::new(WakeQueue {
+                ready: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Number of tasks spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.borrow().tasks.len()
+    }
+
+    /// Total task polls performed so far.
+    pub fn polls(&self) -> u64 {
+        self.core.borrow().events_processed
+    }
+
+    /// Spawn a task. It will first be polled when the simulation runs.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            finished: false,
+            waiters: Vec::new(),
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let result = fut.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(result);
+            s.finished = true;
+            for w in s.waiters.drain(..) {
+                w.wake();
+            }
+        };
+        let id = {
+            let mut core = self.core.borrow_mut();
+            let id = core.next_task;
+            core.next_task += 1;
+            core.tasks.insert(id, Box::pin(wrapped));
+            id
+        };
+        self.wakes.push(id);
+        JoinHandle { state }
+    }
+
+    /// Future resolving after `d` of virtual time.
+    pub fn sleep(&self, d: Dur) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Future resolving at virtual time `at` (immediately if in the past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            at,
+            registered: false,
+        }
+    }
+
+    /// Future that yields once, letting other ready tasks run at the same
+    /// virtual time before this task continues.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { polled: false }
+    }
+
+    /// Register a waker to fire at virtual time `at`.
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) {
+        let mut core = self.core.borrow_mut();
+        assert!(
+            at >= core.now,
+            "timer registered in the past: {} < {}",
+            at,
+            core.now
+        );
+        let seq = core.timer_seq;
+        core.timer_seq += 1;
+        core.timers.push(Reverse(Timer { at, seq, waker }));
+    }
+
+    /// Run until no runnable work remains. Panics if tasks are left stuck
+    /// (deadlock); use [`Sim::try_run`] to inspect instead.
+    pub fn run(&self) {
+        let report = self.try_run();
+        assert_eq!(
+            report.stuck_tasks, 0,
+            "simulation deadlocked at {} with {} stuck task(s)",
+            report.finished_at, report.stuck_tasks
+        );
+    }
+
+    /// Run until no runnable work remains and report the outcome.
+    pub fn try_run(&self) -> RunReport {
+        {
+            let mut core = self.core.borrow_mut();
+            assert!(!core.running, "Sim::run is not reentrant");
+            core.running = true;
+        }
+        loop {
+            // Drain every ready task at the current virtual time.
+            while let Some(id) = self.wakes.pop() {
+                self.poll_task(id);
+            }
+            // Advance the clock to the earliest timer, if any.
+            let timer = self.core.borrow_mut().timers.pop();
+            match timer {
+                Some(Reverse(t)) => {
+                    self.core.borrow_mut().now = t.at;
+                    t.waker.wake();
+                }
+                None => break,
+            }
+        }
+        let mut core = self.core.borrow_mut();
+        core.running = false;
+        RunReport {
+            stuck_tasks: core.tasks.len(),
+            finished_at: core.now,
+            polls: core.events_processed,
+        }
+    }
+
+    /// Spawn `fut`, run the simulation to completion, and return its result.
+    ///
+    /// Must be called from outside the simulation (not from within a task).
+    pub fn block_on<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let handle = self.spawn(fut);
+        self.run();
+        handle
+            .try_take()
+            .expect("block_on: root task did not complete")
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // A stale waker may refer to a finished task; ignore it.
+        let Some(mut fut) = self.core.borrow_mut().tasks.remove(&id) else {
+            return;
+        };
+        self.core.borrow_mut().events_processed += 1;
+        let waker = Waker::from(Arc::new(TaskWaker {
+            queue: Arc::clone(&self.wakes),
+            id,
+        }));
+        let mut cx = Context::from_waker(&waker);
+        // The core borrow is NOT held here: the future may call spawn/now/
+        // sleep, which take their own short borrows.
+        if fut.as_mut().poll(&mut cx).is_pending() {
+            self.core.borrow_mut().tasks.insert(id, fut);
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    finished: bool,
+    waiters: Vec<Waker>,
+}
+
+/// Awaitable handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has completed.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+
+    /// Take the result if the task has completed (returns `None` before
+    /// completion or if the result was already taken).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if s.finished {
+            Poll::Ready(s.result.take().expect("JoinHandle result already taken"))
+        } else {
+            s.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    at: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.at {
+            Poll::Ready(())
+        } else if !self.registered {
+            let at = self.at;
+            self.sim.register_timer(at, cx.waker().clone());
+            self.registered = true;
+            Poll::Pending
+        } else {
+            // Spurious wake before the deadline; the timer is still armed
+            // and its waker targets this same task, so just wait.
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_sim_runs() {
+        let sim = Sim::new();
+        let report = sim.try_run();
+        assert_eq!(report.stuck_tasks, 0);
+        assert_eq!(report.finished_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn block_on_returns_value() {
+        let sim = Sim::new();
+        let v = sim.block_on(async { 42 });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(Dur::from_us(7)).await;
+            assert_eq!(s.now(), SimTime::ZERO + Dur::from_us(7));
+            s.sleep(Dur::from_ns(3)).await;
+            assert_eq!(s.now(), SimTime::ZERO + Dur::from_us(7) + Dur::from_ns(3));
+        });
+    }
+
+    #[test]
+    fn sleep_zero_completes() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            s.sleep(Dur::ZERO).await;
+            assert_eq!(s.now(), SimTime::ZERO);
+        });
+    }
+
+    #[test]
+    fn concurrent_sleeps_wall_time_is_max() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let a = sim.spawn({
+            let s = s.clone();
+            async move { s.sleep(Dur::from_us(10)).await }
+        });
+        let b = sim.spawn({
+            let s = s.clone();
+            async move { s.sleep(Dur::from_us(4)).await }
+        });
+        sim.run();
+        assert!(a.is_finished() && b.is_finished());
+        assert_eq!(sim.now(), SimTime::ZERO + Dur::from_us(10));
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..8 {
+            let s = sim.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(Dur::from_us(5)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_handle_awaits_result() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let result = sim.block_on(async move {
+            let h = s.spawn({
+                let s = s.clone();
+                async move {
+                    s.sleep(Dur::from_us(1)).await;
+                    "done"
+                }
+            });
+            h.await
+        });
+        assert_eq!(result, "done");
+    }
+
+    #[test]
+    fn join_handle_try_take_before_finish_is_none() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move { s.sleep(Dur::from_us(1)).await });
+        assert!(!h.is_finished());
+        assert!(h.try_take().is_none());
+        sim.run();
+        assert!(h.is_finished());
+        assert!(h.try_take().is_some());
+        assert!(h.try_take().is_none());
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let sim = Sim::new();
+        // A task that waits on a JoinHandle of a task that never finishes
+        // because it waits on a timerless pending future.
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        sim.spawn(Never);
+        let report = sim.try_run();
+        assert_eq!(report.stuck_tasks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn run_panics_on_deadlock() {
+        let sim = Sim::new();
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        sim.spawn(Never);
+        sim.run();
+    }
+
+    #[test]
+    fn yield_now_interleaves_same_time_tasks() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                log.borrow_mut().push(format!("{name}1"));
+                s.yield_now().await;
+                log.borrow_mut().push(format!("{name}2"));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn spawn_from_within_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = Rc::clone(&hit);
+        sim.block_on(async move {
+            let inner = s.spawn(async move {
+                hit2.set(true);
+                5
+            });
+            assert_eq!(inner.await, 5);
+        });
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn nested_sleeps_accumulate_deterministically() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            for _ in 0..100 {
+                s.sleep(Dur::from_ns(10)).await;
+            }
+            s.now()
+        });
+        assert_eq!(t, SimTime::ZERO + Dur::from_us(1));
+    }
+
+    #[test]
+    fn many_tasks_complete() {
+        let sim = Sim::new();
+        let counter = Rc::new(Cell::new(0u32));
+        for i in 0..1000 {
+            let s = sim.clone();
+            let c = Rc::clone(&counter);
+            sim.spawn(async move {
+                s.sleep(Dur::from_ns(i % 17)).await;
+                c.set(c.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(counter.get(), 1000);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_poll_counts() {
+        fn build_and_run() -> (u64, SimTime) {
+            let sim = Sim::new();
+            for i in 0..64u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(Dur::from_ns(i * 3 % 29)).await;
+                    s.yield_now().await;
+                    s.sleep(Dur::from_ns(i % 7)).await;
+                });
+            }
+            let report = sim.try_run();
+            (report.polls, report.finished_at)
+        }
+        assert_eq!(build_and_run(), build_and_run());
+    }
+}

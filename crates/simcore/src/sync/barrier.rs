@@ -1,0 +1,198 @@
+//! Reusable (cyclic) barrier for simulated thread teams.
+//!
+//! Models the OpenMP-style thread barriers in the paper's benchmark template
+//! (Fig. 3): a barrier after `start` and one before `wait`. The time cost of
+//! a barrier is *not* built in — the cost model charges it explicitly so it
+//! can be varied per machine configuration.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+/// A cyclic barrier for a fixed number of parties.
+#[derive(Clone)]
+pub struct Barrier {
+    state: Rc<RefCell<BarrierState>>,
+}
+
+/// Result of a barrier wait; the *leader* is the last task to arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierWaitResult {
+    /// True for exactly one waiter per barrier cycle (the last to arrive).
+    pub is_leader: bool,
+}
+
+impl Barrier {
+    /// Create a barrier for `parties` tasks. `parties` must be >= 1.
+    pub fn new(parties: usize) -> Barrier {
+        assert!(parties >= 1, "barrier needs at least one party");
+        Barrier {
+            state: Rc::new(RefCell::new(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Number of parties the barrier synchronizes.
+    pub fn parties(&self) -> usize {
+        self.state.borrow().parties
+    }
+
+    /// Wait for all parties to arrive.
+    pub fn wait(&self) -> BarrierWait {
+        BarrierWait {
+            state: Rc::clone(&self.state),
+            generation: None,
+        }
+    }
+}
+
+/// Future returned by [`Barrier::wait`].
+pub struct BarrierWait {
+    state: Rc<RefCell<BarrierState>>,
+    /// Generation this waiter arrived in (None until first poll).
+    generation: Option<u64>,
+}
+
+impl Future for BarrierWait {
+    type Output = BarrierWaitResult;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<BarrierWaitResult> {
+        let mut s = self.state.borrow_mut();
+        match self.generation {
+            None => {
+                // First poll: register arrival.
+                s.arrived += 1;
+                if s.arrived == s.parties {
+                    // Leader: release everyone and reset for the next cycle.
+                    s.arrived = 0;
+                    s.generation += 1;
+                    for w in s.waiters.drain(..) {
+                        w.wake();
+                    }
+                    Poll::Ready(BarrierWaitResult { is_leader: true })
+                } else {
+                    let gen = s.generation;
+                    drop(s);
+                    self.generation = Some(gen);
+                    self.state.borrow_mut().waiters.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+            Some(gen) => {
+                if s.generation != gen {
+                    Poll::Ready(BarrierWaitResult { is_leader: false })
+                } else {
+                    s.waiters.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dur, Sim};
+    use std::cell::Cell;
+
+    #[test]
+    fn single_party_passes_immediately() {
+        let sim = Sim::new();
+        let b = Barrier::new(1);
+        let r = sim.block_on(async move { b.wait().await });
+        assert!(r.is_leader);
+    }
+
+    #[test]
+    fn barrier_waits_for_slowest() {
+        let sim = Sim::new();
+        let b = Barrier::new(4);
+        let release_times = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4u64 {
+            let s = sim.clone();
+            let b = b.clone();
+            let rt = Rc::clone(&release_times);
+            sim.spawn(async move {
+                s.sleep(Dur::from_us(i * 10)).await;
+                b.wait().await;
+                rt.borrow_mut().push(s.now().as_us_f64());
+            });
+        }
+        sim.run();
+        // Everyone releases when the slowest (30us) arrives.
+        assert_eq!(*release_times.borrow(), vec![30.0; 4]);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_cycle() {
+        let sim = Sim::new();
+        let b = Barrier::new(8);
+        let leaders = Rc::new(Cell::new(0));
+        for i in 0..8u64 {
+            let s = sim.clone();
+            let b = b.clone();
+            let l = Rc::clone(&leaders);
+            sim.spawn(async move {
+                s.sleep(Dur::from_ns(i)).await;
+                let r = b.wait().await;
+                if r.is_leader {
+                    l.set(l.get() + 1);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(leaders.get(), 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_cycles() {
+        let sim = Sim::new();
+        let b = Barrier::new(3);
+        let laps = Rc::new(Cell::new(0u32));
+        for i in 0..3u64 {
+            let s = sim.clone();
+            let b = b.clone();
+            let laps = Rc::clone(&laps);
+            sim.spawn(async move {
+                for lap in 0..10u64 {
+                    s.sleep(Dur::from_ns((i + 1) * (lap + 1))).await;
+                    b.wait().await;
+                    laps.set(laps.get() + 1);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(laps.get(), 30);
+    }
+
+    #[test]
+    fn missing_party_deadlocks() {
+        let sim = Sim::new();
+        let b = Barrier::new(2);
+        sim.spawn(async move {
+            b.wait().await;
+        });
+        let report = sim.try_run();
+        assert_eq!(report.stuck_tasks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

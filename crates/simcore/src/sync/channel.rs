@@ -1,0 +1,249 @@
+//! Unbounded multi-producer single-consumer channel over virtual time.
+//!
+//! Used by the simulated MPI runtime to deliver network packets and control
+//! messages between rank processes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    recv_waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders have been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel closed: all senders dropped")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Create an unbounded mpsc channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChannelState {
+        queue: VecDeque::new(),
+        recv_waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: Rc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+/// Sending half; clonable.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChannelState<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.senders -= 1;
+        if s.senders == 0 {
+            if let Some(w) = s.recv_waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value (never blocks). Returns `false` if the receiver was
+    /// dropped (the value is discarded).
+    pub fn send(&self, value: T) -> bool {
+        let mut s = self.state.borrow_mut();
+        if !s.receiver_alive {
+            return false;
+        }
+        s.queue.push_back(value);
+        if let Some(w) = s.recv_waker.take() {
+            w.wake();
+        }
+        true
+    }
+}
+
+/// Receiving half; not clonable (single consumer).
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChannelState<T>>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Await the next value.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
+        let mut s = self.receiver.state.borrow_mut();
+        if let Some(v) = s.queue.pop_front() {
+            Poll::Ready(Ok(v))
+        } else if s.senders == 0 {
+            Poll::Ready(Err(RecvError))
+        } else {
+            s.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dur, Sim};
+
+    #[test]
+    fn send_then_recv() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        tx.send(5);
+        let v = sim.block_on(async move { rx.recv().await.unwrap() });
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn recv_waits_for_sender() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Dur::from_us(2)).await;
+            tx.send(9);
+        });
+        let s2 = sim.clone();
+        let got = sim.spawn(async move {
+            let v = rx.recv().await.unwrap();
+            (v, s2.now().as_us_f64())
+        });
+        sim.run();
+        assert_eq!(got.try_take().unwrap(), (9, 2.0));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        for i in 0..10 {
+            tx.send(i);
+        }
+        let all = sim.block_on(async move {
+            let mut v = Vec::new();
+            for _ in 0..10 {
+                v.push(rx.recv().await.unwrap());
+            }
+            v
+        });
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_when_all_senders_dropped() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        tx.send(1);
+        drop(tx);
+        let out = sim.block_on(async move {
+            let first = rx.recv().await;
+            let second = rx.recv().await;
+            (first, second)
+        });
+        assert_eq!(out.0, Ok(1));
+        assert_eq!(out.1, Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_senders_keep_channel_open() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Dur::from_us(1)).await;
+            tx2.send(7);
+            drop(tx2);
+        });
+        let got = sim.spawn(async move {
+            let a = rx.recv().await;
+            let b = rx.recv().await;
+            (a, b)
+        });
+        sim.run();
+        assert_eq!(got.try_take().unwrap(), (Ok(7), Err(RecvError)));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_false() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert!(!tx.send(3));
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let (tx, mut rx) = channel::<u32>();
+        assert!(rx.is_empty());
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), None);
+    }
+}

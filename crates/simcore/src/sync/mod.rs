@@ -1,0 +1,17 @@
+//! Synchronization primitives for simulated processes.
+//!
+//! All primitives operate on *virtual* time: "blocking" means the task
+//! suspends until another task changes the state; no OS synchronization is
+//! involved beyond the executor's single thread.
+
+mod barrier;
+mod channel;
+mod resource;
+mod semaphore;
+mod signal;
+
+pub use barrier::{Barrier, BarrierWaitResult};
+pub use channel::{channel, Receiver, RecvError, Sender};
+pub use resource::{Resource, ResourceGuard};
+pub use semaphore::{Semaphore, SemaphoreGuard};
+pub use signal::{wait_any, Signal, WaitAny};

@@ -1,0 +1,321 @@
+//! FIFO-fair counting semaphore.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct WaitEntry {
+    ticket: u64,
+    waker: Option<Waker>,
+}
+
+struct SemState {
+    permits: usize,
+    queue: VecDeque<WaitEntry>,
+    next_ticket: u64,
+}
+
+impl SemState {
+    fn wake_head(&mut self) {
+        if self.permits > 0 {
+            if let Some(head) = self.queue.front_mut() {
+                if let Some(w) = head.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+}
+
+/// A counting semaphore with strict FIFO grant order.
+///
+/// FIFO fairness matters for the simulator: grant order must be a
+/// deterministic function of request order, not of scheduler whim.
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                queue: VecDeque::new(),
+                next_ticket: 0,
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.state.borrow().permits
+    }
+
+    /// Number of tasks queued waiting for a permit.
+    pub fn waiting(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// Acquire one permit; resolves to a guard that releases on drop.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            state: Rc::clone(&self.state),
+            ticket: None,
+        }
+    }
+
+    /// Try to acquire a permit without waiting. Fails if none are free or
+    /// other tasks are already queued (to preserve FIFO order).
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard> {
+        let mut s = self.state.borrow_mut();
+        if s.permits > 0 && s.queue.is_empty() {
+            s.permits -= 1;
+            Some(SemaphoreGuard {
+                state: Rc::clone(&self.state),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    state: Rc<RefCell<SemState>>,
+    ticket: Option<u64>,
+}
+
+impl Future for Acquire {
+    type Output = SemaphoreGuard;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<SemaphoreGuard> {
+        let mut s = self.state.borrow_mut();
+        match self.ticket {
+            None => {
+                if s.permits > 0 && s.queue.is_empty() {
+                    s.permits -= 1;
+                    drop(s);
+                    return Poll::Ready(SemaphoreGuard {
+                        state: Rc::clone(&self.state),
+                    });
+                }
+                let ticket = s.next_ticket;
+                s.next_ticket += 1;
+                s.queue.push_back(WaitEntry {
+                    ticket,
+                    waker: Some(cx.waker().clone()),
+                });
+                drop(s);
+                self.ticket = Some(ticket);
+                Poll::Pending
+            }
+            Some(ticket) => {
+                let at_head = s.queue.front().map(|e| e.ticket) == Some(ticket);
+                if at_head && s.permits > 0 {
+                    s.permits -= 1;
+                    s.queue.pop_front();
+                    // A freed permit may allow the next waiter through too
+                    // (when permits > 1).
+                    s.wake_head();
+                    drop(s);
+                    self.ticket = None; // consumed; Drop must not dequeue
+                    Poll::Ready(SemaphoreGuard {
+                        state: Rc::clone(&self.state),
+                    })
+                } else {
+                    // Refresh the stored waker in case the task moved.
+                    if let Some(entry) = s.queue.iter_mut().find(|e| e.ticket == ticket) {
+                        entry.waker = Some(cx.waker().clone());
+                    }
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(ticket) = self.ticket {
+            // Cancelled while queued: remove our entry and, if we were at
+            // the head, let the next waiter proceed.
+            let mut s = self.state.borrow_mut();
+            let was_head = s.queue.front().map(|e| e.ticket) == Some(ticket);
+            s.queue.retain(|e| e.ticket != ticket);
+            if was_head {
+                s.wake_head();
+            }
+        }
+    }
+}
+
+/// Permit guard; releases its permit when dropped.
+pub struct SemaphoreGuard {
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.permits += 1;
+        s.wake_head();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dur, Sim};
+
+    #[test]
+    fn uncontended_acquire_is_immediate() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let sem2 = sem.clone();
+        sim.block_on(async move {
+            let _a = sem2.acquire().await;
+            let _b = sem2.acquire().await;
+            assert_eq!(sem2.available(), 0);
+        });
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn guard_drop_releases() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let sem2 = sem.clone();
+        sim.block_on(async move {
+            {
+                let _g = sem2.acquire().await;
+                assert_eq!(sem2.available(), 0);
+            }
+            assert_eq!(sem2.available(), 1);
+        });
+    }
+
+    #[test]
+    fn fifo_grant_order() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // Task 0 holds the permit for 10us; tasks 1..5 request in order at
+        // t = 1,2,3,4 us and must be granted in that order.
+        {
+            let s = sim.clone();
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                let g = sem.acquire().await;
+                order.borrow_mut().push(0);
+                s.sleep(Dur::from_us(10)).await;
+                drop(g);
+            });
+        }
+        for i in 1..5u64 {
+            let s = sim.clone();
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                s.sleep(Dur::from_us(i)).await;
+                let _g = sem.acquire().await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_acquire_respects_queue() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let sem2 = sem.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let _g = sem2.acquire().await;
+            s.sleep(Dur::from_us(5)).await;
+        });
+        let sem3 = sem.clone();
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(Dur::from_us(1)).await;
+            let _g = sem3.acquire().await;
+        });
+        let sem4 = sem.clone();
+        let s3 = sim.clone();
+        let probe = sim.spawn(async move {
+            s3.sleep(Dur::from_us(2)).await;
+            sem4.try_acquire().is_none()
+        });
+        sim.run();
+        assert!(probe.try_take().unwrap(), "try_acquire should fail while queued");
+    }
+
+    #[test]
+    fn serialization_time_adds_up() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        for _ in 0..8 {
+            let s = sim.clone();
+            let sem = sem.clone();
+            sim.spawn(async move {
+                let _g = sem.acquire().await;
+                s.sleep(Dur::from_us(3)).await;
+            });
+        }
+        sim.run();
+        assert_eq!(sim.now().as_us_f64(), 24.0);
+    }
+
+    #[test]
+    fn two_permits_halve_serialization() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        for _ in 0..8 {
+            let s = sim.clone();
+            let sem = sem.clone();
+            sim.spawn(async move {
+                let _g = sem.acquire().await;
+                s.sleep(Dur::from_us(3)).await;
+            });
+        }
+        sim.run();
+        assert_eq!(sim.now().as_us_f64(), 12.0);
+    }
+
+    #[test]
+    fn waiting_count_tracks_queue() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        let sem_probe = sem.clone();
+        {
+            let s = sim.clone();
+            let sem = sem.clone();
+            sim.spawn(async move {
+                let _g = sem.acquire().await;
+                s.sleep(Dur::from_us(10)).await;
+            });
+        }
+        for _ in 0..3 {
+            let sem = sem.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(Dur::from_us(1)).await;
+                let _g = sem.acquire().await;
+            });
+        }
+        let s = sim.clone();
+        let probe = sim.spawn(async move {
+            s.sleep(Dur::from_us(2)).await;
+            sem_probe.waiting()
+        });
+        sim.run();
+        assert_eq!(probe.try_take().unwrap(), 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! One-shot broadcast event.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct SignalState {
+    set: bool,
+    waiters: Vec<Waker>,
+}
+
+/// A one-shot event: any number of tasks can `wait()` until some task calls
+/// `set()`. Once set, it stays set and all current and future waiters
+/// resolve immediately.
+///
+/// This models completion flags such as "the CTS for this request arrived"
+/// or "partition *k* of the incoming message landed".
+#[derive(Clone)]
+pub struct Signal {
+    state: Rc<RefCell<SignalState>>,
+}
+
+impl std::fmt::Debug for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signal").field("set", &self.is_set()).finish()
+    }
+}
+
+impl Default for Signal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Signal {
+    /// Create an unset signal.
+    pub fn new() -> Signal {
+        Signal {
+            state: Rc::new(RefCell::new(SignalState {
+                set: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Whether the signal has been set.
+    pub fn is_set(&self) -> bool {
+        self.state.borrow().set
+    }
+
+    /// Set the signal, waking all waiters. Idempotent.
+    pub fn set(&self) {
+        let mut s = self.state.borrow_mut();
+        if s.set {
+            return;
+        }
+        s.set = true;
+        for w in s.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Wait until the signal is set.
+    pub fn wait(&self) -> SignalWait {
+        SignalWait {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// Wait until **any** of the given signals is set; resolves to the index
+/// of the first set signal (lowest index wins on ties).
+///
+/// The `MPI_Waitany` building block: consumers racing multiple
+/// partitioned arrivals use this instead of polling.
+pub fn wait_any(signals: Vec<Signal>) -> WaitAny {
+    assert!(!signals.is_empty(), "wait_any needs at least one signal");
+    WaitAny { signals }
+}
+
+/// Future returned by [`wait_any`].
+pub struct WaitAny {
+    signals: Vec<Signal>,
+}
+
+impl Future for WaitAny {
+    type Output = usize;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+        for (i, s) in self.signals.iter().enumerate() {
+            if s.is_set() {
+                return Poll::Ready(i);
+            }
+        }
+        for s in &self.signals {
+            s.state.borrow_mut().waiters.push(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Signal::wait`].
+pub struct SignalWait {
+    state: Rc<RefCell<SignalState>>,
+}
+
+impl Future for SignalWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.state.borrow_mut();
+        if s.set {
+            Poll::Ready(())
+        } else {
+            s.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dur, Sim};
+    use std::cell::Cell;
+
+    #[test]
+    fn set_before_wait_resolves_immediately() {
+        let sim = Sim::new();
+        let sig = Signal::new();
+        sig.set();
+        let sig2 = sig.clone();
+        sim.block_on(async move { sig2.wait().await });
+        assert!(sig.is_set());
+    }
+
+    #[test]
+    fn waiters_resume_on_set() {
+        let sim = Sim::new();
+        let sig = Signal::new();
+        let resumed = Rc::new(Cell::new(0));
+        for _ in 0..5 {
+            let sig = sig.clone();
+            let r = Rc::clone(&resumed);
+            sim.spawn(async move {
+                sig.wait().await;
+                r.set(r.get() + 1);
+            });
+        }
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Dur::from_us(3)).await;
+            sig.set();
+        });
+        sim.run();
+        assert_eq!(resumed.get(), 5);
+        assert_eq!(sim.now().as_us_f64(), 3.0);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let sig = Signal::new();
+        sig.set();
+        sig.set();
+        assert!(sig.is_set());
+    }
+
+    #[test]
+    fn wait_any_resolves_to_first_set() {
+        let sim = Sim::new();
+        let sigs: Vec<Signal> = (0..4).map(|_| Signal::new()).collect();
+        let winner = sim.spawn({
+            let sigs = sigs.clone();
+            async move { wait_any(sigs).await }
+        });
+        let s = sim.clone();
+        let sig2 = sigs[2].clone();
+        sim.spawn(async move {
+            s.sleep(Dur::from_us(5)).await;
+            sig2.set();
+        });
+        sim.run();
+        assert_eq!(winner.try_take().unwrap(), 2);
+    }
+
+    #[test]
+    fn wait_any_immediate_when_already_set() {
+        let sim = Sim::new();
+        let sigs: Vec<Signal> = (0..3).map(|_| Signal::new()).collect();
+        sigs[0].set();
+        sigs[2].set();
+        let winner = sim.block_on({
+            let sigs = sigs.clone();
+            async move { wait_any(sigs).await }
+        });
+        assert_eq!(winner, 0, "lowest set index wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one signal")]
+    fn wait_any_empty_rejected() {
+        // Construction itself panics; the future is never awaited.
+        drop(wait_any(Vec::new()));
+    }
+
+    #[test]
+    fn unset_signal_deadlocks_waiter() {
+        let sim = Sim::new();
+        let sig = Signal::new();
+        sim.spawn(async move { sig.wait().await });
+        let report = sim.try_run();
+        assert_eq!(report.stuck_tasks, 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Time is kept in integer **picoseconds** so that every event has an exact,
+//! platform-independent timestamp (25 GB/s is 40 ps/byte, so per-byte costs
+//! stay integral at realistic bandwidths). The `u64` range covers ~208 days
+//! of simulated time, far beyond any benchmark here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+const PS_PER_NS: u64 = 1_000;
+const PS_PER_US: u64 = 1_000_000;
+const PS_PER_MS: u64 = 1_000_000_000;
+const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// A span of virtual time (picosecond resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// From raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Dur {
+        Dur(ps)
+    }
+
+    /// From nanoseconds.
+    pub const fn from_ns(ns: u64) -> Dur {
+        Dur(ns * PS_PER_NS)
+    }
+
+    /// From microseconds.
+    pub const fn from_us(us: u64) -> Dur {
+        Dur(us * PS_PER_US)
+    }
+
+    /// From milliseconds.
+    pub const fn from_ms(ms: u64) -> Dur {
+        Dur(ms * PS_PER_MS)
+    }
+
+    /// From seconds.
+    pub const fn from_s(s: u64) -> Dur {
+        Dur(s * PS_PER_S)
+    }
+
+    /// From fractional seconds, rounded to the nearest picosecond.
+    /// Negative and non-finite inputs are clamped to zero.
+    pub fn from_secs_f64(s: f64) -> Dur {
+        if !s.is_finite() || s <= 0.0 {
+            return Dur::ZERO;
+        }
+        Dur((s * PS_PER_S as f64).round() as u64)
+    }
+
+    /// From fractional microseconds, rounded to the nearest picosecond.
+    pub fn from_us_f64(us: f64) -> Dur {
+        Dur::from_secs_f64(us * 1e-6)
+    }
+
+    /// From fractional nanoseconds, rounded to the nearest picosecond.
+    pub fn from_ns_f64(ns: f64) -> Dur {
+        Dur::from_secs_f64(ns * 1e-9)
+    }
+
+    /// Raw picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// As fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// As fractional nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Dur) -> Option<Dur> {
+        self.0.checked_add(rhs.0).map(Dur)
+    }
+
+    /// Scale by a non-negative float, rounding to the nearest picosecond.
+    pub fn mul_f64(self, k: f64) -> Dur {
+        assert!(k.is_finite() && k >= 0.0, "scale must be finite and >= 0");
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps < PS_PER_NS {
+            write!(f, "{ps}ps")
+        } else if ps < PS_PER_US {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else if ps < PS_PER_MS {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps < PS_PER_S {
+            write!(f, "{:.3}ms", self.as_secs_f64() * 1e3)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+/// An absolute point in virtual time (picoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From raw picoseconds since epoch.
+    pub const fn from_ps(ps: u64) -> SimTime {
+        SimTime(ps)
+    }
+
+    /// Raw picoseconds since epoch.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Microseconds since epoch.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Nanoseconds since epoch.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Elapsed duration since `earlier`. Panics if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> Dur {
+        assert!(
+            self.0 >= earlier.0,
+            "SimTime::since: earlier ({}) is after self ({})",
+            earlier.0,
+            self.0
+        );
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating elapsed duration since `earlier`.
+    pub fn saturating_since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Dur(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Dur::from_ns(1), Dur::from_ps(1_000));
+        assert_eq!(Dur::from_us(1), Dur::from_ns(1_000));
+        assert_eq!(Dur::from_ms(1), Dur::from_us(1_000));
+        assert_eq!(Dur::from_s(1), Dur::from_ms(1_000));
+    }
+
+    #[test]
+    fn secs_f64_roundtrip() {
+        let d = Dur::from_secs_f64(1.22e-6);
+        assert_eq!(d, Dur::from_ps(1_220_000));
+        assert!((d.as_secs_f64() - 1.22e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_nonpositive() {
+        assert_eq!(Dur::from_secs_f64(-1.0), Dur::ZERO);
+        assert_eq!(Dur::from_secs_f64(f64::NAN), Dur::ZERO);
+        assert_eq!(Dur::from_secs_f64(f64::NEG_INFINITY), Dur::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_cost_is_exact_at_25_gbs() {
+        // 25 GB/s = 40 ps per byte.
+        let per_byte = Dur::from_secs_f64(1.0 / 25e9);
+        assert_eq!(per_byte, Dur::from_ps(40));
+        assert_eq!(per_byte * 1_000_000, Dur::from_us(40));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Dur::from_us(3);
+        let b = Dur::from_us(1);
+        assert_eq!(a + b, Dur::from_us(4));
+        assert_eq!(a - b, Dur::from_us(2));
+        assert_eq!(a * 2, Dur::from_us(6));
+        assert_eq!(a / 3, Dur::from_us(1));
+        assert_eq!(b.saturating_sub(a), Dur::ZERO);
+        assert_eq!(a.mul_f64(0.5), Dur::from_ns(1500));
+    }
+
+    #[test]
+    fn simtime_unit_views_agree() {
+        let t = SimTime::ZERO + Dur::from_us(3);
+        assert_eq!(t.as_ns_f64(), 3000.0);
+        assert_eq!(t.as_us_f64(), 3.0);
+    }
+
+    #[test]
+    fn simtime_ordering_and_since() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + Dur::from_us(5);
+        assert!(t1 > t0);
+        assert_eq!(t1.since(t0), Dur::from_us(5));
+        assert_eq!(t0.saturating_since(t1), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn since_panics_when_reversed() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + Dur::from_ns(1);
+        let _ = t0.since(t1);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Dur::from_ps(500).to_string(), "500ps");
+        assert_eq!(Dur::from_ns(150).to_string(), "150.000ns");
+        assert_eq!(Dur::from_ns(1500).to_string(), "1.500us");
+        assert_eq!(Dur::from_us(2).to_string(), "2.000us");
+        assert_eq!(Dur::from_ms(3).to_string(), "3.000ms");
+        assert_eq!(Dur::from_s(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Dur = (1..=4u64).map(Dur::from_us).sum();
+        assert_eq!(total, Dur::from_us(10));
+    }
+}

@@ -1,0 +1,142 @@
+//! Communicators.
+
+use crate::world::{CtxKind, World};
+
+/// A simulated communicator handle, as seen from one rank.
+///
+/// Mirrors the MPI facts the paper's strategies depend on: a communicator
+/// carries an isolated matching context, and in MPICH distinct
+/// communicators map (round-robin) onto distinct VCIs, which is what makes
+/// `MPI_Comm_dup` the classic thread-contention workaround (§2.3.2).
+#[derive(Clone)]
+pub struct Comm {
+    world: World,
+    rank: usize,
+    size: usize,
+    ctx: u64,
+    vci_idx: usize,
+}
+
+impl Comm {
+    pub(crate) fn new(world: World, rank: usize, size: usize, ctx: u64, vci_idx: usize) -> Comm {
+        Comm {
+            world,
+            rank,
+            size,
+            ctx,
+            vci_idx,
+        }
+    }
+
+    /// This rank's id in the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The matching context id.
+    pub fn ctx(&self) -> u64 {
+        self.ctx
+    }
+
+    /// The VCI this communicator's traffic uses.
+    pub fn vci_idx(&self) -> usize {
+        self.vci_idx
+    }
+
+    /// The world this communicator lives in.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Duplicate the communicator (`MPI_Comm_dup`).
+    ///
+    /// Collective: every rank must call `dup` on its handle in the same
+    /// order so the derived context ids agree (as MPI requires). The new
+    /// communicator is assigned the next VCI round-robin.
+    pub fn dup(&self) -> Comm {
+        let ctx = self.world.alloc_child_ctx(self.rank, self.ctx, CtxKind::Dup);
+        let vci_idx = self.world.assign_vci(self.rank);
+        Comm {
+            world: self.world.clone(),
+            rank: self.rank,
+            size: self.size,
+            ctx,
+            vci_idx,
+        }
+    }
+
+    /// A clone of this communicator bound to a different VCI (used by the
+    /// improved partitioned path's round-robin message→VCI mapping).
+    pub(crate) fn with_vci(&self, vci_idx: usize) -> Comm {
+        Comm {
+            vci_idx,
+            ..self.clone()
+        }
+    }
+
+    /// Derive the internal context used by partitioned communication for a
+    /// given user tag (the "reserved tag space" of paper §3.2.1).
+    pub(crate) fn part_ctx(&self, tag: i64) -> u64 {
+        assert!((0..1 << 16).contains(&tag), "partitioned tag out of reserved space");
+        // Deterministic on both sides without a counter: kind=Part, idx=tag.
+        self.ctx * (1 << 18) + ((CtxKind::Part as u64) << 16) + tag as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcomm_netmodel::MachineConfig;
+    use pcomm_simcore::Sim;
+
+    #[test]
+    fn dup_changes_ctx_and_vci() {
+        let sim = Sim::new();
+        let world = World::new(&sim, MachineConfig::meluxina_quiet(), 2, 4, 0);
+        let c0 = world.comm_world(0);
+        let d1 = c0.dup();
+        let d2 = c0.dup();
+        assert_ne!(d1.ctx(), c0.ctx());
+        assert_ne!(d1.ctx(), d2.ctx());
+        assert_eq!(d1.vci_idx(), 1);
+        assert_eq!(d2.vci_idx(), 2);
+        assert_eq!(d1.rank(), 0);
+        assert_eq!(d1.size(), 2);
+    }
+
+    #[test]
+    fn symmetric_dup_order_agrees_across_ranks() {
+        let sim = Sim::new();
+        let world = World::new(&sim, MachineConfig::meluxina_quiet(), 2, 4, 0);
+        let s0 = world.comm_world(0).dup();
+        let s1 = world.comm_world(0).dup();
+        let r0 = world.comm_world(1).dup();
+        let r1 = world.comm_world(1).dup();
+        assert_eq!(s0.ctx(), r0.ctx());
+        assert_eq!(s1.ctx(), r1.ctx());
+    }
+
+    #[test]
+    fn part_ctx_is_deterministic_and_tag_scoped() {
+        let sim = Sim::new();
+        let world = World::new(&sim, MachineConfig::meluxina_quiet(), 2, 1, 0);
+        let c0 = world.comm_world(0);
+        let c1 = world.comm_world(1);
+        assert_eq!(c0.part_ctx(3), c1.part_ctx(3));
+        assert_ne!(c0.part_ctx(3), c0.part_ctx(4));
+        assert_ne!(c0.part_ctx(3), c0.ctx());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved space")]
+    fn part_ctx_rejects_huge_tags() {
+        let sim = Sim::new();
+        let world = World::new(&sim, MachineConfig::meluxina_quiet(), 2, 1, 0);
+        let _ = world.comm_world(0).part_ctx(1 << 20);
+    }
+}

@@ -1,0 +1,43 @@
+//! `pcomm-simmpi` — a simulated MPI runtime over the `pcomm` discrete-event
+//! simulator.
+//!
+//! This crate reproduces, in simulation, the communication machinery that
+//! the paper benchmarks on MeluXina:
+//!
+//! * tag-matched point-to-point with persistent requests ([`p2p`]),
+//!   including UCX-like short / eager-bcopy / rendezvous-zcopy protocol
+//!   switching;
+//! * one-sided windows with active and passive synchronization ([`rma`]);
+//! * MPI-4 partitioned communication ([`part`]) in both the legacy
+//!   active-message single-message path and the paper's improved
+//!   tag-matched multi-message path with gcd message-count negotiation,
+//!   message aggregation (`MPIR_CVAR_PART_AGGR_SIZE` analogue) and
+//!   round-robin partition→VCI mapping;
+//! * the eight pipelined-communication strategies of the paper's
+//!   Tables 1–2 ([`strategies`]) and the Fig. 3 benchmark template
+//!   ([`scenario`]).
+//!
+//! Simulated MPI ranks are async tasks; OpenMP threads within a rank are
+//! nested tasks. All timing comes from [`pcomm_netmodel::MachineConfig`].
+
+#![warn(missing_docs)]
+
+mod comm;
+pub mod p2p;
+pub mod part;
+pub mod rma;
+pub mod scenario;
+pub mod strategies;
+mod tag;
+mod world;
+
+pub use comm::Comm;
+pub use tag::{Delivered, MatchEngine};
+pub use world::{TraceRecord, World};
+
+/// Internal tag used for clear-to-send control messages.
+pub(crate) const TAG_CTS: i64 = -1;
+/// Internal tag used for active-target "post" notifications.
+pub(crate) const TAG_POST: i64 = -2;
+/// Internal tag used for active-target "complete" notifications.
+pub(crate) const TAG_COMPLETE: i64 = -3;

@@ -1,0 +1,1249 @@
+//! MPI-4 partitioned communication (paper §3).
+//!
+//! Two implementations are provided, mirroring MPICH before and after the
+//! paper's improvements:
+//!
+//! * [`PartPath::LegacyAm`] — the original active-message path: one atomic
+//!   counter set to `N_part + 1`; a CTS from the receiver is required every
+//!   iteration; once all partitions are ready *and* the CTS arrived, the
+//!   whole buffer is sent as a single AM message, paying copy overhead at
+//!   both ends and forfeiting the early-bird effect (§3.1).
+//! * [`PartPath::Improved`] — the paper's contribution (§3.2): the
+//!   receiver decides a message count `gcd(N_send, N_recv)`, aggregates
+//!   consecutive messages under `MPIR_CVAR_PART_AGGR_SIZE`
+//!   ([`PartOptions::aggr_size`]), and each message is sent over the
+//!   tag-matching path as soon as its last contributing partition is
+//!   readied — by the readying thread itself (early-bird), on a VCI chosen
+//!   round-robin by message index (§3.2.2).
+//!
+//! If more partitioned requests are created towards one receiver than the
+//! reserved tag space allows, the implementation falls back to the AM path
+//! (§3.2.1); see [`MAX_PART_REQUESTS_PER_PEER`].
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use pcomm_simcore::sync::Signal;
+
+use crate::comm::Comm;
+use crate::p2p::{Msg, RecvRequest, SendRequest};
+use crate::tag::Posted;
+use crate::world::World;
+use crate::TAG_CTS;
+
+/// Internal tag for the legacy path's single AM data message.
+const TAG_AM_DATA: i64 = -4;
+
+/// Reserved tag space: partitioned requests per (sender, receiver) pair
+/// beyond this fall back to the AM path (paper §3.2.1).
+pub const MAX_PART_REQUESTS_PER_PEER: usize = 64;
+
+/// Which implementation path a partitioned request uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartPath {
+    /// Original MPICH single-message active-message path.
+    LegacyAm,
+    /// Improved multi-message tag-matched path (this paper).
+    Improved,
+}
+
+/// How internal messages are attributed to VCIs.
+#[derive(Debug, Clone, Default)]
+pub enum VciMapping {
+    /// The paper's default: message index modulo the VCI count — the
+    /// "round-robin attribution of threads to partitions" assumption that
+    /// §3.2.2 calls inflexible and likely to break for θ > 1.
+    #[default]
+    RoundRobinByMessage,
+    /// MPIX_Stream-style thread hint (the paper's future-work fix, §5):
+    /// `hint[p]` is the thread that owns partition `p`; a message is sent
+    /// on its owning thread's VCI, guaranteeing conflict-free access for
+    /// any user partition→thread assignment.
+    ThreadHint(std::rc::Rc<Vec<usize>>),
+}
+
+/// User-controllable options for a partitioned request.
+#[derive(Debug, Clone)]
+pub struct PartOptions {
+    /// Upper bound in bytes for message aggregation
+    /// (`MPIR_CVAR_PART_AGGR_SIZE`); `None` disables aggregation.
+    pub aggr_size: Option<usize>,
+    /// Implementation path.
+    pub path: PartPath,
+    /// Message→VCI attribution (improved path only).
+    pub vci_mapping: VciMapping,
+    /// Ablation switch: defer all sends to `wait()` instead of issuing
+    /// them from `pready` (disables the early-bird effect).
+    pub defer_sends: bool,
+    /// Model the first-iteration clear-to-send the receiver-decided
+    /// protocol requires (paper §3.2.1; the paper's future work removes
+    /// it). On by default, as in the paper's implementation.
+    pub first_iteration_cts: bool,
+}
+
+impl Default for PartOptions {
+    fn default() -> Self {
+        PartOptions {
+            aggr_size: None,
+            path: PartPath::Improved,
+            vci_mapping: VciMapping::default(),
+            defer_sends: false,
+            first_iteration_cts: true,
+        }
+    }
+}
+
+/// One internal message of the improved path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgSpec {
+    /// First sender partition contributing to this message.
+    pub first_spart: usize,
+    /// Number of sender partitions contributing.
+    pub n_sparts: usize,
+    /// First receiver partition covered.
+    pub first_rpart: usize,
+    /// Number of receiver partitions covered.
+    pub n_rparts: usize,
+    /// Message payload in bytes.
+    pub bytes: usize,
+}
+
+/// The negotiated partition→message mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgLayout {
+    /// Messages in buffer order.
+    pub msgs: Vec<MsgSpec>,
+}
+
+impl MsgLayout {
+    /// Index of the message a *sender* partition contributes to.
+    pub fn msg_of_spart(&self, p: usize) -> usize {
+        self.msgs
+            .iter()
+            .position(|m| p >= m.first_spart && p < m.first_spart + m.n_sparts)
+            .expect("sender partition out of range")
+    }
+
+    /// Index of the message covering a *receiver* partition.
+    pub fn msg_of_rpart(&self, p: usize) -> usize {
+        self.msgs
+            .iter()
+            .position(|m| p >= m.first_rpart && p < m.first_rpart + m.n_rparts)
+            .expect("receiver partition out of range")
+    }
+
+    /// Number of messages.
+    pub fn n_msgs(&self) -> usize {
+        self.msgs.len()
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Receiver-side layout decision (paper §3.2.1): the base message count is
+/// `gcd(N_send, N_recv)` — guaranteeing every partition contributes to a
+/// single message — then consecutive base messages are aggregated while
+/// their combined size stays within `aggr_size`.
+pub fn negotiate_layout(
+    n_send: usize,
+    n_recv: usize,
+    send_part_bytes: usize,
+    aggr_size: Option<usize>,
+) -> MsgLayout {
+    assert!(n_send >= 1 && n_recv >= 1, "partition counts must be >= 1");
+    let g = gcd(n_send, n_recv);
+    let sparts_per_msg = n_send / g;
+    let rparts_per_msg = n_recv / g;
+    let bytes_per_msg = sparts_per_msg * send_part_bytes;
+    let mut msgs: Vec<MsgSpec> = Vec::with_capacity(g);
+    for i in 0..g {
+        let spec = MsgSpec {
+            first_spart: i * sparts_per_msg,
+            n_sparts: sparts_per_msg,
+            first_rpart: i * rparts_per_msg,
+            n_rparts: rparts_per_msg,
+            bytes: bytes_per_msg,
+        };
+        match (aggr_size, msgs.last_mut()) {
+            (Some(limit), Some(prev)) if prev.bytes + spec.bytes <= limit => {
+                prev.n_sparts += spec.n_sparts;
+                prev.n_rparts += spec.n_rparts;
+                prev.bytes += spec.bytes;
+            }
+            _ => msgs.push(spec),
+        }
+    }
+    MsgLayout { msgs }
+}
+
+struct PsendShared {
+    world: World,
+    /// Internal communicator on the partitioned context; `vci_idx` is
+    /// re-chosen per message for the round-robin VCI mapping.
+    comm: Comm,
+    dst: usize,
+    n_parts: usize,
+    part_bytes: usize,
+    layout: MsgLayout,
+    path: PartPath,
+    vci_mapping: VciMapping,
+    defer_sends: bool,
+    first_iteration_cts: bool,
+    /// True until the first start() consumed the initial CTS.
+    first_iteration: Cell<bool>,
+    /// Improved: per-message remaining-partition counters.
+    counters: Vec<Cell<i64>>,
+    /// Improved: fired when message *m* has been injected.
+    issued: RefCell<Vec<Signal>>,
+    sent_reqs: RefCell<Vec<Option<SendRequest>>>,
+    /// Legacy: single counter (`N_part + 1` per §3.1).
+    am_counter: Cell<i64>,
+    /// Legacy: fired when the single AM message has been injected.
+    am_issued: RefCell<Signal>,
+    /// Threads concurrently inside `pready` (atomic-contention model).
+    /// Scoped per request, not per message: a request's counters are
+    /// allocated contiguously (as in MPICH), so concurrent updates to any
+    /// of them contend via false sharing.
+    concurrent_preadys: Cell<usize>,
+    started: Cell<bool>,
+}
+
+/// Sender-side partitioned request (`MPI_Psend_init`). Cheap to clone;
+/// clones are handed to the worker threads that call
+/// [`PsendRequest::pready`].
+#[derive(Clone)]
+pub struct PsendRequest {
+    inner: Rc<PsendShared>,
+}
+
+/// Create a sender-side partitioned request.
+///
+/// `n_recv_parts` is the receiver's partition count (agreed during the
+/// init handshake); the layout is derived deterministically on both sides.
+pub fn psend_init(
+    comm: &Comm,
+    dst: usize,
+    tag: i64,
+    n_parts: usize,
+    part_bytes: usize,
+    n_recv_parts: usize,
+    opts: PartOptions,
+) -> PsendRequest {
+    assert!(n_parts >= 1, "need at least one partition");
+    if let VciMapping::ThreadHint(hint) = &opts.vci_mapping {
+        assert_eq!(hint.len(), n_parts, "thread hint must cover every partition");
+    }
+    let world = comm.world().clone();
+    let path = effective_path(&world, comm.rank(), dst, opts.path);
+    let layout = negotiate_layout(n_parts, n_recv_parts, part_bytes, opts.aggr_size);
+    let part_comm = Comm::new(
+        world.clone(),
+        comm.rank(),
+        comm.size(),
+        comm.part_ctx(tag),
+        comm.vci_idx(),
+    );
+    let n_msgs = layout.n_msgs();
+    PsendRequest {
+        inner: Rc::new(PsendShared {
+            world,
+            comm: part_comm,
+            dst,
+            n_parts,
+            part_bytes,
+            layout,
+            path,
+            vci_mapping: opts.vci_mapping.clone(),
+            defer_sends: opts.defer_sends,
+            first_iteration_cts: opts.first_iteration_cts,
+            first_iteration: Cell::new(true),
+            counters: (0..n_msgs).map(|_| Cell::new(0)).collect(),
+            issued: RefCell::new(vec![Signal::new(); n_msgs]),
+            sent_reqs: RefCell::new((0..n_msgs).map(|_| None).collect()),
+            am_counter: Cell::new(0),
+            am_issued: RefCell::new(Signal::new()),
+            concurrent_preadys: Cell::new(0),
+            started: Cell::new(false),
+        }),
+    }
+}
+
+/// Track partitioned-request pressure per peer and decide the actual path
+/// (tag-space exhaustion forces the AM path, §3.2.1).
+fn effective_path(world: &World, src: usize, dst: usize, requested: PartPath) -> PartPath {
+    let created = world.count_part_request(src, dst);
+    if requested == PartPath::Improved && created >= MAX_PART_REQUESTS_PER_PEER {
+        PartPath::LegacyAm
+    } else {
+        requested
+    }
+}
+
+impl PsendRequest {
+    /// Number of internal messages the layout produced.
+    pub fn n_msgs(&self) -> usize {
+        self.inner.layout.n_msgs()
+    }
+
+    /// The negotiated layout (inspection/testing).
+    pub fn layout(&self) -> &MsgLayout {
+        &self.inner.layout
+    }
+
+    /// The path actually in use (may differ from the requested one if the
+    /// reserved tag space was exhausted).
+    pub fn path(&self) -> PartPath {
+        self.inner.path
+    }
+
+    /// `MPI_Start`: reset counters and arm the iteration. Charges the
+    /// per-message request-setup cost serially (master thread).
+    pub async fn start(&self) {
+        let s = &self.inner;
+        assert!(!s.started.get(), "partitioned send started twice");
+        s.started.set(true);
+        let cfg = s.world.config().clone();
+        match s.path {
+            PartPath::Improved => {
+                if s.first_iteration.replace(false) && s.first_iteration_cts {
+                    // Receiver-decided message count (§3.2.1): the first
+                    // iteration cannot send before the receiver's CTS
+                    // announced the agreed count.
+                    s.comm.recv(Some(s.dst), Some(TAG_CTS)).await;
+                }
+                for (m, spec) in s.layout.msgs.iter().enumerate() {
+                    s.world.sim().sleep(s.world.jitter(cfg.o_request_setup)).await;
+                    s.counters[m].set(spec.n_sparts as i64);
+                }
+                let n = s.layout.n_msgs();
+                *s.issued.borrow_mut() = vec![Signal::new(); n];
+                *s.sent_reqs.borrow_mut() = (0..n).map(|_| None).collect();
+            }
+            PartPath::LegacyAm => {
+                s.world.sim().sleep(s.world.jitter(cfg.o_request_setup)).await;
+                // N_part + 1: the extra decrement comes from the CTS.
+                s.am_counter.set(s.n_parts as i64 + 1);
+                *s.am_issued.borrow_mut() = Signal::new();
+                // Watch for the receiver's CTS of this iteration.
+                let req = s.comm.irecv(Some(s.dst), Some(TAG_CTS)).await;
+                let this = self.clone();
+                s.world.sim().spawn(async move {
+                    req.wait().await;
+                    this.am_decrement().await;
+                });
+            }
+        }
+    }
+
+    /// `MPI_Pready(p)`: mark partition `p` ready. Called from worker
+    /// threads; charges the (possibly contended) atomic update and, if
+    /// this was the last partition of a message, injects that message from
+    /// the calling thread — the early-bird effect.
+    pub async fn pready(&self, p: usize) {
+        let s = &self.inner;
+        assert!(s.started.get(), "pready before start");
+        assert!(p < s.n_parts, "partition index out of range");
+        // Atomic counter update under contention.
+        let conc = s.concurrent_preadys.get();
+        s.concurrent_preadys.set(conc + 1);
+        let cost = s.world.jitter(s.world.config().atomic_cost(conc));
+        s.world.sim().sleep(cost).await;
+        s.concurrent_preadys.set(s.concurrent_preadys.get() - 1);
+        s.world
+            .trace(s.comm.rank(), || format!("pready partition {p}"));
+        match s.path {
+            PartPath::Improved => {
+                let m = s.layout.msg_of_spart(p);
+                let left = s.counters[m].get() - 1;
+                s.counters[m].set(left);
+                assert!(left >= 0, "partition {p} readied twice");
+                if left == 0 && !s.defer_sends {
+                    s.world
+                        .trace(s.comm.rank(), || format!("message {m} complete: early-bird send"));
+                    self.issue_message(m).await;
+                }
+            }
+            PartPath::LegacyAm => self.am_decrement().await,
+        }
+    }
+
+    /// `MPI_Pready_range`: mark partitions `lo..=hi` ready, in order.
+    pub async fn pready_range(&self, lo: usize, hi: usize) {
+        assert!(lo <= hi, "empty or inverted range");
+        for p in lo..=hi {
+            self.pready(p).await;
+        }
+    }
+
+    /// `MPI_Pready_list`: mark the listed partitions ready, in order.
+    pub async fn pready_list(&self, parts: &[usize]) {
+        for &p in parts {
+            self.pready(p).await;
+        }
+    }
+
+    /// Improved path: inject message `m` on its round-robin VCI.
+    async fn issue_message(&self, m: usize) {
+        let s = &self.inner;
+        let spec = s.layout.msgs[m];
+        let vci_idx = match &s.vci_mapping {
+            // Round-robin message → VCI attribution (§3.2.2).
+            VciMapping::RoundRobinByMessage => m % s.world.n_vcis(),
+            // Stream hint: the owning thread's VCI.
+            VciMapping::ThreadHint(hint) => hint[spec.first_spart] % s.world.n_vcis(),
+        };
+        let comm = s.comm.with_vci(vci_idx);
+        let req = comm.isend(s.dst, m as i64, Msg::synthetic(spec.bytes)).await;
+        s.sent_reqs.borrow_mut()[m] = Some(req);
+        s.issued.borrow()[m].set();
+    }
+
+    /// Legacy path: decrement the single counter; on zero, send the whole
+    /// buffer as one AM message (copy at both ends).
+    async fn am_decrement(&self) {
+        let s = &self.inner;
+        let left = s.am_counter.get() - 1;
+        s.am_counter.set(left);
+        if left == 0 {
+            let total = s.n_parts * s.part_bytes;
+            let cfg = s.world.config().clone();
+            {
+                let vci = s.world.vci(s.comm.rank(), s.comm.vci_idx());
+                let guard = vci.acquire().await;
+                let penalty = cfg.contention_penalty(guard.waiters_behind());
+                let occupancy =
+                    s.world.jitter(cfg.o_am + cfg.copy_time(total)) + penalty;
+                s.world.sim().sleep(occupancy).await;
+            }
+            s.world.transmit(
+                s.comm.rank(),
+                s.dst,
+                crate::tag::Delivered {
+                    src: s.comm.rank(),
+                    ctx: s.comm.ctx(),
+                    tag: TAG_AM_DATA,
+                    bytes: total,
+                    data: None,
+                    meta: 0,
+                    rendezvous: None,
+                },
+            );
+            s.am_issued.borrow().set();
+        }
+    }
+
+    /// `MPI_Wait`: complete the iteration (master thread). Blocks until
+    /// every message has been injected and locally completed.
+    pub async fn wait(&self) {
+        let s = &self.inner;
+        assert!(s.started.get(), "wait before start");
+        match s.path {
+            PartPath::Improved => {
+                if s.defer_sends {
+                    for m in 0..s.layout.n_msgs() {
+                        assert_eq!(
+                            s.counters[m].get(),
+                            0,
+                            "deferred wait requires all partitions ready"
+                        );
+                        self.issue_message(m).await;
+                    }
+                }
+                for m in 0..s.layout.n_msgs() {
+                    let sig = s.issued.borrow()[m].clone();
+                    sig.wait().await;
+                    let req = s.sent_reqs.borrow_mut()[m]
+                        .take()
+                        .expect("issued message must have a request");
+                    req.wait().await;
+                }
+            }
+            PartPath::LegacyAm => {
+                let sig = s.am_issued.borrow().clone();
+                sig.wait().await;
+                let cost = s.world.jitter(s.world.config().o_request_complete);
+                s.world.sim().sleep(cost).await;
+            }
+        }
+        s.started.set(false);
+    }
+}
+
+struct PrecvShared {
+    world: World,
+    comm: Comm,
+    src: usize,
+    n_parts: usize,
+    total_bytes: usize,
+    layout: MsgLayout,
+    path: PartPath,
+    first_iteration_cts: bool,
+    first_iteration: Cell<bool>,
+    reqs: RefCell<Vec<Option<RecvRequest>>>,
+    arrived: RefCell<Vec<Signal>>,
+    /// Legacy: completion of the single AM message.
+    am_ready: RefCell<Signal>,
+    started: Cell<bool>,
+    completed_once: Cell<bool>,
+}
+
+/// Receiver-side partitioned request (`MPI_Precv_init`).
+#[derive(Clone)]
+pub struct PrecvRequest {
+    inner: Rc<PrecvShared>,
+}
+
+/// Create a receiver-side partitioned request. `n_send_parts` /
+/// `send_part_bytes` describe the sender side (agreed at init).
+pub fn precv_init(
+    comm: &Comm,
+    src: usize,
+    tag: i64,
+    n_parts: usize,
+    n_send_parts: usize,
+    send_part_bytes: usize,
+    opts: PartOptions,
+) -> PrecvRequest {
+    assert!(n_parts >= 1, "need at least one partition");
+    let world = comm.world().clone();
+    let path = effective_path(&world, src, comm.rank(), opts.path);
+    let layout = negotiate_layout(n_send_parts, n_parts, send_part_bytes, opts.aggr_size);
+    let part_comm = Comm::new(
+        world.clone(),
+        comm.rank(),
+        comm.size(),
+        comm.part_ctx(tag),
+        comm.vci_idx(),
+    );
+    let n_msgs = layout.n_msgs();
+    PrecvRequest {
+        inner: Rc::new(PrecvShared {
+            world,
+            comm: part_comm,
+            src,
+            n_parts,
+            total_bytes: n_send_parts * send_part_bytes,
+            layout,
+            path,
+            first_iteration_cts: opts.first_iteration_cts,
+            first_iteration: Cell::new(true),
+            reqs: RefCell::new((0..n_msgs).map(|_| None).collect()),
+            arrived: RefCell::new(vec![Signal::new(); n_msgs]),
+            am_ready: RefCell::new(Signal::new()),
+            started: Cell::new(false),
+            completed_once: Cell::new(false),
+        }),
+    }
+}
+
+impl PrecvRequest {
+    /// Number of internal messages.
+    pub fn n_msgs(&self) -> usize {
+        self.inner.layout.n_msgs()
+    }
+
+    /// The path actually in use.
+    pub fn path(&self) -> PartPath {
+        self.inner.path
+    }
+
+    /// `MPI_Start`: post the internal receives (improved) or send the CTS
+    /// and post the AM receive (legacy).
+    pub async fn start(&self) {
+        let s = &self.inner;
+        assert!(!s.started.get(), "partitioned recv started twice");
+        s.started.set(true);
+        match s.path {
+            PartPath::Improved => {
+                if s.first_iteration.replace(false) && s.first_iteration_cts {
+                    // Announce the receiver-decided message count (§3.2.1).
+                    s.comm
+                        .send(s.src, TAG_CTS, Msg::ctrl(s.layout.n_msgs() as u64))
+                        .await;
+                }
+                let n = s.layout.n_msgs();
+                *s.arrived.borrow_mut() = vec![Signal::new(); n];
+                for m in 0..n {
+                    let req = s.comm.irecv(Some(s.src), Some(m as i64)).await;
+                    // Bridge the request's readiness to the arrived signal
+                    // so Parrived can poll without consuming the request.
+                    s.reqs.borrow_mut()[m] = Some(req);
+                }
+            }
+            PartPath::LegacyAm => {
+                // CTS to the sender: mandatory every iteration (§3.1).
+                let cost = s.world.jitter(s.world.config().o_ctrl);
+                s.world.sim().sleep(cost).await;
+                s.world.transmit_ctrl(
+                    s.comm.rank(),
+                    s.src,
+                    crate::tag::Delivered {
+                        src: s.comm.rank(),
+                        ctx: s.comm.ctx(),
+                        tag: TAG_CTS,
+                        bytes: 0,
+                        data: None,
+                        meta: 0,
+                        rendezvous: None,
+                    },
+                );
+                // Post the receive for the single AM data message.
+                let ready = Signal::new();
+                let posted = Posted {
+                    ctx: s.comm.ctx(),
+                    src: Some(s.src),
+                    tag: Some(TAG_AM_DATA),
+                    slot: Rc::new(RefCell::new(None)),
+                    ready: ready.clone(),
+                };
+                let engine = s.world.engine(s.comm.rank());
+                if let Some(matched) = engine.post(posted) {
+                    s.world.finalize_match(s.comm.rank(), matched);
+                }
+                *s.am_ready.borrow_mut() = ready;
+            }
+        }
+    }
+
+    /// `MPI_Parrived(p)`: has receiver partition `p` arrived?
+    ///
+    /// In the improved path this tests the internal message covering the
+    /// partition; in the legacy path the whole buffer arrives at once.
+    pub fn parrived(&self, p: usize) -> bool {
+        let s = &self.inner;
+        assert!(p < s.n_parts, "partition index out of range");
+        match s.path {
+            PartPath::Improved => {
+                let m = s.layout.msg_of_rpart(p);
+                // A consumed request means wait() completed the iteration.
+                s.reqs.borrow()[m]
+                    .as_ref()
+                    .map(|r| r.test())
+                    .unwrap_or(s.completed_once.get() && !s.started.get())
+            }
+            PartPath::LegacyAm => s.am_ready.borrow().is_set(),
+        }
+    }
+
+    /// Wait until **some** internal message has arrived and return its
+    /// index (an `MPI_Waitany` over the partition groups — lets a consumer
+    /// start processing the earliest data without polling `parrived`).
+    pub async fn wait_any_msg(&self) -> usize {
+        let s = &self.inner;
+        assert!(
+            s.started.get(),
+            "wait_any_msg outside an active iteration"
+        );
+        match s.path {
+            PartPath::Improved => {
+                let signals: Vec<Signal> = s
+                    .reqs
+                    .borrow()
+                    .iter()
+                    .map(|r| {
+                        r.as_ref()
+                            .expect("started recv has requests")
+                            .ready_signal()
+                    })
+                    .collect();
+                pcomm_simcore::sync::wait_any(signals).await
+            }
+            PartPath::LegacyAm => {
+                let sig = s.am_ready.borrow().clone();
+                sig.wait().await;
+                0
+            }
+        }
+    }
+
+    /// `MPI_Wait`: complete the iteration; charges per-message completion
+    /// (improved) or the AM copy (legacy).
+    pub async fn wait(&self) {
+        let s = &self.inner;
+        assert!(s.started.get(), "wait before start");
+        match s.path {
+            PartPath::Improved => {
+                for m in 0..s.layout.n_msgs() {
+                    let req = s.reqs.borrow_mut()[m]
+                        .take()
+                        .expect("started recv must have requests");
+                    req.wait().await;
+                }
+            }
+            PartPath::LegacyAm => {
+                let ready = s.am_ready.borrow().clone();
+                ready.wait().await;
+                let cfg = s.world.config().clone();
+                let cost = s.world.jitter(cfg.o_am + cfg.copy_time(s.total_bytes));
+                s.world.sim().sleep(cost).await;
+            }
+        }
+        s.started.set(false);
+        s.completed_once.set(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcomm_netmodel::MachineConfig;
+    use pcomm_simcore::{Dur, Sim};
+
+    fn setup(n_vcis: usize) -> (Sim, World) {
+        let sim = Sim::new();
+        let world = World::new(&sim, MachineConfig::meluxina_quiet(), 2, n_vcis, 1);
+        (sim, world)
+    }
+
+    // ---- layout negotiation -------------------------------------------
+
+    #[test]
+    fn layout_equal_counts_no_aggregation() {
+        let l = negotiate_layout(8, 8, 1024, None);
+        assert_eq!(l.n_msgs(), 8);
+        for (i, m) in l.msgs.iter().enumerate() {
+            assert_eq!(m.n_sparts, 1);
+            assert_eq!(m.n_rparts, 1);
+            assert_eq!(m.bytes, 1024);
+            assert_eq!(m.first_spart, i);
+        }
+    }
+
+    #[test]
+    fn layout_gcd_mismatched_counts() {
+        // gcd(12, 8) = 4 messages; 3 send parts / 2 recv parts each.
+        let l = negotiate_layout(12, 8, 100, None);
+        assert_eq!(l.n_msgs(), 4);
+        for m in &l.msgs {
+            assert_eq!(m.n_sparts, 3);
+            assert_eq!(m.n_rparts, 2);
+            assert_eq!(m.bytes, 300);
+        }
+    }
+
+    #[test]
+    fn layout_aggregation_respects_bound() {
+        // 16 partitions of 512 B, aggregate up to 2048 B → 4 msgs of 4.
+        let l = negotiate_layout(16, 16, 512, Some(2048));
+        assert_eq!(l.n_msgs(), 4);
+        for m in &l.msgs {
+            assert_eq!(m.bytes, 2048);
+            assert_eq!(m.n_sparts, 4);
+        }
+    }
+
+    #[test]
+    fn layout_aggregation_is_upper_bound_not_exact() {
+        // 5 partitions of 900 B, limit 2000 → groups of 2,2,1.
+        let l = negotiate_layout(5, 5, 900, Some(2000));
+        let sizes: Vec<usize> = l.msgs.iter().map(|m| m.bytes).collect();
+        assert_eq!(sizes, vec![1800, 1800, 900]);
+    }
+
+    #[test]
+    fn layout_oversized_partition_stays_alone() {
+        let l = negotiate_layout(4, 4, 4096, Some(1024));
+        assert_eq!(l.n_msgs(), 4);
+    }
+
+    #[test]
+    fn layout_partition_mapping_is_total() {
+        let l = negotiate_layout(24, 16, 64, Some(512));
+        for p in 0..24 {
+            let m = l.msg_of_spart(p);
+            assert!(m < l.n_msgs(), "partition {p} maps to missing msg {m}");
+        }
+        for p in 0..16 {
+            let _ = l.msg_of_rpart(p);
+        }
+    }
+
+    // ---- improved path -------------------------------------------------
+
+    fn mk_pair(
+        world: &World,
+        n_parts: usize,
+        part_bytes: usize,
+        opts: PartOptions,
+    ) -> (PsendRequest, PrecvRequest) {
+        let cs = world.comm_world(0);
+        let cr = world.comm_world(1);
+        let ps = psend_init(&cs, 1, 0, n_parts, part_bytes, n_parts, opts.clone());
+        let pr = precv_init(&cr, 0, 0, n_parts, n_parts, part_bytes, opts);
+        (ps, pr)
+    }
+
+    #[test]
+    fn improved_roundtrip_all_partitions() {
+        let (sim, world) = setup(1);
+        let (ps, pr) = mk_pair(&world, 4, 256, PartOptions::default());
+        let done = sim.spawn({
+            let pr = pr.clone();
+            async move {
+                pr.start().await;
+                pr.wait().await;
+                (0..4).all(|p| pr.parrived(p))
+            }
+        });
+        sim.spawn(async move {
+            ps.start().await;
+            for p in 0..4 {
+                ps.pready(p).await;
+            }
+            ps.wait().await;
+        });
+        sim.run();
+        assert!(done.try_take().unwrap());
+    }
+
+    #[test]
+    fn early_bird_message_leaves_before_last_pready() {
+        let (sim, world) = setup(1);
+        let (ps, pr) = mk_pair(&world, 2, 64, PartOptions::default());
+        // Receiver polls Parrived(0) while partition 1 is still delayed.
+        let saw_early = sim.spawn({
+            let pr = pr.clone();
+            let s = sim.clone();
+            async move {
+                pr.start().await;
+                s.sleep(Dur::from_us(100)).await; // partition 0 readied at ~0
+                let early = pr.parrived(0) && !pr.parrived(1);
+                pr.wait().await;
+                early
+            }
+        });
+        sim.spawn({
+            let s = sim.clone();
+            async move {
+                ps.start().await;
+                ps.pready(0).await;
+                s.sleep(Dur::from_us(500)).await; // delayed last partition
+                ps.pready(1).await;
+                ps.wait().await;
+            }
+        });
+        sim.run();
+        assert!(saw_early.try_take().unwrap(), "early-bird arrival not seen");
+    }
+
+    #[test]
+    fn aggregated_request_sends_fewer_messages() {
+        let (_sim, world) = setup(1);
+        let opts = PartOptions {
+            aggr_size: Some(4096),
+            ..PartOptions::default()
+        };
+        let (ps, pr) = mk_pair(&world, 32, 512, opts);
+        assert_eq!(ps.n_msgs(), 4);
+        assert_eq!(pr.n_msgs(), 4);
+    }
+
+    #[test]
+    fn reuse_across_iterations() {
+        let (sim, world) = setup(2);
+        let (ps, pr) = mk_pair(&world, 3, 128, PartOptions::default());
+        let iters = sim.spawn({
+            let pr = pr.clone();
+            async move {
+                for _ in 0..5 {
+                    pr.start().await;
+                    pr.wait().await;
+                }
+                5
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..5 {
+                ps.start().await;
+                for p in 0..3 {
+                    ps.pready(p).await;
+                }
+                ps.wait().await;
+            }
+        });
+        sim.run();
+        assert_eq!(iters.try_take().unwrap(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "readied twice")]
+    fn double_pready_detected() {
+        let (sim, world) = setup(1);
+        let opts = PartOptions {
+            first_iteration_cts: false, // no receiver task in this test
+            ..PartOptions::default()
+        };
+        let (ps, _pr) = mk_pair(&world, 2, 64, opts);
+        sim.block_on(async move {
+            ps.start().await;
+            ps.pready(0).await;
+            ps.pready(0).await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "pready before start")]
+    fn pready_requires_start() {
+        let (sim, world) = setup(1);
+        let opts = PartOptions {
+            first_iteration_cts: false,
+            ..PartOptions::default()
+        };
+        let (ps, _pr) = mk_pair(&world, 2, 64, opts);
+        sim.block_on(async move {
+            ps.pready(0).await;
+        });
+    }
+
+    // ---- legacy AM path -------------------------------------------------
+
+    #[test]
+    fn legacy_roundtrip() {
+        let (sim, world) = setup(1);
+        let opts = PartOptions {
+            path: PartPath::LegacyAm,
+            ..PartOptions::default()
+        };
+        let (ps, pr) = mk_pair(&world, 4, 1024, opts);
+        assert_eq!(ps.path(), PartPath::LegacyAm);
+        let done = sim.spawn({
+            let pr = pr.clone();
+            async move {
+                pr.start().await;
+                pr.wait().await;
+                pr.parrived(3)
+            }
+        });
+        sim.spawn(async move {
+            ps.start().await;
+            for p in 0..4 {
+                ps.pready(p).await;
+            }
+            ps.wait().await;
+        });
+        sim.run();
+        assert!(done.try_take().unwrap());
+    }
+
+    #[test]
+    fn legacy_slower_than_improved_single_partition() {
+        // Fig. 4's headline: the AM path pays copies at both ends; the
+        // improved path matches plain Pt2Pt.
+        // Warm-up iteration first (as the paper does) so the improved
+        // path's first-iteration CTS does not skew the steady state.
+        fn one_iter(path: PartPath, bytes: usize) -> f64 {
+            let (sim, world) = setup(1);
+            let opts = PartOptions {
+                path,
+                ..PartOptions::default()
+            };
+            let (ps, pr) = mk_pair(&world, 1, bytes, opts);
+            let done = sim.spawn({
+                let pr = pr.clone();
+                async move {
+                    pr.start().await;
+                    pr.wait().await;
+                    let t0 = pr.inner.world.sim().now();
+                    pr.start().await;
+                    pr.wait().await;
+                    pr.inner.world.sim().now().since(t0).as_us_f64()
+                }
+            });
+            sim.spawn(async move {
+                for _ in 0..2 {
+                    ps.start().await;
+                    ps.pready(0).await;
+                    ps.wait().await;
+                }
+            });
+            sim.run();
+            done.try_take().unwrap()
+        }
+        for bytes in [512usize, 8192, 1 << 20] {
+            let legacy = one_iter(PartPath::LegacyAm, bytes);
+            let improved = one_iter(PartPath::Improved, bytes);
+            assert!(
+                legacy > improved,
+                "{bytes}B: legacy {legacy}us <= improved {improved}us"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_waits_for_cts() {
+        let (sim, world) = setup(1);
+        let opts = PartOptions {
+            path: PartPath::LegacyAm,
+            ..PartOptions::default()
+        };
+        let (ps, pr) = mk_pair(&world, 1, 64, opts);
+        // Receiver starts late → CTS late → AM send cannot leave earlier.
+        let recv_done = sim.spawn({
+            let pr = pr.clone();
+            let s = sim.clone();
+            async move {
+                s.sleep(Dur::from_us(300)).await;
+                pr.start().await;
+                pr.wait().await;
+                s.now()
+            }
+        });
+        let send_done = sim.spawn({
+            let s = sim.clone();
+            async move {
+                ps.start().await;
+                ps.pready(0).await;
+                ps.wait().await;
+                s.now()
+            }
+        });
+        sim.run();
+        let t_send = send_done.try_take().unwrap().as_us_f64();
+        let t_recv = recv_done.try_take().unwrap().as_us_f64();
+        assert!(t_send > 300.0, "AM send left before CTS: {t_send}");
+        assert!(t_recv > t_send);
+    }
+
+    #[test]
+    fn mismatched_partition_counts_roundtrip() {
+        // 12 sender vs 8 receiver partitions → gcd = 4 messages; the
+        // receiver-side Parrived granularity follows the receiver count.
+        let (sim, world) = setup(1);
+        let cs = world.comm_world(0);
+        let cr = world.comm_world(1);
+        let opts = PartOptions::default();
+        let ps = psend_init(&cs, 1, 0, 12, 100, 8, opts.clone());
+        let pr = precv_init(&cr, 0, 0, 8, 12, 100, opts);
+        assert_eq!(ps.n_msgs(), 4);
+        assert_eq!(pr.n_msgs(), 4);
+        let done = sim.spawn({
+            let pr = pr.clone();
+            async move {
+                pr.start().await;
+                pr.wait().await;
+                (0..8).all(|r| pr.parrived(r))
+            }
+        });
+        sim.spawn(async move {
+            ps.start().await;
+            for p in 0..12 {
+                ps.pready(p).await;
+            }
+            ps.wait().await;
+        });
+        sim.run();
+        assert!(done.try_take().unwrap());
+    }
+
+    #[test]
+    fn trace_records_early_bird_ordering() {
+        let (sim, world) = setup(1);
+        world.enable_trace();
+        let opts = PartOptions {
+            first_iteration_cts: false,
+            ..PartOptions::default()
+        };
+        let (ps, pr) = mk_pair(&world, 2, 64, opts);
+        sim.spawn({
+            let pr = pr.clone();
+            async move {
+                pr.start().await;
+                pr.wait().await;
+            }
+        });
+        sim.spawn({
+            let s = sim.clone();
+            async move {
+                ps.start().await;
+                ps.pready(0).await;
+                s.sleep(Dur::from_us(50)).await;
+                ps.pready(1).await;
+                ps.wait().await;
+            }
+        });
+        sim.run();
+        let trace = world.take_trace();
+        assert!(!trace.is_empty());
+        // Timestamps are monotone.
+        for w in trace.windows(2) {
+            assert!(w[1].t_us >= w[0].t_us, "trace out of order");
+        }
+        // Partition 0's message leaves before partition 1 is even ready.
+        let idx = |needle: &str| {
+            trace
+                .iter()
+                .position(|r| r.what.contains(needle))
+                .unwrap_or_else(|| panic!("missing trace event: {needle}"))
+        };
+        assert!(idx("message 0 complete") < idx("pready partition 1"));
+        // Disabled tracing yields nothing further.
+        assert!(world.take_trace().is_empty());
+    }
+
+    #[test]
+    fn wait_any_msg_returns_earliest() {
+        let (sim, world) = setup(1);
+        let opts = PartOptions {
+            first_iteration_cts: false,
+            ..PartOptions::default()
+        };
+        let (ps, pr) = mk_pair(&world, 3, 64, opts);
+        let first = sim.spawn({
+            let pr = pr.clone();
+            async move {
+                pr.start().await;
+                let m = pr.wait_any_msg().await;
+                pr.wait().await;
+                m
+            }
+        });
+        sim.spawn({
+            let s = sim.clone();
+            async move {
+                ps.start().await;
+                // Partition 1 first, then 0 and 2 much later.
+                ps.pready(1).await;
+                s.sleep(Dur::from_us(200)).await;
+                ps.pready(0).await;
+                ps.pready(2).await;
+                ps.wait().await;
+            }
+        });
+        sim.run();
+        assert_eq!(first.try_take().unwrap(), 1, "earliest arrival wins");
+    }
+
+    // ---- extensions: thread hints, deferred sends, first-iter CTS ----
+
+    #[test]
+    fn thread_hint_controls_vci_attribution() {
+        // 2 threads × θ=2 on 2 VCIs. Round-robin-by-message puts messages
+        // 0,1,2,3 on VCIs 0,1,0,1; the thread hint (p % 2) puts messages
+        // of thread 0 (partitions 0,2) on VCI 0 and thread 1's on VCI 1 —
+        // same distribution here, so instead use a *block* hint where
+        // thread 0 owns partitions 0,1: the mappings then differ.
+        fn vci_counts(mapping: VciMapping) -> (u64, u64) {
+            let (sim, world) = setup(2);
+            let opts = PartOptions {
+                vci_mapping: mapping,
+                first_iteration_cts: false,
+                ..PartOptions::default()
+            };
+            let (ps, _pr) = mk_pair(&world, 4, 64, opts);
+            sim.block_on({
+                let ps = ps.clone();
+                async move {
+                    ps.start().await;
+                    for p in 0..4 {
+                        ps.pready(p).await;
+                    }
+                }
+            });
+            (
+                world.vci(0, 0).stats().acquisitions,
+                world.vci(0, 1).stats().acquisitions,
+            )
+        }
+        let rr = vci_counts(VciMapping::RoundRobinByMessage);
+        assert_eq!(rr, (2, 2), "round-robin spreads 4 messages evenly");
+        // Block hint: thread 0 owns partitions 0..2, thread 1 owns 2..4.
+        let hint = std::rc::Rc::new(vec![0usize, 0, 1, 1]);
+        let hinted = vci_counts(VciMapping::ThreadHint(hint));
+        assert_eq!(hinted, (2, 2), "two messages per owning thread's VCI");
+        // With an adversarial hint (everything owned by thread 0), all
+        // traffic lands on VCI 0.
+        let all0 = vci_counts(VciMapping::ThreadHint(std::rc::Rc::new(vec![0; 4])));
+        assert_eq!(all0, (4, 0));
+    }
+
+    #[test]
+    fn deferred_sends_disable_early_bird() {
+        let (sim, world) = setup(1);
+        let opts = PartOptions {
+            defer_sends: true,
+            ..PartOptions::default()
+        };
+        let (ps, pr) = mk_pair(&world, 2, 64, opts);
+        let saw_early = sim.spawn({
+            let pr = pr.clone();
+            let s = sim.clone();
+            async move {
+                pr.start().await;
+                s.sleep(Dur::from_us(100)).await;
+                let early = pr.parrived(0);
+                pr.wait().await;
+                early
+            }
+        });
+        sim.spawn({
+            let s = sim.clone();
+            async move {
+                ps.start().await;
+                ps.pready(0).await;
+                s.sleep(Dur::from_us(500)).await;
+                ps.pready(1).await;
+                ps.wait().await;
+            }
+        });
+        sim.run();
+        assert!(
+            !saw_early.try_take().unwrap(),
+            "deferred mode must not deliver partition 0 early"
+        );
+    }
+
+    #[test]
+    fn first_iteration_cts_slows_only_iteration_zero() {
+        let (sim, world) = setup(1);
+        let (ps, pr) = mk_pair(&world, 2, 128, PartOptions::default());
+        let times = sim.spawn({
+            let pr = pr.clone();
+            let s = sim.clone();
+            async move {
+                let mut v = Vec::new();
+                for _ in 0..3 {
+                    let t0 = s.now();
+                    pr.start().await;
+                    pr.wait().await;
+                    v.push(s.now().since(t0).as_us_f64());
+                }
+                v
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..3 {
+                ps.start().await;
+                for p in 0..2 {
+                    ps.pready(p).await;
+                }
+                ps.wait().await;
+            }
+        });
+        sim.run();
+        let v = times.try_take().unwrap();
+        // Iteration 0 pays the CTS round trip; later iterations do not.
+        assert!(
+            v[0] > v[1] + 1.0,
+            "first iteration should carry the CTS overhead: {v:?}"
+        );
+        assert!((v[1] - v[2]).abs() < 0.2, "steady state: {v:?}");
+    }
+
+    #[test]
+    fn tag_space_exhaustion_falls_back_to_am() {
+        let (_sim, world) = setup(1);
+        let cs = world.comm_world(0);
+        let mut last = None;
+        for t in 0..(MAX_PART_REQUESTS_PER_PEER + 1) as i64 {
+            let ps = psend_init(&cs, 1, t, 1, 64, 1, PartOptions::default());
+            last = Some(ps.path());
+        }
+        assert_eq!(last, Some(PartPath::LegacyAm));
+    }
+}

@@ -1,0 +1,639 @@
+//! The eight pipelined-communication strategies (paper Tables 1–2),
+//! implemented on the simulated runtime and driven by the Fig. 3 template.
+
+// Per-thread loops index shared per-thread state; keeping the index
+// explicit mirrors the benchmark template's thread numbering.
+#![allow(clippy::needless_range_loop)]
+
+use std::rc::Rc;
+
+use pcomm_simcore::JoinHandle;
+
+use crate::comm::Comm;
+use crate::p2p::Msg;
+use crate::part::{precv_init, psend_init, PartOptions, PartPath, PrecvRequest, PsendRequest, VciMapping};
+use crate::rma::{create_win, WinOrigin, WinTarget};
+use crate::scenario::{Approach, Recorder, Scenario};
+use crate::world::World;
+
+/// User-level tag for the passive-target "window exposed" notification.
+const TAG_EXPOSE: i64 = 5;
+/// User-level tag for the passive-target "puts complete" notification.
+const TAG_DONE: i64 = 6;
+
+/// Charge the OpenMP thread-barrier cost on the calling (master) task.
+async fn charge_barrier(world: &World, n_threads: usize) {
+    let cost = world.jitter(world.config().barrier_cost(n_threads));
+    world.sim().sleep(cost).await;
+}
+
+/// Set up and spawn the sender and receiver rank tasks for `approach`.
+pub(crate) fn spawn(world: &World, approach: Approach, sc: Scenario, rec: Recorder) {
+    let sim = world.sim().clone();
+    let cs = world.comm_world(0);
+    let cr = world.comm_world(1);
+    match approach {
+        Approach::PtpPart | Approach::PtpPartOld => {
+            let path = if approach == Approach::PtpPart {
+                PartPath::Improved
+            } else {
+                PartPath::LegacyAm
+            };
+            let vci_mapping = if sc.thread_hint {
+                // MPIX_Stream-style hint: the scenario's actual
+                // partition→thread ownership.
+                let hint: Vec<usize> = (0..sc.n_parts())
+                    .map(|p| sc.thread_of_partition(p))
+                    .collect();
+                VciMapping::ThreadHint(Rc::new(hint))
+            } else {
+                VciMapping::RoundRobinByMessage
+            };
+            let opts = PartOptions {
+                aggr_size: if path == PartPath::Improved {
+                    sc.aggr_size
+                } else {
+                    None
+                },
+                path,
+                vci_mapping,
+                defer_sends: sc.defer_sends,
+                first_iteration_cts: true,
+            };
+            let ps = psend_init(&cs, 1, 0, sc.n_parts(), sc.part_bytes, sc.n_parts(), opts.clone());
+            let pr = precv_init(&cr, 0, 0, sc.n_parts(), sc.n_parts(), sc.part_bytes, opts);
+            sim.spawn(sender_part(world.clone(), sc.clone(), rec.clone(), ps));
+            sim.spawn(receiver_part(world.clone(), sc, rec, pr));
+        }
+        Approach::PtpSingle => {
+            let ps = Rc::new(cs.send_init(1, 0, sc.total_bytes()));
+            let pr = Rc::new(cr.recv_init(0, 0));
+            sim.spawn(sender_single(world.clone(), sc.clone(), rec.clone(), ps));
+            sim.spawn(receiver_single(world.clone(), sc, rec, pr));
+        }
+        Approach::PtpMany => {
+            // Per-thread duplicated communicators, dup'd in the same order
+            // on both ranks (collective semantics).
+            let mut send_reqs = Vec::with_capacity(sc.n_threads);
+            let mut recv_reqs = Vec::with_capacity(sc.n_threads);
+            for t in 0..sc.n_threads {
+                let dst_comm = cs.dup();
+                let src_comm = cr.dup();
+                let mut s_row = Vec::with_capacity(sc.theta);
+                let mut r_row = Vec::with_capacity(sc.theta);
+                for (p, _) in sc.parts_of_thread(t) {
+                    s_row.push(Rc::new(dst_comm.send_init(1, p as i64, sc.part_bytes)));
+                    r_row.push(Rc::new(src_comm.recv_init(0, p as i64)));
+                }
+                send_reqs.push(s_row);
+                recv_reqs.push(r_row);
+            }
+            sim.spawn(sender_many(world.clone(), sc.clone(), rec.clone(), send_reqs));
+            sim.spawn(receiver_many(world.clone(), sc, rec, recv_reqs));
+        }
+        Approach::RmaSinglePassive => {
+            let ds = cs.dup();
+            let dr = cr.dup();
+            let (wo, wt) = create_win(&ds, &dr, sc.total_bytes());
+            drop(wt); // passive target: exposure handled via 0B messages
+            sim.spawn(sender_rma_single_passive(
+                world.clone(),
+                sc.clone(),
+                rec.clone(),
+                ds,
+                Rc::new(wo),
+            ));
+            sim.spawn(receiver_rma_passive(world.clone(), sc, rec, dr));
+        }
+        Approach::RmaManyPassive => {
+            let wins: Vec<Rc<WinOrigin>> = (0..sc.n_threads)
+                .map(|_| {
+                    let (wo, wt) = create_win(&cs, &cr, sc.total_bytes());
+                    drop(wt);
+                    Rc::new(wo)
+                })
+                .collect();
+            sim.spawn(sender_rma_many_passive(
+                world.clone(),
+                sc.clone(),
+                rec.clone(),
+                cs.clone(),
+                wins,
+            ));
+            sim.spawn(receiver_rma_passive(world.clone(), sc, rec, cr));
+        }
+        Approach::RmaSingleActive => {
+            let ds = cs.dup();
+            let dr = cr.dup();
+            let (wo, wt) = create_win(&ds, &dr, sc.total_bytes());
+            sim.spawn(sender_rma_single_active(
+                world.clone(),
+                sc.clone(),
+                rec.clone(),
+                Rc::new(wo),
+            ));
+            sim.spawn(receiver_rma_single_active(
+                world.clone(),
+                sc,
+                rec,
+                Rc::new(wt),
+            ));
+        }
+        Approach::RmaManyActive => {
+            let mut origins = Vec::with_capacity(sc.n_threads);
+            let mut targets = Vec::with_capacity(sc.n_threads);
+            for _ in 0..sc.n_threads {
+                let (wo, wt) = create_win(&cs, &cr, sc.total_bytes());
+                origins.push(Rc::new(wo));
+                targets.push(Rc::new(wt));
+            }
+            sim.spawn(sender_rma_many_active(
+                world.clone(),
+                sc.clone(),
+                rec.clone(),
+                origins,
+            ));
+            sim.spawn(receiver_rma_many_active(world.clone(), sc, rec, targets));
+        }
+    }
+}
+
+/// Join a set of worker-thread tasks (acts as the pre-`wait` barrier's
+/// synchronization; its cost is charged separately).
+async fn join_all(handles: Vec<JoinHandle<()>>) {
+    for h in handles {
+        h.await;
+    }
+}
+
+// ---------------------------------------------------------------- part --
+
+async fn sender_part(world: World, sc: Scenario, rec: Recorder, ps: PsendRequest) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        ps.start().await;
+        charge_barrier(&world, sc.n_threads).await;
+        let t0 = sim.now();
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let parts = sc.parts_of_thread(t);
+            let ps = ps.clone();
+            let sim2 = sim.clone();
+            handles.push(sim.spawn(async move {
+                for (p, ready) in parts {
+                    sim2.sleep_until(t0 + ready).await;
+                    ps.pready(p).await;
+                }
+            }));
+        }
+        join_all(handles).await;
+        charge_barrier(&world, sc.n_threads).await;
+        ps.wait().await;
+    }
+}
+
+async fn receiver_part(world: World, sc: Scenario, rec: Recorder, pr: PrecvRequest) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        pr.start().await;
+        pr.wait().await;
+        rec.end(sim.now());
+    }
+}
+
+// -------------------------------------------------------------- single --
+
+async fn sender_single(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    ps: Rc<crate::p2p::PersistentSend>,
+) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        // Threads compute; bulk synchronization before the single send.
+        let t0 = sim.now();
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let parts = sc.parts_of_thread(t);
+            let sim2 = sim.clone();
+            handles.push(sim.spawn(async move {
+                for (_, ready) in parts {
+                    sim2.sleep_until(t0 + ready).await;
+                }
+            }));
+        }
+        join_all(handles).await;
+        charge_barrier(&world, sc.n_threads).await;
+        ps.start().await;
+        ps.wait().await;
+    }
+}
+
+async fn receiver_single(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    pr: Rc<crate::p2p::PersistentRecv>,
+) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        pr.start().await;
+        pr.wait().await;
+        rec.end(sim.now());
+    }
+}
+
+// ---------------------------------------------------------------- many --
+
+async fn sender_many(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    reqs: Vec<Vec<Rc<crate::p2p::PersistentSend>>>,
+) {
+    let sim = world.sim().clone();
+    let reqs = Rc::new(reqs);
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        let t0 = sim.now();
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let parts = sc.parts_of_thread(t);
+            let row = reqs[t].clone();
+            let sim2 = sim.clone();
+            handles.push(sim.spawn(async move {
+                for (j, (_, ready)) in parts.into_iter().enumerate() {
+                    sim2.sleep_until(t0 + ready).await;
+                    row[j].start().await;
+                    row[j].wait().await;
+                }
+            }));
+        }
+        join_all(handles).await;
+    }
+}
+
+async fn receiver_many(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    reqs: Vec<Vec<Rc<crate::p2p::PersistentRecv>>>,
+) {
+    let sim = world.sim().clone();
+    let reqs = Rc::new(reqs);
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let row = reqs[t].clone();
+            let theta = sc.theta;
+            handles.push(sim.spawn(async move {
+                for j in 0..theta {
+                    row[j].start().await;
+                    row[j].wait().await;
+                }
+            }));
+        }
+        join_all(handles).await;
+        rec.end(sim.now());
+    }
+}
+
+// ------------------------------------------------------------- passive --
+
+async fn sender_rma_single_passive(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    comm: Comm,
+    win: Rc<WinOrigin>,
+) {
+    let sim = world.sim().clone();
+    win.lock().await; // MPI_Win_lock(NOCHECK): once, at init
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        // start: wait for the target's exposure notification.
+        comm.recv(Some(1), Some(TAG_EXPOSE)).await;
+        charge_barrier(&world, sc.n_threads).await;
+        let t0 = sim.now();
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let parts = sc.parts_of_thread(t);
+            let win = Rc::clone(&win);
+            let sim2 = sim.clone();
+            let part_bytes = sc.part_bytes;
+            handles.push(sim.spawn(async move {
+                for (_, ready) in parts {
+                    sim2.sleep_until(t0 + ready).await;
+                    win.put(part_bytes).await;
+                }
+            }));
+        }
+        join_all(handles).await;
+        charge_barrier(&world, sc.n_threads).await;
+        win.flush().await;
+        comm.send(1, TAG_DONE, Msg::ctrl(0)).await;
+    }
+}
+
+async fn sender_rma_many_passive(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    comm: Comm,
+    wins: Vec<Rc<WinOrigin>>,
+) {
+    let sim = world.sim().clone();
+    for w in &wins {
+        w.lock().await;
+    }
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        comm.recv(Some(1), Some(TAG_EXPOSE)).await;
+        charge_barrier(&world, sc.n_threads).await;
+        let t0 = sim.now();
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let parts = sc.parts_of_thread(t);
+            let win = Rc::clone(&wins[t]);
+            let sim2 = sim.clone();
+            let part_bytes = sc.part_bytes;
+            handles.push(sim.spawn(async move {
+                for (_, ready) in parts {
+                    sim2.sleep_until(t0 + ready).await;
+                    win.put(part_bytes).await;
+                }
+                // ready column: each thread flushes its own window.
+                win.flush().await;
+            }));
+        }
+        join_all(handles).await;
+        charge_barrier(&world, sc.n_threads).await;
+        comm.send(1, TAG_DONE, Msg::ctrl(0)).await;
+    }
+}
+
+async fn receiver_rma_passive(world: World, sc: Scenario, rec: Recorder, comm: Comm) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        comm.send(0, TAG_EXPOSE, Msg::ctrl(0)).await;
+        comm.recv(Some(0), Some(TAG_DONE)).await;
+        rec.end(sim.now());
+    }
+}
+
+// -------------------------------------------------------------- active --
+
+async fn sender_rma_single_active(world: World, sc: Scenario, rec: Recorder, win: Rc<WinOrigin>) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        win.start_epoch().await;
+        charge_barrier(&world, sc.n_threads).await;
+        let t0 = sim.now();
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let parts = sc.parts_of_thread(t);
+            let win = Rc::clone(&win);
+            let sim2 = sim.clone();
+            let part_bytes = sc.part_bytes;
+            handles.push(sim.spawn(async move {
+                for (_, ready) in parts {
+                    sim2.sleep_until(t0 + ready).await;
+                    win.put(part_bytes).await;
+                }
+            }));
+        }
+        join_all(handles).await;
+        charge_barrier(&world, sc.n_threads).await;
+        win.complete_epoch().await;
+    }
+}
+
+async fn receiver_rma_single_active(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    win: Rc<WinTarget>,
+) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        win.post().await;
+        win.wait_epoch().await;
+        rec.end(sim.now());
+    }
+}
+
+async fn sender_rma_many_active(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    wins: Vec<Rc<WinOrigin>>,
+) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        let t0 = sim.now();
+        let mut handles = Vec::with_capacity(sc.n_threads);
+        for t in 0..sc.n_threads {
+            let parts = sc.parts_of_thread(t);
+            let win = Rc::clone(&wins[t]);
+            let sim2 = sim.clone();
+            let part_bytes = sc.part_bytes;
+            handles.push(sim.spawn(async move {
+                // ready column: Start + Put(s) + Complete, per thread.
+                win.start_epoch().await;
+                for (_, ready) in parts {
+                    sim2.sleep_until(t0 + ready).await;
+                    win.put(part_bytes).await;
+                }
+                win.complete_epoch().await;
+            }));
+        }
+        join_all(handles).await;
+    }
+}
+
+async fn receiver_rma_many_active(
+    world: World,
+    sc: Scenario,
+    rec: Recorder,
+    wins: Vec<Rc<WinTarget>>,
+) {
+    let sim = world.sim().clone();
+    for _ in 0..sc.iterations {
+        rec.begin(&sim).await;
+        for w in &wins {
+            w.post().await;
+        }
+        for w in &wins {
+            w.wait_epoch().await;
+        }
+        rec.end(sim.now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::run_scenario;
+    use pcomm_netmodel::MachineConfig;
+    use pcomm_simcore::Dur;
+
+    fn quiet() -> MachineConfig {
+        MachineConfig::meluxina_quiet()
+    }
+
+    /// Every strategy completes a small scenario and yields plausible
+    /// per-iteration times.
+    #[test]
+    fn all_strategies_run_to_completion() {
+        let sc = Scenario::immediate(2, 1, 1024, 4);
+        for a in Approach::ALL {
+            let times = run_scenario(&quiet(), 2, 1, a, &sc);
+            assert_eq!(times.len(), 4, "{a:?}");
+            for t in &times {
+                assert!(
+                    t.as_us_f64() > 0.5 && t.as_us_f64() < 1000.0,
+                    "{a:?}: implausible time {t}"
+                );
+            }
+        }
+    }
+
+    /// With no delay and quiet config, iterations after the first are
+    /// identical (steady state).
+    #[test]
+    fn steady_state_is_deterministic() {
+        let sc = Scenario::immediate(4, 1, 512, 6);
+        for a in Approach::ALL {
+            let times = run_scenario(&quiet(), 1, 1, a, &sc);
+            let tail = &times[1..];
+            for w in tail.windows(2) {
+                assert_eq!(w[0], w[1], "{a:?}: unstable steady state {times:?}");
+            }
+        }
+    }
+
+    /// Fig. 4's headline comparison at N=1, θ=1: the improved partitioned
+    /// path matches Pt2Pt single closely, the legacy AM path is slower.
+    #[test]
+    fn fig4_shape_single_thread() {
+        for bytes in [512usize, 4096, 1 << 20] {
+            let sc = Scenario::immediate(1, 1, bytes, 3);
+            let t =
+                |a: Approach| run_scenario(&quiet(), 1, 1, a, &sc)[2].as_us_f64();
+            let part = t(Approach::PtpPart);
+            let old = t(Approach::PtpPartOld);
+            let single = t(Approach::PtpSingle);
+            assert!(
+                old > part,
+                "{bytes}B: legacy {old} should exceed improved {part}"
+            );
+            assert!(
+                (part - single).abs() / single < 0.5,
+                "{bytes}B: part {part} should be close to single {single}"
+            );
+        }
+    }
+
+    /// RMA passive approaches pay extra synchronization at small sizes.
+    #[test]
+    fn rma_slower_than_ptp_at_small_sizes() {
+        let sc = Scenario::immediate(1, 1, 256, 3);
+        let t = |a: Approach| run_scenario(&quiet(), 1, 1, a, &sc)[2].as_us_f64();
+        let single = t(Approach::PtpSingle);
+        for a in [
+            Approach::RmaSinglePassive,
+            Approach::RmaManyPassive,
+            Approach::RmaSingleActive,
+            Approach::RmaManyActive,
+        ] {
+            assert!(
+                t(a) > single,
+                "{a:?} should be slower than Pt2Pt single at 256B"
+            );
+        }
+    }
+
+    /// Thread contention (Fig. 5): with one VCI and many threads, the
+    /// multithreaded strategies are far slower than the single-message
+    /// one; with per-thread VCIs (Fig. 6) the gap collapses.
+    #[test]
+    fn contention_and_vci_relief() {
+        let sc = Scenario::immediate(16, 1, 512, 3);
+        let run =
+            |a: Approach, v: usize| run_scenario(&quiet(), v, 1, a, &sc)[2].as_us_f64();
+        let single_1 = run(Approach::PtpSingle, 1);
+        let many_1 = run(Approach::PtpMany, 1);
+        let many_16 = run(Approach::PtpMany, 16);
+        let part_1 = run(Approach::PtpPart, 1);
+        let part_16 = run(Approach::PtpPart, 16);
+        assert!(
+            many_1 / single_1 > 5.0,
+            "contention penalty too small: many/single = {}",
+            many_1 / single_1
+        );
+        assert!(
+            many_16 < many_1 / 3.0,
+            "VCIs should relieve contention: {many_16} vs {many_1}"
+        );
+        assert!(part_16 < part_1, "partitioned also benefits from VCIs");
+    }
+
+    /// Message aggregation (Fig. 7): fewer messages → lower overhead for
+    /// small partitions.
+    #[test]
+    fn aggregation_reduces_overhead() {
+        let mut sc = Scenario::immediate(4, 8, 512, 3);
+        let no_aggr = run_scenario(&quiet(), 1, 1, Approach::PtpPart, &sc)[2];
+        sc.aggr_size = Some(8192);
+        let aggr = run_scenario(&quiet(), 1, 1, Approach::PtpPart, &sc)[2];
+        assert!(
+            aggr.as_us_f64() < no_aggr.as_us_f64() / 2.0,
+            "aggregation: {aggr} vs {no_aggr}"
+        );
+    }
+
+    /// Early-bird effect (Fig. 8): with a large delayed last partition,
+    /// the pipelined partitioned send beats the bulk single send.
+    #[test]
+    fn early_bird_gain_at_large_sizes() {
+        let part_bytes = 4 << 20; // 4 MiB per partition
+        let gamma = 1e-10; // 100 µs/MB
+        let delay = Dur::from_secs_f64(gamma * part_bytes as f64);
+        let mut sc = Scenario::immediate(4, 1, part_bytes, 3);
+        sc.delays[3] = delay;
+        let t_part = run_scenario(&quiet(), 1, 1, Approach::PtpPart, &sc)[2].as_us_f64();
+        let t_single = run_scenario(&quiet(), 1, 1, Approach::PtpSingle, &sc)[2].as_us_f64();
+        let gain = t_single / t_part;
+        // Theory: η = 4 / (4 − γβ) = 2.67; latency and contention shave it.
+        assert!(
+            gain > 1.8 && gain < 2.8,
+            "early-bird gain {gain} out of expected band"
+        );
+    }
+
+    /// The early-bird gain is approach-agnostic for large messages
+    /// (paper §4.3): Pt2Pt many and RMA variants see it too.
+    #[test]
+    fn early_bird_gain_is_approach_agnostic() {
+        let part_bytes = 4 << 20;
+        let delay = Dur::from_secs_f64(1e-10 * part_bytes as f64);
+        let mut sc = Scenario::immediate(4, 1, part_bytes, 3);
+        sc.delays[3] = delay;
+        let t_single = run_scenario(&quiet(), 1, 1, Approach::PtpSingle, &sc)[2].as_us_f64();
+        for a in [Approach::PtpMany, Approach::RmaSinglePassive] {
+            let t = run_scenario(&quiet(), 1, 1, a, &sc)[2].as_us_f64();
+            let gain = t_single / t;
+            assert!(gain > 1.8, "{a:?}: gain {gain} too small");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Tag-matching engine: one per simulated rank.
+//!
+//! Implements the MPI matching rules used here: a receive matches the
+//! oldest arrived (or arriving) message with equal context id, equal tag
+//! (or any-tag) and equal source (or any-source). Arrivals that find no
+//! posted receive go to the unexpected queue, as in MPICH.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use pcomm_simcore::sync::Signal;
+
+/// A message as seen by the matching layer.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// Source rank.
+    pub src: usize,
+    /// Communicator context id.
+    pub ctx: u64,
+    /// Tag.
+    pub tag: i64,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Optional actual payload (synthetic benchmarks carry `None`).
+    pub data: Option<Vec<u8>>,
+    /// Small out-of-band integer (e.g. put-count in a "complete" control
+    /// message, message count in a partitioned CTS).
+    pub meta: u64,
+    /// Set for rendezvous arrivals: the header (RTS) arrived, but the data
+    /// transfer must still be scheduled by the world at match time.
+    pub rendezvous: Option<RendezvousHandle>,
+}
+
+/// Completion hooks of an in-flight rendezvous transfer.
+#[derive(Debug, Clone)]
+pub struct RendezvousHandle {
+    /// Set when the sender's buffer is free (data fully injected).
+    pub sender_done: Signal,
+}
+
+/// A posted receive waiting for a match.
+pub struct Posted {
+    /// Matching criteria: context id.
+    pub ctx: u64,
+    /// Source rank, or `None` for any-source.
+    pub src: Option<usize>,
+    /// Tag, or `None` for any-tag.
+    pub tag: Option<i64>,
+    /// Where the matched message is placed.
+    pub slot: Rc<RefCell<Option<Delivered>>>,
+    /// Fired when the message (including data for rendezvous) is complete.
+    pub ready: Signal,
+}
+
+impl Posted {
+    fn matches(&self, d: &Delivered) -> bool {
+        self.ctx == d.ctx
+            && self.src.map(|s| s == d.src).unwrap_or(true)
+            && self.tag.map(|t| t == d.tag).unwrap_or(true)
+    }
+}
+
+#[derive(Default)]
+struct EngineState {
+    posted: VecDeque<Posted>,
+    unexpected: VecDeque<Delivered>,
+}
+
+/// Per-rank tag-matching engine.
+#[derive(Default)]
+pub struct MatchEngine {
+    state: RefCell<EngineState>,
+}
+
+impl MatchEngine {
+    /// Create an empty engine.
+    pub fn new() -> MatchEngine {
+        MatchEngine::default()
+    }
+
+    /// An arrival: returns the matching posted receive if one exists,
+    /// otherwise queues the message as unexpected.
+    pub fn arrive(&self, d: Delivered) -> Option<Posted> {
+        let mut s = self.state.borrow_mut();
+        if let Some(idx) = s.posted.iter().position(|p| p.matches(&d)) {
+            let p = s.posted.remove(idx).expect("index in range");
+            drop(s);
+            *p.slot.borrow_mut() = Some(d);
+            Some(p)
+        } else {
+            s.unexpected.push_back(d);
+            None
+        }
+    }
+
+    /// Post a receive: if an unexpected message matches, it is moved into
+    /// the posted slot and returned (the caller finalizes it — e.g.
+    /// schedules the rendezvous data transfer). Otherwise the receive is
+    /// queued.
+    pub fn post(&self, p: Posted) -> Option<Posted> {
+        let mut s = self.state.borrow_mut();
+        if let Some(idx) = s.unexpected.iter().position(|d| p.matches(d)) {
+            let d = s.unexpected.remove(idx).expect("index in range");
+            drop(s);
+            *p.slot.borrow_mut() = Some(d);
+            Some(p)
+        } else {
+            s.posted.push_back(p);
+            None
+        }
+    }
+
+    /// Number of queued unexpected messages (diagnostics).
+    pub fn unexpected_len(&self) -> usize {
+        self.state.borrow().unexpected.len()
+    }
+
+    /// Number of posted-but-unmatched receives (diagnostics).
+    pub fn posted_len(&self) -> usize {
+        self.state.borrow().posted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, ctx: u64, tag: i64) -> Delivered {
+        Delivered {
+            src,
+            ctx,
+            tag,
+            bytes: 8,
+            data: None,
+            meta: 0,
+            rendezvous: None,
+        }
+    }
+
+    fn recv(ctx: u64, src: Option<usize>, tag: Option<i64>) -> Posted {
+        Posted {
+            ctx,
+            src,
+            tag,
+            slot: Rc::new(RefCell::new(None)),
+            ready: Signal::new(),
+        }
+    }
+
+    #[test]
+    fn arrival_matches_posted() {
+        let e = MatchEngine::new();
+        let p = recv(0, Some(1), Some(7));
+        let slot = Rc::clone(&p.slot);
+        assert!(e.post(p).is_none());
+        let matched = e.arrive(msg(1, 0, 7));
+        assert!(matched.is_some());
+        assert_eq!(slot.borrow().as_ref().unwrap().tag, 7);
+        assert_eq!(e.posted_len(), 0);
+        assert_eq!(e.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn unmatched_arrival_goes_unexpected() {
+        let e = MatchEngine::new();
+        assert!(e.arrive(msg(0, 0, 3)).is_none());
+        assert_eq!(e.unexpected_len(), 1);
+        // A later matching post picks it up.
+        let p = recv(0, Some(0), Some(3));
+        assert!(e.post(p).is_some());
+        assert_eq!(e.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn context_isolation() {
+        let e = MatchEngine::new();
+        assert!(e.post(recv(1, None, None)).is_none());
+        // Wrong context: goes unexpected despite wildcard src/tag.
+        assert!(e.arrive(msg(0, 2, 0)).is_none());
+        assert_eq!(e.posted_len(), 1);
+        assert_eq!(e.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn tag_mismatch_not_matched() {
+        let e = MatchEngine::new();
+        assert!(e.post(recv(0, Some(0), Some(5))).is_none());
+        assert!(e.arrive(msg(0, 0, 6)).is_none());
+        assert_eq!(e.posted_len(), 1);
+    }
+
+    #[test]
+    fn any_source_any_tag_match() {
+        let e = MatchEngine::new();
+        assert!(e.post(recv(0, None, None)).is_none());
+        assert!(e.arrive(msg(42, 0, 99)).is_some());
+    }
+
+    #[test]
+    fn fifo_among_posted() {
+        let e = MatchEngine::new();
+        let p1 = recv(0, None, None);
+        let s1 = Rc::clone(&p1.slot);
+        let p2 = recv(0, None, None);
+        let s2 = Rc::clone(&p2.slot);
+        e.post(p1);
+        e.post(p2);
+        e.arrive(msg(0, 0, 1));
+        assert!(s1.borrow().is_some(), "oldest posted matches first");
+        assert!(s2.borrow().is_none());
+    }
+
+    #[test]
+    fn fifo_among_unexpected() {
+        let e = MatchEngine::new();
+        e.arrive(msg(0, 0, 1));
+        e.arrive(msg(0, 0, 2));
+        let p = recv(0, None, None);
+        let s = Rc::clone(&p.slot);
+        e.post(p);
+        assert_eq!(s.borrow().as_ref().unwrap().tag, 1, "oldest arrival first");
+    }
+
+    #[test]
+    fn specific_recv_skips_nonmatching_unexpected() {
+        let e = MatchEngine::new();
+        e.arrive(msg(0, 0, 1));
+        e.arrive(msg(0, 0, 2));
+        let p = recv(0, None, Some(2));
+        let s = Rc::clone(&p.slot);
+        e.post(p);
+        assert_eq!(s.borrow().as_ref().unwrap().tag, 2);
+        assert_eq!(e.unexpected_len(), 1);
+    }
+}

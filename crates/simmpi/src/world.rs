@@ -1,0 +1,425 @@
+//! The simulated machine: ranks, links, VCIs and the message delivery path.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pcomm_netmodel::{MachineConfig, NoiseInjector, VciPool};
+use pcomm_simcore::sync::Resource;
+use pcomm_simcore::{Dur, Sim};
+
+use crate::comm::Comm;
+use crate::tag::{Delivered, MatchEngine, Posted};
+
+/// One record of the optional event trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time in µs.
+    pub t_us: f64,
+    /// Rank the event is attributed to.
+    pub rank: usize,
+    /// Human-readable event description.
+    pub what: String,
+}
+
+/// Kind discriminator for deterministic context-id derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CtxKind {
+    /// `MPI_Comm_dup` child.
+    Dup = 1,
+    /// Window control context.
+    Win = 2,
+    /// Partitioned-communication internal context.
+    Part = 3,
+}
+
+struct WorldState {
+    engines: Vec<Rc<MatchEngine>>,
+    links: HashMap<(usize, usize), Resource>,
+    vci_pools: Vec<VciPool>,
+    noise: NoiseInjector,
+    /// (rank, parent ctx, kind) → next child index; "collective" calls must
+    /// happen in the same order on every rank (as in MPI) so derived
+    /// context ids agree.
+    child_counts: HashMap<(usize, u64, u8), u64>,
+    /// Per rank: number of windows created (progress-engine overhead).
+    windows: Vec<usize>,
+    /// Partitioned requests created per (src, dst) peer pair (tag-space
+    /// accounting, paper §3.2.1).
+    part_requests: HashMap<(usize, usize), usize>,
+    /// Per rank: next VCI assignment for communicators/windows
+    /// (round-robin, as MPICH maps comms to VCIs).
+    vci_assign: Vec<usize>,
+    /// Optional event trace (None = tracing disabled).
+    trace: Option<Vec<TraceRecord>>,
+}
+
+/// Handle to the simulated machine. Cheap to clone.
+#[derive(Clone)]
+pub struct World {
+    sim: Sim,
+    cfg: Rc<MachineConfig>,
+    state: Rc<RefCell<WorldState>>,
+}
+
+impl World {
+    /// Create a world with `n_ranks` ranks, `n_vcis` VCIs per rank and a
+    /// deterministic noise seed.
+    pub fn new(sim: &Sim, cfg: MachineConfig, n_ranks: usize, n_vcis: usize, seed: u64) -> World {
+        assert!(n_ranks >= 1, "need at least one rank");
+        let noise = NoiseInjector::new(cfg.noise_rel_sd, seed);
+        World {
+            sim: sim.clone(),
+            cfg: Rc::new(cfg),
+            state: Rc::new(RefCell::new(WorldState {
+                engines: (0..n_ranks).map(|_| Rc::new(MatchEngine::new())).collect(),
+                links: HashMap::new(),
+                vci_pools: (0..n_ranks).map(|_| VciPool::new(sim, n_vcis)).collect(),
+                noise,
+                child_counts: HashMap::new(),
+                windows: vec![0; n_ranks],
+                part_requests: HashMap::new(),
+                trace: None,
+                vci_assign: vec![1; n_ranks], // 0 is comm_world's VCI
+            })),
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.state.borrow().engines.len()
+    }
+
+    /// Number of VCIs per rank.
+    pub fn n_vcis(&self) -> usize {
+        self.state.borrow().vci_pools[0].len()
+    }
+
+    /// `MPI_COMM_WORLD` as seen from `rank`.
+    pub fn comm_world(&self, rank: usize) -> Comm {
+        assert!(rank < self.n_ranks(), "rank out of range");
+        Comm::new(self.clone(), rank, self.n_ranks(), 0, 0)
+    }
+
+    pub(crate) fn engine(&self, rank: usize) -> Rc<MatchEngine> {
+        Rc::clone(&self.state.borrow().engines[rank])
+    }
+
+    /// The (src → dst) link resource; created lazily.
+    pub(crate) fn link(&self, src: usize, dst: usize) -> Resource {
+        let mut s = self.state.borrow_mut();
+        s.links
+            .entry((src, dst))
+            .or_insert_with(|| Resource::new(&self.sim))
+            .clone()
+    }
+
+    /// VCI `idx` of `rank` (round-robin over the pool).
+    pub(crate) fn vci(&self, rank: usize, idx: usize) -> Resource {
+        self.state.borrow().vci_pools[rank].vci(idx).clone()
+    }
+
+    /// Apply system noise to a CPU-side cost.
+    pub(crate) fn jitter(&self, d: Dur) -> Dur {
+        self.state.borrow_mut().noise.jitter(d)
+    }
+
+    /// Enable event tracing (records message injections, deliveries and
+    /// partitioned-communication milestones).
+    pub fn enable_trace(&self) {
+        self.state.borrow_mut().trace = Some(Vec::new());
+    }
+
+    /// Take the collected trace (empties it; None-enabled worlds return
+    /// an empty vector).
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        self.state
+            .borrow_mut()
+            .trace
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Append a trace record if tracing is enabled. The closure only runs
+    /// when tracing is on, keeping the disabled path free.
+    pub(crate) fn trace(&self, rank: usize, what: impl FnOnce() -> String) {
+        let mut s = self.state.borrow_mut();
+        if let Some(trace) = s.trace.as_mut() {
+            let t_us = self.sim.now().as_us_f64();
+            trace.push(TraceRecord {
+                t_us,
+                rank,
+                what: what(),
+            });
+        }
+    }
+
+    /// Deterministically derive a child context id. Collective creations
+    /// (dup, window, partitioned init) must occur in the same order on all
+    /// participating ranks, as MPI requires.
+    pub(crate) fn alloc_child_ctx(&self, rank: usize, parent: u64, kind: CtxKind) -> u64 {
+        let mut s = self.state.borrow_mut();
+        let counter = s.child_counts.entry((rank, parent, kind as u8)).or_insert(0);
+        let idx = *counter;
+        *counter += 1;
+        assert!(idx < 1 << 16, "too many child contexts");
+        parent * (1 << 18) + ((kind as u64) << 16) + idx + 1
+    }
+
+    /// Round-robin VCI assignment for a new communicator/window on `rank`.
+    pub(crate) fn assign_vci(&self, rank: usize) -> usize {
+        let mut s = self.state.borrow_mut();
+        let n = s.vci_pools[rank].len();
+        let idx = s.vci_assign[rank] % n;
+        s.vci_assign[rank] += 1;
+        idx
+    }
+
+    /// Record a new window on `rank`; returns the total including it.
+    pub(crate) fn register_window(&self, rank: usize) -> usize {
+        let mut s = self.state.borrow_mut();
+        s.windows[rank] += 1;
+        s.windows[rank]
+    }
+
+    /// Windows currently registered on `rank` (progress-engine load).
+    pub(crate) fn windows_on(&self, rank: usize) -> usize {
+        self.state.borrow().windows[rank]
+    }
+
+    /// Count of partitioned requests previously created for the (src, dst)
+    /// peer pair; increments the counter (tag-space accounting).
+    pub(crate) fn count_part_request(&self, src: usize, dst: usize) -> usize {
+        let mut s = self.state.borrow_mut();
+        let c = s.part_requests.entry((src, dst)).or_insert(0);
+        let prev = *c;
+        *c += 1;
+        prev
+    }
+
+    /// Transmit a payload-bearing message: occupies the (src→dst) link for
+    /// the wire time, then propagates for the one-way latency, then enters
+    /// `dst`'s matching engine.
+    pub(crate) fn transmit(&self, src: usize, dst: usize, d: Delivered) {
+        self.trace(src, || {
+            format!("inject -> rank {dst} tag {} ({} B)", d.tag, d.bytes)
+        });
+        let world = self.clone();
+        let link = self.link(src, dst);
+        let bytes = d.bytes;
+        self.sim.spawn(async move {
+            {
+                let _g = link.acquire().await;
+                world.sim.sleep(world.cfg.wire_time(bytes)).await;
+            }
+            world.sim.sleep(world.cfg.latency).await;
+            world.deliver(dst, d);
+        });
+    }
+
+    /// Transmit a small control message (RTS/CTS/0-byte sync): pure
+    /// latency, no link occupancy.
+    pub(crate) fn transmit_ctrl(&self, src: usize, dst: usize, d: Delivered) {
+        self.trace(src, || {
+            if d.rendezvous.is_some() {
+                format!("RTS -> rank {dst} tag {} ({} B rendezvous)", d.tag, d.bytes)
+            } else {
+                format!("ctrl -> rank {dst} tag {}", d.tag)
+            }
+        });
+        let world = self.clone();
+        self.sim.spawn(async move {
+            world.sim.sleep(world.cfg.latency).await;
+            world.deliver(dst, d);
+        });
+    }
+
+    /// An arrival at `dst`: match or queue; finalize on match.
+    pub(crate) fn deliver(&self, dst: usize, d: Delivered) {
+        self.trace(dst, || {
+            format!("arrive <- rank {} tag {} ({} B)", d.src, d.tag, d.bytes)
+        });
+        let engine = self.engine(dst);
+        if let Some(posted) = engine.arrive(d) {
+            self.finalize_match(dst, posted);
+        }
+    }
+
+    /// A receive matched a message (either direction). Eager messages are
+    /// complete; rendezvous arrivals start their data transfer now (the
+    /// CTS goes back to the sender, then the data crosses the link).
+    pub(crate) fn finalize_match(&self, dst: usize, posted: Posted) {
+        let (src, bytes, rdv) = {
+            let slot = posted.slot.borrow();
+            let d = slot.as_ref().expect("matched slot must be filled");
+            (d.src, d.bytes, d.rendezvous.clone())
+        };
+        match rdv {
+            None => posted.ready.set(),
+            Some(handle) => {
+                self.trace(dst, || format!("match: CTS -> rank {src} ({bytes} B)"));
+                let world = self.clone();
+                let link = self.link(src, dst);
+                let cts_cost = self.jitter(self.cfg.o_ctrl);
+                self.sim.spawn(async move {
+                    // CTS travels back to the sender.
+                    world.sim.sleep(cts_cost + world.cfg.latency).await;
+                    // Zero-copy data transfer at full bandwidth.
+                    {
+                        let _g = link.acquire().await;
+                        world.sim.sleep(world.cfg.wire_time(bytes)).await;
+                    }
+                    handle.sender_done.set();
+                    world.sim.sleep(world.cfg.latency).await;
+                    world.trace(dst, || format!("rendezvous data landed ({bytes} B)"));
+                    posted.ready.set();
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcomm_simcore::sync::Signal;
+
+    fn quiet_world(n_vcis: usize) -> (Sim, World) {
+        let sim = Sim::new();
+        let world = World::new(&sim, MachineConfig::meluxina_quiet(), 2, n_vcis, 1);
+        (sim, world)
+    }
+
+    #[test]
+    fn world_basics() {
+        let (_sim, world) = quiet_world(4);
+        assert_eq!(world.n_ranks(), 2);
+        assert_eq!(world.n_vcis(), 4);
+        let c = world.comm_world(0);
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn ctx_derivation_is_symmetric_across_ranks() {
+        let (_sim, world) = quiet_world(1);
+        // Both ranks derive children in the same order → same ids.
+        let a1 = world.alloc_child_ctx(0, 0, CtxKind::Dup);
+        let a2 = world.alloc_child_ctx(0, 0, CtxKind::Dup);
+        let b1 = world.alloc_child_ctx(1, 0, CtxKind::Dup);
+        let b2 = world.alloc_child_ctx(1, 0, CtxKind::Dup);
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+        assert_ne!(a1, a2);
+        // Different kinds never collide.
+        let w = world.alloc_child_ctx(0, 0, CtxKind::Win);
+        let p = world.alloc_child_ctx(0, 0, CtxKind::Part);
+        assert_ne!(w, a1);
+        assert_ne!(p, a1);
+        assert_ne!(w, p);
+    }
+
+    #[test]
+    fn vci_assignment_round_robin() {
+        let (_sim, world) = quiet_world(4);
+        // comm_world holds VCI 0; assignments start at 1.
+        assert_eq!(world.assign_vci(0), 1);
+        assert_eq!(world.assign_vci(0), 2);
+        assert_eq!(world.assign_vci(0), 3);
+        assert_eq!(world.assign_vci(0), 0);
+        assert_eq!(world.assign_vci(0), 1);
+    }
+
+    #[test]
+    fn transmit_delivers_after_wire_plus_latency() {
+        let (sim, world) = quiet_world(1);
+        let d = Delivered {
+            src: 0,
+            ctx: 0,
+            tag: 5,
+            bytes: 1_000_000, // 40us wire at 25 GB/s
+            data: None,
+            meta: 0,
+            rendezvous: None,
+        };
+        world.transmit(0, 1, d);
+        sim.run();
+        assert_eq!(world.engine(1).unexpected_len(), 1);
+        // 40us wire + 1.22us latency.
+        assert!((sim.now().as_us_f64() - 41.22).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ctrl_takes_latency_only() {
+        let (sim, world) = quiet_world(1);
+        let d = Delivered {
+            src: 0,
+            ctx: 0,
+            tag: crate::TAG_CTS,
+            bytes: 0,
+            data: None,
+            meta: 0,
+            rendezvous: None,
+        };
+        world.transmit_ctrl(0, 1, d);
+        sim.run();
+        assert!((sim.now().as_us_f64() - 1.22).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendezvous_match_schedules_transfer() {
+        let (sim, world) = quiet_world(1);
+        let sender_done = Signal::new();
+        let d = Delivered {
+            src: 0,
+            ctx: 0,
+            tag: 1,
+            bytes: 2_500_000, // 100us wire
+            data: None,
+            meta: 0,
+            rendezvous: Some(crate::tag::RendezvousHandle {
+                sender_done: sender_done.clone(),
+            }),
+        };
+        // Post the receive first, then let the RTS arrive.
+        let slot = Rc::new(RefCell::new(None));
+        let ready = Signal::new();
+        let posted = Posted {
+            ctx: 0,
+            src: Some(0),
+            tag: Some(1),
+            slot,
+            ready: ready.clone(),
+        };
+        assert!(world.engine(1).post(posted).is_none());
+        world.transmit_ctrl(0, 1, d); // RTS
+        sim.run();
+        assert!(sender_done.is_set());
+        assert!(ready.is_set());
+        // RTS latency (1.22) + CTS (o_ctrl 0.3 + 1.22) + wire 100 + latency
+        // 1.22 = 103.96us.
+        assert!(
+            (sim.now().as_us_f64() - 103.96).abs() < 1e-6,
+            "t = {}",
+            sim.now().as_us_f64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn bad_rank_rejected() {
+        let (_sim, world) = quiet_world(1);
+        let _ = world.comm_world(5);
+    }
+}

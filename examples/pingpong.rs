@@ -1,0 +1,63 @@
+//! Classic ping-pong microbenchmark (OSU-style) on the real runtime:
+//! half round-trip latency and bandwidth across message sizes, through
+//! the eager and rendezvous protocols.
+//!
+//! ```text
+//! cargo run --release --example pingpong
+//! ```
+
+use std::time::Instant;
+
+use pcomm::core::{Comm, Universe};
+use pcomm::perfmodel::perceived_bandwidth;
+
+fn round_trip(comm: &Comm, peer: usize, buf: &mut [u8]) {
+    if comm.rank() == 0 {
+        comm.send(peer, 0, buf);
+        comm.recv_into(Some(peer), Some(0), buf);
+    } else {
+        comm.recv_into(Some(peer), Some(0), buf);
+        comm.send(peer, 0, buf);
+    }
+}
+
+fn main() {
+    let warmup = 20;
+    let iters = 200;
+    println!("in-process ping-pong (eager <= 64 KiB, rendezvous above)");
+    println!(
+        "{:>10}  {:>14}  {:>16}",
+        "size", "latency [us]", "bandwidth [GB/s]"
+    );
+    let mut size = 8usize;
+    while size <= 4 << 20 {
+        let out = Universe::new(2).run(|comm| {
+            let peer = 1 - comm.rank();
+            let mut buf = vec![0u8; size];
+            for _ in 0..warmup {
+                round_trip(&comm, peer, &mut buf);
+            }
+            comm.barrier();
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                round_trip(&comm, peer, &mut buf);
+            }
+            t0.elapsed()
+        });
+        let elapsed = out[0].max(out[1]);
+        let half_rt_us = elapsed.as_secs_f64() * 1e6 / (iters as f64) / 2.0;
+        let bw = perceived_bandwidth(size, half_rt_us * 1e-6) / 1e9;
+        println!("{:>10}  {:>14.2}  {:>16.2}", human(size), half_rt_us, bw);
+        size *= 4;
+    }
+}
+
+fn human(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}

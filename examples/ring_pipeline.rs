@@ -1,0 +1,68 @@
+//! Multi-rank ring pipeline on the real runtime: every rank
+//! simultaneously sends a partitioned buffer to its right neighbour and
+//! receives one from its left — the communication skeleton of pipelined
+//! stencil sweeps.
+//!
+//! Demonstrates that the partitioned API composes across more than two
+//! ranks and that early partitions propagate around the ring before late
+//! ones are even produced.
+//!
+//! ```text
+//! cargo run --release --example ring_pipeline
+//! ```
+
+use std::time::Instant;
+
+use pcomm::core::{part::PartOptions, Universe};
+
+fn main() {
+    let n_ranks = 4;
+    let n_parts = 8;
+    let part_bytes = 16 * 1024;
+    let rounds = 10;
+
+    println!("ring pipeline: {n_ranks} ranks, {n_parts} partitions × {part_bytes} B, {rounds} rounds");
+
+    let times = Universe::new(n_ranks).with_shards(4).run(|comm| {
+        let right = (comm.rank() + 1) % comm.size();
+        let left = (comm.rank() + comm.size() - 1) % comm.size();
+        let psend = comm.psend_init(right, 0, n_parts, part_bytes, PartOptions::default());
+        let precv = comm.precv_init(left, 0, n_parts, part_bytes, PartOptions::default());
+        comm.barrier();
+        let t0 = Instant::now();
+        for round in 0..rounds {
+            precv.start();
+            psend.start();
+            for p in 0..n_parts {
+                // Produce partition p: stamp it with (rank, round, p).
+                psend.write_partition(p, |buf| {
+                    let stamp = (comm.rank() * 1000 + round * 10 + p) as u32;
+                    for (i, b) in buf.iter_mut().enumerate() {
+                        *b = (stamp as usize + i) as u8;
+                    }
+                });
+                psend.pready(p);
+            }
+            psend.wait();
+            precv.wait();
+            // Verify the neighbour's stamps.
+            for p in 0..n_parts {
+                let stamp = (left * 1000 + round * 10 + p) as u32;
+                let data = precv.partition(p);
+                assert!(
+                    data.iter()
+                        .enumerate()
+                        .all(|(i, &b)| b == (stamp as usize + i) as u8),
+                    "rank {} round {round} partition {p} corrupted",
+                    comm.rank()
+                );
+            }
+        }
+        t0.elapsed()
+    });
+
+    for (rank, t) in times.iter().enumerate() {
+        println!("rank {rank}: {rounds} rounds in {t:?}");
+    }
+    println!("ring verified: every rank received every neighbour partition intact.");
+}

@@ -1,0 +1,174 @@
+//! Property tests of the discrete-event kernel: the simulator's
+//! correctness guarantees (FIFO fairness, timer ordering, determinism)
+//! under randomly generated task structures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use pcomm::simcore::sync::{channel, Barrier, Resource, Semaphore};
+use pcomm::simcore::{Dur, Sim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Timers fire in (time, registration) order regardless of the order
+    /// tasks are spawned or the durations chosen.
+    #[test]
+    fn timers_fire_in_time_order(delays in proptest::collection::vec(0u64..1000, 1..40)) {
+        let sim = Sim::new();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let s = sim.clone();
+            let fired = Rc::clone(&fired);
+            sim.spawn(async move {
+                s.sleep(Dur::from_ns(d)).await;
+                fired.borrow_mut().push((d, i));
+            });
+        }
+        sim.run();
+        let log = fired.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            // Non-decreasing times; equal times resolve in spawn order.
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "ordering violated: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    /// A contended resource serializes: total time equals the sum of the
+    /// hold durations, and grants happen in request order.
+    #[test]
+    fn resource_serializes_exactly(holds in proptest::collection::vec(1u64..50, 1..20)) {
+        let sim = Sim::new();
+        let res = Resource::new(&sim);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, &h) in holds.iter().enumerate() {
+            let res = res.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                res.occupy(Dur::from_us(h)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        let total: u64 = holds.iter().sum();
+        prop_assert_eq!(sim.now().as_us_f64(), total as f64);
+        // FIFO among same-instant requesters = spawn order.
+        prop_assert_eq!(order.borrow().clone(), (0..holds.len()).collect::<Vec<_>>());
+    }
+
+    /// Channel delivery preserves send order for any message count and
+    /// any sender pacing.
+    #[test]
+    fn channel_fifo(paces in proptest::collection::vec(0u64..100, 1..60)) {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<usize>();
+        let s = sim.clone();
+        let paces2 = paces.clone();
+        sim.spawn(async move {
+            for (i, &p) in paces2.iter().enumerate() {
+                s.sleep(Dur::from_ns(p)).await;
+                tx.send(i);
+            }
+        });
+        let got = sim.spawn({
+            let n = paces.len();
+            async move {
+                let mut v = Vec::new();
+                for _ in 0..n {
+                    v.push(rx.recv().await.unwrap());
+                }
+                v
+            }
+        });
+        sim.run();
+        prop_assert_eq!(got.try_take().unwrap(), (0..paces.len()).collect::<Vec<_>>());
+    }
+
+    /// A semaphore with k permits bounds concurrency at exactly k and the
+    /// makespan matches the greedy schedule bound.
+    #[test]
+    fn semaphore_bounds_concurrency(
+        permits in 1usize..6,
+        jobs in proptest::collection::vec(1u64..30, 1..25),
+    ) {
+        let sim = Sim::new();
+        let sem = Semaphore::new(permits);
+        let active = Rc::new(RefCell::new((0usize, 0usize))); // (now, max)
+        for &j in &jobs {
+            let sem = sem.clone();
+            let s = sim.clone();
+            let active = Rc::clone(&active);
+            sim.spawn(async move {
+                let _g = sem.acquire().await;
+                {
+                    let mut a = active.borrow_mut();
+                    a.0 += 1;
+                    a.1 = a.1.max(a.0);
+                }
+                s.sleep(Dur::from_us(j)).await;
+                active.borrow_mut().0 -= 1;
+            });
+        }
+        sim.run();
+        let (now, peak) = *active.borrow();
+        prop_assert_eq!(now, 0);
+        prop_assert!(peak <= permits, "concurrency {peak} exceeded permits {permits}");
+        // Work conservation: makespan >= total/permits and >= longest job.
+        let total: u64 = jobs.iter().sum();
+        let longest = *jobs.iter().max().unwrap();
+        let makespan = sim.now().as_us_f64();
+        prop_assert!(makespan + 1e-9 >= total as f64 / permits as f64);
+        prop_assert!(makespan + 1e-9 >= longest as f64);
+    }
+
+    /// Barriers synchronize any team size: all release times equal the
+    /// slowest arrival, every cycle.
+    #[test]
+    fn barrier_release_at_max(arrivals in proptest::collection::vec(0u64..500, 2..16)) {
+        let sim = Sim::new();
+        let b = Barrier::new(arrivals.len());
+        let releases = Rc::new(RefCell::new(Vec::new()));
+        for &a in &arrivals {
+            let s = sim.clone();
+            let b = b.clone();
+            let rel = Rc::clone(&releases);
+            sim.spawn(async move {
+                s.sleep(Dur::from_ns(a)).await;
+                b.wait().await;
+                rel.borrow_mut().push(s.now().as_ps() as f64 / 1e3);
+            });
+        }
+        sim.run();
+        let max = *arrivals.iter().max().unwrap() as f64;
+        for &r in releases.borrow().iter() {
+            prop_assert_eq!(r, max);
+        }
+    }
+
+    /// Whole-sim determinism: a random mixed workload produces the same
+    /// final virtual time and poll count on every run.
+    #[test]
+    fn mixed_workload_deterministic(seed_jobs in proptest::collection::vec((0u64..200, 1u64..40), 1..20)) {
+        fn build(jobs: &[(u64, u64)]) -> (f64, u64) {
+            let sim = Sim::new();
+            let res = Resource::new(&sim);
+            let b = Barrier::new(jobs.len());
+            for &(delay, hold) in jobs {
+                let s = sim.clone();
+                let res = res.clone();
+                let b = b.clone();
+                sim.spawn(async move {
+                    s.sleep(Dur::from_ns(delay)).await;
+                    res.occupy(Dur::from_us(hold)).await;
+                    b.wait().await;
+                });
+            }
+            let report = sim.try_run();
+            (report.finished_at.as_us_f64(), report.polls)
+        }
+        prop_assert_eq!(build(&seed_jobs), build(&seed_jobs));
+    }
+}
