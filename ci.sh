@@ -1,0 +1,24 @@
+#!/bin/sh
+# Offline CI: format check, release build, default tests, opt-in
+# randomized property tests, bench compilation. Mirrors what reviewers
+# run; no network access required at any step.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo build --release (workspace, offline) =="
+cargo build --workspace --release --offline
+
+echo "== cargo test (workspace, offline) =="
+cargo test --workspace -q --offline
+
+echo "== cargo test --features proptests (offline) =="
+cargo test -q --offline --features proptests
+
+echo "== cargo bench --no-run (offline) =="
+cargo bench --workspace --no-run --offline
+
+echo "CI OK"

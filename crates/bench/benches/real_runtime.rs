@@ -1,14 +1,32 @@
-//! Criterion benches on the REAL multithreaded runtime (`pcomm-core`):
-//! wall-clock analogues of the paper's figures.
+//! Benches on the REAL multithreaded runtime (`pcomm-core`): wall-clock
+//! analogues of the paper's figures.
 //!
-//! One bench group per figure. Each measured iteration runs a short
-//! benchmark campaign (spawn universe, a few warm iterations) and reports
-//! the steady-state per-iteration overhead.
+//! Plain timing harness (no external bench framework): each case is run
+//! a fixed number of times after one warm-up, and the minimum and mean
+//! are printed — the minimum is the robust statistic on noisy CI hosts.
+//! Run with `cargo bench --bench real_runtime`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcomm_core::strategies::{measure, RealApproach, RealScenario};
+
+const SAMPLES: usize = 10;
+
+fn bench(group: &str, id: &str, mut f: impl FnMut() -> Duration) {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(SAMPLES);
+    let wall = Instant::now();
+    for _ in 0..SAMPLES {
+        samples.push(f());
+    }
+    let wall = wall.elapsed();
+    let min = samples.iter().copied().min().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{group:<24} {id:<36} min {:>10.2?}  mean {:>10.2?}  ({SAMPLES} samples, {:.1?} wall)",
+        min, mean, wall,
+    );
+}
 
 /// Steady-state overhead: run a few iterations, discard the warm-up,
 /// return the minimum (robust against scheduler noise on small hosts).
@@ -18,9 +36,7 @@ fn steady(a: RealApproach, sc: &RealScenario) -> Duration {
 }
 
 /// Fig. 4 analogue: single thread, one partition, across sizes.
-fn bench_fig4_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_single_thread");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_fig4_latency() {
     for size in [1 << 10, 64 << 10, 1 << 20] {
         for a in [
             RealApproach::PtpPart,
@@ -28,77 +44,75 @@ fn bench_fig4_latency(c: &mut Criterion) {
             RealApproach::PtpSingle,
         ] {
             let sc = RealScenario::immediate(1, 1, size, 1, 4);
-            g.bench_with_input(
-                BenchmarkId::new(a.label().replace(' ', "_"), size),
-                &sc,
-                |b, sc| b.iter(|| steady(a, sc)),
-            );
+            let id = format!("{}/{size}", a.label().replace(' ', "_"));
+            bench("fig4_single_thread", &id, || steady(a, &sc));
         }
     }
-    g.finish();
 }
 
 /// Fig. 5/6 analogue: contended vs sharded matching (threads on one lock
 /// vs per-thread shards).
-fn bench_contention(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_fig6_contention");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_contention() {
     let n_threads = 4; // modest: CI hosts may have few cores
     for shards in [1usize, 4] {
-        for a in [RealApproach::PtpPart, RealApproach::PtpMany, RealApproach::PtpSingle] {
+        for a in [
+            RealApproach::PtpPart,
+            RealApproach::PtpMany,
+            RealApproach::PtpSingle,
+        ] {
             let sc = RealScenario::immediate(n_threads, 1, 512, shards, 4);
-            g.bench_with_input(
-                BenchmarkId::new(a.label().replace(' ', "_"), format!("{shards}shards")),
-                &sc,
-                |b, sc| b.iter(|| steady(a, sc)),
-            );
+            let id = format!("{}/{shards}shards", a.label().replace(' ', "_"));
+            bench("fig5_fig6_contention", &id, || steady(a, &sc));
         }
     }
-    g.finish();
 }
 
 /// Fig. 7 analogue: aggregation of many small partitions.
-fn bench_aggregation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_aggregation");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_aggregation() {
     for aggr in [None, Some(4096usize), Some(16384)] {
         let mut sc = RealScenario::immediate(2, 16, 512, 2, 4);
         sc.aggr_size = aggr;
         let label = aggr.map(|a| format!("aggr{a}")).unwrap_or("no_aggr".into());
-        g.bench_with_input(BenchmarkId::new("Pt2Pt_part", label), &sc, |b, sc| {
-            b.iter(|| steady(RealApproach::PtpPart, sc))
+        bench("fig7_aggregation", &format!("Pt2Pt_part/{label}"), || {
+            steady(RealApproach::PtpPart, &sc)
         });
     }
     let sc = RealScenario::immediate(2, 16, 512, 2, 4);
-    g.bench_with_input(BenchmarkId::new("Pt2Pt_single", "ref"), &sc, |b, sc| {
-        b.iter(|| steady(RealApproach::PtpSingle, sc))
+    bench("fig7_aggregation", "Pt2Pt_single/ref", || {
+        steady(RealApproach::PtpSingle, &sc)
     });
-    g.finish();
 }
 
 /// Fig. 8 analogue: early-bird overlap with an injected delay.
-fn bench_early_bird(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_early_bird");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_early_bird() {
     let part_bytes = 1 << 20;
     let delay_us = 300.0;
     for a in [RealApproach::PtpPart, RealApproach::PtpSingle] {
         let mut sc = RealScenario::immediate(2, 1, part_bytes, 2, 4);
         sc.delays_us[1] = delay_us;
-        g.bench_with_input(
-            BenchmarkId::new(a.label().replace(' ', "_"), "1MiB_300us_delay"),
-            &sc,
-            |b, sc| b.iter(|| steady(a, sc)),
-        );
+        let id = format!("{}/1MiB_300us_delay", a.label().replace(' ', "_"));
+        bench("fig8_early_bird", &id, || steady(a, &sc));
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig4_latency,
-    bench_contention,
-    bench_aggregation,
-    bench_early_bird
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <filter>` runs only the groups whose name contains
+    // the filter; `--bench`-style extra flags are ignored.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
+    if want("fig4") {
+        bench_fig4_latency();
+    }
+    if want("fig5") || want("fig6") || want("contention") {
+        bench_contention();
+    }
+    if want("fig7") || want("aggregation") {
+        bench_aggregation();
+    }
+    if want("fig8") || want("early_bird") {
+        bench_early_bird();
+    }
+}

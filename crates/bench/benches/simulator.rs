@@ -1,22 +1,43 @@
-//! Criterion benches on the simulation stack itself: executor throughput
-//! and full-scenario simulation cost (how fast the figures regenerate).
+//! Benches on the simulation stack itself: executor throughput and
+//! full-scenario simulation cost (how fast the figures regenerate).
+//!
+//! Plain timing harness (no external bench framework); see
+//! `real_runtime.rs` for the conventions. Run with
+//! `cargo bench --bench simulator`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcomm_netmodel::MachineConfig;
 use pcomm_simcore::{Dur, Sim};
 use pcomm_simmpi::scenario::{run_scenario, Approach, Scenario};
 
+const SAMPLES: usize = 10;
+
+fn bench<T>(group: &str, id: &str, mut f: impl FnMut() -> T) {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+    }
+    let min = samples.iter().copied().min().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{group:<20} {id:<36} min {:>10.2?}  mean {:>10.2?}  ({SAMPLES} samples)",
+        min, mean,
+    );
+}
+
 /// Raw executor throughput: tasks ping-ponging through timers.
-fn bench_executor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simcore_executor");
-    g.sample_size(20).measurement_time(Duration::from_secs(2));
+fn bench_executor() {
     for n_tasks in [10usize, 100, 1000] {
-        g.bench_with_input(BenchmarkId::new("timer_storm", n_tasks), &n_tasks, |b, &n| {
-            b.iter(|| {
+        bench(
+            "simcore_executor",
+            &format!("timer_storm/{n_tasks}"),
+            || {
                 let sim = Sim::new();
-                for i in 0..n as u64 {
+                for i in 0..n_tasks as u64 {
                     let s = sim.clone();
                     sim.spawn(async move {
                         for k in 0..20u64 {
@@ -26,43 +47,48 @@ fn bench_executor(c: &mut Criterion) {
                 }
                 sim.run();
                 sim.polls()
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
 /// End-to-end scenario simulation cost per strategy (small scenario).
-fn bench_scenarios(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simmpi_scenarios");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_scenarios() {
     let cfg = MachineConfig::meluxina();
     for a in Approach::ALL {
         let sc = Scenario::immediate(8, 1, 4096, 10);
-        g.bench_with_input(
-            BenchmarkId::new("iterate", a.label().replace(' ', "_")),
-            &sc,
-            |b, sc| b.iter(|| run_scenario(&cfg, 2, 1, a, sc)),
-        );
+        let id = format!("iterate/{}", a.label().replace(' ', "_"));
+        bench("simmpi_scenarios", &id, || run_scenario(&cfg, 2, 1, a, &sc));
     }
-    g.finish();
 }
 
 /// The congestion scenario the paper's Fig. 5 needs (heaviest case).
-fn bench_fig5_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simmpi_fig5_cell");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_fig5_cell() {
     let cfg = MachineConfig::meluxina();
     let sc = Scenario::immediate(32, 1, 512, 10);
-    for a in [Approach::PtpPart, Approach::PtpMany, Approach::RmaManyPassive] {
-        g.bench_with_input(
-            BenchmarkId::new("32threads", a.label().replace(' ', "_")),
-            &sc,
-            |b, sc| b.iter(|| run_scenario(&cfg, 1, 1, a, sc)),
-        );
+    for a in [
+        Approach::PtpPart,
+        Approach::PtpMany,
+        Approach::RmaManyPassive,
+    ] {
+        let id = format!("32threads/{}", a.label().replace(' ', "_"));
+        bench("simmpi_fig5_cell", &id, || run_scenario(&cfg, 1, 1, a, &sc));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_executor, bench_scenarios, bench_fig5_cell);
-criterion_main!(benches);
+fn main() {
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
+    if want("executor") {
+        bench_executor();
+    }
+    if want("scenarios") {
+        bench_scenarios();
+    }
+    if want("fig5") {
+        bench_fig5_cell();
+    }
+}

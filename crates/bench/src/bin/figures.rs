@@ -37,10 +37,24 @@ fn main() {
         targets.push("all".into());
     }
     if targets.iter().any(|t| t == "all") {
-        targets = ["tables", "model", "appendix", "fig4", "fig5", "fig6", "fig7", "fig8", "theta", "ablation", "sensitivity", "trace", "summary"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        targets = [
+            "tables",
+            "model",
+            "appendix",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "theta",
+            "ablation",
+            "sensitivity",
+            "trace",
+            "summary",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     let cfg = MachineConfig::meluxina();
     println!(
@@ -60,7 +74,7 @@ fn main() {
             "summary" => print!("{}", figures::summary(&cfg, &opts)),
             "ablation" => print!("{}", figures::ablation(&cfg, &opts)),
             "sensitivity" => print!("{}", figures::sensitivity(&opts)),
-            "trace" => print!("{}", figures::trace()),
+            "trace" => print!("{}", figures::trace(Some(&out_dir))),
             "theta" => {
                 let fig = figures::theta_sweep(&cfg, &opts);
                 print!("{}", fig.render_text());

@@ -71,7 +71,12 @@ impl Figure {
             let _ = write!(header, "  {:>22}", s.label);
         }
         let _ = writeln!(out, "{header}");
-        let n = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let n = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..n {
             let x = self
                 .series
@@ -205,7 +210,13 @@ pub fn fig4(cfg: &MachineConfig, opts: &RunOpts) -> Figure {
     }
 }
 
-fn congestion_figure(cfg: &MachineConfig, n_vcis: usize, id: &str, title: &str, opts: &RunOpts) -> Figure {
+fn congestion_figure(
+    cfg: &MachineConfig,
+    n_vcis: usize,
+    id: &str,
+    title: &str,
+    opts: &RunOpts,
+) -> Figure {
     let n_threads = 32;
     let sizes = size_sweep(512, 16 << 20, opts);
     let scenarios: Vec<(usize, Scenario)> = sizes
@@ -242,7 +253,13 @@ pub fn fig5(cfg: &MachineConfig, opts: &RunOpts) -> Figure {
 
 /// Fig. 6 — same with 32 VCIs.
 pub fn fig6(cfg: &MachineConfig, opts: &RunOpts) -> Figure {
-    congestion_figure(cfg, 32, "fig6", "thread congestion: 32 threads, 32 VCIs", opts)
+    congestion_figure(
+        cfg,
+        32,
+        "fig6",
+        "thread congestion: 32 threads, 32 VCIs",
+        opts,
+    )
 }
 
 /// Fig. 7 — message aggregation: θ = 32 partitions per thread, 4 threads,
@@ -328,7 +345,11 @@ pub fn fig8(cfg: &MachineConfig, opts: &RunOpts) -> Figure {
         .map(|(_, sc)| measure(cfg, 1, Approach::PtpSingle, sc, opts).mean_us)
         .collect();
     let mut series = Vec::new();
-    for a in [Approach::PtpPart, Approach::PtpMany, Approach::RmaSinglePassive] {
+    for a in [
+        Approach::PtpPart,
+        Approach::PtpMany,
+        Approach::RmaSinglePassive,
+    ] {
         let points = scenarios
             .iter()
             .zip(&single)
@@ -428,7 +449,12 @@ pub fn theta_sweep(cfg: &MachineConfig, opts: &RunOpts) -> Figure {
             // Analytic gain.
             analytic.push(Point {
                 x: theta as f64,
-                y: eta_large(n_threads as u64, theta as u64, model.gamma(theta as u64), cfg.bandwidth),
+                y: eta_large(
+                    n_threads as u64,
+                    theta as u64,
+                    model.gamma(theta as u64),
+                    cfg.bandwidth,
+                ),
                 err: 0.0,
             });
             // Measured: average over several delay realizations.
@@ -443,9 +469,8 @@ pub fn theta_sweep(cfg: &MachineConfig, opts: &RunOpts) -> Figure {
                 gains.push(single / part);
             }
             let mean = gains.iter().sum::<f64>() / gains.len() as f64;
-            let sd = (gains.iter().map(|g| (g - mean).powi(2)).sum::<f64>()
-                / gains.len() as f64)
-                .sqrt();
+            let sd =
+                (gains.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gains.len() as f64).sqrt();
             measured.push(Point {
                 x: theta as f64,
                 y: mean,
@@ -685,9 +710,12 @@ pub fn appendix() -> String {
 }
 
 /// A readable timeline of one partitioned iteration (4 threads, one
-/// delayed partition): every injection, arrival and pready, with virtual
-/// timestamps — the early-bird effect made visible.
-pub fn trace() -> String {
+/// delayed partition): every injection, VCI wait and pready, with virtual
+/// timestamps — the early-bird effect made visible. When `out_dir` is
+/// given, the same events are exported as Chrome trace-event JSON
+/// (`trace_sim.json`, the exact schema `PCOMM_TRACE` produces on the real
+/// runtime) and the plain-text summary report is appended.
+pub fn trace(out_dir: Option<&std::path::Path>) -> String {
     use pcomm_simcore::Sim;
     use pcomm_simmpi::part::{precv_init, psend_init, PartOptions};
     use pcomm_simmpi::World;
@@ -702,8 +730,24 @@ pub fn trace() -> String {
     };
     let n_parts = 4;
     let part_bytes = 1 << 20;
-    let ps = psend_init(&world.comm_world(0), 1, 0, n_parts, part_bytes, n_parts, opts.clone());
-    let pr = precv_init(&world.comm_world(1), 0, 0, n_parts, n_parts, part_bytes, opts);
+    let ps = psend_init(
+        &world.comm_world(0),
+        1,
+        0,
+        n_parts,
+        part_bytes,
+        n_parts,
+        opts.clone(),
+    );
+    let pr = precv_init(
+        &world.comm_world(1),
+        0,
+        0,
+        n_parts,
+        n_parts,
+        part_bytes,
+        opts,
+    );
     sim.spawn({
         let ps = ps.clone();
         let sim = sim.clone();
@@ -726,14 +770,29 @@ pub fn trace() -> String {
         }
     });
     sim.run();
+    let events = world.take_trace();
     let mut out = String::new();
     let _ = writeln!(
         out,
         "== trace — one partitioned iteration (4 × 1 MiB, last partition +105 µs) =="
     );
-    let _ = writeln!(out, "{:>10}  {:>4}  event", "t [us]", "rank");
-    for r in world.take_trace() {
-        let _ = writeln!(out, "{:>10.2}  {:>4}  {}", r.t_us, r.rank, r.what);
+    let _ = writeln!(out, "{:>12}  {:>4}  event", "t [us]", "rank");
+    for ev in &events {
+        let _ = writeln!(out, "{ev}");
+    }
+    let _ = writeln!(out);
+    out.push_str(&pcomm_trace::summary_report(&events, 0));
+    if let Some(dir) = out_dir {
+        let json = pcomm_trace::chrome_trace_json(&events, 0);
+        let path = dir.join("trace_sim.json");
+        match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json)) {
+            Ok(()) => {
+                let _ = writeln!(out, "   -> {}", path.display());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "   json write failed: {e}");
+            }
+        }
     }
     out
 }
@@ -745,8 +804,14 @@ pub fn sensitivity(opts: &RunOpts) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Machine sensitivity ==");
     for (name, cfg) in [
-        ("MeluXina-like (25 GB/s, 1.22 us)", MachineConfig::meluxina()),
-        ("commodity (12.5 GB/s, 2.5 us)", MachineConfig::commodity_cluster()),
+        (
+            "MeluXina-like (25 GB/s, 1.22 us)",
+            MachineConfig::meluxina(),
+        ),
+        (
+            "commodity (12.5 GB/s, 2.5 us)",
+            MachineConfig::commodity_cluster(),
+        ),
     ] {
         // Early-bird crossover: smallest power-of-two total size where
         // partitioned beats bulk-single under the Fig. 8 setup.

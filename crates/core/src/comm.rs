@@ -70,7 +70,9 @@ impl Comm {
     /// maps to the next match shard round-robin, isolating its traffic —
     /// the `Pt2Pt many` contention workaround (paper §2.3.2).
     pub fn dup(&self) -> Comm {
-        let ctx = self.fabric.alloc_child_ctx(self.rank, self.ctx, CtxKind::Dup);
+        let ctx = self
+            .fabric
+            .alloc_child_ctx(self.rank, self.ctx, CtxKind::Dup);
         let shard = self.fabric.shard_of_ctx(ctx);
         Comm {
             fabric: Arc::clone(&self.fabric),
@@ -120,7 +122,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::Universe;
 
     #[test]

@@ -98,7 +98,10 @@ impl Datatype {
     pub fn unpack(&self, packed: &[u8], dst: &mut [u8]) {
         self.validate();
         assert_eq!(packed.len(), self.packed_len(), "packed length mismatch");
-        assert!(dst.len() >= self.extent(), "destination smaller than extent");
+        assert!(
+            dst.len() >= self.extent(),
+            "destination smaller than extent"
+        );
         match self {
             Datatype::Contiguous { len } => dst[..*len].copy_from_slice(packed),
             Datatype::Vector {

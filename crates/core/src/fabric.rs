@@ -35,7 +35,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use pcomm_trace::{EventKind, Trace};
+
+use crate::sync::{Condvar, Mutex};
 
 use crate::sync::Completion;
 
@@ -56,6 +58,8 @@ pub(crate) struct RdvHandoff {
     pub(crate) src_ptr: *const u8,
     pub(crate) len: usize,
     pub(crate) done: Arc<Completion>,
+    /// Trace timestamp of the RTS (None when tracing is disabled).
+    pub(crate) rts_ns: Option<u64>,
 }
 
 // SAFETY: the pointer is only dereferenced by the matching thread before
@@ -166,6 +170,8 @@ pub(crate) struct Fabric {
     barrier: std::sync::Barrier,
     /// Messages matched so far (diagnostics).
     matched: AtomicU64,
+    /// Trace sink; `Trace::disabled()` costs one branch per event site.
+    trace: Trace,
 }
 
 /// Child-context kinds (must match across ranks for a given creation).
@@ -177,21 +183,40 @@ pub(crate) enum CtxKind {
 }
 
 impl Fabric {
+    #[cfg(test)]
     pub(crate) fn new(n_ranks: usize, n_shards: usize, eager_max: usize) -> Arc<Fabric> {
+        Fabric::new_traced(n_ranks, n_shards, eager_max, Trace::disabled())
+    }
+
+    pub(crate) fn new_traced(
+        n_ranks: usize,
+        n_shards: usize,
+        eager_max: usize,
+        trace: Trace,
+    ) -> Arc<Fabric> {
         assert!(n_ranks >= 1 && n_shards >= 1);
         Arc::new(Fabric {
             n_ranks,
             n_shards,
             eager_max,
             shards: (0..n_ranks)
-                .map(|_| (0..n_shards).map(|_| Mutex::new(MatchQueues::default())).collect())
+                .map(|_| {
+                    (0..n_shards)
+                        .map(|_| Mutex::new(MatchQueues::default()))
+                        .collect()
+                })
                 .collect(),
             ctx_counters: Mutex::new(HashMap::new()),
             win_registry: Mutex::new(HashMap::new()),
             win_cv: Condvar::new(),
             barrier: std::sync::Barrier::new(n_ranks),
             matched: AtomicU64::new(0),
+            trace,
         })
+    }
+
+    pub(crate) fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     pub(crate) fn n_ranks(&self) -> usize {
@@ -271,6 +296,11 @@ impl Fabric {
         if data.len() <= self.eager_max {
             let payload = Payload::Eager(data.to_vec());
             self.deliver(dst, shard, ctx, src_rank, tag, payload);
+            self.trace.emit(src_rank as u16, || EventKind::EagerSend {
+                dst: dst as u16,
+                shard: shard as u16,
+                bytes: data.len() as u64,
+            });
             SendTicket { done: None }
         } else {
             let done = Completion::new();
@@ -278,6 +308,12 @@ impl Fabric {
                 src_ptr: data.as_ptr(),
                 len: data.len(),
                 done: Arc::clone(&done),
+                rts_ns: self.trace.now_ns(),
+            });
+            self.trace.emit(src_rank as u16, || EventKind::RdvSend {
+                dst: dst as u16,
+                shard: shard as u16,
+                bytes: data.len() as u64,
             });
             self.deliver(dst, shard, ctx, src_rank, tag, payload);
             SendTicket { done: Some(done) }
@@ -294,11 +330,19 @@ impl Fabric {
         payload: Payload,
     ) {
         assert!(dst < self.n_ranks, "destination rank out of range");
+        let t0 = self.trace.now_ns();
         let mut q = self.shards[dst][shard].lock();
+        self.trace.emit_span(t0, src_rank as u16, |start, dur| {
+            EventKind::LockWait {
+                shard: shard as u16,
+                wait_ns: dur,
+            }
+            .at(start)
+        });
         if let Some(pos) = q.posted.iter().position(|p| p.matches(ctx, src_rank, tag)) {
             let posted = q.posted.remove(pos);
             drop(q); // copy outside the shard lock
-            self.fulfill(posted, payload, src_rank, tag);
+            self.fulfill(posted, payload, src_rank, tag, shard);
         } else {
             q.unexpected.push(UnexpectedMsg {
                 ctx,
@@ -316,7 +360,15 @@ impl Fabric {
             completion: Arc::clone(&posted.completion),
             info: Arc::clone(&posted.info),
         };
+        let t0 = self.trace.now_ns();
         let mut q = self.shards[rank][shard].lock();
+        self.trace.emit_span(t0, rank as u16, |start, dur| {
+            EventKind::LockWait {
+                shard: shard as u16,
+                wait_ns: dur,
+            }
+            .at(start)
+        });
         if let Some(pos) = q
             .unexpected
             .iter()
@@ -324,7 +376,7 @@ impl Fabric {
         {
             let u = q.unexpected.remove(pos);
             drop(q);
-            self.fulfill(posted, u.payload, u.src, u.tag);
+            self.fulfill(posted, u.payload, u.src, u.tag, shard);
         } else {
             q.posted.push(posted);
         }
@@ -333,7 +385,7 @@ impl Fabric {
 
     /// Complete a matched pair: copy the payload into the destination and
     /// fire the completions.
-    fn fulfill(&self, posted: PostedRecv, payload: Payload, src: usize, tag: i64) {
+    fn fulfill(&self, posted: PostedRecv, payload: Payload, src: usize, tag: i64, shard: usize) {
         let len = payload.len();
         assert!(
             len <= posted.dest_cap,
@@ -358,6 +410,16 @@ impl Fabric {
                     }
                 }
                 h.done.set();
+                // RTS-to-completion span, attributed to the sender whose
+                // buffer stayed pinned for its duration.
+                self.trace.emit_span(h.rts_ns, src as u16, |start, dur| {
+                    EventKind::RdvCopy {
+                        shard: shard as u16,
+                        bytes: len as u64,
+                        wait_ns: dur,
+                    }
+                    .at(start)
+                });
             }
         }
         *posted.info.lock() = Some(MsgInfo { src, tag, len });
@@ -402,7 +464,14 @@ mod tests {
         let st = f.send_raw(1, 0, 0, 0, 7, &[1, 2, 3]);
         assert!(st.test(), "eager completes locally");
         let info = ticket.wait();
-        assert_eq!(info, MsgInfo { src: 0, tag: 7, len: 3 });
+        assert_eq!(
+            info,
+            MsgInfo {
+                src: 0,
+                tag: 7,
+                len: 3
+            }
+        );
         assert_eq!(&buf[..3], &[1, 2, 3]);
     }
 

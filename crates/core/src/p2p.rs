@@ -5,7 +5,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::comm::Comm;
 use crate::fabric::{MsgInfo, PostedRecv, RecvTicket, SendTicket};
@@ -45,7 +45,12 @@ impl Comm {
     }
 
     /// Convenience: receive up to `max_len` bytes into a fresh vector.
-    pub fn recv_vec(&self, src: Option<usize>, tag: Option<i64>, max_len: usize) -> (Vec<u8>, MsgInfo) {
+    pub fn recv_vec(
+        &self,
+        src: Option<usize>,
+        tag: Option<i64>,
+        max_len: usize,
+    ) -> (Vec<u8>, MsgInfo) {
         let mut buf = vec![0u8; max_len];
         let info = self.recv_into(src, tag, &mut buf);
         buf.truncate(info.len);
@@ -157,7 +162,11 @@ impl PersistentSend {
 
     /// Non-blocking completion probe (`MPI_Test`).
     pub fn test(&self) -> bool {
-        self.active.lock().as_ref().map(|t| t.test()).unwrap_or(true)
+        self.active
+            .lock()
+            .as_ref()
+            .map(|t| t.test())
+            .unwrap_or(true)
     }
 }
 
@@ -238,7 +247,11 @@ impl PersistentRecv {
 
     /// Non-blocking arrival probe.
     pub fn test(&self) -> bool {
-        self.active.lock().as_ref().map(|t| t.test()).unwrap_or(true)
+        self.active
+            .lock()
+            .as_ref()
+            .map(|t| t.test())
+            .unwrap_or(true)
     }
 
     /// Envelope of the most recently completed receive, if any.
@@ -287,7 +300,7 @@ mod tests {
     #[test]
     fn rendezvous_roundtrip_through_universe() {
         Universe::new(2).with_eager_max(128).run(|comm| {
-            let big: Vec<u8> = (0..10_000).map(|i| (i * 7 % 256) as u8) .collect();
+            let big: Vec<u8> = (0..10_000).map(|i| (i * 7 % 256) as u8).collect();
             if comm.rank() == 0 {
                 comm.send(1, 0, &big);
             } else {

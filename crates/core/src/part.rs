@@ -15,7 +15,9 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pcomm_trace::EventKind;
+
+use crate::sync::Mutex;
 
 use crate::comm::Comm;
 use crate::fabric::{PostedRecv, RecvTicket, SendTicket};
@@ -43,7 +45,6 @@ pub struct PartOptions {
     /// Ablation: defer all sends to `wait()` (disables early-bird).
     pub defer_sends: bool,
 }
-
 
 /// One internal message of the improved path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -290,11 +291,22 @@ impl Comm {
             "total size must divide into receiver partitions"
         );
         if let Some(hint) = &opts.thread_hint {
-            assert_eq!(hint.len(), n_parts, "thread hint must cover every partition");
+            assert_eq!(
+                hint.len(),
+                n_parts,
+                "thread hint must cover every partition"
+            );
         }
         let layout = negotiate_layout(n_parts, n_recv_parts, part_bytes, opts.aggr_size);
         let part_comm = Comm::part_comm(self, tag);
         let n_msgs = layout.n_msgs();
+        self.fabric()
+            .trace()
+            .emit(self.rank() as u16, || EventKind::AggrLayout {
+                base_msgs: gcd(n_parts, n_recv_parts) as u16,
+                msgs: n_msgs as u16,
+                bytes_per_msg: layout.msgs[0].bytes as u64,
+            });
         PsendRequest {
             inner: Arc::new(PsendShared {
                 comm: part_comm,
@@ -324,7 +336,15 @@ impl Comm {
         part_bytes: usize,
         opts: PartOptions,
     ) -> PrecvRequest {
-        self.precv_init_general(src, tag, n_parts, part_bytes, n_parts, n_parts * part_bytes / n_parts, opts)
+        self.precv_init_general(
+            src,
+            tag,
+            n_parts,
+            part_bytes,
+            n_parts,
+            n_parts * part_bytes / n_parts,
+            opts,
+        )
     }
 
     /// `MPI_Precv_init` with a different partition count on the sender
@@ -440,6 +460,11 @@ impl PsendRequest {
         let s = &self.inner;
         assert!(s.started.load(Ordering::Acquire), "pready before start");
         assert!(p < s.n_parts, "partition out of range");
+        let trace = s.comm.fabric().trace();
+        let pready_ns = trace.now_ns();
+        trace.emit(s.comm.rank() as u16, || EventKind::Pready {
+            part: p as u64,
+        });
         s.storage.mark_ready(p);
         if s.legacy {
             let left = s.counters[0].fetch_sub(1, Ordering::AcqRel) - 1;
@@ -450,7 +475,7 @@ impl PsendRequest {
         let left = s.counters[m].fetch_sub(1, Ordering::AcqRel) - 1;
         assert!(left >= 0, "partition readied twice");
         if left == 0 && !s.defer_sends {
-            self.issue(m);
+            self.issue(m, pready_ns);
         }
     }
 
@@ -469,7 +494,10 @@ impl PsendRequest {
         }
     }
 
-    fn issue(&self, m: usize) {
+    /// Inject internal message `m`. `pready_ns` is the trace timestamp of
+    /// the completing `pready` (None on the deferred-send path, which is
+    /// not an early-bird send).
+    fn issue(&self, m: usize, pready_ns: Option<u64>) {
         let s = &self.inner;
         let spec = s.layout.msgs[m];
         let byte_off = spec.first_spart * s.part_bytes;
@@ -482,14 +510,20 @@ impl PsendRequest {
         // SAFETY: every partition of message m is READY (its counter hit
         // zero) and stays READY until wait() resets the iteration.
         let data = unsafe { s.storage.ready_slice(byte_off, spec.bytes) };
-        let ticket = s.comm.fabric().send_raw(
-            s.dst,
-            shard,
-            s.comm.ctx(),
-            s.comm.rank(),
-            m as i64,
-            data,
-        );
+        let ticket =
+            s.comm
+                .fabric()
+                .send_raw(s.dst, shard, s.comm.ctx(), s.comm.rank(), m as i64, data);
+        if let Some(t0) = pready_ns {
+            let trace = s.comm.fabric().trace();
+            let gap_ns = trace.now_ns().map_or(0, |now| now.saturating_sub(t0));
+            trace.emit(s.comm.rank() as u16, || EventKind::EarlyBird {
+                msg: m as u16,
+                shard: shard as u16,
+                bytes: spec.bytes as u64,
+                gap_ns,
+            });
+        }
         s.tickets.lock()[m] = Some(ticket);
         s.issued.lock()[m].set();
     }
@@ -499,6 +533,9 @@ impl PsendRequest {
     pub fn wait(&self) {
         let s = &self.inner;
         assert!(s.started.load(Ordering::Acquire), "wait before start");
+        let trace = s.comm.fabric().trace();
+        let rank = s.comm.rank() as u16;
+        let t_wait = trace.now_ns();
         if s.legacy {
             assert_eq!(
                 s.counters[0].load(Ordering::Acquire),
@@ -506,7 +543,15 @@ impl PsendRequest {
                 "legacy wait requires all partitions ready"
             );
             let cts = s.cts.lock().take().expect("CTS posted at start");
+            let t_cts = trace.now_ns();
             cts.wait();
+            trace.emit_span(t_cts, rank, |start, dur| {
+                EventKind::CtsWait {
+                    peer: s.dst as u16,
+                    wait_ns: dur,
+                }
+                .at(start)
+            });
             let total = s.n_parts * s.part_bytes;
             // SAFETY: all partitions READY; exclusive until reset.
             let data = unsafe { s.storage.ready_slice(0, total) };
@@ -527,7 +572,7 @@ impl PsendRequest {
                         0,
                         "deferred wait requires all partitions ready"
                     );
-                    self.issue(m);
+                    self.issue(m, None);
                 }
             }
             for m in 0..s.layout.n_msgs() {
@@ -537,6 +582,13 @@ impl PsendRequest {
                 ticket.wait();
             }
         }
+        trace.emit_span(t_wait, rank, |start, dur| {
+            EventKind::PartWait {
+                msgs: self.n_msgs() as u16,
+                wait_ns: dur,
+            }
+            .at(start)
+        });
         s.started.store(false, Ordering::Release);
     }
 }
@@ -636,7 +688,11 @@ impl PrecvRequest {
     pub fn parrived(&self, p: usize) -> bool {
         let s = &self.inner;
         assert!(p < s.n_parts, "partition out of range");
-        let m = if s.legacy { 0 } else { s.layout.msg_of_rpart(p) };
+        let m = if s.legacy {
+            0
+        } else {
+            s.layout.msg_of_rpart(p)
+        };
         s.tickets.lock()[m]
             .as_ref()
             .map(|t| t.test())
@@ -647,11 +703,20 @@ impl PrecvRequest {
     pub fn wait(&self) {
         let s = &self.inner;
         assert!(s.started.load(Ordering::Acquire), "wait before start");
+        let trace = s.comm.fabric().trace();
+        let t_wait = trace.now_ns();
         let n = if s.legacy { 1 } else { s.layout.n_msgs() };
         for m in 0..n {
             let ticket = s.tickets.lock()[m].take().expect("started recv");
             ticket.wait();
         }
+        trace.emit_span(t_wait, s.comm.rank() as u16, |start, dur| {
+            EventKind::PartWait {
+                msgs: n as u16,
+                wait_ns: dur,
+            }
+            .at(start)
+        });
         s.started.store(false, Ordering::Release);
     }
 

@@ -26,6 +26,8 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pcomm_trace::EventKind;
+
 use crate::comm::Comm;
 
 /// Tag for the active-target "post" notification.
@@ -128,9 +130,7 @@ impl WinOrigin {
     /// Must be called within an epoch (passive lock or active
     /// start/complete); the copy is performed by the calling thread.
     pub fn put(&self, offset: usize, data: &[u8]) {
-        let end = offset
-            .checked_add(data.len())
-            .expect("offset overflow");
+        let end = offset.checked_add(data.len()).expect("offset overflow");
         assert!(end <= self.mem.len(), "put exceeds window");
         if !data.is_empty() {
             // SAFETY: epoch protocol — the target does not read between
@@ -171,8 +171,18 @@ impl WinOrigin {
 
     /// Active sync: `MPI_Win_start` — block until the target posted.
     pub fn start_epoch(&self) {
+        let trace = self.comm.fabric().trace();
+        let t0 = trace.now_ns();
         let mut b = [0u8; 1];
-        self.comm.recv_into(Some(self.target), Some(TAG_POST), &mut b);
+        self.comm
+            .recv_into(Some(self.target), Some(TAG_POST), &mut b);
+        trace.emit_span(t0, self.comm.rank() as u16, |start, dur| {
+            EventKind::EpochOpen {
+                win: (self.comm.ctx() & 0xffff) as u16,
+                wait_ns: dur,
+            }
+            .at(start)
+        });
     }
 
     /// Active sync: `MPI_Win_complete` — notify the target with the put
@@ -181,6 +191,13 @@ impl WinOrigin {
         self.flush();
         let n = self.puts_in_epoch.swap(0, Ordering::AcqRel);
         self.comm.send(self.target, TAG_COMPLETE, &n.to_le_bytes());
+        self.comm
+            .fabric()
+            .trace()
+            .emit(self.comm.rank() as u16, || EventKind::EpochClose {
+                win: (self.comm.ctx() & 0xffff) as u16,
+                puts: n,
+            });
     }
 }
 
@@ -350,7 +367,9 @@ mod tests {
                 win.read(|b| {
                     for t in 0..n_threads {
                         assert!(
-                            b[t * chunk..(t + 1) * chunk].iter().all(|&x| x == t as u8 + 1),
+                            b[t * chunk..(t + 1) * chunk]
+                                .iter()
+                                .all(|&x| x == t as u8 + 1),
                             "thread {t}'s chunk corrupted"
                         );
                     }

@@ -133,7 +133,11 @@ impl RealScenario {
 /// overhead (receiver-side time-to-solution minus injected compute),
 /// including the warm-up iteration at index 0.
 pub fn measure(approach: RealApproach, sc: &RealScenario) -> Vec<Duration> {
-    assert_eq!(sc.delays_us.len(), sc.n_parts(), "delays must cover partitions");
+    assert_eq!(
+        sc.delays_us.len(),
+        sc.n_parts(),
+        "delays must cover partitions"
+    );
     let universe = Universe::new(2).with_shards(sc.shards);
     let mut out = universe.run(|comm| run_rank(approach, sc, comm));
     out.pop().expect("receiver produces the timings")
@@ -466,7 +470,11 @@ mod tests {
     #[test]
     fn rendezvous_sized_scenario_completes() {
         let sc = RealScenario::immediate(2, 1, 256 * 1024, 2, 2);
-        for a in [RealApproach::PtpPart, RealApproach::PtpSingle, RealApproach::PtpMany] {
+        for a in [
+            RealApproach::PtpPart,
+            RealApproach::PtpSingle,
+            RealApproach::PtpMany,
+        ] {
             let times = measure(a, &sc);
             assert_eq!(times.len(), 2, "{a:?}");
         }

@@ -1,8 +1,85 @@
 //! Small synchronization helpers for the real runtime.
+//!
+//! [`Mutex`] and [`Condvar`] are thin std-only shims with the ergonomic
+//! (`parking_lot`-style) API the runtime uses: `lock()` returns the guard
+//! directly and `Condvar::wait` takes the guard by `&mut`. Poisoning is
+//! deliberately ignored — a rank thread that panics propagates its panic
+//! through `Universe::run` anyway, so poison adds no safety and would
+//! only turn clean panics into double panics. Keeping the shim here means
+//! the workspace builds offline with no external crates.
 
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+/// A mutex whose `lock()` returns the guard directly (poison-ignoring).
+#[derive(Default, Debug)]
+pub(crate) struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+///
+/// Holds the std guard in an `Option` so [`Condvar::wait`] can take it by
+/// value (as std requires) while callers keep borrowing the wrapper.
+pub(crate) struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub(crate) fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, ignoring poison.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub(crate) fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not in a condvar wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not in a condvar wait")
+    }
+}
+
+/// Condition variable working on [`MutexGuard`] by `&mut`.
+#[derive(Default, Debug)]
+pub(crate) struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub(crate) fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Atomically release the lock and wait for a notification.
+    pub(crate) fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard already waiting");
+        guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wake all waiters.
+    pub(crate) fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
 
 /// A one-shot completion flag with blocking wait (Mutex + Condvar).
 ///

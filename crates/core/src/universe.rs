@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use pcomm_trace::{Trace, TraceData};
+
 use crate::comm::Comm;
 use crate::fabric::Fabric;
 
@@ -9,12 +11,16 @@ use crate::fabric::Fabric;
 /// of this order; messages above it use the zero-copy handoff path.
 pub const DEFAULT_EAGER_MAX: usize = 64 * 1024;
 
+/// Default per-thread trace ring capacity (events retained per thread).
+pub const DEFAULT_TRACE_CAP: usize = 1 << 16;
+
 /// Builder/runner for a multi-rank in-process job.
 #[derive(Debug, Clone)]
 pub struct Universe {
     n_ranks: usize,
     n_shards: usize,
     eager_max: usize,
+    trace: Trace,
 }
 
 impl Universe {
@@ -25,6 +31,7 @@ impl Universe {
             n_ranks,
             n_shards: 1,
             eager_max: DEFAULT_EAGER_MAX,
+            trace: Trace::disabled(),
         }
     }
 
@@ -42,6 +49,14 @@ impl Universe {
         self
     }
 
+    /// Attach a trace sink; every fabric and partitioned-communication
+    /// event of the run is recorded into it. Use [`Universe::run_traced`]
+    /// to get the merged trace back directly.
+    pub fn with_trace(mut self, trace: Trace) -> Universe {
+        self.trace = trace;
+        self
+    }
+
     /// Number of ranks.
     pub fn n_ranks(&self) -> usize {
         self.n_ranks
@@ -49,17 +64,69 @@ impl Universe {
 
     /// Run `f` once per rank, each on its own OS thread, and collect the
     /// per-rank results in rank order. Panics in any rank propagate.
+    ///
+    /// If `PCOMM_TRACE=<path>` is set in the environment (and no trace
+    /// was attached via [`Universe::with_trace`]), the run is traced and
+    /// a Chrome trace-event JSON is written to `<path>` at teardown;
+    /// `PCOMM_TRACE_REPORT=<path>` additionally writes the plain-text
+    /// summary.
     pub fn run<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
     {
-        let fabric = Fabric::new(self.n_ranks, self.n_shards, self.eager_max);
+        let env_json = std::env::var("PCOMM_TRACE").ok().filter(|p| !p.is_empty());
+        let env_report = std::env::var("PCOMM_TRACE_REPORT")
+            .ok()
+            .filter(|p| !p.is_empty());
+        if self.trace.is_enabled() || (env_json.is_none() && env_report.is_none()) {
+            return self.run_on(self.trace.clone(), &f);
+        }
+        let trace = Trace::ring(DEFAULT_TRACE_CAP);
+        let out = self.run_on(trace.clone(), &f);
+        let data = trace.snapshot().expect("trace was enabled");
+        if let Some(path) = env_json {
+            let json = pcomm_trace::chrome_trace_json(&data.events, data.dropped);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("pcomm: failed to write PCOMM_TRACE={path}: {e}");
+            }
+        }
+        if let Some(path) = env_report {
+            let report = pcomm_trace::summary_report(&data.events, data.dropped);
+            if let Err(e) = std::fs::write(&path, report) {
+                eprintln!("pcomm: failed to write PCOMM_TRACE_REPORT={path}: {e}");
+            }
+        }
+        out
+    }
+
+    /// Run with the attached trace (see [`Universe::with_trace`]) and
+    /// return the per-rank results together with the merged trace data.
+    pub fn run_traced<T, F>(&self, f: F) -> (Vec<T>, TraceData)
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        let trace = if self.trace.is_enabled() {
+            self.trace.clone()
+        } else {
+            Trace::ring(DEFAULT_TRACE_CAP)
+        };
+        let out = self.run_on(trace.clone(), &f);
+        let data = trace.snapshot().expect("trace is enabled");
+        (out, data)
+    }
+
+    fn run_on<T, F>(&self, trace: Trace, f: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        let fabric = Fabric::new_traced(self.n_ranks, self.n_shards, self.eager_max, trace);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.n_ranks)
                 .map(|rank| {
                     let fabric = Arc::clone(&fabric);
-                    let f = &f;
                     scope.spawn(move || f(Comm::world(fabric, rank)))
                 })
                 .collect();
@@ -96,6 +163,27 @@ mod tests {
             comm.barrier();
             assert_eq!(arrived.load(Ordering::SeqCst), 4);
         });
+    }
+
+    #[test]
+    fn run_traced_captures_fabric_events() {
+        let (out, data) = Universe::new(2).run_traced(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1, 2, 3]);
+            } else {
+                let mut b = [0u8; 3];
+                comm.recv_into(Some(0), Some(1), &mut b);
+            }
+            comm.rank()
+        });
+        assert_eq!(out, vec![0, 1]);
+        assert!(
+            data.events
+                .iter()
+                .any(|e| matches!(e.kind, pcomm_trace::EventKind::EagerSend { .. })),
+            "expected an eager send in the trace, got {} events",
+            data.events.len()
+        );
     }
 
     #[test]

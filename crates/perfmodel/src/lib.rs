@@ -18,8 +18,10 @@ pub mod metrics;
 pub mod stats;
 
 pub use delay::{ComputeProfile, DelayModel, NoiseModel};
-pub use metrics::{bandwidth_efficiency, early_bird_utilization, perceived_bandwidth, OverheadMetric};
 pub use gain::{eta_large, eta_small, t_bulk, t_pipelined, RefinedGainModel};
+pub use metrics::{
+    bandwidth_efficiency, early_bird_utilization, perceived_bandwidth, OverheadMetric,
+};
 pub use stats::{mean, sample_sd, student_t_90, ConfidenceInterval, MeasureOutcome, Protocol};
 
 /// Convert a delay rate from the paper's µs/MB to s/B.

@@ -226,7 +226,8 @@ mod tests {
     #[test]
     fn ci_shrinks_with_sample_size() {
         // Alternating values: same sd regardless of n, so hw ∝ t/√n.
-        let make = |n: usize| -> Vec<f64> { (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect() };
+        let make =
+            |n: usize| -> Vec<f64> { (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect() };
         let small = ConfidenceInterval::of(&make(10));
         let large = ConfidenceInterval::of(&make(1000));
         assert!(large.halfwidth < small.halfwidth / 5.0);

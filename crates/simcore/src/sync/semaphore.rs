@@ -254,7 +254,10 @@ mod tests {
             sem4.try_acquire().is_none()
         });
         sim.run();
-        assert!(probe.try_take().unwrap(), "try_acquire should fail while queued");
+        assert!(
+            probe.try_take().unwrap(),
+            "try_acquire should fail while queued"
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub struct Signal {
 
 impl std::fmt::Debug for Signal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Signal").field("set", &self.is_set()).finish()
+        f.debug_struct("Signal")
+            .field("set", &self.is_set())
+            .finish()
     }
 }
 

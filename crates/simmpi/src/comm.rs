@@ -59,7 +59,9 @@ impl Comm {
     /// order so the derived context ids agree (as MPI requires). The new
     /// communicator is assigned the next VCI round-robin.
     pub fn dup(&self) -> Comm {
-        let ctx = self.world.alloc_child_ctx(self.rank, self.ctx, CtxKind::Dup);
+        let ctx = self
+            .world
+            .alloc_child_ctx(self.rank, self.ctx, CtxKind::Dup);
         let vci_idx = self.world.assign_vci(self.rank);
         Comm {
             world: self.world.clone(),
@@ -82,7 +84,10 @@ impl Comm {
     /// Derive the internal context used by partitioned communication for a
     /// given user tag (the "reserved tag space" of paper §3.2.1).
     pub(crate) fn part_ctx(&self, tag: i64) -> u64 {
-        assert!((0..1 << 16).contains(&tag), "partitioned tag out of reserved space");
+        assert!(
+            (0..1 << 16).contains(&tag),
+            "partitioned tag out of reserved space"
+        );
         // Deterministic on both sides without a counter: kind=Part, idx=tag.
         self.ctx * (1 << 18) + ((CtxKind::Part as u64) << 16) + tag as u64 + 1
     }

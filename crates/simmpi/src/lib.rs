@@ -32,8 +32,11 @@ mod tag;
 mod world;
 
 pub use comm::Comm;
+// Re-exported so sim users consume the unified trace schema without a
+// direct `pcomm-trace` dependency.
+pub use pcomm_trace::{Event, EventKind};
 pub use tag::{Delivered, MatchEngine};
-pub use world::{TraceRecord, World};
+pub use world::World;
 
 /// Internal tag used for clear-to-send control messages.
 pub(crate) const TAG_CTS: i64 = -1;

@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use pcomm_netmodel::Protocol;
 use pcomm_simcore::sync::Signal;
+use pcomm_trace::EventKind;
 
 use crate::comm::Comm;
 use crate::tag::{Delivered, Posted, RendezvousHandle};
@@ -116,12 +117,35 @@ impl Comm {
         let world = self.world().clone();
         let cfg = world.config().clone();
         let proto = cfg.protocol_for(msg.bytes);
+        let vci_idx = self.vci_idx();
         {
-            let vci = world.vci(self.rank(), self.vci_idx());
+            let vci = world.vci(self.rank(), vci_idx);
+            let t0 = world.trace_now_ns();
             let guard = vci.acquire().await;
+            world.trace_span(t0, self.rank(), |wait_ns| EventKind::LockWait {
+                shard: vci_idx as u16,
+                wait_ns,
+            });
             let penalty = cfg.contention_penalty(guard.waiters_behind());
             let occupancy = world.jitter(cfg.send_occupancy(msg.bytes)) + penalty;
             world.sim().sleep(occupancy).await;
+        }
+        let bytes = msg.bytes;
+        match proto {
+            Protocol::Short | Protocol::EagerBcopy => {
+                world.trace(self.rank(), || EventKind::EagerSend {
+                    dst: dst as u16,
+                    shard: vci_idx as u16,
+                    bytes: bytes as u64,
+                });
+            }
+            Protocol::RendezvousZcopy => {
+                world.trace(self.rank(), || EventKind::RdvSend {
+                    dst: dst as u16,
+                    shard: vci_idx as u16,
+                    bytes: bytes as u64,
+                });
+            }
         }
         let done = Signal::new();
         let rendezvous = match proto {
@@ -354,7 +378,10 @@ mod tests {
         // Wire time for 1 MiB ≈ 41.9us; transfer starts only after the
         // receiver posts at 500us.
         assert!(t_send > 500.0, "sender completed early: {t_send}");
-        assert!(t_recv > t_send, "receiver completes after sender buffer free");
+        assert!(
+            t_recv > t_send,
+            "receiver completes after sender buffer free"
+        );
         let wire_us = (1u64 << 20) as f64 / 25e9 * 1e6;
         // recv setup 0.3 + CTS o_ctrl 0.3 + latency + wire + latency +
         // recv landing 0.2, after the receiver posts at 500us.

@@ -24,6 +24,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use pcomm_simcore::sync::Signal;
+use pcomm_trace::EventKind;
 
 use crate::comm::Comm;
 use crate::p2p::{Msg, RecvRequest, SendRequest};
@@ -237,11 +238,20 @@ pub fn psend_init(
 ) -> PsendRequest {
     assert!(n_parts >= 1, "need at least one partition");
     if let VciMapping::ThreadHint(hint) = &opts.vci_mapping {
-        assert_eq!(hint.len(), n_parts, "thread hint must cover every partition");
+        assert_eq!(
+            hint.len(),
+            n_parts,
+            "thread hint must cover every partition"
+        );
     }
     let world = comm.world().clone();
     let path = effective_path(&world, comm.rank(), dst, opts.path);
     let layout = negotiate_layout(n_parts, n_recv_parts, part_bytes, opts.aggr_size);
+    world.trace(comm.rank(), || EventKind::AggrLayout {
+        base_msgs: gcd(n_parts, n_recv_parts) as u16,
+        msgs: layout.n_msgs() as u16,
+        bytes_per_msg: layout.msgs[0].bytes as u64,
+    });
     let part_comm = Comm::new(
         world.clone(),
         comm.rank(),
@@ -315,10 +325,19 @@ impl PsendRequest {
                     // Receiver-decided message count (§3.2.1): the first
                     // iteration cannot send before the receiver's CTS
                     // announced the agreed count.
+                    let t0 = s.world.trace_now_ns();
                     s.comm.recv(Some(s.dst), Some(TAG_CTS)).await;
+                    s.world
+                        .trace_span(t0, s.comm.rank(), |wait_ns| EventKind::CtsWait {
+                            peer: s.dst as u16,
+                            wait_ns,
+                        });
                 }
                 for (m, spec) in s.layout.msgs.iter().enumerate() {
-                    s.world.sim().sleep(s.world.jitter(cfg.o_request_setup)).await;
+                    s.world
+                        .sim()
+                        .sleep(s.world.jitter(cfg.o_request_setup))
+                        .await;
                     s.counters[m].set(spec.n_sparts as i64);
                 }
                 let n = s.layout.n_msgs();
@@ -326,15 +345,25 @@ impl PsendRequest {
                 *s.sent_reqs.borrow_mut() = (0..n).map(|_| None).collect();
             }
             PartPath::LegacyAm => {
-                s.world.sim().sleep(s.world.jitter(cfg.o_request_setup)).await;
+                s.world
+                    .sim()
+                    .sleep(s.world.jitter(cfg.o_request_setup))
+                    .await;
                 // N_part + 1: the extra decrement comes from the CTS.
                 s.am_counter.set(s.n_parts as i64 + 1);
                 *s.am_issued.borrow_mut() = Signal::new();
                 // Watch for the receiver's CTS of this iteration.
                 let req = s.comm.irecv(Some(s.dst), Some(TAG_CTS)).await;
                 let this = self.clone();
+                let t0 = s.world.trace_now_ns();
                 s.world.sim().spawn(async move {
                     req.wait().await;
+                    let s = &this.inner;
+                    s.world
+                        .trace_span(t0, s.comm.rank(), |wait_ns| EventKind::CtsWait {
+                            peer: s.dst as u16,
+                            wait_ns,
+                        });
                     this.am_decrement().await;
                 });
             }
@@ -356,7 +385,7 @@ impl PsendRequest {
         s.world.sim().sleep(cost).await;
         s.concurrent_preadys.set(s.concurrent_preadys.get() - 1);
         s.world
-            .trace(s.comm.rank(), || format!("pready partition {p}"));
+            .trace(s.comm.rank(), || EventKind::Pready { part: p as u64 });
         match s.path {
             PartPath::Improved => {
                 let m = s.layout.msg_of_spart(p);
@@ -364,9 +393,10 @@ impl PsendRequest {
                 s.counters[m].set(left);
                 assert!(left >= 0, "partition {p} readied twice");
                 if left == 0 && !s.defer_sends {
-                    s.world
-                        .trace(s.comm.rank(), || format!("message {m} complete: early-bird send"));
-                    self.issue_message(m).await;
+                    // Early-bird: this pready injects the message itself;
+                    // the gap is pready-to-injection latency.
+                    let pready_ns = s.world.trace_now_ns();
+                    self.issue_message(m, pready_ns).await;
                 }
             }
             PartPath::LegacyAm => self.am_decrement().await,
@@ -389,7 +419,9 @@ impl PsendRequest {
     }
 
     /// Improved path: inject message `m` on its round-robin VCI.
-    async fn issue_message(&self, m: usize) {
+    /// `pready_ns` is set when the completing `pready` injects the message
+    /// itself (the early-bird path); deferred sends pass `None`.
+    async fn issue_message(&self, m: usize, pready_ns: Option<u64>) {
         let s = &self.inner;
         let spec = s.layout.msgs[m];
         let vci_idx = match &s.vci_mapping {
@@ -399,7 +431,21 @@ impl PsendRequest {
             VciMapping::ThreadHint(hint) => hint[spec.first_spart] % s.world.n_vcis(),
         };
         let comm = s.comm.with_vci(vci_idx);
-        let req = comm.isend(s.dst, m as i64, Msg::synthetic(spec.bytes)).await;
+        let req = comm
+            .isend(s.dst, m as i64, Msg::synthetic(spec.bytes))
+            .await;
+        if let Some(t0) = pready_ns {
+            let gap_ns = s
+                .world
+                .trace_now_ns()
+                .map_or(0, |now| now.saturating_sub(t0));
+            s.world.trace(s.comm.rank(), || EventKind::EarlyBird {
+                msg: m as u16,
+                shard: vci_idx as u16,
+                bytes: spec.bytes as u64,
+                gap_ns,
+            });
+        }
         s.sent_reqs.borrow_mut()[m] = Some(req);
         s.issued.borrow()[m].set();
     }
@@ -417,8 +463,7 @@ impl PsendRequest {
                 let vci = s.world.vci(s.comm.rank(), s.comm.vci_idx());
                 let guard = vci.acquire().await;
                 let penalty = cfg.contention_penalty(guard.waiters_behind());
-                let occupancy =
-                    s.world.jitter(cfg.o_am + cfg.copy_time(total)) + penalty;
+                let occupancy = s.world.jitter(cfg.o_am + cfg.copy_time(total)) + penalty;
                 s.world.sim().sleep(occupancy).await;
             }
             s.world.transmit(
@@ -443,8 +488,11 @@ impl PsendRequest {
     pub async fn wait(&self) {
         let s = &self.inner;
         assert!(s.started.get(), "wait before start");
+        let t0 = s.world.trace_now_ns();
+        let n_msgs;
         match s.path {
             PartPath::Improved => {
+                n_msgs = s.layout.n_msgs();
                 if s.defer_sends {
                     for m in 0..s.layout.n_msgs() {
                         assert_eq!(
@@ -452,7 +500,7 @@ impl PsendRequest {
                             0,
                             "deferred wait requires all partitions ready"
                         );
-                        self.issue_message(m).await;
+                        self.issue_message(m, None).await;
                     }
                 }
                 for m in 0..s.layout.n_msgs() {
@@ -465,12 +513,18 @@ impl PsendRequest {
                 }
             }
             PartPath::LegacyAm => {
+                n_msgs = 1;
                 let sig = s.am_issued.borrow().clone();
                 sig.wait().await;
                 let cost = s.world.jitter(s.world.config().o_request_complete);
                 s.world.sim().sleep(cost).await;
             }
         }
+        s.world
+            .trace_span(t0, s.comm.rank(), |wait_ns| EventKind::PartWait {
+                msgs: n_msgs as u16,
+                wait_ns,
+            });
         s.started.set(false);
     }
 }
@@ -636,10 +690,7 @@ impl PrecvRequest {
     /// start processing the earliest data without polling `parrived`).
     pub async fn wait_any_msg(&self) -> usize {
         let s = &self.inner;
-        assert!(
-            s.started.get(),
-            "wait_any_msg outside an active iteration"
-        );
+        assert!(s.started.get(), "wait_any_msg outside an active iteration");
         match s.path {
             PartPath::Improved => {
                 let signals: Vec<Signal> = s
@@ -667,8 +718,11 @@ impl PrecvRequest {
     pub async fn wait(&self) {
         let s = &self.inner;
         assert!(s.started.get(), "wait before start");
+        let t0 = s.world.trace_now_ns();
+        let n_msgs;
         match s.path {
             PartPath::Improved => {
+                n_msgs = s.layout.n_msgs();
                 for m in 0..s.layout.n_msgs() {
                     let req = s.reqs.borrow_mut()[m]
                         .take()
@@ -677,6 +731,7 @@ impl PrecvRequest {
                 }
             }
             PartPath::LegacyAm => {
+                n_msgs = 1;
                 let ready = s.am_ready.borrow().clone();
                 ready.wait().await;
                 let cfg = s.world.config().clone();
@@ -684,6 +739,11 @@ impl PrecvRequest {
                 s.world.sim().sleep(cost).await;
             }
         }
+        s.world
+            .trace_span(t0, s.comm.rank(), |wait_ns| EventKind::PartWait {
+                msgs: n_msgs as u16,
+                wait_ns,
+            });
         s.started.set(false);
         s.completed_once.set(true);
     }
@@ -1070,18 +1130,24 @@ mod tests {
         sim.run();
         let trace = world.take_trace();
         assert!(!trace.is_empty());
-        // Timestamps are monotone.
+        // Timestamps are monotone (take_trace sorts by virtual time).
         for w in trace.windows(2) {
-            assert!(w[1].t_us >= w[0].t_us, "trace out of order");
+            assert!(w[1].ts_ns >= w[0].ts_ns, "trace out of order");
         }
-        // Partition 0's message leaves before partition 1 is even ready.
-        let idx = |needle: &str| {
-            trace
-                .iter()
-                .position(|r| r.what.contains(needle))
-                .unwrap_or_else(|| panic!("missing trace event: {needle}"))
-        };
-        assert!(idx("message 0 complete") < idx("pready partition 1"));
+        // Message 0 leaves early-bird, before partition 1 is even ready.
+        let early0 = trace
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::EarlyBird { msg: 0, .. }))
+            .expect("missing early-bird event for message 0");
+        let pready1 = trace
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Pready { part: 1 }))
+            .expect("missing pready event for partition 1");
+        assert!(early0 < pready1, "early-bird send must precede pready(1)");
+        // The sender's injections are typed eager sends on rank 0.
+        assert!(trace
+            .iter()
+            .any(|e| e.rank == 0 && matches!(e.kind, EventKind::EagerSend { dst: 1, .. })));
         // Disabled tracing yields nothing further.
         assert!(world.take_trace().is_empty());
     }

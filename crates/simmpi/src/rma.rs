@@ -16,6 +16,7 @@
 use std::cell::{Cell, RefCell};
 
 use pcomm_simcore::sync::{channel, Receiver, Sender};
+use pcomm_trace::EventKind;
 
 use crate::comm::Comm;
 use crate::p2p::Msg;
@@ -187,7 +188,14 @@ impl WinOrigin {
     pub async fn start_epoch(&self) {
         let cost = self.world.jitter(self.world.config().o_win_sync);
         self.world.sim().sleep(cost).await;
+        let t0 = self.world.trace_now_ns();
         self.ctrl.recv(Some(self.target_rank), Some(TAG_POST)).await;
+        let win = (self.ctrl.ctx() & 0xffff) as u16;
+        self.world
+            .trace_span(t0, self.ctrl.rank(), |wait_ns| EventKind::EpochOpen {
+                win,
+                wait_ns,
+            });
     }
 
     /// Active sync: `MPI_Win_complete` — notify the target how many puts
@@ -199,6 +207,9 @@ impl WinOrigin {
         self.ctrl
             .send(self.target_rank, TAG_COMPLETE, Msg::ctrl(n))
             .await;
+        let win = (self.ctrl.ctx() & 0xffff) as u16;
+        self.world
+            .trace(self.ctrl.rank(), || EventKind::EpochClose { win, puts: n });
     }
 }
 
@@ -215,7 +226,9 @@ impl WinTarget {
     pub async fn post(&self) {
         let cost = self.world.jitter(self.world.config().o_win_sync);
         self.world.sim().sleep(cost).await;
-        self.ctrl.send(self.origin_rank, TAG_POST, Msg::ctrl(0)).await;
+        self.ctrl
+            .send(self.origin_rank, TAG_POST, Msg::ctrl(0))
+            .await;
     }
 
     /// Active sync: `MPI_Win_wait` — wait for the origin's complete

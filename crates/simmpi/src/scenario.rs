@@ -196,12 +196,7 @@ impl Approach {
                 "MPI_Put",
                 "MPI_Complete",
             ],
-            Approach::RmaManyActive => [
-                "MPI_Win_create",
-                "",
-                "MPI_Start MPI_Put MPI_Complete",
-                "",
-            ],
+            Approach::RmaManyActive => ["MPI_Win_create", "", "MPI_Start MPI_Put MPI_Complete", ""],
         }
     }
 
@@ -300,22 +295,14 @@ mod tests {
         assert_eq!(sc.n_parts(), 8);
         assert_eq!(sc.total_bytes(), 8192);
         assert_eq!(sc.max_delay(), Dur::ZERO);
-        assert_eq!(
-            sc.parts_of_thread(1),
-            vec![(1, Dur::ZERO), (5, Dur::ZERO)]
-        );
+        assert_eq!(sc.parts_of_thread(1), vec![(1, Dur::ZERO), (5, Dur::ZERO)]);
         sc.validate();
     }
 
     #[test]
     fn max_delay_is_max() {
         let mut sc = Scenario::immediate(2, 2, 64, 1);
-        sc.delays = vec![
-            Dur::ZERO,
-            Dur::from_us(3),
-            Dur::from_us(7),
-            Dur::from_us(5),
-        ];
+        sc.delays = vec![Dur::ZERO, Dur::from_us(3), Dur::from_us(7), Dur::from_us(5)];
         assert_eq!(sc.max_delay(), Dur::from_us(7));
     }
 
@@ -355,7 +342,10 @@ mod tests {
         }
         // Spot-check against the paper's tables.
         assert_eq!(Approach::PtpPart.sender_ops()[2], "MPI_Pready");
-        assert_eq!(Approach::RmaManyPassive.sender_ops()[2], "MPI_Put MPI_Win_flush");
+        assert_eq!(
+            Approach::RmaManyPassive.sender_ops()[2],
+            "MPI_Put MPI_Win_flush"
+        );
         assert_eq!(Approach::RmaSingleActive.receiver_ops()[1], "MPI_Post");
     }
 }

@@ -11,7 +11,9 @@ use pcomm_simcore::JoinHandle;
 
 use crate::comm::Comm;
 use crate::p2p::Msg;
-use crate::part::{precv_init, psend_init, PartOptions, PartPath, PrecvRequest, PsendRequest, VciMapping};
+use crate::part::{
+    precv_init, psend_init, PartOptions, PartPath, PrecvRequest, PsendRequest, VciMapping,
+};
 use crate::rma::{create_win, WinOrigin, WinTarget};
 use crate::scenario::{Approach, Recorder, Scenario};
 use crate::world::World;
@@ -60,7 +62,15 @@ pub(crate) fn spawn(world: &World, approach: Approach, sc: Scenario, rec: Record
                 defer_sends: sc.defer_sends,
                 first_iteration_cts: true,
             };
-            let ps = psend_init(&cs, 1, 0, sc.n_parts(), sc.part_bytes, sc.n_parts(), opts.clone());
+            let ps = psend_init(
+                &cs,
+                1,
+                0,
+                sc.n_parts(),
+                sc.part_bytes,
+                sc.n_parts(),
+                opts.clone(),
+            );
             let pr = precv_init(&cr, 0, 0, sc.n_parts(), sc.n_parts(), sc.part_bytes, opts);
             sim.spawn(sender_part(world.clone(), sc.clone(), rec.clone(), ps));
             sim.spawn(receiver_part(world.clone(), sc, rec, pr));
@@ -88,7 +98,12 @@ pub(crate) fn spawn(world: &World, approach: Approach, sc: Scenario, rec: Record
                 send_reqs.push(s_row);
                 recv_reqs.push(r_row);
             }
-            sim.spawn(sender_many(world.clone(), sc.clone(), rec.clone(), send_reqs));
+            sim.spawn(sender_many(
+                world.clone(),
+                sc.clone(),
+                rec.clone(),
+                send_reqs,
+            ));
             sim.spawn(receiver_many(world.clone(), sc, rec, recv_reqs));
         }
         Approach::RmaSinglePassive => {
@@ -416,12 +431,7 @@ async fn sender_rma_single_active(world: World, sc: Scenario, rec: Recorder, win
     }
 }
 
-async fn receiver_rma_single_active(
-    world: World,
-    sc: Scenario,
-    rec: Recorder,
-    win: Rc<WinTarget>,
-) {
+async fn receiver_rma_single_active(world: World, sc: Scenario, rec: Recorder, win: Rc<WinTarget>) {
     let sim = world.sim().clone();
     for _ in 0..sc.iterations {
         rec.begin(&sim).await;
@@ -528,8 +538,7 @@ mod tests {
     fn fig4_shape_single_thread() {
         for bytes in [512usize, 4096, 1 << 20] {
             let sc = Scenario::immediate(1, 1, bytes, 3);
-            let t =
-                |a: Approach| run_scenario(&quiet(), 1, 1, a, &sc)[2].as_us_f64();
+            let t = |a: Approach| run_scenario(&quiet(), 1, 1, a, &sc)[2].as_us_f64();
             let part = t(Approach::PtpPart);
             let old = t(Approach::PtpPartOld);
             let single = t(Approach::PtpSingle);
@@ -569,8 +578,7 @@ mod tests {
     #[test]
     fn contention_and_vci_relief() {
         let sc = Scenario::immediate(16, 1, 512, 3);
-        let run =
-            |a: Approach, v: usize| run_scenario(&quiet(), v, 1, a, &sc)[2].as_us_f64();
+        let run = |a: Approach, v: usize| run_scenario(&quiet(), v, 1, a, &sc)[2].as_us_f64();
         let single_1 = run(Approach::PtpSingle, 1);
         let many_1 = run(Approach::PtpMany, 1);
         let many_16 = run(Approach::PtpMany, 16);

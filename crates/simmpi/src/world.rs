@@ -7,20 +7,10 @@ use std::rc::Rc;
 use pcomm_netmodel::{MachineConfig, NoiseInjector, VciPool};
 use pcomm_simcore::sync::Resource;
 use pcomm_simcore::{Dur, Sim};
+use pcomm_trace::{Event, EventKind};
 
 use crate::comm::Comm;
 use crate::tag::{Delivered, MatchEngine, Posted};
-
-/// One record of the optional event trace.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceRecord {
-    /// Virtual time in µs.
-    pub t_us: f64,
-    /// Rank the event is attributed to.
-    pub rank: usize,
-    /// Human-readable event description.
-    pub what: String,
-}
 
 /// Kind discriminator for deterministic context-id derivation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,8 +40,11 @@ struct WorldState {
     /// Per rank: next VCI assignment for communicators/windows
     /// (round-robin, as MPICH maps comms to VCIs).
     vci_assign: Vec<usize>,
-    /// Optional event trace (None = tracing disabled).
-    trace: Option<Vec<TraceRecord>>,
+    /// Optional event trace (None = tracing disabled). Events use the
+    /// same typed schema as the real runtime ([`pcomm_trace`]), stamped
+    /// with *virtual* nanoseconds, so sim and real traces are directly
+    /// comparable in one viewer.
+    trace: Option<Vec<Event>>,
 }
 
 /// Handle to the simulated machine. Cheap to clone.
@@ -134,34 +127,68 @@ impl World {
         self.state.borrow_mut().noise.jitter(d)
     }
 
-    /// Enable event tracing (records message injections, deliveries and
-    /// partitioned-communication milestones).
+    /// Enable event tracing (records message injections, VCI waits and
+    /// partitioned-communication milestones as typed [`Event`]s).
     pub fn enable_trace(&self) {
         self.state.borrow_mut().trace = Some(Vec::new());
     }
 
-    /// Take the collected trace (empties it; None-enabled worlds return
-    /// an empty vector).
-    pub fn take_trace(&self) -> Vec<TraceRecord> {
-        self.state
+    /// Take the collected trace, sorted by virtual timestamp (empties it;
+    /// never-enabled worlds return an empty vector).
+    pub fn take_trace(&self) -> Vec<Event> {
+        let mut events = self
+            .state
             .borrow_mut()
             .trace
             .as_mut()
             .map(std::mem::take)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        // Span events are recorded at completion but stamped with their
+        // start time; restore timeline order.
+        events.sort_by_key(|e| e.ts_ns);
+        events
     }
 
-    /// Append a trace record if tracing is enabled. The closure only runs
-    /// when tracing is on, keeping the disabled path free.
-    pub(crate) fn trace(&self, rank: usize, what: impl FnOnce() -> String) {
+    /// Virtual now in nanoseconds, only while tracing is enabled. Span
+    /// sites capture this as the start timestamp; `None` keeps the
+    /// disabled path to a single branch.
+    pub(crate) fn trace_now_ns(&self) -> Option<u64> {
+        if self.state.borrow().trace.is_some() {
+            Some(self.sim.now().as_ps() / 1000)
+        } else {
+            None
+        }
+    }
+
+    /// Record an instant event at virtual-now if tracing is enabled. The
+    /// closure only runs when tracing is on, keeping the disabled path
+    /// free.
+    pub(crate) fn trace(&self, rank: usize, kind: impl FnOnce() -> EventKind) {
         let mut s = self.state.borrow_mut();
         if let Some(trace) = s.trace.as_mut() {
-            let t_us = self.sim.now().as_us_f64();
-            trace.push(TraceRecord {
-                t_us,
-                rank,
-                what: what(),
-            });
+            let ts_ns = self.sim.now().as_ps() / 1000;
+            let mut ev = kind().at(ts_ns);
+            ev.rank = rank as u16;
+            trace.push(ev);
+        }
+    }
+
+    /// Record a span event that started at `start_ns` (from
+    /// [`World::trace_now_ns`]) and ends now; the closure receives the
+    /// span duration in ns. No-op when `start_ns` is `None`.
+    pub(crate) fn trace_span(
+        &self,
+        start_ns: Option<u64>,
+        rank: usize,
+        kind: impl FnOnce(u64) -> EventKind,
+    ) {
+        let Some(t0) = start_ns else { return };
+        let mut s = self.state.borrow_mut();
+        if let Some(trace) = s.trace.as_mut() {
+            let now = self.sim.now().as_ps() / 1000;
+            let mut ev = kind(now.saturating_sub(t0)).at(t0);
+            ev.rank = rank as u16;
+            trace.push(ev);
         }
     }
 
@@ -170,7 +197,10 @@ impl World {
     /// participating ranks, as MPI requires.
     pub(crate) fn alloc_child_ctx(&self, rank: usize, parent: u64, kind: CtxKind) -> u64 {
         let mut s = self.state.borrow_mut();
-        let counter = s.child_counts.entry((rank, parent, kind as u8)).or_insert(0);
+        let counter = s
+            .child_counts
+            .entry((rank, parent, kind as u8))
+            .or_insert(0);
         let idx = *counter;
         *counter += 1;
         assert!(idx < 1 << 16, "too many child contexts");
@@ -212,9 +242,6 @@ impl World {
     /// the wire time, then propagates for the one-way latency, then enters
     /// `dst`'s matching engine.
     pub(crate) fn transmit(&self, src: usize, dst: usize, d: Delivered) {
-        self.trace(src, || {
-            format!("inject -> rank {dst} tag {} ({} B)", d.tag, d.bytes)
-        });
         let world = self.clone();
         let link = self.link(src, dst);
         let bytes = d.bytes;
@@ -230,14 +257,7 @@ impl World {
 
     /// Transmit a small control message (RTS/CTS/0-byte sync): pure
     /// latency, no link occupancy.
-    pub(crate) fn transmit_ctrl(&self, src: usize, dst: usize, d: Delivered) {
-        self.trace(src, || {
-            if d.rendezvous.is_some() {
-                format!("RTS -> rank {dst} tag {} ({} B rendezvous)", d.tag, d.bytes)
-            } else {
-                format!("ctrl -> rank {dst} tag {}", d.tag)
-            }
-        });
+    pub(crate) fn transmit_ctrl(&self, _src: usize, dst: usize, d: Delivered) {
         let world = self.clone();
         self.sim.spawn(async move {
             world.sim.sleep(world.cfg.latency).await;
@@ -247,9 +267,6 @@ impl World {
 
     /// An arrival at `dst`: match or queue; finalize on match.
     pub(crate) fn deliver(&self, dst: usize, d: Delivered) {
-        self.trace(dst, || {
-            format!("arrive <- rank {} tag {} ({} B)", d.src, d.tag, d.bytes)
-        });
         let engine = self.engine(dst);
         if let Some(posted) = engine.arrive(d) {
             self.finalize_match(dst, posted);
@@ -268,10 +285,12 @@ impl World {
         match rdv {
             None => posted.ready.set(),
             Some(handle) => {
-                self.trace(dst, || format!("match: CTS -> rank {src} ({bytes} B)"));
                 let world = self.clone();
                 let link = self.link(src, dst);
                 let cts_cost = self.jitter(self.cfg.o_ctrl);
+                // Span start: the match; the sender's buffer stays pinned
+                // from here until the zero-copy data lands.
+                let t0 = self.trace_now_ns();
                 self.sim.spawn(async move {
                     // CTS travels back to the sender.
                     world.sim.sleep(cts_cost + world.cfg.latency).await;
@@ -282,7 +301,11 @@ impl World {
                     }
                     handle.sender_done.set();
                     world.sim.sleep(world.cfg.latency).await;
-                    world.trace(dst, || format!("rendezvous data landed ({bytes} B)"));
+                    world.trace_span(t0, src, |wait_ns| EventKind::RdvCopy {
+                        shard: 0,
+                        bytes: bytes as u64,
+                        wait_ns,
+                    });
                     posted.ready.set();
                 });
             }

@@ -1,0 +1,468 @@
+//! The typed event taxonomy: every phenomenon the paper measures, as a
+//! compact fixed-size record.
+//!
+//! Events encode to four `u64` words so the ring recorder can store them
+//! in atomic slots (seqlock publication, no allocation on the hot path):
+//!
+//! ```text
+//! w0 = timestamp [ns]
+//! w1 = tag(16) | rank(16) | aux1(16) | aux2(16)
+//! w2, w3 = two u64 payload fields (bytes, durations, counters)
+//! ```
+
+use std::fmt;
+
+/// One trace event: a timestamp, the rank it is attributed to, and a
+/// typed payload.
+///
+/// Timestamps are nanoseconds since the trace epoch — wall-clock on the
+/// real runtime, virtual time in the simulator. The shared timebase is
+/// what makes sim and real traces directly comparable in one viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Rank the event is attributed to.
+    pub rank: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy, covering the paper's phenomena end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Waited to acquire a match-shard lock (real runtime) or a VCI
+    /// (simulator) — the contention of Figs. 5–6. Span.
+    LockWait {
+        /// Shard / VCI index.
+        shard: u16,
+        /// Time spent waiting for the lock, in ns.
+        wait_ns: u64,
+    },
+    /// Injected an eager (bcopy) message. Instant.
+    EagerSend {
+        /// Destination rank.
+        dst: u16,
+        /// Shard / VCI the message was injected on.
+        shard: u16,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Posted a rendezvous (zcopy) send — the RTS. Instant.
+    RdvSend {
+        /// Destination rank.
+        dst: u16,
+        /// Shard / VCI the message was injected on.
+        shard: u16,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A rendezvous transfer completed: from RTS to the zero-copy data
+    /// landing (the time the sender's buffer stayed pinned). Span.
+    RdvCopy {
+        /// Shard the match completed on.
+        shard: u16,
+        /// Payload bytes.
+        bytes: u64,
+        /// RTS-to-completion time in ns.
+        wait_ns: u64,
+    },
+    /// `MPI_Pready(p)` was called. Instant.
+    Pready {
+        /// Partition index.
+        part: u64,
+    },
+    /// The last `pready` of an internal message injected it — the
+    /// early-bird send of Fig. 8. `gap_ns` is the pready→fabric-send
+    /// latency. Instant.
+    EarlyBird {
+        /// Internal message index.
+        msg: u16,
+        /// Shard / VCI the message was injected on.
+        shard: u16,
+        /// Message bytes.
+        bytes: u64,
+        /// Latency from the completing `pready` to the fabric send, ns.
+        gap_ns: u64,
+    },
+    /// A partitioned layout was negotiated: `base_msgs` gcd messages
+    /// folded into `msgs` under the aggregation bound (Fig. 7). Instant.
+    AggrLayout {
+        /// gcd(N_send, N_recv) base message count.
+        base_msgs: u16,
+        /// Messages after aggregation.
+        msgs: u16,
+        /// Bytes of the first (typical) message.
+        bytes_per_msg: u64,
+    },
+    /// Legacy path: waited for the receiver's clear-to-send (the
+    /// per-iteration CTS round-trip of Fig. 4). Span.
+    CtsWait {
+        /// Peer rank.
+        peer: u16,
+        /// Time blocked on the CTS, ns.
+        wait_ns: u64,
+    },
+    /// `wait()` on a partitioned request: entry to all-messages-complete.
+    /// Span. Early-bird sends *outside* this span overlapped compute.
+    PartWait {
+        /// Internal messages drained.
+        msgs: u16,
+        /// Time inside `wait()`, ns.
+        wait_ns: u64,
+    },
+    /// RMA active-target epoch opened (origin blocked for the post). Span.
+    EpochOpen {
+        /// Window id (low bits of the window context).
+        win: u16,
+        /// Time blocked waiting for the target's post, ns.
+        wait_ns: u64,
+    },
+    /// RMA epoch closed with `puts` puts flushed. Instant.
+    EpochClose {
+        /// Window id.
+        win: u16,
+        /// Puts in the epoch.
+        puts: u64,
+    },
+}
+
+const TAG_LOCK_WAIT: u64 = 1;
+const TAG_EAGER_SEND: u64 = 2;
+const TAG_RDV_SEND: u64 = 3;
+const TAG_RDV_COPY: u64 = 4;
+const TAG_PREADY: u64 = 5;
+const TAG_EARLY_BIRD: u64 = 6;
+const TAG_AGGR_LAYOUT: u64 = 7;
+const TAG_CTS_WAIT: u64 = 8;
+const TAG_PART_WAIT: u64 = 9;
+const TAG_EPOCH_OPEN: u64 = 10;
+const TAG_EPOCH_CLOSE: u64 = 11;
+
+fn pack_w1(tag: u64, rank: u16, aux1: u16, aux2: u16) -> u64 {
+    (tag << 48) | ((rank as u64) << 32) | ((aux1 as u64) << 16) | aux2 as u64
+}
+
+impl Event {
+    /// Encode into the four-word wire format.
+    pub fn encode(&self) -> [u64; 4] {
+        let (tag, aux1, aux2, w2, w3) = match self.kind {
+            EventKind::LockWait { shard, wait_ns } => (TAG_LOCK_WAIT, shard, 0, wait_ns, 0),
+            EventKind::EagerSend { dst, shard, bytes } => (TAG_EAGER_SEND, dst, shard, bytes, 0),
+            EventKind::RdvSend { dst, shard, bytes } => (TAG_RDV_SEND, dst, shard, bytes, 0),
+            EventKind::RdvCopy {
+                shard,
+                bytes,
+                wait_ns,
+            } => (TAG_RDV_COPY, shard, 0, bytes, wait_ns),
+            EventKind::Pready { part } => (TAG_PREADY, 0, 0, part, 0),
+            EventKind::EarlyBird {
+                msg,
+                shard,
+                bytes,
+                gap_ns,
+            } => (TAG_EARLY_BIRD, msg, shard, bytes, gap_ns),
+            EventKind::AggrLayout {
+                base_msgs,
+                msgs,
+                bytes_per_msg,
+            } => (TAG_AGGR_LAYOUT, base_msgs, msgs, bytes_per_msg, 0),
+            EventKind::CtsWait { peer, wait_ns } => (TAG_CTS_WAIT, peer, 0, wait_ns, 0),
+            EventKind::PartWait { msgs, wait_ns } => (TAG_PART_WAIT, msgs, 0, wait_ns, 0),
+            EventKind::EpochOpen { win, wait_ns } => (TAG_EPOCH_OPEN, win, 0, wait_ns, 0),
+            EventKind::EpochClose { win, puts } => (TAG_EPOCH_CLOSE, win, 0, puts, 0),
+        };
+        [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
+    }
+
+    /// Decode the wire format; `None` for unknown tags (torn slots).
+    pub fn decode(w: [u64; 4]) -> Option<Event> {
+        let tag = w[1] >> 48;
+        let rank = (w[1] >> 32) as u16;
+        let aux1 = (w[1] >> 16) as u16;
+        let aux2 = w[1] as u16;
+        let kind = match tag {
+            TAG_LOCK_WAIT => EventKind::LockWait {
+                shard: aux1,
+                wait_ns: w[2],
+            },
+            TAG_EAGER_SEND => EventKind::EagerSend {
+                dst: aux1,
+                shard: aux2,
+                bytes: w[2],
+            },
+            TAG_RDV_SEND => EventKind::RdvSend {
+                dst: aux1,
+                shard: aux2,
+                bytes: w[2],
+            },
+            TAG_RDV_COPY => EventKind::RdvCopy {
+                shard: aux1,
+                bytes: w[2],
+                wait_ns: w[3],
+            },
+            TAG_PREADY => EventKind::Pready { part: w[2] },
+            TAG_EARLY_BIRD => EventKind::EarlyBird {
+                msg: aux1,
+                shard: aux2,
+                bytes: w[2],
+                gap_ns: w[3],
+            },
+            TAG_AGGR_LAYOUT => EventKind::AggrLayout {
+                base_msgs: aux1,
+                msgs: aux2,
+                bytes_per_msg: w[2],
+            },
+            TAG_CTS_WAIT => EventKind::CtsWait {
+                peer: aux1,
+                wait_ns: w[2],
+            },
+            TAG_PART_WAIT => EventKind::PartWait {
+                msgs: aux1,
+                wait_ns: w[2],
+            },
+            TAG_EPOCH_OPEN => EventKind::EpochOpen {
+                win: aux1,
+                wait_ns: w[2],
+            },
+            TAG_EPOCH_CLOSE => EventKind::EpochClose {
+                win: aux1,
+                puts: w[2],
+            },
+            _ => return None,
+        };
+        Some(Event {
+            ts_ns: w[0],
+            rank,
+            kind,
+        })
+    }
+}
+
+impl EventKind {
+    /// Wrap into an [`Event`] at timestamp `ts_ns` (rank 0; span-emit
+    /// paths overwrite the rank before recording).
+    pub fn at(self, ts_ns: u64) -> Event {
+        Event {
+            ts_ns,
+            rank: 0,
+            kind: self,
+        }
+    }
+
+    /// Stable event name (used by the exporters and greppable in JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::LockWait { .. } => "shard_lock_wait",
+            EventKind::EagerSend { .. } => "eager_send",
+            EventKind::RdvSend { .. } => "rdv_send",
+            EventKind::RdvCopy { .. } => "rdv_copy",
+            EventKind::Pready { .. } => "pready",
+            EventKind::EarlyBird { .. } => "early_bird_send",
+            EventKind::AggrLayout { .. } => "aggr_layout",
+            EventKind::CtsWait { .. } => "cts_wait",
+            EventKind::PartWait { .. } => "part_wait",
+            EventKind::EpochOpen { .. } => "epoch_open",
+            EventKind::EpochClose { .. } => "epoch_close",
+        }
+    }
+
+    /// Span duration in ns (`Some` for span events, `None` for instants).
+    pub fn dur_ns(&self) -> Option<u64> {
+        match *self {
+            EventKind::LockWait { wait_ns, .. }
+            | EventKind::RdvCopy { wait_ns, .. }
+            | EventKind::CtsWait { wait_ns, .. }
+            | EventKind::PartWait { wait_ns, .. }
+            | EventKind::EpochOpen { wait_ns, .. } => Some(wait_ns),
+            _ => None,
+        }
+    }
+
+    /// The track (shard / VCI lane) the event belongs to, for per-shard
+    /// rendering; lane 0 for events without one.
+    pub fn lane(&self) -> u16 {
+        match *self {
+            EventKind::LockWait { shard, .. }
+            | EventKind::EagerSend { shard, .. }
+            | EventKind::RdvSend { shard, .. }
+            | EventKind::RdvCopy { shard, .. }
+            | EventKind::EarlyBird { shard, .. } => shard,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12.2}  {:>4}  ",
+            self.ts_ns as f64 / 1000.0,
+            self.rank
+        )?;
+        match self.kind {
+            EventKind::LockWait { shard, wait_ns } => {
+                write!(
+                    f,
+                    "lock wait shard {shard} ({:.2} us)",
+                    wait_ns as f64 / 1e3
+                )
+            }
+            EventKind::EagerSend { dst, shard, bytes } => {
+                write!(f, "eager send -> rank {dst} shard {shard} ({bytes} B)")
+            }
+            EventKind::RdvSend { dst, shard, bytes } => {
+                write!(f, "rendezvous RTS -> rank {dst} shard {shard} ({bytes} B)")
+            }
+            EventKind::RdvCopy {
+                shard,
+                bytes,
+                wait_ns,
+            } => write!(
+                f,
+                "rendezvous data landed shard {shard} ({bytes} B, {:.2} us pinned)",
+                wait_ns as f64 / 1e3
+            ),
+            EventKind::Pready { part } => write!(f, "pready partition {part}"),
+            EventKind::EarlyBird {
+                msg,
+                shard,
+                bytes,
+                gap_ns,
+            } => write!(
+                f,
+                "message {msg} complete: early-bird send shard {shard} ({bytes} B, gap {:.2} us)",
+                gap_ns as f64 / 1e3
+            ),
+            EventKind::AggrLayout {
+                base_msgs,
+                msgs,
+                bytes_per_msg,
+            } => write!(
+                f,
+                "layout: {base_msgs} base msgs aggregated to {msgs} x {bytes_per_msg} B"
+            ),
+            EventKind::CtsWait { peer, wait_ns } => {
+                write!(
+                    f,
+                    "CTS from rank {peer} ({:.2} us wait)",
+                    wait_ns as f64 / 1e3
+                )
+            }
+            EventKind::PartWait { msgs, wait_ns } => {
+                write!(
+                    f,
+                    "wait: {msgs} msgs drained ({:.2} us)",
+                    wait_ns as f64 / 1e3
+                )
+            }
+            EventKind::EpochOpen { win, wait_ns } => {
+                write!(
+                    f,
+                    "epoch open win {win} ({:.2} us wait)",
+                    wait_ns as f64 / 1e3
+                )
+            }
+            EventKind::EpochClose { win, puts } => {
+                write!(f, "epoch close win {win} ({puts} puts)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::LockWait {
+                shard: 3,
+                wait_ns: 12_345,
+            },
+            EventKind::EagerSend {
+                dst: 1,
+                shard: 2,
+                bytes: 512,
+            },
+            EventKind::RdvSend {
+                dst: 7,
+                shard: 0,
+                bytes: 1 << 20,
+            },
+            EventKind::RdvCopy {
+                shard: 1,
+                bytes: 1 << 20,
+                wait_ns: 99,
+            },
+            EventKind::Pready { part: 123_456 },
+            EventKind::EarlyBird {
+                msg: 5,
+                shard: 1,
+                bytes: 4096,
+                gap_ns: 800,
+            },
+            EventKind::AggrLayout {
+                base_msgs: 16,
+                msgs: 4,
+                bytes_per_msg: 2048,
+            },
+            EventKind::CtsWait {
+                peer: 1,
+                wait_ns: 5_000,
+            },
+            EventKind::PartWait {
+                msgs: 4,
+                wait_ns: 77,
+            },
+            EventKind::EpochOpen {
+                win: 2,
+                wait_ns: 1_000,
+            },
+            EventKind::EpochClose { win: 2, puts: 8 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_every_kind() {
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            let ev = Event {
+                ts_ns: 1_000_000 + i as u64,
+                rank: i as u16,
+                kind,
+            };
+            assert_eq!(Event::decode(ev.encode()), Some(ev));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert_eq!(Event::decode([0, 0, 0, 0]), None);
+        assert_eq!(Event::decode([5, 0xffff << 48, 1, 2]), None);
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 11);
+        assert!(names.contains("shard_lock_wait"));
+        assert!(names.contains("early_bird_send"));
+    }
+
+    #[test]
+    fn spans_and_instants_partition_the_taxonomy() {
+        let spans = all_kinds().iter().filter(|k| k.dur_ns().is_some()).count();
+        assert_eq!(spans, 5, "LockWait, RdvCopy, CtsWait, PartWait, EpochOpen");
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let ev = Event {
+            ts_ns: 1_500,
+            rank: 0,
+            kind: EventKind::Pready { part: 3 },
+        };
+        assert!(format!("{ev}").contains("pready partition 3"));
+    }
+}

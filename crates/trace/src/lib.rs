@@ -1,0 +1,222 @@
+//! # pcomm-trace — unified tracing for the pcomm runtime and simulator
+//!
+//! One observability subsystem shared by the real multithreaded runtime
+//! (`pcomm-core`) and the discrete-event simulator (`pcomm-simmpi`):
+//! the same typed [`Event`] taxonomy, the same exporters, one timebase
+//! convention (`ts_ns` is wall-clock nanoseconds since trace start in
+//! the real runtime, virtual nanoseconds in the simulator), so traces
+//! from both sides load into the same viewer and are directly
+//! comparable.
+//!
+//! ## Pieces
+//!
+//! - [`Event`] / [`EventKind`] — the taxonomy: shard-lock contention,
+//!   eager vs rendezvous transfers, `pready`→send latency (early-bird),
+//!   aggregation fold decisions, CTS handshakes, RMA epochs.
+//! - [`Recorder`] — the sink trait; [`NullRecorder`] (disabled),
+//!   [`VecRecorder`] (single-threaded: simulator, tests), and
+//!   [`RingRecorder`] (lock-free per-thread bounded rings for the real
+//!   runtime).
+//! - [`chrome_trace_json`] — Perfetto / `chrome://tracing`-loadable
+//!   JSON, one track per rank×shard.
+//! - [`summary_report`] — plain-text digest: per-shard wait histograms,
+//!   eager/rendezvous counters, early-bird overlap fraction.
+//! - [`Trace`] — the handle the runtime threads around. Cloning is an
+//!   `Arc` bump; the disabled handle costs one branch per potential
+//!   event and never evaluates the event constructor or reads the
+//!   clock.
+//!
+//! ## Recording discipline
+//!
+//! Event construction is wrapped in closures so a disabled trace does
+//! zero work:
+//!
+//! ```
+//! use pcomm_trace::{EventKind, Trace};
+//!
+//! let trace = Trace::ring(4096);
+//! let t0 = trace.now_ns(); // None when disabled
+//! // ... acquire a contended lock ...
+//! trace.emit_span(t0, 0, |start, dur| EventKind::LockWait {
+//!     shard: 3,
+//!     wait_ns: dur,
+//! }
+//! .at(start));
+//! let data = trace.snapshot().unwrap();
+//! assert_eq!(data.events.len(), 1);
+//! ```
+
+mod chrome;
+mod event;
+mod recorder;
+mod report;
+mod ring;
+
+pub use chrome::chrome_trace_json;
+pub use event::{Event, EventKind};
+pub use recorder::{NullRecorder, Recorder, TraceData, VecRecorder};
+pub use report::summary_report;
+pub use ring::RingRecorder;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Inner {
+    recorder: Arc<RingRecorder>,
+    /// Wall-clock origin: `ts_ns` is measured from here.
+    epoch: Instant,
+}
+
+/// The tracing handle threaded through the real runtime.
+///
+/// `Trace::disabled()` is the default everywhere; it is a `None` inside
+/// and every operation short-circuits on that single branch — event
+/// constructors are closures that are never called, and the clock is
+/// never read. `Trace::ring(cap)` turns recording on with per-thread
+/// bounded rings of `cap` events each.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Trace {
+    /// The no-op handle: records nothing, costs one branch per call.
+    pub fn disabled() -> Trace {
+        Trace { inner: None }
+    }
+
+    /// An enabled handle backed by a [`RingRecorder`] whose per-thread
+    /// lanes retain the last `lane_cap` events each.
+    pub fn ring(lane_cap: usize) -> Trace {
+        Trace {
+            inner: Some(Arc::new(Inner {
+                recorder: RingRecorder::new(lane_cap),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Nanoseconds since trace start, or `None` when disabled.
+    ///
+    /// Use the `None` to skip timing work entirely on the disabled
+    /// path: `let t0 = trace.now_ns();` then [`emit_span`](Trace::emit_span).
+    #[inline]
+    pub fn now_ns(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|i| i.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Record an instant event stamped *now*. `f` builds the kind and is
+    /// only called when enabled.
+    #[inline]
+    pub fn emit<F>(&self, rank: u16, f: F)
+    where
+        F: FnOnce() -> EventKind,
+    {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.epoch.elapsed().as_nanos() as u64;
+            inner.recorder.record(Event {
+                ts_ns,
+                rank,
+                kind: f(),
+            });
+        }
+    }
+
+    /// Record a span that began at `t0` (from [`now_ns`](Trace::now_ns))
+    /// and ends now. `f` receives the span's start timestamp and its
+    /// duration in nanoseconds and returns the finished event; it is
+    /// only called when enabled and `t0` is `Some`.
+    #[inline]
+    pub fn emit_span<F>(&self, t0: Option<u64>, rank: u16, f: F)
+    where
+        F: FnOnce(u64, u64) -> Event,
+    {
+        if let (Some(inner), Some(start)) = (&self.inner, t0) {
+            let now = inner.epoch.elapsed().as_nanos() as u64;
+            let mut ev = f(start, now.saturating_sub(start));
+            ev.rank = rank;
+            inner.recorder.record(ev);
+        }
+    }
+
+    /// Merge and return everything recorded so far, or `None` when
+    /// disabled. Exact after the recording threads quiesce.
+    pub fn snapshot(&self) -> Option<TraceData> {
+        self.inner.as_ref().map(|i| i.recorder.snapshot())
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing_and_skips_closures() {
+        let t = Trace::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.now_ns(), None);
+        t.emit(0, || panic!("must not be called"));
+        t.emit_span(Some(0), 0, |_, _| panic!("must not be called"));
+        assert!(t.snapshot().is_none());
+    }
+
+    #[test]
+    fn enabled_trace_round_trips_events() {
+        let t = Trace::ring(256);
+        assert!(t.is_enabled());
+        t.emit(3, || EventKind::Pready { part: 7 });
+        let t0 = t.now_ns();
+        assert!(t0.is_some());
+        t.emit_span(t0, 3, |start, dur| {
+            EventKind::LockWait {
+                shard: 1,
+                wait_ns: dur,
+            }
+            .at(start)
+        });
+        let data = t.snapshot().unwrap();
+        assert_eq!(data.events.len(), 2);
+        assert_eq!(data.dropped, 0);
+        assert!(data
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Pready { part: 7 }) && e.rank == 3));
+        assert!(data
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::LockWait { shard: 1, .. })));
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let t = Trace::ring(64);
+        let t2 = t.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || t2.emit(1, || EventKind::Pready { part: 0 }));
+        });
+        t.emit(0, || EventKind::Pready { part: 1 });
+        assert_eq!(t.snapshot().unwrap().events.len(), 2);
+    }
+}

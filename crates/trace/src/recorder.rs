@@ -1,0 +1,124 @@
+//! The [`Recorder`] trait and its simple implementations.
+
+use std::cell::RefCell;
+
+use crate::event::Event;
+
+/// A sink for trace events.
+///
+/// Implementations decide the storage discipline: [`NullRecorder`] drops
+/// everything (the disabled path), [`VecRecorder`] appends to a plain
+/// vector (single-threaded collectors: the simulator, tests), and
+/// [`crate::RingRecorder`] keeps per-thread bounded rings for the real
+/// multithreaded runtime.
+///
+/// Deliberately *not* `Send + Sync`-bounded: the simulator is
+/// single-threaded (`Rc`-based) and its recorder need not be shareable.
+/// Multithreaded users hold `Arc<RingRecorder>` directly.
+pub trait Recorder {
+    /// Record one event.
+    fn record(&self, ev: Event);
+}
+
+/// The disabled recorder: drops every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn record(&self, _ev: Event) {}
+}
+
+/// An unbounded single-threaded recorder (simulator and tests).
+#[derive(Debug, Default)]
+pub struct VecRecorder {
+    events: RefCell<Vec<Event>>,
+}
+
+impl VecRecorder {
+    /// New empty recorder.
+    pub fn new() -> VecRecorder {
+        VecRecorder::default()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take the recorded events, leaving the recorder empty.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+}
+
+impl Recorder for VecRecorder {
+    fn record(&self, ev: Event) {
+        self.events.borrow_mut().push(ev);
+    }
+}
+
+/// A merged trace: events in timestamp order plus the number of events
+/// lost to ring overflow.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Events sorted by `ts_ns` (stable within equal timestamps).
+    pub events: Vec<Event>,
+    /// Events dropped (ring wraparound, sealed recorders, torn slots).
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// Build from unsorted events.
+    pub fn from_events(mut events: Vec<Event>, dropped: u64) -> TraceData {
+        events.sort_by_key(|e| e.ts_ns);
+        TraceData { events, dropped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            rank: 0,
+            kind: EventKind::Pready { part: ts },
+        }
+    }
+
+    #[test]
+    fn null_recorder_drops_everything() {
+        let r = NullRecorder;
+        r.record(ev(1));
+        // Nothing to observe — the type has no storage at all.
+        assert_eq!(std::mem::size_of::<NullRecorder>(), 0);
+    }
+
+    #[test]
+    fn vec_recorder_appends_and_takes() {
+        let r = VecRecorder::new();
+        assert!(r.is_empty());
+        r.record(ev(5));
+        r.record(ev(2));
+        assert_eq!(r.len(), 2);
+        let taken = r.take();
+        assert_eq!(taken.len(), 2);
+        assert!(r.is_empty(), "take drains");
+    }
+
+    #[test]
+    fn trace_data_sorts_by_timestamp() {
+        let td = TraceData::from_events(vec![ev(30), ev(10), ev(20)], 7);
+        let ts: Vec<u64> = td.events.iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(td.dropped, 7);
+    }
+}

@@ -1,0 +1,350 @@
+//! Plain-text summary report: the trace condensed into the numbers the
+//! paper's figures are built from.
+//!
+//! Sections:
+//! - per-shard lock-wait histograms (log2 buckets) — the contention
+//!   picture behind the sharded-vs-single-lock experiments;
+//! - message/byte counters split eager vs rendezvous;
+//! - early-bird stats: `pready`→fabric-send gap distribution and the
+//!   fraction of partition sends that overlapped application compute
+//!   (issued outside any `wait`-side blocking span);
+//! - aggregation fold decisions and RMA epoch counts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+
+/// Number of log2 histogram buckets: bucket `i` counts waits in
+/// `[2^i, 2^(i+1))` ns; the last bucket is open-ended.
+const BUCKETS: usize = 24; // up to ~16.8 ms, ample for in-process locks
+
+#[derive(Default, Clone)]
+struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Hist {
+    fn add(&mut self, ns: u64) {
+        let b = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// True if instant `t` falls inside any `[start, end)` interval.
+fn inside(t: u64, spans: &[(u64, u64)]) -> bool {
+    spans.iter().any(|&(s, e)| s <= t && t < e)
+}
+
+/// Render `events` as a human-readable summary.
+pub fn summary_report(events: &[Event], dropped: u64) -> String {
+    let mut lock_by_shard: BTreeMap<u16, Hist> = BTreeMap::new();
+    let mut cts = Hist::default();
+    let mut gap = Hist::default();
+    let (mut eager_msgs, mut eager_bytes) = (0u64, 0u64);
+    let (mut rdv_msgs, mut rdv_bytes) = (0u64, 0u64);
+    let (mut rdv_copies, mut rdv_copy_wait) = (0u64, 0u64);
+    let mut preadys = 0u64;
+    let (mut aggr_events, mut aggr_base, mut aggr_folded) = (0u64, 0u64, 0u64);
+    let (mut part_waits, mut part_wait_ns) = (0u64, 0u64);
+    let (mut epochs, mut epoch_wait_ns, mut rma_puts) = (0u64, 0u64, 0u64);
+
+    // Per-rank wait-side blocking spans, for the overlap fraction.
+    let mut blocked: BTreeMap<u16, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut early: Vec<(u16, u64)> = Vec::new(); // (rank, ts) of early-bird sends
+
+    for ev in events {
+        match ev.kind {
+            EventKind::LockWait { shard, wait_ns } => {
+                lock_by_shard.entry(shard).or_default().add(wait_ns);
+            }
+            EventKind::EagerSend { bytes, .. } => {
+                eager_msgs += 1;
+                eager_bytes += bytes as u64;
+            }
+            EventKind::RdvSend { bytes, .. } => {
+                rdv_msgs += 1;
+                rdv_bytes += bytes as u64;
+            }
+            EventKind::RdvCopy { wait_ns, .. } => {
+                rdv_copies += 1;
+                rdv_copy_wait += wait_ns;
+            }
+            EventKind::Pready { .. } => preadys += 1,
+            EventKind::EarlyBird { gap_ns, .. } => {
+                gap.add(gap_ns);
+                early.push((ev.rank, ev.ts_ns));
+            }
+            EventKind::AggrLayout {
+                base_msgs, msgs, ..
+            } => {
+                aggr_events += 1;
+                aggr_base += base_msgs as u64;
+                aggr_folded += msgs as u64;
+            }
+            EventKind::CtsWait { wait_ns, .. } => cts.add(wait_ns),
+            EventKind::PartWait { wait_ns, .. } => {
+                part_waits += 1;
+                part_wait_ns += wait_ns;
+                blocked
+                    .entry(ev.rank)
+                    .or_default()
+                    .push((ev.ts_ns, ev.ts_ns + wait_ns));
+            }
+            EventKind::EpochOpen { wait_ns, .. } => {
+                epochs += 1;
+                epoch_wait_ns += wait_ns;
+                blocked
+                    .entry(ev.rank)
+                    .or_default()
+                    .push((ev.ts_ns, ev.ts_ns + wait_ns));
+            }
+            EventKind::EpochClose { puts, .. } => rma_puts += puts as u64,
+        }
+    }
+
+    let overlapped = early
+        .iter()
+        .filter(|&&(rank, ts)| !inside(ts, blocked.get(&rank).map_or(&[][..], |v| v)))
+        .count();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "pcomm trace summary");
+    let _ = writeln!(out, "===================");
+    let _ = writeln!(out, "events: {}  dropped: {}", events.len(), dropped);
+    if let (Some(first), Some(last)) = (events.first(), events.last()) {
+        let _ = writeln!(
+            out,
+            "span:   {} .. {} ({})",
+            fmt_ns(first.ts_ns),
+            fmt_ns(last.ts_ns),
+            fmt_ns(last.ts_ns.saturating_sub(first.ts_ns)),
+        );
+    }
+
+    let _ = writeln!(out, "\nshard lock waits");
+    let _ = writeln!(out, "----------------");
+    if lock_by_shard.is_empty() {
+        let _ = writeln!(out, "(none recorded)");
+    }
+    for (shard, h) in &lock_by_shard {
+        let _ = writeln!(
+            out,
+            "shard {shard:>3}: {:>7} acquisitions  mean {:>10}  max {:>10}",
+            h.count,
+            fmt_ns(h.mean_ns()),
+            fmt_ns(h.max_ns),
+        );
+        // Print the occupied histogram range only.
+        let hi = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        let peak = h.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for b in 0..hi {
+            let bar = "#".repeat((h.buckets[b] * 40 / peak) as usize);
+            let _ = writeln!(
+                out,
+                "  <{:>9}: {:>7} {bar}",
+                fmt_ns(1u64 << (b + 1)),
+                h.buckets[b],
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\ntransfers");
+    let _ = writeln!(out, "---------");
+    let _ = writeln!(
+        out,
+        "eager:      {eager_msgs:>7} msgs  {eager_bytes:>12} bytes"
+    );
+    let _ = writeln!(out, "rendezvous: {rdv_msgs:>7} msgs  {rdv_bytes:>12} bytes");
+    if rdv_copies > 0 {
+        let _ = writeln!(
+            out,
+            "rdv copies: {rdv_copies:>7}       mean wait {}",
+            fmt_ns(rdv_copy_wait / rdv_copies),
+        );
+    }
+    if cts.count > 0 {
+        let _ = writeln!(
+            out,
+            "cts waits:  {:>7}       mean {}  max {}",
+            cts.count,
+            fmt_ns(cts.mean_ns()),
+            fmt_ns(cts.max_ns),
+        );
+    }
+
+    let _ = writeln!(out, "\npartitioned sends");
+    let _ = writeln!(out, "-----------------");
+    let _ = writeln!(out, "pready calls:     {preadys}");
+    let _ = writeln!(out, "early-bird sends: {}", gap.count);
+    if gap.count > 0 {
+        let _ = writeln!(
+            out,
+            "pready->send gap: mean {}  max {}",
+            fmt_ns(gap.mean_ns()),
+            fmt_ns(gap.max_ns),
+        );
+        let _ = writeln!(
+            out,
+            "overlap fraction: {:.1}% ({overlapped}/{} sends issued outside wait-side blocking)",
+            100.0 * overlapped as f64 / gap.count as f64,
+            gap.count,
+        );
+    }
+    if aggr_events > 0 {
+        let _ = writeln!(
+            out,
+            "aggregation:      {aggr_events} layouts, {aggr_base} base msgs folded to {aggr_folded}",
+        );
+    }
+    if part_waits > 0 {
+        let _ = writeln!(
+            out,
+            "part waits:       {part_waits}  total blocked {}",
+            fmt_ns(part_wait_ns),
+        );
+    }
+
+    if epochs + rma_puts > 0 {
+        let _ = writeln!(out, "\nrma epochs");
+        let _ = writeln!(out, "----------");
+        let _ = writeln!(
+            out,
+            "epochs: {epochs}  open-wait total {}  puts {rma_puts}",
+            fmt_ns(epoch_wait_ns),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, rank: u16, kind: EventKind) -> Event {
+        Event {
+            ts_ns: ts,
+            rank,
+            kind,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Hist::default();
+        h.add(0); // bucket 0
+        h.add(1); // bucket 0
+        h.add(2); // bucket 1
+        h.add(1023); // bucket 9
+        h.add(u64::MAX); // clamped to last bucket
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[9], 1);
+        assert_eq!(h.buckets[BUCKETS - 1], 1);
+        assert_eq!(h.count, 5);
+    }
+
+    #[test]
+    fn report_counts_and_overlap() {
+        let events = vec![
+            ev(
+                100,
+                0,
+                EventKind::LockWait {
+                    shard: 0,
+                    wait_ns: 50,
+                },
+            ),
+            ev(
+                200,
+                0,
+                EventKind::EagerSend {
+                    dst: 1,
+                    shard: 0,
+                    bytes: 64,
+                },
+            ),
+            ev(
+                300,
+                0,
+                EventKind::RdvSend {
+                    dst: 1,
+                    shard: 1,
+                    bytes: 1 << 20,
+                },
+            ),
+            // Rank 0 blocks in wait() over [1000, 2000).
+            ev(
+                1_000,
+                0,
+                EventKind::PartWait {
+                    msgs: 2,
+                    wait_ns: 1_000,
+                },
+            ),
+            // One early bird during the wait (not overlapped), one before it.
+            ev(
+                500,
+                0,
+                EventKind::EarlyBird {
+                    msg: 0,
+                    shard: 0,
+                    bytes: 128,
+                    gap_ns: 10,
+                },
+            ),
+            ev(
+                1_500,
+                0,
+                EventKind::EarlyBird {
+                    msg: 1,
+                    shard: 1,
+                    bytes: 128,
+                    gap_ns: 20,
+                },
+            ),
+        ];
+        let rpt = summary_report(&events, 2);
+        assert!(rpt.contains("events: 6  dropped: 2"));
+        assert!(rpt.contains("eager:            1 msgs"));
+        assert!(rpt.contains("rendezvous:       1 msgs"));
+        assert!(rpt.contains("early-bird sends: 2"));
+        assert!(rpt.contains("overlap fraction: 50.0% (1/2"));
+        assert!(rpt.contains("shard   0:"));
+    }
+
+    #[test]
+    fn empty_trace_reports_cleanly() {
+        let rpt = summary_report(&[], 0);
+        assert!(rpt.contains("events: 0"));
+        assert!(rpt.contains("(none recorded)"));
+    }
+}

@@ -22,9 +22,7 @@ fn main() {
     let part_bytes = 1 << 20; // 1 MiB partitions: 40 µs wire each
     let process_us = 30.0; // receiver-side work per partition
 
-    println!(
-        "consumer overlap: {n_parts} × 1 MiB partitions, {process_us} µs processing each"
-    );
+    println!("consumer overlap: {n_parts} × 1 MiB partitions, {process_us} µs processing each");
 
     let bulk = run(n_parts, part_bytes, process_us, false);
     let piped = run(n_parts, part_bytes, process_us, true);
@@ -55,7 +53,15 @@ fn run(n_parts: usize, part_bytes: usize, process_us: f64, pipelined: bool) -> f
         n_parts,
         opts.clone(),
     );
-    let pr = precv_init(&world.comm_world(1), 0, 0, n_parts, n_parts, part_bytes, opts);
+    let pr = precv_init(
+        &world.comm_world(1),
+        0,
+        0,
+        n_parts,
+        n_parts,
+        part_bytes,
+        opts,
+    );
 
     sim.spawn({
         let ps = ps.clone();

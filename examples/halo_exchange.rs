@@ -41,7 +41,9 @@ fn main() {
         pcomm::perfmodel::s_per_b_to_us_per_mb(model.gamma(1)),
     );
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cores < 2 * (n_threads + 1) {
         println!(
             "note: {cores} core(s) available for {} threads — wall-clock numbers below \
@@ -51,7 +53,10 @@ fn main() {
         );
     }
 
-    for (label, pipelined) in [("bulk (single message)", false), ("partitioned (pipelined)", true)] {
+    for (label, pipelined) in [
+        ("bulk (single message)", false),
+        ("partitioned (pipelined)", true),
+    ] {
         let wall = run_exchange(
             n_threads,
             theta,

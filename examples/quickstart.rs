@@ -15,7 +15,9 @@ fn main() {
     let n_parts = n_threads * theta;
     let part_bytes = 64 * 1024;
 
-    println!("pcomm quickstart: 2 ranks, {n_threads} threads, {n_parts} partitions of {part_bytes} B");
+    println!(
+        "pcomm quickstart: 2 ranks, {n_threads} threads, {n_parts} partitions of {part_bytes} B"
+    );
 
     Universe::new(2).with_shards(n_threads).run(|comm| {
         if comm.rank() == 0 {
@@ -39,7 +41,10 @@ fn main() {
                 }
             });
             psend.wait();
-            println!("rank 0: all {n_parts} partitions sent in {:?}", t0.elapsed());
+            println!(
+                "rank 0: all {n_parts} partitions sent in {:?}",
+                t0.elapsed()
+            );
         } else {
             // ---- receiver ----------------------------------------------
             let precv = comm.precv_init(0, 0, n_parts, part_bytes, PartOptions::default());

@@ -21,7 +21,9 @@ fn main() {
     let part_bytes = 16 * 1024;
     let rounds = 10;
 
-    println!("ring pipeline: {n_ranks} ranks, {n_parts} partitions × {part_bytes} B, {rounds} rounds");
+    println!(
+        "ring pipeline: {n_ranks} ranks, {n_parts} partitions × {part_bytes} B, {rounds} rounds"
+    );
 
     let times = Universe::new(n_ranks).with_shards(4).run(|comm| {
         let right = (comm.rank() + 1) % comm.size();

@@ -18,6 +18,7 @@
 //! | [`perfmodel`] | `pcomm-perfmodel` | closed-form gain/delay model (eqs. 1–9) and the paper's measurement statistics |
 //! | [`workloads`] | `pcomm-workloads` | compute/delay generators (Gaussian noise model, FFT/stencil presets) |
 //! | [`prng`] | `pcomm-prng` | deterministic xoshiro256++ / Gaussian sampling |
+//! | [`trace`] | `pcomm-trace` | unified low-overhead tracing: typed events, per-thread rings, Chrome JSON + summary exporters |
 //!
 //! ## Quickstart (real runtime)
 //!
@@ -63,4 +64,5 @@ pub use pcomm_perfmodel as perfmodel;
 pub use pcomm_prng as prng;
 pub use pcomm_simcore as simcore;
 pub use pcomm_simmpi as simmpi;
+pub use pcomm_trace as trace;
 pub use pcomm_workloads as workloads;

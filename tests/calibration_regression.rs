@@ -30,9 +30,17 @@ fn assert_close(actual: f64, pinned: f64, what: &str) {
 fn fig4_anchors() {
     let sc = |bytes| Scenario::immediate(1, 1, bytes, 3);
     // 16 B short-protocol latencies.
-    assert_close(steady_us(Approach::PtpSingle, &sc(16), 1), 2.121, "single@16B");
+    assert_close(
+        steady_us(Approach::PtpSingle, &sc(16), 1),
+        2.121,
+        "single@16B",
+    );
     assert_close(steady_us(Approach::PtpPart, &sc(16), 1), 2.171, "part@16B");
-    assert_close(steady_us(Approach::PtpPartOld, &sc(16), 1), 3.644, "old@16B");
+    assert_close(
+        steady_us(Approach::PtpPartOld, &sc(16), 1),
+        3.644,
+        "old@16B",
+    );
     assert_close(
         steady_us(Approach::RmaSinglePassive, &sc(16), 1),
         6.331,
@@ -65,7 +73,10 @@ fn protocol_switch_anchors() {
     // bcopy adds two copies (~0.17 us each at 2 KiB).
     assert!(t2k - t1k > 0.25, "bcopy step too small: {t1k} → {t2k}");
     // Rendezvous adds an RTS/CTS round trip (~2.7 us) minus the copies.
-    assert!(t16k - t8k > 1.0, "rendezvous step too small: {t8k} → {t16k}");
+    assert!(
+        t16k - t8k > 1.0,
+        "rendezvous step too small: {t8k} → {t16k}"
+    );
 }
 
 /// Fig. 5/6 contention anchors.
@@ -106,7 +117,10 @@ fn aggregation_anchors() {
         (9.0..17.0).contains(&f_noag),
         "no-aggregation factor {f_noag} (paper ≈10)"
     );
-    assert!((2.0..4.0).contains(&f_ag), "aggregated factor {f_ag} (paper ≈3)");
+    assert!(
+        (2.0..4.0).contains(&f_ag),
+        "aggregated factor {f_ag} (paper ≈3)"
+    );
 }
 
 /// Fig. 8 early-bird anchor.

@@ -2,9 +2,9 @@
 //! must hold in the reproduction (quick protocol; the full protocol is
 //! exercised by the `figures` binary and recorded in EXPERIMENTS.md).
 
+use pcomm::netmodel::MachineConfig;
 use pcomm_bench::figures;
 use pcomm_bench::runner::RunOpts;
-use pcomm::netmodel::MachineConfig;
 
 fn cfg() -> MachineConfig {
     MachineConfig::meluxina()
@@ -43,7 +43,12 @@ fn fig4_shape() {
     assert!(large_gap < 1.2, "RMA large-size gap {large_gap}");
     // All approaches approach the 25 GB/s line at 16 MiB (within 2x).
     let theory = v("theory 25 GB/s", 16 << 20);
-    for s in ["Pt2Pt part", "Pt2Pt single", "Pt2Pt many", "RMA single - active"] {
+    for s in [
+        "Pt2Pt part",
+        "Pt2Pt single",
+        "Pt2Pt many",
+        "RMA single - active",
+    ] {
         let ratio = v(s, 16 << 20) / theory;
         assert!((1.0..2.0).contains(&ratio), "{s}: bandwidth ratio {ratio}");
     }
@@ -62,7 +67,10 @@ fn fig4_protocol_jumps() {
     let step_bcopy = v(2048) / v(1024);
     let step_rdv = v(16384) / v(8192);
     let step_plain = v(512) / v(256);
-    assert!(step_bcopy > step_plain + 0.05, "bcopy step {step_bcopy} vs {step_plain}");
+    assert!(
+        step_bcopy > step_plain + 0.05,
+        "bcopy step {step_bcopy} vs {step_plain}"
+    );
     assert!(step_rdv > 1.3, "rendezvous step {step_rdv}");
 }
 
@@ -80,13 +88,21 @@ fn fig5_fig6_contention_and_relief() {
     let m6 = fig6.value("Pt2Pt many", x as f64).unwrap();
 
     // 1 VCI: heavy contention penalty (paper ≈30x).
-    assert!((15.0..50.0).contains(&(p5 / s5)), "fig5 part/single {}", p5 / s5);
+    assert!(
+        (15.0..50.0).contains(&(p5 / s5)),
+        "fig5 part/single {}",
+        p5 / s5
+    );
     // part and many both suffer, with comparable overheads.
     assert!(m5 / s5 > 10.0, "fig5 many/single {}", m5 / s5);
     // 32 VCIs: contention relieved by roughly an order of magnitude
     // (paper: factor ≈10 reduction; penalty drops to ≈4).
     assert!(p6 < p5 / 5.0, "VCI relief for part: {p6} vs {p5}");
-    assert!((1.5..8.0).contains(&(p6 / s6)), "fig6 part/single {}", p6 / s6);
+    assert!(
+        (1.5..8.0).contains(&(p6 / s6)),
+        "fig6 part/single {}",
+        p6 / s6
+    );
     // Pt2Pt many reaches Pt2Pt single performance with per-thread VCIs.
     assert!(m6 / s6 < 2.0, "fig6 many/single {}", m6 / s6);
 
@@ -96,8 +112,14 @@ fn fig5_fig6_contention_and_relief() {
     let rp_single5 = fig5.value("RMA single - passive", x as f64).unwrap();
     let rp_many6 = fig6.value("RMA many - passive", x as f64).unwrap();
     let rp_single6 = fig6.value("RMA single - passive", x as f64).unwrap();
-    assert!(rp_many5 > rp_single5, "fig5 RMA many {rp_many5} vs single {rp_single5}");
-    assert!(rp_many6 < rp_single6, "fig6 RMA many {rp_many6} vs single {rp_single6}");
+    assert!(
+        rp_many5 > rp_single5,
+        "fig5 RMA many {rp_many5} vs single {rp_single5}"
+    );
+    assert!(
+        rp_many6 < rp_single6,
+        "fig6 RMA many {rp_many6} vs single {rp_single6}"
+    );
 }
 
 /// Fig. 7: aggregation reduces the many-small-partitions overhead toward
@@ -115,14 +137,20 @@ fn fig7_aggregation_shape() {
     // Larger aggregation bounds help more; at this size the 512 B bound
     // is below the 1 KiB partitions and therefore inert.
     assert!(ag16k < noag / 2.0, "aggr 16k {ag16k} vs none {noag}");
-    assert!(((ag512 - noag) / noag).abs() < 0.1, "aggr below partition size must be inert");
+    assert!(
+        ((ag512 - noag) / noag).abs() < 0.1,
+        "aggr below partition size must be inert"
+    );
     assert!(ag16k < ag512, "aggr 16k {ag16k} vs aggr 512 {ag512}");
     // Pt2Pt many matches the non-aggregated partitioned path.
     let rel = (many - noag).abs() / noag;
     assert!(rel < 0.5, "many {many} vs no-aggr part {noag}");
     // Single remains the lower bound: the atomic updates keep partitioned
     // above it (paper: floor ≈3x).
-    assert!(ag16k > single, "aggregated {ag16k} must stay above single {single}");
+    assert!(
+        ag16k > single,
+        "aggregated {ag16k} must stay above single {single}"
+    );
     let floor = ag16k / single;
     assert!((1.5..6.0).contains(&floor), "aggregation floor {floor}");
     // Aggregation is beneficial only below N_part × aggr bound: at 16 MiB
@@ -139,7 +167,11 @@ fn fig8_early_bird_shape() {
     let fig = figures::fig8(&cfg(), &opts());
     let big = 64 << 20;
     let small = 4 << 10;
-    for s in ["gain Pt2Pt part", "gain Pt2Pt many", "gain RMA single - passive"] {
+    for s in [
+        "gain Pt2Pt part",
+        "gain Pt2Pt many",
+        "gain RMA single - passive",
+    ] {
         let g_big = fig.value(s, big as f64).unwrap();
         let g_small = fig.value(s, small as f64).unwrap();
         // Paper: measured ≈2.54 against theory 2.67 at large sizes...

@@ -27,7 +27,10 @@ fn bulk_time_matches_eq2() {
     let measured = mean_us(&cfg, Approach::PtpSingle, &sc);
     let model = t_bulk(n_parts, part as f64, cfg.bandwidth) * 1e6;
     let rel = (measured - model).abs() / model;
-    assert!(rel < 0.05, "measured {measured} vs eq.(2) {model} (rel {rel})");
+    assert!(
+        rel < 0.05,
+        "measured {measured} vs eq.(2) {model} (rel {rel})"
+    );
 }
 
 /// Pipelined with delay: measured ≈ eq. (3) at large sizes.
@@ -42,7 +45,10 @@ fn pipelined_time_matches_eq3() {
     let measured = mean_us(&cfg, Approach::PtpPart, &sc);
     let model = t_pipelined(4, part as f64, cfg.bandwidth, delay) * 1e6;
     let rel = (measured - model).abs() / model;
-    assert!(rel < 0.10, "measured {measured} vs eq.(3) {model} (rel {rel})");
+    assert!(
+        rel < 0.10,
+        "measured {measured} vs eq.(3) {model} (rel {rel})"
+    );
 }
 
 /// The measured gain converges to eq. (4) from below as size grows.
@@ -60,7 +66,10 @@ fn gain_converges_to_eq4() {
     let g16 = gain_at(16 << 20);
     assert!(g16 > g1, "gain must grow with size: {g1} → {g16}");
     assert!(g16 < ideal, "measured gain cannot exceed the ideal");
-    assert!(ideal - g16 < 0.15, "16MiB gain {g16} too far from ideal {ideal}");
+    assert!(
+        ideal - g16 < 0.15,
+        "16MiB gain {g16} too far from ideal {ideal}"
+    );
 }
 
 /// Appendix A: the Monte-Carlo delay of the Gaussian compute schedule
@@ -109,5 +118,8 @@ fn small_message_penalty_at_least_eq5() {
     let single = mean_us(&cfg, Approach::PtpSingle, &sc);
     let many = mean_us(&cfg, Approach::PtpMany, &sc);
     let eta = single / many;
-    assert!(eta < 1.0, "small messages: pipelining must lose (η = {eta})");
+    assert!(
+        eta < 1.0,
+        "small messages: pipelining must lose (η = {eta})"
+    );
 }

@@ -75,15 +75,7 @@ fn sim_concurrent_partitioned_channels() {
         };
         let mut done_at = Vec::new();
         for (src, dst) in [(0usize, 1usize), (2, 3)] {
-            let ps = psend_init(
-                &world.comm_world(src),
-                dst,
-                0,
-                4,
-                2048,
-                4,
-                opts.clone(),
-            );
+            let ps = psend_init(&world.comm_world(src), dst, 0, 4, 2048, 4, opts.clone());
             let pr = precv_init(&world.comm_world(dst), src, 0, 4, 4, 2048, opts.clone());
             sim.spawn({
                 let ps = ps.clone();

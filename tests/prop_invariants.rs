@@ -1,6 +1,12 @@
-//! Property-based tests on the workspace's core invariants.
+//! Randomized tests of the workspace's core invariants, driven by the
+//! internal PRNG (see `prop_util`). Off by default; enable with
+//! `cargo test --features proptests`.
 
-use proptest::prelude::*;
+#![cfg(feature = "proptests")]
+
+mod prop_util;
+
+use prop_util::{cases, maybe_usize, u64_in, usize_in};
 
 use pcomm::netmodel::MachineConfig;
 use pcomm::perfmodel::{eta_large, sample_sd, student_t_90, ConfidenceInterval};
@@ -9,18 +15,15 @@ use pcomm::simcore::{Dur, Sim};
 use pcomm::simmpi::scenario::{run_scenario, Approach, Scenario};
 use pcomm::workloads::{partitions_of_thread, thread_of_partition};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The two layout implementations (simulated and real runtime) are
-    /// the same algorithm — they must agree bit-for-bit.
-    #[test]
-    fn layouts_agree_between_crates(
-        n_send_base in 1usize..64,
-        mult in 1usize..6,
-        part_bytes in 1usize..10_000,
-        aggr in proptest::option::of(1usize..100_000),
-    ) {
+/// The two layout implementations (simulated and real runtime) are the
+/// same algorithm — they must agree bit-for-bit.
+#[test]
+fn layouts_agree_between_crates() {
+    cases(64, |rng| {
+        let n_send_base = usize_in(rng, 1, 64);
+        let mult = usize_in(rng, 1, 6);
+        let part_bytes = usize_in(rng, 1, 10_000);
+        let aggr = maybe_usize(rng, 1, 100_000);
         let n_send = n_send_base * mult;
         let n_recv = n_send_base;
         let a = pcomm::core::part::negotiate_layout(n_send, n_recv, part_bytes, aggr);
@@ -34,28 +37,36 @@ proptest! {
             ..Default::default()
         };
         let ps = pcomm::simmpi::part::psend_init(
-            &world.comm_world(0), 1, 0, n_send, part_bytes, n_recv, opts);
-        prop_assert_eq!(a.n_msgs(), ps.layout().n_msgs());
+            &world.comm_world(0),
+            1,
+            0,
+            n_send,
+            part_bytes,
+            n_recv,
+            opts,
+        );
+        assert_eq!(a.n_msgs(), ps.layout().n_msgs());
         for (x, y) in a.msgs.iter().zip(ps.layout().msgs.iter()) {
-            prop_assert_eq!(x.first_spart, y.first_spart);
-            prop_assert_eq!(x.n_sparts, y.n_sparts);
-            prop_assert_eq!(x.first_rpart, y.first_rpart);
-            prop_assert_eq!(x.n_rparts, y.n_rparts);
-            prop_assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.first_spart, y.first_spart);
+            assert_eq!(x.n_sparts, y.n_sparts);
+            assert_eq!(x.first_rpart, y.first_rpart);
+            assert_eq!(x.n_rparts, y.n_rparts);
+            assert_eq!(x.bytes, y.bytes);
         }
-    }
+    });
+}
 
-    /// Layout invariants: messages tile the partition ranges exactly, in
-    /// order, and aggregation never exceeds its bound unless a single
-    /// base message already does.
-    #[test]
-    fn layout_tiles_partitions(
-        g in 1usize..48,
-        sparts_per in 1usize..8,
-        rparts_per in 1usize..8,
-        part_bytes in 1usize..4096,
-        aggr in proptest::option::of(1usize..65_536),
-    ) {
+/// Layout invariants: messages tile the partition ranges exactly, in
+/// order, and aggregation never exceeds its bound unless a single base
+/// message already does.
+#[test]
+fn layout_tiles_partitions() {
+    cases(64, |rng| {
+        let g = usize_in(rng, 1, 48);
+        let sparts_per = usize_in(rng, 1, 8);
+        let rparts_per = usize_in(rng, 1, 8);
+        let part_bytes = usize_in(rng, 1, 4096);
+        let aggr = maybe_usize(rng, 1, 65_536);
         let n_send = g * sparts_per;
         let n_recv = g * rparts_per;
         let l = pcomm::core::part::negotiate_layout(n_send, n_recv, part_bytes, aggr);
@@ -64,103 +75,119 @@ proptest! {
         let mut next_r = 0;
         let mut total = 0;
         for m in &l.msgs {
-            prop_assert_eq!(m.first_spart, next_s);
-            prop_assert_eq!(m.first_rpart, next_r);
+            assert_eq!(m.first_spart, next_s);
+            assert_eq!(m.first_rpart, next_r);
             next_s += m.n_sparts;
             next_r += m.n_rparts;
             total += m.bytes;
-            prop_assert_eq!(m.bytes, m.n_sparts * part_bytes);
+            assert_eq!(m.bytes, m.n_sparts * part_bytes);
         }
-        prop_assert_eq!(next_s, n_send);
-        prop_assert_eq!(next_r, n_recv);
-        prop_assert_eq!(total, n_send * part_bytes);
+        assert_eq!(next_s, n_send);
+        assert_eq!(next_r, n_recv);
+        assert_eq!(total, n_send * part_bytes);
         // Aggregation bound.
         if let Some(limit) = aggr {
             let base_bytes = (n_send / gcd(n_send, n_recv)) * part_bytes;
             for m in &l.msgs {
-                prop_assert!(m.bytes <= limit.max(base_bytes));
+                assert!(m.bytes <= limit.max(base_bytes));
             }
         }
         // Mapping consistency.
         for p in 0..n_send {
             let m = l.msg_of_spart(p);
             let spec = l.msgs[m];
-            prop_assert!(p >= spec.first_spart && p < spec.first_spart + spec.n_sparts);
+            assert!(p >= spec.first_spart && p < spec.first_spart + spec.n_sparts);
         }
-    }
+    });
+}
 
-    /// Round-robin partition↔thread mapping is a bijection.
-    #[test]
-    fn partition_thread_mapping_bijective(n_threads in 1usize..32, theta in 1usize..16) {
+/// Round-robin partition↔thread mapping is a bijection.
+#[test]
+fn partition_thread_mapping_bijective() {
+    cases(64, |rng| {
+        let n_threads = usize_in(rng, 1, 32);
+        let theta = usize_in(rng, 1, 16);
         let mut seen = vec![false; n_threads * theta];
         for t in 0..n_threads {
             for p in partitions_of_thread(t, n_threads, theta) {
-                prop_assert_eq!(thread_of_partition(p, n_threads), t);
-                prop_assert!(!seen[p]);
+                assert_eq!(thread_of_partition(p, n_threads), t);
+                assert!(!seen[p]);
                 seen[p] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        assert!(seen.iter().all(|&s| s));
+    });
+}
 
-    /// The simulator is deterministic: identical inputs give identical
-    /// per-iteration times, for any strategy and scenario.
-    #[test]
-    fn simulator_deterministic(
-        approach_idx in 0usize..8,
-        n_threads in 1usize..9,
-        theta in 1usize..4,
-        part_kb in 1usize..64,
-        seed in any::<u64>(),
-    ) {
-        let approach = Approach::ALL[approach_idx];
+/// The simulator is deterministic: identical inputs give identical
+/// per-iteration times, for any strategy and scenario.
+#[test]
+fn simulator_deterministic() {
+    cases(24, |rng| {
+        let approach = Approach::ALL[usize_in(rng, 0, Approach::ALL.len())];
+        let n_threads = usize_in(rng, 1, 9);
+        let theta = usize_in(rng, 1, 4);
+        let part_kb = usize_in(rng, 1, 64);
+        let seed = rng.next_u64();
         let sc = Scenario::immediate(n_threads, theta, part_kb * 256, 3);
         let cfg = MachineConfig::meluxina();
         let a = run_scenario(&cfg, 2, seed, approach, &sc);
         let b = run_scenario(&cfg, 2, seed, approach, &sc);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Gain model sanity: η ≥ 1 whenever there is any delay, η ≤ Nθ, and
-    /// η is monotone in γ.
-    #[test]
-    fn eta_bounds_and_monotonicity(
-        n in 1u64..64,
-        theta in 1u64..16,
-        gamma_a in 0.0f64..1e-9,
-        gamma_b in 0.0f64..1e-9,
-    ) {
+/// Gain model sanity: η ≥ 1 whenever there is any delay, η ≤ Nθ, and η
+/// is monotone in γ.
+#[test]
+fn eta_bounds_and_monotonicity() {
+    cases(64, |rng| {
+        let n = u64_in(rng, 1, 64);
+        let theta = u64_in(rng, 1, 16);
+        let gamma_a = rng.next_range_f64(0.0, 1e-9);
+        let gamma_b = rng.next_range_f64(0.0, 1e-9);
         let beta = 25e9;
-        let (lo, hi) = if gamma_a <= gamma_b { (gamma_a, gamma_b) } else { (gamma_b, gamma_a) };
+        let (lo, hi) = if gamma_a <= gamma_b {
+            (gamma_a, gamma_b)
+        } else {
+            (gamma_b, gamma_a)
+        };
         let e_lo = eta_large(n, theta, lo, beta);
         let e_hi = eta_large(n, theta, hi, beta);
-        prop_assert!(e_lo >= 1.0 - 1e-12);
-        prop_assert!(e_hi <= (n * theta) as f64 + 1e-12);
-        prop_assert!(e_hi >= e_lo - 1e-12);
-    }
+        assert!(e_lo >= 1.0 - 1e-12);
+        assert!(e_hi <= (n * theta) as f64 + 1e-12);
+        assert!(e_hi >= e_lo - 1e-12);
+    });
+}
 
-    /// Student-t CI: the half-width shrinks as 1/√n (fixed variance), and
-    /// the mean always lies inside the interval.
-    #[test]
-    fn ci_behaviour(seed in any::<u64>(), n_small in 8usize..40) {
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+/// Student-t CI: the half-width shrinks as 1/√n (fixed variance), and
+/// the mean always lies inside the interval.
+#[test]
+fn ci_behaviour() {
+    cases(48, |rng| {
+        let seed = rng.next_u64();
+        let n_small = usize_in(rng, 8, 40);
+        let mut sample_rng = Xoshiro256pp::seed_from_u64(seed);
         let n_large = n_small * 16;
-        let sample: Vec<f64> = (0..n_large).map(|_| rng.next_f64() * 10.0).collect();
+        let sample: Vec<f64> = (0..n_large).map(|_| sample_rng.next_f64() * 10.0).collect();
         let small = ConfidenceInterval::of(&sample[..n_small]);
         let large = ConfidenceInterval::of(&sample);
         if sample_sd(&sample[..n_small]) > 0.1 {
-            prop_assert!(large.halfwidth < small.halfwidth * 1.5);
+            assert!(large.halfwidth < small.halfwidth * 1.5);
         }
-        prop_assert!(large.halfwidth >= 0.0);
-        prop_assert!(student_t_90((n_large - 1) as u64) >= 1.6449);
-    }
+        assert!(large.halfwidth >= 0.0);
+        assert!(student_t_90((n_large - 1) as u64) >= 1.6449);
+    });
+}
 
-    /// Virtual-time arithmetic: Dur conversions round-trip within a ps.
-    #[test]
-    fn dur_roundtrip(us in 0.0f64..1e6) {
+/// Virtual-time arithmetic: Dur conversions round-trip within a ps.
+#[test]
+fn dur_roundtrip() {
+    cases(256, |rng| {
+        let us = rng.next_range_f64(0.0, 1e6);
         let d = Dur::from_us_f64(us);
-        prop_assert!((d.as_us_f64() - us).abs() < 1e-5);
-    }
+        assert!((d.as_us_f64() - us).abs() < 1e-5);
+    });
 }
 
 fn gcd(a: usize, b: usize) -> usize {

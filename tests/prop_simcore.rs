@@ -1,22 +1,26 @@
-//! Property tests of the discrete-event kernel: the simulator's
+//! Randomized tests of the discrete-event kernel: the simulator's
 //! correctness guarantees (FIFO fairness, timer ordering, determinism)
-//! under randomly generated task structures.
+//! under randomly generated task structures. Off by default; enable
+//! with `cargo test --features proptests`.
+
+#![cfg(feature = "proptests")]
+
+mod prop_util;
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use prop_util::{cases, usize_in, vec_u64};
 
 use pcomm::simcore::sync::{channel, Barrier, Resource, Semaphore};
 use pcomm::simcore::{Dur, Sim};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Timers fire in (time, registration) order regardless of the order
-    /// tasks are spawned or the durations chosen.
-    #[test]
-    fn timers_fire_in_time_order(delays in proptest::collection::vec(0u64..1000, 1..40)) {
+/// Timers fire in (time, registration) order regardless of the order
+/// tasks are spawned or the durations chosen.
+#[test]
+fn timers_fire_in_time_order() {
+    cases(48, |rng| {
+        let delays = vec_u64(rng, 1, 40, 0, 1000);
         let sim = Sim::new();
         let fired = Rc::new(RefCell::new(Vec::new()));
         for (i, &d) in delays.iter().enumerate() {
@@ -29,18 +33,25 @@ proptest! {
         }
         sim.run();
         let log = fired.borrow();
-        prop_assert_eq!(log.len(), delays.len());
+        assert_eq!(log.len(), delays.len());
         for w in log.windows(2) {
             // Non-decreasing times; equal times resolve in spawn order.
-            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
-                "ordering violated: {:?} then {:?}", w[0], w[1]);
+            assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "ordering violated: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
         }
-    }
+    });
+}
 
-    /// A contended resource serializes: total time equals the sum of the
-    /// hold durations, and grants happen in request order.
-    #[test]
-    fn resource_serializes_exactly(holds in proptest::collection::vec(1u64..50, 1..20)) {
+/// A contended resource serializes: total time equals the sum of the
+/// hold durations, and grants happen in request order.
+#[test]
+fn resource_serializes_exactly() {
+    cases(48, |rng| {
+        let holds = vec_u64(rng, 1, 20, 1, 50);
         let sim = Sim::new();
         let res = Resource::new(&sim);
         let order = Rc::new(RefCell::new(Vec::new()));
@@ -54,15 +65,18 @@ proptest! {
         }
         sim.run();
         let total: u64 = holds.iter().sum();
-        prop_assert_eq!(sim.now().as_us_f64(), total as f64);
+        assert_eq!(sim.now().as_us_f64(), total as f64);
         // FIFO among same-instant requesters = spawn order.
-        prop_assert_eq!(order.borrow().clone(), (0..holds.len()).collect::<Vec<_>>());
-    }
+        assert_eq!(order.borrow().clone(), (0..holds.len()).collect::<Vec<_>>());
+    });
+}
 
-    /// Channel delivery preserves send order for any message count and
-    /// any sender pacing.
-    #[test]
-    fn channel_fifo(paces in proptest::collection::vec(0u64..100, 1..60)) {
+/// Channel delivery preserves send order for any message count and any
+/// sender pacing.
+#[test]
+fn channel_fifo() {
+    cases(48, |rng| {
+        let paces = vec_u64(rng, 1, 60, 0, 100);
         let sim = Sim::new();
         let (tx, mut rx) = channel::<usize>();
         let s = sim.clone();
@@ -84,16 +98,20 @@ proptest! {
             }
         });
         sim.run();
-        prop_assert_eq!(got.try_take().unwrap(), (0..paces.len()).collect::<Vec<_>>());
-    }
+        assert_eq!(
+            got.try_take().unwrap(),
+            (0..paces.len()).collect::<Vec<_>>()
+        );
+    });
+}
 
-    /// A semaphore with k permits bounds concurrency at exactly k and the
-    /// makespan matches the greedy schedule bound.
-    #[test]
-    fn semaphore_bounds_concurrency(
-        permits in 1usize..6,
-        jobs in proptest::collection::vec(1u64..30, 1..25),
-    ) {
+/// A semaphore with k permits bounds concurrency at exactly k and the
+/// makespan matches the greedy schedule bound.
+#[test]
+fn semaphore_bounds_concurrency() {
+    cases(48, |rng| {
+        let permits = usize_in(rng, 1, 6);
+        let jobs = vec_u64(rng, 1, 25, 1, 30);
         let sim = Sim::new();
         let sem = Semaphore::new(permits);
         let active = Rc::new(RefCell::new((0usize, 0usize))); // (now, max)
@@ -114,20 +132,26 @@ proptest! {
         }
         sim.run();
         let (now, peak) = *active.borrow();
-        prop_assert_eq!(now, 0);
-        prop_assert!(peak <= permits, "concurrency {peak} exceeded permits {permits}");
+        assert_eq!(now, 0);
+        assert!(
+            peak <= permits,
+            "concurrency {peak} exceeded permits {permits}"
+        );
         // Work conservation: makespan >= total/permits and >= longest job.
         let total: u64 = jobs.iter().sum();
         let longest = *jobs.iter().max().unwrap();
         let makespan = sim.now().as_us_f64();
-        prop_assert!(makespan + 1e-9 >= total as f64 / permits as f64);
-        prop_assert!(makespan + 1e-9 >= longest as f64);
-    }
+        assert!(makespan + 1e-9 >= total as f64 / permits as f64);
+        assert!(makespan + 1e-9 >= longest as f64);
+    });
+}
 
-    /// Barriers synchronize any team size: all release times equal the
-    /// slowest arrival, every cycle.
-    #[test]
-    fn barrier_release_at_max(arrivals in proptest::collection::vec(0u64..500, 2..16)) {
+/// Barriers synchronize any team size: all release times equal the
+/// slowest arrival, every cycle.
+#[test]
+fn barrier_release_at_max() {
+    cases(48, |rng| {
+        let arrivals = vec_u64(rng, 2, 16, 0, 500);
         let sim = Sim::new();
         let b = Barrier::new(arrivals.len());
         let releases = Rc::new(RefCell::new(Vec::new()));
@@ -144,31 +168,36 @@ proptest! {
         sim.run();
         let max = *arrivals.iter().max().unwrap() as f64;
         for &r in releases.borrow().iter() {
-            prop_assert_eq!(r, max);
+            assert_eq!(r, max);
         }
+    });
+}
+
+/// Whole-sim determinism: a random mixed workload produces the same
+/// final virtual time and poll count on every run.
+#[test]
+fn mixed_workload_deterministic() {
+    fn build(jobs: &[(u64, u64)]) -> (f64, u64) {
+        let sim = Sim::new();
+        let res = Resource::new(&sim);
+        let b = Barrier::new(jobs.len());
+        for &(delay, hold) in jobs {
+            let s = sim.clone();
+            let res = res.clone();
+            let b = b.clone();
+            sim.spawn(async move {
+                s.sleep(Dur::from_ns(delay)).await;
+                res.occupy(Dur::from_us(hold)).await;
+                b.wait().await;
+            });
+        }
+        let report = sim.try_run();
+        (report.finished_at.as_us_f64(), report.polls)
     }
 
-    /// Whole-sim determinism: a random mixed workload produces the same
-    /// final virtual time and poll count on every run.
-    #[test]
-    fn mixed_workload_deterministic(seed_jobs in proptest::collection::vec((0u64..200, 1u64..40), 1..20)) {
-        fn build(jobs: &[(u64, u64)]) -> (f64, u64) {
-            let sim = Sim::new();
-            let res = Resource::new(&sim);
-            let b = Barrier::new(jobs.len());
-            for &(delay, hold) in jobs {
-                let s = sim.clone();
-                let res = res.clone();
-                let b = b.clone();
-                sim.spawn(async move {
-                    s.sleep(Dur::from_ns(delay)).await;
-                    res.occupy(Dur::from_us(hold)).await;
-                    b.wait().await;
-                });
-            }
-            let report = sim.try_run();
-            (report.finished_at.as_us_f64(), report.polls)
-        }
-        prop_assert_eq!(build(&seed_jobs), build(&seed_jobs));
-    }
+    cases(32, |rng| {
+        let delays = vec_u64(rng, 1, 20, 0, 200);
+        let jobs: Vec<(u64, u64)> = delays.iter().map(|&d| (d, 1 + d % 39)).collect();
+        assert_eq!(build(&jobs), build(&jobs));
+    });
 }

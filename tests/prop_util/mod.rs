@@ -1,0 +1,52 @@
+//! Deterministic harness for the randomized (property-style) tests.
+//!
+//! Each case gets an RNG seeded from `BASE_SEED` and the case index, so
+//! any failure replays exactly; the harness reports the failing case
+//! number after the panic message of the assertion that tripped.
+
+// Each test binary compiles this module separately and uses a subset.
+#![allow(dead_code)]
+
+use pcomm::prng::{Rng64, Xoshiro256pp};
+
+pub const BASE_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+/// Run `n` randomized cases of `f`.
+pub fn cases<F>(n: u64, f: F)
+where
+    F: Fn(&mut Xoshiro256pp),
+{
+    for case in 0..n {
+        let mut rng =
+            Xoshiro256pp::seed_from_u64(BASE_SEED ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if run.is_err() {
+            panic!("randomized case {case}/{n} failed (BASE_SEED {BASE_SEED:#x})");
+        }
+    }
+}
+
+/// Uniform `usize` in `[lo, hi)`.
+pub fn usize_in(rng: &mut impl Rng64, lo: usize, hi: usize) -> usize {
+    lo + rng.next_bounded((hi - lo) as u64) as usize
+}
+
+/// Uniform `u64` in `[lo, hi)`.
+pub fn u64_in(rng: &mut impl Rng64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_bounded(hi - lo)
+}
+
+/// Vector of uniform `u64`s in `[lo, hi)`, with length in `[min_len, max_len)`.
+pub fn vec_u64(rng: &mut impl Rng64, min_len: usize, max_len: usize, lo: u64, hi: u64) -> Vec<u64> {
+    let len = usize_in(rng, min_len, max_len);
+    (0..len).map(|_| u64_in(rng, lo, hi)).collect()
+}
+
+/// `Some(value in [lo, hi))` half the time, else `None`.
+pub fn maybe_usize(rng: &mut impl Rng64, lo: usize, hi: usize) -> Option<usize> {
+    if rng.next_u64() & 1 == 0 {
+        None
+    } else {
+        Some(usize_in(rng, lo, hi))
+    }
+}

@@ -25,17 +25,14 @@ fn random_ready_orders_are_safe() {
                 // Random assignment of partitions to threads each round.
                 let mut order: Vec<usize> = (0..n_parts).collect();
                 rng.shuffle(&mut order);
-                let chunks: Vec<Vec<usize>> =
-                    order.chunks(theta).map(|c| c.to_vec()).collect();
+                let chunks: Vec<Vec<usize>> = order.chunks(theta).map(|c| c.to_vec()).collect();
                 ps.start();
                 std::thread::scope(|s| {
                     for chunk in &chunks {
                         let ps = ps.clone();
                         s.spawn(move || {
                             for &p in chunk {
-                                ps.write_partition(p, |b| {
-                                    b.fill((it as usize * 31 + p) as u8)
-                                });
+                                ps.write_partition(p, |b| b.fill((it as usize * 31 + p) as u8));
                                 ps.pready(p);
                             }
                         });
