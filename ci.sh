@@ -9,6 +9,9 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== cargo clippy -D warnings (workspace, offline) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo build --release (workspace, offline) =="
 cargo build --workspace --release --offline
 
@@ -20,5 +23,10 @@ cargo test -q --offline --features proptests
 
 echo "== cargo bench --no-run (offline) =="
 cargo bench --workspace --no-run --offline
+
+echo "== hotpath bench smoke (release, quick, scratch output) =="
+mkdir -p target
+cargo run --release -p pcomm-bench --bin hotpath --offline -- \
+    --quick --out target/bench_hotpath_smoke.json
 
 echo "CI OK"

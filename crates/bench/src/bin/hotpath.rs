@@ -1,0 +1,309 @@
+//! `hotpath` — microbenchmarks of the real runtime's per-operation hot
+//! paths, persisted as the repo's performance trajectory.
+//!
+//! Measures the four costs the partitioned-communication paper's
+//! small-message regime (Figs. 5–6) is sensitive to:
+//!
+//! * `pready_ns` — cost of one `MPI_Pready`, including the early-bird
+//!   injection of its internal message;
+//! * `parrived_probe_ns` — cost of probing an already-arrived partition
+//!   (`MPI_Parrived` returning `true`), the `MPI_Test`-style polling loop
+//!   consumers sit in;
+//! * `eager_roundtrip_ns` — a 256 B eager ping-pong between two ranks;
+//! * `contended_{1,8}shard_ns` — per-message injection cost with 8
+//!   threads hammering 1 shard vs 8 shards (the Fig. 5 vs Fig. 6 setup).
+//!
+//! Results go to `BENCH_hotpath.json` at the repo root. The first run
+//! seeds the `baseline` block; later runs preserve it and overwrite
+//! `current`, so the file always carries a before/after pair
+//! (`--set-baseline` re-seeds explicitly, `--out <path>` redirects, e.g.
+//! for CI smoke runs that must not touch the committed trajectory).
+//!
+//! ```text
+//! cargo run --release -p pcomm-bench --bin hotpath
+//! cargo run --release -p pcomm-bench --bin hotpath -- --quick --out /tmp/h.json
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use pcomm_core::part::PartOptions;
+use pcomm_core::{Comm, Universe};
+
+/// One full set of hot-path measurements, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+struct HotpathNumbers {
+    pready_ns: f64,
+    parrived_probe_ns: f64,
+    eager_roundtrip_ns: f64,
+    contended_1shard_ns: f64,
+    contended_8shard_ns: f64,
+}
+
+impl HotpathNumbers {
+    fn to_json(self, label: &str) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"label\": \"{}\",\n",
+                "    \"pready_ns\": {:.1},\n",
+                "    \"parrived_probe_ns\": {:.2},\n",
+                "    \"eager_roundtrip_ns\": {:.1},\n",
+                "    \"contended_1shard_ns\": {:.1},\n",
+                "    \"contended_8shard_ns\": {:.1}\n",
+                "  }}"
+            ),
+            label,
+            self.pready_ns,
+            self.parrived_probe_ns,
+            self.eager_roundtrip_ns,
+            self.contended_1shard_ns,
+            self.contended_8shard_ns,
+        )
+    }
+}
+
+/// Minimum of `reps` timed runs of `f`, where `f` returns (total ns, ops).
+fn min_ns_per_op(reps: usize, mut f: impl FnMut() -> (f64, usize)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (ns, ops) = f();
+        let per_op = ns / ops.max(1) as f64;
+        if per_op < best {
+            best = per_op;
+        }
+    }
+    best
+}
+
+/// Cost of one `pready` (64 partitions of 64 B, improved path): the
+/// readying thread pays counter update + early-bird injection.
+fn bench_pready(reps: usize) -> f64 {
+    const N: usize = 64;
+    const BYTES: usize = 64;
+    let out = Universe::new(2).run(|comm| {
+        if comm.rank() == 0 {
+            let ps = comm.psend_init(1, 1, N, BYTES, PartOptions::default());
+            min_ns_per_op(reps, || {
+                ps.start();
+                let t0 = Instant::now();
+                for p in 0..N {
+                    ps.pready(p);
+                }
+                let ns = t0.elapsed().as_nanos() as f64;
+                ps.wait();
+                (ns, N)
+            })
+        } else {
+            let pr = comm.precv_init(0, 1, N, BYTES, PartOptions::default());
+            for _ in 0..reps {
+                pr.start();
+                pr.wait();
+            }
+            0.0
+        }
+    });
+    out[0]
+}
+
+/// Cost of probing a partition that has already arrived — the fast path
+/// of a consumer's polling loop.
+fn bench_parrived(reps: usize, probes: usize) -> f64 {
+    const N: usize = 4;
+    let out = Universe::new(2).run(|comm| {
+        if comm.rank() == 0 {
+            let ps = comm.psend_init(1, 1, N, 64, PartOptions::default());
+            for _ in 0..reps {
+                ps.start();
+                for p in 0..N {
+                    ps.pready(p);
+                }
+                ps.wait();
+                comm.barrier();
+            }
+            0.0
+        } else {
+            let pr = comm.precv_init(0, 1, N, 64, PartOptions::default());
+            min_ns_per_op(reps, || {
+                pr.start();
+                while !(0..N).all(|p| pr.parrived(p)) {
+                    std::hint::spin_loop();
+                }
+                let t0 = Instant::now();
+                for i in 0..probes {
+                    black_box(pr.parrived(black_box(i % N)));
+                }
+                let ns = t0.elapsed().as_nanos() as f64;
+                pr.wait();
+                comm.barrier();
+                (ns, probes)
+            })
+        }
+    });
+    out[1]
+}
+
+/// 256 B eager ping-pong; rank 0 reports ns per round trip.
+fn bench_eager_roundtrip(reps: usize, iters: usize) -> f64 {
+    const BYTES: usize = 256;
+    let out = Universe::new(2).run(|comm| {
+        let mut buf = vec![0u8; BYTES];
+        if comm.rank() == 0 {
+            min_ns_per_op(reps, || {
+                comm.barrier();
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    comm.send(1, 0, &buf);
+                    comm.recv_into(Some(1), Some(0), &mut buf);
+                }
+                (t0.elapsed().as_nanos() as f64, iters)
+            })
+        } else {
+            for _ in 0..reps {
+                comm.barrier();
+                for _ in 0..iters {
+                    comm.recv_into(Some(0), Some(0), &mut buf);
+                    comm.send(0, 0, &buf);
+                }
+            }
+            0.0
+        }
+    });
+    out[0]
+}
+
+/// 8 sender threads × `msgs` eager messages, on `n_shards` shards.
+/// Reports ns per injected message on the sending rank.
+fn bench_contention(reps: usize, msgs: usize, n_shards: usize) -> f64 {
+    const THREADS: usize = 8;
+    const BYTES: usize = 256;
+    let out = Universe::new(2).with_shards(n_shards).run(|comm| {
+        // Per-thread communicators: with 1 shard they all collide on one
+        // lock; with 8 shards dup() spreads them round-robin.
+        let comms: Vec<Comm> = (0..THREADS).map(|_| comm.dup()).collect();
+        if comm.rank() == 0 {
+            min_ns_per_op(reps, || {
+                comm.barrier();
+                let t0 = Instant::now();
+                std::thread::scope(|s| {
+                    for (t, c) in comms.iter().enumerate() {
+                        s.spawn(move || {
+                            let payload = [t as u8; BYTES];
+                            for _ in 0..msgs {
+                                c.send(1, t as i64, &payload);
+                            }
+                        });
+                    }
+                });
+                let ns = t0.elapsed().as_nanos() as f64;
+                comm.barrier(); // receiver drained
+                (ns, THREADS * msgs)
+            })
+        } else {
+            for _ in 0..reps {
+                comm.barrier();
+                std::thread::scope(|s| {
+                    for (t, c) in comms.iter().enumerate() {
+                        s.spawn(move || {
+                            let mut buf = [0u8; BYTES];
+                            for _ in 0..msgs {
+                                c.recv_into(Some(0), Some(t as i64), &mut buf);
+                            }
+                        });
+                    }
+                });
+                comm.barrier();
+            }
+            0.0
+        }
+    });
+    out[0]
+}
+
+/// Extract the balanced-brace object following `"<key>":` in `json`.
+fn extract_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)?;
+    let open = at + json[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let set_baseline = args.iter().any(|a| a == "--set-baseline");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_hotpath.json", env!("CARGO_MANIFEST_DIR")));
+
+    let (reps, probes, pp_iters, cont_msgs) = if quick {
+        (5, 20_000, 2_000, 500)
+    } else {
+        (30, 200_000, 10_000, 2_000)
+    };
+
+    eprintln!("hotpath: pready ...");
+    let pready_ns = bench_pready(reps);
+    eprintln!("hotpath: parrived probe ...");
+    let parrived_probe_ns = bench_parrived(reps, probes);
+    eprintln!("hotpath: eager roundtrip ...");
+    let eager_roundtrip_ns = bench_eager_roundtrip(reps, pp_iters);
+    eprintln!("hotpath: contention 1 shard ...");
+    let contended_1shard_ns = bench_contention(reps.min(10), cont_msgs, 1);
+    eprintln!("hotpath: contention 8 shards ...");
+    let contended_8shard_ns = bench_contention(reps.min(10), cont_msgs, 8);
+
+    let now = HotpathNumbers {
+        pready_ns,
+        parrived_probe_ns,
+        eager_roundtrip_ns,
+        contended_1shard_ns,
+        contended_8shard_ns,
+    };
+
+    println!("pready                  {pready_ns:>10.1} ns/op");
+    println!("parrived probe (hit)    {parrived_probe_ns:>10.2} ns/op");
+    println!("eager roundtrip 256B    {eager_roundtrip_ns:>10.1} ns/rt");
+    println!("8 threads / 1 shard     {contended_1shard_ns:>10.1} ns/msg");
+    println!("8 threads / 8 shards    {contended_8shard_ns:>10.1} ns/msg");
+
+    let current = now.to_json("current");
+    let baseline = if set_baseline {
+        now.to_json("baseline")
+    } else {
+        std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|old| extract_object(&old, "baseline").map(str::to_owned))
+            .unwrap_or_else(|| now.to_json("baseline"))
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"pcomm-hotpath-v1\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"baseline\": {},\n",
+            "  \"current\": {}\n",
+            "}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        baseline,
+        current
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("hotpath: wrote {out_path}");
+}

@@ -54,6 +54,7 @@
 mod comm;
 pub mod datatype;
 mod fabric;
+pub mod hotpath;
 pub mod p2p;
 pub mod part;
 pub mod rma;

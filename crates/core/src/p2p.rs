@@ -8,7 +8,7 @@ use std::sync::Arc;
 use crate::sync::Mutex;
 
 use crate::comm::Comm;
-use crate::fabric::{MsgInfo, PostedRecv, RecvTicket, SendTicket};
+use crate::fabric::{MsgInfo, PostedRecv};
 use crate::sync::Completion;
 
 impl Comm {
@@ -66,7 +66,8 @@ impl Comm {
             dst,
             tag,
             buf: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
-            active: Mutex::new(None),
+            // Pre-set: probing an inactive request reports complete.
+            done: Completion::new_set(),
             in_flight: AtomicBool::new(false),
         }
     }
@@ -79,7 +80,8 @@ impl Comm {
             src,
             tag,
             buf: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
-            active: Mutex::new(None),
+            done: Completion::new_set(),
+            info: Arc::new(Mutex::new(None)),
             in_flight: AtomicBool::new(false),
             last_info: Mutex::new(None),
         }
@@ -95,7 +97,9 @@ pub struct PersistentSend {
     dst: usize,
     tag: i64,
     buf: UnsafeCell<Box<[u8]>>,
-    active: Mutex<Option<SendTicket>>,
+    /// Persistent completion, reset by `start()` and set when the buffer
+    /// is reusable; `test()` is a single atomic load on it.
+    done: Arc<Completion>,
     in_flight: AtomicBool,
 }
 
@@ -135,46 +139,43 @@ impl PersistentSend {
             !self.in_flight.swap(true, Ordering::AcqRel),
             "persistent send started twice without wait"
         );
+        self.done.reset();
         // SAFETY: in_flight now true → no writer can touch the buffer
         // until wait(); the slice stays valid for the fabric.
         let data: &[u8] = unsafe { &*self.buf.get() };
-        let ticket = self.comm.fabric().send_raw(
+        self.comm.fabric().send_raw_signal(
             self.dst,
             self.comm.shard(),
             self.comm.ctx(),
             self.comm.rank(),
             self.tag,
             data,
+            &self.done,
         );
-        *self.active.lock() = Some(ticket);
     }
 
     /// `MPI_Wait`: block until the buffer is reusable.
     pub fn wait(&self) {
-        let ticket = self
-            .active
-            .lock()
-            .take()
-            .expect("persistent send not started");
-        ticket.wait();
+        assert!(
+            self.in_flight.load(Ordering::Acquire),
+            "persistent send not started"
+        );
+        self.done.wait();
         self.in_flight.store(false, Ordering::Release);
     }
 
-    /// Non-blocking completion probe (`MPI_Test`).
+    /// Non-blocking completion probe (`MPI_Test`): one atomic load, no
+    /// lock. `true` when inactive (MPI convention).
     pub fn test(&self) -> bool {
-        self.active
-            .lock()
-            .as_ref()
-            .map(|t| t.test())
-            .unwrap_or(true)
+        self.done.is_set()
     }
 }
 
 impl Drop for PersistentSend {
     fn drop(&mut self) {
-        // A rendezvous ticket holds a pointer into our buffer: drain it.
-        if let Some(t) = self.active.get_mut().take() {
-            t.wait();
+        // An in-flight rendezvous pins a pointer into our buffer: drain.
+        if self.in_flight.load(Ordering::Acquire) {
+            self.done.wait();
         }
     }
 }
@@ -185,7 +186,10 @@ pub struct PersistentRecv {
     src: usize,
     tag: i64,
     buf: UnsafeCell<Box<[u8]>>,
-    active: Mutex<Option<RecvTicket>>,
+    /// Persistent arrival signal, reset by `start()`, set by the fabric.
+    done: Arc<Completion>,
+    /// Persistent envelope slot handed to the fabric with each post.
+    info: Arc<Mutex<Option<MsgInfo>>>,
     in_flight: AtomicBool,
     last_info: Mutex<Option<MsgInfo>>,
 }
@@ -212,11 +216,13 @@ impl PersistentRecv {
             !self.in_flight.swap(true, Ordering::AcqRel),
             "persistent recv started twice without wait"
         );
-        let completion = Completion::new();
-        let info = Arc::new(Mutex::new(None));
+        // Re-arm the persistent slots before posting: a fulfilled post
+        // sets `done` immediately when the message was unexpected.
+        self.done.reset();
+        *self.info.lock() = None;
         // SAFETY: in_flight gates all other access until wait().
         let buf: &mut [u8] = unsafe { &mut *self.buf.get() };
-        let ticket = self.comm.fabric().post_recv(
+        self.comm.fabric().post_recv(
             self.comm.rank(),
             self.comm.shard(),
             PostedRecv {
@@ -225,33 +231,29 @@ impl PersistentRecv {
                 tag: Some(self.tag),
                 dest_ptr: buf.as_mut_ptr(),
                 dest_cap: buf.len(),
-                info,
-                completion,
+                info: Arc::clone(&self.info),
+                completion: Arc::clone(&self.done),
             },
         );
-        *self.active.lock() = Some(ticket);
     }
 
     /// `MPI_Wait`: block until the message landed; returns the envelope.
     pub fn wait(&self) -> MsgInfo {
-        let ticket = self
-            .active
-            .lock()
-            .take()
-            .expect("persistent recv not started");
-        let info = ticket.wait();
+        assert!(
+            self.in_flight.load(Ordering::Acquire),
+            "persistent recv not started"
+        );
+        self.done.wait();
+        let info = self.info.lock().expect("completed receive carries info");
         *self.last_info.lock() = Some(info);
         self.in_flight.store(false, Ordering::Release);
         info
     }
 
-    /// Non-blocking arrival probe.
+    /// Non-blocking arrival probe: one atomic load, no lock. `true` when
+    /// inactive (MPI convention).
     pub fn test(&self) -> bool {
-        self.active
-            .lock()
-            .as_ref()
-            .map(|t| t.test())
-            .unwrap_or(true)
+        self.done.is_set()
     }
 
     /// Envelope of the most recently completed receive, if any.
@@ -272,8 +274,9 @@ impl PersistentRecv {
 
 impl Drop for PersistentRecv {
     fn drop(&mut self) {
-        if let Some(t) = self.active.get_mut().take() {
-            t.wait();
+        // The fabric may still hold a pointer into our buffer: drain.
+        if self.in_flight.load(Ordering::Acquire) {
+            self.done.wait();
         }
     }
 }
@@ -430,6 +433,33 @@ mod tests {
                         });
                     }
                 });
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_test_probe_is_lock_free() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.send_init(1, 0, 8);
+                assert!(ps.test(), "inactive send tests complete");
+                ps.start();
+                ps.wait();
+                assert!(ps.test(), "inactive again after wait");
+            } else {
+                let pr = comm.recv_init(0, 0, 8);
+                assert!(pr.test(), "inactive recv tests complete");
+                pr.start();
+                let before = crate::hotpath::thread_stats();
+                while !pr.test() {
+                    std::hint::spin_loop();
+                }
+                let after = crate::hotpath::thread_stats();
+                assert_eq!(
+                    after.mutex_locks, before.mutex_locks,
+                    "test() polling must take no runtime mutex"
+                );
+                pr.wait();
             }
         });
     }

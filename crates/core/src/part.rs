@@ -20,7 +20,7 @@ use pcomm_trace::EventKind;
 use crate::sync::Mutex;
 
 use crate::comm::Comm;
-use crate::fabric::{PostedRecv, RecvTicket, SendTicket};
+use crate::fabric::{MsgInfo, PostedRecv};
 use crate::sync::Completion;
 
 /// Tag of the legacy clear-to-send control message.
@@ -62,27 +62,56 @@ pub struct MsgSpec {
 }
 
 /// The negotiated partition→message mapping (paper §3.2.1).
+///
+/// Alongside the message list it carries dense partition→message index
+/// tables, so the per-`pready` / per-`parrived` lookup is one bounds
+/// check and one array read instead of a linear scan over messages —
+/// `pready` sits on the application's inner loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MsgLayout {
     /// Messages in buffer order.
     pub msgs: Vec<MsgSpec>,
+    /// `spart_msg[p]` = index of the message sender partition `p` feeds.
+    spart_msg: Vec<u32>,
+    /// `rpart_msg[p]` = index of the message covering receiver partition `p`.
+    rpart_msg: Vec<u32>,
 }
 
 impl MsgLayout {
-    /// Message index a sender partition contributes to.
-    pub fn msg_of_spart(&self, p: usize) -> usize {
-        self.msgs
-            .iter()
-            .position(|m| p >= m.first_spart && p < m.first_spart + m.n_sparts)
-            .expect("sender partition out of range")
+    fn from_msgs(msgs: Vec<MsgSpec>) -> MsgLayout {
+        let n_sparts: usize = msgs.iter().map(|m| m.n_sparts).sum();
+        let n_rparts: usize = msgs.iter().map(|m| m.n_rparts).sum();
+        let mut spart_msg = vec![0u32; n_sparts];
+        let mut rpart_msg = vec![0u32; n_rparts];
+        for (i, m) in msgs.iter().enumerate() {
+            for s in &mut spart_msg[m.first_spart..m.first_spart + m.n_sparts] {
+                *s = i as u32;
+            }
+            for r in &mut rpart_msg[m.first_rpart..m.first_rpart + m.n_rparts] {
+                *r = i as u32;
+            }
+        }
+        MsgLayout {
+            msgs,
+            spart_msg,
+            rpart_msg,
+        }
     }
 
-    /// Message index covering a receiver partition.
+    /// Message index a sender partition contributes to (O(1)).
+    pub fn msg_of_spart(&self, p: usize) -> usize {
+        self.spart_msg
+            .get(p)
+            .copied()
+            .expect("sender partition out of range") as usize
+    }
+
+    /// Message index covering a receiver partition (O(1)).
     pub fn msg_of_rpart(&self, p: usize) -> usize {
-        self.msgs
-            .iter()
-            .position(|m| p >= m.first_rpart && p < m.first_rpart + m.n_rparts)
-            .expect("receiver partition out of range")
+        self.rpart_msg
+            .get(p)
+            .copied()
+            .expect("receiver partition out of range") as usize
     }
 
     /// Number of messages.
@@ -130,7 +159,7 @@ pub fn negotiate_layout(
             _ => msgs.push(spec),
         }
     }
-    MsgLayout { msgs }
+    MsgLayout::from_msgs(msgs)
 }
 
 /// Per-partition buffer state machine.
@@ -241,12 +270,17 @@ struct PsendShared {
     defer_sends: bool,
     storage: PartStorage,
     counters: Vec<AtomicI64>,
-    /// Per-iteration "message m injected" signals (fresh each start).
-    issued: Mutex<Vec<Arc<Completion>>>,
-    tickets: Mutex<Vec<Option<SendTicket>>>,
+    /// Persistent per-message send signals: `sent[m]` is set once message
+    /// `m` is injected *and* its bytes are safely out of the partition
+    /// buffer (eagerly at injection; for rendezvous, when the receiver's
+    /// copy lands). Reset — never reallocated — by each `start()`, so the
+    /// `pready`→`issue` hot path touches no lock and allocates nothing.
+    sent: Vec<Arc<Completion>>,
     started: AtomicBool,
-    /// Legacy: CTS receive posted at start.
-    cts: Mutex<Option<RecvTicket>>,
+    /// Legacy: persistent CTS completion + envelope slot, re-armed and
+    /// re-posted by each `start()`.
+    cts_done: Arc<Completion>,
+    cts_info: Arc<Mutex<Option<MsgInfo>>>,
 }
 
 /// Sender-side partitioned request. Clone freely across the rank's
@@ -319,10 +353,10 @@ impl Comm {
                 defer_sends: opts.defer_sends,
                 storage: PartStorage::new(n_parts, part_bytes),
                 counters: (0..n_msgs).map(|_| AtomicI64::new(0)).collect(),
-                issued: Mutex::new((0..n_msgs).map(|_| Completion::new()).collect()),
-                tickets: Mutex::new((0..n_msgs).map(|_| None).collect()),
+                sent: (0..n_msgs).map(|_| Completion::new()).collect(),
                 started: AtomicBool::new(false),
-                cts: Mutex::new(None),
+                cts_done: Completion::new(),
+                cts_info: Arc::new(Mutex::new(None)),
             }),
         }
     }
@@ -380,7 +414,8 @@ impl Comm {
                 legacy: opts.legacy_single_message,
                 thread_hint: opts.thread_hint.clone(),
                 storage: PartStorage::new(n_parts, part_bytes),
-                tickets: Mutex::new((0..n_msgs).map(|_| None).collect()),
+                arrived: (0..n_msgs).map(|_| Completion::new_set()).collect(),
+                infos: (0..n_msgs).map(|_| Arc::new(Mutex::new(None))).collect(),
                 started: AtomicBool::new(false),
             }),
         }
@@ -417,10 +452,13 @@ impl PsendRequest {
         );
         s.storage.reset();
         if s.legacy {
-            // Post the CTS receive; the data send happens in wait().
-            let completion = Completion::new();
-            let info = Arc::new(Mutex::new(None));
-            let ticket = s.comm.fabric().post_recv(
+            // Re-arm the persistent CTS slots (quiescent: the previous
+            // iteration's wait() returned) and post the receive; the data
+            // send happens in wait().
+            s.cts_done.reset();
+            *s.cts_info.lock() = None;
+            s.sent[0].reset();
+            s.comm.fabric().post_recv(
                 s.comm.rank(),
                 s.comm.shard(),
                 PostedRecv {
@@ -429,21 +467,15 @@ impl PsendRequest {
                     tag: Some(TAG_CTS),
                     dest_ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
                     dest_cap: 0,
-                    info,
-                    completion,
+                    info: Arc::clone(&s.cts_info),
+                    completion: Arc::clone(&s.cts_done),
                 },
             );
-            *s.cts.lock() = Some(ticket);
             s.counters[0].store(s.n_parts as i64, Ordering::Release);
         } else {
             for (m, spec) in s.layout.msgs.iter().enumerate() {
+                s.sent[m].reset();
                 s.counters[m].store(spec.n_sparts as i64, Ordering::Release);
-            }
-            let n = s.layout.n_msgs();
-            *s.issued.lock() = (0..n).map(|_| Completion::new()).collect();
-            let mut tickets = s.tickets.lock();
-            for slot in tickets.iter_mut() {
-                *slot = None;
             }
         }
     }
@@ -508,12 +540,19 @@ impl PsendRequest {
             Some(hint) => hint[spec.first_spart] % s.comm.n_shards(),
         };
         // SAFETY: every partition of message m is READY (its counter hit
-        // zero) and stays READY until wait() resets the iteration.
+        // zero) and stays READY until wait() resets the iteration; the
+        // rendezvous pin is released only by `sent[m]`, which the next
+        // start() observes before resetting the storage.
         let data = unsafe { s.storage.ready_slice(byte_off, spec.bytes) };
-        let ticket =
-            s.comm
-                .fabric()
-                .send_raw(s.dst, shard, s.comm.ctx(), s.comm.rank(), m as i64, data);
+        s.comm.fabric().send_raw_signal(
+            s.dst,
+            shard,
+            s.comm.ctx(),
+            s.comm.rank(),
+            m as i64,
+            data,
+            &s.sent[m],
+        );
         if let Some(t0) = pready_ns {
             let trace = s.comm.fabric().trace();
             let gap_ns = trace.now_ns().map_or(0, |now| now.saturating_sub(t0));
@@ -524,8 +563,6 @@ impl PsendRequest {
                 gap_ns,
             });
         }
-        s.tickets.lock()[m] = Some(ticket);
-        s.issued.lock()[m].set();
     }
 
     /// `MPI_Wait`: complete the iteration. In legacy mode this waits for
@@ -542,9 +579,8 @@ impl PsendRequest {
                 0,
                 "legacy wait requires all partitions ready"
             );
-            let cts = s.cts.lock().take().expect("CTS posted at start");
             let t_cts = trace.now_ns();
-            cts.wait();
+            s.cts_done.wait();
             trace.emit_span(t_cts, rank, |start, dur| {
                 EventKind::CtsWait {
                     peer: s.dst as u16,
@@ -555,15 +591,16 @@ impl PsendRequest {
             let total = s.n_parts * s.part_bytes;
             // SAFETY: all partitions READY; exclusive until reset.
             let data = unsafe { s.storage.ready_slice(0, total) };
-            let ticket = s.comm.fabric().send_raw(
+            s.comm.fabric().send_raw_signal(
                 s.dst,
                 s.comm.shard(),
                 s.comm.ctx(),
                 s.comm.rank(),
                 TAG_DATA,
                 data,
+                &s.sent[0],
             );
-            ticket.wait();
+            s.sent[0].wait();
         } else {
             if s.defer_sends {
                 for m in 0..s.layout.n_msgs() {
@@ -575,11 +612,10 @@ impl PsendRequest {
                     self.issue(m, None);
                 }
             }
-            for m in 0..s.layout.n_msgs() {
-                let issued = Arc::clone(&s.issued.lock()[m]);
-                issued.wait();
-                let ticket = s.tickets.lock()[m].take().expect("issued message");
-                ticket.wait();
+            // `sent[m]` covers both "issued" and "buffer reusable":
+            // eager sends set it at injection, rendezvous on remote copy.
+            for sent in &s.sent {
+                sent.wait();
             }
         }
         trace.emit_span(t_wait, rank, |start, dur| {
@@ -602,7 +638,14 @@ struct PrecvShared {
     legacy: bool,
     thread_hint: Option<Arc<Vec<usize>>>,
     storage: PartStorage,
-    tickets: Mutex<Vec<Option<RecvTicket>>>,
+    /// Persistent per-message arrival signals: created pre-set so probing
+    /// an *inactive* request reports completion (MPI's convention for
+    /// inactive persistent requests), reset by `start()` and set by the
+    /// fabric when message `m` lands. `parrived` is thus a table lookup
+    /// plus a single atomic load — no lock, ever.
+    arrived: Vec<Arc<Completion>>,
+    /// Persistent envelope slots handed to the fabric with each post.
+    infos: Vec<Arc<Mutex<Option<MsgInfo>>>>,
     started: AtomicBool,
 }
 
@@ -631,6 +674,11 @@ impl PrecvRequest {
             "partitioned recv started twice"
         );
         if s.legacy {
+            // Re-arm the persistent slots *before* posting: a fulfilled
+            // post sets `arrived[0]` immediately when the data message is
+            // already parked in the unexpected queue.
+            s.arrived[0].reset();
+            *s.infos[0].lock() = None;
             s.comm.fabric().send_raw(
                 s.src,
                 s.comm.shard(),
@@ -642,7 +690,7 @@ impl PrecvRequest {
             let total = s.n_parts * s.part_bytes;
             // SAFETY: buffer exclusively owned by the fabric until wait().
             let buf = unsafe { s.storage.raw_range(0, total) };
-            let ticket = s.comm.fabric().post_recv(
+            s.comm.fabric().post_recv(
                 s.comm.rank(),
                 s.comm.shard(),
                 PostedRecv {
@@ -651,22 +699,22 @@ impl PrecvRequest {
                     tag: Some(TAG_DATA),
                     dest_ptr: buf.as_mut_ptr(),
                     dest_cap: buf.len(),
-                    info: Arc::new(Mutex::new(None)),
-                    completion: Completion::new(),
+                    info: Arc::clone(&s.infos[0]),
+                    completion: Arc::clone(&s.arrived[0]),
                 },
             );
-            s.tickets.lock()[0] = Some(ticket);
         } else {
-            let mut tickets = s.tickets.lock();
             for (m, spec) in s.layout.msgs.iter().enumerate() {
                 let byte_off = spec.first_rpart * s.part_bytes;
                 let shard = match &s.thread_hint {
                     None => m % s.comm.n_shards(),
                     Some(hint) => hint[spec.first_spart] % s.comm.n_shards(),
                 };
+                s.arrived[m].reset();
+                *s.infos[m].lock() = None;
                 // SAFETY: disjoint ranges, fabric-exclusive until wait().
                 let buf = unsafe { s.storage.raw_range(byte_off, spec.bytes) };
-                let ticket = s.comm.fabric().post_recv(
+                s.comm.fabric().post_recv(
                     s.comm.rank(),
                     shard,
                     PostedRecv {
@@ -675,16 +723,21 @@ impl PrecvRequest {
                         tag: Some(m as i64),
                         dest_ptr: buf.as_mut_ptr(),
                         dest_cap: buf.len(),
-                        info: Arc::new(Mutex::new(None)),
-                        completion: Completion::new(),
+                        info: Arc::clone(&s.infos[m]),
+                        completion: Arc::clone(&s.arrived[m]),
                     },
                 );
-                tickets[m] = Some(ticket);
             }
         }
     }
 
     /// `MPI_Parrived`: has receiver partition `p` landed?
+    ///
+    /// Hot path: an O(1) partition→message table lookup plus one atomic
+    /// load on the message's persistent arrival signal — no lock is taken
+    /// whether the answer is yes or no. Probing an inactive request
+    /// (before the first `start()` or after `wait()`) reports `true`, the
+    /// MPI convention for inactive persistent requests.
     pub fn parrived(&self, p: usize) -> bool {
         let s = &self.inner;
         assert!(p < s.n_parts, "partition out of range");
@@ -693,10 +746,7 @@ impl PrecvRequest {
         } else {
             s.layout.msg_of_rpart(p)
         };
-        s.tickets.lock()[m]
-            .as_ref()
-            .map(|t| t.test())
-            .unwrap_or(!s.started.load(Ordering::Acquire))
+        s.arrived[m].is_set()
     }
 
     /// `MPI_Wait`: block until every internal message landed.
@@ -707,8 +757,7 @@ impl PrecvRequest {
         let t_wait = trace.now_ns();
         let n = if s.legacy { 1 } else { s.layout.n_msgs() };
         for m in 0..n {
-            let ticket = s.tickets.lock()[m].take().expect("started recv");
-            ticket.wait();
+            s.arrived[m].wait();
         }
         trace.emit_span(t_wait, s.comm.rank() as u16, |start, dur| {
             EventKind::PartWait {
@@ -1088,6 +1137,151 @@ mod tests {
                     "deferred mode must not deliver before wait"
                 );
                 pr.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn parrived_probe_takes_no_locks() {
+        // Acceptance check for the atomics-first hot path: once a
+        // partition has arrived, probing it is a table lookup plus one
+        // atomic load — zero runtime-mutex acquisitions on the probing
+        // thread, and every probe lands on the completion fast path.
+        Universe::new(2).run(|comm| {
+            const N: usize = 4;
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, N, 64, opts());
+                ps.start();
+                for p in 0..N {
+                    ps.pready(p);
+                }
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, N, 64, opts());
+                pr.start();
+                while !(0..N).all(|p| pr.parrived(p)) {
+                    std::hint::spin_loop();
+                }
+                let before = crate::hotpath::thread_stats();
+                for i in 0..1000 {
+                    assert!(pr.parrived(i % N));
+                }
+                let after = crate::hotpath::thread_stats();
+                assert_eq!(
+                    after.mutex_locks, before.mutex_locks,
+                    "parrived hit path must take no runtime mutex"
+                );
+                assert_eq!(
+                    after.completion_fast_probes - before.completion_fast_probes,
+                    1000,
+                    "every probe must use the single-load fast path"
+                );
+                pr.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn parrived_true_on_inactive_request() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 2, 32, opts());
+                ps.start();
+                ps.pready_range(0, 1);
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, 2, 32, opts());
+                // Inactive (never started): MPI reports complete.
+                assert!(pr.parrived(0) && pr.parrived(1));
+                pr.start();
+                pr.wait();
+                // Inactive again after wait().
+                assert!(pr.parrived(0) && pr.parrived(1));
+            }
+        });
+    }
+
+    #[test]
+    fn pready_range_single_partition_and_empty_list() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, 4, 32, opts());
+                ps.start();
+                ps.pready_list(&[]); // no-op, must not complete anything
+                ps.pready_range(2, 2); // lo == hi: exactly one partition
+                ps.pready_range(0, 1);
+                ps.pready(3);
+                ps.wait();
+            } else {
+                let pr = comm.precv_init(0, 0, 4, 32, opts());
+                pr.start();
+                pr.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn pready_range_all_partitions_one_call() {
+        Universe::new(2).run(|comm| {
+            let n = 16;
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, n, 64, opts());
+                for it in 0..3u8 {
+                    ps.start();
+                    for p in 0..n {
+                        ps.write_partition(p, |b| b.fill(it ^ p as u8));
+                    }
+                    ps.pready_range(0, n - 1);
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.precv_init(0, 0, n, 64, opts());
+                for it in 0..3u8 {
+                    pr.start();
+                    pr.wait();
+                    for p in 0..n {
+                        assert!(pr.partition(p).iter().all(|&x| x == it ^ p as u8));
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn multithreaded_pready_ranges() {
+        // Worker threads each ready their own block via pready_range;
+        // ranges race on the shared per-message counters.
+        Universe::new(2).with_shards(4).run(|comm| {
+            let n_threads = 4;
+            let theta = 8;
+            let n = n_threads * theta;
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 0, n, 32, opts());
+                for _it in 0..5 {
+                    ps.start();
+                    std::thread::scope(|s| {
+                        for t in 0..n_threads {
+                            let ps = ps.clone();
+                            s.spawn(move || {
+                                let lo = t * theta;
+                                for p in lo..lo + theta {
+                                    ps.write_partition(p, |b| b.fill(p as u8));
+                                }
+                                ps.pready_range(lo, lo + theta - 1);
+                            });
+                        }
+                    });
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.precv_init(0, 0, n, 32, opts());
+                for _it in 0..5 {
+                    pr.start();
+                    pr.wait();
+                    for p in 0..n {
+                        assert!(pr.partition(p).iter().all(|&x| x == p as u8));
+                    }
+                }
             }
         });
     }

@@ -142,8 +142,12 @@ impl WinOrigin {
                 std::ptr::copy_nonoverlapping(data.as_ptr(), base.add(offset), data.len());
             }
         }
-        self.mem.arrived.fetch_add(1, Ordering::AcqRel);
-        self.puts_in_epoch.fetch_add(1, Ordering::AcqRel);
+        // Relaxed: these are pure tallies. The target only reads them
+        // after the TAG_COMPLETE message, whose send/recv (plus the
+        // SeqCst fence in `flush`) already orders every put of the epoch
+        // before the read — an extra AcqRel per put buys nothing.
+        self.mem.arrived.fetch_add(1, Ordering::Relaxed);
+        self.puts_in_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `MPI_Get`: copy `buf.len()` bytes from the target window at

@@ -6,9 +6,20 @@
 //! deliberately ignored — a rank thread that panics propagates its panic
 //! through `Universe::run` anyway, so poison adds no safety and would
 //! only turn clean panics into double panics. Keeping the shim here means
-//! the workspace builds offline with no external crates.
+//! the workspace builds offline with no external crates. Every `lock()`
+//! bumps a per-thread counter ([`crate::hotpath`]) so tests can assert
+//! that probe paths acquire zero locks.
+//!
+//! [`Completion`] is the runtime's one-shot completion flag, rebuilt as a
+//! futex-style atomic state machine: the probe path is a single atomic
+//! load, setters take no lock unless a waiter actually parked, and
+//! waiters spin briefly before registering for `thread::park`.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::thread::Thread;
+
+use crate::hotpath;
 
 /// A mutex whose `lock()` returns the guard directly (poison-ignoring).
 #[derive(Default, Debug)]
@@ -33,14 +44,10 @@ impl<T> Mutex<T> {
 
     /// Acquire the lock, ignoring poison.
     pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+        hotpath::count_mutex_lock();
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
-    }
-
-    /// Mutable access without locking (requires exclusive ownership).
-    pub(crate) fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -81,18 +88,53 @@ impl Condvar {
     }
 }
 
-/// A one-shot completion flag with blocking wait (Mutex + Condvar).
+/// Completion states.
+const UNSET: u32 = 0;
+const SET: u32 = 1;
+/// Unset, with at least one waiter registered for unpark.
+const PARKED: u32 = 2;
+
+/// Probe-path spins before a waiter registers itself and parks. Eager
+/// completions land within a few hundred ns; spinning that long keeps the
+/// common wait entirely lock-free.
+const SPIN_LIMIT: u32 = 1024;
+
+/// Effective spin budget. Spinning only pays off when the setter can run
+/// on *another* core during the spin; on a single-CPU machine the spin
+/// just steals the setter's timeslice, so waiters park (yielding the
+/// core) immediately — the pre-atomics condvar behavior.
+fn spin_limit() -> u32 {
+    static LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN_LIMIT,
+        _ => 0,
+    })
+}
+
+/// A one-shot completion flag: futex-style atomic state machine.
 ///
-/// Used for request completion: the completing thread calls [`set`],
-/// waiters block in [`wait`]. Cheap `is_set` polling supports
-/// `MPI_Test`-style probes.
+/// The state is a single `AtomicU32` (`UNSET → SET`, or
+/// `UNSET → PARKED → SET` when a waiter blocks):
 ///
+/// * [`is_set`] — one atomic load, no lock, ever (the `MPI_Test` path).
+/// * [`set`] — one atomic swap; it touches the waiter list only if a
+///   waiter actually parked (then it unparks them all).
+/// * [`wait`] — loads, then spins up to [`SPIN_LIMIT`], then registers
+///   its thread handle under the (slow-path-only) waiter mutex and
+///   `thread::park`s until the setter unparks it.
+/// * [`reset`] — re-arms the flag for the next iteration, so persistent
+///   requests reuse one allocation across their whole lifetime.
+///
+/// [`is_set`]: Completion::is_set
 /// [`set`]: Completion::set
 /// [`wait`]: Completion::wait
+/// [`reset`]: Completion::reset
 #[derive(Default)]
 pub(crate) struct Completion {
-    done: Mutex<bool>,
-    cv: Condvar,
+    state: AtomicU32,
+    /// Threads parked in [`wait`](Completion::wait); touched only on the
+    /// slow path (state `PARKED`), never by probes.
+    waiters: std::sync::Mutex<Vec<Thread>>,
 }
 
 impl Completion {
@@ -100,27 +142,107 @@ impl Completion {
         Arc::new(Completion::default())
     }
 
-    /// Mark complete and wake all waiters. Idempotent.
+    /// A completion that starts in the set state (used by persistent
+    /// requests so "not yet started" probes answer `true`, matching the
+    /// MPI inactive-request convention).
+    pub(crate) fn new_set() -> Arc<Completion> {
+        let c = Completion::default();
+        c.state.store(SET, Ordering::Release);
+        Arc::new(c)
+    }
+
+    /// Mark complete and wake all waiters. Idempotent. Lock-free unless a
+    /// waiter parked.
     pub(crate) fn set(&self) {
-        let mut d = self.done.lock();
-        if !*d {
-            *d = true;
-            self.cv.notify_all();
+        if self.state.swap(SET, Ordering::AcqRel) == PARKED {
+            let woken =
+                std::mem::take(&mut *self.waiters.lock().unwrap_or_else(|e| e.into_inner()));
+            for t in woken {
+                t.unpark();
+            }
         }
     }
 
-    /// Block until complete.
+    /// Re-arm for the next iteration.
+    ///
+    /// Caller must guarantee quiescence: no concurrent `wait`/`set` and
+    /// no fabric thread still holding this completion for the previous
+    /// iteration. The persistent-request state machines provide this —
+    /// `reset` is only called from `start()`, which the API contract
+    /// orders after the previous `wait()`.
+    pub(crate) fn reset(&self) {
+        debug_assert!(
+            self.waiters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty(),
+            "reset with parked waiters"
+        );
+        self.state.store(UNSET, Ordering::Release);
+    }
+
+    /// Block until complete: spin-then-park.
     pub(crate) fn wait(&self) {
-        let mut d = self.done.lock();
-        while !*d {
-            self.cv.wait(&mut d);
+        if self.state.load(Ordering::Acquire) == SET {
+            hotpath::count_fast_probe();
+            return;
+        }
+        for _ in 0..spin_limit() {
+            std::hint::spin_loop();
+            if self.state.load(Ordering::Acquire) == SET {
+                return;
+            }
+        }
+        hotpath::count_slow_wait();
+        // Register under the waiter lock, then park. Ordering argument:
+        // `set` swaps the state to SET *before* draining the waiter list,
+        // and we push our handle *before* releasing the lock; so either
+        // our CAS below observes SET (return), or `set` observes PARKED
+        // and blocks on the waiter lock until our handle is visible.
+        {
+            let mut ws = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+            match self
+                .state
+                .compare_exchange(UNSET, PARKED, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) | Err(PARKED) => ws.push(std::thread::current()),
+                Err(_) => return, // SET won the race
+            }
+        }
+        loop {
+            std::thread::park();
+            if self.state.load(Ordering::Acquire) == SET {
+                return;
+            }
+            // Spurious wakeup (or stale permit): our handle is still
+            // registered, just park again.
         }
     }
 
-    /// Non-blocking probe.
+    /// Non-blocking probe: a single atomic load.
+    #[inline]
     pub(crate) fn is_set(&self) -> bool {
-        *self.done.lock()
+        hotpath::count_fast_probe();
+        self.state.load(Ordering::Acquire) == SET
     }
+}
+
+/// The spin target for [`spin_for_micros`], sanitized: `None` for
+/// non-positive or NaN inputs (nothing to spin), otherwise a duration
+/// whose nanosecond count saturates instead of overflowing.
+pub(crate) fn spin_target(micros: f64) -> Option<std::time::Duration> {
+    if micros.is_nan() || micros <= 0.0 {
+        return None;
+    }
+    let ns = micros * 1000.0;
+    // `as` saturates on overflow and would map NaN to 0, but be explicit:
+    // anything beyond u64::MAX ns (~584 years) pins to the maximum.
+    let ns = if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    };
+    Some(std::time::Duration::from_nanos(ns))
 }
 
 /// Spin for `micros` microseconds of wall time.
@@ -128,12 +250,13 @@ impl Completion {
 /// `std::thread::sleep` has ~50 µs granularity on Linux, far too coarse
 /// for injecting the µs-scale compute delays the benchmarks need; a
 /// calibrated busy-wait keeps the thread hot, like real compute would.
+/// Non-positive, NaN and overflowing inputs are sanitized by
+/// [`spin_target`] rather than cast blindly.
 pub fn spin_for_micros(micros: f64) {
-    if micros <= 0.0 {
+    let Some(target) = spin_target(micros) else {
         return;
-    }
+    };
     let start = std::time::Instant::now();
-    let target = std::time::Duration::from_nanos((micros * 1000.0) as u64);
     while start.elapsed() < target {
         std::hint::spin_loop();
     }
@@ -167,11 +290,79 @@ mod tests {
     }
 
     #[test]
+    fn completion_wakes_many_parked_waiters() {
+        let c = Completion::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || c.wait()));
+        }
+        // Long enough that every waiter exhausts its spin budget and
+        // actually parks.
+        std::thread::sleep(Duration::from_millis(30));
+        c.set();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
     fn completion_set_is_idempotent() {
         let c = Completion::new();
         c.set();
         c.set();
         assert!(c.is_set());
+    }
+
+    #[test]
+    fn completion_reset_rearms() {
+        let c = Completion::new();
+        for _ in 0..3 {
+            assert!(!c.is_set());
+            c.set();
+            c.wait();
+            c.reset();
+        }
+        assert!(!c.is_set());
+    }
+
+    #[test]
+    fn completion_new_set_starts_set() {
+        let c = Completion::new_set();
+        assert!(c.is_set());
+        c.reset();
+        assert!(!c.is_set());
+    }
+
+    #[test]
+    fn completion_probe_takes_no_mutex() {
+        let c = Completion::new();
+        c.set();
+        let before = crate::hotpath::thread_stats();
+        for _ in 0..1000 {
+            assert!(c.is_set());
+        }
+        let after = crate::hotpath::thread_stats();
+        assert_eq!(after.mutex_locks, before.mutex_locks, "is_set locked");
+        assert_eq!(
+            after.completion_fast_probes - before.completion_fast_probes,
+            1000
+        );
+    }
+
+    #[test]
+    fn completion_hammered_from_many_threads() {
+        // Waiters racing the setter through the spin/park boundary.
+        for _ in 0..50 {
+            let c = Completion::new();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || c.wait());
+                }
+                c.set();
+            });
+        }
     }
 
     #[test]
@@ -187,5 +378,32 @@ mod tests {
     fn spin_zero_is_noop() {
         spin_for_micros(0.0);
         spin_for_micros(-5.0);
+    }
+
+    #[test]
+    fn spin_target_rejects_nan_and_nonpositive() {
+        assert_eq!(spin_target(f64::NAN), None);
+        assert_eq!(spin_target(0.0), None);
+        assert_eq!(spin_target(-1.0), None);
+        assert_eq!(spin_target(f64::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn spin_target_saturates_on_huge_inputs() {
+        // 1e30 µs = 1e33 ns overflows u64; must clamp, not wrap.
+        assert_eq!(spin_target(1e30), Some(Duration::from_nanos(u64::MAX)));
+        assert_eq!(
+            spin_target(f64::INFINITY),
+            Some(Duration::from_nanos(u64::MAX))
+        );
+        // Ordinary values convert exactly.
+        assert_eq!(spin_target(2.5), Some(Duration::from_nanos(2500)));
+    }
+
+    #[test]
+    fn spin_nan_returns_immediately() {
+        let t0 = Instant::now();
+        spin_for_micros(f64::NAN);
+        assert!(t0.elapsed() < Duration::from_millis(10));
     }
 }

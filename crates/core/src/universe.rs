@@ -127,7 +127,27 @@ impl Universe {
             let handles: Vec<_> = (0..self.n_ranks)
                 .map(|rank| {
                     let fabric = Arc::clone(&fabric);
-                    scope.spawn(move || f(Comm::world(fabric, rank)))
+                    scope.spawn(move || {
+                        let traced = fabric.trace().is_enabled();
+                        let before = crate::hotpath::thread_stats();
+                        let out = f(Comm::world(Arc::clone(&fabric), rank));
+                        if traced {
+                            // The rank thread's completion-probe tally for
+                            // this run: how often probes stayed on the
+                            // single-load fast path vs fell back to
+                            // spin-then-park.
+                            let after = crate::hotpath::thread_stats();
+                            fabric.trace().emit(rank as u16, || {
+                                pcomm_trace::EventKind::ProbeStats {
+                                    fast_probes: after.completion_fast_probes
+                                        - before.completion_fast_probes,
+                                    slow_waits: after.completion_slow_waits
+                                        - before.completion_slow_waits,
+                                }
+                            });
+                        }
+                        out
+                    })
                 })
                 .collect();
             handles
@@ -184,6 +204,26 @@ mod tests {
             "expected an eager send in the trace, got {} events",
             data.events.len()
         );
+    }
+
+    #[test]
+    fn traced_run_emits_per_rank_probe_stats() {
+        let (_, data) = Universe::new(2).run_traced(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1]);
+            } else {
+                let mut b = [0u8; 1];
+                comm.recv_into(Some(0), Some(1), &mut b);
+            }
+        });
+        let stats: Vec<u16> = data
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, pcomm_trace::EventKind::ProbeStats { .. }))
+            .map(|e| e.rank)
+            .collect();
+        assert_eq!(stats.len(), 2, "one ProbeStats event per rank");
+        assert!(stats.contains(&0) && stats.contains(&1));
     }
 
     #[test]

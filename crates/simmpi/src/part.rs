@@ -110,27 +110,55 @@ pub struct MsgSpec {
 }
 
 /// The negotiated partition→message mapping.
+///
+/// Carries dense partition→message index tables (mirroring the real
+/// runtime's layout), so per-`pready`/`parrived` lookups are O(1) instead
+/// of a scan over messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MsgLayout {
     /// Messages in buffer order.
     pub msgs: Vec<MsgSpec>,
+    /// `spart_msg[p]` = index of the message sender partition `p` feeds.
+    spart_msg: Vec<u32>,
+    /// `rpart_msg[p]` = index of the message covering receiver partition `p`.
+    rpart_msg: Vec<u32>,
 }
 
 impl MsgLayout {
-    /// Index of the message a *sender* partition contributes to.
-    pub fn msg_of_spart(&self, p: usize) -> usize {
-        self.msgs
-            .iter()
-            .position(|m| p >= m.first_spart && p < m.first_spart + m.n_sparts)
-            .expect("sender partition out of range")
+    fn from_msgs(msgs: Vec<MsgSpec>) -> MsgLayout {
+        let n_sparts: usize = msgs.iter().map(|m| m.n_sparts).sum();
+        let n_rparts: usize = msgs.iter().map(|m| m.n_rparts).sum();
+        let mut spart_msg = vec![0u32; n_sparts];
+        let mut rpart_msg = vec![0u32; n_rparts];
+        for (i, m) in msgs.iter().enumerate() {
+            for s in &mut spart_msg[m.first_spart..m.first_spart + m.n_sparts] {
+                *s = i as u32;
+            }
+            for r in &mut rpart_msg[m.first_rpart..m.first_rpart + m.n_rparts] {
+                *r = i as u32;
+            }
+        }
+        MsgLayout {
+            msgs,
+            spart_msg,
+            rpart_msg,
+        }
     }
 
-    /// Index of the message covering a *receiver* partition.
+    /// Index of the message a *sender* partition contributes to (O(1)).
+    pub fn msg_of_spart(&self, p: usize) -> usize {
+        self.spart_msg
+            .get(p)
+            .copied()
+            .expect("sender partition out of range") as usize
+    }
+
+    /// Index of the message covering a *receiver* partition (O(1)).
     pub fn msg_of_rpart(&self, p: usize) -> usize {
-        self.msgs
-            .iter()
-            .position(|m| p >= m.first_rpart && p < m.first_rpart + m.n_rparts)
-            .expect("receiver partition out of range")
+        self.rpart_msg
+            .get(p)
+            .copied()
+            .expect("receiver partition out of range") as usize
     }
 
     /// Number of messages.
@@ -180,7 +208,7 @@ pub fn negotiate_layout(
             _ => msgs.push(spec),
         }
     }
-    MsgLayout { msgs }
+    MsgLayout::from_msgs(msgs)
 }
 
 struct PsendShared {

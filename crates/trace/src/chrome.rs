@@ -59,6 +59,13 @@ fn args_json(kind: &EventKind) -> String {
             format!("\"win\":{win},\"wait_ns\":{wait_ns}")
         }
         EventKind::EpochClose { win, puts } => format!("\"win\":{win},\"puts\":{puts}"),
+        EventKind::EagerPool { shard, hit, bytes } => {
+            format!("\"shard\":{shard},\"hit\":{hit},\"bytes\":{bytes}")
+        }
+        EventKind::ProbeStats {
+            fast_probes,
+            slow_waits,
+        } => format!("\"fast_probes\":{fast_probes},\"slow_waits\":{slow_waits}"),
     }
 }
 

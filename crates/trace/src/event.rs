@@ -125,6 +125,25 @@ pub enum EventKind {
         /// Puts in the epoch.
         puts: u64,
     },
+    /// An eager send acquired its payload buffer: from the per-rank pool
+    /// (`hit`) or via a fresh allocation (miss). Instant.
+    EagerPool {
+        /// Shard the message was injected on.
+        shard: u16,
+        /// Whether a recycled buffer was reused.
+        hit: bool,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Per-rank completion probe-path counters for the run: probes
+    /// answered by the single-atomic-load fast path vs waits that fell
+    /// through to spin-then-park. Instant, emitted at rank exit.
+    ProbeStats {
+        /// Fast-path probes (`is_set` / immediate `wait` returns).
+        fast_probes: u64,
+        /// Waits that registered and parked.
+        slow_waits: u64,
+    },
 }
 
 const TAG_LOCK_WAIT: u64 = 1;
@@ -138,6 +157,8 @@ const TAG_CTS_WAIT: u64 = 8;
 const TAG_PART_WAIT: u64 = 9;
 const TAG_EPOCH_OPEN: u64 = 10;
 const TAG_EPOCH_CLOSE: u64 = 11;
+const TAG_EAGER_POOL: u64 = 12;
+const TAG_PROBE_STATS: u64 = 13;
 
 fn pack_w1(tag: u64, rank: u16, aux1: u16, aux2: u16) -> u64 {
     (tag << 48) | ((rank as u64) << 32) | ((aux1 as u64) << 16) | aux2 as u64
@@ -171,6 +192,13 @@ impl Event {
             EventKind::PartWait { msgs, wait_ns } => (TAG_PART_WAIT, msgs, 0, wait_ns, 0),
             EventKind::EpochOpen { win, wait_ns } => (TAG_EPOCH_OPEN, win, 0, wait_ns, 0),
             EventKind::EpochClose { win, puts } => (TAG_EPOCH_CLOSE, win, 0, puts, 0),
+            EventKind::EagerPool { shard, hit, bytes } => {
+                (TAG_EAGER_POOL, shard, hit as u16, bytes, 0)
+            }
+            EventKind::ProbeStats {
+                fast_probes,
+                slow_waits,
+            } => (TAG_PROBE_STATS, 0, 0, fast_probes, slow_waits),
         };
         [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
     }
@@ -229,6 +257,15 @@ impl Event {
                 win: aux1,
                 puts: w[2],
             },
+            TAG_EAGER_POOL => EventKind::EagerPool {
+                shard: aux1,
+                hit: aux2 != 0,
+                bytes: w[2],
+            },
+            TAG_PROBE_STATS => EventKind::ProbeStats {
+                fast_probes: w[2],
+                slow_waits: w[3],
+            },
             _ => return None,
         };
         Some(Event {
@@ -264,6 +301,8 @@ impl EventKind {
             EventKind::PartWait { .. } => "part_wait",
             EventKind::EpochOpen { .. } => "epoch_open",
             EventKind::EpochClose { .. } => "epoch_close",
+            EventKind::EagerPool { .. } => "eager_pool",
+            EventKind::ProbeStats { .. } => "probe_stats",
         }
     }
 
@@ -287,7 +326,8 @@ impl EventKind {
             | EventKind::EagerSend { shard, .. }
             | EventKind::RdvSend { shard, .. }
             | EventKind::RdvCopy { shard, .. }
-            | EventKind::EarlyBird { shard, .. } => shard,
+            | EventKind::EarlyBird { shard, .. }
+            | EventKind::EagerPool { shard, .. } => shard,
             _ => 0,
         }
     }
@@ -367,6 +407,18 @@ impl fmt::Display for Event {
             EventKind::EpochClose { win, puts } => {
                 write!(f, "epoch close win {win} ({puts} puts)")
             }
+            EventKind::EagerPool { shard, hit, bytes } => write!(
+                f,
+                "eager buffer {} shard {shard} ({bytes} B)",
+                if hit { "pool hit" } else { "pool miss" }
+            ),
+            EventKind::ProbeStats {
+                fast_probes,
+                slow_waits,
+            } => write!(
+                f,
+                "probe stats: {fast_probes} fast probes, {slow_waits} parked waits"
+            ),
         }
     }
 }
@@ -421,6 +473,15 @@ mod tests {
                 wait_ns: 1_000,
             },
             EventKind::EpochClose { win: 2, puts: 8 },
+            EventKind::EagerPool {
+                shard: 3,
+                hit: true,
+                bytes: 256,
+            },
+            EventKind::ProbeStats {
+                fast_probes: 1_000_000,
+                slow_waits: 12,
+            },
         ]
     }
 
@@ -445,9 +506,11 @@ mod tests {
     #[test]
     fn names_are_unique_and_stable() {
         let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 13);
         assert!(names.contains("shard_lock_wait"));
         assert!(names.contains("early_bird_send"));
+        assert!(names.contains("eager_pool"));
+        assert!(names.contains("probe_stats"));
     }
 
     #[test]

@@ -41,11 +41,7 @@ impl Hist {
     }
 
     fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 }
 
@@ -76,6 +72,8 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
     let (mut aggr_events, mut aggr_base, mut aggr_folded) = (0u64, 0u64, 0u64);
     let (mut part_waits, mut part_wait_ns) = (0u64, 0u64);
     let (mut epochs, mut epoch_wait_ns, mut rma_puts) = (0u64, 0u64, 0u64);
+    let (mut pool_hits, mut pool_misses) = (0u64, 0u64);
+    let (mut probe_fast, mut probe_slow) = (0u64, 0u64);
 
     // Per-rank wait-side blocking spans, for the overlap fraction.
     let mut blocked: BTreeMap<u16, Vec<(u64, u64)>> = BTreeMap::new();
@@ -88,11 +86,11 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
             }
             EventKind::EagerSend { bytes, .. } => {
                 eager_msgs += 1;
-                eager_bytes += bytes as u64;
+                eager_bytes += bytes;
             }
             EventKind::RdvSend { bytes, .. } => {
                 rdv_msgs += 1;
-                rdv_bytes += bytes as u64;
+                rdv_bytes += bytes;
             }
             EventKind::RdvCopy { wait_ns, .. } => {
                 rdv_copies += 1;
@@ -127,7 +125,21 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
                     .or_default()
                     .push((ev.ts_ns, ev.ts_ns + wait_ns));
             }
-            EventKind::EpochClose { puts, .. } => rma_puts += puts as u64,
+            EventKind::EpochClose { puts, .. } => rma_puts += puts,
+            EventKind::EagerPool { hit, .. } => {
+                if hit {
+                    pool_hits += 1;
+                } else {
+                    pool_misses += 1;
+                }
+            }
+            EventKind::ProbeStats {
+                fast_probes,
+                slow_waits,
+            } => {
+                probe_fast += fast_probes;
+                probe_slow += slow_waits;
+            }
         }
     }
 
@@ -188,7 +200,7 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
         let _ = writeln!(
             out,
             "rdv copies: {rdv_copies:>7}       mean wait {}",
-            fmt_ns(rdv_copy_wait / rdv_copies),
+            fmt_ns(rdv_copy_wait.checked_div(rdv_copies).unwrap_or(0)),
         );
     }
     if cts.count > 0 {
@@ -198,6 +210,20 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
             cts.count,
             fmt_ns(cts.mean_ns()),
             fmt_ns(cts.max_ns),
+        );
+    }
+    if pool_hits + pool_misses > 0 {
+        let _ = writeln!(
+            out,
+            "eager pool: {:>7} hits  {pool_misses:>7} misses ({:.1}% recycled)",
+            pool_hits,
+            100.0 * pool_hits as f64 / (pool_hits + pool_misses) as f64,
+        );
+    }
+    if probe_fast + probe_slow > 0 {
+        let _ = writeln!(
+            out,
+            "probes:     {probe_fast:>7} fast  {probe_slow:>7} slow waits"
         );
     }
 
