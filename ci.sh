@@ -29,4 +29,32 @@ mkdir -p target
 cargo run --release -p pcomm-bench --bin hotpath --offline -- \
     --quick --out target/bench_hotpath_smoke.json
 
+echo "== chaos smoke (seeded faults, hard timeout, must never hang) =="
+# Examples under a seeded drop/delay/reorder plan with a bounded retry
+# budget and an armed watchdog. Two acceptable outcomes: the retries
+# recover everything (exit 0) or the run fails *cleanly* with a typed
+# PcommError (exit 2). A hang (timeout exit 124) or a panic/abort is a
+# CI failure. `dup` is deliberately absent: duplicated eager messages
+# can satisfy a later iteration's receive with stale data, turning a
+# clean chaos error into an assertion panic.
+chaos_smoke() {
+    name="$1"; spec="$2"
+    echo "-- $name under PCOMM_FAULTS='$spec'"
+    status=0
+    PCOMM_FAULTS="$spec" PCOMM_WATCHDOG_MS=5000 \
+        timeout 120 "./target/release/examples/$name" >/dev/null 2>&1 || status=$?
+    case "$status" in
+        0) echo "   recovered (exit 0)" ;;
+        2) echo "   clean typed error (exit 2)" ;;
+        124) echo "   HANG: watchdog failed to fire" >&2; exit 1 ;;
+        *) echo "   unclean exit $status (panic/abort?)" >&2; exit 1 ;;
+    esac
+}
+cargo build --release --offline --example pingpong --example ring_pipeline
+chaos_smoke pingpong      "seed=42,drop=0.05,delay=0.05:200,reorder=0.02,retries=3"
+chaos_smoke ring_pipeline "seed=42,drop=0.05,delay=0.05:200,reorder=0.02,retries=3"
+# Guaranteed loss: every attempt drops, retries exhaust — the run must
+# come back as a clean MessageLost/Stall error, never a hang.
+chaos_smoke pingpong      "seed=7,drop=1.0,retries=2"
+
 echo "CI OK"

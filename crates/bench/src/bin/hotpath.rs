@@ -34,6 +34,7 @@ use pcomm_core::{Comm, Universe};
 #[derive(Debug, Clone, Copy)]
 struct HotpathNumbers {
     pready_ns: f64,
+    pready_watchdog_ns: f64,
     parrived_probe_ns: f64,
     eager_roundtrip_ns: f64,
     contended_1shard_ns: f64,
@@ -47,6 +48,7 @@ impl HotpathNumbers {
                 "{{\n",
                 "    \"label\": \"{}\",\n",
                 "    \"pready_ns\": {:.1},\n",
+                "    \"pready_watchdog_ns\": {:.1},\n",
                 "    \"parrived_probe_ns\": {:.2},\n",
                 "    \"eager_roundtrip_ns\": {:.1},\n",
                 "    \"contended_1shard_ns\": {:.1},\n",
@@ -55,6 +57,7 @@ impl HotpathNumbers {
             ),
             label,
             self.pready_ns,
+            self.pready_watchdog_ns,
             self.parrived_probe_ns,
             self.eager_roundtrip_ns,
             self.contended_1shard_ns,
@@ -77,32 +80,42 @@ fn min_ns_per_op(reps: usize, mut f: impl FnMut() -> (f64, usize)) -> f64 {
 }
 
 /// Cost of one `pready` (64 partitions of 64 B, improved path): the
-/// readying thread pays counter update + early-bird injection.
-fn bench_pready(reps: usize) -> f64 {
+/// readying thread pays counter update + early-bird injection. With
+/// `watchdog` the universe runs under an armed hang supervisor — the
+/// number must not move, because supervision only touches the sliced
+/// `wait_timeout` path of blocking waits, never the pready/probe fast
+/// path.
+fn bench_pready(reps: usize, watchdog: bool) -> f64 {
     const N: usize = 64;
     const BYTES: usize = 64;
-    let out = Universe::new(2).run(|comm| {
-        if comm.rank() == 0 {
-            let ps = comm.psend_init(1, 1, N, BYTES, PartOptions::default());
-            min_ns_per_op(reps, || {
-                ps.start();
-                let t0 = Instant::now();
-                for p in 0..N {
-                    ps.pready(p);
+    let mut universe = Universe::new(2);
+    if watchdog {
+        universe = universe.with_watchdog_ms(5_000);
+    }
+    let out = universe
+        .run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 1, N, BYTES, PartOptions::default());
+                min_ns_per_op(reps, || {
+                    ps.start();
+                    let t0 = Instant::now();
+                    for p in 0..N {
+                        ps.pready(p);
+                    }
+                    let ns = t0.elapsed().as_nanos() as f64;
+                    ps.wait();
+                    (ns, N)
+                })
+            } else {
+                let pr = comm.precv_init(0, 1, N, BYTES, PartOptions::default());
+                for _ in 0..reps {
+                    pr.start();
+                    pr.wait();
                 }
-                let ns = t0.elapsed().as_nanos() as f64;
-                ps.wait();
-                (ns, N)
-            })
-        } else {
-            let pr = comm.precv_init(0, 1, N, BYTES, PartOptions::default());
-            for _ in 0..reps {
-                pr.start();
-                pr.wait();
+                0.0
             }
-            0.0
-        }
-    });
+        })
+        .expect("bench universe failed");
     out[0]
 }
 
@@ -110,65 +123,69 @@ fn bench_pready(reps: usize) -> f64 {
 /// of a consumer's polling loop.
 fn bench_parrived(reps: usize, probes: usize) -> f64 {
     const N: usize = 4;
-    let out = Universe::new(2).run(|comm| {
-        if comm.rank() == 0 {
-            let ps = comm.psend_init(1, 1, N, 64, PartOptions::default());
-            for _ in 0..reps {
-                ps.start();
-                for p in 0..N {
-                    ps.pready(p);
+    let out = Universe::new(2)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                let ps = comm.psend_init(1, 1, N, 64, PartOptions::default());
+                for _ in 0..reps {
+                    ps.start();
+                    for p in 0..N {
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                    comm.barrier();
                 }
-                ps.wait();
-                comm.barrier();
+                0.0
+            } else {
+                let pr = comm.precv_init(0, 1, N, 64, PartOptions::default());
+                min_ns_per_op(reps, || {
+                    pr.start();
+                    while !(0..N).all(|p| pr.parrived(p)) {
+                        std::hint::spin_loop();
+                    }
+                    let t0 = Instant::now();
+                    for i in 0..probes {
+                        black_box(pr.parrived(black_box(i % N)));
+                    }
+                    let ns = t0.elapsed().as_nanos() as f64;
+                    pr.wait();
+                    comm.barrier();
+                    (ns, probes)
+                })
             }
-            0.0
-        } else {
-            let pr = comm.precv_init(0, 1, N, 64, PartOptions::default());
-            min_ns_per_op(reps, || {
-                pr.start();
-                while !(0..N).all(|p| pr.parrived(p)) {
-                    std::hint::spin_loop();
-                }
-                let t0 = Instant::now();
-                for i in 0..probes {
-                    black_box(pr.parrived(black_box(i % N)));
-                }
-                let ns = t0.elapsed().as_nanos() as f64;
-                pr.wait();
-                comm.barrier();
-                (ns, probes)
-            })
-        }
-    });
+        })
+        .expect("bench universe failed");
     out[1]
 }
 
 /// 256 B eager ping-pong; rank 0 reports ns per round trip.
 fn bench_eager_roundtrip(reps: usize, iters: usize) -> f64 {
     const BYTES: usize = 256;
-    let out = Universe::new(2).run(|comm| {
-        let mut buf = vec![0u8; BYTES];
-        if comm.rank() == 0 {
-            min_ns_per_op(reps, || {
-                comm.barrier();
-                let t0 = Instant::now();
-                for _ in 0..iters {
-                    comm.send(1, 0, &buf);
-                    comm.recv_into(Some(1), Some(0), &mut buf);
+    let out = Universe::new(2)
+        .run(|comm| {
+            let mut buf = vec![0u8; BYTES];
+            if comm.rank() == 0 {
+                min_ns_per_op(reps, || {
+                    comm.barrier();
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        comm.send(1, 0, &buf);
+                        comm.recv_into(Some(1), Some(0), &mut buf);
+                    }
+                    (t0.elapsed().as_nanos() as f64, iters)
+                })
+            } else {
+                for _ in 0..reps {
+                    comm.barrier();
+                    for _ in 0..iters {
+                        comm.recv_into(Some(0), Some(0), &mut buf);
+                        comm.send(0, 0, &buf);
+                    }
                 }
-                (t0.elapsed().as_nanos() as f64, iters)
-            })
-        } else {
-            for _ in 0..reps {
-                comm.barrier();
-                for _ in 0..iters {
-                    comm.recv_into(Some(0), Some(0), &mut buf);
-                    comm.send(0, 0, &buf);
-                }
+                0.0
             }
-            0.0
-        }
-    });
+        })
+        .expect("bench universe failed");
     out[0]
 }
 
@@ -177,46 +194,49 @@ fn bench_eager_roundtrip(reps: usize, iters: usize) -> f64 {
 fn bench_contention(reps: usize, msgs: usize, n_shards: usize) -> f64 {
     const THREADS: usize = 8;
     const BYTES: usize = 256;
-    let out = Universe::new(2).with_shards(n_shards).run(|comm| {
-        // Per-thread communicators: with 1 shard they all collide on one
-        // lock; with 8 shards dup() spreads them round-robin.
-        let comms: Vec<Comm> = (0..THREADS).map(|_| comm.dup()).collect();
-        if comm.rank() == 0 {
-            min_ns_per_op(reps, || {
-                comm.barrier();
-                let t0 = Instant::now();
-                std::thread::scope(|s| {
-                    for (t, c) in comms.iter().enumerate() {
-                        s.spawn(move || {
-                            let payload = [t as u8; BYTES];
-                            for _ in 0..msgs {
-                                c.send(1, t as i64, &payload);
-                            }
-                        });
-                    }
-                });
-                let ns = t0.elapsed().as_nanos() as f64;
-                comm.barrier(); // receiver drained
-                (ns, THREADS * msgs)
-            })
-        } else {
-            for _ in 0..reps {
-                comm.barrier();
-                std::thread::scope(|s| {
-                    for (t, c) in comms.iter().enumerate() {
-                        s.spawn(move || {
-                            let mut buf = [0u8; BYTES];
-                            for _ in 0..msgs {
-                                c.recv_into(Some(0), Some(t as i64), &mut buf);
-                            }
-                        });
-                    }
-                });
-                comm.barrier();
+    let out = Universe::new(2)
+        .with_shards(n_shards)
+        .run(|comm| {
+            // Per-thread communicators: with 1 shard they all collide on one
+            // lock; with 8 shards dup() spreads them round-robin.
+            let comms: Vec<Comm> = (0..THREADS).map(|_| comm.dup()).collect();
+            if comm.rank() == 0 {
+                min_ns_per_op(reps, || {
+                    comm.barrier();
+                    let t0 = Instant::now();
+                    std::thread::scope(|s| {
+                        for (t, c) in comms.iter().enumerate() {
+                            s.spawn(move || {
+                                let payload = [t as u8; BYTES];
+                                for _ in 0..msgs {
+                                    c.send(1, t as i64, &payload);
+                                }
+                            });
+                        }
+                    });
+                    let ns = t0.elapsed().as_nanos() as f64;
+                    comm.barrier(); // receiver drained
+                    (ns, THREADS * msgs)
+                })
+            } else {
+                for _ in 0..reps {
+                    comm.barrier();
+                    std::thread::scope(|s| {
+                        for (t, c) in comms.iter().enumerate() {
+                            s.spawn(move || {
+                                let mut buf = [0u8; BYTES];
+                                for _ in 0..msgs {
+                                    c.recv_into(Some(0), Some(t as i64), &mut buf);
+                                }
+                            });
+                        }
+                    });
+                    comm.barrier();
+                }
+                0.0
             }
-            0.0
-        }
-    });
+        })
+        .expect("bench universe failed");
     out[0]
 }
 
@@ -258,7 +278,9 @@ fn main() {
     };
 
     eprintln!("hotpath: pready ...");
-    let pready_ns = bench_pready(reps);
+    let pready_ns = bench_pready(reps, false);
+    eprintln!("hotpath: pready under watchdog ...");
+    let pready_watchdog_ns = bench_pready(reps, true);
     eprintln!("hotpath: parrived probe ...");
     let parrived_probe_ns = bench_parrived(reps, probes);
     eprintln!("hotpath: eager roundtrip ...");
@@ -270,6 +292,7 @@ fn main() {
 
     let now = HotpathNumbers {
         pready_ns,
+        pready_watchdog_ns,
         parrived_probe_ns,
         eager_roundtrip_ns,
         contended_1shard_ns,
@@ -277,6 +300,7 @@ fn main() {
     };
 
     println!("pready                  {pready_ns:>10.1} ns/op");
+    println!("pready (watchdog on)    {pready_watchdog_ns:>10.1} ns/op");
     println!("parrived probe (hit)    {parrived_probe_ns:>10.2} ns/op");
     println!("eager roundtrip 256B    {eager_roundtrip_ns:>10.1} ns/rt");
     println!("8 threads / 1 shard     {contended_1shard_ns:>10.1} ns/msg");

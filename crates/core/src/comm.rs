@@ -84,7 +84,7 @@ impl Comm {
 
     /// Rank-level barrier over all ranks (one thread per rank).
     pub fn barrier(&self) {
-        self.fabric.rank_barrier();
+        self.fabric.rank_barrier(self.rank);
     }
 
     /// Total messages matched on the fabric so far (diagnostics).
@@ -127,11 +127,14 @@ mod tests {
 
     #[test]
     fn dup_is_symmetric_across_ranks() {
-        let ctxs = Universe::new(2).with_shards(4).run(|comm| {
-            let d1 = comm.dup();
-            let d2 = comm.dup();
-            (d1.ctx(), d2.ctx(), d1.shard(), d2.shard())
-        });
+        let ctxs = Universe::new(2)
+            .with_shards(4)
+            .run(|comm| {
+                let d1 = comm.dup();
+                let d2 = comm.dup();
+                (d1.ctx(), d2.ctx(), d1.shard(), d2.shard())
+            })
+            .unwrap();
         assert_eq!(ctxs[0], ctxs[1], "both ranks must derive identical ctxs");
         let (c1, c2, s1, s2) = ctxs[0];
         assert_ne!(c1, c2);
@@ -140,16 +143,21 @@ mod tests {
 
     #[test]
     fn part_ctx_deterministic() {
-        let out = Universe::new(2).run(|comm| (comm.part_ctx(3), comm.part_ctx(4)));
+        let out = Universe::new(2)
+            .run(|comm| (comm.part_ctx(3), comm.part_ctx(4)))
+            .unwrap();
         assert_eq!(out[0], out[1]);
         assert_ne!(out[0].0, out[0].1);
     }
 
     #[test]
     fn world_is_shard_zero() {
-        Universe::new(1).with_shards(8).run(|comm| {
-            assert_eq!(comm.shard(), 0);
-            assert_eq!(comm.n_shards(), 8);
-        });
+        Universe::new(1)
+            .with_shards(8)
+            .run(|comm| {
+                assert_eq!(comm.shard(), 0);
+                assert_eq!(comm.n_shards(), 8);
+            })
+            .unwrap();
     }
 }

@@ -213,24 +213,26 @@ mod tests {
             blocklen: 4,
             stride: 32, // one f32 column of an 8x8 f32 matrix
         };
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let matrix: Vec<u8> = (0..=255).collect();
-                comm.send_typed(1, 0, &matrix, &ty);
-            } else {
-                let mut out = vec![0u8; 256];
-                let info = comm.recv_typed(Some(0), Some(0), &mut out, &ty);
-                assert_eq!(info.len, 32);
-                for i in 0..8 {
-                    let off = i * 32;
-                    for j in 0..4 {
-                        assert_eq!(out[off + j], (off + j) as u8, "block {i} byte {j}");
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let matrix: Vec<u8> = (0..=255).collect();
+                    comm.send_typed(1, 0, &matrix, &ty);
+                } else {
+                    let mut out = vec![0u8; 256];
+                    let info = comm.recv_typed(Some(0), Some(0), &mut out, &ty);
+                    assert_eq!(info.len, 32);
+                    for i in 0..8 {
+                        let off = i * 32;
+                        for j in 0..4 {
+                            assert_eq!(out[off + j], (off + j) as u8, "block {i} byte {j}");
+                        }
+                        // Bytes outside the column untouched.
+                        assert_eq!(out[off + 4], 0);
                     }
-                    // Bytes outside the column untouched.
-                    assert_eq!(out[off + 4], 0);
                 }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
@@ -240,21 +242,24 @@ mod tests {
             blocklen: 1024,
             stride: 2048,
         };
-        Universe::new(2).with_eager_max(4096).run(|comm| {
-            if comm.rank() == 0 {
-                let src = vec![0xCDu8; ty.extent()];
-                comm.send_typed(1, 0, &src, &ty);
-            } else {
-                let mut dst = vec![0u8; ty.extent()];
-                comm.recv_typed(Some(0), Some(0), &mut dst, &ty);
-                for i in 0..64 {
-                    let off = i * 2048;
-                    assert!(dst[off..off + 1024].iter().all(|&b| b == 0xCD));
-                    if i < 63 {
-                        assert!(dst[off + 1024..off + 2048].iter().all(|&b| b == 0));
+        Universe::new(2)
+            .with_eager_max(4096)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let src = vec![0xCDu8; ty.extent()];
+                    comm.send_typed(1, 0, &src, &ty);
+                } else {
+                    let mut dst = vec![0u8; ty.extent()];
+                    comm.recv_typed(Some(0), Some(0), &mut dst, &ty);
+                    for i in 0..64 {
+                        let off = i * 2048;
+                        assert!(dst[off..off + 1024].iter().all(|&b| b == 0xCD));
+                        if i < 63 {
+                            assert!(dst[off + 1024..off + 2048].iter().all(|&b| b == 0));
+                        }
                     }
                 }
-            }
-        });
+            })
+            .unwrap();
     }
 }

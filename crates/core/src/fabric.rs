@@ -32,15 +32,29 @@
 //!    until its `completion` is set (receivers block or own the buffer).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use pcomm_trace::{EventKind, Trace};
+use pcomm_trace::{EventKind, FaultAction, FaultKind, FaultPlan, Trace};
 
+use crate::error::{BlockedWait, PcommError, QueueEntry, RankAborted, StallReport};
 use crate::hotpath;
 use crate::sync::{Condvar, Mutex};
 
 use crate::sync::Completion;
+
+/// Slice length for abort-aware blocking waits: blocked threads park in
+/// slices of this and poll the abort flag between them. Short enough
+/// that an abort propagates promptly, long enough that a blocked thread
+/// wakes only ~500 times/s.
+const WAIT_SLICE: Duration = Duration::from_millis(2);
+
+/// After an abort, how long teardown paths keep waiting for an
+/// in-progress fulfill to finish before giving up the buffer. No *new*
+/// fulfill can start once the abort flag is set, so this only needs to
+/// cover a memcpy already under way.
+const ABORT_DRAIN_GRACE: Duration = Duration::from_millis(200);
 
 /// Recycled-buffer slots per source rank in the eager pool. Eight covers
 /// the in-flight window of a rank's sender threads in the bench workloads
@@ -211,11 +225,20 @@ pub(crate) struct SendTicket {
 }
 
 impl SendTicket {
-    /// Block until the send buffer is reusable.
+    /// Block until the send buffer is reusable (tests only; universe
+    /// code waits through the abort-aware [`Fabric::wait_on`]).
+    #[cfg(test)]
     pub(crate) fn wait(&self) {
         if let Some(d) = &self.done {
             d.wait();
         }
+    }
+
+    /// The pending completion, if the send did not complete locally.
+    /// Callers inside a universe wait on it through
+    /// [`Fabric::wait_on`] so the wait stays abort-aware.
+    pub(crate) fn done(&self) -> Option<&Arc<Completion>> {
+        self.done.as_ref()
     }
 
     /// Non-blocking completion probe.
@@ -232,6 +255,7 @@ pub(crate) struct RecvTicket {
 }
 
 impl RecvTicket {
+    #[cfg(test)]
     pub(crate) fn wait(&self) -> MsgInfo {
         self.completion.wait();
         self.info.lock().expect("completed receive carries info")
@@ -241,6 +265,57 @@ impl RecvTicket {
     pub(crate) fn test(&self) -> bool {
         self.completion.is_set()
     }
+}
+
+/// An eager message held back by the chaos reorder fault, waiting for a
+/// later message to overtake it.
+struct HeldMsg {
+    shard: usize,
+    ctx: u64,
+    src: usize,
+    tag: i64,
+    buf: Vec<u8>,
+}
+
+/// Chaos-injection state: the plan plus the mutable bookkeeping its
+/// determinism and the reorder fault need. Present only when a
+/// [`FaultPlan`] is configured — the fault-free hot path pays exactly
+/// one `Option` branch per send.
+struct FaultState {
+    plan: FaultPlan,
+    /// Per-channel `(src, dst, ctx, tag)` message sequence numbers. The
+    /// plan's decisions are keyed by these (not by arrival order), which
+    /// is what makes a seeded run bit-for-bit reproducible regardless of
+    /// thread interleaving.
+    seqs: Mutex<HashMap<(usize, usize, u64, i64), u64>>,
+    /// Held-back (reordered) messages, indexed by destination rank.
+    held: Vec<Mutex<Vec<HeldMsg>>>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, n_ranks: usize) -> FaultState {
+        FaultState {
+            plan,
+            seqs: Mutex::new(HashMap::new()),
+            held: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn next_seq(&self, src: usize, dst: usize, ctx: u64, tag: i64) -> u64 {
+        let mut seqs = self.seqs.lock();
+        let c = seqs.entry((src, dst, ctx, tag)).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        seq
+    }
+}
+
+/// Sense-reversing barrier that waits in slices so a blocked rank can
+/// notice the abort flag instead of deadlocking on a dead peer
+/// (`std::sync::Barrier` has no way out).
+struct BarrierState {
+    count: usize,
+    generation: u64,
 }
 
 /// The shared-memory interconnect between ranks.
@@ -256,14 +331,30 @@ pub(crate) struct Fabric {
     /// Window registry for collective window creation.
     win_registry: Mutex<HashMap<u64, Arc<crate::rma::WinMem>>>,
     win_cv: Condvar,
-    /// Rank-level barrier (sense-reversing).
-    barrier: std::sync::Barrier,
+    /// Rank-level barrier (sense-reversing, abort-aware).
+    barrier_state: Mutex<BarrierState>,
+    barrier_cv: Condvar,
     /// Messages matched so far (diagnostics).
     matched: AtomicU64,
     /// Recycled eager payload buffers, striped by source rank.
     pool: BufPool,
     /// Trace sink; `Trace::disabled()` costs one branch per event site.
     trace: Trace,
+    /// Chaos-injection state; `None` outside chaos runs.
+    fault: Option<FaultState>,
+    /// First failure wins; everything after is a casualty of the abort.
+    failure: Mutex<Option<PcommError>>,
+    /// Once set, blocking waits unwind with [`RankAborted`] and the
+    /// match queues stop fulfilling (so teardown can free buffers).
+    aborted: AtomicBool,
+    /// Bumped at every progress point; the watchdog declares a stall
+    /// only after this stays still for the whole deadline.
+    activity: AtomicU64,
+    /// Blocked waits by registration id, for the stall report.
+    wait_registry: Mutex<HashMap<u64, BlockedWait>>,
+    next_wait_id: AtomicU64,
+    /// Per-rank "closure returned" flags, for the stall report.
+    finished: Vec<AtomicBool>,
 }
 
 /// Child-context kinds (must match across ranks for a given creation).
@@ -277,14 +368,15 @@ pub(crate) enum CtxKind {
 impl Fabric {
     #[cfg(test)]
     pub(crate) fn new(n_ranks: usize, n_shards: usize, eager_max: usize) -> Arc<Fabric> {
-        Fabric::new_traced(n_ranks, n_shards, eager_max, Trace::disabled())
+        Fabric::new_configured(n_ranks, n_shards, eager_max, Trace::disabled(), None)
     }
 
-    pub(crate) fn new_traced(
+    pub(crate) fn new_configured(
         n_ranks: usize,
         n_shards: usize,
         eager_max: usize,
         trace: Trace,
+        fault_plan: Option<FaultPlan>,
     ) -> Arc<Fabric> {
         assert!(n_ranks >= 1 && n_shards >= 1);
         Arc::new(Fabric {
@@ -301,10 +393,21 @@ impl Fabric {
             ctx_counters: Mutex::new(HashMap::new()),
             win_registry: Mutex::new(HashMap::new()),
             win_cv: Condvar::new(),
-            barrier: std::sync::Barrier::new(n_ranks),
+            barrier_state: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
+            barrier_cv: Condvar::new(),
             matched: AtomicU64::new(0),
             pool: BufPool::new(n_ranks, eager_max.max(64)),
             trace,
+            fault: fault_plan.map(|p| FaultState::new(p, n_ranks)),
+            failure: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            activity: AtomicU64::new(0),
+            wait_registry: Mutex::new(HashMap::new()),
+            next_wait_id: AtomicU64::new(0),
+            finished: (0..n_ranks).map(|_| AtomicBool::new(false)).collect(),
         })
     }
 
@@ -328,9 +431,148 @@ impl Fabric {
         self.matched.load(Ordering::Relaxed)
     }
 
+    /// The configured fault plan, if any (chaos runs only).
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Record a failure and abort the universe. The first failure wins;
+    /// later ones are casualties of the abort and are discarded.
+    pub(crate) fn fail(&self, err: PcommError) {
+        {
+            let mut f = self.failure.lock();
+            if f.is_none() {
+                *f = Some(err);
+            }
+        }
+        self.aborted.store(true, Ordering::Release);
+        // Barrier waiters poll in slices, but wake them now anyway.
+        self.barrier_cv.notify_all();
+        self.win_cv.notify_all();
+    }
+
+    /// Whether some rank already failed and the universe is unwinding.
+    pub(crate) fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Take the failure of record (once, by the universe after joining).
+    pub(crate) fn take_failure(&self) -> Option<PcommError> {
+        self.failure.lock().take()
+    }
+
+    /// Monotonic progress counter for the watchdog.
+    pub(crate) fn activity(&self) -> u64 {
+        self.activity.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn touch(&self) {
+        self.activity.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark `rank`'s closure as returned (stall-report bookkeeping).
+    pub(crate) fn mark_finished(&self, rank: usize) {
+        self.finished[rank].store(true, Ordering::Release);
+        self.touch();
+    }
+
+    /// Whether any blocked wait is currently registered.
+    pub(crate) fn has_blocked_waits(&self) -> bool {
+        !self.wait_registry.lock().is_empty()
+    }
+
+    fn register_wait(&self, rank: usize, what: String, tag: Option<i64>) -> u64 {
+        let id = self.next_wait_id.fetch_add(1, Ordering::Relaxed);
+        self.wait_registry
+            .lock()
+            .insert(id, BlockedWait { rank, what, tag });
+        id
+    }
+
+    fn unregister_wait(&self, id: u64) {
+        self.wait_registry.lock().remove(&id);
+    }
+
+    /// Abort-aware blocking wait: park on `completion` in
+    /// [`WAIT_SLICE`]s, polling the abort flag between slices, and
+    /// unwind with [`RankAborted`] once some rank failed. After the
+    /// first slice times out the wait registers itself (lazily — short
+    /// waits never touch the registry) so a stall report can say which
+    /// rank is blocked on what. `label` builds that description and is
+    /// called at most once.
+    ///
+    /// The completed fast path is identical to `Completion::wait`: one
+    /// atomic load, no locks.
+    pub(crate) fn wait_on<F>(&self, completion: &Completion, rank: usize, label: F)
+    where
+        F: FnOnce() -> (String, Option<i64>),
+    {
+        let mut label = Some(label);
+        let mut reg_id = None;
+        loop {
+            if completion.wait_timeout(WAIT_SLICE) {
+                break;
+            }
+            if self.aborted() {
+                if let Some(id) = reg_id {
+                    self.unregister_wait(id);
+                }
+                std::panic::panic_any(RankAborted);
+            }
+            if reg_id.is_none() {
+                if let Some(f) = label.take() {
+                    let (what, tag) = f();
+                    reg_id = Some(self.register_wait(rank, what, tag));
+                }
+            }
+        }
+        if let Some(id) = reg_id {
+            self.unregister_wait(id);
+        }
+    }
+
+    /// Teardown wait: block until `completion` is set, but after an
+    /// abort give up once [`ABORT_DRAIN_GRACE`] has passed (no new
+    /// fulfill can start post-abort, so the grace only needs to cover a
+    /// copy already in flight). Never unwinds — safe in `Drop` impls.
+    pub(crate) fn drain_completion(&self, completion: &Completion) {
+        let mut waited_after_abort = Duration::ZERO;
+        loop {
+            if completion.wait_timeout(WAIT_SLICE) {
+                return;
+            }
+            if self.aborted() {
+                waited_after_abort += WAIT_SLICE;
+                if waited_after_abort >= ABORT_DRAIN_GRACE {
+                    return;
+                }
+            }
+        }
+    }
+
     /// Rank-level barrier; must be called by exactly one thread per rank.
-    pub(crate) fn rank_barrier(&self) {
-        self.barrier.wait();
+    /// Unwinds with [`RankAborted`] if the universe fails while waiting.
+    pub(crate) fn rank_barrier(&self, rank: usize) {
+        self.touch();
+        let mut st = self.barrier_state.lock();
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.n_ranks {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.barrier_cv.notify_all();
+            return;
+        }
+        let reg_id = self.register_wait(rank, format!("barrier (generation {gen})"), None);
+        while st.generation == gen {
+            if self.aborted() {
+                self.unregister_wait(reg_id);
+                std::panic::panic_any(RankAborted);
+            }
+            self.barrier_cv.wait_timeout(&mut st, WAIT_SLICE);
+        }
+        self.unregister_wait(reg_id);
     }
 
     /// Derive a child context id; creation order must agree across ranks.
@@ -350,6 +592,7 @@ impl Fabric {
 
     /// Register a window's memory under its context (target side).
     pub(crate) fn register_win(&self, win_ctx: u64, mem: Arc<crate::rma::WinMem>) {
+        self.touch();
         let mut reg = self.win_registry.lock();
         let prev = reg.insert(win_ctx, mem);
         assert!(prev.is_none(), "window registered twice");
@@ -357,13 +600,23 @@ impl Fabric {
     }
 
     /// Look up a window's memory, blocking until the target registers it.
-    pub(crate) fn attach_win(&self, win_ctx: u64) -> Arc<crate::rma::WinMem> {
+    /// Unwinds with [`RankAborted`] if the universe fails while waiting.
+    pub(crate) fn attach_win(&self, win_ctx: u64, rank: usize) -> Arc<crate::rma::WinMem> {
         let mut reg = self.win_registry.lock();
+        if let Some(mem) = reg.get(&win_ctx) {
+            return Arc::clone(mem);
+        }
+        let reg_id = self.register_wait(rank, format!("attach_win(ctx={win_ctx})"), None);
         loop {
             if let Some(mem) = reg.get(&win_ctx) {
+                self.unregister_wait(reg_id);
                 return Arc::clone(mem);
             }
-            self.win_cv.wait(&mut reg);
+            if self.aborted() {
+                self.unregister_wait(reg_id);
+                std::panic::panic_any(RankAborted);
+            }
+            self.win_cv.wait_timeout(&mut reg, WAIT_SLICE);
         }
     }
 
@@ -449,7 +702,180 @@ impl Fabric {
             shard: shard as u16,
             bytes: data.len() as u64,
         });
+        if self.fault.is_some() {
+            self.send_eager_chaos(dst, shard, ctx, src_rank, tag, buf);
+        } else {
+            self.deliver(dst, shard, ctx, src_rank, tag, Payload::Eager(buf));
+        }
+    }
+
+    /// Eager delivery under a fault plan: the plan decides per message
+    /// (keyed by channel sequence number, so the decision sequence is
+    /// independent of thread interleaving) whether to drop, delay,
+    /// duplicate, or reorder.
+    ///
+    /// A *drop* consumes one retry and re-decides with the next attempt
+    /// number — modelling a sender that retransmits after a NACK/timeout.
+    /// When the drop budget is exhausted the message is lost for good and
+    /// the universe fails with [`PcommError::MessageLost`]. (The send
+    /// still completes locally: eager sends are fire-and-forget, exactly
+    /// like a real eager protocol that learns of the loss only later.)
+    fn send_eager_chaos(
+        &self,
+        dst: usize,
+        shard: usize,
+        ctx: u64,
+        src_rank: usize,
+        tag: i64,
+        buf: Vec<u8>,
+    ) {
+        let fs = self.fault.as_ref().expect("chaos path without fault state");
+        let seq = fs.next_seq(src_rank, dst, ctx, tag);
+        let mut attempt: u32 = 0;
+        let action = loop {
+            let a = fs.plan.decide(src_rank, dst, ctx, tag, seq, attempt);
+            if !matches!(a, FaultAction::Drop) {
+                break a;
+            }
+            let dropped_attempt = attempt;
+            self.trace
+                .emit(src_rank as u16, || EventKind::FaultInjected {
+                    fault: FaultKind::Drop,
+                    dst: dst as u16,
+                    tag,
+                    arg: dropped_attempt as u64,
+                });
+            if attempt >= fs.plan.max_retries {
+                self.pool.release(src_rank, buf);
+                self.fail(PcommError::MessageLost {
+                    src: src_rank,
+                    dst,
+                    tag,
+                    attempts: attempt + 1,
+                });
+                return;
+            }
+            attempt += 1;
+            let retry = attempt;
+            self.trace
+                .emit(src_rank as u16, || EventKind::RetryAttempt {
+                    dst: dst as u16,
+                    attempt: retry as u16,
+                    tag,
+                });
+        };
+        match action {
+            FaultAction::None | FaultAction::Drop => {
+                self.chaos_deliver_eager(dst, shard, ctx, src_rank, tag, buf);
+            }
+            FaultAction::Delay { us } => {
+                self.trace
+                    .emit(src_rank as u16, || EventKind::FaultInjected {
+                        fault: FaultKind::Delay,
+                        dst: dst as u16,
+                        tag,
+                        arg: us,
+                    });
+                std::thread::sleep(Duration::from_micros(us));
+                self.chaos_deliver_eager(dst, shard, ctx, src_rank, tag, buf);
+            }
+            FaultAction::Duplicate => {
+                self.trace
+                    .emit(src_rank as u16, || EventKind::FaultInjected {
+                        fault: FaultKind::Duplicate,
+                        dst: dst as u16,
+                        tag,
+                        arg: 0,
+                    });
+                let copy = buf.clone();
+                self.chaos_deliver_eager(dst, shard, ctx, src_rank, tag, copy);
+                self.chaos_deliver_eager(dst, shard, ctx, src_rank, tag, buf);
+            }
+            FaultAction::Reorder => {
+                self.trace
+                    .emit(src_rank as u16, || EventKind::FaultInjected {
+                        fault: FaultKind::Reorder,
+                        dst: dst as u16,
+                        tag,
+                        arg: 0,
+                    });
+                fs.held[dst].lock().push(HeldMsg {
+                    shard,
+                    ctx,
+                    src: src_rank,
+                    tag,
+                    buf,
+                });
+            }
+        }
+    }
+
+    /// Chaos-path delivery preserving MPI's per-channel non-overtaking
+    /// guarantee: any held-back message of the *same* `(src, dst, ctx,
+    /// tag)` channel is delivered first (channel FIFO — the reorder
+    /// quietly decays), then the current message, then every *other* held
+    /// message for `dst` (which has thereby been overtaken — the reorder
+    /// the fault wanted).
+    fn chaos_deliver_eager(
+        &self,
+        dst: usize,
+        shard: usize,
+        ctx: u64,
+        src_rank: usize,
+        tag: i64,
+        buf: Vec<u8>,
+    ) {
+        self.flush_held_channel(dst, ctx, src_rank, tag);
         self.deliver(dst, shard, ctx, src_rank, tag, Payload::Eager(buf));
+        self.flush_held_for(dst);
+    }
+
+    /// Deliver held-back messages of one channel, oldest first.
+    fn flush_held_channel(&self, dst: usize, ctx: u64, src: usize, tag: i64) {
+        let Some(fs) = &self.fault else { return };
+        let msgs: Vec<HeldMsg> = {
+            let mut held = fs.held[dst].lock();
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < held.len() {
+                if held[i].ctx == ctx && held[i].src == src && held[i].tag == tag {
+                    out.push(held.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        };
+        for m in msgs {
+            self.deliver(dst, m.shard, m.ctx, m.src, m.tag, Payload::Eager(m.buf));
+        }
+    }
+
+    /// Deliver every held-back message destined for `dst`, oldest first.
+    fn flush_held_for(&self, dst: usize) {
+        let Some(fs) = &self.fault else { return };
+        let msgs: Vec<HeldMsg> = std::mem::take(&mut *fs.held[dst].lock());
+        for m in msgs {
+            self.deliver(dst, m.shard, m.ctx, m.src, m.tag, Payload::Eager(m.buf));
+        }
+    }
+
+    /// Deliver every held-back message fabric-wide; returns how many.
+    /// The watchdog supervisor calls this when the fabric goes quiet, so
+    /// a reorder hold-back with no follow-up traffic cannot stall the
+    /// run; the universe also calls it once after the rank closures
+    /// return.
+    pub(crate) fn flush_held(&self) -> usize {
+        let Some(fs) = &self.fault else { return 0 };
+        let mut n = 0;
+        for dst in 0..self.n_ranks {
+            let msgs: Vec<HeldMsg> = std::mem::take(&mut *fs.held[dst].lock());
+            n += msgs.len();
+            for m in msgs {
+                self.deliver(dst, m.shard, m.ctx, m.src, m.tag, Payload::Eager(m.buf));
+            }
+        }
+        n
     }
 
     /// Rendezvous path: publish the source pointer; the matching side
@@ -465,18 +891,77 @@ impl Fabric {
         data: &[u8],
         done: &Arc<Completion>,
     ) {
+        self.trace.emit(src_rank as u16, || EventKind::RdvSend {
+            dst: dst as u16,
+            shard: shard as u16,
+            bytes: data.len() as u64,
+        });
+        if let Some(fs) = &self.fault {
+            // Rendezvous is a zero-copy pointer handoff: duplicating or
+            // holding it back would alias or outlive the source buffer,
+            // so only Drop (of the RTS, with retries) and Delay apply;
+            // other decisions decay to clean delivery.
+            let seq = fs.next_seq(src_rank, dst, ctx, tag);
+            let mut attempt: u32 = 0;
+            loop {
+                match fs.plan.decide(src_rank, dst, ctx, tag, seq, attempt) {
+                    FaultAction::Drop => {
+                        let dropped_attempt = attempt;
+                        self.trace
+                            .emit(src_rank as u16, || EventKind::FaultInjected {
+                                fault: FaultKind::Drop,
+                                dst: dst as u16,
+                                tag,
+                                arg: dropped_attempt as u64,
+                            });
+                        if attempt >= fs.plan.max_retries {
+                            // RTS lost for good: the sender's completion
+                            // stays unset; its wait unwinds via the abort.
+                            self.fail(PcommError::MessageLost {
+                                src: src_rank,
+                                dst,
+                                tag,
+                                attempts: attempt + 1,
+                            });
+                            return;
+                        }
+                        attempt += 1;
+                        let retry = attempt;
+                        self.trace
+                            .emit(src_rank as u16, || EventKind::RetryAttempt {
+                                dst: dst as u16,
+                                attempt: retry as u16,
+                                tag,
+                            });
+                    }
+                    FaultAction::Delay { us } => {
+                        self.trace
+                            .emit(src_rank as u16, || EventKind::FaultInjected {
+                                fault: FaultKind::Delay,
+                                dst: dst as u16,
+                                tag,
+                                arg: us,
+                            });
+                        std::thread::sleep(Duration::from_micros(us));
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            // Preserve channel FIFO against any held-back eager message
+            // of the same channel before the rendezvous overtakes it.
+            self.flush_held_channel(dst, ctx, src_rank, tag);
+        }
         let payload = Payload::Rdv(RdvHandoff {
             src_ptr: data.as_ptr(),
             len: data.len(),
             done: Arc::clone(done),
             rts_ns: self.trace.now_ns(),
         });
-        self.trace.emit(src_rank as u16, || EventKind::RdvSend {
-            dst: dst as u16,
-            shard: shard as u16,
-            bytes: data.len() as u64,
-        });
         self.deliver(dst, shard, ctx, src_rank, tag, payload);
+        if self.fault.is_some() {
+            self.flush_held_for(dst);
+        }
     }
 
     fn deliver(
@@ -489,6 +974,17 @@ impl Fabric {
         payload: Payload,
     ) {
         assert!(dst < self.n_ranks, "destination rank out of range");
+        self.touch();
+        if self.aborted() {
+            // The universe is unwinding: receivers' destination buffers
+            // may already be gone, so no new fulfill may start. Eager
+            // buffers go back to the pool; a rendezvous handoff is simply
+            // dropped (its sender unwinds via the abort, not via `done`).
+            if let Payload::Eager(v) = payload {
+                self.pool.release(src_rank, v);
+            }
+            return;
+        }
         let t0 = self.trace.now_ns();
         let mut q = self.shards[dst][shard].lock();
         self.trace.emit_span(t0, src_rank as u16, |start, dur| {
@@ -501,7 +997,7 @@ impl Fabric {
         if let Some(pos) = q.posted.iter().position(|p| p.matches(ctx, src_rank, tag)) {
             let posted = q.posted.remove(pos);
             drop(q); // copy outside the shard lock
-            self.fulfill(posted, payload, src_rank, tag, shard);
+            self.fulfill(posted, payload, src_rank, tag, shard, dst);
         } else {
             q.unexpected.push(UnexpectedMsg {
                 ctx,
@@ -519,6 +1015,13 @@ impl Fabric {
             completion: Arc::clone(&posted.completion),
             info: Arc::clone(&posted.info),
         };
+        self.touch();
+        if self.aborted() {
+            // Ticket never completes; the caller's wait unwinds via the
+            // abort flag. Not enqueuing keeps the raw destination pointer
+            // out of the fabric while ranks tear down.
+            return ticket;
+        }
         let t0 = self.trace.now_ns();
         let mut q = self.shards[rank][shard].lock();
         self.trace.emit_span(t0, rank as u16, |start, dur| {
@@ -535,7 +1038,7 @@ impl Fabric {
         {
             let u = q.unexpected.remove(pos);
             drop(q);
-            self.fulfill(posted, u.payload, u.src, u.tag, shard);
+            self.fulfill(posted, u.payload, u.src, u.tag, shard, rank);
         } else {
             q.posted.push(posted);
         }
@@ -544,13 +1047,35 @@ impl Fabric {
 
     /// Complete a matched pair: copy the payload into the destination and
     /// fire the completions.
-    fn fulfill(&self, posted: PostedRecv, payload: Payload, src: usize, tag: i64, shard: usize) {
+    fn fulfill(
+        &self,
+        posted: PostedRecv,
+        payload: Payload,
+        src: usize,
+        tag: i64,
+        shard: usize,
+        dst_rank: usize,
+    ) {
         let len = payload.len();
-        assert!(
-            len <= posted.dest_cap,
-            "message of {len} bytes overflows {}-byte receive buffer",
-            posted.dest_cap
-        );
+        if len > posted.dest_cap {
+            // Contract violation, caught before any copy: fail the
+            // universe instead of panicking the fulfilling thread (which
+            // might be the *sender*, nowhere near the offending recv).
+            // The posted completion stays unset — the receiver unwinds
+            // via the abort.
+            if let Payload::Eager(v) = payload {
+                self.pool.release(src, v);
+            }
+            self.fail(PcommError::misuse(
+                dst_rank,
+                format!(
+                    "message of {len} bytes overflows {}-byte receive buffer \
+                     (src rank {src}, tag {tag})",
+                    posted.dest_cap
+                ),
+            ));
+            return;
+        }
         match payload {
             Payload::Eager(v) => {
                 if len > 0 {
@@ -587,6 +1112,58 @@ impl Fabric {
         *posted.info.lock() = Some(MsgInfo { src, tag, len });
         self.matched.fetch_add(1, Ordering::Relaxed);
         posted.completion.set();
+        self.touch();
+    }
+
+    /// Snapshot the fabric's blocked-wait and match-queue state into a
+    /// [`StallReport`] (called by the watchdog supervisor when activity
+    /// has been quiet past the deadline).
+    pub(crate) fn stall_report(&self, watchdog_ms: u64, quiet_ms: u64) -> StallReport {
+        let mut blocked: Vec<BlockedWait> = self.wait_registry.lock().values().cloned().collect();
+        blocked.sort_by(|a, b| (a.rank, &a.what).cmp(&(b.rank, &b.what)));
+        let finished_ranks = self
+            .finished
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect();
+        let mut unmatched_posted = Vec::new();
+        let mut unmatched_unexpected = Vec::new();
+        for (rank, shards) in self.shards.iter().enumerate() {
+            for (shard, q) in shards.iter().enumerate() {
+                let q = q.lock();
+                for p in &q.posted {
+                    unmatched_posted.push(QueueEntry {
+                        rank,
+                        shard,
+                        ctx: p.ctx,
+                        src: p.src,
+                        tag: p.tag,
+                        bytes: p.dest_cap,
+                    });
+                }
+                for u in &q.unexpected {
+                    unmatched_unexpected.push(QueueEntry {
+                        rank,
+                        shard,
+                        ctx: u.ctx,
+                        src: Some(u.src),
+                        tag: Some(u.tag),
+                        bytes: u.payload.len(),
+                    });
+                }
+            }
+        }
+        StallReport {
+            watchdog_ms,
+            quiet_ms,
+            finished_ranks,
+            blocked,
+            unmatched_posted,
+            unmatched_unexpected,
+            matched: self.matched_count(),
+        }
     }
 }
 
@@ -738,12 +1315,111 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overflows")]
-    fn oversized_message_panics() {
+    fn oversized_message_fails_universe_not_thread() {
         let f = Fabric::new(2, 1, 1024);
         let mut buf = vec![0u8; 2];
-        let _rt = post(&f, 1, 0, 0, None, None, &mut buf);
-        f.send_raw(1, 0, 0, 0, 0, &[1, 2, 3]);
+        let rt = post(&f, 1, 0, 0, None, None, &mut buf);
+        f.send_raw(1, 0, 0, 0, 5, &[1, 2, 3]);
+        assert!(f.aborted(), "oversized message must abort the universe");
+        assert!(!rt.test(), "receive must not complete");
+        match f.take_failure() {
+            Some(PcommError::Misuse { rank, detail }) => {
+                assert_eq!(rank, Some(1), "misuse attributed to the receiver");
+                assert!(detail.contains("overflows"), "{detail}");
+            }
+            other => panic!("expected Misuse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_drop_with_retries_still_delivers() {
+        // drop_p = 1 forces a Drop on every decision *below* the retry
+        // threshold... that would never deliver. Instead use a plan whose
+        // drop probability is high but the retry budget is large enough
+        // that some attempt decides differently.
+        let plan = FaultPlan::seeded(7).drops(0.5).retries(64);
+        let f = Fabric::new_configured(2, 1, 1024, Trace::disabled(), Some(plan));
+        let mut bufs = [[0u8; 1]; 32];
+        let tickets: Vec<RecvTicket> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| post(&f, 1, 0, 0, Some(0), Some(i as i64), b))
+            .collect();
+        for i in 0..32 {
+            f.send_raw(1, 0, 0, 0, i as i64, &[i as u8]);
+        }
+        assert!(
+            !f.aborted(),
+            "retry budget must absorb 0.5-probability drops"
+        );
+        for (i, t) in tickets.iter().enumerate() {
+            t.wait();
+            assert_eq!(bufs[i], [i as u8]);
+        }
+    }
+
+    #[test]
+    fn chaos_certain_drop_without_retries_loses_message() {
+        let plan = FaultPlan::seeded(1).drops(1.0).retries(0);
+        let f = Fabric::new_configured(2, 1, 64, Trace::disabled(), Some(plan));
+        let mut buf = [0u8; 1];
+        let rt = post(&f, 1, 0, 0, Some(0), Some(3), &mut buf);
+        f.send_raw(1, 0, 0, 0, 3, &[9]);
+        assert!(f.aborted());
+        assert!(!rt.test());
+        match f.take_failure() {
+            Some(PcommError::MessageLost {
+                src,
+                dst,
+                tag,
+                attempts,
+            }) => {
+                assert_eq!((src, dst, tag, attempts), (0, 1, 3, 1));
+            }
+            other => panic!("expected MessageLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_reorder_holds_then_flushes() {
+        let plan = FaultPlan::seeded(11).reorders(1.0);
+        let f = Fabric::new_configured(2, 1, 1024, Trace::disabled(), Some(plan));
+        let mut buf = [0u8; 1];
+        let rt = post(&f, 1, 0, 0, Some(0), Some(1), &mut buf);
+        f.send_raw(1, 0, 0, 0, 1, &[7]);
+        assert!(!rt.test(), "reordered message must be held back");
+        assert_eq!(f.flush_held(), 1);
+        rt.wait();
+        assert_eq!(buf, [7]);
+    }
+
+    #[test]
+    fn chaos_channel_fifo_survives_reorder() {
+        // Two messages on the SAME channel under certain-reorder: the
+        // second send must first flush the held first message, so payload
+        // order (and therefore data) is preserved.
+        let plan = FaultPlan::seeded(3).reorders(1.0);
+        let f = Fabric::new_configured(2, 1, 1024, Trace::disabled(), Some(plan));
+        let mut a = [0u8; 1];
+        let mut b = [0u8; 1];
+        let ra = post(&f, 1, 0, 0, Some(0), Some(4), &mut a);
+        let rb = post(&f, 1, 0, 0, Some(0), Some(4), &mut b);
+        f.send_raw(1, 0, 0, 0, 4, &[1]);
+        f.send_raw(1, 0, 0, 0, 4, &[2]);
+        f.flush_held();
+        ra.wait();
+        rb.wait();
+        assert_eq!((a, b), ([1], [2]), "per-channel FIFO must hold");
+    }
+
+    #[test]
+    fn chaos_decisions_are_interleaving_independent() {
+        // Same plan, same channel+seq: the decision must not depend on
+        // what other channels did in between.
+        let plan = FaultPlan::seeded(99).drops(0.3).delays(0.3, 50);
+        let a: Vec<FaultAction> = (0..20).map(|s| plan.decide(0, 1, 0, 7, s, 0)).collect();
+        let b: Vec<FaultAction> = (0..20).map(|s| plan.decide(0, 1, 0, 7, s, 0)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

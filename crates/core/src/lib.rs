@@ -46,13 +46,20 @@
 //!         precv.wait();
 //!         assert_eq!(precv.partition(2)[0], 2);
 //!     }
-//! });
+//! }).unwrap();
 //! ```
+//!
+//! Failure is data: [`Universe::run`] returns `Result<Vec<T>,
+//! PcommError>`, and with a seeded [`FaultPlan`] (or `PCOMM_FAULTS` in
+//! the environment) the fabric injects reproducible message drops,
+//! delays, duplicates and reorders while a watchdog turns any hang into
+//! a structured [`StallReport`].
 
 #![warn(missing_docs)]
 
 mod comm;
 pub mod datatype;
+mod error;
 mod fabric;
 pub mod hotpath;
 pub mod p2p;
@@ -64,5 +71,10 @@ mod universe;
 
 pub use comm::Comm;
 pub use datatype::Datatype;
+pub use error::{BlockedWait, PcommError, QueueEntry, StallReport};
 pub use fabric::MsgInfo;
-pub use universe::Universe;
+pub use universe::{Universe, DEFAULT_CHAOS_WATCHDOG_MS};
+
+// Chaos configuration is shared with the simulator via `pcomm-trace`;
+// re-export it so runtime users need only this crate.
+pub use pcomm_trace::{FaultKind, FaultPlan};

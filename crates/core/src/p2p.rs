@@ -19,7 +19,12 @@ impl Comm {
         let ticket = self
             .fabric()
             .send_raw(dst, self.shard(), self.ctx(), self.rank(), tag, data);
-        ticket.wait();
+        if let Some(done) = ticket.done() {
+            let ctx = self.ctx();
+            self.fabric().wait_on(done, self.rank(), || {
+                (format!("send(dst={dst}, tag={tag}, ctx={ctx})"), Some(tag))
+            });
+        }
     }
 
     /// Blocking receive into `buf`; returns the envelope. `None` matches
@@ -41,7 +46,18 @@ impl Comm {
             },
         );
         // Block until fulfilled: `buf` stays exclusively borrowed.
-        ticket.wait()
+        let ctx = self.ctx();
+        self.fabric().wait_on(&ticket.completion, self.rank(), || {
+            let src_s = src.map_or("*".to_string(), |s| s.to_string());
+            let tag_s = tag.map_or("*".to_string(), |t| t.to_string());
+            (format!("recv(src={src_s}, tag={tag_s}, ctx={ctx})"), tag)
+        });
+        let info = ticket
+            .info
+            .lock()
+            .take()
+            .expect("completed receive carries info");
+        info
     }
 
     /// Convenience: receive up to `max_len` bytes into a fresh vector.
@@ -160,7 +176,15 @@ impl PersistentSend {
             self.in_flight.load(Ordering::Acquire),
             "persistent send not started"
         );
-        self.done.wait();
+        let (dst, tag) = (self.dst, self.tag);
+        self.comm
+            .fabric()
+            .wait_on(&self.done, self.comm.rank(), || {
+                (
+                    format!("persistent send wait(dst={dst}, tag={tag})"),
+                    Some(tag),
+                )
+            });
         self.in_flight.store(false, Ordering::Release);
     }
 
@@ -173,9 +197,10 @@ impl PersistentSend {
 
 impl Drop for PersistentSend {
     fn drop(&mut self) {
-        // An in-flight rendezvous pins a pointer into our buffer: drain.
+        // An in-flight rendezvous pins a pointer into our buffer: drain
+        // (abort-aware, so an aborted universe cannot hang teardown).
         if self.in_flight.load(Ordering::Acquire) {
-            self.done.wait();
+            self.comm.fabric().drain_completion(&self.done);
         }
     }
 }
@@ -243,7 +268,15 @@ impl PersistentRecv {
             self.in_flight.load(Ordering::Acquire),
             "persistent recv not started"
         );
-        self.done.wait();
+        let (src, tag) = (self.src, self.tag);
+        self.comm
+            .fabric()
+            .wait_on(&self.done, self.comm.rank(), || {
+                (
+                    format!("persistent recv wait(src={src}, tag={tag})"),
+                    Some(tag),
+                )
+            });
         let info = self.info.lock().expect("completed receive carries info");
         *self.last_info.lock() = Some(info);
         self.in_flight.store(false, Ordering::Release);
@@ -274,9 +307,10 @@ impl PersistentRecv {
 
 impl Drop for PersistentRecv {
     fn drop(&mut self) {
-        // The fabric may still hold a pointer into our buffer: drain.
+        // The fabric may still hold a pointer into our buffer: drain
+        // (abort-aware, so an aborted universe cannot hang teardown).
         if self.in_flight.load(Ordering::Acquire) {
-            self.done.wait();
+            self.comm.fabric().drain_completion(&self.done);
         }
     }
 }
@@ -288,124 +322,141 @@ mod tests {
 
     #[test]
     fn blocking_send_recv_roundtrip() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 5, b"hello fabric");
-            } else {
-                let (data, info) = comm.recv_vec(Some(0), Some(5), 64);
-                assert_eq!(&data, b"hello fabric");
-                assert_eq!(info.src, 0);
-                assert_eq!(info.tag, 5);
-            }
-        });
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 5, b"hello fabric");
+                } else {
+                    let (data, info) = comm.recv_vec(Some(0), Some(5), 64);
+                    assert_eq!(&data, b"hello fabric");
+                    assert_eq!(info.src, 0);
+                    assert_eq!(info.tag, 5);
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn rendezvous_roundtrip_through_universe() {
-        Universe::new(2).with_eager_max(128).run(|comm| {
-            let big: Vec<u8> = (0..10_000).map(|i| (i * 7 % 256) as u8).collect();
-            if comm.rank() == 0 {
-                comm.send(1, 0, &big);
-            } else {
-                let mut buf = vec![0u8; 10_000];
-                let info = comm.recv_into(Some(0), Some(0), &mut buf);
-                assert_eq!(info.len, 10_000);
-                assert_eq!(buf, big);
-            }
-        });
+        Universe::new(2)
+            .with_eager_max(128)
+            .run(|comm| {
+                let big: Vec<u8> = (0..10_000).map(|i| (i * 7 % 256) as u8).collect();
+                if comm.rank() == 0 {
+                    comm.send(1, 0, &big);
+                } else {
+                    let mut buf = vec![0u8; 10_000];
+                    let info = comm.recv_into(Some(0), Some(0), &mut buf);
+                    assert_eq!(info.len, 10_000);
+                    assert_eq!(buf, big);
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn wildcard_receive() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 77, &[9]);
-            } else {
-                let (data, info) = comm.recv_vec(None, None, 8);
-                assert_eq!(data, vec![9]);
-                assert_eq!(info.tag, 77);
-            }
-        });
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 77, &[9]);
+                } else {
+                    let (data, info) = comm.recv_vec(None, None, 8);
+                    assert_eq!(data, vec![9]);
+                    assert_eq!(info.tag, 77);
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn many_messages_in_order_same_channel() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                for i in 0..200u8 {
-                    comm.send(1, 1, &[i]);
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    for i in 0..200u8 {
+                        comm.send(1, 1, &[i]);
+                    }
+                } else {
+                    // Same (src, tag, ctx): FIFO matching guarantees order.
+                    for i in 0..200u8 {
+                        let mut b = [0u8; 1];
+                        comm.recv_into(Some(0), Some(1), &mut b);
+                        assert_eq!(b[0], i);
+                    }
                 }
-            } else {
-                // Same (src, tag, ctx): FIFO matching guarantees order.
-                for i in 0..200u8 {
-                    let mut b = [0u8; 1];
-                    comm.recv_into(Some(0), Some(1), &mut b);
-                    assert_eq!(b[0], i);
-                }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn persistent_send_recv_cycles() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.send_init(1, 3, 8);
-                for it in 0..20u8 {
-                    ps.write(|b| b.fill(it));
-                    ps.start();
-                    ps.wait();
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.send_init(1, 3, 8);
+                    for it in 0..20u8 {
+                        ps.write(|b| b.fill(it));
+                        ps.start();
+                        ps.wait();
+                    }
+                } else {
+                    let pr = comm.recv_init(0, 3, 8);
+                    for it in 0..20u8 {
+                        pr.start();
+                        let info = pr.wait();
+                        assert_eq!(info.len, 8);
+                        pr.read(|b| assert!(b.iter().all(|&x| x == it)));
+                    }
                 }
-            } else {
-                let pr = comm.recv_init(0, 3, 8);
-                for it in 0..20u8 {
-                    pr.start();
-                    let info = pr.wait();
-                    assert_eq!(info.len, 8);
-                    pr.read(|b| assert!(b.iter().all(|&x| x == it)));
-                }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn persistent_rendezvous_cycles() {
-        Universe::new(2).with_eager_max(64).run(|comm| {
-            let n = 4096;
-            if comm.rank() == 0 {
-                let ps = comm.send_init(1, 0, n);
-                for it in 0..5u8 {
-                    ps.write(|b| b.fill(it));
-                    ps.start();
-                    ps.wait();
+        Universe::new(2)
+            .with_eager_max(64)
+            .run(|comm| {
+                let n = 4096;
+                if comm.rank() == 0 {
+                    let ps = comm.send_init(1, 0, n);
+                    for it in 0..5u8 {
+                        ps.write(|b| b.fill(it));
+                        ps.start();
+                        ps.wait();
+                    }
+                } else {
+                    let pr = comm.recv_init(0, 0, n);
+                    for it in 0..5u8 {
+                        pr.start();
+                        pr.wait();
+                        pr.read(|b| assert!(b.iter().all(|&x| x == it)));
+                    }
                 }
-            } else {
-                let pr = comm.recv_init(0, 0, n);
-                for it in 0..5u8 {
-                    pr.start();
-                    pr.wait();
-                    pr.read(|b| assert!(b.iter().all(|&x| x == it)));
-                }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn dup_isolates_traffic() {
-        Universe::new(2).with_shards(2).run(|comm| {
-            let d = comm.dup();
-            if comm.rank() == 0 {
-                // Same tag on two communicators: no crosstalk.
-                comm.send(1, 1, &[1]);
-                d.send(1, 1, &[2]);
-            } else {
-                let mut b = [0u8; 1];
-                d.recv_into(Some(0), Some(1), &mut b);
-                assert_eq!(b[0], 2);
-                comm.recv_into(Some(0), Some(1), &mut b);
-                assert_eq!(b[0], 1);
-            }
-        });
+        Universe::new(2)
+            .with_shards(2)
+            .run(|comm| {
+                let d = comm.dup();
+                if comm.rank() == 0 {
+                    // Same tag on two communicators: no crosstalk.
+                    comm.send(1, 1, &[1]);
+                    d.send(1, 1, &[2]);
+                } else {
+                    let mut b = [0u8; 1];
+                    d.recv_into(Some(0), Some(1), &mut b);
+                    assert_eq!(b[0], 2);
+                    comm.recv_into(Some(0), Some(1), &mut b);
+                    assert_eq!(b[0], 1);
+                }
+            })
+            .unwrap();
     }
 
     #[test]
@@ -413,68 +464,81 @@ mod tests {
         // The Pt2Pt-many pattern: per-thread communicators, concurrent
         // sends, all messages arrive intact.
         let n_threads = 8;
-        Universe::new(2).with_shards(8).run(|comm| {
-            let comms: Vec<Comm> = (0..n_threads).map(|_| comm.dup()).collect();
-            if comm.rank() == 0 {
-                std::thread::scope(|s| {
-                    for (t, c) in comms.iter().enumerate() {
-                        s.spawn(move || {
-                            c.send(1, t as i64, &[t as u8; 32]);
-                        });
-                    }
-                });
-            } else {
-                std::thread::scope(|s| {
-                    for (t, c) in comms.iter().enumerate() {
-                        s.spawn(move || {
-                            let mut b = [0u8; 32];
-                            c.recv_into(Some(0), Some(t as i64), &mut b);
-                            assert!(b.iter().all(|&x| x == t as u8));
-                        });
-                    }
-                });
-            }
-        });
+        Universe::new(2)
+            .with_shards(8)
+            .run(|comm| {
+                let comms: Vec<Comm> = (0..n_threads).map(|_| comm.dup()).collect();
+                if comm.rank() == 0 {
+                    std::thread::scope(|s| {
+                        for (t, c) in comms.iter().enumerate() {
+                            s.spawn(move || {
+                                c.send(1, t as i64, &[t as u8; 32]);
+                            });
+                        }
+                    });
+                } else {
+                    std::thread::scope(|s| {
+                        for (t, c) in comms.iter().enumerate() {
+                            s.spawn(move || {
+                                let mut b = [0u8; 32];
+                                c.recv_into(Some(0), Some(t as i64), &mut b);
+                                assert!(b.iter().all(|&x| x == t as u8));
+                            });
+                        }
+                    });
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn persistent_test_probe_is_lock_free() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.send_init(1, 0, 8);
-                assert!(ps.test(), "inactive send tests complete");
-                ps.start();
-                ps.wait();
-                assert!(ps.test(), "inactive again after wait");
-            } else {
-                let pr = comm.recv_init(0, 0, 8);
-                assert!(pr.test(), "inactive recv tests complete");
-                pr.start();
-                let before = crate::hotpath::thread_stats();
-                while !pr.test() {
-                    std::hint::spin_loop();
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.send_init(1, 0, 8);
+                    assert!(ps.test(), "inactive send tests complete");
+                    ps.start();
+                    ps.wait();
+                    assert!(ps.test(), "inactive again after wait");
+                } else {
+                    let pr = comm.recv_init(0, 0, 8);
+                    assert!(pr.test(), "inactive recv tests complete");
+                    pr.start();
+                    let before = crate::hotpath::thread_stats();
+                    while !pr.test() {
+                        std::hint::spin_loop();
+                    }
+                    let after = crate::hotpath::thread_stats();
+                    assert_eq!(
+                        after.mutex_locks, before.mutex_locks,
+                        "test() polling must take no runtime mutex"
+                    );
+                    pr.wait();
                 }
-                let after = crate::hotpath::thread_stats();
-                assert_eq!(
-                    after.mutex_locks, before.mutex_locks,
-                    "test() polling must take no runtime mutex"
-                );
-                pr.wait();
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
-    fn double_start_panics() {
+    fn double_start_returns_peer_panicked() {
         // Rank 1 stays passive: the eager message parks in its unexpected
         // queue, so no rank blocks while rank 0 panics.
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.send_init(1, 0, 4);
-                ps.start();
-                ps.start();
+        let err = Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.send_init(1, 0, 4);
+                    ps.start();
+                    ps.start();
+                }
+            })
+            .unwrap_err();
+        match err {
+            crate::PcommError::PeerPanicked { rank, message } => {
+                assert_eq!(rank, 0);
+                assert!(message.contains("started twice"), "{message}");
             }
-        });
+            other => panic!("expected PeerPanicked, got {other:?}"),
+        }
     }
 }

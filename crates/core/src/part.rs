@@ -12,14 +12,16 @@
 //! the behaviour whose cost Fig. 4 exposes.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use pcomm_trace::EventKind;
+use pcomm_trace::{EventKind, FaultKind};
 
 use crate::sync::Mutex;
 
 use crate::comm::Comm;
+use crate::error::{PcommError, RankAborted};
 use crate::fabric::{MsgInfo, PostedRecv};
 use crate::sync::Completion;
 
@@ -218,7 +220,11 @@ impl PartStorage {
         s.store(PART_WRITABLE, Ordering::Release);
     }
 
-    fn mark_ready(&self, p: usize) {
+    /// Transition a partition WRITABLE→READY. `Err(state)` when the
+    /// partition is already READY (readied twice) or mid-write — the
+    /// storage is left untouched either way, so the caller can surface
+    /// the misuse without corrupting the iteration.
+    fn try_mark_ready(&self, p: usize) -> Result<(), u8> {
         self.states[p]
             .compare_exchange(
                 PART_WRITABLE,
@@ -226,9 +232,7 @@ impl PartStorage {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             )
-            .unwrap_or_else(|cur| {
-                panic!("partition {p} cannot become ready (state {cur}): readied twice?")
-            });
+            .map(|_| ())
     }
 
     /// A read-only view of a byte range whose partitions are all READY.
@@ -276,11 +280,32 @@ struct PsendShared {
     /// copy lands). Reset — never reallocated — by each `start()`, so the
     /// `pready`→`issue` hot path touches no lock and allocates nothing.
     sent: Vec<Arc<Completion>>,
+    /// `issued[m]` is set once message `m` was handed to the fabric this
+    /// iteration (the fabric may then hold a pointer into `storage`), so
+    /// teardown knows exactly which `sent` signals it must drain.
+    issued: Vec<AtomicBool>,
     started: AtomicBool,
+    /// Round counter for chaos `pready` jitter permutations.
+    jitter_round: AtomicU64,
     /// Legacy: persistent CTS completion + envelope slot, re-armed and
     /// re-posted by each `start()`.
     cts_done: Arc<Completion>,
     cts_info: Arc<Mutex<Option<MsgInfo>>>,
+}
+
+impl Drop for PsendShared {
+    fn drop(&mut self) {
+        // Dropped mid-iteration (a rank unwinding on abort or a panic):
+        // any issued rendezvous message pins a pointer into `storage` —
+        // drain those signals (abort-aware) before the buffer is freed.
+        if self.started.load(Ordering::Acquire) {
+            for (m, sent) in self.sent.iter().enumerate() {
+                if self.issued[m].load(Ordering::Acquire) {
+                    self.comm.fabric().drain_completion(sent);
+                }
+            }
+        }
+    }
 }
 
 /// Sender-side partitioned request. Clone freely across the rank's
@@ -354,7 +379,9 @@ impl Comm {
                 storage: PartStorage::new(n_parts, part_bytes),
                 counters: (0..n_msgs).map(|_| AtomicI64::new(0)).collect(),
                 sent: (0..n_msgs).map(|_| Completion::new()).collect(),
+                issued: (0..n_msgs).map(|_| AtomicBool::new(false)).collect(),
                 started: AtomicBool::new(false),
+                jitter_round: AtomicU64::new(0),
                 cts_done: Completion::new(),
                 cts_info: Arc::new(Mutex::new(None)),
             }),
@@ -451,6 +478,9 @@ impl PsendRequest {
             "partitioned send started twice"
         );
         s.storage.reset();
+        for issued in &s.issued {
+            issued.store(false, Ordering::Release);
+        }
         if s.legacy {
             // Re-arm the persistent CTS slots (quiescent: the previous
             // iteration's wait() returned) and post the receive; the data
@@ -480,50 +510,165 @@ impl PsendRequest {
         }
     }
 
-    /// Fill partition `p`'s bytes. Panics after `pready(p)`.
+    /// Record `err` as the universe's failure and unwind this rank.
+    ///
+    /// Failure is recorded *before* the unwind starts, so every
+    /// abort-aware drain that runs while locals drop is time-bounded.
+    fn part_fail(&self, err: PcommError) -> ! {
+        self.inner.comm.fabric().fail(err);
+        panic_any(RankAborted);
+    }
+
+    /// Fill partition `p`'s bytes. Misuse (out of range, already
+    /// readied) aborts the universe with [`PcommError::Misuse`].
     pub fn write_partition(&self, p: usize, f: impl FnOnce(&mut [u8])) {
-        assert!(p < self.inner.n_parts, "partition out of range");
-        self.inner.storage.write_partition(p, f);
+        let s = &self.inner;
+        if p >= s.n_parts {
+            self.part_fail(PcommError::misuse(
+                s.comm.rank(),
+                format!(
+                    "write_partition({p}) out of range: request has {} partitions",
+                    s.n_parts
+                ),
+            ));
+        }
+        if s.storage.states[p].load(Ordering::Acquire) == PART_READY {
+            self.part_fail(PcommError::misuse(
+                s.comm.rank(),
+                format!("write_partition({p}) after pready({p}): partition already readied"),
+            ));
+        }
+        s.storage.write_partition(p, f);
     }
 
     /// `MPI_Pready`: mark partition `p` ready. If this completes an
     /// internal message, the calling thread injects it (early-bird).
+    ///
+    /// Misuse aborts the universe with [`PcommError::Misuse`]; use
+    /// [`PsendRequest::try_pready`] to detect it without aborting.
     pub fn pready(&self, p: usize) {
+        if let Err(err) = self.try_pready(p) {
+            self.part_fail(err);
+        }
+    }
+
+    /// Fallible [`PsendRequest::pready`]: returns [`PcommError::Misuse`]
+    /// for an inactive request, an out-of-range partition, or a
+    /// partition readied twice — always *before* touching the message
+    /// counters, so a rejected call leaves the iteration fully intact
+    /// and the request usable.
+    pub fn try_pready(&self, p: usize) -> Result<(), PcommError> {
         let s = &self.inner;
-        assert!(s.started.load(Ordering::Acquire), "pready before start");
-        assert!(p < s.n_parts, "partition out of range");
+        if !s.started.load(Ordering::Acquire) {
+            return Err(PcommError::misuse(
+                s.comm.rank(),
+                format!("pready({p}) on an inactive request (before start or after wait)"),
+            ));
+        }
+        if p >= s.n_parts {
+            return Err(PcommError::misuse(
+                s.comm.rank(),
+                format!(
+                    "pready({p}) out of range: request has {} partitions",
+                    s.n_parts
+                ),
+            ));
+        }
         let trace = s.comm.fabric().trace();
         let pready_ns = trace.now_ns();
         trace.emit(s.comm.rank() as u16, || EventKind::Pready {
             part: p as u64,
         });
-        s.storage.mark_ready(p);
+        if let Err(state) = s.storage.try_mark_ready(p) {
+            let why = if state == PART_WRITING {
+                "still being written"
+            } else {
+                "readied twice"
+            };
+            return Err(PcommError::misuse(
+                s.comm.rank(),
+                format!("pready({p}): partition {why}"),
+            ));
+        }
+        // The CAS above is the sole gate to the counters: a duplicate or
+        // out-of-range pready can no longer skew them.
         if s.legacy {
             let left = s.counters[0].fetch_sub(1, Ordering::AcqRel) - 1;
-            assert!(left >= 0, "partition readied twice");
-            return;
+            debug_assert!(left >= 0, "counter underflow despite state gate");
+            return Ok(());
         }
         let m = s.layout.msg_of_spart(p);
         let left = s.counters[m].fetch_sub(1, Ordering::AcqRel) - 1;
-        assert!(left >= 0, "partition readied twice");
+        debug_assert!(left >= 0, "counter underflow despite state gate");
         if left == 0 && !s.defer_sends {
             self.issue(m, pready_ns);
         }
+        Ok(())
     }
 
-    /// `MPI_Pready_range`: mark partitions `lo..=hi` ready, in order.
+    /// `MPI_Pready_range`: mark partitions `lo..=hi` ready, in order
+    /// (under chaos `pready` jitter, in a seeded permuted order).
     pub fn pready_range(&self, lo: usize, hi: usize) {
-        assert!(lo <= hi, "empty or inverted range");
-        for p in lo..=hi {
-            self.pready(p);
+        if let Err(err) = self.try_pready_range(lo, hi) {
+            self.part_fail(err);
         }
     }
 
-    /// `MPI_Pready_list`: mark the listed partitions ready, in order.
-    pub fn pready_list(&self, parts: &[usize]) {
-        for &p in parts {
-            self.pready(p);
+    /// Fallible [`PsendRequest::pready_range`]. Stops at the first
+    /// misuse; partitions already readied by the call stay readied.
+    pub fn try_pready_range(&self, lo: usize, hi: usize) -> Result<(), PcommError> {
+        if lo > hi {
+            return Err(PcommError::misuse(
+                self.inner.comm.rank(),
+                format!("pready_range({lo}, {hi}): empty or inverted range"),
+            ));
         }
+        let parts: Vec<usize> = (lo..=hi).collect();
+        self.pready_permuted(&parts)
+    }
+
+    /// `MPI_Pready_list`: mark the listed partitions ready, in order
+    /// (under chaos `pready` jitter, in a seeded permuted order).
+    pub fn pready_list(&self, parts: &[usize]) {
+        if let Err(err) = self.try_pready_list(parts) {
+            self.part_fail(err);
+        }
+    }
+
+    /// Fallible [`PsendRequest::pready_list`]. Stops at the first
+    /// misuse; partitions already readied by the call stay readied.
+    pub fn try_pready_list(&self, parts: &[usize]) -> Result<(), PcommError> {
+        self.pready_permuted(parts)
+    }
+
+    /// Ready `parts`, permuting the issue order when the fault plan's
+    /// `pready` jitter is on — the reordering stress the paper's
+    /// early-bird path must tolerate (any pready may complete a message).
+    fn pready_permuted(&self, parts: &[usize]) -> Result<(), PcommError> {
+        let s = &self.inner;
+        if let Some(plan) = s.comm.fabric().fault_plan() {
+            if plan.jitter_pready && parts.len() > 1 {
+                let round = s.jitter_round.fetch_add(1, Ordering::Relaxed);
+                let order = plan.jitter_order(s.comm.rank(), round, parts.len());
+                s.comm
+                    .fabric()
+                    .trace()
+                    .emit(s.comm.rank() as u16, || EventKind::FaultInjected {
+                        fault: FaultKind::PreadyJitter,
+                        dst: s.dst as u16,
+                        tag: 0,
+                        arg: round,
+                    });
+                for &i in &order {
+                    self.try_pready(parts[i])?;
+                }
+                return Ok(());
+            }
+        }
+        for &p in parts {
+            self.try_pready(p)?;
+        }
+        Ok(())
     }
 
     /// Inject internal message `m`. `pready_ns` is the trace timestamp of
@@ -544,6 +689,9 @@ impl PsendRequest {
         // rendezvous pin is released only by `sent[m]`, which the next
         // start() observes before resetting the storage.
         let data = unsafe { s.storage.ready_slice(byte_off, spec.bytes) };
+        // Marked before the fabric sees the pointer: teardown must drain
+        // `sent[m]` whenever the fabric might hold a reference.
+        s.issued[m].store(true, Ordering::Release);
         s.comm.fabric().send_raw_signal(
             s.dst,
             shard,
@@ -580,7 +728,12 @@ impl PsendRequest {
                 "legacy wait requires all partitions ready"
             );
             let t_cts = trace.now_ns();
-            s.cts_done.wait();
+            s.comm.fabric().wait_on(&s.cts_done, s.comm.rank(), || {
+                (
+                    format!("partitioned send CTS wait(dst={})", s.dst),
+                    Some(TAG_CTS),
+                )
+            });
             trace.emit_span(t_cts, rank, |start, dur| {
                 EventKind::CtsWait {
                     peer: s.dst as u16,
@@ -591,6 +744,7 @@ impl PsendRequest {
             let total = s.n_parts * s.part_bytes;
             // SAFETY: all partitions READY; exclusive until reset.
             let data = unsafe { s.storage.ready_slice(0, total) };
+            s.issued[0].store(true, Ordering::Release);
             s.comm.fabric().send_raw_signal(
                 s.dst,
                 s.comm.shard(),
@@ -600,7 +754,12 @@ impl PsendRequest {
                 data,
                 &s.sent[0],
             );
-            s.sent[0].wait();
+            s.comm.fabric().wait_on(&s.sent[0], s.comm.rank(), || {
+                (
+                    format!("partitioned send data wait(dst={})", s.dst),
+                    Some(TAG_DATA),
+                )
+            });
         } else {
             if s.defer_sends {
                 for m in 0..s.layout.n_msgs() {
@@ -614,8 +773,13 @@ impl PsendRequest {
             }
             // `sent[m]` covers both "issued" and "buffer reusable":
             // eager sends set it at injection, rendezvous on remote copy.
-            for sent in &s.sent {
-                sent.wait();
+            for (m, sent) in s.sent.iter().enumerate() {
+                s.comm.fabric().wait_on(sent, s.comm.rank(), || {
+                    (
+                        format!("partitioned send wait(dst={}, msg={m})", s.dst),
+                        Some(m as i64),
+                    )
+                });
             }
         }
         trace.emit_span(t_wait, rank, |start, dur| {
@@ -647,6 +811,20 @@ struct PrecvShared {
     /// Persistent envelope slots handed to the fabric with each post.
     infos: Vec<Arc<Mutex<Option<MsgInfo>>>>,
     started: AtomicBool,
+}
+
+impl Drop for PrecvShared {
+    fn drop(&mut self) {
+        // Dropped mid-iteration: every posted receive holds a raw
+        // pointer into `storage` — drain the arrival signals
+        // (abort-aware) before the buffer is freed. Signals the
+        // iteration never re-armed are still set and drain instantly.
+        if self.started.load(Ordering::Acquire) {
+            for arrived in &self.arrived {
+                self.comm.fabric().drain_completion(arrived);
+            }
+        }
+    }
 }
 
 /// Receiver-side partitioned request.
@@ -739,14 +917,36 @@ impl PrecvRequest {
     /// (before the first `start()` or after `wait()`) reports `true`, the
     /// MPI convention for inactive persistent requests.
     pub fn parrived(&self, p: usize) -> bool {
+        match self.try_parrived(p) {
+            Ok(arrived) => arrived,
+            Err(err) => {
+                self.inner.comm.fabric().fail(err);
+                panic_any(RankAborted);
+            }
+        }
+    }
+
+    /// Fallible [`PrecvRequest::parrived`]: an out-of-range partition
+    /// returns [`PcommError::Misuse`] instead of aborting, and the
+    /// request stays usable. The success path is identical to
+    /// `parrived` — one bounds check, one table lookup, one atomic load.
+    pub fn try_parrived(&self, p: usize) -> Result<bool, PcommError> {
         let s = &self.inner;
-        assert!(p < s.n_parts, "partition out of range");
+        if p >= s.n_parts {
+            return Err(PcommError::misuse(
+                s.comm.rank(),
+                format!(
+                    "parrived({p}) out of range: request has {} partitions",
+                    s.n_parts
+                ),
+            ));
+        }
         let m = if s.legacy {
             0
         } else {
             s.layout.msg_of_rpart(p)
         };
-        s.arrived[m].is_set()
+        Ok(s.arrived[m].is_set())
     }
 
     /// `MPI_Wait`: block until every internal message landed.
@@ -757,7 +957,12 @@ impl PrecvRequest {
         let t_wait = trace.now_ns();
         let n = if s.legacy { 1 } else { s.layout.n_msgs() };
         for m in 0..n {
-            s.arrived[m].wait();
+            s.comm.fabric().wait_on(&s.arrived[m], s.comm.rank(), || {
+                (
+                    format!("partitioned recv wait(src={}, msg={m})", s.src),
+                    Some(m as i64),
+                )
+            });
         }
         trace.emit_span(t_wait, s.comm.rank() as u16, |start, dur| {
             EventKind::PartWait {
@@ -806,116 +1011,126 @@ mod tests {
 
     #[test]
     fn roundtrip_with_data_integrity() {
-        Universe::new(2).with_shards(4).run(|comm| {
-            let n = 8;
-            let bytes = 256;
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, n, bytes, opts());
-                ps.start();
-                for p in 0..n {
-                    ps.write_partition(p, |b| b.fill(p as u8 + 1));
-                    ps.pready(p);
+        Universe::new(2)
+            .with_shards(4)
+            .run(|comm| {
+                let n = 8;
+                let bytes = 256;
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, n, bytes, opts());
+                    ps.start();
+                    for p in 0..n {
+                        ps.write_partition(p, |b| b.fill(p as u8 + 1));
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, n, bytes, opts());
+                    pr.start();
+                    pr.wait();
+                    for p in 0..n {
+                        assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 1));
+                    }
                 }
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, n, bytes, opts());
-                pr.start();
-                pr.wait();
-                for p in 0..n {
-                    assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 1));
-                }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn multithreaded_preadys_from_worker_threads() {
-        Universe::new(2).with_shards(4).run(|comm| {
-            let n_threads = 4;
-            let theta = 4;
-            let n = n_threads * theta;
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, n, 64, opts());
-                for _iter in 0..5 {
-                    ps.start();
-                    std::thread::scope(|s| {
-                        for t in 0..n_threads {
-                            let ps = ps.clone();
-                            s.spawn(move || {
-                                for j in 0..theta {
-                                    let p = t + j * n_threads;
-                                    ps.write_partition(p, |b| b.fill(p as u8));
-                                    ps.pready(p);
-                                }
-                            });
+        Universe::new(2)
+            .with_shards(4)
+            .run(|comm| {
+                let n_threads = 4;
+                let theta = 4;
+                let n = n_threads * theta;
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, n, 64, opts());
+                    for _iter in 0..5 {
+                        ps.start();
+                        std::thread::scope(|s| {
+                            for t in 0..n_threads {
+                                let ps = ps.clone();
+                                s.spawn(move || {
+                                    for j in 0..theta {
+                                        let p = t + j * n_threads;
+                                        ps.write_partition(p, |b| b.fill(p as u8));
+                                        ps.pready(p);
+                                    }
+                                });
+                            }
+                        });
+                        ps.wait();
+                    }
+                } else {
+                    let pr = comm.precv_init(0, 0, n, 64, opts());
+                    for _iter in 0..5 {
+                        pr.start();
+                        pr.wait();
+                        for p in 0..n {
+                            assert!(pr.partition(p).iter().all(|&x| x == p as u8));
                         }
-                    });
-                    ps.wait();
-                }
-            } else {
-                let pr = comm.precv_init(0, 0, n, 64, opts());
-                for _iter in 0..5 {
-                    pr.start();
-                    pr.wait();
-                    for p in 0..n {
-                        assert!(pr.partition(p).iter().all(|&x| x == p as u8));
                     }
                 }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn aggregation_reduces_message_count() {
-        Universe::new(2).run(|comm| {
-            let o = PartOptions {
-                aggr_size: Some(4096),
-                ..PartOptions::default()
-            };
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 32, 512, o);
-                assert_eq!(ps.n_msgs(), 4);
-                ps.start();
-                for p in 0..32 {
-                    ps.pready(p);
+        Universe::new(2)
+            .run(|comm| {
+                let o = PartOptions {
+                    aggr_size: Some(4096),
+                    ..PartOptions::default()
+                };
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 32, 512, o);
+                    assert_eq!(ps.n_msgs(), 4);
+                    ps.start();
+                    for p in 0..32 {
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 32, 512, o);
+                    assert_eq!(pr.n_msgs(), 4);
+                    pr.start();
+                    pr.wait();
                 }
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, 32, 512, o);
-                assert_eq!(pr.n_msgs(), 4);
-                pr.start();
-                pr.wait();
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn early_bird_parrived_before_last_pready() {
         use std::sync::atomic::AtomicBool;
         static SAW_EARLY: AtomicBool = AtomicBool::new(false);
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 2, 128, opts());
-                ps.start();
-                ps.pready(0);
-                // Give the receiver time to observe partition 0.
-                std::thread::sleep(std::time::Duration::from_millis(30));
-                ps.pready(1);
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, 2, 128, opts());
-                pr.start();
-                // Poll for the early partition while the last is delayed.
-                let t0 = std::time::Instant::now();
-                while !pr.parrived(0) && t0.elapsed().as_millis() < 25 {
-                    std::hint::spin_loop();
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 128, opts());
+                    ps.start();
+                    ps.pready(0);
+                    // Give the receiver time to observe partition 0.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    ps.pready(1);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 2, 128, opts());
+                    pr.start();
+                    // Poll for the early partition while the last is delayed.
+                    let t0 = std::time::Instant::now();
+                    while !pr.parrived(0) && t0.elapsed().as_millis() < 25 {
+                        std::hint::spin_loop();
+                    }
+                    if pr.parrived(0) && !pr.parrived(1) {
+                        SAW_EARLY.store(true, Ordering::SeqCst);
+                    }
+                    pr.wait();
                 }
-                if pr.parrived(0) && !pr.parrived(1) {
-                    SAW_EARLY.store(true, Ordering::SeqCst);
-                }
-                pr.wait();
-            }
-        });
+            })
+            .unwrap();
         assert!(
             SAW_EARLY.load(Ordering::SeqCst),
             "partition 0 should arrive while partition 1 is still delayed"
@@ -924,305 +1139,198 @@ mod tests {
 
     #[test]
     fn legacy_single_message_roundtrip() {
-        Universe::new(2).run(|comm| {
-            let o = PartOptions {
-                legacy_single_message: true,
-                ..PartOptions::default()
-            };
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 4, 128, o);
-                for _ in 0..3 {
-                    ps.start();
-                    for p in 0..4 {
-                        ps.write_partition(p, |b| b.fill(9));
-                        ps.pready(p);
+        Universe::new(2)
+            .run(|comm| {
+                let o = PartOptions {
+                    legacy_single_message: true,
+                    ..PartOptions::default()
+                };
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 4, 128, o);
+                    for _ in 0..3 {
+                        ps.start();
+                        for p in 0..4 {
+                            ps.write_partition(p, |b| b.fill(9));
+                            ps.pready(p);
+                        }
+                        ps.wait();
                     }
-                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 4, 128, o);
+                    for _ in 0..3 {
+                        pr.start();
+                        pr.wait();
+                        assert!(pr.partition(3).iter().all(|&x| x == 9));
+                    }
                 }
-            } else {
-                let pr = comm.precv_init(0, 0, 4, 128, o);
-                for _ in 0..3 {
-                    pr.start();
-                    pr.wait();
-                    assert!(pr.partition(3).iter().all(|&x| x == 9));
-                }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn rendezvous_sized_partitions() {
-        Universe::new(2).with_eager_max(1024).run(|comm| {
-            let bytes = 16 * 1024; // above eager_max → zcopy path
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 4, bytes, opts());
-                ps.start();
-                for p in 0..4 {
-                    ps.write_partition(p, |b| b.fill(p as u8 + 10));
-                    ps.pready(p);
-                }
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, 4, bytes, opts());
-                pr.start();
-                pr.wait();
-                for p in 0..4 {
-                    assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 10));
-                }
-            }
-        });
-    }
-
-    #[test]
-    #[should_panic(expected = "rank thread panicked")]
-    fn write_after_ready_panics() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 2, 64, opts());
-                ps.start();
-                ps.pready(0);
-                ps.write_partition(0, |b| b.fill(1));
-            } else {
-                // Keep rank 1 passive; messages park unexpected.
-            }
-        });
-    }
-
-    #[test]
-    fn pready_range_and_list() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 8, 64, PartOptions::default());
-                ps.start();
-                ps.pready_range(0, 3);
-                ps.pready_list(&[6, 4, 7, 5]);
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, 8, 64, PartOptions::default());
-                pr.start();
-                pr.wait();
-            }
-        });
-    }
-
-    #[test]
-    fn mismatched_partition_counts_use_gcd() {
-        // 12 sender partitions of 100 B vs 8 receiver partitions of 150 B:
-        // gcd = 4 messages of 300 B; data lands bit-exact.
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.psend_init_general(1, 0, 12, 100, 8, PartOptions::default());
-                assert_eq!(ps.n_msgs(), 4);
-                ps.start();
-                for p in 0..12 {
-                    ps.write_partition(p, |b| {
-                        for (i, x) in b.iter_mut().enumerate() {
-                            *x = ((p * 100 + i) % 251) as u8;
-                        }
-                    });
-                    ps.pready(p);
-                }
-                ps.wait();
-            } else {
-                let pr = comm.precv_init_general(0, 0, 8, 150, 12, 100, PartOptions::default());
-                assert_eq!(pr.n_msgs(), 4);
-                pr.start();
-                pr.wait();
-                // Receiver partition r covers global bytes [150r, 150r+150).
-                for r in 0..8 {
-                    let data = pr.partition(r);
-                    for (i, &x) in data.iter().enumerate() {
-                        let g = r * 150 + i; // global byte index
-                        assert_eq!(x as usize, g % 251, "recv part {r} byte {i}");
+        Universe::new(2)
+            .with_eager_max(1024)
+            .run(|comm| {
+                let bytes = 16 * 1024; // above eager_max → zcopy path
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 4, bytes, opts());
+                    ps.start();
+                    for p in 0..4 {
+                        ps.write_partition(p, |b| b.fill(p as u8 + 10));
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 4, bytes, opts());
+                    pr.start();
+                    pr.wait();
+                    for p in 0..4 {
+                        assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 10));
                     }
                 }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
-    fn mismatched_counts_with_aggregation() {
-        Universe::new(2).run(|comm| {
-            let opts = PartOptions {
-                aggr_size: Some(600),
-                ..PartOptions::default()
-            };
-            if comm.rank() == 0 {
-                let ps = comm.psend_init_general(1, 0, 12, 100, 8, opts.clone());
-                // 4 base messages of 300 B aggregate pairwise under 600 B.
-                assert_eq!(ps.n_msgs(), 2);
-                ps.start();
-                for p in 0..12 {
-                    ps.write_partition(p, |b| b.fill(p as u8));
-                    ps.pready(p);
+    fn write_after_ready_is_misuse() {
+        let err = Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 64, opts());
+                    ps.start();
+                    ps.pready(0);
+                    ps.write_partition(0, |b| b.fill(1));
+                } else {
+                    // Keep rank 1 passive; messages park unexpected.
                 }
-                ps.wait();
-            } else {
-                let pr = comm.precv_init_general(0, 0, 8, 150, 12, 100, opts);
-                assert_eq!(pr.n_msgs(), 2);
-                pr.start();
-                pr.wait();
-                // Global byte g belongs to sender partition g / 100.
-                for r in 0..8 {
-                    for (i, &x) in pr.partition(r).iter().enumerate() {
-                        let g = r * 150 + i;
-                        assert_eq!(x as usize, g / 100, "recv part {r} byte {i}");
-                    }
+            })
+            .unwrap_err();
+        match err {
+            crate::PcommError::Misuse { rank, detail } => {
+                assert_eq!(rank, Some(0));
+                assert!(detail.contains("already readied"), "{detail}");
+            }
+            other => panic!("expected Misuse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_pready_is_misuse_and_leaves_request_usable() {
+        // try_pready reports the duplicate without touching the message
+        // counters: the iteration still completes and the data is intact.
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 64, opts());
+                    ps.start();
+                    ps.write_partition(0, |b| b.fill(7));
+                    ps.pready(0);
+                    let err = ps.try_pready(0).unwrap_err();
+                    assert!(
+                        matches!(&err, crate::PcommError::Misuse { rank: Some(0), detail }
+                            if detail.contains("readied twice")),
+                        "{err:?}"
+                    );
+                    ps.write_partition(1, |b| b.fill(8));
+                    ps.pready(1);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 2, 64, opts());
+                    pr.start();
+                    pr.wait();
+                    assert!(pr.partition(0).iter().all(|&x| x == 7));
+                    assert!(pr.partition(1).iter().all(|&x| x == 8));
                 }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
-    fn thread_hint_roundtrip_with_block_assignment() {
-        // Block partition→thread ownership (the θ>1 layout §3.2.2 warns
-        // about): the stream hint keeps each thread on its own shard.
-        let n_threads = 2;
-        let theta = 4;
-        let n = n_threads * theta;
-        let hint: Arc<Vec<usize>> = Arc::new((0..n).map(|p| p / theta).collect());
-        Universe::new(2).with_shards(2).run(|comm| {
-            let opts = PartOptions {
-                thread_hint: Some(Arc::clone(&hint)),
-                ..PartOptions::default()
-            };
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, n, 128, opts);
-                ps.start();
-                std::thread::scope(|s| {
-                    for t in 0..n_threads {
-                        let ps = ps.clone();
-                        s.spawn(move || {
-                            for j in 0..theta {
-                                let p = t * theta + j; // block ownership
-                                ps.write_partition(p, |b| b.fill(p as u8 + 1));
-                                ps.pready(p);
-                            }
-                        });
-                    }
-                });
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, n, 128, opts);
-                pr.start();
-                pr.wait();
-                for p in 0..n {
-                    assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 1));
+    fn inactive_pready_is_misuse() {
+        let err = Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 64, opts());
+                    // Not started: MPI forbids pready on an inactive
+                    // request.
+                    ps.pready(0);
                 }
+            })
+            .unwrap_err();
+        match err {
+            crate::PcommError::Misuse { rank, detail } => {
+                assert_eq!(rank, Some(0));
+                assert!(detail.contains("inactive"), "{detail}");
             }
-        });
+            other => panic!("expected Misuse, got {other:?}"),
+        }
     }
 
     #[test]
-    fn deferred_sends_arrive_only_at_wait() {
-        Universe::new(2).run(|comm| {
-            let opts = PartOptions {
-                defer_sends: true,
-                ..PartOptions::default()
-            };
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 2, 64, opts);
-                ps.start();
-                ps.pready(0);
-                // Give the receiver time to (not) observe partition 0.
-                std::thread::sleep(std::time::Duration::from_millis(30));
-                ps.pready(1);
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, 2, 64, opts);
-                pr.start();
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                assert!(
-                    !pr.parrived(0),
-                    "deferred mode must not deliver before wait"
-                );
-                pr.wait();
-            }
-        });
-    }
-
-    #[test]
-    fn parrived_probe_takes_no_locks() {
-        // Acceptance check for the atomics-first hot path: once a
-        // partition has arrived, probing it is a table lookup plus one
-        // atomic load — zero runtime-mutex acquisitions on the probing
-        // thread, and every probe lands on the completion fast path.
-        Universe::new(2).run(|comm| {
-            const N: usize = 4;
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, N, 64, opts());
-                ps.start();
-                for p in 0..N {
-                    ps.pready(p);
+    fn out_of_range_pready_range_is_misuse_and_recoverable() {
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 4, 64, opts());
+                    ps.start();
+                    // 2..=5 walks off the end: partitions 2 and 3 are
+                    // readied, 4 is rejected before any counter moves.
+                    let err = ps.try_pready_range(2, 5).unwrap_err();
+                    assert!(
+                        matches!(&err, crate::PcommError::Misuse { rank: Some(0), detail }
+                            if detail.contains("out of range")),
+                        "{err:?}"
+                    );
+                    assert!(ps
+                        .try_pready_range(5, 2)
+                        .unwrap_err()
+                        .to_string()
+                        .contains("inverted"));
+                    // The iteration is intact: finish the valid ones.
+                    ps.pready_range(0, 1);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 4, 64, opts());
+                    pr.start();
+                    pr.wait();
                 }
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, N, 64, opts());
-                pr.start();
-                while !(0..N).all(|p| pr.parrived(p)) {
-                    std::hint::spin_loop();
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn out_of_range_parrived_is_misuse_and_recoverable() {
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 64, opts());
+                    ps.start();
+                    ps.pready_range(0, 1);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 2, 64, opts());
+                    pr.start();
+                    let err = pr.try_parrived(99).unwrap_err();
+                    assert!(
+                        matches!(&err, crate::PcommError::Misuse { rank: Some(1), detail }
+                            if detail.contains("out of range")),
+                        "{err:?}"
+                    );
+                    // Probing misuse does not disturb the iteration.
+                    pr.wait();
+                    assert!(pr.try_parrived(1).unwrap());
                 }
-                let before = crate::hotpath::thread_stats();
-                for i in 0..1000 {
-                    assert!(pr.parrived(i % N));
-                }
-                let after = crate::hotpath::thread_stats();
-                assert_eq!(
-                    after.mutex_locks, before.mutex_locks,
-                    "parrived hit path must take no runtime mutex"
-                );
-                assert_eq!(
-                    after.completion_fast_probes - before.completion_fast_probes,
-                    1000,
-                    "every probe must use the single-load fast path"
-                );
-                pr.wait();
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
-    fn parrived_true_on_inactive_request() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 2, 32, opts());
-                ps.start();
-                ps.pready_range(0, 1);
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, 2, 32, opts());
-                // Inactive (never started): MPI reports complete.
-                assert!(pr.parrived(0) && pr.parrived(1));
-                pr.start();
-                pr.wait();
-                // Inactive again after wait().
-                assert!(pr.parrived(0) && pr.parrived(1));
-            }
-        });
-    }
-
-    #[test]
-    fn pready_range_single_partition_and_empty_list() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 4, 32, opts());
-                ps.start();
-                ps.pready_list(&[]); // no-op, must not complete anything
-                ps.pready_range(2, 2); // lo == hi: exactly one partition
-                ps.pready_range(0, 1);
-                ps.pready(3);
-                ps.wait();
-            } else {
-                let pr = comm.precv_init(0, 0, 4, 32, opts());
-                pr.start();
-                pr.wait();
-            }
-        });
-    }
-
-    #[test]
-    fn pready_range_all_partitions_one_call() {
-        Universe::new(2).run(|comm| {
+    fn pready_jitter_permutes_issue_order_and_data_survives() {
+        use pcomm_trace::FaultKind;
+        let plan = crate::FaultPlan::seeded(11).jitter(true);
+        let (out, data) = Universe::new(2).with_fault_plan(plan).run_traced(|comm| {
             let n = 16;
             if comm.rank() == 0 {
                 let ps = comm.psend_init(1, 0, n, 64, opts());
@@ -1245,70 +1353,368 @@ mod tests {
                 }
             }
         });
+        out.unwrap();
+        let jitters = data
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    pcomm_trace::EventKind::FaultInjected {
+                        fault: FaultKind::PreadyJitter,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(jitters, 3, "one jitter permutation per pready_range");
+    }
+
+    #[test]
+    fn pready_range_and_list() {
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 8, 64, PartOptions::default());
+                    ps.start();
+                    ps.pready_range(0, 3);
+                    ps.pready_list(&[6, 4, 7, 5]);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 8, 64, PartOptions::default());
+                    pr.start();
+                    pr.wait();
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn mismatched_partition_counts_use_gcd() {
+        // 12 sender partitions of 100 B vs 8 receiver partitions of 150 B:
+        // gcd = 4 messages of 300 B; data lands bit-exact.
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init_general(1, 0, 12, 100, 8, PartOptions::default());
+                    assert_eq!(ps.n_msgs(), 4);
+                    ps.start();
+                    for p in 0..12 {
+                        ps.write_partition(p, |b| {
+                            for (i, x) in b.iter_mut().enumerate() {
+                                *x = ((p * 100 + i) % 251) as u8;
+                            }
+                        });
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init_general(0, 0, 8, 150, 12, 100, PartOptions::default());
+                    assert_eq!(pr.n_msgs(), 4);
+                    pr.start();
+                    pr.wait();
+                    // Receiver partition r covers global bytes [150r, 150r+150).
+                    for r in 0..8 {
+                        let data = pr.partition(r);
+                        for (i, &x) in data.iter().enumerate() {
+                            let g = r * 150 + i; // global byte index
+                            assert_eq!(x as usize, g % 251, "recv part {r} byte {i}");
+                        }
+                    }
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn mismatched_counts_with_aggregation() {
+        Universe::new(2)
+            .run(|comm| {
+                let opts = PartOptions {
+                    aggr_size: Some(600),
+                    ..PartOptions::default()
+                };
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init_general(1, 0, 12, 100, 8, opts.clone());
+                    // 4 base messages of 300 B aggregate pairwise under 600 B.
+                    assert_eq!(ps.n_msgs(), 2);
+                    ps.start();
+                    for p in 0..12 {
+                        ps.write_partition(p, |b| b.fill(p as u8));
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init_general(0, 0, 8, 150, 12, 100, opts);
+                    assert_eq!(pr.n_msgs(), 2);
+                    pr.start();
+                    pr.wait();
+                    // Global byte g belongs to sender partition g / 100.
+                    for r in 0..8 {
+                        for (i, &x) in pr.partition(r).iter().enumerate() {
+                            let g = r * 150 + i;
+                            assert_eq!(x as usize, g / 100, "recv part {r} byte {i}");
+                        }
+                    }
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn thread_hint_roundtrip_with_block_assignment() {
+        // Block partition→thread ownership (the θ>1 layout §3.2.2 warns
+        // about): the stream hint keeps each thread on its own shard.
+        let n_threads = 2;
+        let theta = 4;
+        let n = n_threads * theta;
+        let hint: Arc<Vec<usize>> = Arc::new((0..n).map(|p| p / theta).collect());
+        Universe::new(2)
+            .with_shards(2)
+            .run(|comm| {
+                let opts = PartOptions {
+                    thread_hint: Some(Arc::clone(&hint)),
+                    ..PartOptions::default()
+                };
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, n, 128, opts);
+                    ps.start();
+                    std::thread::scope(|s| {
+                        for t in 0..n_threads {
+                            let ps = ps.clone();
+                            s.spawn(move || {
+                                for j in 0..theta {
+                                    let p = t * theta + j; // block ownership
+                                    ps.write_partition(p, |b| b.fill(p as u8 + 1));
+                                    ps.pready(p);
+                                }
+                            });
+                        }
+                    });
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, n, 128, opts);
+                    pr.start();
+                    pr.wait();
+                    for p in 0..n {
+                        assert!(pr.partition(p).iter().all(|&x| x == p as u8 + 1));
+                    }
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn deferred_sends_arrive_only_at_wait() {
+        Universe::new(2)
+            .run(|comm| {
+                let opts = PartOptions {
+                    defer_sends: true,
+                    ..PartOptions::default()
+                };
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 64, opts);
+                    ps.start();
+                    ps.pready(0);
+                    // Give the receiver time to (not) observe partition 0.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    ps.pready(1);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 2, 64, opts);
+                    pr.start();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    assert!(
+                        !pr.parrived(0),
+                        "deferred mode must not deliver before wait"
+                    );
+                    pr.wait();
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn parrived_probe_takes_no_locks() {
+        // Acceptance check for the atomics-first hot path: once a
+        // partition has arrived, probing it is a table lookup plus one
+        // atomic load — zero runtime-mutex acquisitions on the probing
+        // thread, and every probe lands on the completion fast path.
+        Universe::new(2)
+            .run(|comm| {
+                const N: usize = 4;
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, N, 64, opts());
+                    ps.start();
+                    for p in 0..N {
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, N, 64, opts());
+                    pr.start();
+                    while !(0..N).all(|p| pr.parrived(p)) {
+                        std::hint::spin_loop();
+                    }
+                    let before = crate::hotpath::thread_stats();
+                    for i in 0..1000 {
+                        assert!(pr.parrived(i % N));
+                    }
+                    let after = crate::hotpath::thread_stats();
+                    assert_eq!(
+                        after.mutex_locks, before.mutex_locks,
+                        "parrived hit path must take no runtime mutex"
+                    );
+                    assert_eq!(
+                        after.completion_fast_probes - before.completion_fast_probes,
+                        1000,
+                        "every probe must use the single-load fast path"
+                    );
+                    pr.wait();
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn parrived_true_on_inactive_request() {
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 32, opts());
+                    ps.start();
+                    ps.pready_range(0, 1);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 2, 32, opts());
+                    // Inactive (never started): MPI reports complete.
+                    assert!(pr.parrived(0) && pr.parrived(1));
+                    pr.start();
+                    pr.wait();
+                    // Inactive again after wait().
+                    assert!(pr.parrived(0) && pr.parrived(1));
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn pready_range_single_partition_and_empty_list() {
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 4, 32, opts());
+                    ps.start();
+                    ps.pready_list(&[]); // no-op, must not complete anything
+                    ps.pready_range(2, 2); // lo == hi: exactly one partition
+                    ps.pready_range(0, 1);
+                    ps.pready(3);
+                    ps.wait();
+                } else {
+                    let pr = comm.precv_init(0, 0, 4, 32, opts());
+                    pr.start();
+                    pr.wait();
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn pready_range_all_partitions_one_call() {
+        Universe::new(2)
+            .run(|comm| {
+                let n = 16;
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, n, 64, opts());
+                    for it in 0..3u8 {
+                        ps.start();
+                        for p in 0..n {
+                            ps.write_partition(p, |b| b.fill(it ^ p as u8));
+                        }
+                        ps.pready_range(0, n - 1);
+                        ps.wait();
+                    }
+                } else {
+                    let pr = comm.precv_init(0, 0, n, 64, opts());
+                    for it in 0..3u8 {
+                        pr.start();
+                        pr.wait();
+                        for p in 0..n {
+                            assert!(pr.partition(p).iter().all(|&x| x == it ^ p as u8));
+                        }
+                    }
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn multithreaded_pready_ranges() {
         // Worker threads each ready their own block via pready_range;
         // ranges race on the shared per-message counters.
-        Universe::new(2).with_shards(4).run(|comm| {
-            let n_threads = 4;
-            let theta = 8;
-            let n = n_threads * theta;
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, n, 32, opts());
-                for _it in 0..5 {
-                    ps.start();
-                    std::thread::scope(|s| {
-                        for t in 0..n_threads {
-                            let ps = ps.clone();
-                            s.spawn(move || {
-                                let lo = t * theta;
-                                for p in lo..lo + theta {
-                                    ps.write_partition(p, |b| b.fill(p as u8));
-                                }
-                                ps.pready_range(lo, lo + theta - 1);
-                            });
+        Universe::new(2)
+            .with_shards(4)
+            .run(|comm| {
+                let n_threads = 4;
+                let theta = 8;
+                let n = n_threads * theta;
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, n, 32, opts());
+                    for _it in 0..5 {
+                        ps.start();
+                        std::thread::scope(|s| {
+                            for t in 0..n_threads {
+                                let ps = ps.clone();
+                                s.spawn(move || {
+                                    let lo = t * theta;
+                                    for p in lo..lo + theta {
+                                        ps.write_partition(p, |b| b.fill(p as u8));
+                                    }
+                                    ps.pready_range(lo, lo + theta - 1);
+                                });
+                            }
+                        });
+                        ps.wait();
+                    }
+                } else {
+                    let pr = comm.precv_init(0, 0, n, 32, opts());
+                    for _it in 0..5 {
+                        pr.start();
+                        pr.wait();
+                        for p in 0..n {
+                            assert!(pr.partition(p).iter().all(|&x| x == p as u8));
                         }
-                    });
-                    ps.wait();
-                }
-            } else {
-                let pr = comm.precv_init(0, 0, n, 32, opts());
-                for _it in 0..5 {
-                    pr.start();
-                    pr.wait();
-                    for p in 0..n {
-                        assert!(pr.partition(p).iter().all(|&x| x == p as u8));
                     }
                 }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn reuse_many_iterations_data_fresh() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let ps = comm.psend_init(1, 0, 2, 32, opts());
-                for it in 0..10u8 {
-                    ps.start();
-                    for p in 0..2 {
-                        ps.write_partition(p, |b| b.fill(it * 2 + p as u8));
-                        ps.pready(p);
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let ps = comm.psend_init(1, 0, 2, 32, opts());
+                    for it in 0..10u8 {
+                        ps.start();
+                        for p in 0..2 {
+                            ps.write_partition(p, |b| b.fill(it * 2 + p as u8));
+                            ps.pready(p);
+                        }
+                        ps.wait();
                     }
-                    ps.wait();
-                }
-            } else {
-                let pr = comm.precv_init(0, 0, 2, 32, opts());
-                for it in 0..10u8 {
-                    pr.start();
-                    pr.wait();
-                    for p in 0..2 {
-                        assert!(pr.partition(p).iter().all(|&x| x == it * 2 + p as u8));
+                } else {
+                    let pr = comm.precv_init(0, 0, 2, 32, opts());
+                    for it in 0..10u8 {
+                        pr.start();
+                        pr.wait();
+                        for p in 0..2 {
+                            assert!(pr.partition(p).iter().all(|&x| x == it * 2 + p as u8));
+                        }
                     }
                 }
-            }
-        });
+            })
+            .unwrap();
     }
 }

@@ -80,7 +80,7 @@ impl Comm {
     /// Both ranks must call in the same creation order.
     pub fn win_create_origin(&self, target: usize, len: usize) -> WinOrigin {
         let ctx = self.win_ctx();
-        let mem = self.fabric().attach_win(ctx);
+        let mem = self.fabric().attach_win(ctx, self.rank());
         assert_eq!(mem.len(), len, "window size mismatch between ranks");
         let shard = self.fabric().shard_of_ctx(ctx);
         WinOrigin {
@@ -261,162 +261,182 @@ mod tests {
 
     #[test]
     fn active_epoch_put_roundtrip() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let win = comm.win_create_origin(1, 256);
-                win.start_epoch();
-                win.put(0, &[1, 2, 3]);
-                win.put(100, &[9; 10]);
-                win.complete_epoch();
-            } else {
-                let win = comm.win_create_target(0, 256);
-                win.post();
-                win.wait_epoch();
-                win.read(|b| {
-                    assert_eq!(&b[..3], &[1, 2, 3]);
-                    assert_eq!(&b[100..110], &[9; 10]);
-                    assert_eq!(b[50], 0);
-                });
-            }
-        });
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let win = comm.win_create_origin(1, 256);
+                    win.start_epoch();
+                    win.put(0, &[1, 2, 3]);
+                    win.put(100, &[9; 10]);
+                    win.complete_epoch();
+                } else {
+                    let win = comm.win_create_target(0, 256);
+                    win.post();
+                    win.wait_epoch();
+                    win.read(|b| {
+                        assert_eq!(&b[..3], &[1, 2, 3]);
+                        assert_eq!(&b[100..110], &[9; 10]);
+                        assert_eq!(b[50], 0);
+                    });
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn epochs_reusable_across_iterations() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let win = comm.win_create_origin(1, 64);
-                for it in 0..10u8 {
-                    win.start_epoch();
-                    win.put(0, &[it; 64]);
-                    win.complete_epoch();
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let win = comm.win_create_origin(1, 64);
+                    for it in 0..10u8 {
+                        win.start_epoch();
+                        win.put(0, &[it; 64]);
+                        win.complete_epoch();
+                    }
+                } else {
+                    let win = comm.win_create_target(0, 64);
+                    for it in 0..10u8 {
+                        win.post();
+                        win.wait_epoch();
+                        win.read(|b| assert!(b.iter().all(|&x| x == it)));
+                    }
                 }
-            } else {
-                let win = comm.win_create_target(0, 64);
-                for it in 0..10u8 {
-                    win.post();
-                    win.wait_epoch();
-                    win.read(|b| assert!(b.iter().all(|&x| x == it)));
-                }
-            }
-        });
+            })
+            .unwrap();
     }
 
     #[test]
     fn passive_puts_with_explicit_exposure() {
         // The paper's passive pattern: exposure via 0B messages.
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let win = comm.win_create_origin(1, 128);
-                win.lock();
-                let mut b = [0u8; 1];
-                comm.recv_into(Some(1), Some(50), &mut b); // exposure
-                win.put(0, &[7; 128]);
-                win.flush();
-                comm.send(1, 51, &[0]); // done
-                win.unlock();
-            } else {
-                let win = comm.win_create_target(0, 128);
-                comm.send(0, 50, &[0]); // expose
-                let mut b = [0u8; 1];
-                comm.recv_into(Some(0), Some(51), &mut b); // done
-                win.read(|buf| assert!(buf.iter().all(|&x| x == 7)));
-            }
-        });
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let win = comm.win_create_origin(1, 128);
+                    win.lock();
+                    let mut b = [0u8; 1];
+                    comm.recv_into(Some(1), Some(50), &mut b); // exposure
+                    win.put(0, &[7; 128]);
+                    win.flush();
+                    comm.send(1, 51, &[0]); // done
+                    win.unlock();
+                } else {
+                    let win = comm.win_create_target(0, 128);
+                    comm.send(0, 50, &[0]); // expose
+                    let mut b = [0u8; 1];
+                    comm.recv_into(Some(0), Some(51), &mut b); // done
+                    win.read(|buf| assert!(buf.iter().all(|&x| x == 7)));
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn get_reads_target_memory() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let win = comm.win_create_origin(1, 64);
-                win.start_epoch(); // target filled its window before post
-                let mut buf = [0u8; 16];
-                win.get(8, &mut buf);
-                assert!(buf.iter().all(|&b| b == 0x5A), "get returned {buf:?}");
-                win.put(0, &[1; 4]);
-                win.complete_epoch();
-            } else {
-                let win = comm.win_create_target(0, 64);
-                // Local window fill outside any exposure epoch.
-                win.write(|b| b.fill(0x5A));
-                win.post();
-                win.wait_epoch();
-                win.read(|b| assert_eq!(&b[..4], &[1; 4]));
-            }
-        });
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let win = comm.win_create_origin(1, 64);
+                    win.start_epoch(); // target filled its window before post
+                    let mut buf = [0u8; 16];
+                    win.get(8, &mut buf);
+                    assert!(buf.iter().all(|&b| b == 0x5A), "get returned {buf:?}");
+                    win.put(0, &[1; 4]);
+                    win.complete_epoch();
+                } else {
+                    let win = comm.win_create_target(0, 64);
+                    // Local window fill outside any exposure epoch.
+                    win.write(|b| b.fill(0x5A));
+                    win.post();
+                    win.wait_epoch();
+                    win.read(|b| assert_eq!(&b[..4], &[1; 4]));
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn multithreaded_puts_disjoint_ranges() {
-        Universe::new(2).run(|comm| {
-            let n_threads = 8;
-            let chunk = 64;
-            if comm.rank() == 0 {
-                let win = Arc::new(comm.win_create_origin(1, n_threads * chunk));
-                win.start_epoch();
-                std::thread::scope(|s| {
-                    for t in 0..n_threads {
-                        let win = Arc::clone(&win);
-                        s.spawn(move || {
-                            win.put(t * chunk, &vec![t as u8 + 1; chunk]);
-                        });
-                    }
-                });
-                win.complete_epoch();
-            } else {
-                let win = comm.win_create_target(0, n_threads * chunk);
-                win.post();
-                win.wait_epoch();
-                win.read(|b| {
-                    for t in 0..n_threads {
-                        assert!(
-                            b[t * chunk..(t + 1) * chunk]
-                                .iter()
-                                .all(|&x| x == t as u8 + 1),
-                            "thread {t}'s chunk corrupted"
-                        );
-                    }
-                });
-            }
-        });
+        Universe::new(2)
+            .run(|comm| {
+                let n_threads = 8;
+                let chunk = 64;
+                if comm.rank() == 0 {
+                    let win = Arc::new(comm.win_create_origin(1, n_threads * chunk));
+                    win.start_epoch();
+                    std::thread::scope(|s| {
+                        for t in 0..n_threads {
+                            let win = Arc::clone(&win);
+                            s.spawn(move || {
+                                win.put(t * chunk, &vec![t as u8 + 1; chunk]);
+                            });
+                        }
+                    });
+                    win.complete_epoch();
+                } else {
+                    let win = comm.win_create_target(0, n_threads * chunk);
+                    win.post();
+                    win.wait_epoch();
+                    win.read(|b| {
+                        for t in 0..n_threads {
+                            assert!(
+                                b[t * chunk..(t + 1) * chunk]
+                                    .iter()
+                                    .all(|&x| x == t as u8 + 1),
+                                "thread {t}'s chunk corrupted"
+                            );
+                        }
+                    });
+                }
+            })
+            .unwrap();
     }
 
     #[test]
     fn multiple_windows_per_rank_pair() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let w1 = comm.win_create_origin(1, 16);
-                let w2 = comm.win_create_origin(1, 32);
-                w1.start_epoch();
-                w1.put(0, &[1; 16]);
-                w1.complete_epoch();
-                w2.start_epoch();
-                w2.put(0, &[2; 32]);
-                w2.complete_epoch();
-            } else {
-                let w1 = comm.win_create_target(0, 16);
-                let w2 = comm.win_create_target(0, 32);
-                w1.post();
-                w1.wait_epoch();
-                w2.post();
-                w2.wait_epoch();
-                w1.read(|b| assert!(b.iter().all(|&x| x == 1)));
-                w2.read(|b| assert!(b.iter().all(|&x| x == 2)));
-            }
-        });
+        Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let w1 = comm.win_create_origin(1, 16);
+                    let w2 = comm.win_create_origin(1, 32);
+                    w1.start_epoch();
+                    w1.put(0, &[1; 16]);
+                    w1.complete_epoch();
+                    w2.start_epoch();
+                    w2.put(0, &[2; 32]);
+                    w2.complete_epoch();
+                } else {
+                    let w1 = comm.win_create_target(0, 16);
+                    let w2 = comm.win_create_target(0, 32);
+                    w1.post();
+                    w1.wait_epoch();
+                    w2.post();
+                    w2.wait_epoch();
+                    w1.read(|b| assert!(b.iter().all(|&x| x == 1)));
+                    w2.read(|b| assert!(b.iter().all(|&x| x == 2)));
+                }
+            })
+            .unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
-    fn oversized_put_rejected() {
-        Universe::new(2).run(|comm| {
-            if comm.rank() == 0 {
-                let win = comm.win_create_origin(1, 8);
-                win.put(4, &[0; 8]);
-            } else {
-                let _win = comm.win_create_target(0, 8);
+    fn oversized_put_returns_peer_panicked() {
+        let err = Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let win = comm.win_create_origin(1, 8);
+                    win.put(4, &[0; 8]);
+                } else {
+                    let _win = comm.win_create_target(0, 8);
+                }
+            })
+            .unwrap_err();
+        match err {
+            crate::PcommError::PeerPanicked { rank, message } => {
+                assert_eq!(rank, 0);
+                assert!(message.contains("put exceeds window"), "{message}");
             }
-        });
+            other => panic!("expected PeerPanicked, got {other:?}"),
+        }
     }
 }

@@ -139,7 +139,9 @@ pub fn measure(approach: RealApproach, sc: &RealScenario) -> Vec<Duration> {
         "delays must cover partitions"
     );
     let universe = Universe::new(2).with_shards(sc.shards);
-    let mut out = universe.run(|comm| run_rank(approach, sc, comm));
+    let mut out = universe
+        .run(|comm| run_rank(approach, sc, comm))
+        .expect("measurement universe failed");
     out.pop().expect("receiver produces the timings")
 }
 

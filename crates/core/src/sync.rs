@@ -2,7 +2,8 @@
 //!
 //! [`Mutex`] and [`Condvar`] are thin std-only shims with the ergonomic
 //! (`parking_lot`-style) API the runtime uses: `lock()` returns the guard
-//! directly and `Condvar::wait` takes the guard by `&mut`. Poisoning is
+//! directly and `Condvar::wait_timeout` takes the guard by `&mut`.
+//! Poisoning is
 //! deliberately ignored — a rank thread that panics propagates its panic
 //! through `Universe::run` anyway, so poison adds no safety and would
 //! only turn clean panics into double panics. Keeping the shim here means
@@ -18,6 +19,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
+use std::time::{Duration, Instant};
 
 use crate::hotpath;
 
@@ -29,8 +31,9 @@ pub(crate) struct Mutex<T> {
 
 /// Guard returned by [`Mutex::lock`].
 ///
-/// Holds the std guard in an `Option` so [`Condvar::wait`] can take it by
-/// value (as std requires) while callers keep borrowing the wrapper.
+/// Holds the std guard in an `Option` so [`Condvar::wait_timeout`] can
+/// take it by value (as std requires) while callers keep borrowing the
+/// wrapper.
 pub(crate) struct MutexGuard<'a, T> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
@@ -76,10 +79,17 @@ impl Condvar {
         Condvar::default()
     }
 
-    /// Atomically release the lock and wait for a notification.
-    pub(crate) fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+    /// Atomically release the lock and wait for a notification, giving
+    /// up after `timeout`. Spurious wakeups are allowed either way, so
+    /// callers re-check their predicate in a loop; the timeout exists so
+    /// the loop can also poll an abort flag instead of blocking forever.
+    pub(crate) fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) {
         let inner = guard.inner.take().expect("guard already waiting");
-        guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
+        let (inner, _timed_out) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
     }
 
     /// Wake all waiters.
@@ -181,7 +191,10 @@ impl Completion {
         self.state.store(UNSET, Ordering::Release);
     }
 
-    /// Block until complete: spin-then-park.
+    /// Block until complete: spin-then-park. Production waits go through
+    /// `Fabric::wait_on` (abort-aware, built on [`Completion::wait_timeout`]);
+    /// the unbounded form remains for tests of the parking machinery.
+    #[cfg(test)]
     pub(crate) fn wait(&self) {
         if self.state.load(Ordering::Acquire) == SET {
             hotpath::count_fast_probe();
@@ -224,6 +237,61 @@ impl Completion {
     pub(crate) fn is_set(&self) -> bool {
         hotpath::count_fast_probe();
         self.state.load(Ordering::Acquire) == SET
+    }
+
+    /// Block until complete or until `timeout` elapses; `true` if the
+    /// completion is set. Same registration discipline as
+    /// [`wait`](Completion::wait) but parks with a deadline
+    /// (`park_timeout`) and deregisters its thread handle on timeout, so
+    /// an abandoned timed wait leaves no stale entry for `set` to unpark.
+    ///
+    /// This is the primitive behind the abort-aware blocking paths: the
+    /// fabric waits in short slices and checks its abort flag between
+    /// them, and the watchdog supervisor sleeps on its shutdown flag
+    /// with this instead of a bare `sleep`.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
+        if self.state.load(Ordering::Acquire) == SET {
+            hotpath::count_fast_probe();
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        for _ in 0..spin_limit() {
+            std::hint::spin_loop();
+            if self.state.load(Ordering::Acquire) == SET {
+                return true;
+            }
+        }
+        hotpath::count_slow_wait();
+        {
+            let mut ws = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+            match self
+                .state
+                .compare_exchange(UNSET, PARKED, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) | Err(PARKED) => ws.push(std::thread::current()),
+                Err(_) => return true, // SET won the race
+            }
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                // Deregister under the waiter lock. `set` drains the list
+                // *after* swapping the state, so with the lock held either
+                // the state is already SET (we won after all) or our
+                // removal is visible to any later `set`.
+                let mut ws = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+                if self.state.load(Ordering::Acquire) == SET {
+                    return true;
+                }
+                let me = std::thread::current().id();
+                ws.retain(|t| t.id() != me);
+                return false;
+            }
+            std::thread::park_timeout(deadline - now);
+            if self.state.load(Ordering::Acquire) == SET {
+                return true;
+            }
+        }
     }
 }
 
@@ -363,6 +431,51 @@ mod tests {
                 c.set();
             });
         }
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_recovers() {
+        let c = Completion::new();
+        let t0 = Instant::now();
+        assert!(!c.wait_timeout(Duration::from_millis(5)));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        // The timed-out waiter deregistered; set still works and a
+        // subsequent timed wait returns immediately.
+        c.set();
+        assert!(c.wait_timeout(Duration::from_millis(5)));
+        c.wait(); // immediate
+    }
+
+    #[test]
+    fn wait_timeout_wakes_on_set() {
+        let c = Completion::new();
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.wait_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(10));
+        let t0 = Instant::now();
+        c.set();
+        assert!(t.join().unwrap(), "waiter must observe the set");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "set must wake the parked timed waiter promptly"
+        );
+    }
+
+    #[test]
+    fn wait_timeout_mixes_with_plain_waiters() {
+        let c = Completion::new();
+        std::thread::scope(|s| {
+            let c1 = Arc::clone(&c);
+            s.spawn(move || c1.wait());
+            let c2 = Arc::clone(&c);
+            s.spawn(move || {
+                // Time out once, then block until set.
+                c2.wait_timeout(Duration::from_millis(2));
+                c2.wait();
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            c.set();
+        });
     }
 
     #[test]

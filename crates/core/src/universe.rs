@@ -1,11 +1,14 @@
 //! The [`Universe`]: spawns rank threads over a shared fabric.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use pcomm_trace::{Trace, TraceData};
+use pcomm_trace::{EventKind, FaultPlan, Trace, TraceData};
 
 use crate::comm::Comm;
+use crate::error::{panic_message, PcommError, RankAborted};
 use crate::fabric::Fabric;
+use crate::sync::Completion;
 
 /// Default eager/rendezvous switch: MPICH's shared-memory eager limit is
 /// of this order; messages above it use the zero-copy handoff path.
@@ -14,6 +17,10 @@ pub const DEFAULT_EAGER_MAX: usize = 64 * 1024;
 /// Default per-thread trace ring capacity (events retained per thread).
 pub const DEFAULT_TRACE_CAP: usize = 1 << 16;
 
+/// Watchdog deadline used automatically when a fault plan is configured
+/// but no explicit watchdog was requested: a chaos run must never hang.
+pub const DEFAULT_CHAOS_WATCHDOG_MS: u64 = 5000;
+
 /// Builder/runner for a multi-rank in-process job.
 #[derive(Debug, Clone)]
 pub struct Universe {
@@ -21,6 +28,8 @@ pub struct Universe {
     n_shards: usize,
     eager_max: usize,
     trace: Trace,
+    fault_plan: Option<FaultPlan>,
+    watchdog_ms: Option<u64>,
 }
 
 impl Universe {
@@ -32,6 +41,8 @@ impl Universe {
             n_shards: 1,
             eager_max: DEFAULT_EAGER_MAX,
             trace: Trace::disabled(),
+            fault_plan: None,
+            watchdog_ms: None,
         }
     }
 
@@ -57,33 +68,84 @@ impl Universe {
         self
     }
 
+    /// Attach a fault-injection plan: the fabric consults it at every
+    /// send/deliver point and injects seeded, reproducible drops, delays,
+    /// duplicates, reorders, and `pready` jitter. A watchdog (default
+    /// [`DEFAULT_CHAOS_WATCHDOG_MS`]) is armed automatically so an
+    /// injected fault can never hang the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Universe {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Arm the hang watchdog: if the fabric makes no progress for `ms`
+    /// milliseconds while some rank is blocked in the runtime, the run
+    /// fails with [`PcommError::Stall`] carrying a structured
+    /// [`StallReport`](crate::StallReport) instead of hanging forever.
+    pub fn with_watchdog_ms(mut self, ms: u64) -> Universe {
+        assert!(ms > 0, "watchdog deadline must be positive");
+        self.watchdog_ms = Some(ms);
+        self
+    }
+
     /// Number of ranks.
     pub fn n_ranks(&self) -> usize {
         self.n_ranks
     }
 
     /// Run `f` once per rank, each on its own OS thread, and collect the
-    /// per-rank results in rank order. Panics in any rank propagate.
+    /// per-rank results in rank order.
     ///
-    /// If `PCOMM_TRACE=<path>` is set in the environment (and no trace
-    /// was attached via [`Universe::with_trace`]), the run is traced and
-    /// a Chrome trace-event JSON is written to `<path>` at teardown;
-    /// `PCOMM_TRACE_REPORT=<path>` additionally writes the plain-text
-    /// summary.
-    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    /// Failure is data, not a hang or an opaque panic:
+    ///
+    /// * a rank panic aborts the survivors and returns
+    ///   [`PcommError::PeerPanicked`];
+    /// * a watchdog-detected hang returns [`PcommError::Stall`] with a
+    ///   structured report;
+    /// * chaos-injected unrecoverable faults return
+    ///   [`PcommError::MessageLost`];
+    /// * caught API misuse returns [`PcommError::Misuse`].
+    ///
+    /// Environment knobs (each ignored when the corresponding builder was
+    /// used): `PCOMM_TRACE=<path>` / `PCOMM_TRACE_REPORT=<path>` write a
+    /// Chrome trace / text summary at teardown; `PCOMM_FAULTS=<spec>`
+    /// attaches a fault plan (see [`FaultPlan::parse`]);
+    /// `PCOMM_WATCHDOG_MS=<ms>` arms the watchdog.
+    pub fn run<T, F>(&self, f: F) -> Result<Vec<T>, PcommError>
     where
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
     {
+        let mut u = self.clone();
+        if u.fault_plan.is_none() {
+            if let Ok(spec) = std::env::var("PCOMM_FAULTS") {
+                if !spec.trim().is_empty() {
+                    match FaultPlan::parse(&spec) {
+                        Ok(plan) => u.fault_plan = Some(plan),
+                        Err(e) => eprintln!("pcomm: ignoring invalid PCOMM_FAULTS: {e}"),
+                    }
+                }
+            }
+        }
+        if u.watchdog_ms.is_none() {
+            if let Ok(v) = std::env::var("PCOMM_WATCHDOG_MS") {
+                if !v.trim().is_empty() {
+                    match v.trim().parse::<u64>() {
+                        Ok(ms) if ms > 0 => u.watchdog_ms = Some(ms),
+                        _ => eprintln!("pcomm: ignoring invalid PCOMM_WATCHDOG_MS=`{v}`"),
+                    }
+                }
+            }
+        }
         let env_json = std::env::var("PCOMM_TRACE").ok().filter(|p| !p.is_empty());
         let env_report = std::env::var("PCOMM_TRACE_REPORT")
             .ok()
             .filter(|p| !p.is_empty());
-        if self.trace.is_enabled() || (env_json.is_none() && env_report.is_none()) {
-            return self.run_on(self.trace.clone(), &f);
+        if u.trace.is_enabled() || (env_json.is_none() && env_report.is_none()) {
+            return u.run_on(u.trace.clone(), &f);
         }
         let trace = Trace::ring(DEFAULT_TRACE_CAP);
-        let out = self.run_on(trace.clone(), &f);
+        let out = u.run_on(trace.clone(), &f);
         let data = trace.snapshot().expect("trace was enabled");
         if let Some(path) = env_json {
             let json = pcomm_trace::chrome_trace_json(&data.events, data.dropped);
@@ -102,7 +164,10 @@ impl Universe {
 
     /// Run with the attached trace (see [`Universe::with_trace`]) and
     /// return the per-rank results together with the merged trace data.
-    pub fn run_traced<T, F>(&self, f: F) -> (Vec<T>, TraceData)
+    /// Unlike [`Universe::run`], configuration comes only from the
+    /// builders — the environment is not consulted — so traced runs are
+    /// exactly reproducible.
+    pub fn run_traced<T, F>(&self, f: F) -> (Result<Vec<T>, PcommError>, TraceData)
     where
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
@@ -117,20 +182,61 @@ impl Universe {
         (out, data)
     }
 
-    fn run_on<T, F>(&self, trace: Trace, f: &F) -> Vec<T>
+    /// The watchdog deadline in effect: explicit, or the chaos default
+    /// when a fault plan is set (a chaos run must never hang).
+    fn effective_watchdog_ms(&self) -> Option<u64> {
+        self.watchdog_ms
+            .or(self.fault_plan.as_ref().map(|_| DEFAULT_CHAOS_WATCHDOG_MS))
+    }
+
+    fn run_on<T, F>(&self, trace: Trace, f: &F) -> Result<Vec<T>, PcommError>
     where
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
     {
-        let fabric = Fabric::new_traced(self.n_ranks, self.n_shards, self.eager_max, trace);
-        std::thread::scope(|scope| {
+        install_quiet_abort_hook();
+        let fabric = Fabric::new_configured(
+            self.n_ranks,
+            self.n_shards,
+            self.eager_max,
+            trace,
+            self.fault_plan.clone(),
+        );
+        let watchdog_ms = self.effective_watchdog_ms();
+        let results: Vec<Option<T>> = std::thread::scope(|scope| {
+            let supervisor_shutdown = Completion::new();
+            let supervisor = watchdog_ms.map(|ms| {
+                let fabric = Arc::clone(&fabric);
+                let shutdown = Arc::clone(&supervisor_shutdown);
+                scope.spawn(move || supervise(&fabric, &shutdown, ms))
+            });
             let handles: Vec<_> = (0..self.n_ranks)
                 .map(|rank| {
                     let fabric = Arc::clone(&fabric);
                     scope.spawn(move || {
                         let traced = fabric.trace().is_enabled();
                         let before = crate::hotpath::thread_stats();
-                        let out = f(Comm::world(Arc::clone(&fabric), rank));
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(Comm::world(Arc::clone(&fabric), rank))
+                        }));
+                        let out = match out {
+                            Ok(v) => Some(v),
+                            Err(payload) => {
+                                if payload.downcast_ref::<RankAborted>().is_some() {
+                                    // Casualty of an abort some other rank
+                                    // already recorded; nothing to add.
+                                } else if let Some(e) = payload.downcast_ref::<PcommError>() {
+                                    fabric.fail(e.clone());
+                                } else {
+                                    fabric.fail(PcommError::PeerPanicked {
+                                        rank,
+                                        message: panic_message(payload.as_ref()),
+                                    });
+                                }
+                                None
+                            }
+                        };
+                        fabric.mark_finished(rank);
                         if traced {
                             // The rank thread's completion-probe tally for
                             // this run: how often probes stayed on the
@@ -150,11 +256,88 @@ impl Universe {
                     })
                 })
                 .collect();
-            handles
+            let results = handles
                 .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        })
+                .map(|h| h.join().expect("rank wrapper never panics"))
+                .collect();
+            supervisor_shutdown.set();
+            if let Some(s) = supervisor {
+                s.join().expect("supervisor never panics");
+            }
+            results
+        });
+        // Deliver any reorder hold-backs that outlived the run so their
+        // buffers recycle; with every rank done nobody consumes them.
+        fabric.flush_held();
+        match fabric.take_failure() {
+            Some(err) => Err(err),
+            None => Ok(results
+                .into_iter()
+                .map(|r| r.expect("rank produced no result yet no failure was recorded"))
+                .collect()),
+        }
+    }
+}
+
+/// Silence the default panic hook for the runtime's control-flow unwind
+/// ([`RankAborted`]): it is always caught by the rank wrapper and the
+/// real error surfaced as `Err`, so the default hook's "thread panicked"
+/// backtrace would make every clean abort look like a crash. Installed
+/// once, wrapping (and otherwise delegating to) the previous hook, so
+/// genuine panics still print.
+fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankAborted>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The watchdog supervisor: watches the fabric's activity counter and,
+/// when it stays still past the deadline while some thread is blocked in
+/// the runtime, records [`PcommError::Stall`] with a structured report
+/// and aborts the universe. Reorder hold-backs are flushed after a short
+/// quiet period *before* any stall is declared — a held message may be
+/// exactly what the blocked ranks are waiting for.
+fn supervise(fabric: &Fabric, shutdown: &Completion, watchdog_ms: u64) {
+    let interval = Duration::from_millis((watchdog_ms / 4).clamp(10, 250));
+    let mut last_activity = fabric.activity();
+    let mut quiet_since = Instant::now();
+    let mut flushed_this_quiet = false;
+    loop {
+        if shutdown.wait_timeout(interval) {
+            return;
+        }
+        let now = fabric.activity();
+        if now != last_activity {
+            last_activity = now;
+            quiet_since = Instant::now();
+            flushed_this_quiet = false;
+            continue;
+        }
+        let quiet = quiet_since.elapsed();
+        if !flushed_this_quiet && quiet >= 2 * interval {
+            flushed_this_quiet = true;
+            if fabric.flush_held() > 0 {
+                continue; // delivered something: that is progress
+            }
+        }
+        if quiet >= Duration::from_millis(watchdog_ms) && fabric.has_blocked_waits() {
+            let quiet_ms = quiet.as_millis() as u64;
+            let report = fabric.stall_report(watchdog_ms, quiet_ms);
+            let blocked = report.blocked.len() as u16;
+            fabric.trace().emit(0, || EventKind::StallDetected {
+                blocked,
+                watchdog_ms,
+                quiet_ms,
+            });
+            fabric.fail(PcommError::Stall(report));
+            return;
+        }
     }
 }
 
@@ -164,13 +347,15 @@ mod tests {
 
     #[test]
     fn run_collects_results_in_rank_order() {
-        let out = Universe::new(4).run(|comm| comm.rank() * 10);
+        let out = Universe::new(4).run(|comm| comm.rank() * 10).unwrap();
         assert_eq!(out, vec![0, 10, 20, 30]);
     }
 
     #[test]
     fn comm_world_properties() {
-        let sizes = Universe::new(3).run(|comm| (comm.rank(), comm.size()));
+        let sizes = Universe::new(3)
+            .run(|comm| (comm.rank(), comm.size()))
+            .unwrap();
         assert_eq!(sizes, vec![(0, 3), (1, 3), (2, 3)]);
     }
 
@@ -178,11 +363,51 @@ mod tests {
     fn barrier_synchronizes_ranks() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let arrived = AtomicUsize::new(0);
-        Universe::new(4).run(|comm| {
-            arrived.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
-            assert_eq!(arrived.load(Ordering::SeqCst), 4);
-        });
+        Universe::new(4)
+            .run(|comm| {
+                arrived.fetch_add(1, Ordering::SeqCst);
+                comm.barrier();
+                assert_eq!(arrived.load(Ordering::SeqCst), 4);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn rank_panic_becomes_peer_panicked() {
+        let err = Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("deliberate test panic");
+                }
+            })
+            .unwrap_err();
+        match err {
+            PcommError::PeerPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("deliberate test panic"), "{message}");
+            }
+            other => panic!("expected PeerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_unblocks_peers_waiting_on_it() {
+        // Rank 1 dies before sending; rank 0 is blocked in recv. Without
+        // abort propagation this deadlocks; with it, run() returns.
+        let err = Universe::new(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let mut b = [0u8; 1];
+                    comm.recv_into(Some(1), Some(7), &mut b);
+                } else {
+                    panic!("rank 1 dies before sending");
+                }
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, PcommError::PeerPanicked { rank: 1, .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -196,7 +421,7 @@ mod tests {
             }
             comm.rank()
         });
-        assert_eq!(out, vec![0, 1]);
+        assert_eq!(out.unwrap(), vec![0, 1]);
         assert!(
             data.events
                 .iter()

@@ -24,7 +24,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use pcomm_simcore::sync::Signal;
-use pcomm_trace::EventKind;
+use pcomm_trace::{EventKind, FaultKind};
 
 use crate::comm::Comm;
 use crate::p2p::{Msg, RecvRequest, SendRequest};
@@ -241,6 +241,9 @@ struct PsendShared {
     /// of them contend via false sharing.
     concurrent_preadys: Cell<usize>,
     started: Cell<bool>,
+    /// Chaos `pready` jitter rounds consumed (one per permuted
+    /// `pready_range`/`pready_list` call); mirrors the real runtime.
+    jitter_round: Cell<u64>,
 }
 
 /// Sender-side partitioned request (`MPI_Psend_init`). Cheap to clone;
@@ -308,6 +311,7 @@ pub fn psend_init(
             am_issued: RefCell::new(Signal::new()),
             concurrent_preadys: Cell::new(0),
             started: Cell::new(false),
+            jitter_round: Cell::new(0),
         }),
     }
 }
@@ -431,16 +435,45 @@ impl PsendRequest {
         }
     }
 
-    /// `MPI_Pready_range`: mark partitions `lo..=hi` ready, in order.
+    /// `MPI_Pready_range`: mark partitions `lo..=hi` ready, in order
+    /// (permuted under chaos `pready` jitter).
     pub async fn pready_range(&self, lo: usize, hi: usize) {
         assert!(lo <= hi, "empty or inverted range");
-        for p in lo..=hi {
-            self.pready(p).await;
-        }
+        let parts: Vec<usize> = (lo..=hi).collect();
+        self.pready_permuted(&parts).await;
     }
 
-    /// `MPI_Pready_list`: mark the listed partitions ready, in order.
+    /// `MPI_Pready_list`: mark the listed partitions ready, in order
+    /// (permuted under chaos `pready` jitter).
     pub async fn pready_list(&self, parts: &[usize]) {
+        self.pready_permuted(parts).await;
+    }
+
+    /// Chaos mirror of the real runtime's `pready` jitter: when the
+    /// world's fault plan asks for it, issue the batch in a seeded
+    /// permuted order (same `jitter_order` stream as `pcomm-core`, so
+    /// sim and real runs of one seed scramble identically).
+    async fn pready_permuted(&self, parts: &[usize]) {
+        let s = &self.inner;
+        if parts.len() > 1 {
+            if let Some(plan) = s.world.fault_plan() {
+                if plan.jitter_pready {
+                    let round = s.jitter_round.get();
+                    s.jitter_round.set(round + 1);
+                    let order = plan.jitter_order(s.comm.rank(), round, parts.len());
+                    s.world.trace(s.comm.rank(), || EventKind::FaultInjected {
+                        fault: FaultKind::PreadyJitter,
+                        dst: s.dst as u16,
+                        tag: 0,
+                        arg: round,
+                    });
+                    for &i in &order {
+                        self.pready(parts[i]).await;
+                    }
+                    return;
+                }
+            }
+        }
         for &p in parts {
             self.pready(p).await;
         }
@@ -888,6 +921,58 @@ mod tests {
         });
         sim.run();
         assert!(done.try_take().unwrap());
+    }
+
+    #[test]
+    fn pready_jitter_permutes_order_and_roundtrip_survives() {
+        use pcomm_trace::FaultPlan;
+        let (sim, world) = setup(1);
+        world.enable_trace();
+        world.enable_faults(FaultPlan::seeded(11).jitter(true));
+        let (ps, pr) = mk_pair(&world, 16, 64, PartOptions::default());
+        let done = sim.spawn({
+            let pr = pr.clone();
+            async move {
+                pr.start().await;
+                pr.wait().await;
+                (0..16).all(|p| pr.parrived(p))
+            }
+        });
+        sim.spawn(async move {
+            ps.start().await;
+            ps.pready_range(0, 15).await;
+            ps.wait().await;
+        });
+        sim.run();
+        assert!(done.try_take().unwrap());
+        // Exactly one jitter round was traced, and the Pready events do
+        // not appear in ascending partition order.
+        let events = world.take_trace();
+        let jitters = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::FaultInjected {
+                        fault: FaultKind::PreadyJitter,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(jitters, 1);
+        let order: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Pready { part } => Some(part),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order.len(), 16);
+        assert_ne!(order, (0..16).collect::<Vec<u64>>(), "order must scramble");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u64>>());
     }
 
     #[test]

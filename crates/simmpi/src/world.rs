@@ -7,7 +7,7 @@ use std::rc::Rc;
 use pcomm_netmodel::{MachineConfig, NoiseInjector, VciPool};
 use pcomm_simcore::sync::Resource;
 use pcomm_simcore::{Dur, Sim};
-use pcomm_trace::{Event, EventKind};
+use pcomm_trace::{Event, EventKind, FaultAction, FaultKind, FaultPlan};
 
 use crate::comm::Comm;
 use crate::tag::{Delivered, MatchEngine, Posted};
@@ -45,6 +45,31 @@ struct WorldState {
     /// with *virtual* nanoseconds, so sim and real traces are directly
     /// comparable in one viewer.
     trace: Option<Vec<Event>>,
+    /// Optional chaos plan (None = no fault injection). Shares the
+    /// [`FaultPlan`] definition with the real runtime so one
+    /// `PCOMM_FAULTS` spec drives both.
+    fault_plan: Option<FaultPlan>,
+    /// Per-channel (src, dst, ctx, tag) message sequence numbers for
+    /// [`FaultPlan::decide`]; incremented at transmit-call order, which
+    /// the single-threaded simulation makes deterministic.
+    fault_seq: HashMap<(usize, usize, u64, i64), u64>,
+}
+
+/// Chaos decisions for one simulated transmission, computed at transmit
+/// time and charged in virtual time by [`World::charge_faults`].
+///
+/// The simulated transport stays reliable: where the real fabric loses a
+/// message after `max_retries` resends (surfacing `MessageLost`), the
+/// simulator's link layer always recovers — each dropped attempt is
+/// charged one retransmission round trip and the message is delivered
+/// anyway. Drops therefore surface as *latency*, never as data loss;
+/// `Duplicate`/`Reorder` decisions decay to clean delivery because an
+/// in-order reliable link absorbs them.
+struct FaultOutcome {
+    /// Dropped attempts before the delivered one (each costs 2×latency).
+    drops: u32,
+    /// Injected delay on the delivered attempt, microseconds (0 = none).
+    delay_us: u64,
 }
 
 /// Handle to the simulated machine. Cheap to clone.
@@ -73,6 +98,8 @@ impl World {
                 windows: vec![0; n_ranks],
                 part_requests: HashMap::new(),
                 trace: None,
+                fault_plan: None,
+                fault_seq: HashMap::new(),
                 vci_assign: vec![1; n_ranks], // 0 is comm_world's VCI
             })),
         }
@@ -131,6 +158,95 @@ impl World {
     /// partitioned-communication milestones as typed [`Event`]s).
     pub fn enable_trace(&self) {
         self.state.borrow_mut().trace = Some(Vec::new());
+    }
+
+    /// Enable chaos fault injection on the simulated transport. Every
+    /// transmission consults the plan; drops are charged as
+    /// retransmission round trips in virtual time (the simulated link
+    /// layer is reliable — see [`FaultOutcome`]) and delays as extra
+    /// virtual sleeps, each traced as a [`EventKind::FaultInjected`]
+    /// event with a virtual timestamp when tracing is on.
+    pub fn enable_faults(&self, plan: FaultPlan) {
+        self.state.borrow_mut().fault_plan = Some(plan);
+    }
+
+    /// The configured fault plan, if any (e.g. for `pready` jitter at
+    /// the partitioned layer).
+    pub(crate) fn fault_plan(&self) -> Option<FaultPlan> {
+        self.state.borrow().fault_plan.clone()
+    }
+
+    /// Decide the chaos outcome for one transmission. Sequence numbers
+    /// advance at transmit-call order; since the simulation executes
+    /// rank coroutines deterministically, the same workload and seed
+    /// reproduce the same outcome sequence bit-for-bit.
+    fn fault_outcome(&self, src: usize, dst: usize, ctx: u64, tag: i64) -> Option<FaultOutcome> {
+        let (plan, seq) = {
+            let mut s = self.state.borrow_mut();
+            let plan = s.fault_plan.clone()?;
+            if !plan.any_faults() {
+                return None;
+            }
+            let counter = s.fault_seq.entry((src, dst, ctx, tag)).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            (plan, seq)
+        };
+        let mut drops = 0u32;
+        let action = loop {
+            match plan.decide(src, dst, ctx, tag, seq, drops) {
+                FaultAction::Drop => {
+                    drops += 1;
+                    // Retries exhausted: the reliable link recovers
+                    // where the real fabric would report `MessageLost`
+                    // (same drop count as the real runtime's trace —
+                    // initial attempt + `max_retries` resends).
+                    if drops > plan.max_retries {
+                        break FaultAction::None;
+                    }
+                }
+                other => break other,
+            }
+        };
+        let delay_us = match action {
+            FaultAction::Delay { us } => us,
+            // Duplicate/Reorder are absorbed by the in-order link.
+            _ => 0,
+        };
+        if drops == 0 && delay_us == 0 {
+            return None;
+        }
+        Some(FaultOutcome { drops, delay_us })
+    }
+
+    /// Charge a chaos outcome in virtual time: one retransmission round
+    /// trip per dropped attempt, then the injected delay, emitting the
+    /// same trace events the real fabric does (virtual timestamps).
+    async fn charge_faults(&self, src: usize, dst: usize, tag: i64, f: &FaultOutcome) {
+        for attempt in 0..f.drops {
+            self.trace(src, || EventKind::FaultInjected {
+                fault: FaultKind::Drop,
+                dst: dst as u16,
+                tag,
+                arg: attempt as u64,
+            });
+            // Loss detection + resend: a full round trip on the link.
+            self.sim.sleep(self.cfg.latency * 2).await;
+            self.trace(src, || EventKind::RetryAttempt {
+                dst: dst as u16,
+                attempt: (attempt + 1) as u16,
+                tag,
+            });
+        }
+        if f.delay_us > 0 {
+            self.trace(src, || EventKind::FaultInjected {
+                fault: FaultKind::Delay,
+                dst: dst as u16,
+                tag,
+                arg: f.delay_us,
+            });
+            self.sim.sleep(Dur::from_us_f64(f.delay_us as f64)).await;
+        }
     }
 
     /// Take the collected trace, sorted by virtual timestamp (empties it;
@@ -245,7 +361,11 @@ impl World {
         let world = self.clone();
         let link = self.link(src, dst);
         let bytes = d.bytes;
+        let faults = self.fault_outcome(src, dst, d.ctx, d.tag);
         self.sim.spawn(async move {
+            if let Some(f) = &faults {
+                world.charge_faults(src, dst, d.tag, f).await;
+            }
             {
                 let _g = link.acquire().await;
                 world.sim.sleep(world.cfg.wire_time(bytes)).await;
@@ -257,9 +377,13 @@ impl World {
 
     /// Transmit a small control message (RTS/CTS/0-byte sync): pure
     /// latency, no link occupancy.
-    pub(crate) fn transmit_ctrl(&self, _src: usize, dst: usize, d: Delivered) {
+    pub(crate) fn transmit_ctrl(&self, src: usize, dst: usize, d: Delivered) {
         let world = self.clone();
+        let faults = self.fault_outcome(src, dst, d.ctx, d.tag);
         self.sim.spawn(async move {
+            if let Some(f) = &faults {
+                world.charge_faults(src, dst, d.tag, f).await;
+            }
             world.sim.sleep(world.cfg.latency).await;
             world.deliver(dst, d);
         });
@@ -444,5 +568,117 @@ mod tests {
     fn bad_rank_rejected() {
         let (_sim, world) = quiet_world(1);
         let _ = world.comm_world(5);
+    }
+
+    /// One faulted transmission batch: returns (virtual end time in µs,
+    /// chaos trace events).
+    fn faulted_run(plan: FaultPlan) -> (f64, Vec<(u16, EventKind)>) {
+        let (sim, world) = quiet_world(1);
+        world.enable_trace();
+        world.enable_faults(plan);
+        for tag in 0..32 {
+            let d = Delivered {
+                src: 0,
+                ctx: 0,
+                tag,
+                bytes: 4096,
+                data: None,
+                meta: 0,
+                rendezvous: None,
+            };
+            world.transmit(0, 1, d);
+        }
+        sim.run();
+        let events = world
+            .take_trace()
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::FaultInjected { .. } | EventKind::RetryAttempt { .. }
+                )
+            })
+            .map(|e| (e.rank, e.kind))
+            .collect();
+        (sim.now().as_us_f64(), events)
+    }
+
+    #[test]
+    fn seeded_faults_are_bit_for_bit_reproducible() {
+        let plan = FaultPlan::seeded(42).drops(0.3).delays(0.3, 200);
+        let (t_a, ev_a) = faulted_run(plan.clone());
+        let (t_b, ev_b) = faulted_run(plan);
+        assert!(!ev_a.is_empty(), "p=0.6 over 32 messages must inject");
+        assert_eq!(ev_a, ev_b, "same seed must inject the same faults");
+        assert_eq!(t_a, t_b, "virtual end time must be identical");
+        // A different seed perturbs the injection sequence.
+        let (_, ev_c) = faulted_run(FaultPlan::seeded(43).drops(0.3).delays(0.3, 200));
+        assert_ne!(ev_a, ev_c, "seed must steer the fault stream");
+    }
+
+    #[test]
+    fn drops_cost_time_but_never_lose_messages() {
+        // Certain drop: every attempt is dropped, retries exhaust, yet
+        // the reliable simulated link still delivers everything.
+        let plan = FaultPlan::seeded(7).drops(1.0).retries(2);
+        let (t, events) = faulted_run(plan);
+        // 32 messages × 3 dropped attempts (initial + 2 retries) each
+        // charged 2×latency before delivery.
+        let drops = events
+            .iter()
+            .filter(|(_, k)| {
+                matches!(
+                    k,
+                    EventKind::FaultInjected {
+                        fault: FaultKind::Drop,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(drops, 32 * 3);
+        // All 32 messages arrived despite 100% attempt loss.
+        let (sim2, world2) = quiet_world(1);
+        world2.enable_faults(FaultPlan::seeded(7).drops(1.0).retries(2));
+        for tag in 0..32 {
+            world2.transmit(
+                0,
+                1,
+                Delivered {
+                    src: 0,
+                    ctx: 0,
+                    tag,
+                    bytes: 4096,
+                    data: None,
+                    meta: 0,
+                    rendezvous: None,
+                },
+            );
+        }
+        sim2.run();
+        assert_eq!(world2.engine(1).unexpected_len(), 32);
+        // And the retransmissions cost virtual time (3 RTTs ≈ 7.32 µs
+        // on top of the clean wire+latency path).
+        assert!(t > 7.0, "retransmission must show up in virtual time: {t}");
+    }
+
+    #[test]
+    fn zero_probability_plan_changes_nothing() {
+        let (sim, world) = quiet_world(1);
+        world.enable_faults(FaultPlan::seeded(5));
+        let d = Delivered {
+            src: 0,
+            ctx: 0,
+            tag: 5,
+            bytes: 1_000_000,
+            data: None,
+            meta: 0,
+            rendezvous: None,
+        };
+        world.transmit(0, 1, d);
+        sim.run();
+        assert_eq!(world.engine(1).unexpected_len(), 1);
+        // Identical timing to `transmit_delivers_after_wire_plus_latency`.
+        assert!((sim.now().as_us_f64() - 41.22).abs() < 1e-9);
     }
 }

@@ -66,6 +66,23 @@ fn args_json(kind: &EventKind) -> String {
             fast_probes,
             slow_waits,
         } => format!("\"fast_probes\":{fast_probes},\"slow_waits\":{slow_waits}"),
+        EventKind::FaultInjected {
+            fault,
+            dst,
+            tag,
+            arg,
+        } => format!(
+            "\"fault\":\"{}\",\"dst\":{dst},\"tag\":{tag},\"arg\":{arg}",
+            fault.name()
+        ),
+        EventKind::RetryAttempt { dst, attempt, tag } => {
+            format!("\"dst\":{dst},\"attempt\":{attempt},\"tag\":{tag}")
+        }
+        EventKind::StallDetected {
+            blocked,
+            watchdog_ms,
+            quiet_ms,
+        } => format!("\"blocked\":{blocked},\"watchdog_ms\":{watchdog_ms},\"quiet_ms\":{quiet_ms}"),
     }
 }
 
@@ -209,6 +226,55 @@ mod tests {
     }
 
     #[test]
+    fn golden_chaos_events_trace() {
+        let events = [
+            Event {
+                ts_ns: 1_000,
+                rank: 0,
+                kind: EventKind::FaultInjected {
+                    fault: crate::event::FaultKind::Drop,
+                    dst: 1,
+                    tag: 7,
+                    arg: 0,
+                },
+            },
+            Event {
+                ts_ns: 1_250,
+                rank: 0,
+                kind: EventKind::RetryAttempt {
+                    dst: 1,
+                    attempt: 1,
+                    tag: 7,
+                },
+            },
+            Event {
+                ts_ns: 9_000,
+                rank: 0,
+                kind: EventKind::StallDetected {
+                    blocked: 1,
+                    watchdog_ms: 5,
+                    quiet_ms: 8,
+                },
+            },
+        ];
+        let json = chrome_trace_json(&events, 0);
+        let expect = concat!(
+            "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"pcomm-trace\",\"dropped\":0},",
+            "\"traceEvents\":[",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"rank 0\"}},",
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"shard 0\"}},",
+            "{\"name\":\"fault_injected\",\"cat\":\"pcomm\",\"ph\":\"i\",\"s\":\"t\",\"ts\":1.000,",
+            "\"pid\":0,\"tid\":0,\"args\":{\"fault\":\"drop\",\"dst\":1,\"tag\":7,\"arg\":0}},",
+            "{\"name\":\"retry_attempt\",\"cat\":\"pcomm\",\"ph\":\"i\",\"s\":\"t\",\"ts\":1.250,",
+            "\"pid\":0,\"tid\":0,\"args\":{\"dst\":1,\"attempt\":1,\"tag\":7}},",
+            "{\"name\":\"stall_detected\",\"cat\":\"pcomm\",\"ph\":\"i\",\"s\":\"t\",\"ts\":9.000,",
+            "\"pid\":0,\"tid\":0,\"args\":{\"blocked\":1,\"watchdog_ms\":5,\"quiet_ms\":8}}",
+            "]}"
+        );
+        assert_eq!(json, expect);
+    }
+
+    #[test]
     fn empty_trace_is_valid_json() {
         let json = chrome_trace_json(&[], 0);
         assert_balanced_json(&json);
@@ -259,6 +325,22 @@ mod tests {
             },
             EventKind::EpochOpen { win: 0, wait_ns: 4 },
             EventKind::EpochClose { win: 0, puts: 5 },
+            EventKind::FaultInjected {
+                fault: crate::event::FaultKind::Delay,
+                dst: 1,
+                tag: -2,
+                arg: 40,
+            },
+            EventKind::RetryAttempt {
+                dst: 1,
+                attempt: 1,
+                tag: 0,
+            },
+            EventKind::StallDetected {
+                blocked: 2,
+                watchdog_ms: 250,
+                quiet_ms: 260,
+            },
         ];
         let events: Vec<Event> = kinds
             .iter()

@@ -12,6 +12,54 @@
 
 use std::fmt;
 
+/// Which chaos fault a [`EventKind::FaultInjected`] event records.
+///
+/// The discriminants are the on-wire codes (stored in `aux1` of the
+/// four-word encoding); they are stable and must not be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A message attempt was dropped before delivery.
+    Drop = 1,
+    /// A message was delayed before delivery.
+    Delay = 2,
+    /// An eager message was delivered twice.
+    Duplicate = 3,
+    /// A message was held back so a later one overtakes it.
+    Reorder = 4,
+    /// The issue order of a `pready_range`/`pready_list` was permuted.
+    PreadyJitter = 5,
+}
+
+impl FaultKind {
+    /// Stable wire code (the enum discriminant).
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Decode a wire code; `None` for unknown codes.
+    pub fn from_code(code: u16) -> Option<FaultKind> {
+        Some(match code {
+            1 => FaultKind::Drop,
+            2 => FaultKind::Delay,
+            3 => FaultKind::Duplicate,
+            4 => FaultKind::Reorder,
+            5 => FaultKind::PreadyJitter,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case name, greppable in exported traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::PreadyJitter => "pready_jitter",
+        }
+    }
+}
+
 /// One trace event: a timestamp, the rank it is attributed to, and a
 /// typed payload.
 ///
@@ -144,6 +192,42 @@ pub enum EventKind {
         /// Waits that registered and parked.
         slow_waits: u64,
     },
+    /// The chaos layer injected a fault on a message (or a `pready`
+    /// order). Instant, attributed to the sending rank.
+    FaultInjected {
+        /// Which fault.
+        fault: FaultKind,
+        /// Destination rank of the affected message.
+        dst: u16,
+        /// Tag of the affected message (negative tags are the internal
+        /// CTS/DATA/RMA control tags).
+        tag: i64,
+        /// Fault-specific argument: attempt index for `Drop`, delay in
+        /// microseconds for `Delay`, extra copies for `Duplicate`,
+        /// held-back messages for `Reorder`, permutation round for
+        /// `PreadyJitter`.
+        arg: u64,
+    },
+    /// A dropped message attempt is being resent (bounded retry).
+    /// Instant, attributed to the sending rank.
+    RetryAttempt {
+        /// Destination rank.
+        dst: u16,
+        /// Retry attempt number (1 = first resend).
+        attempt: u16,
+        /// Tag of the message being resent.
+        tag: i64,
+    },
+    /// The watchdog declared the universe stalled and produced a
+    /// `StallReport`. Instant, emitted once by the supervisor.
+    StallDetected {
+        /// Number of blocked waits at detection time.
+        blocked: u16,
+        /// Configured watchdog deadline, ms.
+        watchdog_ms: u64,
+        /// Observed quiet period with no fabric activity, ms.
+        quiet_ms: u64,
+    },
 }
 
 const TAG_LOCK_WAIT: u64 = 1;
@@ -159,6 +243,9 @@ const TAG_EPOCH_OPEN: u64 = 10;
 const TAG_EPOCH_CLOSE: u64 = 11;
 const TAG_EAGER_POOL: u64 = 12;
 const TAG_PROBE_STATS: u64 = 13;
+const TAG_FAULT_INJECTED: u64 = 14;
+const TAG_RETRY_ATTEMPT: u64 = 15;
+const TAG_STALL_DETECTED: u64 = 16;
 
 fn pack_w1(tag: u64, rank: u16, aux1: u16, aux2: u16) -> u64 {
     (tag << 48) | ((rank as u64) << 32) | ((aux1 as u64) << 16) | aux2 as u64
@@ -199,6 +286,20 @@ impl Event {
                 fast_probes,
                 slow_waits,
             } => (TAG_PROBE_STATS, 0, 0, fast_probes, slow_waits),
+            EventKind::FaultInjected {
+                fault,
+                dst,
+                tag,
+                arg,
+            } => (TAG_FAULT_INJECTED, fault.code(), dst, tag as u64, arg),
+            EventKind::RetryAttempt { dst, attempt, tag } => {
+                (TAG_RETRY_ATTEMPT, dst, attempt, tag as u64, 0)
+            }
+            EventKind::StallDetected {
+                blocked,
+                watchdog_ms,
+                quiet_ms,
+            } => (TAG_STALL_DETECTED, blocked, 0, watchdog_ms, quiet_ms),
         };
         [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
     }
@@ -266,6 +367,22 @@ impl Event {
                 fast_probes: w[2],
                 slow_waits: w[3],
             },
+            TAG_FAULT_INJECTED => EventKind::FaultInjected {
+                fault: FaultKind::from_code(aux1)?,
+                dst: aux2,
+                tag: w[2] as i64,
+                arg: w[3],
+            },
+            TAG_RETRY_ATTEMPT => EventKind::RetryAttempt {
+                dst: aux1,
+                attempt: aux2,
+                tag: w[2] as i64,
+            },
+            TAG_STALL_DETECTED => EventKind::StallDetected {
+                blocked: aux1,
+                watchdog_ms: w[2],
+                quiet_ms: w[3],
+            },
             _ => return None,
         };
         Some(Event {
@@ -303,6 +420,9 @@ impl EventKind {
             EventKind::EpochClose { .. } => "epoch_close",
             EventKind::EagerPool { .. } => "eager_pool",
             EventKind::ProbeStats { .. } => "probe_stats",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::RetryAttempt { .. } => "retry_attempt",
+            EventKind::StallDetected { .. } => "stall_detected",
         }
     }
 
@@ -419,6 +539,27 @@ impl fmt::Display for Event {
                 f,
                 "probe stats: {fast_probes} fast probes, {slow_waits} parked waits"
             ),
+            EventKind::FaultInjected {
+                fault,
+                dst,
+                tag,
+                arg,
+            } => write!(
+                f,
+                "fault {} -> rank {dst} tag {tag} (arg {arg})",
+                fault.name()
+            ),
+            EventKind::RetryAttempt { dst, attempt, tag } => {
+                write!(f, "retry {attempt} -> rank {dst} tag {tag}")
+            }
+            EventKind::StallDetected {
+                blocked,
+                watchdog_ms,
+                quiet_ms,
+            } => write!(
+                f,
+                "STALL: {blocked} blocked waits, quiet {quiet_ms} ms (watchdog {watchdog_ms} ms)"
+            ),
         }
     }
 }
@@ -482,6 +623,22 @@ mod tests {
                 fast_probes: 1_000_000,
                 slow_waits: 12,
             },
+            EventKind::FaultInjected {
+                fault: FaultKind::Drop,
+                dst: 1,
+                tag: -1,
+                arg: 2,
+            },
+            EventKind::RetryAttempt {
+                dst: 1,
+                attempt: 2,
+                tag: 7,
+            },
+            EventKind::StallDetected {
+                blocked: 3,
+                watchdog_ms: 500,
+                quiet_ms: 612,
+            },
         ]
     }
 
@@ -504,13 +661,35 @@ mod tests {
     }
 
     #[test]
+    fn fault_kind_codes_roundtrip() {
+        for k in [
+            FaultKind::Drop,
+            FaultKind::Delay,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::PreadyJitter,
+        ] {
+            assert_eq!(FaultKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(FaultKind::from_code(0), None);
+        assert_eq!(FaultKind::from_code(6), None);
+        // A torn fault_injected slot with a bogus fault code (aux1 = 99)
+        // must not decode.
+        let w = [7, (14u64 << 48) | (99u64 << 16), 0, 0];
+        assert_eq!(Event::decode(w), None);
+    }
+
+    #[test]
     fn names_are_unique_and_stable() {
         let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 16);
         assert!(names.contains("shard_lock_wait"));
         assert!(names.contains("early_bird_send"));
         assert!(names.contains("eager_pool"));
         assert!(names.contains("probe_stats"));
+        assert!(names.contains("fault_injected"));
+        assert!(names.contains("retry_attempt"));
+        assert!(names.contains("stall_detected"));
     }
 
     #[test]

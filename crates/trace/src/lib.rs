@@ -46,14 +46,16 @@
 //! assert_eq!(data.events.len(), 1);
 //! ```
 
+mod chaos;
 mod chrome;
 mod event;
 mod recorder;
 mod report;
 mod ring;
 
+pub use chaos::{action_fault_kind, FaultAction, FaultPlan};
 pub use chrome::chrome_trace_json;
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, FaultKind};
 pub use recorder::{NullRecorder, Recorder, TraceData, VecRecorder};
 pub use report::summary_report;
 pub use ring::RingRecorder;

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, FaultKind};
 
 /// Number of log2 histogram buckets: bucket `i` counts waits in
 /// `[2^i, 2^(i+1))` ns; the last bucket is open-ended.
@@ -74,6 +74,9 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
     let (mut epochs, mut epoch_wait_ns, mut rma_puts) = (0u64, 0u64, 0u64);
     let (mut pool_hits, mut pool_misses) = (0u64, 0u64);
     let (mut probe_fast, mut probe_slow) = (0u64, 0u64);
+    let mut faults_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut retries = 0u64;
+    let mut stalls: Vec<(u16, u64, u64)> = Vec::new();
 
     // Per-rank wait-side blocking spans, for the overlap fraction.
     let mut blocked: BTreeMap<u16, Vec<(u64, u64)>> = BTreeMap::new();
@@ -140,6 +143,15 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
                 probe_fast += fast_probes;
                 probe_slow += slow_waits;
             }
+            EventKind::FaultInjected { fault, .. } => {
+                *faults_by_kind.entry(fault.name()).or_default() += 1;
+            }
+            EventKind::RetryAttempt { .. } => retries += 1,
+            EventKind::StallDetected {
+                blocked,
+                watchdog_ms,
+                quiet_ms,
+            } => stalls.push((blocked, watchdog_ms, quiet_ms)),
         }
     }
 
@@ -268,6 +280,32 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
             fmt_ns(epoch_wait_ns),
         );
     }
+
+    let fault_total: u64 = faults_by_kind.values().sum();
+    if fault_total + retries > 0 || !stalls.is_empty() {
+        let _ = writeln!(out, "\nchaos");
+        let _ = writeln!(out, "-----");
+        let _ = writeln!(out, "faults injected:  {fault_total}");
+        // Stable order: the FaultKind code order, not alphabetical.
+        for k in [
+            FaultKind::Drop,
+            FaultKind::Delay,
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::PreadyJitter,
+        ] {
+            if let Some(n) = faults_by_kind.get(k.name()) {
+                let _ = writeln!(out, "  {:<14} {n}", k.name());
+            }
+        }
+        let _ = writeln!(out, "retry attempts:   {retries}");
+        for (blocked, watchdog_ms, quiet_ms) in &stalls {
+            let _ = writeln!(
+                out,
+                "STALL detected:   {blocked} blocked waits after {quiet_ms} ms quiet (watchdog {watchdog_ms} ms)"
+            );
+        }
+    }
     out
 }
 
@@ -365,6 +403,61 @@ mod tests {
         assert!(rpt.contains("early-bird sends: 2"));
         assert!(rpt.contains("overlap fraction: 50.0% (1/2"));
         assert!(rpt.contains("shard   0:"));
+    }
+
+    #[test]
+    fn chaos_section_appears_when_faults_recorded() {
+        let events = vec![
+            ev(
+                10,
+                0,
+                EventKind::FaultInjected {
+                    fault: FaultKind::Drop,
+                    dst: 1,
+                    tag: 3,
+                    arg: 0,
+                },
+            ),
+            ev(
+                20,
+                0,
+                EventKind::RetryAttempt {
+                    dst: 1,
+                    attempt: 1,
+                    tag: 3,
+                },
+            ),
+            ev(
+                30,
+                1,
+                EventKind::FaultInjected {
+                    fault: FaultKind::Delay,
+                    dst: 0,
+                    tag: 3,
+                    arg: 55,
+                },
+            ),
+            ev(
+                900,
+                0,
+                EventKind::StallDetected {
+                    blocked: 2,
+                    watchdog_ms: 100,
+                    quiet_ms: 130,
+                },
+            ),
+        ];
+        let rpt = summary_report(&events, 0);
+        assert!(rpt.contains("chaos"));
+        assert!(rpt.contains("faults injected:  2"));
+        assert!(rpt.contains("drop           1"));
+        assert!(rpt.contains("delay          1"));
+        assert!(rpt.contains("retry attempts:   1"));
+        assert!(
+            rpt.contains("STALL detected:   2 blocked waits after 130 ms quiet (watchdog 100 ms)")
+        );
+        // A fault-free trace has no chaos section.
+        assert!(!summary_report(&[], 0).contains("chaos"));
     }
 
     #[test]

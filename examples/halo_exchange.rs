@@ -129,5 +129,11 @@ fn run_exchange(
         }
         t0.elapsed()
     });
-    out.into_iter().max().unwrap()
+    out.unwrap_or_else(|err| {
+        eprintln!("halo_exchange: universe failed: {err}");
+        std::process::exit(2);
+    })
+    .into_iter()
+    .max()
+    .unwrap()
 }

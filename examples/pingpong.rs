@@ -44,6 +44,10 @@ fn main() {
             }
             t0.elapsed()
         });
+        let out = out.unwrap_or_else(|err| {
+            eprintln!("pingpong: universe failed: {err}");
+            std::process::exit(2);
+        });
         let elapsed = out[0].max(out[1]);
         let half_rt_us = elapsed.as_secs_f64() * 1e6 / (iters as f64) / 2.0;
         let bw = perceived_bandwidth(size, half_rt_us * 1e-6) / 1e9;

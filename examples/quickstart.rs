@@ -19,59 +19,65 @@ fn main() {
         "pcomm quickstart: 2 ranks, {n_threads} threads, {n_parts} partitions of {part_bytes} B"
     );
 
-    Universe::new(2).with_shards(n_threads).run(|comm| {
-        if comm.rank() == 0 {
-            // ---- sender ------------------------------------------------
-            let psend = comm.psend_init(1, 0, n_parts, part_bytes, PartOptions::default());
-            let t0 = Instant::now();
-            psend.start();
-            std::thread::scope(|s| {
-                for t in 0..n_threads {
-                    let psend = psend.clone();
-                    s.spawn(move || {
-                        for j in 0..theta {
-                            let p = t + j * n_threads;
-                            // "Compute" the partition, then hand it to MPI.
-                            psend.write_partition(p, |buf| {
-                                buf.fill(p as u8);
-                            });
-                            psend.pready(p); // early-bird: leaves immediately
+    Universe::new(2)
+        .with_shards(n_threads)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                // ---- sender ------------------------------------------------
+                let psend = comm.psend_init(1, 0, n_parts, part_bytes, PartOptions::default());
+                let t0 = Instant::now();
+                psend.start();
+                std::thread::scope(|s| {
+                    for t in 0..n_threads {
+                        let psend = psend.clone();
+                        s.spawn(move || {
+                            for j in 0..theta {
+                                let p = t + j * n_threads;
+                                // "Compute" the partition, then hand it to MPI.
+                                psend.write_partition(p, |buf| {
+                                    buf.fill(p as u8);
+                                });
+                                psend.pready(p); // early-bird: leaves immediately
+                            }
+                        });
+                    }
+                });
+                psend.wait();
+                println!(
+                    "rank 0: all {n_parts} partitions sent in {:?}",
+                    t0.elapsed()
+                );
+            } else {
+                // ---- receiver ----------------------------------------------
+                let precv = comm.precv_init(0, 0, n_parts, part_bytes, PartOptions::default());
+                precv.start();
+                // Poll a couple of partitions while the rest is in flight.
+                let mut first_seen = None;
+                while first_seen.is_none() {
+                    for p in 0..n_parts {
+                        if precv.parrived(p) {
+                            first_seen = Some(p);
+                            break;
                         }
-                    });
-                }
-            });
-            psend.wait();
-            println!(
-                "rank 0: all {n_parts} partitions sent in {:?}",
-                t0.elapsed()
-            );
-        } else {
-            // ---- receiver ----------------------------------------------
-            let precv = comm.precv_init(0, 0, n_parts, part_bytes, PartOptions::default());
-            precv.start();
-            // Poll a couple of partitions while the rest is in flight.
-            let mut first_seen = None;
-            while first_seen.is_none() {
-                for p in 0..n_parts {
-                    if precv.parrived(p) {
-                        first_seen = Some(p);
-                        break;
                     }
                 }
-            }
-            precv.wait();
-            for p in 0..n_parts {
-                assert!(
-                    precv.partition(p).iter().all(|&b| b == p as u8),
-                    "partition {p} corrupted"
+                precv.wait();
+                for p in 0..n_parts {
+                    assert!(
+                        precv.partition(p).iter().all(|&b| b == p as u8),
+                        "partition {p} corrupted"
+                    );
+                }
+                println!(
+                    "rank 1: first partition observed early: #{}, all {n_parts} verified",
+                    first_seen.unwrap()
                 );
             }
-            println!(
-                "rank 1: first partition observed early: #{}, all {n_parts} verified",
-                first_seen.unwrap()
-            );
-        }
-    });
+        })
+        .unwrap_or_else(|err| {
+            eprintln!("quickstart: universe failed: {err}");
+            std::process::exit(2);
+        });
 
     println!("done.");
 }

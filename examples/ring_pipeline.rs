@@ -62,6 +62,10 @@ fn main() {
         }
         t0.elapsed()
     });
+    let times = times.unwrap_or_else(|err| {
+        eprintln!("ring_pipeline: universe failed: {err}");
+        std::process::exit(2);
+    });
 
     for (rank, t) in times.iter().enumerate() {
         println!("rank {rank}: {rounds} rounds in {t:?}");

@@ -40,7 +40,7 @@
 //!         precv.wait();
 //!         assert_eq!(precv.partition(3)[0], 3);
 //!     }
-//! });
+//! }).unwrap();
 //! ```
 //!
 //! ## Quickstart (simulator + model)

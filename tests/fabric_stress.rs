@@ -14,39 +14,42 @@ fn exactly_once_under_wildcard_storm() {
     let msgs_per_sender = 40;
     let sent_sum = AtomicU64::new(0);
     let recv_sum = AtomicU64::new(0);
-    Universe::new(2).with_shards(1).run(|comm| {
-        if comm.rank() == 0 {
-            std::thread::scope(|s| {
-                for t in 0..n_senders {
-                    let comm = comm.clone();
-                    let sent_sum = &sent_sum;
-                    s.spawn(move || {
-                        let mut rng = Xoshiro256pp::seed_from_u64(t as u64);
-                        for i in 0..msgs_per_sender {
-                            let val = (rng.next_bounded(200) + 1) as u8;
-                            sent_sum.fetch_add(val as u64, Ordering::Relaxed);
-                            comm.send(1, (t * 1000 + i) as i64, &[val]);
-                        }
-                    });
-                }
-            });
-        } else {
-            // Two wildcard receiver threads drain everything.
-            std::thread::scope(|s| {
-                for _ in 0..2 {
-                    let comm = comm.clone();
-                    let recv_sum = &recv_sum;
-                    s.spawn(move || {
-                        for _ in 0..(n_senders * msgs_per_sender / 2) {
-                            let mut b = [0u8; 1];
-                            comm.recv_into(None, None, &mut b);
-                            recv_sum.fetch_add(b[0] as u64, Ordering::Relaxed);
-                        }
-                    });
-                }
-            });
-        }
-    });
+    Universe::new(2)
+        .with_shards(1)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                std::thread::scope(|s| {
+                    for t in 0..n_senders {
+                        let comm = comm.clone();
+                        let sent_sum = &sent_sum;
+                        s.spawn(move || {
+                            let mut rng = Xoshiro256pp::seed_from_u64(t as u64);
+                            for i in 0..msgs_per_sender {
+                                let val = (rng.next_bounded(200) + 1) as u8;
+                                sent_sum.fetch_add(val as u64, Ordering::Relaxed);
+                                comm.send(1, (t * 1000 + i) as i64, &[val]);
+                            }
+                        });
+                    }
+                });
+            } else {
+                // Two wildcard receiver threads drain everything.
+                std::thread::scope(|s| {
+                    for _ in 0..2 {
+                        let comm = comm.clone();
+                        let recv_sum = &recv_sum;
+                        s.spawn(move || {
+                            for _ in 0..(n_senders * msgs_per_sender / 2) {
+                                let mut b = [0u8; 1];
+                                comm.recv_into(None, None, &mut b);
+                                recv_sum.fetch_add(b[0] as u64, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+            }
+        })
+        .unwrap();
     assert_eq!(
         sent_sum.load(Ordering::Relaxed),
         recv_sum.load(Ordering::Relaxed),
@@ -59,24 +62,27 @@ fn exactly_once_under_wildcard_storm() {
 #[test]
 fn mixed_protocol_fifo() {
     let sizes = [16usize, 100_000, 64, 70_000, 8, 90_000];
-    Universe::new(2).with_eager_max(64 * 1024).run(|comm| {
-        if comm.rank() == 0 {
-            for (i, &len) in sizes.iter().enumerate() {
-                let payload = vec![i as u8 + 1; len];
-                comm.send(1, 0, &payload);
+    Universe::new(2)
+        .with_eager_max(64 * 1024)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                for (i, &len) in sizes.iter().enumerate() {
+                    let payload = vec![i as u8 + 1; len];
+                    comm.send(1, 0, &payload);
+                }
+            } else {
+                for (i, &len) in sizes.iter().enumerate() {
+                    let mut buf = vec![0u8; len];
+                    let info = comm.recv_into(Some(0), Some(0), &mut buf);
+                    assert_eq!(info.len, len, "message {i} size mismatch");
+                    assert!(
+                        buf.iter().all(|&b| b == i as u8 + 1),
+                        "message {i} corrupted"
+                    );
+                }
             }
-        } else {
-            for (i, &len) in sizes.iter().enumerate() {
-                let mut buf = vec![0u8; len];
-                let info = comm.recv_into(Some(0), Some(0), &mut buf);
-                assert_eq!(info.len, len, "message {i} size mismatch");
-                assert!(
-                    buf.iter().all(|&b| b == i as u8 + 1),
-                    "message {i} corrupted"
-                );
-            }
-        }
-    });
+        })
+        .unwrap();
 }
 
 /// Rendezvous backpressure: many large sends queue as unexpected RTSs;
@@ -85,28 +91,30 @@ fn mixed_protocol_fifo() {
 fn rendezvous_backlog_drains() {
     let n = 8;
     let len = 200_000;
-    Universe::new(2).run(|comm| {
-        if comm.rank() == 0 {
-            std::thread::scope(|s| {
-                // Each send blocks until matched; issue them from separate
-                // threads so they all become pending at once.
+    Universe::new(2)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                std::thread::scope(|s| {
+                    // Each send blocks until matched; issue them from separate
+                    // threads so they all become pending at once.
+                    for i in 0..n {
+                        let comm = comm.clone();
+                        s.spawn(move || {
+                            let payload = vec![i as u8; len];
+                            comm.send(1, i as i64, &payload);
+                        });
+                    }
+                });
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(20));
                 for i in 0..n {
-                    let comm = comm.clone();
-                    s.spawn(move || {
-                        let payload = vec![i as u8; len];
-                        comm.send(1, i as i64, &payload);
-                    });
+                    let mut buf = vec![0u8; len];
+                    comm.recv_into(Some(0), Some(i as i64), &mut buf);
+                    assert!(buf.iter().all(|&b| b == i as u8));
                 }
-            });
-        } else {
-            std::thread::sleep(std::time::Duration::from_millis(20));
-            for i in 0..n {
-                let mut buf = vec![0u8; len];
-                comm.recv_into(Some(0), Some(i as i64), &mut buf);
-                assert!(buf.iter().all(|&b| b == i as u8));
             }
-        }
-    });
+        })
+        .unwrap();
 }
 
 /// High-churn persistent requests across many iterations do not leak
@@ -114,31 +122,33 @@ fn rendezvous_backlog_drains() {
 #[test]
 fn persistent_churn_counts() {
     let iters = 200;
-    Universe::new(2).run(|comm| {
-        let matched_before = comm.matched_messages();
-        if comm.rank() == 0 {
-            let ps = comm.send_init(1, 0, 32);
-            for i in 0..iters {
-                ps.write(|b| b.fill(i as u8));
-                ps.start();
-                ps.wait();
+    Universe::new(2)
+        .run(|comm| {
+            let matched_before = comm.matched_messages();
+            if comm.rank() == 0 {
+                let ps = comm.send_init(1, 0, 32);
+                for i in 0..iters {
+                    ps.write(|b| b.fill(i as u8));
+                    ps.start();
+                    ps.wait();
+                }
+            } else {
+                let pr = comm.recv_init(0, 0, 32);
+                for i in 0..iters {
+                    pr.start();
+                    let info = pr.wait();
+                    assert_eq!(info.len, 32);
+                    assert_eq!(pr.last_info(), Some(info));
+                    pr.read(|b| assert!(b.iter().all(|&x| x == i as u8)));
+                }
             }
-        } else {
-            let pr = comm.recv_init(0, 0, 32);
-            for i in 0..iters {
-                pr.start();
-                let info = pr.wait();
-                assert_eq!(info.len, 32);
-                assert_eq!(pr.last_info(), Some(info));
-                pr.read(|b| assert!(b.iter().all(|&x| x == i as u8)));
-            }
-        }
-        comm.barrier();
-        let matched_after = comm.matched_messages();
-        assert_eq!(
-            matched_after - matched_before,
-            iters as u64,
-            "match count mismatch"
-        );
-    });
+            comm.barrier();
+            let matched_after = comm.matched_messages();
+            assert_eq!(
+                matched_after - matched_before,
+                iters as u64,
+                "match count mismatch"
+            );
+        })
+        .unwrap();
 }

@@ -13,31 +13,34 @@ fn real_ring_of_partitioned_sends() {
     let n_ranks = 4;
     let n_parts = 4;
     let part_bytes = 256;
-    Universe::new(n_ranks).with_shards(2).run(|comm| {
-        let right = (comm.rank() + 1) % comm.size();
-        let left = (comm.rank() + comm.size() - 1) % comm.size();
-        let ps = comm.psend_init(right, 0, n_parts, part_bytes, PartOptions::default());
-        let pr = comm.precv_init(left, 0, n_parts, part_bytes, PartOptions::default());
-        for round in 0..5u8 {
-            pr.start();
-            ps.start();
-            for p in 0..n_parts {
-                ps.write_partition(p, |b| b.fill(comm.rank() as u8 * 16 + round));
-                ps.pready(p);
+    Universe::new(n_ranks)
+        .with_shards(2)
+        .run(|comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let ps = comm.psend_init(right, 0, n_parts, part_bytes, PartOptions::default());
+            let pr = comm.precv_init(left, 0, n_parts, part_bytes, PartOptions::default());
+            for round in 0..5u8 {
+                pr.start();
+                ps.start();
+                for p in 0..n_parts {
+                    ps.write_partition(p, |b| b.fill(comm.rank() as u8 * 16 + round));
+                    ps.pready(p);
+                }
+                ps.wait();
+                pr.wait();
+                for p in 0..n_parts {
+                    assert!(
+                        pr.partition(p)
+                            .iter()
+                            .all(|&b| b == left as u8 * 16 + round),
+                        "rank {} round {round} partition {p}",
+                        comm.rank()
+                    );
+                }
             }
-            ps.wait();
-            pr.wait();
-            for p in 0..n_parts {
-                assert!(
-                    pr.partition(p)
-                        .iter()
-                        .all(|&b| b == left as u8 * 16 + round),
-                    "rank {} round {round} partition {p}",
-                    comm.rank()
-                );
-            }
-        }
-    });
+        })
+        .unwrap();
 }
 
 /// Real runtime: all-to-one funnel — every rank sends to rank 0 with
@@ -45,21 +48,23 @@ fn real_ring_of_partitioned_sends() {
 #[test]
 fn real_all_to_one_funnel() {
     let n_ranks = 5;
-    Universe::new(n_ranks).run(|comm| {
-        if comm.rank() == 0 {
-            let mut seen = vec![false; n_ranks];
-            seen[0] = true;
-            for _ in 1..n_ranks {
-                let (data, info) = comm.recv_vec(None, None, 16);
-                assert_eq!(data, vec![info.src as u8; 8]);
-                assert!(!seen[info.src], "duplicate from {}", info.src);
-                seen[info.src] = true;
+    Universe::new(n_ranks)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                let mut seen = vec![false; n_ranks];
+                seen[0] = true;
+                for _ in 1..n_ranks {
+                    let (data, info) = comm.recv_vec(None, None, 16);
+                    assert_eq!(data, vec![info.src as u8; 8]);
+                    assert!(!seen[info.src], "duplicate from {}", info.src);
+                    seen[info.src] = true;
+                }
+                assert!(seen.iter().all(|&s| s));
+            } else {
+                comm.send(0, comm.rank() as i64, &[comm.rank() as u8; 8]);
             }
-            assert!(seen.iter().all(|&s| s));
-        } else {
-            comm.send(0, comm.rank() as i64, &[comm.rank() as u8; 8]);
-        }
-    });
+        })
+        .unwrap();
 }
 
 /// Simulator: a 4-rank world runs two concurrent partitioned channels

@@ -111,14 +111,16 @@ fn env_hook_writes_chrome_json() {
     let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let path = std::env::temp_dir().join(format!("pcomm_trace_{}.json", std::process::id()));
     std::env::set_var("PCOMM_TRACE", &path);
-    Universe::new(2).run(|comm| {
-        if comm.rank() == 0 {
-            comm.send(1, 3, &[1, 2, 3, 4]);
-        } else {
-            let mut b = [0u8; 4];
-            comm.recv_into(Some(0), Some(3), &mut b);
-        }
-    });
+    Universe::new(2)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, &[1, 2, 3, 4]);
+            } else {
+                let mut b = [0u8; 4];
+                comm.recv_into(Some(0), Some(3), &mut b);
+            }
+        })
+        .unwrap();
     std::env::remove_var("PCOMM_TRACE");
     let json = std::fs::read_to_string(&path).expect("PCOMM_TRACE file must exist");
     let _ = std::fs::remove_file(&path);
@@ -148,5 +150,5 @@ fn disabled_trace_records_nothing() {
         buf[0]
     });
     // Rank 0 got its own zeros echoed back; rank 1 kept its own buffer.
-    assert_eq!(out, vec![0, 1]);
+    assert_eq!(out.unwrap(), vec![0, 1]);
 }
