@@ -24,6 +24,11 @@ cargo test -q --offline --features proptests
 echo "== cargo bench --no-run (offline) =="
 cargo bench --workspace --no-run --offline
 
+echo "== unsafe SAFETY-comment lint =="
+# Every `unsafe` site must carry a `// SAFETY:` justification (or a
+# `# Safety` doc section for unsafe fns). See crates/bench/src/bin/safety_lint.rs.
+cargo run --release -p pcomm-bench --bin safety_lint --offline
+
 echo "== hotpath bench smoke (release, quick, scratch output) =="
 mkdir -p target
 cargo run --release -p pcomm-bench --bin hotpath --offline -- \
@@ -56,5 +61,23 @@ chaos_smoke ring_pipeline "seed=42,drop=0.05,delay=0.05:200,reorder=0.02,retries
 # Guaranteed loss: every attempt drops, retries exhaust — the run must
 # come back as a clean MessageLost/Stall error, never a hang.
 chaos_smoke pingpong      "seed=7,drop=1.0,retries=2"
+
+echo "== verify (PCOMM_VERIFY=1 examples + schedule-exploration sweep) =="
+# Every example runs with the verification layer armed: the run captures
+# an analysis-grade trace and teardown executes all three pcomm-verify
+# passes (happens-before races, deadlock verdicts, protocol lints); any
+# finding turns the exit status nonzero. Simulator-only examples ignore
+# the knob and simply rerun.
+cargo build --release --offline --examples
+for name in quickstart pingpong ring_pipeline halo_exchange consumer_overlap \
+            early_bird aggregation_sweep trace_contention; do
+    echo "-- $name under PCOMM_VERIFY=1"
+    PCOMM_VERIFY=1 timeout 120 "./target/release/examples/$name" >/dev/null
+done
+# Bounded schedule exploration in the simulator: the Fig. 3 scenario
+# under all 8 strategies × seeded pready-jitter permutations, all three
+# verification passes per interleaving. A finding prints the seed that
+# replays it against the real runtime via PCOMM_FAULTS.
+cargo run --release -p pcomm-bench --bin verify_sweep --offline -- --quick
 
 echo "CI OK"

@@ -29,12 +29,14 @@ use std::time::Instant;
 
 use pcomm_core::part::PartOptions;
 use pcomm_core::{Comm, Universe};
+use pcomm_trace::Trace;
 
 /// One full set of hot-path measurements, in nanoseconds.
 #[derive(Debug, Clone, Copy)]
 struct HotpathNumbers {
     pready_ns: f64,
     pready_watchdog_ns: f64,
+    pready_verify_ns: f64,
     parrived_probe_ns: f64,
     eager_roundtrip_ns: f64,
     contended_1shard_ns: f64,
@@ -49,6 +51,7 @@ impl HotpathNumbers {
                 "    \"label\": \"{}\",\n",
                 "    \"pready_ns\": {:.1},\n",
                 "    \"pready_watchdog_ns\": {:.1},\n",
+                "    \"pready_verify_ns\": {:.1},\n",
                 "    \"parrived_probe_ns\": {:.2},\n",
                 "    \"eager_roundtrip_ns\": {:.1},\n",
                 "    \"contended_1shard_ns\": {:.1},\n",
@@ -58,6 +61,7 @@ impl HotpathNumbers {
             label,
             self.pready_ns,
             self.pready_watchdog_ns,
+            self.pready_verify_ns,
             self.parrived_probe_ns,
             self.eager_roundtrip_ns,
             self.contended_1shard_ns,
@@ -84,13 +88,20 @@ fn min_ns_per_op(reps: usize, mut f: impl FnMut() -> (f64, usize)) -> f64 {
 /// `watchdog` the universe runs under an armed hang supervisor — the
 /// number must not move, because supervision only touches the sliced
 /// `wait_timeout` path of blocking waits, never the pready/probe fast
-/// path.
-fn bench_pready(reps: usize, watchdog: bool) -> f64 {
+/// path. With `verify` the universe records analysis-grade `Verify*`
+/// events for `pcomm-verify` — this is the one mode *allowed* to cost
+/// more (each pready also emits an instant event into the per-thread
+/// ring); the off mode must stay at the plain figure because the gate
+/// is a single branch.
+fn bench_pready(reps: usize, watchdog: bool, verify: bool) -> f64 {
     const N: usize = 64;
     const BYTES: usize = 64;
     let mut universe = Universe::new(2);
     if watchdog {
         universe = universe.with_watchdog_ms(5_000);
+    }
+    if verify {
+        universe = universe.with_trace(Trace::ring_verify(1 << 16));
     }
     let out = universe
         .run(|comm| {
@@ -278,9 +289,11 @@ fn main() {
     };
 
     eprintln!("hotpath: pready ...");
-    let pready_ns = bench_pready(reps, false);
+    let pready_ns = bench_pready(reps, false, false);
     eprintln!("hotpath: pready under watchdog ...");
-    let pready_watchdog_ns = bench_pready(reps, true);
+    let pready_watchdog_ns = bench_pready(reps, true, false);
+    eprintln!("hotpath: pready under verification ...");
+    let pready_verify_ns = bench_pready(reps, false, true);
     eprintln!("hotpath: parrived probe ...");
     let parrived_probe_ns = bench_parrived(reps, probes);
     eprintln!("hotpath: eager roundtrip ...");
@@ -293,6 +306,7 @@ fn main() {
     let now = HotpathNumbers {
         pready_ns,
         pready_watchdog_ns,
+        pready_verify_ns,
         parrived_probe_ns,
         eager_roundtrip_ns,
         contended_1shard_ns,
@@ -301,6 +315,7 @@ fn main() {
 
     println!("pready                  {pready_ns:>10.1} ns/op");
     println!("pready (watchdog on)    {pready_watchdog_ns:>10.1} ns/op");
+    println!("pready (verify on)      {pready_verify_ns:>10.1} ns/op");
     println!("parrived probe (hit)    {parrived_probe_ns:>10.2} ns/op");
     println!("eager roundtrip 256B    {eager_roundtrip_ns:>10.1} ns/rt");
     println!("8 threads / 1 shard     {contended_1shard_ns:>10.1} ns/msg");

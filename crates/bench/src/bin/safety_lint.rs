@@ -1,0 +1,153 @@
+//! Repo lint: every `unsafe` site must carry a written justification.
+//!
+//! A site passes when the `unsafe` line itself carries a `// SAFETY:`
+//! trailing comment, or when the contiguous block of lines directly
+//! above it — comments, attributes, or sibling `unsafe impl` lines —
+//! contains `SAFETY:` (block/impl justifications) or `# Safety` (the
+//! rustdoc section conventionally documenting an `unsafe fn`'s
+//! contract). Run from the repo root (`ci.sh` does); exits non-zero
+//! listing every unjustified site.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// `unsafe` as a whole word in the code portion of a line.
+fn has_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("unsafe") {
+        let start = from + pos;
+        let end = start + "unsafe".len();
+        let before_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// The code portion of a line: everything before a `//` comment, with a
+/// crude string-literal strip so `"unsafe"` inside a string or a `//`
+/// inside one do not confuse the scan.
+fn code_portion(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => in_str = !in_str,
+            '\\' if in_str => {
+                chars.next();
+            }
+            '/' if !in_str && chars.peek() == Some(&'/') => break,
+            _ if in_str => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Is this line part of a justification block when walking upwards?
+fn continues_block(trimmed: &str) -> bool {
+    trimmed.starts_with("//")
+        || trimmed.starts_with('#')
+        || trimmed.starts_with("unsafe impl")
+        || trimmed.is_empty()
+}
+
+fn justified(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let trimmed = lines[i].trim_start();
+        if !continues_block(trimmed) {
+            return false;
+        }
+        if trimmed.contains("SAFETY:") || trimmed.contains("# Safety") {
+            return true;
+        }
+    }
+    false
+}
+
+fn scan_file(path: &Path, offenders: &mut Vec<String>) -> usize {
+    let Ok(text) = fs::read_to_string(path) else {
+        return 0;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut sites = 0;
+    for (idx, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        // Doc/comment lines mentioning unsafe are prose, not sites.
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if !has_unsafe_token(&code_portion(line)) {
+            continue;
+        }
+        sites += 1;
+        if !justified(&lines, idx) {
+            offenders.push(format!("{}:{}: {}", path.display(), idx + 1, trimmed));
+        }
+    }
+    sites
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files);
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut files = Vec::new();
+    for root in ["crates", "src", "tests", "examples", "benches"] {
+        walk(Path::new(root), &mut files);
+    }
+    files.sort();
+    let mut offenders = Vec::new();
+    let mut sites = 0;
+    for f in &files {
+        sites += scan_file(f, &mut offenders);
+    }
+    if offenders.is_empty() {
+        println!(
+            "safety_lint: {} unsafe sites across {} files, all justified",
+            sites,
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "safety_lint: {} of {} unsafe sites lack a SAFETY justification:",
+            offenders.len(),
+            sites
+        );
+        for o in &offenders {
+            eprintln!("  {o}");
+        }
+        eprintln!("add a `// SAFETY: ...` comment (or `# Safety` doc section) above each site");
+        ExitCode::FAILURE
+    }
+}

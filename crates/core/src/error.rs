@@ -40,6 +40,9 @@ pub struct BlockedWait {
     pub what: String,
     /// The message tag involved, when the wait has one.
     pub tag: Option<i64>,
+    /// Peer rank the wait depends on, when known — the edge the
+    /// wait-for-graph deadlock analyzer builds from.
+    pub peer: Option<usize>,
 }
 
 /// One unmatched entry in a rank's match queues at stall time: either a
@@ -234,6 +237,7 @@ mod tests {
                 rank: 1,
                 what: "recv(src=0, tag=42, ctx=0)".into(),
                 tag: Some(42),
+                peer: Some(0),
             }],
             unmatched_posted: vec![QueueEntry {
                 rank: 1,

@@ -191,6 +191,11 @@ pub(crate) struct PostedRecv {
     pub(crate) dest_cap: usize,
     pub(crate) info: Arc<Mutex<Option<MsgInfo>>>,
     pub(crate) completion: Arc<Completion>,
+    /// `Some((req, m))` when this is message `m` of partitioned request
+    /// `req` (the interned verify id): fulfilling it emits a
+    /// `VerifyMsgRecv` analysis event (the transfer's write into the
+    /// partition buffer).
+    pub(crate) verify_msg: Option<(u16, u16)>,
 }
 
 // SAFETY: the destination is only written by the fulfilling thread before
@@ -482,11 +487,23 @@ impl Fabric {
         !self.wait_registry.lock().is_empty()
     }
 
-    fn register_wait(&self, rank: usize, what: String, tag: Option<i64>) -> u64 {
+    fn register_wait(
+        &self,
+        rank: usize,
+        what: String,
+        tag: Option<i64>,
+        peer: Option<usize>,
+    ) -> u64 {
         let id = self.next_wait_id.fetch_add(1, Ordering::Relaxed);
-        self.wait_registry
-            .lock()
-            .insert(id, BlockedWait { rank, what, tag });
+        self.wait_registry.lock().insert(
+            id,
+            BlockedWait {
+                rank,
+                what,
+                tag,
+                peer,
+            },
+        );
         id
     }
 
@@ -506,7 +523,7 @@ impl Fabric {
     /// atomic load, no locks.
     pub(crate) fn wait_on<F>(&self, completion: &Completion, rank: usize, label: F)
     where
-        F: FnOnce() -> (String, Option<i64>),
+        F: FnOnce() -> (String, Option<i64>, Option<usize>),
     {
         let mut label = Some(label);
         let mut reg_id = None;
@@ -522,8 +539,8 @@ impl Fabric {
             }
             if reg_id.is_none() {
                 if let Some(f) = label.take() {
-                    let (what, tag) = f();
-                    reg_id = Some(self.register_wait(rank, what, tag));
+                    let (what, tag, peer) = f();
+                    reg_id = Some(self.register_wait(rank, what, tag, peer));
                 }
             }
         }
@@ -564,7 +581,7 @@ impl Fabric {
             self.barrier_cv.notify_all();
             return;
         }
-        let reg_id = self.register_wait(rank, format!("barrier (generation {gen})"), None);
+        let reg_id = self.register_wait(rank, format!("barrier (generation {gen})"), None, None);
         while st.generation == gen {
             if self.aborted() {
                 self.unregister_wait(reg_id);
@@ -606,7 +623,7 @@ impl Fabric {
         if let Some(mem) = reg.get(&win_ctx) {
             return Arc::clone(mem);
         }
-        let reg_id = self.register_wait(rank, format!("attach_win(ctx={win_ctx})"), None);
+        let reg_id = self.register_wait(rank, format!("attach_win(ctx={win_ctx})"), None, None);
         loop {
             if let Some(mem) = reg.get(&win_ctx) {
                 self.unregister_wait(reg_id);
@@ -1057,6 +1074,7 @@ impl Fabric {
         dst_rank: usize,
     ) {
         let len = payload.len();
+        let matched_eager = matches!(payload, Payload::Eager(_));
         if len > posted.dest_cap {
             // Contract violation, caught before any copy: fail the
             // universe instead of panicking the fulfilling thread (which
@@ -1108,6 +1126,19 @@ impl Fabric {
                     .at(start)
                 });
             }
+        }
+        if let Some((vreq, m)) = posted.verify_msg {
+            let eager = matched_eager;
+            // Emitted before the completion fires so the analyzer sees
+            // the transfer's buffer write ordered before any parrived /
+            // wait edge it enables.
+            self.trace
+                .emit_verify(dst_rank as u16, || EventKind::VerifyMsgRecv {
+                    req: vreq,
+                    msg: m,
+                    tid: pcomm_trace::current_tid(),
+                    eager,
+                });
         }
         *posted.info.lock() = Some(MsgInfo { src, tag, len });
         self.matched.fetch_add(1, Ordering::Relaxed);
@@ -1191,6 +1222,7 @@ mod tests {
                 dest_cap: buf.len(),
                 info: Arc::new(Mutex::new(None)),
                 completion: Completion::new(),
+                verify_msg: None,
             },
         )
     }

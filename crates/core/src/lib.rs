@@ -78,3 +78,8 @@ pub use universe::{Universe, DEFAULT_CHAOS_WATCHDOG_MS};
 // Chaos configuration is shared with the simulator via `pcomm-trace`;
 // re-export it so runtime users need only this crate.
 pub use pcomm_trace::{FaultKind, FaultPlan};
+
+// The verification layer's report type, returned by
+// [`Universe::run_verified`]; re-exported so runtime users need only
+// this crate.
+pub use pcomm_verify::VerifyReport;

@@ -22,7 +22,11 @@ impl Comm {
         if let Some(done) = ticket.done() {
             let ctx = self.ctx();
             self.fabric().wait_on(done, self.rank(), || {
-                (format!("send(dst={dst}, tag={tag}, ctx={ctx})"), Some(tag))
+                (
+                    format!("send(dst={dst}, tag={tag}, ctx={ctx})"),
+                    Some(tag),
+                    Some(dst),
+                )
             });
         }
     }
@@ -43,6 +47,7 @@ impl Comm {
                 dest_cap: buf.len(),
                 info,
                 completion,
+                verify_msg: None,
             },
         );
         // Block until fulfilled: `buf` stays exclusively borrowed.
@@ -50,7 +55,11 @@ impl Comm {
         self.fabric().wait_on(&ticket.completion, self.rank(), || {
             let src_s = src.map_or("*".to_string(), |s| s.to_string());
             let tag_s = tag.map_or("*".to_string(), |t| t.to_string());
-            (format!("recv(src={src_s}, tag={tag_s}, ctx={ctx})"), tag)
+            (
+                format!("recv(src={src_s}, tag={tag_s}, ctx={ctx})"),
+                tag,
+                src,
+            )
         });
         let info = ticket
             .info
@@ -128,6 +137,8 @@ unsafe impl Send for PersistentSend {}
 impl PersistentSend {
     /// Buffer length.
     pub fn len(&self) -> usize {
+        // SAFETY: the length is fixed at construction; reading it never
+        // aliases the buffer contents the fabric may be reading.
         unsafe { (&*self.buf.get()).len() }
     }
 
@@ -183,6 +194,7 @@ impl PersistentSend {
                 (
                     format!("persistent send wait(dst={dst}, tag={tag})"),
                     Some(tag),
+                    Some(dst),
                 )
             });
         self.in_flight.store(false, Ordering::Release);
@@ -227,6 +239,8 @@ unsafe impl Send for PersistentRecv {}
 impl PersistentRecv {
     /// Buffer length.
     pub fn len(&self) -> usize {
+        // SAFETY: the length is fixed at construction; reading it never
+        // aliases the buffer contents the fabric may be writing.
         unsafe { (&*self.buf.get()).len() }
     }
 
@@ -258,6 +272,7 @@ impl PersistentRecv {
                 dest_cap: buf.len(),
                 info: Arc::clone(&self.info),
                 completion: Arc::clone(&self.done),
+                verify_msg: None,
             },
         );
     }
@@ -275,6 +290,7 @@ impl PersistentRecv {
                 (
                     format!("persistent recv wait(src={src}, tag={tag})"),
                     Some(tag),
+                    Some(src),
                 )
             });
         let info = self.info.lock().expect("completed receive carries info");

@@ -256,15 +256,24 @@ impl PartStorage {
     }
 
     fn read_partition(&self, p: usize) -> &[u8] {
-        // Reads are only exposed by PrecvRequest after wait() — no writer
-        // exists then.
         let off = p * self.part_bytes;
+        // SAFETY: reads are only exposed by PrecvRequest after wait()
+        // (iteration inactive — no writer exists) or, mid-iteration, via
+        // the checked `read_partition` path after the covering message's
+        // arrival signal was observed set. The fabric sets that signal
+        // with Release *after* its last write into the range and the
+        // probe loads it with Acquire, so the fabric's writes
+        // happened-before this read and no writer touches the range
+        // again until the next start().
         unsafe { &(&*self.data.get())[off..off + self.part_bytes] }
     }
 }
 
 struct PsendShared {
     comm: Comm,
+    /// Interned verify request id (see [`Trace::verify_req_id`]); 0 when
+    /// verification is off.
+    vreq: u16,
     dst: usize,
     n_parts: usize,
     part_bytes: usize,
@@ -285,6 +294,9 @@ struct PsendShared {
     /// teardown knows exactly which `sent` signals it must drain.
     issued: Vec<AtomicBool>,
     started: AtomicBool,
+    /// Iterations started so far; `iters - 1` is the current (or most
+    /// recently completed) iteration, the `iter` of the verify events.
+    iters: AtomicU64,
     /// Round counter for chaos `pready` jitter permutations.
     jitter_round: AtomicU64,
     /// Legacy: persistent CTS completion + envelope slot, re-armed and
@@ -313,6 +325,65 @@ impl Drop for PsendShared {
 #[derive(Clone)]
 pub struct PsendRequest {
     inner: Arc<PsendShared>,
+}
+
+/// Emit the analysis-grade init events for one side of a partitioned
+/// request: the request's shape plus one layout event per wire message,
+/// so the verifier can map partitions to transfer accesses. Both sides
+/// emit — a layout disagreement between them is itself a lint finding.
+/// No-op unless the trace was built with verification on.
+#[allow(clippy::too_many_arguments)] // one-shot plumbing of the init shape
+fn emit_verify_init(
+    comm: &Comm,
+    req: u16,
+    sender: bool,
+    n_parts: usize,
+    n_peer_parts: usize,
+    legacy: bool,
+    layout: &MsgLayout,
+    total_bytes: usize,
+) {
+    let trace = comm.fabric().trace();
+    if !trace.is_verify() {
+        return;
+    }
+    let rank = comm.rank() as u16;
+    let n_msgs = if legacy { 1 } else { layout.n_msgs() };
+    trace.emit_verify(rank, || EventKind::VerifyPartInit {
+        req,
+        sender,
+        parts: n_parts as u32,
+        msgs: n_msgs as u32,
+    });
+    if legacy {
+        // One message covering the whole buffer, sent in wait().
+        let (n_sparts, n_rparts) = if sender {
+            (n_parts, n_peer_parts)
+        } else {
+            (n_peer_parts, n_parts)
+        };
+        trace.emit_verify(rank, || EventKind::VerifyLayoutMsg {
+            req,
+            msg: 0,
+            first_spart: 0,
+            n_sparts: n_sparts as u16,
+            first_rpart: 0,
+            n_rparts: n_rparts as u16,
+            bytes: total_bytes as u64,
+        });
+    } else {
+        for (m, spec) in layout.msgs.iter().enumerate() {
+            trace.emit_verify(rank, || EventKind::VerifyLayoutMsg {
+                req,
+                msg: m as u16,
+                first_spart: spec.first_spart as u16,
+                n_sparts: spec.n_sparts as u16,
+                first_rpart: spec.first_rpart as u16,
+                n_rparts: spec.n_rparts as u16,
+                bytes: spec.bytes as u64,
+            });
+        }
+    }
 }
 
 impl Comm {
@@ -366,9 +437,26 @@ impl Comm {
                 msgs: n_msgs as u16,
                 bytes_per_msg: layout.msgs[0].bytes as u64,
             });
+        // The sender's rank disambiguates pairs sharing a (ctx, tag) —
+        // e.g. a ring whose links all use one tag.
+        let vreq = self
+            .fabric()
+            .trace()
+            .verify_req_id(part_comm.ctx(), self.rank() as u16);
+        emit_verify_init(
+            &part_comm,
+            vreq,
+            true,
+            n_parts,
+            n_recv_parts,
+            opts.legacy_single_message,
+            &layout,
+            n_parts * part_bytes,
+        );
         PsendRequest {
             inner: Arc::new(PsendShared {
                 comm: part_comm,
+                vreq,
                 dst,
                 n_parts,
                 part_bytes,
@@ -381,6 +469,7 @@ impl Comm {
                 sent: (0..n_msgs).map(|_| Completion::new()).collect(),
                 issued: (0..n_msgs).map(|_| AtomicBool::new(false)).collect(),
                 started: AtomicBool::new(false),
+                iters: AtomicU64::new(0),
                 jitter_round: AtomicU64::new(0),
                 cts_done: Completion::new(),
                 cts_info: Arc::new(Mutex::new(None)),
@@ -431,9 +520,25 @@ impl Comm {
         let layout = negotiate_layout(n_send_parts, n_parts, send_part_bytes, opts.aggr_size);
         let part_comm = Comm::part_comm(self, tag);
         let n_msgs = layout.n_msgs();
+        // Same id the sender interned: both sides key by the sender's rank.
+        let vreq = self
+            .fabric()
+            .trace()
+            .verify_req_id(part_comm.ctx(), src as u16);
+        emit_verify_init(
+            &part_comm,
+            vreq,
+            false,
+            n_parts,
+            n_send_parts,
+            opts.legacy_single_message,
+            &layout,
+            n_parts * part_bytes,
+        );
         PrecvRequest {
             inner: Arc::new(PrecvShared {
                 comm: part_comm,
+                vreq,
                 src,
                 n_parts,
                 part_bytes,
@@ -444,6 +549,7 @@ impl Comm {
                 arrived: (0..n_msgs).map(|_| Completion::new_set()).collect(),
                 infos: (0..n_msgs).map(|_| Arc::new(Mutex::new(None))).collect(),
                 started: AtomicBool::new(false),
+                iters: AtomicU64::new(0),
             }),
         }
     }
@@ -470,6 +576,12 @@ impl PsendRequest {
         &self.inner.layout
     }
 
+    /// Current iteration index for verify provenance (0 before the
+    /// first `start`).
+    fn cur_iter(&self) -> u32 {
+        self.inner.iters.load(Ordering::Relaxed).saturating_sub(1) as u32
+    }
+
     /// `MPI_Start`: arm the iteration.
     pub fn start(&self) {
         let s = &self.inner;
@@ -477,6 +589,16 @@ impl PsendRequest {
             !s.started.swap(true, Ordering::AcqRel),
             "partitioned send started twice"
         );
+        let iter = s.iters.fetch_add(1, Ordering::Relaxed) as u32;
+        s.comm
+            .fabric()
+            .trace()
+            .emit_verify(s.comm.rank() as u16, || EventKind::VerifyStart {
+                req: s.vreq,
+                sender: true,
+                iter,
+                tid: pcomm_trace::current_tid(),
+            });
         s.storage.reset();
         for issued in &s.issued {
             issued.store(false, Ordering::Release);
@@ -499,6 +621,7 @@ impl PsendRequest {
                     dest_cap: 0,
                     info: Arc::clone(&s.cts_info),
                     completion: Arc::clone(&s.cts_done),
+                    verify_msg: None,
                 },
             );
             s.counters[0].store(s.n_parts as i64, Ordering::Release);
@@ -538,7 +661,22 @@ impl PsendRequest {
                 format!("write_partition({p}) after pready({p}): partition already readied"),
             ));
         }
+        let trace = s.comm.fabric().trace();
+        let t0 = trace.verify_now_ns();
         s.storage.write_partition(p, f);
+        if let Some(start) = t0 {
+            let dur = trace
+                .verify_now_ns()
+                .map_or(0, |now| now.saturating_sub(start));
+            let iter = self.cur_iter();
+            trace.emit_verify(s.comm.rank() as u16, || EventKind::VerifyWrite {
+                req: s.vreq,
+                part: p as u32,
+                iter,
+                tid: pcomm_trace::current_tid(),
+                dur_ns: dur,
+            });
+        }
     }
 
     /// `MPI_Pready`: mark partition `p` ready. If this completes an
@@ -578,6 +716,14 @@ impl PsendRequest {
         let pready_ns = trace.now_ns();
         trace.emit(s.comm.rank() as u16, || EventKind::Pready {
             part: p as u64,
+        });
+        // Before the state gate on purpose: a double pready leaves two
+        // VerifyPready events for the lint pass to find.
+        trace.emit_verify(s.comm.rank() as u16, || EventKind::VerifyPready {
+            req: s.vreq,
+            part: p as u32,
+            iter: self.cur_iter(),
+            tid: pcomm_trace::current_tid(),
         });
         if let Err(state) = s.storage.try_mark_ready(p) {
             let why = if state == PART_WRITING {
@@ -689,6 +835,16 @@ impl PsendRequest {
         // rendezvous pin is released only by `sent[m]`, which the next
         // start() observes before resetting the storage.
         let data = unsafe { s.storage.ready_slice(byte_off, spec.bytes) };
+        // The transfer's read of the send partitions, for the analyzer.
+        s.comm
+            .fabric()
+            .trace()
+            .emit_verify(s.comm.rank() as u16, || EventKind::VerifyMsgSend {
+                req: s.vreq,
+                msg: m as u16,
+                iter: self.cur_iter(),
+                tid: pcomm_trace::current_tid(),
+            });
         // Marked before the fabric sees the pointer: teardown must drain
         // `sent[m]` whenever the fabric might hold a reference.
         s.issued[m].store(true, Ordering::Release);
@@ -732,6 +888,7 @@ impl PsendRequest {
                 (
                     format!("partitioned send CTS wait(dst={})", s.dst),
                     Some(TAG_CTS),
+                    Some(s.dst),
                 )
             });
             trace.emit_span(t_cts, rank, |start, dur| {
@@ -744,6 +901,12 @@ impl PsendRequest {
             let total = s.n_parts * s.part_bytes;
             // SAFETY: all partitions READY; exclusive until reset.
             let data = unsafe { s.storage.ready_slice(0, total) };
+            trace.emit_verify(rank, || EventKind::VerifyMsgSend {
+                req: s.vreq,
+                msg: 0,
+                iter: self.cur_iter(),
+                tid: pcomm_trace::current_tid(),
+            });
             s.issued[0].store(true, Ordering::Release);
             s.comm.fabric().send_raw_signal(
                 s.dst,
@@ -758,6 +921,7 @@ impl PsendRequest {
                 (
                     format!("partitioned send data wait(dst={})", s.dst),
                     Some(TAG_DATA),
+                    Some(s.dst),
                 )
             });
         } else {
@@ -778,6 +942,7 @@ impl PsendRequest {
                     (
                         format!("partitioned send wait(dst={}, msg={m})", s.dst),
                         Some(m as i64),
+                        Some(s.dst),
                     )
                 });
             }
@@ -789,12 +954,20 @@ impl PsendRequest {
             }
             .at(start)
         });
+        trace.emit_verify(rank, || EventKind::VerifyWaitDone {
+            req: s.vreq,
+            sender: true,
+            iter: self.cur_iter(),
+            tid: pcomm_trace::current_tid(),
+        });
         s.started.store(false, Ordering::Release);
     }
 }
 
 struct PrecvShared {
     comm: Comm,
+    /// Interned verify request id, agreed with the sender side.
+    vreq: u16,
     src: usize,
     n_parts: usize,
     part_bytes: usize,
@@ -811,6 +984,8 @@ struct PrecvShared {
     /// Persistent envelope slots handed to the fabric with each post.
     infos: Vec<Arc<Mutex<Option<MsgInfo>>>>,
     started: AtomicBool,
+    /// Iterations started so far (verify provenance, as on the send side).
+    iters: AtomicU64,
 }
 
 impl Drop for PrecvShared {
@@ -843,6 +1018,12 @@ impl PrecvRequest {
         }
     }
 
+    /// Current iteration index for verify provenance (0 before the
+    /// first `start`).
+    fn cur_iter(&self) -> u32 {
+        self.inner.iters.load(Ordering::Relaxed).saturating_sub(1) as u32
+    }
+
     /// `MPI_Start`: post the internal receives (improved) or send the CTS
     /// and post the single data receive (legacy).
     pub fn start(&self) {
@@ -851,6 +1032,16 @@ impl PrecvRequest {
             !s.started.swap(true, Ordering::AcqRel),
             "partitioned recv started twice"
         );
+        let iter = s.iters.fetch_add(1, Ordering::Relaxed) as u32;
+        s.comm
+            .fabric()
+            .trace()
+            .emit_verify(s.comm.rank() as u16, || EventKind::VerifyStart {
+                req: s.vreq,
+                sender: false,
+                iter,
+                tid: pcomm_trace::current_tid(),
+            });
         if s.legacy {
             // Re-arm the persistent slots *before* posting: a fulfilled
             // post sets `arrived[0]` immediately when the data message is
@@ -879,6 +1070,7 @@ impl PrecvRequest {
                     dest_cap: buf.len(),
                     info: Arc::clone(&s.infos[0]),
                     completion: Arc::clone(&s.arrived[0]),
+                    verify_msg: Some((s.vreq, 0)),
                 },
             );
         } else {
@@ -903,6 +1095,7 @@ impl PrecvRequest {
                         dest_cap: buf.len(),
                         info: Arc::clone(&s.infos[m]),
                         completion: Arc::clone(&s.arrived[m]),
+                        verify_msg: Some((s.vreq, m as u16)),
                     },
                 );
             }
@@ -946,7 +1139,18 @@ impl PrecvRequest {
         } else {
             s.layout.msg_of_rpart(p)
         };
-        Ok(s.arrived[m].is_set())
+        let arrived = s.arrived[m].is_set();
+        s.comm
+            .fabric()
+            .trace()
+            .emit_verify(s.comm.rank() as u16, || EventKind::VerifyParrived {
+                req: s.vreq,
+                part: p as u32,
+                iter: self.cur_iter(),
+                tid: pcomm_trace::current_tid(),
+                arrived,
+            });
+        Ok(arrived)
     }
 
     /// `MPI_Wait`: block until every internal message landed.
@@ -961,6 +1165,7 @@ impl PrecvRequest {
                 (
                     format!("partitioned recv wait(src={}, msg={m})", s.src),
                     Some(m as i64),
+                    Some(s.src),
                 )
             });
         }
@@ -970,6 +1175,12 @@ impl PrecvRequest {
                 wait_ns: dur,
             }
             .at(start)
+        });
+        trace.emit_verify(s.comm.rank() as u16, || EventKind::VerifyWaitDone {
+            req: s.vreq,
+            sender: false,
+            iter: self.cur_iter(),
+            tid: pcomm_trace::current_tid(),
         });
         s.started.store(false, Ordering::Release);
     }
@@ -982,7 +1193,82 @@ impl PrecvRequest {
             "cannot read partitions while an iteration is active"
         );
         assert!(p < s.n_parts, "partition out of range");
+        s.comm
+            .fabric()
+            .trace()
+            .emit_verify(s.comm.rank() as u16, || EventKind::VerifyRead {
+                req: s.vreq,
+                part: p as u32,
+                iter: self.cur_iter(),
+                tid: pcomm_trace::current_tid(),
+                dur_ns: 0,
+            });
         s.storage.read_partition(p)
+    }
+
+    /// Checked read of partition `p`: the consumer-overlap access path.
+    ///
+    /// Unlike [`partition`](PrecvRequest::partition) this is legal *while
+    /// the iteration is active*, provided the covering message has landed
+    /// (`parrived(p)` observed `true` establishes the ordering; this
+    /// method re-checks the arrival signal itself, so a call without the
+    /// prior probe is still memory-safe). Reading a partition whose
+    /// message has not arrived aborts the universe with
+    /// [`PcommError::Misuse`] — that access would race the fabric's copy.
+    pub fn read_partition(&self, p: usize, f: impl FnOnce(&[u8])) {
+        let s = &self.inner;
+        if p >= s.n_parts {
+            s.comm.fabric().fail(PcommError::misuse(
+                s.comm.rank(),
+                format!(
+                    "read_partition({p}) out of range: request has {} partitions",
+                    s.n_parts
+                ),
+            ));
+            panic_any(RankAborted);
+        }
+        let m = if s.legacy {
+            0
+        } else {
+            s.layout.msg_of_rpart(p)
+        };
+        if s.started.load(Ordering::Acquire) {
+            if !s.arrived[m].is_set() {
+                s.comm.fabric().fail(PcommError::misuse(
+                    s.comm.rank(),
+                    format!("read_partition({p}) before parrived: message {m} still in flight"),
+                ));
+                panic_any(RankAborted);
+            }
+            // The arrival check that just passed *is* the synchronization
+            // with the delivering message; record it as a readiness edge
+            // so the analyzer orders this read without a prior
+            // `parrived` probe on the same thread.
+            s.comm
+                .fabric()
+                .trace()
+                .emit_verify(s.comm.rank() as u16, || EventKind::VerifyParrived {
+                    req: s.vreq,
+                    part: p as u32,
+                    iter: self.cur_iter(),
+                    tid: pcomm_trace::current_tid(),
+                    arrived: true,
+                });
+        }
+        let trace = s.comm.fabric().trace();
+        let t0 = trace.verify_now_ns();
+        f(s.storage.read_partition(p));
+        trace.emit_verify(s.comm.rank() as u16, || EventKind::VerifyRead {
+            req: s.vreq,
+            part: p as u32,
+            iter: self.cur_iter(),
+            tid: pcomm_trace::current_tid(),
+            dur_ns: t0.map_or(0, |start| {
+                trace
+                    .verify_now_ns()
+                    .map_or(0, |now| now.saturating_sub(start))
+            }),
+        });
     }
 }
 

@@ -55,6 +55,8 @@ impl WinMem {
     }
 
     fn len(&self) -> usize {
+        // SAFETY: the length is fixed at construction; reading it never
+        // aliases the window contents concurrent `put`s may be writing.
         unsafe { (&*self.data.get()).len() }
     }
 }

@@ -110,7 +110,11 @@ impl Universe {
     /// used): `PCOMM_TRACE=<path>` / `PCOMM_TRACE_REPORT=<path>` write a
     /// Chrome trace / text summary at teardown; `PCOMM_FAULTS=<spec>`
     /// attaches a fault plan (see [`FaultPlan::parse`]);
-    /// `PCOMM_WATCHDOG_MS=<ms>` arms the watchdog.
+    /// `PCOMM_WATCHDOG_MS=<ms>` arms the watchdog; `PCOMM_VERIFY=1` runs
+    /// the [`pcomm_verify`] analyses (races, deadlock verdicts, protocol
+    /// lints) at teardown — findings are printed to stderr and turn an
+    /// otherwise successful run into [`PcommError::Misuse`], so a CI job
+    /// fails loudly.
     pub fn run<T, F>(&self, f: F) -> Result<Vec<T>, PcommError>
     where
         T: Send,
@@ -141,10 +145,20 @@ impl Universe {
         let env_report = std::env::var("PCOMM_TRACE_REPORT")
             .ok()
             .filter(|p| !p.is_empty());
-        if u.trace.is_enabled() || (env_json.is_none() && env_report.is_none()) {
+        let env_verify = std::env::var("PCOMM_VERIFY")
+            .map(|v| {
+                let v = v.trim().to_string();
+                !v.is_empty() && v != "0"
+            })
+            .unwrap_or(false);
+        if u.trace.is_enabled() || (env_json.is_none() && env_report.is_none() && !env_verify) {
             return u.run_on(u.trace.clone(), &f);
         }
-        let trace = Trace::ring(DEFAULT_TRACE_CAP);
+        let trace = if env_verify {
+            Trace::ring_verify(DEFAULT_TRACE_CAP)
+        } else {
+            Trace::ring(DEFAULT_TRACE_CAP)
+        };
         let out = u.run_on(trace.clone(), &f);
         let data = trace.snapshot().expect("trace was enabled");
         if let Some(path) = env_json {
@@ -159,7 +173,50 @@ impl Universe {
                 eprintln!("pcomm: failed to write PCOMM_TRACE_REPORT={path}: {e}");
             }
         }
+        if env_verify {
+            let report = pcomm_verify::analyze(&data.events);
+            if !report.is_clean() {
+                eprintln!("{report}");
+                if out.is_ok() {
+                    return Err(PcommError::Misuse {
+                        rank: None,
+                        detail: format!(
+                            "PCOMM_VERIFY: {} findings (see report above)",
+                            report.finding_count()
+                        ),
+                    });
+                }
+            }
+        }
         out
+    }
+
+    /// Run with verification instrumentation on and return the analysis
+    /// report alongside the per-rank results. A verify-capable trace is
+    /// attached automatically (the one from [`Universe::with_trace`] is
+    /// reused if it was created with
+    /// [`Trace::ring_verify`](pcomm_trace::Trace::ring_verify)); at
+    /// teardown the captured events run through all three
+    /// [`pcomm_verify`] passes — happens-before races, wait-for-graph
+    /// deadlock verdicts, and protocol lints. The report is returned
+    /// even when the run itself failed: a stalled run's report carries
+    /// the deadlock-vs-orphan verdict for the stall.
+    pub fn run_verified<T, F>(
+        &self,
+        f: F,
+    ) -> (Result<Vec<T>, PcommError>, pcomm_verify::VerifyReport)
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        let trace = if self.trace.is_verify() {
+            self.trace.clone()
+        } else {
+            Trace::ring_verify(DEFAULT_TRACE_CAP)
+        };
+        let out = self.run_on(trace.clone(), &f);
+        let data = trace.snapshot().expect("trace is enabled");
+        (out, pcomm_verify::analyze(&data.events))
     }
 
     /// Run with the attached trace (see [`Universe::with_trace`]) and
@@ -335,6 +392,16 @@ fn supervise(fabric: &Fabric, shutdown: &Completion, watchdog_ms: u64) {
                 watchdog_ms,
                 quiet_ms,
             });
+            // One analysis-grade edge per blocked wait: the wait-for
+            // graph the deadlock analyzer builds its cycle search from.
+            for b in &report.blocked {
+                fabric
+                    .trace()
+                    .emit_verify(b.rank as u16, || EventKind::VerifyBlocked {
+                        peer: b.peer.map(|p| p as u16),
+                        tag: b.tag,
+                    });
+            }
             fabric.fail(PcommError::Stall(report));
             return;
         }
@@ -455,5 +522,53 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = Universe::new(0);
+    }
+
+    #[test]
+    fn run_verified_clean_partitioned_roundtrip() {
+        use crate::part::PartOptions;
+        let (out, report) = Universe::new(2).with_shards(2).run_verified(|comm| {
+            if comm.rank() == 0 {
+                let psend = comm.psend_init(1, 7, 4, 256, PartOptions::default());
+                psend.start();
+                for p in 0..4 {
+                    psend.write_partition(p, |buf| buf.fill(p as u8));
+                    psend.pready(p);
+                }
+                psend.wait();
+            } else {
+                let precv = comm.precv_init(0, 7, 4, 256, PartOptions::default());
+                precv.start();
+                precv.wait();
+                assert_eq!(precv.partition(3)[0], 3);
+            }
+        });
+        out.unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.stats.verify_events > 0, "instrumentation was on");
+        assert_eq!(report.stats.requests, 1);
+    }
+
+    #[test]
+    fn run_verified_returns_deadlock_verdict_on_stall() {
+        // Two ranks each wait for a message the other never sends: the
+        // watchdog stalls out and the analyzer must upgrade the stall to
+        // an exact cycle verdict.
+        let (out, report) = Universe::new(2).with_watchdog_ms(150).run_verified(|comm| {
+            let peer = 1 - comm.rank();
+            let mut b = [0u8; 1];
+            comm.recv_into(Some(peer), Some(5), &mut b);
+        });
+        assert!(
+            matches!(out, Err(PcommError::Stall(_))),
+            "expected a stall, got {out:?}"
+        );
+        assert!(
+            report
+                .deadlocks
+                .iter()
+                .any(|d| matches!(d, pcomm_verify::DeadlockFinding::Cycle { .. })),
+            "{report}"
+        );
     }
 }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod comm;
+pub mod explore;
 pub mod p2p;
 pub mod part;
 pub mod rma;
@@ -35,6 +36,9 @@ pub use comm::Comm;
 // Re-exported so sim users consume the unified trace schema without a
 // direct `pcomm-trace` dependency.
 pub use pcomm_trace::{Event, EventKind};
+// Re-exported so exploration users consume the verification verdicts
+// without a direct `pcomm-verify` dependency.
+pub use pcomm_verify::VerifyReport;
 pub use tag::{Delivered, MatchEngine};
 pub use world::World;
 

@@ -216,6 +216,8 @@ struct PsendShared {
     /// Internal communicator on the partitioned context; `vci_idx` is
     /// re-chosen per message for the round-robin VCI mapping.
     comm: Comm,
+    /// Interned verify request id (see `World::verify_req_id`).
+    vreq: u16,
     dst: usize,
     n_parts: usize,
     part_bytes: usize,
@@ -241,6 +243,9 @@ struct PsendShared {
     /// of them contend via false sharing.
     concurrent_preadys: Cell<usize>,
     started: Cell<bool>,
+    /// Iterations started so far; `iters - 1` is the current (or most
+    /// recently completed) iteration, the `iter` of the verify events.
+    iters: Cell<u64>,
     /// Chaos `pready` jitter rounds consumed (one per permuted
     /// `pready_range`/`pready_list` call); mirrors the real runtime.
     jitter_round: Cell<u64>,
@@ -291,10 +296,25 @@ pub fn psend_init(
         comm.vci_idx(),
     );
     let n_msgs = layout.n_msgs();
+    // Keyed by the sender's rank so pairs sharing a (ctx, tag) — e.g. a
+    // ring whose links all use one tag — stay distinct for the analyzer.
+    let vreq = world.verify_req_id(part_comm.ctx(), comm.rank() as u16);
+    emit_verify_init(
+        &world,
+        &part_comm,
+        vreq,
+        true,
+        path,
+        n_parts,
+        n_recv_parts,
+        &layout,
+        n_parts * part_bytes,
+    );
     PsendRequest {
         inner: Rc::new(PsendShared {
             world,
             comm: part_comm,
+            vreq,
             dst,
             n_parts,
             part_bytes,
@@ -311,8 +331,65 @@ pub fn psend_init(
             am_issued: RefCell::new(Signal::new()),
             concurrent_preadys: Cell::new(0),
             started: Cell::new(false),
+            iters: Cell::new(0),
             jitter_round: Cell::new(0),
         }),
+    }
+}
+
+/// Emit the analysis-grade init events for one side of a partitioned
+/// request: shape plus one layout event per wire message. Mirrors the
+/// real runtime's emission exactly, so `pcomm-verify` consumes sim and
+/// real traces identically. No-op unless [`World::enable_verify`] ran.
+#[allow(clippy::too_many_arguments)]
+fn emit_verify_init(
+    world: &World,
+    comm: &Comm,
+    req: u16,
+    sender: bool,
+    path: PartPath,
+    n_parts: usize,
+    n_peer_parts: usize,
+    layout: &MsgLayout,
+    total_bytes: usize,
+) {
+    let rank = comm.rank();
+    let legacy = path == PartPath::LegacyAm;
+    let n_msgs = if legacy { 1 } else { layout.n_msgs() };
+    world.emit_verify(rank, || EventKind::VerifyPartInit {
+        req,
+        sender,
+        parts: n_parts as u32,
+        msgs: n_msgs as u32,
+    });
+    if legacy {
+        // One message covering the whole buffer, sent as a single AM.
+        let (n_sparts, n_rparts) = if sender {
+            (n_parts, n_peer_parts)
+        } else {
+            (n_peer_parts, n_parts)
+        };
+        world.emit_verify(rank, || EventKind::VerifyLayoutMsg {
+            req,
+            msg: 0,
+            first_spart: 0,
+            n_sparts: n_sparts as u16,
+            first_rpart: 0,
+            n_rparts: n_rparts as u16,
+            bytes: total_bytes as u64,
+        });
+    } else {
+        for (m, spec) in layout.msgs.iter().enumerate() {
+            world.emit_verify(rank, || EventKind::VerifyLayoutMsg {
+                req,
+                msg: m as u16,
+                first_spart: spec.first_spart as u16,
+                n_sparts: spec.n_sparts as u16,
+                first_rpart: spec.first_rpart as u16,
+                n_rparts: spec.n_rparts as u16,
+                bytes: spec.bytes as u64,
+            });
+        }
     }
 }
 
@@ -344,12 +421,28 @@ impl PsendRequest {
         self.inner.path
     }
 
+    /// Current iteration index for verify provenance (0 before the
+    /// first `start`). The simulated thread id is the rank: each rank's
+    /// "threads" are coroutines of one deterministic schedule.
+    fn cur_iter(&self) -> u32 {
+        self.inner.iters.get().saturating_sub(1) as u32
+    }
+
     /// `MPI_Start`: reset counters and arm the iteration. Charges the
     /// per-message request-setup cost serially (master thread).
     pub async fn start(&self) {
         let s = &self.inner;
         assert!(!s.started.get(), "partitioned send started twice");
         s.started.set(true);
+        let iter = s.iters.get();
+        s.iters.set(iter + 1);
+        s.world
+            .emit_verify(s.comm.rank(), || EventKind::VerifyStart {
+                req: s.vreq,
+                sender: true,
+                iter: iter as u32,
+                tid: s.comm.rank() as u16,
+            });
         let cfg = s.world.config().clone();
         match s.path {
             PartPath::Improved => {
@@ -418,6 +511,15 @@ impl PsendRequest {
         s.concurrent_preadys.set(s.concurrent_preadys.get() - 1);
         s.world
             .trace(s.comm.rank(), || EventKind::Pready { part: p as u64 });
+        // Before the state gate on purpose: a double pready leaves two
+        // VerifyPready events for the lint pass to find.
+        s.world
+            .emit_verify(s.comm.rank(), || EventKind::VerifyPready {
+                req: s.vreq,
+                part: p as u32,
+                iter: self.cur_iter(),
+                tid: s.comm.rank() as u16,
+            });
         match s.path {
             PartPath::Improved => {
                 let m = s.layout.msg_of_spart(p);
@@ -485,6 +587,15 @@ impl PsendRequest {
     async fn issue_message(&self, m: usize, pready_ns: Option<u64>) {
         let s = &self.inner;
         let spec = s.layout.msgs[m];
+        // The injection is the transfer's read of the send partitions
+        // this message covers.
+        s.world
+            .emit_verify(s.comm.rank(), || EventKind::VerifyMsgSend {
+                req: s.vreq,
+                msg: m as u16,
+                iter: self.cur_iter(),
+                tid: s.comm.rank() as u16,
+            });
         let vci_idx = match &s.vci_mapping {
             // Round-robin message → VCI attribution (§3.2.2).
             VciMapping::RoundRobinByMessage => m % s.world.n_vcis(),
@@ -527,6 +638,13 @@ impl PsendRequest {
                 let occupancy = s.world.jitter(cfg.o_am + cfg.copy_time(total)) + penalty;
                 s.world.sim().sleep(occupancy).await;
             }
+            s.world
+                .emit_verify(s.comm.rank(), || EventKind::VerifyMsgSend {
+                    req: s.vreq,
+                    msg: 0,
+                    iter: self.cur_iter(),
+                    tid: s.comm.rank() as u16,
+                });
             s.world.transmit(
                 s.comm.rank(),
                 s.dst,
@@ -586,6 +704,13 @@ impl PsendRequest {
                 msgs: n_msgs as u16,
                 wait_ns,
             });
+        s.world
+            .emit_verify(s.comm.rank(), || EventKind::VerifyWaitDone {
+                req: s.vreq,
+                sender: true,
+                iter: self.cur_iter(),
+                tid: s.comm.rank() as u16,
+            });
         s.started.set(false);
     }
 }
@@ -593,6 +718,8 @@ impl PsendRequest {
 struct PrecvShared {
     world: World,
     comm: Comm,
+    /// Interned verify request id, agreed with the sender side.
+    vreq: u16,
     src: usize,
     n_parts: usize,
     total_bytes: usize,
@@ -605,7 +732,8 @@ struct PrecvShared {
     /// Legacy: completion of the single AM message.
     am_ready: RefCell<Signal>,
     started: Cell<bool>,
-    completed_once: Cell<bool>,
+    /// Iterations started so far (verify provenance, as on the send side).
+    iters: Cell<u64>,
 }
 
 /// Receiver-side partitioned request (`MPI_Precv_init`).
@@ -637,10 +765,24 @@ pub fn precv_init(
         comm.vci_idx(),
     );
     let n_msgs = layout.n_msgs();
+    // Same id the sender interned: both sides key by the sender's rank.
+    let vreq = world.verify_req_id(part_comm.ctx(), src as u16);
+    emit_verify_init(
+        &world,
+        &part_comm,
+        vreq,
+        false,
+        path,
+        n_parts,
+        n_send_parts,
+        &layout,
+        n_send_parts * send_part_bytes,
+    );
     PrecvRequest {
         inner: Rc::new(PrecvShared {
             world,
             comm: part_comm,
+            vreq,
             src,
             n_parts,
             total_bytes: n_send_parts * send_part_bytes,
@@ -652,7 +794,7 @@ pub fn precv_init(
             arrived: RefCell::new(vec![Signal::new(); n_msgs]),
             am_ready: RefCell::new(Signal::new()),
             started: Cell::new(false),
-            completed_once: Cell::new(false),
+            iters: Cell::new(0),
         }),
     }
 }
@@ -668,12 +810,53 @@ impl PrecvRequest {
         self.inner.path
     }
 
+    /// Current iteration index for verify provenance (0 before the
+    /// first `start`).
+    fn cur_iter(&self) -> u32 {
+        self.inner.iters.get().saturating_sub(1) as u32
+    }
+
+    /// Spawn an observer coroutine that emits [`EventKind::VerifyMsgRecv`]
+    /// the moment `sig` fires — the virtual instant the wire message's
+    /// payload lands in the recv buffer. Observers add no virtual time,
+    /// so verification never perturbs the simulated schedule.
+    fn watch_arrival(&self, m: usize, sig: Signal) {
+        let s = &self.inner;
+        if !s.world.verify_on() {
+            return;
+        }
+        let world = s.world.clone();
+        let rank = s.comm.rank();
+        let req = s.vreq;
+        s.world.sim().spawn(async move {
+            sig.wait().await;
+            // The simulated transport always lands payloads through a
+            // staging copy, never a peek into the sender's live buffer —
+            // eager semantics as far as the sender's HB edges go.
+            world.emit_verify(rank, || EventKind::VerifyMsgRecv {
+                req,
+                msg: m as u16,
+                tid: rank as u16,
+                eager: true,
+            });
+        });
+    }
+
     /// `MPI_Start`: post the internal receives (improved) or send the CTS
     /// and post the AM receive (legacy).
     pub async fn start(&self) {
         let s = &self.inner;
         assert!(!s.started.get(), "partitioned recv started twice");
         s.started.set(true);
+        let iter = s.iters.get();
+        s.iters.set(iter + 1);
+        s.world
+            .emit_verify(s.comm.rank(), || EventKind::VerifyStart {
+                req: s.vreq,
+                sender: false,
+                iter: iter as u32,
+                tid: s.comm.rank() as u16,
+            });
         match s.path {
             PartPath::Improved => {
                 if s.first_iteration.replace(false) && s.first_iteration_cts {
@@ -686,6 +869,7 @@ impl PrecvRequest {
                 *s.arrived.borrow_mut() = vec![Signal::new(); n];
                 for m in 0..n {
                     let req = s.comm.irecv(Some(s.src), Some(m as i64)).await;
+                    self.watch_arrival(m, req.ready_signal());
                     // Bridge the request's readiness to the arrived signal
                     // so Parrived can poll without consuming the request.
                     s.reqs.borrow_mut()[m] = Some(req);
@@ -721,6 +905,7 @@ impl PrecvRequest {
                 if let Some(matched) = engine.post(posted) {
                     s.world.finalize_match(s.comm.rank(), matched);
                 }
+                self.watch_arrival(0, ready.clone());
                 *s.am_ready.borrow_mut() = ready;
             }
         }
@@ -730,20 +915,34 @@ impl PrecvRequest {
     ///
     /// In the improved path this tests the internal message covering the
     /// partition; in the legacy path the whole buffer arrives at once.
+    /// An *inactive* request — never started, or between iterations —
+    /// reports `true`, as MPI defines for completed operations (and as
+    /// the real runtime does).
     pub fn parrived(&self, p: usize) -> bool {
         let s = &self.inner;
         assert!(p < s.n_parts, "partition index out of range");
-        match s.path {
+        let arrived = match s.path {
             PartPath::Improved => {
                 let m = s.layout.msg_of_rpart(p);
-                // A consumed request means wait() completed the iteration.
+                // An empty request slot means the request is inactive:
+                // either wait() consumed it completing the iteration, or
+                // start() never ran. Both answer true.
                 s.reqs.borrow()[m]
                     .as_ref()
                     .map(|r| r.test())
-                    .unwrap_or(s.completed_once.get() && !s.started.get())
+                    .unwrap_or(!s.started.get())
             }
-            PartPath::LegacyAm => s.am_ready.borrow().is_set(),
-        }
+            PartPath::LegacyAm => !s.started.get() || s.am_ready.borrow().is_set(),
+        };
+        s.world
+            .emit_verify(s.comm.rank(), || EventKind::VerifyParrived {
+                req: s.vreq,
+                part: p as u32,
+                iter: self.cur_iter(),
+                tid: s.comm.rank() as u16,
+                arrived,
+            });
+        arrived
     }
 
     /// Wait until **some** internal message has arrived and return its
@@ -805,8 +1004,14 @@ impl PrecvRequest {
                 msgs: n_msgs as u16,
                 wait_ns,
             });
+        s.world
+            .emit_verify(s.comm.rank(), || EventKind::VerifyWaitDone {
+                req: s.vreq,
+                sender: false,
+                iter: self.cur_iter(),
+                tid: s.comm.rank() as u16,
+            });
         s.started.set(false);
-        s.completed_once.set(true);
     }
 }
 

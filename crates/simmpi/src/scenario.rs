@@ -285,6 +285,34 @@ pub fn run_scenario(
     times
 }
 
+/// Like [`run_scenario`], but with analysis-grade `Verify*` emission on
+/// and an optional chaos plan steering the interleaving. Returns the
+/// per-iteration overheads plus the collected trace, ready for
+/// [`pcomm_verify::analyze`]. The [`crate::explore`] module drives this
+/// over a seed sweep.
+pub fn run_scenario_verified(
+    cfg: &MachineConfig,
+    n_vcis: usize,
+    seed: u64,
+    approach: Approach,
+    sc: &Scenario,
+    plan: Option<pcomm_trace::FaultPlan>,
+) -> (Vec<Dur>, Vec<pcomm_trace::Event>) {
+    sc.validate();
+    let sim = Sim::new();
+    let world = World::new(&sim, cfg.clone(), 2, n_vcis, seed);
+    world.enable_verify();
+    if let Some(plan) = plan {
+        world.enable_faults(plan);
+    }
+    let rec = Recorder::new();
+    strategies::spawn(&world, approach, sc.clone(), rec.clone());
+    sim.run();
+    let times = rec.into_times(sc.max_delay());
+    assert_eq!(times.len(), sc.iterations, "lost iterations");
+    (times, world.take_trace())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -196,9 +196,21 @@ async fn sender_part(world: World, sc: Scenario, rec: Recorder, ps: PsendRequest
             let ps = ps.clone();
             let sim2 = sim.clone();
             handles.push(sim.spawn(async move {
-                for (p, ready) in parts {
+                // Partitions that become ready at the same instant are
+                // issued as one `pready_list` batch: identical timing to
+                // the per-partition loop, but the batch is a unit the
+                // chaos pready jitter can permute, which is what the
+                // verification layer's schedule exploration drives.
+                let mut i = 0;
+                while i < parts.len() {
+                    let (_, ready) = parts[i];
                     sim2.sleep_until(t0 + ready).await;
-                    ps.pready(p).await;
+                    let mut batch = Vec::new();
+                    while i < parts.len() && parts[i].1 == ready {
+                        batch.push(parts[i].0);
+                        i += 1;
+                    }
+                    ps.pready_list(&batch).await;
                 }
             }));
         }

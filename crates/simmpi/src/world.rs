@@ -45,6 +45,16 @@ struct WorldState {
     /// with *virtual* nanoseconds, so sim and real traces are directly
     /// comparable in one viewer.
     trace: Option<Vec<Event>>,
+    /// Analysis-grade `Verify*` event emission for `pcomm-verify`
+    /// (implies tracing). Off by default: the verify events are dense
+    /// (one per partition access and per message hop) and only the
+    /// verification passes consume them.
+    verify: bool,
+    /// Interned `(ctx, sender_rank)` request identities, in first-seen
+    /// order; a request's `Verify*` id is its index. The sender's rank
+    /// disambiguates pairs sharing a partitioned (ctx, tag) — mirrors
+    /// `Trace::verify_req_id` in the real runtime.
+    verify_reqs: Vec<(u64, u16)>,
     /// Optional chaos plan (None = no fault injection). Shares the
     /// [`FaultPlan`] definition with the real runtime so one
     /// `PCOMM_FAULTS` spec drives both.
@@ -98,6 +108,8 @@ impl World {
                 windows: vec![0; n_ranks],
                 part_requests: HashMap::new(),
                 trace: None,
+                verify: false,
+                verify_reqs: Vec::new(),
                 fault_plan: None,
                 fault_seq: HashMap::new(),
                 vci_assign: vec![1; n_ranks], // 0 is comm_world's VCI
@@ -158,6 +170,57 @@ impl World {
     /// partitioned-communication milestones as typed [`Event`]s).
     pub fn enable_trace(&self) {
         self.state.borrow_mut().trace = Some(Vec::new());
+    }
+
+    /// Enable analysis-grade `Verify*` event emission for the
+    /// `pcomm-verify` passes (happens-before races, wait-for-graph
+    /// deadlocks, protocol lints). Implies [`World::enable_trace`]; the
+    /// collected events come back through [`World::take_trace`].
+    pub fn enable_verify(&self) {
+        let mut s = self.state.borrow_mut();
+        if s.trace.is_none() {
+            s.trace = Some(Vec::new());
+        }
+        s.verify = true;
+    }
+
+    /// Whether `Verify*` emission is on (callers that must spawn
+    /// observer tasks check this up front).
+    pub(crate) fn verify_on(&self) -> bool {
+        self.state.borrow().verify
+    }
+
+    /// Intern a partitioned request's `(ctx, sender_rank)` identity into
+    /// the stable `u16` id carried by `Verify*` events; both sides call
+    /// with the sender's rank and agree. Returns 0 when verification is
+    /// off (no event carries it then).
+    pub(crate) fn verify_req_id(&self, ctx: u64, sender_rank: u16) -> u16 {
+        let mut s = self.state.borrow_mut();
+        if !s.verify {
+            return 0;
+        }
+        let key = (ctx, sender_rank);
+        if let Some(i) = s.verify_reqs.iter().position(|&k| k == key) {
+            return i as u16;
+        }
+        s.verify_reqs.push(key);
+        (s.verify_reqs.len() - 1) as u16
+    }
+
+    /// Record a `Verify*` event at virtual-now, only when verification
+    /// is enabled. The closure only runs when it is, keeping the
+    /// default path to one branch.
+    pub(crate) fn emit_verify(&self, rank: usize, kind: impl FnOnce() -> EventKind) {
+        let mut s = self.state.borrow_mut();
+        if !s.verify {
+            return;
+        }
+        if let Some(trace) = s.trace.as_mut() {
+            let ts_ns = self.sim.now().as_ps() / 1000;
+            let mut ev = kind().at(ts_ns);
+            ev.rank = rank as u16;
+            trace.push(ev);
+        }
     }
 
     /// Enable chaos fault injection on the simulated transport. Every

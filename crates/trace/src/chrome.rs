@@ -83,6 +83,84 @@ fn args_json(kind: &EventKind) -> String {
             watchdog_ms,
             quiet_ms,
         } => format!("\"blocked\":{blocked},\"watchdog_ms\":{watchdog_ms},\"quiet_ms\":{quiet_ms}"),
+        EventKind::VerifyPartInit {
+            req,
+            sender,
+            parts,
+            msgs,
+        } => format!("\"req\":{req},\"sender\":{sender},\"parts\":{parts},\"msgs\":{msgs}"),
+        EventKind::VerifyLayoutMsg {
+            req,
+            msg,
+            first_spart,
+            n_sparts,
+            first_rpart,
+            n_rparts,
+            bytes,
+        } => format!(
+            "\"req\":{req},\"msg\":{msg},\"first_spart\":{first_spart},\"n_sparts\":{n_sparts},\
+             \"first_rpart\":{first_rpart},\"n_rparts\":{n_rparts},\"bytes\":{bytes}"
+        ),
+        EventKind::VerifyStart {
+            req,
+            sender,
+            iter,
+            tid,
+        } => format!("\"req\":{req},\"sender\":{sender},\"iter\":{iter},\"tid\":{tid}"),
+        EventKind::VerifyPready {
+            req,
+            part,
+            iter,
+            tid,
+        } => format!("\"req\":{req},\"part\":{part},\"iter\":{iter},\"tid\":{tid}"),
+        EventKind::VerifyWrite {
+            req,
+            part,
+            iter,
+            tid,
+            dur_ns,
+        }
+        | EventKind::VerifyRead {
+            req,
+            part,
+            iter,
+            tid,
+            dur_ns,
+        } => format!(
+            "\"req\":{req},\"part\":{part},\"iter\":{iter},\"tid\":{tid},\"dur_ns\":{dur_ns}"
+        ),
+        EventKind::VerifyMsgSend {
+            req,
+            msg,
+            iter,
+            tid,
+        } => format!("\"req\":{req},\"msg\":{msg},\"iter\":{iter},\"tid\":{tid}"),
+        EventKind::VerifyMsgRecv {
+            req,
+            msg,
+            tid,
+            eager,
+        } => format!("\"req\":{req},\"msg\":{msg},\"tid\":{tid},\"eager\":{eager}"),
+        EventKind::VerifyParrived {
+            req,
+            part,
+            iter,
+            tid,
+            arrived,
+        } => format!(
+            "\"req\":{req},\"part\":{part},\"iter\":{iter},\"tid\":{tid},\"arrived\":{arrived}"
+        ),
+        EventKind::VerifyWaitDone {
+            req,
+            sender,
+            iter,
+            tid,
+        } => format!("\"req\":{req},\"sender\":{sender},\"iter\":{iter},\"tid\":{tid}"),
+        EventKind::VerifyBlocked { peer, tag } => format!(
+            "\"peer\":{},\"tag\":{}",
+            peer.map_or(-1i32, |p| p as i32),
+            tag.unwrap_or(i64::MIN)
+        ),
     }
 }
 

@@ -228,6 +228,151 @@ pub enum EventKind {
         /// Observed quiet period with no fabric activity, ms.
         quiet_ms: u64,
     },
+    /// [verify] A partitioned request was created. One per side; `req`
+    /// is the low 16 bits of the partitioned context, identical on the
+    /// sender and the receiver. Instant.
+    VerifyPartInit {
+        /// Request id (low 16 bits of the part context, same both sides).
+        req: u16,
+        /// True for the psend side, false for precv.
+        sender: bool,
+        /// Partition count on this side.
+        parts: u32,
+        /// Wire messages after layout negotiation.
+        msgs: u32,
+    },
+    /// [verify] Layout of one wire message within a partitioned request:
+    /// the send- and recv-partition ranges it covers. Emitted once per
+    /// message at init so the analyzer can map partitions to transfer
+    /// accesses. Instant.
+    VerifyLayoutMsg {
+        /// Request id.
+        req: u16,
+        /// Wire message index.
+        msg: u16,
+        /// First send partition covered.
+        first_spart: u16,
+        /// Send partitions covered.
+        n_sparts: u16,
+        /// First recv partition covered.
+        first_rpart: u16,
+        /// Recv partitions covered.
+        n_rparts: u16,
+        /// Message payload bytes.
+        bytes: u64,
+    },
+    /// [verify] `start()` activated a partitioned request for one
+    /// iteration. Instant.
+    VerifyStart {
+        /// Request id.
+        req: u16,
+        /// True for the psend side.
+        sender: bool,
+        /// Iteration number (0-based, counted per request).
+        iter: u32,
+        /// Calling thread id.
+        tid: u16,
+    },
+    /// [verify] `pready(part)` was observed — emitted *before* the state
+    /// gate, so a double pready leaves two events. Instant.
+    VerifyPready {
+        /// Request id.
+        req: u16,
+        /// Partition index.
+        part: u32,
+        /// Iteration number.
+        iter: u32,
+        /// Calling thread id.
+        tid: u16,
+    },
+    /// [verify] A checked user write into a send partition. Span.
+    VerifyWrite {
+        /// Request id.
+        req: u16,
+        /// Partition index.
+        part: u32,
+        /// Iteration number.
+        iter: u32,
+        /// Writing thread id.
+        tid: u16,
+        /// Time inside the write closure, ns.
+        dur_ns: u64,
+    },
+    /// [verify] A checked user read of a recv partition. Span.
+    VerifyRead {
+        /// Request id.
+        req: u16,
+        /// Partition index.
+        part: u32,
+        /// Iteration number.
+        iter: u32,
+        /// Reading thread id.
+        tid: u16,
+        /// Time inside the read closure, ns.
+        dur_ns: u64,
+    },
+    /// [verify] Wire message `msg` was handed to the fabric — the
+    /// transfer's read of the send partitions it covers. Instant.
+    VerifyMsgSend {
+        /// Request id.
+        req: u16,
+        /// Wire message index.
+        msg: u16,
+        /// Iteration number.
+        iter: u32,
+        /// Issuing thread id.
+        tid: u16,
+    },
+    /// [verify] Wire message `msg` landed in the recv buffer — the
+    /// transfer's write of the recv partitions it covers. The analyzer
+    /// pairs the k-th recv of a (req, msg) channel with its k-th send
+    /// (per-channel FIFO). Instant.
+    VerifyMsgRecv {
+        /// Request id.
+        req: u16,
+        /// Wire message index.
+        msg: u16,
+        /// Thread that performed the copy.
+        tid: u16,
+        /// True when the payload came from a pooled eager buffer (the
+        /// copy does not touch the sender's user buffer).
+        eager: bool,
+    },
+    /// [verify] A `parrived(part)` probe observation. Observing `true`
+    /// is a synchronization edge from the delivering message. Instant.
+    VerifyParrived {
+        /// Request id.
+        req: u16,
+        /// Partition index.
+        part: u32,
+        /// Iteration number.
+        iter: u32,
+        /// Probing thread id.
+        tid: u16,
+        /// The probe's answer.
+        arrived: bool,
+    },
+    /// [verify] `wait()` returned for an iteration — all messages of the
+    /// request are complete on this side. Instant.
+    VerifyWaitDone {
+        /// Request id.
+        req: u16,
+        /// True for the psend side.
+        sender: bool,
+        /// Iteration number.
+        iter: u32,
+        /// Waiting thread id.
+        tid: u16,
+    },
+    /// [verify] At stall time, the event's rank was blocked waiting on
+    /// `peer` (wait-for-graph edge). Emitted by the supervisor, one per
+    /// blocked wait in the `StallReport`. Instant.
+    VerifyBlocked {
+        /// Peer rank the wait depends on, when known.
+        peer: Option<u16>,
+        /// Tag of the blocked wait, when known.
+        tag: Option<i64>,
+    },
 }
 
 const TAG_LOCK_WAIT: u64 = 1;
@@ -246,6 +391,23 @@ const TAG_PROBE_STATS: u64 = 13;
 const TAG_FAULT_INJECTED: u64 = 14;
 const TAG_RETRY_ATTEMPT: u64 = 15;
 const TAG_STALL_DETECTED: u64 = 16;
+const TAG_VERIFY_PART_INIT: u64 = 17;
+const TAG_VERIFY_LAYOUT_MSG: u64 = 18;
+const TAG_VERIFY_START: u64 = 19;
+const TAG_VERIFY_PREADY: u64 = 20;
+const TAG_VERIFY_WRITE: u64 = 21;
+const TAG_VERIFY_READ: u64 = 22;
+const TAG_VERIFY_MSG_SEND: u64 = 23;
+const TAG_VERIFY_MSG_RECV: u64 = 24;
+const TAG_VERIFY_PARRIVED: u64 = 25;
+const TAG_VERIFY_WAIT_DONE: u64 = 26;
+const TAG_VERIFY_BLOCKED: u64 = 27;
+
+/// `w2` layout shared by the per-partition verify events:
+/// low 32 bits = partition / message index, high 32 bits = iteration.
+fn pack_part_iter(part: u32, iter: u32) -> u64 {
+    part as u64 | ((iter as u64) << 32)
+}
 
 fn pack_w1(tag: u64, rank: u16, aux1: u16, aux2: u16) -> u64 {
     (tag << 48) | ((rank as u64) << 32) | ((aux1 as u64) << 16) | aux2 as u64
@@ -300,6 +462,118 @@ impl Event {
                 watchdog_ms,
                 quiet_ms,
             } => (TAG_STALL_DETECTED, blocked, 0, watchdog_ms, quiet_ms),
+            EventKind::VerifyPartInit {
+                req,
+                sender,
+                parts,
+                msgs,
+            } => (
+                TAG_VERIFY_PART_INIT,
+                req,
+                sender as u16,
+                parts as u64,
+                msgs as u64,
+            ),
+            EventKind::VerifyLayoutMsg {
+                req,
+                msg,
+                first_spart,
+                n_sparts,
+                first_rpart,
+                n_rparts,
+                bytes,
+            } => (
+                TAG_VERIFY_LAYOUT_MSG,
+                req,
+                msg,
+                (first_spart as u64)
+                    | ((n_sparts as u64) << 16)
+                    | ((first_rpart as u64) << 32)
+                    | ((n_rparts as u64) << 48),
+                bytes,
+            ),
+            EventKind::VerifyStart {
+                req,
+                sender,
+                iter,
+                tid,
+            } => (TAG_VERIFY_START, req, tid, iter as u64, sender as u64),
+            EventKind::VerifyPready {
+                req,
+                part,
+                iter,
+                tid,
+            } => (TAG_VERIFY_PREADY, req, tid, pack_part_iter(part, iter), 0),
+            EventKind::VerifyWrite {
+                req,
+                part,
+                iter,
+                tid,
+                dur_ns,
+            } => (
+                TAG_VERIFY_WRITE,
+                req,
+                tid,
+                pack_part_iter(part, iter),
+                dur_ns,
+            ),
+            EventKind::VerifyRead {
+                req,
+                part,
+                iter,
+                tid,
+                dur_ns,
+            } => (
+                TAG_VERIFY_READ,
+                req,
+                tid,
+                pack_part_iter(part, iter),
+                dur_ns,
+            ),
+            EventKind::VerifyMsgSend {
+                req,
+                msg,
+                iter,
+                tid,
+            } => (
+                TAG_VERIFY_MSG_SEND,
+                req,
+                tid,
+                pack_part_iter(msg as u32, iter),
+                0,
+            ),
+            EventKind::VerifyMsgRecv {
+                req,
+                msg,
+                tid,
+                eager,
+            } => (TAG_VERIFY_MSG_RECV, req, tid, msg as u64, eager as u64),
+            EventKind::VerifyParrived {
+                req,
+                part,
+                iter,
+                tid,
+                arrived,
+            } => (
+                TAG_VERIFY_PARRIVED,
+                req,
+                tid,
+                pack_part_iter(part, iter),
+                arrived as u64,
+            ),
+            EventKind::VerifyWaitDone {
+                req,
+                sender,
+                iter,
+                tid,
+            } => (TAG_VERIFY_WAIT_DONE, req, tid, iter as u64, sender as u64),
+            EventKind::VerifyBlocked { peer, tag } => (
+                TAG_VERIFY_BLOCKED,
+                peer.unwrap_or(0),
+                (peer.is_some() as u16) | ((tag.is_some() as u16) << 1),
+                tag.unwrap_or(0) as u64,
+                0,
+            ),
         };
         [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
     }
@@ -383,6 +657,80 @@ impl Event {
                 watchdog_ms: w[2],
                 quiet_ms: w[3],
             },
+            TAG_VERIFY_PART_INIT => EventKind::VerifyPartInit {
+                req: aux1,
+                sender: aux2 != 0,
+                parts: w[2] as u32,
+                msgs: w[3] as u32,
+            },
+            TAG_VERIFY_LAYOUT_MSG => EventKind::VerifyLayoutMsg {
+                req: aux1,
+                msg: aux2,
+                first_spart: w[2] as u16,
+                n_sparts: (w[2] >> 16) as u16,
+                first_rpart: (w[2] >> 32) as u16,
+                n_rparts: (w[2] >> 48) as u16,
+                bytes: w[3],
+            },
+            TAG_VERIFY_START => EventKind::VerifyStart {
+                req: aux1,
+                sender: w[3] != 0,
+                iter: w[2] as u32,
+                tid: aux2,
+            },
+            TAG_VERIFY_PREADY => EventKind::VerifyPready {
+                req: aux1,
+                part: w[2] as u32,
+                iter: (w[2] >> 32) as u32,
+                tid: aux2,
+            },
+            TAG_VERIFY_WRITE => EventKind::VerifyWrite {
+                req: aux1,
+                part: w[2] as u32,
+                iter: (w[2] >> 32) as u32,
+                tid: aux2,
+                dur_ns: w[3],
+            },
+            TAG_VERIFY_READ => EventKind::VerifyRead {
+                req: aux1,
+                part: w[2] as u32,
+                iter: (w[2] >> 32) as u32,
+                tid: aux2,
+                dur_ns: w[3],
+            },
+            TAG_VERIFY_MSG_SEND => EventKind::VerifyMsgSend {
+                req: aux1,
+                msg: w[2] as u16,
+                iter: (w[2] >> 32) as u32,
+                tid: aux2,
+            },
+            TAG_VERIFY_MSG_RECV => EventKind::VerifyMsgRecv {
+                req: aux1,
+                msg: w[2] as u16,
+                tid: aux2,
+                eager: w[3] != 0,
+            },
+            TAG_VERIFY_PARRIVED => EventKind::VerifyParrived {
+                req: aux1,
+                part: w[2] as u32,
+                iter: (w[2] >> 32) as u32,
+                tid: aux2,
+                arrived: w[3] != 0,
+            },
+            TAG_VERIFY_WAIT_DONE => EventKind::VerifyWaitDone {
+                req: aux1,
+                sender: w[3] != 0,
+                iter: w[2] as u32,
+                tid: aux2,
+            },
+            TAG_VERIFY_BLOCKED => EventKind::VerifyBlocked {
+                peer: if aux2 & 1 != 0 { Some(aux1) } else { None },
+                tag: if aux2 & 2 != 0 {
+                    Some(w[2] as i64)
+                } else {
+                    None
+                },
+            },
             _ => return None,
         };
         Some(Event {
@@ -423,6 +771,17 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::RetryAttempt { .. } => "retry_attempt",
             EventKind::StallDetected { .. } => "stall_detected",
+            EventKind::VerifyPartInit { .. } => "verify_part_init",
+            EventKind::VerifyLayoutMsg { .. } => "verify_layout_msg",
+            EventKind::VerifyStart { .. } => "verify_start",
+            EventKind::VerifyPready { .. } => "verify_pready",
+            EventKind::VerifyWrite { .. } => "verify_write",
+            EventKind::VerifyRead { .. } => "verify_read",
+            EventKind::VerifyMsgSend { .. } => "verify_msg_send",
+            EventKind::VerifyMsgRecv { .. } => "verify_msg_recv",
+            EventKind::VerifyParrived { .. } => "verify_parrived",
+            EventKind::VerifyWaitDone { .. } => "verify_wait_done",
+            EventKind::VerifyBlocked { .. } => "verify_blocked",
         }
     }
 
@@ -434,8 +793,30 @@ impl EventKind {
             | EventKind::CtsWait { wait_ns, .. }
             | EventKind::PartWait { wait_ns, .. }
             | EventKind::EpochOpen { wait_ns, .. } => Some(wait_ns),
+            EventKind::VerifyWrite { dur_ns, .. } | EventKind::VerifyRead { dur_ns, .. } => {
+                Some(dur_ns)
+            }
             _ => None,
         }
+    }
+
+    /// Whether this is an analysis-grade `Verify*` event (only emitted
+    /// when verification is enabled on the trace).
+    pub fn is_verify(&self) -> bool {
+        matches!(
+            self,
+            EventKind::VerifyPartInit { .. }
+                | EventKind::VerifyLayoutMsg { .. }
+                | EventKind::VerifyStart { .. }
+                | EventKind::VerifyPready { .. }
+                | EventKind::VerifyWrite { .. }
+                | EventKind::VerifyRead { .. }
+                | EventKind::VerifyMsgSend { .. }
+                | EventKind::VerifyMsgRecv { .. }
+                | EventKind::VerifyParrived { .. }
+                | EventKind::VerifyWaitDone { .. }
+                | EventKind::VerifyBlocked { .. }
+        )
     }
 
     /// The track (shard / VCI lane) the event belongs to, for per-shard
@@ -560,6 +941,118 @@ impl fmt::Display for Event {
                 f,
                 "STALL: {blocked} blocked waits, quiet {quiet_ms} ms (watchdog {watchdog_ms} ms)"
             ),
+            EventKind::VerifyPartInit {
+                req,
+                sender,
+                parts,
+                msgs,
+            } => write!(
+                f,
+                "verify: {} req {req} init ({parts} parts, {msgs} msgs)",
+                if sender { "psend" } else { "precv" }
+            ),
+            EventKind::VerifyLayoutMsg {
+                req,
+                msg,
+                first_spart,
+                n_sparts,
+                first_rpart,
+                n_rparts,
+                bytes,
+            } => write!(
+                f,
+                "verify: req {req} msg {msg} = sparts {first_spart}+{n_sparts} \
+                 rparts {first_rpart}+{n_rparts} ({bytes} B)"
+            ),
+            EventKind::VerifyStart {
+                req,
+                sender,
+                iter,
+                tid,
+            } => write!(
+                f,
+                "verify: {} req {req} start iter {iter} (tid {tid})",
+                if sender { "psend" } else { "precv" }
+            ),
+            EventKind::VerifyPready {
+                req,
+                part,
+                iter,
+                tid,
+            } => write!(
+                f,
+                "verify: req {req} pready part {part} iter {iter} (tid {tid})"
+            ),
+            EventKind::VerifyWrite {
+                req,
+                part,
+                iter,
+                tid,
+                dur_ns,
+            } => write!(
+                f,
+                "verify: req {req} write part {part} iter {iter} (tid {tid}, {dur_ns} ns)"
+            ),
+            EventKind::VerifyRead {
+                req,
+                part,
+                iter,
+                tid,
+                dur_ns,
+            } => write!(
+                f,
+                "verify: req {req} read part {part} iter {iter} (tid {tid}, {dur_ns} ns)"
+            ),
+            EventKind::VerifyMsgSend {
+                req,
+                msg,
+                iter,
+                tid,
+            } => write!(
+                f,
+                "verify: req {req} msg {msg} sent iter {iter} (tid {tid})"
+            ),
+            EventKind::VerifyMsgRecv {
+                req,
+                msg,
+                tid,
+                eager,
+            } => write!(
+                f,
+                "verify: req {req} msg {msg} landed (tid {tid}, {})",
+                if eager { "eager" } else { "rendezvous" }
+            ),
+            EventKind::VerifyParrived {
+                req,
+                part,
+                iter,
+                tid,
+                arrived,
+            } => write!(
+                f,
+                "verify: req {req} parrived({part}) iter {iter} -> {arrived} (tid {tid})"
+            ),
+            EventKind::VerifyWaitDone {
+                req,
+                sender,
+                iter,
+                tid,
+            } => write!(
+                f,
+                "verify: {} req {req} wait done iter {iter} (tid {tid})",
+                if sender { "psend" } else { "precv" }
+            ),
+            EventKind::VerifyBlocked { peer, tag } => {
+                write!(f, "verify: blocked on ")?;
+                match peer {
+                    Some(p) => write!(f, "rank {p}")?,
+                    None => write!(f, "unknown peer")?,
+                }
+                match tag {
+                    Some(t) => write!(f, " tag {t}"),
+                    None => Ok(()),
+                }
+            }
         }
     }
 }
@@ -639,6 +1132,76 @@ mod tests {
                 watchdog_ms: 500,
                 quiet_ms: 612,
             },
+            EventKind::VerifyPartInit {
+                req: 42,
+                sender: true,
+                parts: 64,
+                msgs: 8,
+            },
+            EventKind::VerifyLayoutMsg {
+                req: 42,
+                msg: 3,
+                first_spart: 24,
+                n_sparts: 8,
+                first_rpart: 12,
+                n_rparts: 4,
+                bytes: 65_536,
+            },
+            EventKind::VerifyStart {
+                req: 42,
+                sender: false,
+                iter: 7,
+                tid: 3,
+            },
+            EventKind::VerifyPready {
+                req: 42,
+                part: 63,
+                iter: 7,
+                tid: 3,
+            },
+            EventKind::VerifyWrite {
+                req: 42,
+                part: 63,
+                iter: 7,
+                tid: 3,
+                dur_ns: 812,
+            },
+            EventKind::VerifyRead {
+                req: 42,
+                part: 0,
+                iter: 7,
+                tid: 5,
+                dur_ns: 44,
+            },
+            EventKind::VerifyMsgSend {
+                req: 42,
+                msg: 3,
+                iter: 7,
+                tid: 3,
+            },
+            EventKind::VerifyMsgRecv {
+                req: 42,
+                msg: 3,
+                tid: 1,
+                eager: true,
+            },
+            EventKind::VerifyParrived {
+                req: 42,
+                part: 12,
+                iter: 7,
+                tid: 5,
+                arrived: false,
+            },
+            EventKind::VerifyWaitDone {
+                req: 42,
+                sender: true,
+                iter: 7,
+                tid: 3,
+            },
+            EventKind::VerifyBlocked {
+                peer: Some(1),
+                tag: Some(-2),
+            },
         ]
     }
 
@@ -682,7 +1245,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_stable() {
         let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 27);
         assert!(names.contains("shard_lock_wait"));
         assert!(names.contains("early_bird_send"));
         assert!(names.contains("eager_pool"));
@@ -690,12 +1253,25 @@ mod tests {
         assert!(names.contains("fault_injected"));
         assert!(names.contains("retry_attempt"));
         assert!(names.contains("stall_detected"));
+        assert!(names.contains("verify_pready"));
+        assert!(names.contains("verify_msg_recv"));
+        assert!(names.contains("verify_blocked"));
+    }
+
+    #[test]
+    fn verify_kinds_are_flagged() {
+        let verify = all_kinds().iter().filter(|k| k.is_verify()).count();
+        assert_eq!(verify, 11);
+        assert!(!EventKind::Pready { part: 0 }.is_verify());
     }
 
     #[test]
     fn spans_and_instants_partition_the_taxonomy() {
         let spans = all_kinds().iter().filter(|k| k.dur_ns().is_some()).count();
-        assert_eq!(spans, 5, "LockWait, RdvCopy, CtsWait, PartWait, EpochOpen");
+        assert_eq!(
+            spans, 7,
+            "LockWait, RdvCopy, CtsWait, PartWait, EpochOpen, VerifyWrite, VerifyRead"
+        );
     }
 
     #[test]

@@ -67,6 +67,13 @@ struct Inner {
     recorder: Arc<RingRecorder>,
     /// Wall-clock origin: `ts_ns` is measured from here.
     epoch: Instant,
+    /// Whether analysis-grade `Verify*` events are recorded. Fixed at
+    /// construction so the gate is a plain field load, no atomics.
+    verify: bool,
+    /// Interned `(ctx, sender_rank)` request identities, in first-seen
+    /// order; a request's `Verify*` id is its index here. See
+    /// [`Trace::verify_req_id`].
+    verify_reqs: std::sync::Mutex<Vec<(u64, u16)>>,
 }
 
 /// The tracing handle threaded through the real runtime.
@@ -94,6 +101,22 @@ impl Trace {
             inner: Some(Arc::new(Inner {
                 recorder: RingRecorder::new(lane_cap),
                 epoch: Instant::now(),
+                verify: false,
+                verify_reqs: std::sync::Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Like [`ring`](Trace::ring), but additionally records the
+    /// analysis-grade `Verify*` events that [`emit_verify`](Trace::emit_verify)
+    /// gates — the input to the `pcomm-verify` analyzer.
+    pub fn ring_verify(lane_cap: usize) -> Trace {
+        Trace {
+            inner: Some(Arc::new(Inner {
+                recorder: RingRecorder::new(lane_cap),
+                epoch: Instant::now(),
+                verify: true,
+                verify_reqs: std::sync::Mutex::new(Vec::new()),
             })),
         }
     }
@@ -102,6 +125,68 @@ impl Trace {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether `Verify*` events are being recorded.
+    #[inline]
+    pub fn is_verify(&self) -> bool {
+        matches!(&self.inner, Some(i) if i.verify)
+    }
+
+    /// Nanoseconds since trace start when verification is on, else
+    /// `None`. The verify analogue of [`now_ns`](Trace::now_ns), for
+    /// timing the `VerifyWrite`/`VerifyRead` access spans.
+    #[inline]
+    pub fn verify_now_ns(&self) -> Option<u64> {
+        match &self.inner {
+            Some(i) if i.verify => Some(i.epoch.elapsed().as_nanos() as u64),
+            _ => None,
+        }
+    }
+
+    /// Intern a partitioned request's identity into the stable `u16` id
+    /// the `Verify*` events carry. Partitioned contexts are
+    /// deterministic in (parent ctx, tag) only, so distinct
+    /// sender→receiver pairs can share a ctx — a ring whose links all
+    /// use one tag, for instance. Folding the sender's rank into the
+    /// interned key keeps each pair's request distinct for the analyzer
+    /// while both sides (which both know the sender) agree on the id.
+    /// Ids are first-seen-order indices, collision-free by
+    /// construction. Returns 0 when verification is off — no `Verify*`
+    /// event carries it then.
+    pub fn verify_req_id(&self, ctx: u64, sender_rank: u16) -> u16 {
+        let Some(inner) = &self.inner else { return 0 };
+        if !inner.verify {
+            return 0;
+        }
+        let key = (ctx, sender_rank);
+        let mut reqs = inner.verify_reqs.lock().unwrap();
+        if let Some(i) = reqs.iter().position(|&k| k == key) {
+            return i as u16;
+        }
+        reqs.push(key);
+        (reqs.len() - 1) as u16
+    }
+
+    /// Record an instant `Verify*` event stamped *now*. `f` is only
+    /// called when the trace was built with verification enabled — on a
+    /// plain or disabled trace this is one branch and nothing else, so
+    /// the hot path keeps its verify-off cost.
+    #[inline]
+    pub fn emit_verify<F>(&self, rank: u16, f: F)
+    where
+        F: FnOnce() -> EventKind,
+    {
+        if let Some(inner) = &self.inner {
+            if inner.verify {
+                let ts_ns = inner.epoch.elapsed().as_nanos() as u64;
+                inner.recorder.record(Event {
+                    ts_ns,
+                    rank,
+                    kind: f(),
+                });
+            }
+        }
     }
 
     /// Nanoseconds since trace start, or `None` when disabled.
@@ -154,6 +239,18 @@ impl Trace {
     pub fn snapshot(&self) -> Option<TraceData> {
         self.inner.as_ref().map(|i| i.recorder.snapshot())
     }
+}
+
+/// A small process-unique id for the calling thread, for `Verify*`
+/// event provenance. Ids are assigned on first use in spawn order and
+/// wrap at 65536 (far beyond any realistic thread count here).
+pub fn current_tid() -> u16 {
+    use std::sync::atomic::{AtomicU16, Ordering};
+    static NEXT: AtomicU16 = AtomicU16::new(0);
+    thread_local! {
+        static TID: u16 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
 }
 
 impl std::fmt::Debug for Trace {
@@ -209,6 +306,45 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::LockWait { shard: 1, .. })));
+    }
+
+    #[test]
+    fn verify_events_gate_on_the_verify_flag() {
+        // Plain ring trace: emit_verify is a no-op and never runs the
+        // closure's side effects into the ring.
+        let t = Trace::ring(64);
+        assert!(!t.is_verify());
+        assert_eq!(t.verify_now_ns(), None);
+        t.emit_verify(0, || EventKind::VerifyPready {
+            req: 1,
+            part: 0,
+            iter: 0,
+            tid: 0,
+        });
+        assert_eq!(t.snapshot().unwrap().events.len(), 0);
+
+        // Verify-enabled trace records both normal and verify events.
+        let tv = Trace::ring_verify(64);
+        assert!(tv.is_verify() && tv.is_enabled());
+        assert!(tv.verify_now_ns().is_some());
+        tv.emit(0, || EventKind::Pready { part: 1 });
+        tv.emit_verify(0, || EventKind::VerifyPready {
+            req: 1,
+            part: 1,
+            iter: 0,
+            tid: 0,
+        });
+        let data = tv.snapshot().unwrap();
+        assert_eq!(data.events.len(), 2);
+        assert!(data.events.iter().any(|e| e.kind.is_verify()));
+    }
+
+    #[test]
+    fn current_tid_is_stable_per_thread_and_distinct_across_threads() {
+        let a = current_tid();
+        assert_eq!(a, current_tid());
+        let b = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, b);
     }
 
     #[test]

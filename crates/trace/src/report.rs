@@ -77,6 +77,7 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
     let mut faults_by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut retries = 0u64;
     let mut stalls: Vec<(u16, u64, u64)> = Vec::new();
+    let mut verify_events = 0u64;
 
     // Per-rank wait-side blocking spans, for the overlap fraction.
     let mut blocked: BTreeMap<u16, Vec<(u64, u64)>> = BTreeMap::new();
@@ -152,6 +153,10 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
                 watchdog_ms,
                 quiet_ms,
             } => stalls.push((blocked, watchdog_ms, quiet_ms)),
+            // Analysis-grade events are consumed by pcomm-verify; the
+            // summary only counts them.
+            k if k.is_verify() => verify_events += 1,
+            _ => unreachable!("non-verify kind must have an explicit arm"),
         }
     }
 
@@ -305,6 +310,14 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
                 "STALL detected:   {blocked} blocked waits after {quiet_ms} ms quiet (watchdog {watchdog_ms} ms)"
             );
         }
+    }
+    if verify_events > 0 {
+        let _ = writeln!(out, "\nverification");
+        let _ = writeln!(out, "------------");
+        let _ = writeln!(
+            out,
+            "verify events:    {verify_events} (run pcomm-verify for the analysis)"
+        );
     }
     out
 }

@@ -1,0 +1,493 @@
+//! Protocol lints: MPI-4 partitioned-communication rules checked
+//! per request lifetime, deterministically (no clocks involved).
+//!
+//! * every send partition must be `pready`'d **exactly once** per
+//!   `start` — a double `pready` and a partition never readied are both
+//!   reported;
+//! * `psend_init` / `precv_init` layouts must agree: same wire-message
+//!   count and byte-identical per-message specs (gcd negotiation makes
+//!   the *partition counts* compatible by construction, but differing
+//!   aggregation bounds or a legacy/improved mismatch diverge here);
+//! * no buffer access while the request is active without the
+//!   corresponding readiness edge: a send-partition write after its
+//!   `pready`, or a recv-partition read with no prior
+//!   `parrived == true` probe this iteration;
+//! * `start` / `wait` must balance — a request started but never waited
+//!   is reported, as is a `pready` outside any active iteration.
+
+use std::collections::BTreeMap;
+
+use pcomm_trace::EventKind;
+
+use crate::model::{Model, Side};
+use crate::{LintFinding, LintKind};
+
+/// Per-(request, side) lifecycle state while scanning the stream.
+#[derive(Default)]
+struct LifeState {
+    active: bool,
+    iter: u32,
+    starts: u64,
+    waits: u64,
+    /// pready count per partition, this iteration (send side).
+    preadys: BTreeMap<u32, u32>,
+    /// partitions with an observed `parrived == true`, this iteration.
+    arrived: Vec<u32>,
+    /// seq of the last `start` (provenance for unbalanced reports).
+    start_seq: usize,
+    start_rank: u16,
+    start_tid: u16,
+}
+
+pub(crate) fn run_lints(model: &Model) -> Vec<LintFinding> {
+    let mut lints: Vec<LintFinding> = Vec::new();
+    let mut life: BTreeMap<(u16, Side), LifeState> = BTreeMap::new();
+
+    for e in &model.events {
+        match e.ev.kind {
+            EventKind::VerifyStart {
+                req,
+                sender,
+                iter,
+                tid,
+            } => {
+                let st = life.entry((req, Side::from_sender(sender))).or_default();
+                if st.active {
+                    lints.push(LintFinding {
+                        req,
+                        kind: LintKind::UnbalancedStartWait,
+                        rank: e.ev.rank,
+                        tid,
+                        iter,
+                        part: None,
+                        seq: e.seq,
+                        detail: format!(
+                            "{} start #{iter} while iteration {} still active (no wait between)",
+                            Side::from_sender(sender),
+                            st.iter
+                        ),
+                    });
+                }
+                st.active = true;
+                st.iter = iter;
+                st.starts += 1;
+                st.preadys.clear();
+                st.arrived.clear();
+                st.start_seq = e.seq;
+                st.start_rank = e.ev.rank;
+                st.start_tid = tid;
+            }
+            EventKind::VerifyPready {
+                req,
+                part,
+                iter,
+                tid,
+            } => {
+                let st = life.entry((req, Side::Send)).or_default();
+                if !st.active {
+                    lints.push(LintFinding {
+                        req,
+                        kind: LintKind::PreadyOutsideIteration,
+                        rank: e.ev.rank,
+                        tid,
+                        iter,
+                        part: Some(part),
+                        seq: e.seq,
+                        detail: format!("pready({part}) with no active iteration"),
+                    });
+                    continue;
+                }
+                let n = st.preadys.entry(part).or_insert(0);
+                *n += 1;
+                if *n == 2 {
+                    lints.push(LintFinding {
+                        req,
+                        kind: LintKind::DoublePready,
+                        rank: e.ev.rank,
+                        tid,
+                        iter,
+                        part: Some(part),
+                        seq: e.seq,
+                        detail: format!("partition {part} pready'd twice in iteration {iter}"),
+                    });
+                }
+            }
+            EventKind::VerifyWrite {
+                req,
+                part,
+                iter,
+                tid,
+                ..
+            } => {
+                let st = life.entry((req, Side::Send)).or_default();
+                if st.active && st.preadys.get(&part).copied().unwrap_or(0) > 0 {
+                    lints.push(LintFinding {
+                        req,
+                        kind: LintKind::WriteAfterPready,
+                        rank: e.ev.rank,
+                        tid,
+                        iter,
+                        part: Some(part),
+                        seq: e.seq,
+                        detail: format!(
+                            "partition {part} written after its pready in iteration {iter} \
+                             — the transfer may already be reading it"
+                        ),
+                    });
+                }
+            }
+            EventKind::VerifyParrived {
+                req,
+                part,
+                arrived: true,
+                ..
+            } => {
+                let st = life.entry((req, Side::Recv)).or_default();
+                if st.active {
+                    // Arrival covers the whole wire message, not just the
+                    // probed partition.
+                    let covered: Vec<u32> = model
+                        .requests
+                        .get(&req)
+                        .and_then(|i| i.msg_of_rpart(part).map(|m| i.rparts_of_msg(m)))
+                        .map(|r| r.collect())
+                        .unwrap_or_else(|| vec![part]);
+                    for p in covered {
+                        if !st.arrived.contains(&p) {
+                            st.arrived.push(p);
+                        }
+                    }
+                }
+            }
+            EventKind::VerifyRead {
+                req,
+                part,
+                iter,
+                tid,
+                ..
+            } => {
+                let st = life.entry((req, Side::Recv)).or_default();
+                if st.active && !st.arrived.contains(&part) {
+                    lints.push(LintFinding {
+                        req,
+                        kind: LintKind::ReadBeforeArrival,
+                        rank: e.ev.rank,
+                        tid,
+                        iter,
+                        part: Some(part),
+                        seq: e.seq,
+                        detail: format!(
+                            "partition {part} read mid-iteration {iter} without a \
+                             prior parrived=true probe"
+                        ),
+                    });
+                }
+            }
+            EventKind::VerifyWaitDone {
+                req,
+                sender,
+                iter,
+                tid,
+            } => {
+                let side = Side::from_sender(sender);
+                let st = life.entry((req, side)).or_default();
+                st.waits += 1;
+                if sender && st.active {
+                    // End of a send iteration: every partition must have
+                    // been readied exactly once. Doubles were reported on
+                    // the spot; misses are only knowable here.
+                    let parts = model
+                        .requests
+                        .get(&req)
+                        .and_then(|i| i.send.as_ref())
+                        .map(|s| s.parts)
+                        .unwrap_or(0);
+                    for p in 0..parts {
+                        if st.preadys.get(&p).copied().unwrap_or(0) == 0 {
+                            lints.push(LintFinding {
+                                req,
+                                kind: LintKind::MissingPready,
+                                rank: e.ev.rank,
+                                tid,
+                                iter,
+                                part: Some(p),
+                                seq: e.seq,
+                                detail: format!(
+                                    "iteration {iter} waited with partition {p} never pready'd"
+                                ),
+                            });
+                        }
+                    }
+                }
+                if !st.active {
+                    lints.push(LintFinding {
+                        req,
+                        kind: LintKind::UnbalancedStartWait,
+                        rank: e.ev.rank,
+                        tid,
+                        iter,
+                        part: None,
+                        seq: e.seq,
+                        detail: format!("{side} wait with no active iteration"),
+                    });
+                }
+                st.active = false;
+            }
+            _ => {}
+        }
+    }
+
+    // Trailing unbalance: a request left mid-iteration at end of trace.
+    for ((req, side), st) in &life {
+        if st.active {
+            lints.push(LintFinding {
+                req: *req,
+                kind: LintKind::UnbalancedStartWait,
+                rank: st.start_rank,
+                tid: st.start_tid,
+                iter: st.iter,
+                part: None,
+                seq: st.start_seq,
+                detail: format!(
+                    "{side} iteration {} started but never waited ({} starts, {} waits)",
+                    st.iter, st.starts, st.waits
+                ),
+            });
+        }
+    }
+
+    // Layout compatibility: both sides present, specs must agree.
+    for (req, info) in &model.requests {
+        let (Some(s), Some(r)) = (&info.send, &info.recv) else {
+            continue;
+        };
+        if s.msgs != r.msgs {
+            lints.push(LintFinding {
+                req: *req,
+                kind: LintKind::LayoutMismatch,
+                rank: s.rank,
+                tid: 0,
+                iter: 0,
+                part: None,
+                seq: s.seq,
+                detail: format!(
+                    "sender negotiated {} wire messages, receiver {} — \
+                     aggregation bounds or legacy flags differ between the sides",
+                    s.msgs, r.msgs
+                ),
+            });
+            continue;
+        }
+        for (m, (sm, rm)) in s.layout.iter().zip(r.layout.iter()).enumerate() {
+            if let (Some(sm), Some(rm)) = (sm, rm) {
+                if sm != rm {
+                    lints.push(LintFinding {
+                        req: *req,
+                        kind: LintKind::LayoutMismatch,
+                        rank: s.rank,
+                        tid: 0,
+                        iter: 0,
+                        part: None,
+                        seq: s.seq,
+                        detail: format!(
+                            "wire message {m} disagrees between the sides: \
+                             sender {sm:?}, receiver {rm:?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcomm_trace::Event;
+
+    fn ev(ts_ns: u64, rank: u16, kind: EventKind) -> Event {
+        Event { ts_ns, rank, kind }
+    }
+
+    fn send_iter(req: u16, events: &mut Vec<Event>, ts: &mut u64, preadys: &[u32]) {
+        let mut push = |k| {
+            *ts += 1;
+            events.push(ev(*ts, 0, k));
+        };
+        push(EventKind::VerifyStart {
+            req,
+            sender: true,
+            iter: 0,
+            tid: 1,
+        });
+        for &p in preadys {
+            push(EventKind::VerifyPready {
+                req,
+                part: p,
+                iter: 0,
+                tid: 1,
+            });
+        }
+        push(EventKind::VerifyWaitDone {
+            req,
+            sender: true,
+            iter: 0,
+            tid: 1,
+        });
+    }
+
+    fn init(req: u16, parts: u32) -> Vec<Event> {
+        vec![ev(
+            0,
+            0,
+            EventKind::VerifyPartInit {
+                req,
+                sender: true,
+                parts,
+                msgs: 1,
+            },
+        )]
+    }
+
+    #[test]
+    fn exactly_once_pready_is_clean() {
+        let mut events = init(1, 2);
+        let mut ts = 10;
+        send_iter(1, &mut events, &mut ts, &[0, 1]);
+        assert!(run_lints(&Model::build(&events)).is_empty());
+    }
+
+    #[test]
+    fn double_and_missing_pready_are_flagged() {
+        let mut events = init(1, 2);
+        let mut ts = 10;
+        send_iter(1, &mut events, &mut ts, &[0, 0]); // 0 twice, 1 never
+        let lints = run_lints(&Model::build(&events));
+        assert_eq!(lints.len(), 2, "{lints:?}");
+        assert!(lints
+            .iter()
+            .any(|l| l.kind == LintKind::DoublePready && l.part == Some(0)));
+        assert!(lints
+            .iter()
+            .any(|l| l.kind == LintKind::MissingPready && l.part == Some(1)));
+    }
+
+    #[test]
+    fn start_without_wait_is_unbalanced() {
+        let mut events = init(2, 1);
+        events.push(ev(
+            10,
+            0,
+            EventKind::VerifyStart {
+                req: 2,
+                sender: true,
+                iter: 0,
+                tid: 1,
+            },
+        ));
+        let lints = run_lints(&Model::build(&events));
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::UnbalancedStartWait);
+    }
+
+    #[test]
+    fn layout_mismatch_between_sides_is_flagged() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                EventKind::VerifyPartInit {
+                    req: 3,
+                    sender: true,
+                    parts: 8,
+                    msgs: 4,
+                },
+            ),
+            ev(
+                1,
+                1,
+                EventKind::VerifyPartInit {
+                    req: 3,
+                    sender: false,
+                    parts: 8,
+                    msgs: 2,
+                },
+            ),
+        ];
+        let lints = run_lints(&Model::build(&events));
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::LayoutMismatch);
+        assert!(
+            lints[0].detail.contains("4 wire messages"),
+            "{}",
+            lints[0].detail
+        );
+    }
+
+    #[test]
+    fn mid_iteration_read_requires_a_probe() {
+        let req = 4;
+        let base = |probed: bool| {
+            let mut events = vec![ev(
+                0,
+                1,
+                EventKind::VerifyPartInit {
+                    req,
+                    sender: false,
+                    parts: 1,
+                    msgs: 1,
+                },
+            )];
+            events.push(ev(
+                10,
+                1,
+                EventKind::VerifyStart {
+                    req,
+                    sender: false,
+                    iter: 0,
+                    tid: 2,
+                },
+            ));
+            if probed {
+                events.push(ev(
+                    11,
+                    1,
+                    EventKind::VerifyParrived {
+                        req,
+                        part: 0,
+                        iter: 0,
+                        tid: 2,
+                        arrived: true,
+                    },
+                ));
+            }
+            events.push(ev(
+                12,
+                1,
+                EventKind::VerifyRead {
+                    req,
+                    part: 0,
+                    iter: 0,
+                    tid: 2,
+                    dur_ns: 1,
+                },
+            ));
+            events.push(ev(
+                13,
+                1,
+                EventKind::VerifyWaitDone {
+                    req,
+                    sender: false,
+                    iter: 0,
+                    tid: 2,
+                },
+            ));
+            events
+        };
+        assert!(run_lints(&Model::build(&base(true))).is_empty());
+        let lints = run_lints(&Model::build(&base(false)));
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::ReadBeforeArrival);
+    }
+}

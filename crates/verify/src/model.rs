@@ -1,0 +1,334 @@
+//! Decode a raw event stream into the analysis model.
+//!
+//! The three passes share one view of the trace: events sorted by
+//! timestamp (stably, so per-thread ring order breaks ties), a dense
+//! thread table keyed by the verify `tid`, and per-request metadata
+//! recovered from the `VerifyPartInit` / `VerifyLayoutMsg` events both
+//! sides emit at init time. Everything downstream indexes into the
+//! *original* event slice via [`Ev::seq`], so findings can point back at
+//! the exact source event.
+
+use std::collections::BTreeMap;
+
+use pcomm_trace::{Event, EventKind};
+
+/// One event plus its index in the caller's slice (the provenance `seq`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Ev {
+    /// Index into the slice passed to [`analyze`](crate::analyze).
+    pub seq: usize,
+    /// The event itself.
+    pub ev: Event,
+}
+
+/// Which side of a partitioned request a buffer or event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// The `psend` side (user writes, transfer reads).
+    Send,
+    /// The `precv` side (transfer writes, user reads).
+    Recv,
+}
+
+impl Side {
+    pub(crate) fn from_sender(sender: bool) -> Side {
+        if sender {
+            Side::Send
+        } else {
+            Side::Recv
+        }
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Side::Send => write!(f, "send"),
+            Side::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// One wire message of a request's negotiated layout, as reported by the
+/// side that emitted the `VerifyLayoutMsg` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MsgSpec {
+    pub first_spart: u16,
+    pub n_sparts: u16,
+    pub first_rpart: u16,
+    pub n_rparts: u16,
+    pub bytes: u64,
+}
+
+/// What one side declared about a request at init time.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SideInit {
+    /// Rank that emitted the init.
+    pub rank: u16,
+    /// Partition count on this side.
+    pub parts: u32,
+    /// Wire message count this side negotiated.
+    pub msgs: u32,
+    /// Per-message layout, indexed by message id.
+    pub layout: Vec<Option<MsgSpec>>,
+    /// Seq of the `VerifyPartInit` event (provenance).
+    pub seq: usize,
+}
+
+/// Everything recovered about one partitioned request id.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RequestInfo {
+    pub send: Option<SideInit>,
+    pub recv: Option<SideInit>,
+}
+
+impl RequestInfo {
+    fn side_mut(&mut self, side: Side) -> &mut Option<SideInit> {
+        match side {
+            Side::Send => &mut self.send,
+            Side::Recv => &mut self.recv,
+        }
+    }
+
+    fn best_layout(&self) -> Option<&SideInit> {
+        self.send.as_ref().or(self.recv.as_ref())
+    }
+
+    /// Wire message covering send partition `p`, per the recovered
+    /// layout. `None` when no layout was captured for the request.
+    pub fn msg_of_spart(&self, p: u32) -> Option<u16> {
+        let init = self.best_layout()?;
+        msg_of(init, p, |m| (m.first_spart, m.n_sparts))
+    }
+
+    /// Wire message covering recv partition `p`.
+    pub fn msg_of_rpart(&self, p: u32) -> Option<u16> {
+        let init = self.recv.as_ref().or(self.send.as_ref())?;
+        msg_of(init, p, |m| (m.first_rpart, m.n_rparts))
+    }
+
+    /// Send partitions covered by wire message `m` (empty without layout).
+    pub fn sparts_of_msg(&self, m: u16) -> std::ops::Range<u32> {
+        parts_of(self.best_layout(), m, |s| (s.first_spart, s.n_sparts))
+    }
+
+    /// Recv partitions covered by wire message `m`.
+    pub fn rparts_of_msg(&self, m: u16) -> std::ops::Range<u32> {
+        parts_of(self.recv.as_ref().or(self.send.as_ref()), m, |s| {
+            (s.first_rpart, s.n_rparts)
+        })
+    }
+}
+
+fn msg_of(init: &SideInit, p: u32, pick: impl Fn(&MsgSpec) -> (u16, u16)) -> Option<u16> {
+    for (m, spec) in init.layout.iter().enumerate() {
+        if let Some(spec) = spec {
+            let (first, n) = pick(spec);
+            if p >= first as u32 && p < first as u32 + n as u32 {
+                return Some(m as u16);
+            }
+        }
+    }
+    None
+}
+
+fn parts_of(
+    init: Option<&SideInit>,
+    m: u16,
+    pick: impl Fn(&MsgSpec) -> (u16, u16),
+) -> std::ops::Range<u32> {
+    match init.and_then(|i| i.layout.get(m as usize)).and_then(|s| *s) {
+        Some(spec) => {
+            let (first, n) = pick(&spec);
+            first as u32..first as u32 + n as u32
+        }
+        None => 0..0,
+    }
+}
+
+/// The shared, decoded view of a trace.
+pub(crate) struct Model {
+    /// Verify events (only), stably sorted by timestamp, with original
+    /// slice indices attached.
+    pub events: Vec<Ev>,
+    /// Per-request metadata keyed by the 16-bit request id.
+    pub requests: BTreeMap<u16, RequestInfo>,
+    /// Total events in the input slice (verify or not).
+    pub total_events: usize,
+}
+
+impl Model {
+    pub fn build(events: &[Event]) -> Model {
+        let mut verify: Vec<Ev> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind.is_verify())
+            .map(|(seq, ev)| Ev { seq, ev: *ev })
+            .collect();
+        // Stable: equal timestamps keep slice order, which preserves each
+        // thread ring's program order.
+        verify.sort_by_key(|e| e.ev.ts_ns);
+
+        let mut requests: BTreeMap<u16, RequestInfo> = BTreeMap::new();
+        for e in &verify {
+            match e.ev.kind {
+                EventKind::VerifyPartInit {
+                    req,
+                    sender,
+                    parts,
+                    msgs,
+                } => {
+                    let info = requests.entry(req).or_default();
+                    let slot = info.side_mut(Side::from_sender(sender));
+                    if slot.is_none() {
+                        *slot = Some(SideInit {
+                            rank: e.ev.rank,
+                            parts,
+                            msgs,
+                            layout: vec![None; msgs as usize],
+                            seq: e.seq,
+                        });
+                    }
+                }
+                EventKind::VerifyLayoutMsg {
+                    req,
+                    msg,
+                    first_spart,
+                    n_sparts,
+                    first_rpart,
+                    n_rparts,
+                    bytes,
+                } => {
+                    let info = requests.entry(req).or_default();
+                    // Layout events follow their side's PartInit in ring
+                    // order; attribute to whichever side init came from
+                    // this rank and still has the slot empty.
+                    let spec = MsgSpec {
+                        first_spart,
+                        n_sparts,
+                        first_rpart,
+                        n_rparts,
+                        bytes,
+                    };
+                    for side in [Side::Send, Side::Recv] {
+                        if let Some(init) = info.side_mut(side).as_mut() {
+                            if init.rank == e.ev.rank {
+                                if let Some(slot) = init.layout.get_mut(msg as usize) {
+                                    if slot.is_none() {
+                                        *slot = Some(spec);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Model {
+            events: verify,
+            requests,
+            total_events: events.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, rank: u16, kind: EventKind) -> Event {
+        Event { ts_ns, rank, kind }
+    }
+
+    #[test]
+    fn model_recovers_layout_from_init_events() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                EventKind::VerifyPartInit {
+                    req: 7,
+                    sender: true,
+                    parts: 4,
+                    msgs: 2,
+                },
+            ),
+            ev(
+                1,
+                0,
+                EventKind::VerifyLayoutMsg {
+                    req: 7,
+                    msg: 0,
+                    first_spart: 0,
+                    n_sparts: 2,
+                    first_rpart: 0,
+                    n_rparts: 4,
+                    bytes: 128,
+                },
+            ),
+            ev(
+                2,
+                0,
+                EventKind::VerifyLayoutMsg {
+                    req: 7,
+                    msg: 1,
+                    first_spart: 2,
+                    n_sparts: 2,
+                    first_rpart: 4,
+                    n_rparts: 4,
+                    bytes: 128,
+                },
+            ),
+            // A non-verify event must be ignored.
+            ev(3, 0, EventKind::Pready { part: 0 }),
+        ];
+        let m = Model::build(&events);
+        assert_eq!(m.events.len(), 3);
+        let info = &m.requests[&7];
+        assert_eq!(info.send.as_ref().unwrap().parts, 4);
+        assert_eq!(info.msg_of_spart(1), Some(0));
+        assert_eq!(info.msg_of_spart(3), Some(1));
+        assert_eq!(info.msg_of_rpart(5), Some(1));
+        assert_eq!(info.sparts_of_msg(1), 2..4);
+        assert_eq!(info.rparts_of_msg(0), 0..4);
+        assert_eq!(info.msg_of_spart(99), None);
+    }
+
+    #[test]
+    fn both_sides_layouts_are_kept_separate() {
+        let mk = |rank, sender| {
+            ev(
+                0,
+                rank,
+                EventKind::VerifyPartInit {
+                    req: 1,
+                    sender,
+                    parts: 8,
+                    msgs: 1,
+                },
+            )
+        };
+        let events = vec![
+            mk(0, true),
+            mk(1, false),
+            ev(
+                1,
+                1,
+                EventKind::VerifyLayoutMsg {
+                    req: 1,
+                    msg: 0,
+                    first_spart: 0,
+                    n_sparts: 8,
+                    first_rpart: 0,
+                    n_rparts: 8,
+                    bytes: 64,
+                },
+            ),
+        ];
+        let m = Model::build(&events);
+        let info = &m.requests[&1];
+        assert!(info.send.as_ref().unwrap().layout[0].is_none());
+        assert!(info.recv.as_ref().unwrap().layout[0].is_some());
+    }
+}

@@ -1,0 +1,188 @@
+//! Wait-for-graph deadlock analysis.
+//!
+//! The chaos watchdog (PR 3) can only say "nothing moved for N ms" and
+//! dump who is blocked. This pass turns that heuristic `StallReport`
+//! into an exact verdict: at stall time the supervisor emits one
+//! `VerifyBlocked` edge per blocked wait (rank → peer it depends on,
+//! with the tag when known). Cycles in that graph are true deadlocks —
+//! every rank on the cycle waits for the next, so no timeout, however
+//! generous, would have helped. Blocked ranks that reach no cycle are
+//! *orphan* waits: the peer they depend on is not itself stuck on them,
+//! so the message simply never came (lost message, missing `pready`, or
+//! a peer that exited early).
+
+use std::collections::BTreeMap;
+
+use pcomm_trace::EventKind;
+
+use crate::model::Model;
+use crate::{DeadlockFinding, WaitEdge};
+
+pub(crate) fn analyze_waits(model: &Model) -> Vec<DeadlockFinding> {
+    // rank -> outgoing edges (peer, tag, seq). A rank can block on
+    // several peers at once (multi-message wait): any cycle through any
+    // edge is a deadlock.
+    let mut edges: BTreeMap<u16, Vec<WaitEdge>> = BTreeMap::new();
+    for e in &model.events {
+        if let EventKind::VerifyBlocked { peer, tag } = e.ev.kind {
+            edges.entry(e.ev.rank).or_default().push(WaitEdge {
+                from_rank: e.ev.rank,
+                to_rank: peer,
+                tag,
+                seq: e.seq,
+            });
+        }
+    }
+    if edges.is_empty() {
+        return Vec::new();
+    }
+
+    let mut findings = Vec::new();
+    let mut on_cycle: Vec<u16> = Vec::new();
+
+    // The graph is tiny (one node per blocked rank), so a simple DFS per
+    // start node is plenty. Each cycle is reported once, keyed by its
+    // smallest rank.
+    let ranks: Vec<u16> = edges.keys().copied().collect();
+    let mut seen_cycles: Vec<Vec<u16>> = Vec::new();
+    for &start in &ranks {
+        let mut path: Vec<WaitEdge> = Vec::new();
+        if let Some(cycle) = dfs(start, start, &edges, &mut path, 0) {
+            let mut key: Vec<u16> = cycle.iter().map(|e| e.from_rank).collect();
+            key.sort_unstable();
+            if !seen_cycles.contains(&key) {
+                seen_cycles.push(key.clone());
+                on_cycle.extend(key);
+                findings.push(DeadlockFinding::Cycle { edges: cycle });
+            }
+        }
+    }
+
+    // Everything blocked but on no cycle is an orphan wait.
+    for (rank, out) in &edges {
+        if on_cycle.contains(rank) {
+            continue;
+        }
+        for e in out {
+            findings.push(DeadlockFinding::Orphan {
+                rank: *rank,
+                peer: e.to_rank,
+                tag: e.tag,
+                seq: e.seq,
+            });
+        }
+    }
+    findings
+}
+
+/// DFS from `at` looking for a path back to `target`. Returns the edge
+/// chain of the first cycle found.
+fn dfs(
+    at: u16,
+    target: u16,
+    edges: &BTreeMap<u16, Vec<WaitEdge>>,
+    path: &mut Vec<WaitEdge>,
+    depth: usize,
+) -> Option<Vec<WaitEdge>> {
+    if depth > edges.len() {
+        return None; // longest simple cycle visits each rank once
+    }
+    for e in edges.get(&at).into_iter().flatten() {
+        let Some(next) = e.to_rank else { continue };
+        path.push(e.clone());
+        if next == target {
+            let cycle = path.clone();
+            path.pop();
+            return Some(cycle);
+        }
+        if !path
+            .iter()
+            .take(path.len() - 1)
+            .any(|p| p.from_rank == next)
+        {
+            if let Some(c) = dfs(next, target, edges, path, depth + 1) {
+                path.pop();
+                return Some(c);
+            }
+        }
+        path.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcomm_trace::Event;
+
+    fn blocked(rank: u16, peer: Option<u16>, tag: Option<i64>) -> Event {
+        Event {
+            ts_ns: 100,
+            rank,
+            kind: EventKind::VerifyBlocked { peer, tag },
+        }
+    }
+
+    #[test]
+    fn two_rank_cycle_is_a_deadlock() {
+        let events = vec![blocked(0, Some(1), Some(7)), blocked(1, Some(0), Some(9))];
+        let model = Model::build(&events);
+        let findings = analyze_waits(&model);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        match &findings[0] {
+            DeadlockFinding::Cycle { edges } => {
+                assert_eq!(edges.len(), 2);
+                let tags: Vec<_> = edges.iter().map(|e| e.tag).collect();
+                assert!(tags.contains(&Some(7)) && tags.contains(&Some(9)));
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphan_wait_is_not_a_cycle() {
+        // Rank 0 waits on rank 1, which is not blocked at all: the
+        // message was lost, not deadlocked.
+        let events = vec![blocked(0, Some(1), Some(3))];
+        let model = Model::build(&events);
+        let findings = analyze_waits(&model);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            matches!(
+                findings[0],
+                DeadlockFinding::Orphan {
+                    rank: 0,
+                    peer: Some(1),
+                    tag: Some(3),
+                    ..
+                }
+            ),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn three_rank_ring_reports_one_cycle() {
+        let events = vec![
+            blocked(0, Some(1), None),
+            blocked(1, Some(2), None),
+            blocked(2, Some(0), None),
+        ];
+        let findings = analyze_waits(&Model::build(&events));
+        assert_eq!(findings.len(), 1);
+        match &findings[0] {
+            DeadlockFinding::Cycle { edges } => assert_eq!(edges.len(), 3),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_peer_cannot_form_a_cycle() {
+        let events = vec![blocked(0, None, Some(1)), blocked(1, None, Some(2))];
+        let findings = analyze_waits(&Model::build(&events));
+        assert_eq!(findings.len(), 2);
+        assert!(findings
+            .iter()
+            .all(|f| matches!(f, DeadlockFinding::Orphan { peer: None, .. })));
+    }
+}
