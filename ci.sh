@@ -80,4 +80,29 @@ done
 # replays it against the real runtime via PCOMM_FAULTS.
 cargo run --release -p pcomm-bench --bin verify_sweep --offline -- --quick
 
+echo "== net (multi-process over UDS: launcher + examples + bench smoke) =="
+# The unmodified examples as two real OS processes wired over Unix
+# domain sockets by pcomm-launch. A hang (timeout exit 124) is a CI
+# failure — teardown must be bounded even across processes.
+cargo build --release --offline -p pcomm-net --bin pcomm-launch
+net_smoke() {
+    name="$1"
+    echo "-- $name under pcomm-launch -n 2 (uds)"
+    status=0
+    timeout 120 ./target/release/pcomm-launch -n 2 -- \
+        "./target/release/examples/$name" >/dev/null 2>&1 || status=$?
+    case "$status" in
+        0) echo "   ok" ;;
+        124) echo "   HANG over the wire" >&2; exit 1 ;;
+        *) echo "   failed with exit $status" >&2; exit 1 ;;
+    esac
+}
+net_smoke quickstart
+net_smoke pingpong
+net_smoke halo_exchange
+# netbench smoke: both fabrics, scratch output (committed BENCH_net.json
+# stays untouched).
+cargo run --release -p pcomm-bench --bin netbench --offline -- \
+    --quick --out target/bench_net_smoke.json
+
 echo "CI OK"

@@ -1,0 +1,308 @@
+//! `netbench` — the same workload timed on both fabrics: ranks as
+//! threads in one address space (shared memory) vs ranks as OS processes
+//! wired together over Unix domain sockets.
+//!
+//! Three figures per fabric:
+//!
+//! * `pingpong_small_ns` — 256 B eager round trip;
+//! * `pingpong_large_us` — 256 KiB rendezvous round trip (RTS/CTS and,
+//!   on the wire, `RdvData` frames);
+//! * `part_bw_mbps` — perceived bandwidth of a partitioned transfer
+//!   (16 × 64 KiB partitions), timed on the receiving rank from `start`
+//!   to `wait` — the paper's receiver-side view of early-bird overlap.
+//!
+//! The shared-memory pass runs in-process. The socket pass re-execs this
+//! binary twice with `--child` under a `PCOMM_NET_*` environment, so the
+//! numbers go through the real mesh rendezvous, progress threads, and
+//! wire framing. Results go to `BENCH_net.json` at the repo root; the
+//! first run seeds `baseline`, later runs overwrite `current`
+//! (`--set-baseline` re-seeds, `--out <path>` redirects).
+//!
+//! ```text
+//! cargo run --release -p pcomm-bench --bin netbench
+//! cargo run --release -p pcomm-bench --bin netbench -- --quick --out /tmp/n.json
+//! ```
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pcomm_core::part::PartOptions;
+use pcomm_core::Universe;
+use pcomm_net::{launch, Backend, MultiprocEnv};
+
+/// One fabric's worth of measurements.
+#[derive(Debug, Clone, Copy)]
+struct NetNumbers {
+    pingpong_small_ns: f64,
+    pingpong_large_us: f64,
+    part_bw_mbps: f64,
+}
+
+impl NetNumbers {
+    fn to_json(self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"pingpong_small_ns\": {:.1},\n",
+                "      \"pingpong_large_us\": {:.2},\n",
+                "      \"part_bw_mbps\": {:.1}\n",
+                "    }}"
+            ),
+            self.pingpong_small_ns, self.pingpong_large_us, self.part_bw_mbps,
+        )
+    }
+}
+
+/// Minimum of `reps` timed runs of `f`, where `f` returns (total ns, ops).
+fn min_ns_per_op(reps: usize, mut f: impl FnMut() -> (f64, usize)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (ns, ops) = f();
+        let per_op = ns / ops.max(1) as f64;
+        if per_op < best {
+            best = per_op;
+        }
+    }
+    best
+}
+
+/// `bytes`-sized ping-pong; rank 0 reports ns per round trip. Works on
+/// either fabric: under a `PCOMM_NET_*` environment `Universe::run`
+/// routes rank 1 to the other process.
+fn bench_pingpong(reps: usize, iters: usize, bytes: usize) -> f64 {
+    let out = Universe::new(2)
+        .run(|comm| {
+            let mut buf = vec![0u8; bytes];
+            if comm.rank() == 0 {
+                min_ns_per_op(reps, || {
+                    comm.barrier();
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        comm.send(1, 0, &buf);
+                        comm.recv_into(Some(1), Some(0), &mut buf);
+                    }
+                    (t0.elapsed().as_nanos() as f64, iters)
+                })
+            } else {
+                for _ in 0..reps {
+                    comm.barrier();
+                    for _ in 0..iters {
+                        comm.recv_into(Some(0), Some(0), &mut buf);
+                        comm.send(0, 0, &buf);
+                    }
+                }
+                0.0
+            }
+        })
+        .expect("bench universe failed");
+    out[0]
+}
+
+/// Perceived bandwidth of a partitioned transfer, receiver-side. Rank 0
+/// *receives* so the reporting rank is the same process in both the
+/// in-process and multi-process configurations. Returns MB/s (best rep).
+fn bench_part_bw(reps: usize, n_parts: usize, part_bytes: usize) -> f64 {
+    let total = (n_parts * part_bytes) as f64;
+    let out = Universe::new(2)
+        .run(|comm| {
+            if comm.rank() == 0 {
+                let pr = comm.precv_init(1, 3, n_parts, part_bytes, PartOptions::default());
+                let best_ns = min_ns_per_op(reps, || {
+                    comm.barrier();
+                    let t0 = Instant::now();
+                    pr.start();
+                    pr.wait();
+                    (t0.elapsed().as_nanos() as f64, 1)
+                });
+                // bytes per ns == GB/s; ×1000 for MB/s.
+                total / best_ns * 1000.0
+            } else {
+                let ps = comm.psend_init(0, 3, n_parts, part_bytes, PartOptions::default());
+                for _ in 0..reps {
+                    comm.barrier();
+                    ps.start();
+                    for p in 0..n_parts {
+                        ps.pready(p);
+                    }
+                    ps.wait();
+                }
+                0.0
+            }
+        })
+        .expect("bench universe failed");
+    out[0]
+}
+
+/// Run all three sections on whatever fabric the environment selects.
+fn wire_sections(quick: bool) -> NetNumbers {
+    let (reps, pp_iters) = if quick { (3, 300) } else { (10, 2_000) };
+    let pingpong_small_ns = bench_pingpong(reps, pp_iters, 256);
+    let pingpong_large_us = bench_pingpong(reps, pp_iters / 10 + 1, 256 * 1024) / 1_000.0;
+    let part_bw_mbps = bench_part_bw(reps, 16, 64 * 1024);
+    NetNumbers {
+        pingpong_small_ns,
+        pingpong_large_us,
+        part_bw_mbps,
+    }
+}
+
+/// SPMD child body: rank 0 writes its numbers where the parent reads them.
+fn run_child(quick: bool) {
+    let env = MultiprocEnv::from_env().expect("--child requires the PCOMM_NET_* environment");
+    let n = wire_sections(quick);
+    if env.rank == 0 {
+        std::fs::write(env.dir.join("out-0"), n.to_json()).expect("write child results");
+    }
+}
+
+/// Spawn the UDS pass: this binary, twice, as a 2-rank SPMD mesh.
+fn run_uds_pass(quick: bool) -> NetNumbers {
+    let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
+    let spmd = MultiprocEnv {
+        rank: 0,
+        n_ranks: 2,
+        dir: dir.clone(),
+        backend: Backend::Uds,
+    };
+    let exe = std::env::current_exe().expect("netbench binary path");
+    let children: Vec<_> = (0..2)
+        .map(|rank| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--child");
+            if quick {
+                cmd.arg("--quick");
+            }
+            cmd.stdout(Stdio::null());
+            spmd.apply_to(&mut cmd, rank);
+            cmd.spawn().expect("spawn netbench child")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    for (rank, mut child) in children.into_iter().enumerate() {
+        loop {
+            match child.try_wait().expect("poll netbench child") {
+                Some(status) => {
+                    assert!(status.success(), "netbench child rank {rank}: {status}");
+                    break;
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    panic!("netbench child rank {rank} hung");
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+    let raw = std::fs::read_to_string(dir.join("out-0")).expect("child results");
+    let _ = std::fs::remove_dir_all(&dir);
+    let field = |key: &str| -> f64 {
+        let pat = format!("\"{key}\":");
+        let at = raw.find(&pat).unwrap_or_else(|| panic!("missing {key}")) + pat.len();
+        raw[at..]
+            .trim_start()
+            .split([',', '\n', '}'])
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("bad {key} in child output"))
+    };
+    NetNumbers {
+        pingpong_small_ns: field("pingpong_small_ns"),
+        pingpong_large_us: field("pingpong_large_us"),
+        part_bw_mbps: field("part_bw_mbps"),
+    }
+}
+
+/// Extract the balanced-brace object following `"<key>":` in `json`.
+fn extract_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)?;
+    let open = at + json[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn pair_json(label: &str, shm: NetNumbers, uds: NetNumbers) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"label\": \"{}\",\n",
+            "    \"shm\": {},\n",
+            "    \"uds\": {}\n",
+            "  }}"
+        ),
+        label,
+        shm.to_json(),
+        uds.to_json()
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--child") {
+        run_child(quick);
+        return;
+    }
+    let set_baseline = args.iter().any(|a| a == "--set-baseline");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}/../../BENCH_net.json", env!("CARGO_MANIFEST_DIR")));
+
+    eprintln!("netbench: shared-memory pass ...");
+    let shm = wire_sections(quick);
+    eprintln!("netbench: UDS pass (2 processes) ...");
+    let uds = run_uds_pass(quick);
+
+    println!("                          shared-mem          UDS");
+    println!(
+        "pingpong 256 B       {:>10.1} ns/rt {:>10.1} ns/rt",
+        shm.pingpong_small_ns, uds.pingpong_small_ns
+    );
+    println!(
+        "pingpong 256 KiB     {:>10.2} us/rt {:>10.2} us/rt",
+        shm.pingpong_large_us, uds.pingpong_large_us
+    );
+    println!(
+        "partitioned 1 MiB    {:>10.1} MB/s  {:>10.1} MB/s",
+        shm.part_bw_mbps, uds.part_bw_mbps
+    );
+
+    let current = pair_json("current", shm, uds);
+    let baseline = if set_baseline {
+        pair_json("baseline", shm, uds)
+    } else {
+        std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|old| extract_object(&old, "baseline").map(str::to_owned))
+            .unwrap_or_else(|| pair_json("baseline", shm, uds))
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"pcomm-net-v1\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"baseline\": {},\n",
+            "  \"current\": {}\n",
+            "}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        baseline,
+        current
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("netbench: wrote {out_path}");
+}

@@ -64,6 +64,25 @@ pub struct QueueEntry {
     pub bytes: usize,
 }
 
+/// Per-peer socket health at stall time (multiprocess runs only; empty
+/// for in-process universes). The frame counters come straight from the
+/// progress engine's reader/writer threads, so a stalled wire shows up
+/// as a peer whose `frames_received` stopped moving — or whose
+/// connection is already gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSocketState {
+    /// Peer rank this socket leads to.
+    pub peer: usize,
+    /// Whether the connection was still up when the report was taken.
+    pub connected: bool,
+    /// Frames written to this peer so far.
+    pub frames_sent: u64,
+    /// Frames read from this peer so far.
+    pub frames_received: u64,
+    /// Rendezvous sends to this peer still waiting for their CTS.
+    pub pending_rdv: usize,
+}
+
 /// Structured diagnosis the watchdog produces instead of hanging.
 ///
 /// `Display` renders the whole report, so `{}`-printing the
@@ -86,6 +105,8 @@ pub struct StallReport {
     pub unmatched_unexpected: Vec<QueueEntry>,
     /// Messages matched fabric-wide before the stall.
     pub matched: u64,
+    /// Socket state per peer (multiprocess runs; empty in-process).
+    pub peers: Vec<PeerSocketState>,
 }
 
 impl fmt::Display for StallReport {
@@ -127,6 +148,21 @@ impl fmt::Display for StallReport {
                 q.bytes
             )?;
         }
+        for p in &self.peers {
+            writeln!(
+                f,
+                "  peer rank {}: {}, {} frames sent / {} received, {} rendezvous pending",
+                p.peer,
+                if p.connected {
+                    "connected"
+                } else {
+                    "connection lost"
+                },
+                p.frames_sent,
+                p.frames_received,
+                p.pending_rdv
+            )?;
+        }
         Ok(())
     }
 }
@@ -136,7 +172,7 @@ impl fmt::Display for StallReport {
 pub enum PcommError {
     /// The watchdog found the universe making no progress past its
     /// deadline; the report says who waits on what.
-    Stall(StallReport),
+    Stall(Box<StallReport>),
     /// A rank thread panicked. Surviving ranks were aborted (they would
     /// otherwise deadlock waiting for the dead rank's sends).
     PeerPanicked {
@@ -249,8 +285,9 @@ mod tests {
             }],
             unmatched_unexpected: vec![],
             matched: 17,
+            peers: vec![],
         };
-        let err = PcommError::Stall(report);
+        let err = PcommError::Stall(Box::new(report));
         let text = format!("{err}");
         assert!(text.contains("tag=42"), "{text}");
         assert!(text.contains("rank 1 blocked"), "{text}");

@@ -171,6 +171,17 @@ unsafe impl Send for RdvHandoff {}
 pub(crate) enum Payload {
     Eager(Vec<u8>),
     Rdv(RdvHandoff),
+    /// A rendezvous RTS that arrived over the wire: no local pointer —
+    /// matching parks the posted buffer with the transport (which sends
+    /// the CTS) and the data lands later via
+    /// [`Fabric::complete_remote_rdv`].
+    RdvRemote {
+        len: usize,
+        rdv_id: u64,
+        /// Local timestamp of the RTS frame's arrival, for the RdvCopy
+        /// span (None when tracing is disabled).
+        rts_ns: Option<u64>,
+    },
 }
 
 impl Payload {
@@ -178,6 +189,7 @@ impl Payload {
         match self {
             Payload::Eager(v) => v.len(),
             Payload::Rdv(h) => h.len,
+            Payload::RdvRemote { len, .. } => *len,
         }
     }
 }
@@ -360,6 +372,12 @@ pub(crate) struct Fabric {
     next_wait_id: AtomicU64,
     /// Per-rank "closure returned" flags, for the stall report.
     finished: Vec<AtomicBool>,
+    /// How remote-hosted ranks are reached (multiprocess runs); the
+    /// shared-memory stub otherwise.
+    transport: Arc<dyn crate::transport::Transport>,
+    /// Cached `transport.is_multiproc()` — keeps the hot-path locality
+    /// check to one branch on a plain bool.
+    multiproc: bool,
 }
 
 /// Child-context kinds (must match across ranks for a given creation).
@@ -373,7 +391,14 @@ pub(crate) enum CtxKind {
 impl Fabric {
     #[cfg(test)]
     pub(crate) fn new(n_ranks: usize, n_shards: usize, eager_max: usize) -> Arc<Fabric> {
-        Fabric::new_configured(n_ranks, n_shards, eager_max, Trace::disabled(), None)
+        Fabric::new_configured(
+            n_ranks,
+            n_shards,
+            eager_max,
+            Trace::disabled(),
+            None,
+            Arc::new(crate::transport::SharedMemTransport),
+        )
     }
 
     pub(crate) fn new_configured(
@@ -382,8 +407,10 @@ impl Fabric {
         eager_max: usize,
         trace: Trace,
         fault_plan: Option<FaultPlan>,
+        transport: Arc<dyn crate::transport::Transport>,
     ) -> Arc<Fabric> {
         assert!(n_ranks >= 1 && n_shards >= 1);
+        let multiproc = transport.is_multiproc();
         Arc::new(Fabric {
             n_ranks,
             n_shards,
@@ -413,7 +440,16 @@ impl Fabric {
             wait_registry: Mutex::new(HashMap::new()),
             next_wait_id: AtomicU64::new(0),
             finished: (0..n_ranks).map(|_| AtomicBool::new(false)).collect(),
+            transport,
+            multiproc,
         })
+    }
+
+    /// Whether `rank` is hosted by this process. Always true for
+    /// in-process universes; in multiprocess runs only the local rank is.
+    #[inline]
+    pub(crate) fn is_local(&self, rank: usize) -> bool {
+        !self.multiproc || rank == self.transport.local_rank()
     }
 
     pub(crate) fn trace(&self) -> &Trace {
@@ -442,18 +478,43 @@ impl Fabric {
     }
 
     /// Record a failure and abort the universe. The first failure wins;
-    /// later ones are casualties of the abort and are discarded.
+    /// later ones are casualties of the abort and are discarded. In
+    /// multiprocess runs the first local failure is also broadcast to
+    /// every peer process.
     pub(crate) fn fail(&self, err: PcommError) {
-        {
+        self.fail_with(err, true);
+    }
+
+    /// Record a failure received *from* the wire: identical to
+    /// [`Fabric::fail`] but never re-broadcast, so abort frames cannot
+    /// echo between processes forever.
+    pub(crate) fn fail_from_wire(&self, err: PcommError) {
+        self.fail_with(err, false);
+    }
+
+    fn fail_with(&self, err: PcommError, broadcast: bool) {
+        let first = {
             let mut f = self.failure.lock();
             if f.is_none() {
-                *f = Some(err);
+                *f = Some(err.clone());
+                true
+            } else {
+                false
             }
-        }
+        };
         self.aborted.store(true, Ordering::Release);
         // Barrier waiters poll in slices, but wake them now anyway.
         self.barrier_cv.notify_all();
         self.win_cv.notify_all();
+        if first && broadcast && self.multiproc {
+            self.transport.broadcast_abort(&err);
+        }
+    }
+
+    /// A clone of the failure of record, if any (leaves it in place for
+    /// [`Fabric::take_failure`]).
+    pub(crate) fn failure_snapshot(&self) -> Option<PcommError> {
+        self.failure.lock().clone()
     }
 
     /// Whether some rank already failed and the universe is unwinding.
@@ -572,6 +633,12 @@ impl Fabric {
     /// Unwinds with [`RankAborted`] if the universe fails while waiting.
     pub(crate) fn rank_barrier(&self, rank: usize) {
         self.touch();
+        if self.multiproc {
+            // Cross-process: the transport runs a rank-0-coordinated
+            // arrive/release round over the wire.
+            self.transport.barrier(self, rank);
+            return;
+        }
         let mut st = self.barrier_state.lock();
         let gen = st.generation;
         st.count += 1;
@@ -656,7 +723,7 @@ impl Fabric {
         tag: i64,
         data: &[u8],
     ) -> SendTicket {
-        if data.len() <= self.eager_max {
+        if self.eager_max > 0 && data.len() <= self.eager_max {
             self.send_eager(dst, shard, ctx, src_rank, tag, data);
             SendTicket { done: None }
         } else {
@@ -687,7 +754,7 @@ impl Fabric {
         data: &[u8],
         done: &Arc<Completion>,
     ) {
-        if data.len() <= self.eager_max {
+        if self.eager_max > 0 && data.len() <= self.eager_max {
             self.send_eager(dst, shard, ctx, src_rank, tag, data);
             done.set();
         } else {
@@ -722,7 +789,28 @@ impl Fabric {
         if self.fault.is_some() {
             self.send_eager_chaos(dst, shard, ctx, src_rank, tag, buf);
         } else {
+            self.route_eager(dst, shard, ctx, src_rank, tag, buf);
+        }
+    }
+
+    /// Deliver an eager payload locally or put it on the wire — the one
+    /// seam every eager path (clean, chaos, held-message flush) funnels
+    /// through, so fault decisions happen identically either way.
+    fn route_eager(
+        &self,
+        dst: usize,
+        shard: usize,
+        ctx: u64,
+        src_rank: usize,
+        tag: i64,
+        buf: Vec<u8>,
+    ) {
+        if self.is_local(dst) {
             self.deliver(dst, shard, ctx, src_rank, tag, Payload::Eager(buf));
+        } else {
+            self.transport.ship_eager(dst, shard, ctx, tag, &buf);
+            self.pool.release(src_rank, buf);
+            self.touch();
         }
     }
 
@@ -843,7 +931,7 @@ impl Fabric {
         buf: Vec<u8>,
     ) {
         self.flush_held_channel(dst, ctx, src_rank, tag);
-        self.deliver(dst, shard, ctx, src_rank, tag, Payload::Eager(buf));
+        self.route_eager(dst, shard, ctx, src_rank, tag, buf);
         self.flush_held_for(dst);
     }
 
@@ -864,7 +952,7 @@ impl Fabric {
             out
         };
         for m in msgs {
-            self.deliver(dst, m.shard, m.ctx, m.src, m.tag, Payload::Eager(m.buf));
+            self.route_eager(dst, m.shard, m.ctx, m.src, m.tag, m.buf);
         }
     }
 
@@ -873,7 +961,7 @@ impl Fabric {
         let Some(fs) = &self.fault else { return };
         let msgs: Vec<HeldMsg> = std::mem::take(&mut *fs.held[dst].lock());
         for m in msgs {
-            self.deliver(dst, m.shard, m.ctx, m.src, m.tag, Payload::Eager(m.buf));
+            self.route_eager(dst, m.shard, m.ctx, m.src, m.tag, m.buf);
         }
     }
 
@@ -889,7 +977,7 @@ impl Fabric {
             let msgs: Vec<HeldMsg> = std::mem::take(&mut *fs.held[dst].lock());
             n += msgs.len();
             for m in msgs {
-                self.deliver(dst, m.shard, m.ctx, m.src, m.tag, Payload::Eager(m.buf));
+                self.route_eager(dst, m.shard, m.ctx, m.src, m.tag, m.buf);
             }
         }
         n
@@ -968,6 +1056,28 @@ impl Fabric {
             // Preserve channel FIFO against any held-back eager message
             // of the same channel before the rendezvous overtakes it.
             self.flush_held_channel(dst, ctx, src_rank, tag);
+        }
+        if !self.is_local(dst) {
+            // Wire rendezvous: pin the buffer with the transport and
+            // ship an RTS; the CTS handler frames the bytes and sets
+            // `done` (same pin-until-done contract as the in-process
+            // pointer handoff).
+            self.transport.ship_rts(
+                dst,
+                shard,
+                ctx,
+                tag,
+                crate::transport::PinnedSend {
+                    ptr: data.as_ptr(),
+                    len: data.len(),
+                    done: Arc::clone(done),
+                },
+            );
+            self.touch();
+            if self.fault.is_some() {
+                self.flush_held_for(dst);
+            }
+            return;
         }
         let payload = Payload::Rdv(RdvHandoff {
             src_ptr: data.as_ptr(),
@@ -1095,6 +1205,15 @@ impl Fabric {
             return;
         }
         match payload {
+            Payload::RdvRemote { rdv_id, rts_ns, .. } => {
+                // The data is still in the sending process: park the
+                // posted buffer with the transport and answer the CTS;
+                // completion (and the verify event) happens in
+                // `complete_remote_rdv` when the bytes land.
+                self.transport
+                    .accept_remote_rdv(src, rdv_id, posted, shard, tag, rts_ns);
+                return;
+            }
             Payload::Eager(v) => {
                 if len > 0 {
                     // SAFETY: invariant (2) — exclusive, live destination.
@@ -1146,6 +1265,168 @@ impl Fabric {
         self.touch();
     }
 
+    /// Finish a parked remote rendezvous: the wire data arrived, copy it
+    /// into the posted buffer and fire the completion (the wire analogue
+    /// of the tail of [`Fabric::fulfill`]'s `Rdv` arm). Runs on the
+    /// transport's reader thread.
+    pub(crate) fn complete_remote_rdv(
+        &self,
+        posted: PostedRecv,
+        src: usize,
+        tag: i64,
+        shard: usize,
+        data: &[u8],
+        rts_ns: Option<u64>,
+    ) {
+        if self.aborted() {
+            // The receiver's destination buffer may already be gone; the
+            // local waiters unwind via the abort flag.
+            return;
+        }
+        let len = data.len();
+        debug_assert!(len <= posted.dest_cap, "checked at RTS match time");
+        if len > 0 {
+            // SAFETY: invariant (2) — the posted destination is exclusive
+            // and stays alive until `posted.completion` is set below.
+            unsafe {
+                std::ptr::copy_nonoverlapping(data.as_ptr(), posted.dest_ptr, len);
+            }
+        }
+        self.trace.emit_span(rts_ns, src as u16, |start, dur| {
+            EventKind::RdvCopy {
+                shard: shard as u16,
+                bytes: len as u64,
+                wait_ns: dur,
+            }
+            .at(start)
+        });
+        if let Some((vreq, m)) = posted.verify_msg {
+            self.trace
+                .emit_verify(self.transport.local_rank() as u16, || {
+                    EventKind::VerifyMsgRecv {
+                        req: vreq,
+                        msg: m,
+                        tid: pcomm_trace::current_tid(),
+                        eager: false,
+                    }
+                });
+        }
+        *posted.info.lock() = Some(MsgInfo { src, tag, len });
+        self.matched.fetch_add(1, Ordering::Relaxed);
+        posted.completion.set();
+        self.touch();
+    }
+
+    /// Wire ingress, eager: copy the frame payload into a pooled buffer
+    /// and feed it to the ordinary matching path. Runs on the transport's
+    /// reader thread.
+    pub(crate) fn deliver_wire_eager(
+        &self,
+        src: usize,
+        shard: usize,
+        ctx: u64,
+        tag: i64,
+        data: &[u8],
+    ) {
+        let (mut buf, hit) = self.pool.acquire(src);
+        buf.extend_from_slice(data);
+        hotpath::count_pool(hit);
+        let dst = self.transport.local_rank();
+        self.deliver(dst, shard, ctx, src, tag, Payload::Eager(buf));
+    }
+
+    /// Wire ingress, rendezvous RTS: enters matching as a
+    /// [`Payload::RdvRemote`]. Runs on the transport's reader thread.
+    pub(crate) fn deliver_wire_rts(
+        &self,
+        src: usize,
+        shard: usize,
+        ctx: u64,
+        tag: i64,
+        len: usize,
+        rdv_id: u64,
+    ) {
+        let dst = self.transport.local_rank();
+        let rts_ns = self.trace.now_ns();
+        self.deliver(
+            dst,
+            shard,
+            ctx,
+            src,
+            tag,
+            Payload::RdvRemote {
+                len,
+                rdv_id,
+                rts_ns,
+            },
+        );
+    }
+
+    /// Wire ingress, one-sided put into a locally registered window.
+    /// Runs on the transport's reader thread.
+    pub(crate) fn apply_remote_put(&self, src: usize, win_ctx: u64, offset: usize, data: &[u8]) {
+        let mem = self.win_registry.lock().get(&win_ctx).cloned();
+        match mem {
+            Some(mem) if offset + data.len() <= mem.len() => {
+                mem.apply_put(offset, data);
+                self.touch();
+            }
+            Some(mem) => self.fail(PcommError::misuse(
+                src,
+                format!(
+                    "remote put of {} bytes at offset {offset} overflows {}-byte window \
+                     (ctx {win_ctx})",
+                    data.len(),
+                    mem.len()
+                ),
+            )),
+            None => self.fail(PcommError::misuse(
+                src,
+                format!("remote put targets unregistered window ctx {win_ctx}"),
+            )),
+        }
+    }
+
+    /// Wire ingress, one-sided get from a locally registered window.
+    /// `None` when the window is unknown or the range is out of bounds.
+    pub(crate) fn read_win(&self, win_ctx: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let mem = self.win_registry.lock().get(&win_ctx).cloned()?;
+        if offset + len > mem.len() {
+            return None;
+        }
+        Some(mem.read_range(offset, len))
+    }
+
+    /// One-sided put targeting a remote-hosted rank (multiprocess runs).
+    pub(crate) fn remote_put(&self, target: usize, win_ctx: u64, offset: usize, data: &[u8]) {
+        self.transport.put(target, win_ctx, offset, data);
+        self.touch();
+    }
+
+    /// Blocking one-sided get from a remote-hosted rank.
+    pub(crate) fn remote_get(
+        &self,
+        rank: usize,
+        target: usize,
+        win_ctx: u64,
+        offset: usize,
+        len: usize,
+    ) -> Vec<u8> {
+        self.transport.get(self, rank, target, win_ctx, offset, len)
+    }
+
+    /// Announce a locally registered window to its remote origin.
+    pub(crate) fn remote_announce_win(&self, origin: usize, win_ctx: u64, len: usize) {
+        self.transport.announce_win(origin, win_ctx, len);
+        self.touch();
+    }
+
+    /// Block until the remote target announces the window; returns its
+    /// length.
+    pub(crate) fn remote_wait_win_announce(&self, rank: usize, win_ctx: u64) -> usize {
+        self.transport.wait_win_announce(self, rank, win_ctx)
+    }
+
     /// Snapshot the fabric's blocked-wait and match-queue state into a
     /// [`StallReport`] (called by the watchdog supervisor when activity
     /// has been quiet past the deadline).
@@ -1194,6 +1475,7 @@ impl Fabric {
             unmatched_posted,
             unmatched_unexpected,
             matched: self.matched_count(),
+            peers: self.transport.peer_states(),
         }
     }
 }
@@ -1370,7 +1652,14 @@ mod tests {
         // drop probability is high but the retry budget is large enough
         // that some attempt decides differently.
         let plan = FaultPlan::seeded(7).drops(0.5).retries(64);
-        let f = Fabric::new_configured(2, 1, 1024, Trace::disabled(), Some(plan));
+        let f = Fabric::new_configured(
+            2,
+            1,
+            1024,
+            Trace::disabled(),
+            Some(plan),
+            Arc::new(crate::transport::SharedMemTransport),
+        );
         let mut bufs = [[0u8; 1]; 32];
         let tickets: Vec<RecvTicket> = bufs
             .iter_mut()
@@ -1393,7 +1682,14 @@ mod tests {
     #[test]
     fn chaos_certain_drop_without_retries_loses_message() {
         let plan = FaultPlan::seeded(1).drops(1.0).retries(0);
-        let f = Fabric::new_configured(2, 1, 64, Trace::disabled(), Some(plan));
+        let f = Fabric::new_configured(
+            2,
+            1,
+            64,
+            Trace::disabled(),
+            Some(plan),
+            Arc::new(crate::transport::SharedMemTransport),
+        );
         let mut buf = [0u8; 1];
         let rt = post(&f, 1, 0, 0, Some(0), Some(3), &mut buf);
         f.send_raw(1, 0, 0, 0, 3, &[9]);
@@ -1415,7 +1711,14 @@ mod tests {
     #[test]
     fn chaos_reorder_holds_then_flushes() {
         let plan = FaultPlan::seeded(11).reorders(1.0);
-        let f = Fabric::new_configured(2, 1, 1024, Trace::disabled(), Some(plan));
+        let f = Fabric::new_configured(
+            2,
+            1,
+            1024,
+            Trace::disabled(),
+            Some(plan),
+            Arc::new(crate::transport::SharedMemTransport),
+        );
         let mut buf = [0u8; 1];
         let rt = post(&f, 1, 0, 0, Some(0), Some(1), &mut buf);
         f.send_raw(1, 0, 0, 0, 1, &[7]);
@@ -1431,7 +1734,14 @@ mod tests {
         // second send must first flush the held first message, so payload
         // order (and therefore data) is preserved.
         let plan = FaultPlan::seeded(3).reorders(1.0);
-        let f = Fabric::new_configured(2, 1, 1024, Trace::disabled(), Some(plan));
+        let f = Fabric::new_configured(
+            2,
+            1,
+            1024,
+            Trace::disabled(),
+            Some(plan),
+            Arc::new(crate::transport::SharedMemTransport),
+        );
         let mut a = [0u8; 1];
         let mut b = [0u8; 1];
         let ra = post(&f, 1, 0, 0, Some(0), Some(4), &mut a);

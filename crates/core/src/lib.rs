@@ -67,11 +67,12 @@ pub mod part;
 pub mod rma;
 pub mod strategies;
 pub mod sync;
+mod transport;
 mod universe;
 
 pub use comm::Comm;
 pub use datatype::Datatype;
-pub use error::{BlockedWait, PcommError, QueueEntry, StallReport};
+pub use error::{BlockedWait, PcommError, PeerSocketState, QueueEntry, StallReport};
 pub use fabric::MsgInfo;
 pub use universe::{Universe, DEFAULT_CHAOS_WATCHDOG_MS};
 

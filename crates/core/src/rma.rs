@@ -54,18 +54,52 @@ impl WinMem {
         })
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         // SAFETY: the length is fixed at construction; reading it never
         // aliases the window contents concurrent `put`s may be writing.
         unsafe { (&*self.data.get()).len() }
     }
+
+    /// Apply a put that arrived over the wire (target process's reader
+    /// thread). Bounds are checked by the caller.
+    pub(crate) fn apply_put(&self, offset: usize, data: &[u8]) {
+        if !data.is_empty() {
+            // SAFETY: epoch protocol — the target does not read the
+            // window between exposure and completion, and the completion
+            // notice travels the same FIFO socket *after* every put of
+            // the epoch, so no local reader races this copy.
+            unsafe {
+                let base = (*self.data.get()).as_mut_ptr();
+                std::ptr::copy_nonoverlapping(data.as_ptr(), base.add(offset), data.len());
+            }
+        }
+        self.arrived.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read a range for a wire get (target process's reader thread).
+    /// Bounds are checked by the caller.
+    pub(crate) fn read_range(&self, offset: usize, len: usize) -> Vec<u8> {
+        // SAFETY: epoch protocol — gets and puts to overlapping ranges
+        // in one epoch are erroneous, so nothing writes this range now.
+        unsafe { (&*self.data.get())[offset..offset + len].to_vec() }
+    }
+}
+
+/// Where an origin's window memory lives.
+enum OriginBacking {
+    /// Target rank in the same process: direct memcpy into shared
+    /// memory.
+    Local(Arc<WinMem>),
+    /// Target rank in another process: puts and gets travel the wire
+    /// as one-sided frames applied by the target's progress engine.
+    Remote { len: usize },
 }
 
 /// Origin side of a window: issues `put`s toward the target.
 pub struct WinOrigin {
     comm: Comm,
     target: usize,
-    mem: Arc<WinMem>,
+    backing: OriginBacking,
     puts_in_epoch: AtomicU64,
 }
 
@@ -82,13 +116,20 @@ impl Comm {
     /// Both ranks must call in the same creation order.
     pub fn win_create_origin(&self, target: usize, len: usize) -> WinOrigin {
         let ctx = self.win_ctx();
-        let mem = self.fabric().attach_win(ctx, self.rank());
-        assert_eq!(mem.len(), len, "window size mismatch between ranks");
+        let backing = if self.fabric().is_local(target) {
+            let mem = self.fabric().attach_win(ctx, self.rank());
+            assert_eq!(mem.len(), len, "window size mismatch between ranks");
+            OriginBacking::Local(mem)
+        } else {
+            let announced = self.fabric().remote_wait_win_announce(self.rank(), ctx);
+            assert_eq!(announced, len, "window size mismatch between ranks");
+            OriginBacking::Remote { len }
+        };
         let shard = self.fabric().shard_of_ctx(ctx);
         WinOrigin {
             comm: self.with_ctx(ctx, shard),
             target,
-            mem,
+            backing,
             puts_in_epoch: AtomicU64::new(0),
         }
     }
@@ -99,6 +140,11 @@ impl Comm {
         let ctx = self.win_ctx();
         let mem = WinMem::new(len);
         self.fabric().register_win(ctx, Arc::clone(&mem));
+        if !self.fabric().is_local(origin) {
+            // The origin's process cannot attach our memory: tell it the
+            // window exists (and how big it is) over the wire.
+            self.fabric().remote_announce_win(origin, ctx, len);
+        }
         let shard = self.fabric().shard_of_ctx(ctx);
         WinTarget {
             comm: self.with_ctx(ctx, shard),
@@ -111,7 +157,10 @@ impl Comm {
 impl WinOrigin {
     /// Window size in bytes.
     pub fn len(&self) -> usize {
-        self.mem.len()
+        match &self.backing {
+            OriginBacking::Local(mem) => mem.len(),
+            OriginBacking::Remote { len } => *len,
+        }
     }
 
     /// Whether the window is empty.
@@ -133,22 +182,36 @@ impl WinOrigin {
     /// start/complete); the copy is performed by the calling thread.
     pub fn put(&self, offset: usize, data: &[u8]) {
         let end = offset.checked_add(data.len()).expect("offset overflow");
-        assert!(end <= self.mem.len(), "put exceeds window");
-        if !data.is_empty() {
-            // SAFETY: epoch protocol — the target does not read between
-            // exposure and completion; concurrent puts touch disjoint
-            // ranges by API contract (as in MPI, overlapping puts in one
-            // epoch are erroneous).
-            unsafe {
-                let base = (*self.mem.data.get()).as_mut_ptr();
-                std::ptr::copy_nonoverlapping(data.as_ptr(), base.add(offset), data.len());
+        assert!(end <= self.len(), "put exceeds window");
+        match &self.backing {
+            OriginBacking::Local(mem) => {
+                if !data.is_empty() {
+                    // SAFETY: epoch protocol — the target does not read
+                    // between exposure and completion; concurrent puts
+                    // touch disjoint ranges by API contract (as in MPI,
+                    // overlapping puts in one epoch are erroneous).
+                    unsafe {
+                        let base = (*mem.data.get()).as_mut_ptr();
+                        std::ptr::copy_nonoverlapping(data.as_ptr(), base.add(offset), data.len());
+                    }
+                }
+                // Relaxed: these are pure tallies. The target only reads
+                // them after the TAG_COMPLETE message, whose send/recv
+                // (plus the SeqCst fence in `flush`) already orders every
+                // put of the epoch before the read — an extra AcqRel per
+                // put buys nothing.
+                mem.arrived.fetch_add(1, Ordering::Relaxed);
+            }
+            OriginBacking::Remote { .. } => {
+                // The target's reader applies the put (and bumps its
+                // `arrived` counter) before any later frame from us —
+                // including the TAG_COMPLETE eager message — so the
+                // epoch accounting holds across the wire.
+                self.comm
+                    .fabric()
+                    .remote_put(self.target, self.comm.ctx(), offset, data);
             }
         }
-        // Relaxed: these are pure tallies. The target only reads them
-        // after the TAG_COMPLETE message, whose send/recv (plus the
-        // SeqCst fence in `flush`) already orders every put of the epoch
-        // before the read — an extra AcqRel per put buys nothing.
-        self.mem.arrived.fetch_add(1, Ordering::Relaxed);
         self.puts_in_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -157,20 +220,43 @@ impl WinOrigin {
     /// in-process the read is a synchronous memcpy by the calling thread.
     pub fn get(&self, offset: usize, buf: &mut [u8]) {
         let end = offset.checked_add(buf.len()).expect("offset overflow");
-        assert!(end <= self.mem.len(), "get exceeds window");
-        if !buf.is_empty() {
-            // SAFETY: epoch protocol — no concurrent writer to this range
-            // (gets and puts to overlapping ranges in one epoch are
-            // erroneous, as in MPI).
-            unsafe {
-                let base = (&*self.mem.data.get()).as_ptr();
-                std::ptr::copy_nonoverlapping(base.add(offset), buf.as_mut_ptr(), buf.len());
+        assert!(end <= self.len(), "get exceeds window");
+        match &self.backing {
+            OriginBacking::Local(mem) => {
+                if !buf.is_empty() {
+                    // SAFETY: epoch protocol — no concurrent writer to
+                    // this range (gets and puts to overlapping ranges in
+                    // one epoch are erroneous, as in MPI).
+                    unsafe {
+                        let base = (&*mem.data.get()).as_ptr();
+                        std::ptr::copy_nonoverlapping(
+                            base.add(offset),
+                            buf.as_mut_ptr(),
+                            buf.len(),
+                        );
+                    }
+                }
+            }
+            OriginBacking::Remote { .. } => {
+                if !buf.is_empty() {
+                    let data = self.comm.fabric().remote_get(
+                        self.comm.rank(),
+                        self.target,
+                        self.comm.ctx(),
+                        offset,
+                        buf.len(),
+                    );
+                    buf.copy_from_slice(&data);
+                }
             }
         }
     }
 
     /// `MPI_Win_flush`: make all puts of this epoch remotely visible.
-    /// In-process puts are synchronous memcpys, so this is a fence.
+    /// In-process puts are synchronous memcpys, so this is a fence. Over
+    /// the wire the per-peer socket is FIFO and the target's reader
+    /// applies each put before reading any later frame, so the fence
+    /// semantics carry over without a round trip.
     pub fn flush(&self) {
         std::sync::atomic::fence(Ordering::SeqCst);
     }

@@ -129,10 +129,48 @@ impl RealScenario {
     }
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a running hash.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Deterministic per-partition fill: every strategy writes the same
+/// bytes for partition `p`, so on a clean run every strategy — and every
+/// fabric, shared-memory or socket — produces the same digest.
+fn fill_pattern(buf: &mut [u8], p: usize) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = (p.wrapping_mul(131).wrapping_add(i.wrapping_mul(7)) as u8) ^ 0x3D;
+    }
+}
+
 /// Run `approach` under `scenario`; returns per-iteration communication
 /// overhead (receiver-side time-to-solution minus injected compute),
 /// including the warm-up iteration at index 0.
 pub fn measure(approach: RealApproach, sc: &RealScenario) -> Vec<Duration> {
+    run_strategy(approach, sc, false).0
+}
+
+/// Like [`measure`], but the sender writes a deterministic pattern and
+/// the receiver folds every received byte (canonical partition order,
+/// every iteration) into an FNV-1a digest returned alongside the
+/// timings. All eight strategies yield the *same* digest for a given
+/// scenario, so transport-agreement tests can compare digests across
+/// strategies and fabrics. In a multiprocess run only the receiving
+/// rank's process observes the real digest (the sender's is 0).
+pub fn measure_validated(approach: RealApproach, sc: &RealScenario) -> (Vec<Duration>, u64) {
+    run_strategy(approach, sc, true)
+}
+
+fn run_strategy(approach: RealApproach, sc: &RealScenario, validate: bool) -> (Vec<Duration>, u64) {
     assert_eq!(
         sc.delays_us.len(),
         sc.n_parts(),
@@ -140,21 +178,26 @@ pub fn measure(approach: RealApproach, sc: &RealScenario) -> Vec<Duration> {
     );
     let universe = Universe::new(2).with_shards(sc.shards);
     let mut out = universe
-        .run(|comm| run_rank(approach, sc, comm))
+        .run(|comm| run_rank(approach, sc, comm, validate))
         .expect("measurement universe failed");
     out.pop().expect("receiver produces the timings")
 }
 
-fn run_rank(approach: RealApproach, sc: &RealScenario, comm: Comm) -> Vec<Duration> {
+fn run_rank(
+    approach: RealApproach,
+    sc: &RealScenario,
+    comm: Comm,
+    validate: bool,
+) -> (Vec<Duration>, u64) {
     match approach {
-        RealApproach::PtpPart => part_rank(sc, comm, false),
-        RealApproach::PtpPartOld => part_rank(sc, comm, true),
-        RealApproach::PtpSingle => single_rank(sc, comm),
-        RealApproach::PtpMany => many_rank(sc, comm),
-        RealApproach::RmaSinglePassive => rma_passive_rank(sc, comm, false),
-        RealApproach::RmaManyPassive => rma_passive_rank(sc, comm, true),
-        RealApproach::RmaSingleActive => rma_active_rank(sc, comm, false),
-        RealApproach::RmaManyActive => rma_active_rank(sc, comm, true),
+        RealApproach::PtpPart => part_rank(sc, comm, false, validate),
+        RealApproach::PtpPartOld => part_rank(sc, comm, true, validate),
+        RealApproach::PtpSingle => single_rank(sc, comm, validate),
+        RealApproach::PtpMany => many_rank(sc, comm, validate),
+        RealApproach::RmaSinglePassive => rma_passive_rank(sc, comm, false, validate),
+        RealApproach::RmaManyPassive => rma_passive_rank(sc, comm, true, validate),
+        RealApproach::RmaSingleActive => rma_active_rank(sc, comm, false, validate),
+        RealApproach::RmaManyActive => rma_active_rank(sc, comm, true, validate),
     }
 }
 
@@ -165,13 +208,14 @@ fn overhead(elapsed: Duration, sc: &RealScenario) -> Duration {
 
 // ---------------------------------------------------------------- part --
 
-fn part_rank(sc: &RealScenario, comm: Comm, legacy: bool) -> Vec<Duration> {
+fn part_rank(sc: &RealScenario, comm: Comm, legacy: bool, validate: bool) -> (Vec<Duration>, u64) {
     let opts = PartOptions {
         aggr_size: if legacy { None } else { sc.aggr_size },
         legacy_single_message: legacy,
         ..PartOptions::default()
     };
     let mut times = Vec::with_capacity(sc.iterations);
+    let mut digest = FNV_OFFSET;
     if comm.rank() == 0 {
         let ps = comm.psend_init(1, 0, sc.n_parts(), sc.part_bytes, opts);
         for _ in 0..sc.iterations {
@@ -185,6 +229,9 @@ fn part_rank(sc: &RealScenario, comm: Comm, legacy: bool) -> Vec<Duration> {
                         let t0 = Instant::now();
                         for (p, ready_us) in parts {
                             spin_for_micros(ready_us - t0.elapsed().as_secs_f64() * 1e6);
+                            if validate {
+                                ps.write_partition(p, |buf| fill_pattern(buf, p));
+                            }
                             ps.pready(p);
                         }
                     });
@@ -192,7 +239,7 @@ fn part_rank(sc: &RealScenario, comm: Comm, legacy: bool) -> Vec<Duration> {
             });
             ps.wait();
         }
-        Vec::new()
+        (Vec::new(), 0)
     } else {
         let pr = comm.precv_init(0, 0, sc.n_parts(), sc.part_bytes, opts);
         for _ in 0..sc.iterations {
@@ -201,17 +248,30 @@ fn part_rank(sc: &RealScenario, comm: Comm, legacy: bool) -> Vec<Duration> {
             pr.start();
             pr.wait();
             times.push(overhead(t0.elapsed(), sc));
+            if validate {
+                for p in 0..sc.n_parts() {
+                    pr.read_partition(p, |b| digest = fnv1a(digest, b));
+                }
+            }
         }
-        times
+        (times, digest)
     }
 }
 
 // -------------------------------------------------------------- single --
 
-fn single_rank(sc: &RealScenario, comm: Comm) -> Vec<Duration> {
+fn single_rank(sc: &RealScenario, comm: Comm, validate: bool) -> (Vec<Duration>, u64) {
     let mut times = Vec::with_capacity(sc.iterations);
+    let mut digest = FNV_OFFSET;
     if comm.rank() == 0 {
         let ps = comm.send_init(1, 0, sc.total_bytes());
+        if validate {
+            ps.write(|b| {
+                for (p, chunk) in b.chunks_mut(sc.part_bytes).enumerate() {
+                    fill_pattern(chunk, p);
+                }
+            });
+        }
         for _ in 0..sc.iterations {
             comm.barrier();
             std::thread::scope(|s| {
@@ -228,7 +288,7 @@ fn single_rank(sc: &RealScenario, comm: Comm) -> Vec<Duration> {
             ps.start();
             ps.wait();
         }
-        Vec::new()
+        (Vec::new(), 0)
     } else {
         let pr = comm.recv_init(0, 0, sc.total_bytes());
         for _ in 0..sc.iterations {
@@ -237,22 +297,34 @@ fn single_rank(sc: &RealScenario, comm: Comm) -> Vec<Duration> {
             pr.start();
             pr.wait();
             times.push(overhead(t0.elapsed(), sc));
+            if validate {
+                // Partitions are contiguous and ascending, so digesting
+                // the whole buffer matches the canonical partition order.
+                pr.read(|b| digest = fnv1a(digest, b));
+            }
         }
-        times
+        (times, digest)
     }
 }
 
 // ---------------------------------------------------------------- many --
 
-fn many_rank(sc: &RealScenario, comm: Comm) -> Vec<Duration> {
+fn many_rank(sc: &RealScenario, comm: Comm, validate: bool) -> (Vec<Duration>, u64) {
     let mut times = Vec::with_capacity(sc.iterations);
+    let mut digest = FNV_OFFSET;
     if comm.rank() == 0 {
         let reqs: Vec<Vec<Arc<crate::p2p::PersistentSend>>> = (0..sc.n_threads)
             .map(|t| {
                 let c = comm.dup();
                 sc.parts_of_thread(t)
                     .iter()
-                    .map(|(p, _)| Arc::new(c.send_init(1, *p as i64, sc.part_bytes)))
+                    .map(|(p, _)| {
+                        let req = Arc::new(c.send_init(1, *p as i64, sc.part_bytes));
+                        if validate {
+                            req.write(|b| fill_pattern(b, *p));
+                        }
+                        req
+                    })
                     .collect()
             })
             .collect();
@@ -273,7 +345,7 @@ fn many_rank(sc: &RealScenario, comm: Comm) -> Vec<Duration> {
                 }
             });
         }
-        Vec::new()
+        (Vec::new(), 0)
     } else {
         let reqs: Vec<Vec<Arc<crate::p2p::PersistentRecv>>> = (0..sc.n_threads)
             .map(|t| {
@@ -298,16 +370,46 @@ fn many_rank(sc: &RealScenario, comm: Comm) -> Vec<Duration> {
                 }
             });
             times.push(overhead(t0.elapsed(), sc));
+            if validate {
+                // Canonical partition order: partition p lives at
+                // reqs[p % n_threads][p / n_threads].
+                for p in 0..sc.n_parts() {
+                    reqs[p % sc.n_threads][p / sc.n_threads].read(|b| digest = fnv1a(digest, b));
+                }
+            }
         }
-        times
+        (times, digest)
     }
 }
 
 // ------------------------------------------------------------- passive --
 
-fn rma_passive_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> {
+/// Digest the target windows in canonical partition order: partition `p`
+/// was put into window `p % n_wins` (per-thread windows) or window 0, at
+/// offset `p * part_bytes`.
+fn digest_target_wins(
+    digest: &mut u64,
+    wins: &[crate::rma::WinTarget],
+    sc: &RealScenario,
+    many: bool,
+) {
+    for p in 0..sc.n_parts() {
+        let w = if many { p % sc.n_threads } else { 0 };
+        wins[w].read(|b| {
+            *digest = fnv1a(*digest, &b[p * sc.part_bytes..(p + 1) * sc.part_bytes]);
+        });
+    }
+}
+
+fn rma_passive_rank(
+    sc: &RealScenario,
+    comm: Comm,
+    many: bool,
+    validate: bool,
+) -> (Vec<Duration>, u64) {
     let n_wins = if many { sc.n_threads } else { 1 };
     let mut times = Vec::with_capacity(sc.iterations);
+    let mut digest = FNV_OFFSET;
     if comm.rank() == 0 {
         let wins: Vec<Arc<crate::rma::WinOrigin>> = (0..n_wins)
             .map(|_| Arc::new(comm.win_create_origin(1, sc.total_bytes())))
@@ -324,11 +426,14 @@ fn rma_passive_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> 
                     let win = Arc::clone(&wins[if many { t } else { 0 }]);
                     let parts = sc.parts_of_thread(t);
                     let part_bytes = sc.part_bytes;
-                    let payload = vec![1u8; part_bytes];
+                    let mut payload = vec![1u8; part_bytes];
                     s.spawn(move || {
                         let t0 = Instant::now();
                         for (p, ready_us) in parts {
                             spin_for_micros(ready_us - t0.elapsed().as_secs_f64() * 1e6);
+                            if validate {
+                                fill_pattern(&mut payload, p);
+                            }
                             win.put(p * part_bytes, &payload);
                         }
                         if win_is_per_thread(&win, many) {
@@ -342,9 +447,9 @@ fn rma_passive_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> 
             }
             comm.send(1, TAG_DONE, &[0]);
         }
-        Vec::new()
+        (Vec::new(), 0)
     } else {
-        let _wins: Vec<crate::rma::WinTarget> = (0..n_wins)
+        let wins: Vec<crate::rma::WinTarget> = (0..n_wins)
             .map(|_| comm.win_create_target(0, sc.total_bytes()))
             .collect();
         for _ in 0..sc.iterations {
@@ -354,8 +459,11 @@ fn rma_passive_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> 
             let mut b = [0u8; 1];
             comm.recv_into(Some(0), Some(TAG_DONE), &mut b);
             times.push(overhead(t0.elapsed(), sc));
+            if validate {
+                digest_target_wins(&mut digest, &wins, sc, many);
+            }
         }
-        times
+        (times, digest)
     }
 }
 
@@ -365,9 +473,15 @@ fn win_is_per_thread(_win: &crate::rma::WinOrigin, many: bool) -> bool {
 
 // -------------------------------------------------------------- active --
 
-fn rma_active_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> {
+fn rma_active_rank(
+    sc: &RealScenario,
+    comm: Comm,
+    many: bool,
+    validate: bool,
+) -> (Vec<Duration>, u64) {
     let n_wins = if many { sc.n_threads } else { 1 };
     let mut times = Vec::with_capacity(sc.iterations);
+    let mut digest = FNV_OFFSET;
     if comm.rank() == 0 {
         let wins: Vec<Arc<crate::rma::WinOrigin>> = (0..n_wins)
             .map(|_| Arc::new(comm.win_create_origin(1, sc.total_bytes())))
@@ -382,7 +496,7 @@ fn rma_active_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> {
                     let win = Arc::clone(&wins[if many { t } else { 0 }]);
                     let parts = sc.parts_of_thread(t);
                     let part_bytes = sc.part_bytes;
-                    let payload = vec![1u8; part_bytes];
+                    let mut payload = vec![1u8; part_bytes];
                     let many_local = many;
                     s.spawn(move || {
                         if many_local {
@@ -391,6 +505,9 @@ fn rma_active_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> {
                         let t0 = Instant::now();
                         for (p, ready_us) in parts {
                             spin_for_micros(ready_us - t0.elapsed().as_secs_f64() * 1e6);
+                            if validate {
+                                fill_pattern(&mut payload, p);
+                            }
                             win.put(p * part_bytes, &payload);
                         }
                         if many_local {
@@ -403,7 +520,7 @@ fn rma_active_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> {
                 wins[0].complete_epoch();
             }
         }
-        Vec::new()
+        (Vec::new(), 0)
     } else {
         let wins: Vec<crate::rma::WinTarget> = (0..n_wins)
             .map(|_| comm.win_create_target(0, sc.total_bytes()))
@@ -418,8 +535,11 @@ fn rma_active_rank(sc: &RealScenario, comm: Comm, many: bool) -> Vec<Duration> {
                 w.wait_epoch();
             }
             times.push(overhead(t0.elapsed(), sc));
+            if validate {
+                digest_target_wins(&mut digest, &wins, sc, many);
+            }
         }
-        times
+        (times, digest)
     }
 }
 
@@ -479,6 +599,26 @@ mod tests {
         ] {
             let times = measure(a, &sc);
             assert_eq!(times.len(), 2, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn validated_strategies_agree_on_digest() {
+        let sc = RealScenario::immediate(2, 2, 96, 2, 3);
+        // The canonical digest: every iteration folds all partitions in
+        // ascending order, each filled with the deterministic pattern.
+        let mut expect = FNV_OFFSET;
+        let mut buf = vec![0u8; sc.part_bytes];
+        for _ in 0..sc.iterations {
+            for p in 0..sc.n_parts() {
+                fill_pattern(&mut buf, p);
+                expect = fnv1a(expect, &buf);
+            }
+        }
+        for a in RealApproach::ALL {
+            let (times, digest) = measure_validated(a, &sc);
+            assert_eq!(times.len(), sc.iterations, "{a:?}");
+            assert_eq!(digest, expect, "{a:?} delivered corrupted bytes");
         }
     }
 

@@ -1,0 +1,972 @@
+//! The transport seam: how fabric traffic leaves the process.
+//!
+//! [`Fabric`] routes every remote-bound message through a [`Transport`].
+//! In-process universes use [`SharedMemTransport`], a stub that is never
+//! actually called (every rank is local, so the fabric delivers straight
+//! into the destination's match queues — the hot path pays exactly one
+//! cached-bool branch for the seam's existence). Multiprocess universes
+//! use [`SocketTransport`], the progress engine that carries the same
+//! protocol over Unix-domain or TCP sockets:
+//!
+//! * **Eager**: the payload is framed and shipped; the receiving
+//!   process's reader thread copies it into a pooled buffer and feeds it
+//!   to the ordinary matching path ([`Fabric::deliver_wire_eager`]).
+//! * **Rendezvous**: the sender pins its buffer in `pending_rdv` and
+//!   ships an RTS. When the receiver matches it, the posted buffer parks
+//!   with the transport and a CTS goes back; the sender's reader answers
+//!   the CTS by framing the pinned bytes (the wire analogue of the
+//!   zero-copy handoff) and only then sets the sender's completion, so
+//!   `pready`/`parrived` and every completion stay the same lock-free
+//!   atomics as in-process.
+//! * **Barrier**: rank 0 coordinates; everyone ships `BarrierArrive`,
+//!   rank 0 broadcasts `BarrierRelease` for the generation.
+//! * **RMA**: windows announce their length to a remote origin; puts and
+//!   gets become `Put`/`GetReq`/`GetResp` frames applied by the target's
+//!   reader thread. Per-peer frames are FIFO, so every put of an epoch is
+//!   applied before the completion/done message that follows it — remote
+//!   flush rides on socket ordering.
+//!
+//! # Threading model
+//!
+//! Per peer: one **writer** thread owning the socket's write half and an
+//! unbounded channel (senders only enqueue — a send can never block on a
+//! remote process, so there is no distributed write-write deadlock), and
+//! one **reader** thread owning the read half, dispatching frames into
+//! the fabric. Abort tears both down: the failing process broadcasts an
+//! `Abort` frame, then `shutdown(2)` unblocks its own readers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pcomm_net::frame::{
+    Frame, ABORT_MESSAGE_LOST, ABORT_MISUSE, ABORT_MISUSE_RANK, ABORT_PEER_PANICKED,
+};
+use pcomm_net::{Endpoint, Mesh};
+
+use crate::error::{PcommError, PeerSocketState};
+use crate::fabric::{Fabric, PostedRecv};
+use crate::sync::{Completion, Mutex};
+
+/// Slice for non-unwinding waits in teardown paths (mirrors the
+/// fabric's `WAIT_SLICE`).
+const TEARDOWN_SLICE: Duration = Duration::from_millis(2);
+
+/// Hard deadline on the finalize barrier: every healthy peer reaches it
+/// as soon as its closure returns, so far past this something is wrong
+/// and the run fails instead of hanging.
+const FINALIZE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How a fabric reaches ranks hosted outside this process. All methods
+/// except the introspective ones are called only for remote ranks of a
+/// multiprocess run.
+pub(crate) trait Transport: Send + Sync {
+    /// The rank this process hosts (multiprocess runs).
+    fn local_rank(&self) -> usize;
+
+    /// Whether ranks live in separate processes.
+    fn is_multiproc(&self) -> bool;
+
+    /// Ship an eager payload to a remote rank.
+    fn ship_eager(&self, dst: usize, shard: usize, ctx: u64, tag: i64, data: &[u8]);
+
+    /// Ship a rendezvous RTS for a pinned source buffer; the buffer's
+    /// `done` fires when the CTS comes back and the data has been framed.
+    fn ship_rts(&self, dst: usize, shard: usize, ctx: u64, tag: i64, pinned: PinnedSend);
+
+    /// Park a matched posted receive until the wire data lands, and
+    /// answer the CTS.
+    #[allow(clippy::too_many_arguments)] // one per envelope field
+    fn accept_remote_rdv(
+        &self,
+        src: usize,
+        rdv_id: u64,
+        posted: PostedRecv,
+        shard: usize,
+        tag: i64,
+        rts_ns: Option<u64>,
+    );
+
+    /// Cross-process barrier (rank 0 coordinates).
+    fn barrier(&self, fabric: &Fabric, rank: usize);
+
+    /// Announce a window's length to its remote origin.
+    fn announce_win(&self, origin: usize, win_ctx: u64, len: usize);
+
+    /// Block until the remote target announced the window; returns its
+    /// length.
+    fn wait_win_announce(&self, fabric: &Fabric, rank: usize, win_ctx: u64) -> usize;
+
+    /// One-sided put into a remote window.
+    fn put(&self, target: usize, win_ctx: u64, offset: usize, data: &[u8]);
+
+    /// One-sided get from a remote window (blocking round trip).
+    fn get(
+        &self,
+        fabric: &Fabric,
+        rank: usize,
+        target: usize,
+        win_ctx: u64,
+        offset: usize,
+        len: usize,
+    ) -> Vec<u8>;
+
+    /// Socket health per peer, for stall reports.
+    fn peer_states(&self) -> Vec<PeerSocketState>;
+
+    /// Tell every peer the universe failed (first broadcast wins;
+    /// subsequent calls are no-ops).
+    fn broadcast_abort(&self, err: &PcommError);
+}
+
+/// A rendezvous source buffer pinned for the wire: the pointer stays
+/// valid until `done` is set (fabric invariant (1) — the safe wrappers
+/// block or hold the ticket until then).
+pub(crate) struct PinnedSend {
+    pub(crate) ptr: *const u8,
+    pub(crate) len: usize,
+    pub(crate) done: Arc<Completion>,
+}
+
+// SAFETY: the pointer is only read by the sender's own reader thread
+// (answering the CTS) before `done.set()`; invariant (1) keeps the
+// buffer alive and unmodified until then, and the post-abort grace in
+// the drain paths covers a copy already in flight.
+unsafe impl Send for PinnedSend {}
+
+/// The in-process "transport": every rank is local, so nothing here can
+/// ever be called. Exists so the fabric carries exactly one transport
+/// object either way and the seam costs one cached branch.
+pub(crate) struct SharedMemTransport;
+
+impl Transport for SharedMemTransport {
+    fn local_rank(&self) -> usize {
+        0
+    }
+
+    fn is_multiproc(&self) -> bool {
+        false
+    }
+
+    fn ship_eager(&self, _: usize, _: usize, _: u64, _: i64, _: &[u8]) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn ship_rts(&self, _: usize, _: usize, _: u64, _: i64, _: PinnedSend) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn accept_remote_rdv(&self, _: usize, _: u64, _: PostedRecv, _: usize, _: i64, _: Option<u64>) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn barrier(&self, _: &Fabric, _: usize) {
+        unreachable!("in-process barriers use the fabric's condvar path")
+    }
+
+    fn announce_win(&self, _: usize, _: u64, _: usize) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn wait_win_announce(&self, _: &Fabric, _: usize, _: u64) -> usize {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn put(&self, _: usize, _: u64, _: usize, _: &[u8]) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn get(&self, _: &Fabric, _: usize, _: usize, _: u64, _: usize, _: usize) -> Vec<u8> {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn peer_states(&self) -> Vec<PeerSocketState> {
+        Vec::new()
+    }
+
+    fn broadcast_abort(&self, _: &PcommError) {}
+}
+
+/// What the writer thread consumes.
+enum WriterMsg {
+    /// An encoded frame to put on the wire.
+    Frame(Vec<u8>),
+    /// Flush and exit (teardown).
+    Shutdown,
+}
+
+/// A pinned rendezvous send waiting for its CTS.
+struct PendingRdv {
+    pinned: PinnedSend,
+    dst: usize,
+}
+
+/// A matched posted receive waiting for its wire data.
+struct RemoteRecv {
+    posted: PostedRecv,
+    shard: usize,
+    tag: i64,
+    /// Local timestamp of the RTS frame's arrival, for the RdvCopy span.
+    rts_ns: Option<u64>,
+}
+
+/// Per-peer socket machinery.
+struct Peer {
+    /// The original stream; kept for `shutdown` (which unblocks the
+    /// reader on abort). Reader and writer own `try_clone`s.
+    endpoint: Endpoint,
+    tx: Sender<WriterMsg>,
+    /// Taken by `start`.
+    rx: Mutex<Option<Receiver<WriterMsg>>>,
+    connected: Arc<AtomicBool>,
+    frames_sent: Arc<AtomicU64>,
+    frames_received: Arc<AtomicU64>,
+    saw_bye: Arc<AtomicBool>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The socket progress engine: per-peer reader/writer threads plus the
+/// request state they complete (see the module docs for the model).
+pub(crate) struct SocketTransport {
+    rank: usize,
+    n_ranks: usize,
+    peers: Vec<Option<Peer>>,
+    next_rdv_id: AtomicU64,
+    /// Sender side: pinned buffers waiting for a CTS, by rendezvous id.
+    pending_rdv: Mutex<HashMap<u64, PendingRdv>>,
+    /// Receiver side: matched buffers waiting for data, by (src, id).
+    remote_recvs: Mutex<HashMap<(usize, u64), RemoteRecv>>,
+    /// This process's barrier generation counter (SPMD-aligned).
+    barrier_gen: AtomicU64,
+    /// Rank 0 only: arrival counts per generation.
+    arrivals: Mutex<HashMap<u64, usize>>,
+    /// Release completions per generation (waiter or release creates).
+    releases: Mutex<HashMap<u64, Arc<Completion>>>,
+    /// Window announcements: completion + announced length per win ctx.
+    #[allow(clippy::type_complexity)]
+    win_slots: Mutex<HashMap<u64, (Arc<Completion>, Option<usize>)>>,
+    next_get_token: AtomicU64,
+    /// In-flight gets: completion + landing slot per token.
+    #[allow(clippy::type_complexity)]
+    get_waiters: Mutex<HashMap<u64, (Arc<Completion>, Arc<Mutex<Option<Vec<u8>>>>)>>,
+    abort_sent: AtomicBool,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SocketTransport {
+    /// Wrap an established mesh. Threads start in
+    /// [`SocketTransport::start`], once the fabric exists.
+    pub(crate) fn new(mesh: Mesh) -> SocketTransport {
+        let rank = mesh.rank;
+        let n_ranks = mesh.n_ranks;
+        let peers = mesh
+            .peers
+            .into_iter()
+            .map(|ep| {
+                ep.map(|endpoint| {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    Peer {
+                        endpoint,
+                        tx,
+                        rx: Mutex::new(Some(rx)),
+                        connected: Arc::new(AtomicBool::new(true)),
+                        frames_sent: Arc::new(AtomicU64::new(0)),
+                        frames_received: Arc::new(AtomicU64::new(0)),
+                        saw_bye: Arc::new(AtomicBool::new(false)),
+                        writer: Mutex::new(None),
+                    }
+                })
+            })
+            .collect();
+        SocketTransport {
+            rank,
+            n_ranks,
+            peers,
+            next_rdv_id: AtomicU64::new(0),
+            pending_rdv: Mutex::new(HashMap::new()),
+            remote_recvs: Mutex::new(HashMap::new()),
+            barrier_gen: AtomicU64::new(0),
+            arrivals: Mutex::new(HashMap::new()),
+            releases: Mutex::new(HashMap::new()),
+            win_slots: Mutex::new(HashMap::new()),
+            next_get_token: AtomicU64::new(0),
+            get_waiters: Mutex::new(HashMap::new()),
+            abort_sent: AtomicBool::new(false),
+            readers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Spawn the per-peer reader and writer threads. Called once, after
+    /// the fabric referencing this transport exists.
+    pub(crate) fn start(self: &Arc<SocketTransport>, fabric: &Arc<Fabric>) {
+        let mut readers = self.readers.lock();
+        for peer_rank in 0..self.n_ranks {
+            let Some(peer) = &self.peers[peer_rank] else {
+                continue;
+            };
+            let rx = peer
+                .rx
+                .lock()
+                .take()
+                .expect("SocketTransport::start called twice");
+            let ep = peer.endpoint.try_clone().expect("endpoint clone");
+            let sent = Arc::clone(&peer.frames_sent);
+            let connected = Arc::clone(&peer.connected);
+            let f = Arc::clone(fabric);
+            let writer = std::thread::Builder::new()
+                .name(format!("pcomm-wr{peer_rank}"))
+                .spawn(move || writer_loop(ep, rx, f, peer_rank, sent, connected))
+                .expect("spawn writer thread");
+            *peer.writer.lock() = Some(writer);
+
+            let ep = peer.endpoint.try_clone().expect("endpoint clone");
+            let received = Arc::clone(&peer.frames_received);
+            let connected = Arc::clone(&peer.connected);
+            let saw_bye = Arc::clone(&peer.saw_bye);
+            let t = Arc::clone(self);
+            let f = Arc::clone(fabric);
+            let reader = std::thread::Builder::new()
+                .name(format!("pcomm-rd{peer_rank}"))
+                .spawn(move || reader_loop(t, f, peer_rank, ep, received, connected, saw_bye))
+                .expect("spawn reader thread");
+            readers.push(reader);
+        }
+    }
+
+    /// Enqueue one frame toward `dst` (never blocks; the writer thread
+    /// does the I/O). Sends to an already-torn-down peer are dropped.
+    fn send_frame(&self, dst: usize, frame: &Frame) {
+        if let Some(peer) = &self.peers[dst] {
+            let _ = peer.tx.send(WriterMsg::Frame(frame.encode()));
+        }
+    }
+
+    /// Get-or-create the release completion for barrier generation
+    /// `gen` (reader thread and waiting rank race to create it).
+    fn release_completion(&self, gen: u64) -> Arc<Completion> {
+        Arc::clone(self.releases.lock().entry(gen).or_default())
+    }
+
+    /// Rank 0: count an arrival for `gen`; on the last one, broadcast
+    /// the release and complete the local waiter.
+    fn note_arrival(&self, gen: u64) {
+        debug_assert_eq!(self.rank, 0, "only rank 0 coordinates barriers");
+        let all_in = {
+            let mut arrivals = self.arrivals.lock();
+            let count = arrivals.entry(gen).or_insert(0);
+            *count += 1;
+            if *count == self.n_ranks {
+                arrivals.remove(&gen);
+                true
+            } else {
+                false
+            }
+        };
+        if all_in {
+            for peer in 1..self.n_ranks {
+                self.send_frame(peer, &Frame::BarrierRelease { gen });
+            }
+            self.release_completion(gen).set();
+        }
+    }
+
+    /// Sender side of the wire rendezvous: a CTS arrived, so frame the
+    /// pinned bytes and complete the send.
+    fn handle_cts(&self, fabric: &Fabric, peer: usize, rdv_id: u64) {
+        let Some(pending) = self.pending_rdv.lock().remove(&rdv_id) else {
+            return; // duplicate or post-abort straggler
+        };
+        if fabric.aborted() {
+            // The sender is unwinding via the abort; its buffer may be
+            // on its way out — do not touch it, do not set done.
+            return;
+        }
+        let PinnedSend { ptr, len, done } = pending.pinned;
+        // SAFETY: invariant (1) — the source buffer stays alive and
+        // unmodified until `done.set()` below; the abort check above plus
+        // the drain grace cover teardown races, as in the in-process
+        // fulfill path.
+        let data = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
+        self.send_frame(
+            peer,
+            &Frame::RdvData {
+                rdv_id,
+                payload: data,
+            },
+        );
+        done.set();
+    }
+
+    /// Dispatch one received frame. Returns `false` when the peer said
+    /// goodbye and the reader should exit.
+    fn dispatch(&self, fabric: &Arc<Fabric>, peer: usize, frame: Frame) -> bool {
+        match frame {
+            Frame::Eager {
+                shard,
+                ctx,
+                tag,
+                payload,
+            } => fabric.deliver_wire_eager(peer, shard as usize, ctx, tag, &payload),
+            Frame::Rts {
+                shard,
+                ctx,
+                tag,
+                len,
+                rdv_id,
+            } => fabric.deliver_wire_rts(peer, shard as usize, ctx, tag, len as usize, rdv_id),
+            Frame::Cts { rdv_id } => self.handle_cts(fabric, peer, rdv_id),
+            Frame::RdvData { rdv_id, payload } => {
+                let entry = self.remote_recvs.lock().remove(&(peer, rdv_id));
+                if let Some(r) = entry {
+                    fabric.complete_remote_rdv(r.posted, peer, r.tag, r.shard, &payload, r.rts_ns);
+                }
+            }
+            Frame::BarrierArrive { gen } => self.note_arrival(gen),
+            Frame::BarrierRelease { gen } => self.release_completion(gen).set(),
+            Frame::Abort {
+                kind,
+                a,
+                b,
+                tag,
+                attempts,
+                detail,
+            } => fabric.fail_from_wire(decode_abort(kind, a, b, tag, attempts, detail)),
+            Frame::Bye => return false,
+            Frame::WinAnnounce { win_ctx, len } => {
+                let completion = {
+                    let mut slots = self.win_slots.lock();
+                    let slot = slots
+                        .entry(win_ctx)
+                        .or_insert_with(|| (Completion::new(), None));
+                    slot.1 = Some(len as usize);
+                    Arc::clone(&slot.0)
+                };
+                completion.set();
+            }
+            Frame::Put {
+                win_ctx,
+                offset,
+                payload,
+            } => fabric.apply_remote_put(peer, win_ctx, offset as usize, &payload),
+            Frame::GetReq {
+                win_ctx,
+                offset,
+                len,
+                token,
+            } => match fabric.read_win(win_ctx, offset as usize, len as usize) {
+                Some(data) => self.send_frame(
+                    peer,
+                    &Frame::GetResp {
+                        token,
+                        payload: data,
+                    },
+                ),
+                None => fabric.fail(PcommError::misuse(
+                    peer,
+                    format!("get of {len} B at offset {offset} misses window ctx {win_ctx}"),
+                )),
+            },
+            Frame::GetResp { token, payload } => {
+                let waiter = {
+                    let waiters = self.get_waiters.lock();
+                    waiters
+                        .get(&token)
+                        .map(|(c, s)| (Arc::clone(c), Arc::clone(s)))
+                };
+                if let Some((completion, slot)) = waiter {
+                    *slot.lock() = Some(payload);
+                    completion.set();
+                }
+            }
+            Frame::Hello { .. } => {} // mesh rendezvous only; stray copies ignored
+        }
+        true
+    }
+
+    /// Shut the wire down after the rank's closure returned. Clean runs
+    /// pass a closing barrier first — nobody sends `Bye` while a peer
+    /// might still need them — then flush `Bye`, join the writers, and
+    /// join the readers (each exits on its peer's `Bye`). Aborted runs
+    /// skip the barrier, make sure the abort was broadcast, and
+    /// `shutdown(2)` the sockets so blocked readers return. Never
+    /// unwinds: failures found here are recorded on the fabric.
+    pub(crate) fn finalize(&self, fabric: &Fabric) {
+        if !fabric.aborted() {
+            let gen = self.barrier_gen.fetch_add(1, Ordering::Relaxed);
+            let completion = self.release_completion(gen);
+            if self.rank == 0 {
+                self.note_arrival(gen);
+            } else {
+                self.send_frame(0, &Frame::BarrierArrive { gen });
+            }
+            let deadline = Instant::now() + FINALIZE_TIMEOUT;
+            loop {
+                if completion.wait_timeout(TEARDOWN_SLICE) {
+                    break;
+                }
+                if fabric.aborted() {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    fabric.fail(PcommError::Misuse {
+                        rank: Some(self.rank),
+                        detail: format!(
+                            "finalize barrier timed out after {FINALIZE_TIMEOUT:?}: \
+                             some rank process neither finished nor aborted"
+                        ),
+                    });
+                    break;
+                }
+            }
+            self.releases.lock().remove(&gen);
+        }
+        if fabric.aborted() {
+            // Usually already broadcast by the `fail` that aborted us;
+            // `abort_sent` dedupes. Covers failures recorded before the
+            // transport was attached.
+            if let Some(err) = fabric.failure_snapshot() {
+                self.broadcast_abort(&err);
+            }
+        }
+        for peer in self.peers.iter().flatten() {
+            let _ = peer.tx.send(WriterMsg::Frame(Frame::Bye.encode()));
+            let _ = peer.tx.send(WriterMsg::Shutdown);
+        }
+        for peer in self.peers.iter().flatten() {
+            if let Some(writer) = peer.writer.lock().take() {
+                let _ = writer.join();
+            }
+        }
+        if fabric.aborted() {
+            // Readers may be parked in a blocking read on a peer that
+            // will never speak again; killing our half unblocks them
+            // (they exit quietly once the abort flag is up).
+            for peer in self.peers.iter().flatten() {
+                peer.endpoint.shutdown();
+            }
+        } else {
+            // Bound the clean-path reads too: every peer passed the
+            // barrier, so its Bye is at most a write away — if it does
+            // not arrive within the establish-grade timeout the reader
+            // errors out instead of hanging the join below.
+            for peer in self.peers.iter().flatten() {
+                let _ = peer
+                    .endpoint
+                    .set_read_timeout(Some(pcomm_net::mesh::ESTABLISH_TIMEOUT));
+            }
+        }
+        let readers = std::mem::take(&mut *self.readers.lock());
+        for reader in readers {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn local_rank(&self) -> usize {
+        self.rank
+    }
+
+    fn is_multiproc(&self) -> bool {
+        true
+    }
+
+    fn ship_eager(&self, dst: usize, shard: usize, ctx: u64, tag: i64, data: &[u8]) {
+        self.send_frame(
+            dst,
+            &Frame::Eager {
+                shard: shard as u16,
+                ctx,
+                tag,
+                payload: data.to_vec(),
+            },
+        );
+    }
+
+    fn ship_rts(&self, dst: usize, shard: usize, ctx: u64, tag: i64, pinned: PinnedSend) {
+        let rdv_id = self.next_rdv_id.fetch_add(1, Ordering::Relaxed);
+        let len = pinned.len as u64;
+        self.pending_rdv
+            .lock()
+            .insert(rdv_id, PendingRdv { pinned, dst });
+        self.send_frame(
+            dst,
+            &Frame::Rts {
+                shard: shard as u16,
+                ctx,
+                tag,
+                len,
+                rdv_id,
+            },
+        );
+    }
+
+    fn accept_remote_rdv(
+        &self,
+        src: usize,
+        rdv_id: u64,
+        posted: PostedRecv,
+        shard: usize,
+        tag: i64,
+        rts_ns: Option<u64>,
+    ) {
+        self.remote_recvs.lock().insert(
+            (src, rdv_id),
+            RemoteRecv {
+                posted,
+                shard,
+                tag,
+                rts_ns,
+            },
+        );
+        self.send_frame(src, &Frame::Cts { rdv_id });
+    }
+
+    fn barrier(&self, fabric: &Fabric, rank: usize) {
+        let gen = self.barrier_gen.fetch_add(1, Ordering::Relaxed);
+        let completion = self.release_completion(gen);
+        if self.rank == 0 {
+            self.note_arrival(gen);
+        } else {
+            self.send_frame(0, &Frame::BarrierArrive { gen });
+        }
+        fabric.wait_on(&completion, rank, || {
+            (format!("barrier (generation {gen})"), None, None)
+        });
+        self.releases.lock().remove(&gen);
+    }
+
+    fn announce_win(&self, origin: usize, win_ctx: u64, len: usize) {
+        self.send_frame(
+            origin,
+            &Frame::WinAnnounce {
+                win_ctx,
+                len: len as u64,
+            },
+        );
+    }
+
+    fn wait_win_announce(&self, fabric: &Fabric, rank: usize, win_ctx: u64) -> usize {
+        let completion = {
+            let mut slots = self.win_slots.lock();
+            Arc::clone(
+                &slots
+                    .entry(win_ctx)
+                    .or_insert_with(|| (Completion::new(), None))
+                    .0,
+            )
+        };
+        fabric.wait_on(&completion, rank, || {
+            (format!("attach_win(ctx={win_ctx})"), None, None)
+        });
+        self.win_slots
+            .lock()
+            .get(&win_ctx)
+            .and_then(|slot| slot.1)
+            .expect("announced window carries a length")
+    }
+
+    fn put(&self, target: usize, win_ctx: u64, offset: usize, data: &[u8]) {
+        self.send_frame(
+            target,
+            &Frame::Put {
+                win_ctx,
+                offset: offset as u64,
+                payload: data.to_vec(),
+            },
+        );
+    }
+
+    fn get(
+        &self,
+        fabric: &Fabric,
+        rank: usize,
+        target: usize,
+        win_ctx: u64,
+        offset: usize,
+        len: usize,
+    ) -> Vec<u8> {
+        let token = self.next_get_token.fetch_add(1, Ordering::Relaxed);
+        let completion = Completion::new();
+        let slot: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+        self.get_waiters
+            .lock()
+            .insert(token, (Arc::clone(&completion), Arc::clone(&slot)));
+        self.send_frame(
+            target,
+            &Frame::GetReq {
+                win_ctx,
+                offset: offset as u64,
+                len: len as u64,
+                token,
+            },
+        );
+        fabric.wait_on(&completion, rank, || {
+            (
+                format!("rma get({len} B from rank {target})"),
+                None,
+                Some(target),
+            )
+        });
+        self.get_waiters.lock().remove(&token);
+        let data = slot.lock().take();
+        data.expect("completed get carries its payload")
+    }
+
+    fn peer_states(&self) -> Vec<PeerSocketState> {
+        let pending = self.pending_rdv.lock();
+        self.peers
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, peer)| {
+                let peer = peer.as_ref()?;
+                Some(PeerSocketState {
+                    peer: rank,
+                    connected: peer.connected.load(Ordering::Acquire),
+                    frames_sent: peer.frames_sent.load(Ordering::Relaxed),
+                    frames_received: peer.frames_received.load(Ordering::Relaxed),
+                    pending_rdv: pending.values().filter(|p| p.dst == rank).count(),
+                })
+            })
+            .collect()
+    }
+
+    fn broadcast_abort(&self, err: &PcommError) {
+        if self.abort_sent.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let frame = encode_abort(err);
+        for peer in 0..self.n_ranks {
+            if peer != self.rank {
+                self.send_frame(peer, &frame);
+            }
+        }
+    }
+}
+
+/// Writer thread: drain the channel onto the socket. A write error
+/// means the peer is gone — record it (unless the universe is already
+/// unwinding) and discard the rest of the queue so enqueuers never
+/// notice.
+fn writer_loop(
+    mut ep: Endpoint,
+    rx: Receiver<WriterMsg>,
+    fabric: Arc<Fabric>,
+    peer: usize,
+    frames_sent: Arc<AtomicU64>,
+    connected: Arc<AtomicBool>,
+) {
+    use std::io::Write;
+    loop {
+        match rx.recv() {
+            Ok(WriterMsg::Frame(bytes)) => {
+                if ep.write_all(&bytes).and_then(|()| ep.flush()).is_err() {
+                    connected.store(false, Ordering::Release);
+                    if !fabric.aborted() {
+                        fabric.fail(PcommError::PeerPanicked {
+                            rank: peer,
+                            message: format!(
+                                "rank process exited unexpectedly \
+                                 (connection to rank {peer} broke mid-write)"
+                            ),
+                        });
+                    }
+                    // Drain until Shutdown so senders keep enqueueing
+                    // into a live channel during teardown.
+                    loop {
+                        match rx.recv() {
+                            Ok(WriterMsg::Shutdown) | Err(_) => return,
+                            Ok(WriterMsg::Frame(_)) => {}
+                        }
+                    }
+                }
+                frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(WriterMsg::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+/// Reader thread: decode frames and dispatch them into the fabric until
+/// the peer says `Bye`, the connection drops, or the universe aborts.
+#[allow(clippy::too_many_arguments)] // thread-capture plumbing
+fn reader_loop(
+    transport: Arc<SocketTransport>,
+    fabric: Arc<Fabric>,
+    peer: usize,
+    mut ep: Endpoint,
+    frames_received: Arc<AtomicU64>,
+    connected: Arc<AtomicBool>,
+    saw_bye: Arc<AtomicBool>,
+) {
+    loop {
+        match Frame::read_from(&mut ep) {
+            Ok(frame) => {
+                frames_received.fetch_add(1, Ordering::Relaxed);
+                if !transport.dispatch(&fabric, peer, frame) {
+                    saw_bye.store(true, Ordering::Release);
+                    return; // clean goodbye
+                }
+            }
+            Err(err) => {
+                connected.store(false, Ordering::Release);
+                if !fabric.aborted() {
+                    // EOF (or any read error) without a Bye: the peer
+                    // process died. Turn the would-be hang into a typed
+                    // error for every local waiter.
+                    fabric.fail(PcommError::PeerPanicked {
+                        rank: peer,
+                        message: format!(
+                            "rank process exited unexpectedly (connection to rank {peer} \
+                             lost: {err})"
+                        ),
+                    });
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Encode a [`PcommError`] into the wire's `Abort` frame.
+fn encode_abort(err: &PcommError) -> Frame {
+    match err {
+        PcommError::MessageLost {
+            src,
+            dst,
+            tag,
+            attempts,
+        } => Frame::Abort {
+            kind: ABORT_MESSAGE_LOST,
+            a: *src as u64,
+            b: *dst as u64,
+            tag: *tag,
+            attempts: *attempts as u64,
+            detail: String::new(),
+        },
+        PcommError::PeerPanicked { rank, message } => Frame::Abort {
+            kind: ABORT_PEER_PANICKED,
+            a: *rank as u64,
+            b: 0,
+            tag: 0,
+            attempts: 0,
+            detail: message.clone(),
+        },
+        PcommError::Misuse {
+            rank: Some(rank),
+            detail,
+        } => Frame::Abort {
+            kind: ABORT_MISUSE_RANK,
+            a: *rank as u64,
+            b: 0,
+            tag: 0,
+            attempts: 0,
+            detail: detail.clone(),
+        },
+        PcommError::Misuse { rank: None, detail } => Frame::Abort {
+            kind: ABORT_MISUSE,
+            a: 0,
+            b: 0,
+            tag: 0,
+            attempts: 0,
+            detail: detail.clone(),
+        },
+        // A stall report does not survive the wire structurally; peers
+        // get the rendered text (their own runs were not the stalled
+        // one, so a Misuse-grade message is the honest summary).
+        PcommError::Stall(report) => Frame::Abort {
+            kind: ABORT_MISUSE,
+            a: 0,
+            b: 0,
+            tag: 0,
+            attempts: 0,
+            detail: format!("peer stalled: {report}"),
+        },
+    }
+}
+
+/// Decode a wire `Abort` frame back into a [`PcommError`].
+fn decode_abort(kind: u8, a: u64, b: u64, tag: i64, attempts: u64, detail: String) -> PcommError {
+    match kind {
+        ABORT_MESSAGE_LOST => PcommError::MessageLost {
+            src: a as usize,
+            dst: b as usize,
+            tag,
+            attempts: attempts as u32,
+        },
+        ABORT_PEER_PANICKED => PcommError::PeerPanicked {
+            rank: a as usize,
+            message: detail,
+        },
+        ABORT_MISUSE_RANK => PcommError::Misuse {
+            rank: Some(a as usize),
+            detail,
+        },
+        _ => PcommError::Misuse { rank: None, detail },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_frames_roundtrip_the_error_taxonomy() {
+        let cases = vec![
+            PcommError::MessageLost {
+                src: 1,
+                dst: 0,
+                tag: 9,
+                attempts: 4,
+            },
+            PcommError::PeerPanicked {
+                rank: 2,
+                message: "boom".into(),
+            },
+            PcommError::Misuse {
+                rank: Some(3),
+                detail: "double pready".into(),
+            },
+            PcommError::Misuse {
+                rank: None,
+                detail: "verify findings".into(),
+            },
+        ];
+        for err in cases {
+            let Frame::Abort {
+                kind,
+                a,
+                b,
+                tag,
+                attempts,
+                detail,
+            } = encode_abort(&err)
+            else {
+                panic!("encode_abort must produce Abort frames");
+            };
+            assert_eq!(decode_abort(kind, a, b, tag, attempts, detail), err);
+        }
+    }
+
+    #[test]
+    fn stall_decays_to_misuse_with_rendered_report() {
+        let err = PcommError::Stall(Box::new(crate::error::StallReport {
+            watchdog_ms: 100,
+            quiet_ms: 150,
+            finished_ranks: vec![],
+            blocked: vec![],
+            unmatched_posted: vec![],
+            unmatched_unexpected: vec![],
+            matched: 3,
+            peers: vec![],
+        }));
+        let Frame::Abort { kind, detail, .. } = encode_abort(&err) else {
+            panic!("expected Abort");
+        };
+        assert_eq!(kind, ABORT_MISUSE);
+        assert!(detail.contains("peer stalled"), "{detail}");
+    }
+}

@@ -115,9 +115,17 @@ impl Universe {
     /// lints) at teardown — findings are printed to stderr and turn an
     /// otherwise successful run into [`PcommError::Misuse`], so a CI job
     /// fails loudly.
+    /// When the `PCOMM_NET_*` environment says this process is rank *k*
+    /// of a multiprocess launch (see `pcomm-launch` and
+    /// [`Universe::run_multiprocess`]) and the rank counts agree, the
+    /// universe joins the socket mesh and runs only rank *k* here — the
+    /// closure, strategies and chaos plans are unchanged. The returned
+    /// vector then repeats the local rank's result (hence `T: Clone`);
+    /// `PCOMM_TRACE` / `PCOMM_TRACE_REPORT` paths get a `.rank<k>`
+    /// suffix so the processes do not clobber each other's files.
     pub fn run<T, F>(&self, f: F) -> Result<Vec<T>, PcommError>
     where
-        T: Send,
+        T: Send + Clone,
         F: Fn(Comm) -> T + Send + Sync,
     {
         let mut u = self.clone();
@@ -141,25 +149,56 @@ impl Universe {
                 }
             }
         }
-        let env_json = std::env::var("PCOMM_TRACE").ok().filter(|p| !p.is_empty());
+        // Multiprocess launch detection. Builder-attached traces keep
+        // the run in-process (their sink belongs to this process and
+        // expects every rank's events); the env-driven trace/verify
+        // paths below work per process instead.
+        let wire_env = if u.trace.is_enabled() {
+            None
+        } else {
+            match pcomm_net::MultiprocEnv::from_env() {
+                Some(env) if env.n_ranks != u.n_ranks => {
+                    eprintln!(
+                        "pcomm: PCOMM_NET_RANKS={} does not match this universe's {} ranks; \
+                         running in-process",
+                        env.n_ranks, u.n_ranks
+                    );
+                    None
+                }
+                other => other,
+            }
+        };
+        let rank_suffix = |p: String| match &wire_env {
+            Some(env) => format!("{p}.rank{}", env.rank),
+            None => p,
+        };
+        let env_json = std::env::var("PCOMM_TRACE")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(&rank_suffix);
         let env_report = std::env::var("PCOMM_TRACE_REPORT")
             .ok()
-            .filter(|p| !p.is_empty());
+            .filter(|p| !p.is_empty())
+            .map(&rank_suffix);
         let env_verify = std::env::var("PCOMM_VERIFY")
             .map(|v| {
                 let v = v.trim().to_string();
                 !v.is_empty() && v != "0"
             })
             .unwrap_or(false);
+        let engine = |trace: Trace| match &wire_env {
+            Some(env) => u.run_wire(env, trace, &f),
+            None => u.run_on(trace, &f),
+        };
         if u.trace.is_enabled() || (env_json.is_none() && env_report.is_none() && !env_verify) {
-            return u.run_on(u.trace.clone(), &f);
+            return engine(u.trace.clone());
         }
         let trace = if env_verify {
             Trace::ring_verify(DEFAULT_TRACE_CAP)
         } else {
             Trace::ring(DEFAULT_TRACE_CAP)
         };
-        let out = u.run_on(trace.clone(), &f);
+        let out = engine(trace.clone());
         let data = trace.snapshot().expect("trace was enabled");
         if let Some(path) = env_json {
             let json = pcomm_trace::chrome_trace_json(&data.events, data.dropped);
@@ -258,6 +297,7 @@ impl Universe {
             self.eager_max,
             trace,
             self.fault_plan.clone(),
+            Arc::new(crate::transport::SharedMemTransport),
         );
         let watchdog_ms = self.effective_watchdog_ms();
         let results: Vec<Option<T>> = std::thread::scope(|scope| {
@@ -270,47 +310,7 @@ impl Universe {
             let handles: Vec<_> = (0..self.n_ranks)
                 .map(|rank| {
                     let fabric = Arc::clone(&fabric);
-                    scope.spawn(move || {
-                        let traced = fabric.trace().is_enabled();
-                        let before = crate::hotpath::thread_stats();
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(Comm::world(Arc::clone(&fabric), rank))
-                        }));
-                        let out = match out {
-                            Ok(v) => Some(v),
-                            Err(payload) => {
-                                if payload.downcast_ref::<RankAborted>().is_some() {
-                                    // Casualty of an abort some other rank
-                                    // already recorded; nothing to add.
-                                } else if let Some(e) = payload.downcast_ref::<PcommError>() {
-                                    fabric.fail(e.clone());
-                                } else {
-                                    fabric.fail(PcommError::PeerPanicked {
-                                        rank,
-                                        message: panic_message(payload.as_ref()),
-                                    });
-                                }
-                                None
-                            }
-                        };
-                        fabric.mark_finished(rank);
-                        if traced {
-                            // The rank thread's completion-probe tally for
-                            // this run: how often probes stayed on the
-                            // single-load fast path vs fell back to
-                            // spin-then-park.
-                            let after = crate::hotpath::thread_stats();
-                            fabric.trace().emit(rank as u16, || {
-                                pcomm_trace::EventKind::ProbeStats {
-                                    fast_probes: after.completion_fast_probes
-                                        - before.completion_fast_probes,
-                                    slow_waits: after.completion_slow_waits
-                                        - before.completion_slow_waits,
-                                }
-                            });
-                        }
-                        out
-                    })
+                    scope.spawn(move || rank_main(&fabric, rank, f))
                 })
                 .collect();
             let results = handles
@@ -334,6 +334,217 @@ impl Universe {
                 .collect()),
         }
     }
+
+    /// Run as one rank process of a multiprocess universe: join the
+    /// socket mesh, start the progress engine, and run the local rank's
+    /// closure on a thread exactly as [`Universe::run_on`] would.
+    fn run_wire<T, F>(
+        &self,
+        env: &pcomm_net::MultiprocEnv,
+        trace: Trace,
+        f: &F,
+    ) -> Result<Vec<T>, PcommError>
+    where
+        T: Send + Clone,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        install_quiet_abort_hook();
+        let cfg = pcomm_net::MeshConfig {
+            rank: env.rank,
+            n_ranks: env.n_ranks,
+            dir: env.dir.clone(),
+            backend: env.backend,
+            seq: next_multiproc_seq(),
+        };
+        let mesh = pcomm_net::mesh::establish(&cfg).map_err(|e| PcommError::Misuse {
+            rank: Some(env.rank),
+            detail: format!("multiprocess mesh establishment failed: {e}"),
+        })?;
+        let transport = Arc::new(crate::transport::SocketTransport::new(mesh));
+        let fabric = Fabric::new_configured(
+            self.n_ranks,
+            self.n_shards,
+            self.eager_max,
+            trace,
+            self.fault_plan.clone(),
+            Arc::clone(&transport) as Arc<dyn crate::transport::Transport>,
+        );
+        transport.start(&fabric);
+        let watchdog_ms = self.effective_watchdog_ms();
+        let rank = env.rank;
+        let result: Option<T> = std::thread::scope(|scope| {
+            let supervisor_shutdown = Completion::new();
+            let supervisor = watchdog_ms.map(|ms| {
+                let fabric = Arc::clone(&fabric);
+                let shutdown = Arc::clone(&supervisor_shutdown);
+                scope.spawn(move || supervise(&fabric, &shutdown, ms))
+            });
+            let handle = {
+                let fabric = Arc::clone(&fabric);
+                scope.spawn(move || rank_main(&fabric, rank, f))
+            };
+            let result = handle.join().expect("rank wrapper never panics");
+            supervisor_shutdown.set();
+            if let Some(s) = supervisor {
+                s.join().expect("supervisor never panics");
+            }
+            result
+        });
+        fabric.flush_held();
+        // Closing barrier, goodbye frames, thread joins — never unwinds.
+        transport.finalize(&fabric);
+        match fabric.take_failure() {
+            Some(err) => Err(err),
+            None => {
+                let local = result.expect("rank produced no result yet no failure was recorded");
+                Ok(vec![local; self.n_ranks])
+            }
+        }
+    }
+
+    /// Run this universe as `n_ranks` OS *processes* connected by the
+    /// socket transport, without an external launcher: the calling
+    /// process re-executes itself (same program, same arguments) once
+    /// per extra rank with the `PCOMM_NET_*` environment set, then
+    /// becomes rank 0 itself. Inside an already-launched rank process
+    /// (environment present — e.g. under `pcomm-launch`, or in one of
+    /// the children this very call spawned) it is exactly
+    /// [`Universe::run`].
+    ///
+    /// The re-execution makes the program SPMD, so everything before
+    /// this call runs once per rank process; call it early in `main`,
+    /// and note that every later `Universe::run` in the program also
+    /// runs multiprocess (the environment stays set — universes must
+    /// stay SPMD-aligned across the rank processes, like MPI programs
+    /// under `mpirun`).
+    pub fn run_multiprocess<T, F>(&self, f: F) -> Result<Vec<T>, PcommError>
+    where
+        T: Send + Clone,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        if pcomm_net::MultiprocEnv::from_env().is_some() {
+            return self.run(f);
+        }
+        let misuse = |detail: String| PcommError::Misuse { rank: None, detail };
+        let dir = pcomm_net::launch::unique_rendezvous_dir()
+            .map_err(|e| misuse(format!("multiprocess launch: no rendezvous dir: {e}")))?;
+        let backend = match std::env::var(pcomm_net::launch::ENV_BACKEND) {
+            Ok(s) => pcomm_net::Backend::parse(&s)
+                .ok_or_else(|| misuse(format!("invalid {}={s}", pcomm_net::launch::ENV_BACKEND)))?,
+            Err(_) => pcomm_net::Backend::Uds,
+        };
+        let exe = std::env::current_exe()
+            .map_err(|e| misuse(format!("multiprocess launch: current_exe failed: {e}")))?;
+        let spmd_env = pcomm_net::MultiprocEnv {
+            rank: 0,
+            n_ranks: self.n_ranks,
+            dir: dir.clone(),
+            backend,
+        };
+        let args: Vec<std::ffi::OsString> = std::env::args_os().skip(1).collect();
+        let mut children = Vec::new();
+        for rank in 1..self.n_ranks {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(&args);
+            spmd_env.apply_to(&mut cmd, rank);
+            match cmd.spawn() {
+                Ok(child) => children.push((rank, child)),
+                Err(e) => {
+                    for (_, mut c) in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return Err(misuse(format!(
+                        "multiprocess launch: spawning rank {rank} failed: {e}"
+                    )));
+                }
+            }
+        }
+        // Become rank 0. The variables stay set so any later universe in
+        // this program run is multiprocess too, matching the children
+        // (which re-execute the whole program with them set from birth).
+        std::env::set_var(pcomm_net::launch::ENV_RANK, "0");
+        std::env::set_var(pcomm_net::launch::ENV_RANKS, self.n_ranks.to_string());
+        std::env::set_var(pcomm_net::launch::ENV_DIR, &dir);
+        std::env::set_var(pcomm_net::launch::ENV_BACKEND, backend.name());
+        let out = self.run(f);
+        let mut child_failure = None;
+        for (rank, mut child) in children {
+            let code = match child.wait() {
+                Ok(status) => status.code().unwrap_or(101),
+                Err(_) => 101,
+            };
+            if code != 0 && child_failure.is_none() {
+                child_failure = Some((rank, code));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        match (out, child_failure) {
+            (Ok(results), None) => Ok(results),
+            (Err(e), _) => Err(e),
+            (Ok(_), Some((rank, code))) => Err(PcommError::PeerPanicked {
+                rank,
+                message: format!("rank process exited with code {code}"),
+            }),
+        }
+    }
+}
+
+/// The shared body of every rank thread: run the closure under
+/// `catch_unwind`, convert unwinds into recorded failures, and emit the
+/// per-thread probe statistics when tracing.
+fn rank_main<T, F>(fabric: &Arc<Fabric>, rank: usize, f: &F) -> Option<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    let traced = fabric.trace().is_enabled();
+    let before = crate::hotpath::thread_stats();
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        f(Comm::world(Arc::clone(fabric), rank))
+    }));
+    let out = match out {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if payload.downcast_ref::<RankAborted>().is_some() {
+                // Casualty of an abort some other rank already recorded;
+                // nothing to add.
+            } else if let Some(e) = payload.downcast_ref::<PcommError>() {
+                fabric.fail(e.clone());
+            } else {
+                fabric.fail(PcommError::PeerPanicked {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            None
+        }
+    };
+    fabric.mark_finished(rank);
+    if traced {
+        // The rank thread's completion-probe tally for this run: how
+        // often probes stayed on the single-load fast path vs fell back
+        // to spin-then-park.
+        let after = crate::hotpath::thread_stats();
+        fabric
+            .trace()
+            .emit(rank as u16, || pcomm_trace::EventKind::ProbeStats {
+                fast_probes: after.completion_fast_probes - before.completion_fast_probes,
+                slow_waits: after.completion_slow_waits - before.completion_slow_waits,
+            });
+    }
+    out
+}
+
+/// Per-process counter of multiprocess universes. All rank processes of
+/// an SPMD program execute the same universes in the same order, so the
+/// counter yields the same sequence number in each — it names the mesh
+/// the processes rendezvous on (`u<seq>.r<rank>` sockets). Bumped only
+/// for multiprocess runs so in-process universes never desynchronize it.
+fn next_multiproc_seq() -> u64 {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Silence the default panic hook for the runtime's control-flow unwind
@@ -402,7 +613,7 @@ fn supervise(fabric: &Fabric, shutdown: &Completion, watchdog_ms: u64) {
                         tag: b.tag,
                     });
             }
-            fabric.fail(PcommError::Stall(report));
+            fabric.fail(PcommError::Stall(Box::new(report)));
             return;
         }
     }

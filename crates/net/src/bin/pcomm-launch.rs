@@ -1,0 +1,89 @@
+//! `pcomm-launch` — run a pcomm program as N rank processes over a real
+//! wire, the way `mpirun` runs an MPI program.
+//!
+//! ```text
+//! pcomm-launch -n 2 ./target/release/examples/pingpong
+//! pcomm-launch -n 4 --backend tcp -- ./my-program --its --own --flags
+//! ```
+//!
+//! Every rank is a full copy of the program with `PCOMM_NET_RANK`,
+//! `PCOMM_NET_RANKS`, `PCOMM_NET_DIR` and `PCOMM_NET_BACKEND` set; a
+//! `Universe::run` with a matching rank count joins the socket mesh
+//! instead of spawning threads. The launcher waits for all ranks and
+//! exits with the first non-zero rank exit code.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use pcomm_net::launch::{launch_ranks, unique_rendezvous_dir};
+use pcomm_net::mesh::Backend;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pcomm-launch [-n RANKS] [--backend uds|tcp] [--dir PATH] [--] PROGRAM [ARGS...]"
+    );
+    exit(64);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut n_ranks = 2usize;
+    let mut backend = Backend::Uds;
+    let mut dir: Option<PathBuf> = None;
+    let mut argv: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-n" | "--ranks" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                n_ranks = v.parse().unwrap_or_else(|_| usage());
+                if n_ranks == 0 {
+                    usage();
+                }
+            }
+            "--backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                backend = Backend::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--dir" => {
+                dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--" => {
+                argv.extend(args);
+                break;
+            }
+            "-h" | "--help" => usage(),
+            _ => {
+                argv.push(arg);
+                argv.extend(args);
+                break;
+            }
+        }
+    }
+    if argv.is_empty() {
+        usage();
+    }
+
+    let (dir, owned) = match dir {
+        Some(d) => (d, false),
+        None => match unique_rendezvous_dir() {
+            Ok(d) => (d, true),
+            Err(e) => {
+                eprintln!("pcomm-launch: cannot create rendezvous dir: {e}");
+                exit(1);
+            }
+        },
+    };
+
+    let code = match launch_ranks(&argv, n_ranks, backend, &dir) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("pcomm-launch: failed to launch ranks: {e}");
+            1
+        }
+    };
+    if owned {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    exit(code);
+}

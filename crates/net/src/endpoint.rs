@@ -1,0 +1,165 @@
+//! Backend-agnostic stream endpoints: Unix domain sockets or TCP
+//! loopback, behind one enum so the progress engine never matches on
+//! the backend.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::{Duration, Instant};
+
+/// One connected, bidirectional byte stream to a peer rank.
+#[derive(Debug)]
+pub enum Endpoint {
+    /// Unix domain socket (the default backend).
+    Uds(UnixStream),
+    /// TCP loopback socket.
+    Tcp(TcpStream),
+}
+
+impl Endpoint {
+    /// Clone the underlying socket handle (shared file description), so
+    /// a reader thread and a writer thread can own the stream
+    /// independently.
+    pub fn try_clone(&self) -> io::Result<Endpoint> {
+        Ok(match self {
+            Endpoint::Uds(s) => Endpoint::Uds(s.try_clone()?),
+            Endpoint::Tcp(s) => Endpoint::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Shut down both directions; a blocked `read` on any clone returns
+    /// immediately. Errors are ignored — the socket may already be gone.
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Endpoint::Uds(s) => s.shutdown(Shutdown::Both),
+            Endpoint::Tcp(s) => s.shutdown(Shutdown::Both),
+        };
+    }
+
+    /// Set or clear the read timeout.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Endpoint::Uds(s) => s.set_read_timeout(dur),
+            Endpoint::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Endpoint::Uds(s) => s.set_nonblocking(nb),
+            Endpoint::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for Endpoint {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Endpoint::Uds(s) => s.read(buf),
+            Endpoint::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Endpoint {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Endpoint::Uds(s) => s.write(buf),
+            Endpoint::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Endpoint::Uds(s) => s.flush(),
+            Endpoint::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A listening socket accepting connections from peer ranks.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix domain socket listener.
+    Uds(UnixListener),
+    /// TCP loopback listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// The bound TCP port (TCP backend only).
+    pub fn tcp_port(&self) -> Option<u16> {
+        match self {
+            Listener::Uds(_) => None,
+            Listener::Tcp(l) => l.local_addr().ok().map(|a: SocketAddr| a.port()),
+        }
+    }
+
+    /// Accept one connection, polling until `deadline`. The returned
+    /// endpoint is in blocking mode with TCP_NODELAY set.
+    pub fn accept_deadline(&self, deadline: Instant) -> io::Result<Endpoint> {
+        // The listener is non-blocking (set at bind time): poll with a
+        // short sleep so a missing peer turns into a typed error instead
+        // of a hang.
+        loop {
+            let got = match self {
+                Listener::Uds(l) => l.accept().map(|(s, _)| Endpoint::Uds(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_nodelay(true);
+                    Endpoint::Tcp(s)
+                }),
+            };
+            match got {
+                Ok(ep) => {
+                    // Accepted sockets do not reliably inherit the
+                    // listener's non-blocking mode; force blocking.
+                    ep.set_nonblocking(false)?;
+                    return Ok(ep);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "net: timed out waiting for a peer rank to connect",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Retry `connect` until it succeeds or `deadline` passes; retries on
+/// the errors a not-yet-listening peer produces.
+pub(crate) fn connect_retry(
+    mut connect: impl FnMut() -> io::Result<Endpoint>,
+    deadline: Instant,
+    what: &str,
+) -> io::Result<Endpoint> {
+    loop {
+        match connect() {
+            Ok(ep) => return Ok(ep),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::NotFound
+                        | io::ErrorKind::ConnectionRefused
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::AddrNotAvailable
+                        | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("net: timed out connecting to {what}: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

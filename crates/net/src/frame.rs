@@ -1,0 +1,591 @@
+//! The versioned wire protocol.
+//!
+//! Every frame on a socket is `u32` little-endian body length followed
+//! by the body: one version byte, one opcode byte, then the opcode's
+//! fields in little-endian order (variable-length payloads run to the
+//! end of the body). The protocol is symmetric — both sides of a
+//! connection may send any frame at any time after the opening
+//! [`Frame::Hello`].
+//!
+//! | opcode | frame            | fields                                     |
+//! |--------|------------------|--------------------------------------------|
+//! | 1      | `Hello`          | rank:u16, seq:u64                          |
+//! | 2      | `Eager`          | shard:u16, ctx:u64, tag:i64, payload       |
+//! | 3      | `Rts`            | shard:u16, ctx:u64, tag:i64, len:u64, rdv_id:u64 |
+//! | 4      | `Cts`            | rdv_id:u64                                 |
+//! | 5      | `RdvData`        | rdv_id:u64, payload                        |
+//! | 6      | `BarrierArrive`  | gen:u64                                    |
+//! | 7      | `BarrierRelease` | gen:u64                                    |
+//! | 8      | `Abort`          | kind:u8, a:u64, b:u64, tag:i64, attempts:u64, detail |
+//! | 9      | `Bye`            | —                                          |
+//! | 10     | `WinAnnounce`    | win_ctx:u64, len:u64                       |
+//! | 11     | `Put`            | win_ctx:u64, offset:u64, payload           |
+//! | 12     | `GetReq`         | win_ctx:u64, offset:u64, len:u64, token:u64 |
+//! | 13     | `GetResp`        | token:u64, payload                         |
+
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every frame body.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame body; larger lengths are treated as stream
+/// corruption rather than an allocation request.
+pub const MAX_FRAME_BODY: usize = 1 << 30;
+
+/// [`Frame::Abort`] kind: a message was dropped on every retry
+/// (`a` = src rank, `b` = dst rank, plus `tag` and `attempts`).
+pub const ABORT_MESSAGE_LOST: u8 = 1;
+/// [`Frame::Abort`] kind: a rank panicked (`a` = rank, `detail` = message).
+pub const ABORT_PEER_PANICKED: u8 = 2;
+/// [`Frame::Abort`] kind: API misuse attributed to a rank (`a` = rank).
+pub const ABORT_MISUSE_RANK: u8 = 3;
+/// [`Frame::Abort`] kind: API misuse with no attributable rank.
+pub const ABORT_MISUSE: u8 = 4;
+
+const OP_HELLO: u8 = 1;
+const OP_EAGER: u8 = 2;
+const OP_RTS: u8 = 3;
+const OP_CTS: u8 = 4;
+const OP_RDV_DATA: u8 = 5;
+const OP_BARRIER_ARRIVE: u8 = 6;
+const OP_BARRIER_RELEASE: u8 = 7;
+const OP_ABORT: u8 = 8;
+const OP_BYE: u8 = 9;
+const OP_WIN_ANNOUNCE: u8 = 10;
+const OP_PUT: u8 = 11;
+const OP_GET_REQ: u8 = 12;
+const OP_GET_RESP: u8 = 13;
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// First frame on every connection: who is connecting, for which
+    /// universe (the per-process multiproc universe sequence number).
+    Hello {
+        /// Rank of the connecting process.
+        rank: u16,
+        /// Universe sequence number both sides must agree on.
+        seq: u64,
+    },
+    /// A fully buffered eager message.
+    Eager {
+        /// Match shard the receiver must deliver into.
+        shard: u16,
+        /// Communicator context id.
+        ctx: u64,
+        /// Message tag.
+        tag: i64,
+        /// The message bytes.
+        payload: Vec<u8>,
+    },
+    /// Rendezvous ready-to-send: the sender has `len` bytes pinned under
+    /// `rdv_id` and waits for a [`Frame::Cts`].
+    Rts {
+        /// Match shard the receiver must deliver into.
+        shard: u16,
+        /// Communicator context id.
+        ctx: u64,
+        /// Message tag.
+        tag: i64,
+        /// Payload length in bytes.
+        len: u64,
+        /// Sender-chosen rendezvous id, echoed by `Cts`/`RdvData`.
+        rdv_id: u64,
+    },
+    /// Rendezvous clear-to-send: the receiver has a matching posted
+    /// buffer for `rdv_id`.
+    Cts {
+        /// The rendezvous id from the RTS.
+        rdv_id: u64,
+    },
+    /// The rendezvous payload, sent after `Cts`.
+    RdvData {
+        /// The rendezvous id from the RTS.
+        rdv_id: u64,
+        /// The message bytes.
+        payload: Vec<u8>,
+    },
+    /// A rank reached barrier generation `gen` (sent to the coordinator).
+    BarrierArrive {
+        /// Barrier generation number.
+        gen: u64,
+    },
+    /// The coordinator releases barrier generation `gen`.
+    BarrierRelease {
+        /// Barrier generation number.
+        gen: u64,
+    },
+    /// A peer aborted its universe; carries an encoded `PcommError`
+    /// (see the `ABORT_*` kinds — the field meaning depends on `kind`).
+    Abort {
+        /// One of the `ABORT_*` constants.
+        kind: u8,
+        /// First numeric field (e.g. source or panicking rank).
+        a: u64,
+        /// Second numeric field (e.g. destination rank).
+        b: u64,
+        /// Message tag, where applicable.
+        tag: i64,
+        /// Delivery attempts, where applicable.
+        attempts: u64,
+        /// Human-readable detail (panic message, misuse description).
+        detail: String,
+    },
+    /// Clean shutdown: no further frames follow from this peer.
+    Bye,
+    /// A window target announces an exposed region to its origin.
+    WinAnnounce {
+        /// Window context id (agreed by SPMD allocation order).
+        win_ctx: u64,
+        /// Window length in bytes.
+        len: u64,
+    },
+    /// One-sided put into a remote window.
+    Put {
+        /// Window context id.
+        win_ctx: u64,
+        /// Byte offset into the window.
+        offset: u64,
+        /// The bytes to store.
+        payload: Vec<u8>,
+    },
+    /// One-sided get request; the target answers with [`Frame::GetResp`].
+    GetReq {
+        /// Window context id.
+        win_ctx: u64,
+        /// Byte offset into the window.
+        offset: u64,
+        /// Bytes requested.
+        len: u64,
+        /// Origin-chosen token echoed by the response.
+        token: u64,
+    },
+    /// Reply to a [`Frame::GetReq`].
+    GetResp {
+        /// The token from the request.
+        token: u64,
+        /// The window bytes read.
+        payload: Vec<u8>,
+    },
+}
+
+fn corrupt(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("net: {}", what.into()))
+}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(op: u8) -> Enc {
+        // Reserve the 4-byte length prefix up front; patched in finish().
+        let mut buf = Vec::with_capacity(32);
+        buf.extend_from_slice(&[0u8; 4]);
+        buf.push(WIRE_VERSION);
+        buf.push(op);
+        Enc { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let body = (self.buf.len() - 4) as u32;
+        self.buf[..4].copy_from_slice(&body.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(corrupt("truncated frame body"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn rest(&mut self) -> Vec<u8> {
+        let s = self.buf[self.at..].to_vec();
+        self.at = self.buf.len();
+        s
+    }
+}
+
+impl Frame {
+    /// Short name of the frame's opcode (diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::Eager { .. } => "Eager",
+            Frame::Rts { .. } => "Rts",
+            Frame::Cts { .. } => "Cts",
+            Frame::RdvData { .. } => "RdvData",
+            Frame::BarrierArrive { .. } => "BarrierArrive",
+            Frame::BarrierRelease { .. } => "BarrierRelease",
+            Frame::Abort { .. } => "Abort",
+            Frame::Bye => "Bye",
+            Frame::WinAnnounce { .. } => "WinAnnounce",
+            Frame::Put { .. } => "Put",
+            Frame::GetReq { .. } => "GetReq",
+            Frame::GetResp { .. } => "GetResp",
+        }
+    }
+
+    /// Encode the frame, including its 4-byte length prefix.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Frame::Hello { rank, seq } => {
+                let mut e = Enc::new(OP_HELLO);
+                e.u16(*rank);
+                e.u64(*seq);
+                e.finish()
+            }
+            Frame::Eager {
+                shard,
+                ctx,
+                tag,
+                payload,
+            } => {
+                let mut e = Enc::new(OP_EAGER);
+                e.u16(*shard);
+                e.u64(*ctx);
+                e.i64(*tag);
+                e.bytes(payload);
+                e.finish()
+            }
+            Frame::Rts {
+                shard,
+                ctx,
+                tag,
+                len,
+                rdv_id,
+            } => {
+                let mut e = Enc::new(OP_RTS);
+                e.u16(*shard);
+                e.u64(*ctx);
+                e.i64(*tag);
+                e.u64(*len);
+                e.u64(*rdv_id);
+                e.finish()
+            }
+            Frame::Cts { rdv_id } => {
+                let mut e = Enc::new(OP_CTS);
+                e.u64(*rdv_id);
+                e.finish()
+            }
+            Frame::RdvData { rdv_id, payload } => {
+                let mut e = Enc::new(OP_RDV_DATA);
+                e.u64(*rdv_id);
+                e.bytes(payload);
+                e.finish()
+            }
+            Frame::BarrierArrive { gen } => {
+                let mut e = Enc::new(OP_BARRIER_ARRIVE);
+                e.u64(*gen);
+                e.finish()
+            }
+            Frame::BarrierRelease { gen } => {
+                let mut e = Enc::new(OP_BARRIER_RELEASE);
+                e.u64(*gen);
+                e.finish()
+            }
+            Frame::Abort {
+                kind,
+                a,
+                b,
+                tag,
+                attempts,
+                detail,
+            } => {
+                let mut e = Enc::new(OP_ABORT);
+                e.u8(*kind);
+                e.u64(*a);
+                e.u64(*b);
+                e.i64(*tag);
+                e.u64(*attempts);
+                e.bytes(detail.as_bytes());
+                e.finish()
+            }
+            Frame::Bye => Enc::new(OP_BYE).finish(),
+            Frame::WinAnnounce { win_ctx, len } => {
+                let mut e = Enc::new(OP_WIN_ANNOUNCE);
+                e.u64(*win_ctx);
+                e.u64(*len);
+                e.finish()
+            }
+            Frame::Put {
+                win_ctx,
+                offset,
+                payload,
+            } => {
+                let mut e = Enc::new(OP_PUT);
+                e.u64(*win_ctx);
+                e.u64(*offset);
+                e.bytes(payload);
+                e.finish()
+            }
+            Frame::GetReq {
+                win_ctx,
+                offset,
+                len,
+                token,
+            } => {
+                let mut e = Enc::new(OP_GET_REQ);
+                e.u64(*win_ctx);
+                e.u64(*offset);
+                e.u64(*len);
+                e.u64(*token);
+                e.finish()
+            }
+            Frame::GetResp { token, payload } => {
+                let mut e = Enc::new(OP_GET_RESP);
+                e.u64(*token);
+                e.bytes(payload);
+                e.finish()
+            }
+        }
+    }
+
+    /// Decode one frame body (without the length prefix).
+    pub fn decode(body: &[u8]) -> io::Result<Frame> {
+        let mut d = Dec { buf: body, at: 0 };
+        let version = d.u8()?;
+        if version != WIRE_VERSION {
+            return Err(corrupt(format!(
+                "wire version mismatch: got {version}, expected {WIRE_VERSION}"
+            )));
+        }
+        let op = d.u8()?;
+        let frame = match op {
+            OP_HELLO => Frame::Hello {
+                rank: d.u16()?,
+                seq: d.u64()?,
+            },
+            OP_EAGER => Frame::Eager {
+                shard: d.u16()?,
+                ctx: d.u64()?,
+                tag: d.i64()?,
+                payload: d.rest(),
+            },
+            OP_RTS => Frame::Rts {
+                shard: d.u16()?,
+                ctx: d.u64()?,
+                tag: d.i64()?,
+                len: d.u64()?,
+                rdv_id: d.u64()?,
+            },
+            OP_CTS => Frame::Cts { rdv_id: d.u64()? },
+            OP_RDV_DATA => Frame::RdvData {
+                rdv_id: d.u64()?,
+                payload: d.rest(),
+            },
+            OP_BARRIER_ARRIVE => Frame::BarrierArrive { gen: d.u64()? },
+            OP_BARRIER_RELEASE => Frame::BarrierRelease { gen: d.u64()? },
+            OP_ABORT => Frame::Abort {
+                kind: d.u8()?,
+                a: d.u64()?,
+                b: d.u64()?,
+                tag: d.i64()?,
+                attempts: d.u64()?,
+                detail: String::from_utf8_lossy(&d.rest()).into_owned(),
+            },
+            OP_BYE => Frame::Bye,
+            OP_WIN_ANNOUNCE => Frame::WinAnnounce {
+                win_ctx: d.u64()?,
+                len: d.u64()?,
+            },
+            OP_PUT => Frame::Put {
+                win_ctx: d.u64()?,
+                offset: d.u64()?,
+                payload: d.rest(),
+            },
+            OP_GET_REQ => Frame::GetReq {
+                win_ctx: d.u64()?,
+                offset: d.u64()?,
+                len: d.u64()?,
+                token: d.u64()?,
+            },
+            OP_GET_RESP => Frame::GetResp {
+                token: d.u64()?,
+                payload: d.rest(),
+            },
+            other => return Err(corrupt(format!("unknown opcode {other}"))),
+        };
+        Ok(frame)
+    }
+
+    /// Write the frame to a stream (length prefix + body).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Read one frame from a stream. `Err(UnexpectedEof)` with an empty
+    /// prefix means the peer closed the connection cleanly at a frame
+    /// boundary.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Frame> {
+        let mut prefix = [0u8; 4];
+        r.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if !(2..=MAX_FRAME_BODY).contains(&len) {
+            return Err(corrupt(format!("implausible frame length {len}")));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        Frame::decode(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let enc = f.encode();
+        let body_len = u32::from_le_bytes(enc[..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, enc.len() - 4, "length prefix covers the body");
+        let dec = Frame::decode(&enc[4..]).unwrap();
+        assert_eq!(dec, f);
+        // And through the stream API.
+        let mut cursor = std::io::Cursor::new(&enc);
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), f);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::Hello { rank: 3, seq: 7 });
+        roundtrip(Frame::Eager {
+            shard: 2,
+            ctx: 99,
+            tag: -11,
+            payload: vec![1, 2, 3],
+        });
+        roundtrip(Frame::Rts {
+            shard: 0,
+            ctx: 1,
+            tag: 5,
+            len: 1 << 20,
+            rdv_id: 42,
+        });
+        roundtrip(Frame::Cts { rdv_id: 42 });
+        roundtrip(Frame::RdvData {
+            rdv_id: 42,
+            payload: vec![9; 128],
+        });
+        roundtrip(Frame::BarrierArrive { gen: 8 });
+        roundtrip(Frame::BarrierRelease { gen: 8 });
+        roundtrip(Frame::Abort {
+            kind: ABORT_MESSAGE_LOST,
+            a: 0,
+            b: 1,
+            tag: 5,
+            attempts: 3,
+            detail: String::new(),
+        });
+        roundtrip(Frame::Abort {
+            kind: ABORT_PEER_PANICKED,
+            a: 1,
+            b: 0,
+            tag: 0,
+            attempts: 0,
+            detail: "index out of bounds".into(),
+        });
+        roundtrip(Frame::Bye);
+        roundtrip(Frame::WinAnnounce {
+            win_ctx: 1 << 18,
+            len: 4096,
+        });
+        roundtrip(Frame::Put {
+            win_ctx: 1 << 18,
+            offset: 64,
+            payload: vec![7; 64],
+        });
+        roundtrip(Frame::GetReq {
+            win_ctx: 1 << 18,
+            offset: 0,
+            len: 64,
+            token: 5,
+        });
+        roundtrip(Frame::GetResp {
+            token: 5,
+            payload: vec![1; 64],
+        });
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        roundtrip(Frame::Eager {
+            shard: 0,
+            ctx: 0,
+            tag: -1,
+            payload: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut enc = Frame::Bye.encode();
+        enc[4] = WIRE_VERSION + 1;
+        assert!(Frame::decode(&enc[4..]).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let body = [WIRE_VERSION, 200];
+        assert!(Frame::decode(&body).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let enc = Frame::Cts { rdv_id: 1 }.encode();
+        assert!(Frame::decode(&enc[4..enc.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn implausible_length_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(&bytes);
+        assert!(Frame::read_from(&mut cursor).is_err());
+    }
+}

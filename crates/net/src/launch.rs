@@ -1,0 +1,198 @@
+//! The environment contract between a launcher and the rank processes,
+//! mirroring how `mpirun` tells each process who it is.
+//!
+//! A launcher (the `pcomm-launch` binary, `Universe::run_multiprocess`,
+//! or a test harness) starts N copies of the same program with:
+//!
+//! * `PCOMM_NET_RANK` — this process's rank, `0..n`;
+//! * `PCOMM_NET_RANKS` — the total rank count N;
+//! * `PCOMM_NET_DIR` — a shared rendezvous directory;
+//! * `PCOMM_NET_BACKEND` — `uds` (default) or `tcp`.
+//!
+//! A `Universe::run` whose rank count matches `PCOMM_NET_RANKS` then
+//! joins the mesh as rank `PCOMM_NET_RANK` instead of spawning threads.
+
+use std::io;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::mesh::Backend;
+
+/// Env var: this process's rank.
+pub const ENV_RANK: &str = "PCOMM_NET_RANK";
+/// Env var: total rank count.
+pub const ENV_RANKS: &str = "PCOMM_NET_RANKS";
+/// Env var: shared rendezvous directory.
+pub const ENV_DIR: &str = "PCOMM_NET_DIR";
+/// Env var: socket backend (`uds` / `tcp`).
+pub const ENV_BACKEND: &str = "PCOMM_NET_BACKEND";
+
+/// The decoded multiprocess environment of a rank process.
+#[derive(Debug, Clone)]
+pub struct MultiprocEnv {
+    /// This process's rank.
+    pub rank: usize,
+    /// Total ranks.
+    pub n_ranks: usize,
+    /// Shared rendezvous directory.
+    pub dir: PathBuf,
+    /// Socket backend.
+    pub backend: Backend,
+}
+
+impl MultiprocEnv {
+    /// Decode the `PCOMM_NET_*` environment. `None` when the process
+    /// was not launched as a rank (any required variable missing).
+    /// Malformed values are reported on stderr and treated as absent,
+    /// so a typo degrades to an in-process run instead of a crash.
+    pub fn from_env() -> Option<MultiprocEnv> {
+        let rank = std::env::var(ENV_RANK).ok()?;
+        let ranks = std::env::var(ENV_RANKS).ok()?;
+        let dir = std::env::var(ENV_DIR).ok()?;
+        let backend = std::env::var(ENV_BACKEND).unwrap_or_default();
+        let parsed = (|| {
+            let rank: usize = rank.parse().ok()?;
+            let n_ranks: usize = ranks.parse().ok()?;
+            let backend = Backend::parse(&backend)?;
+            if n_ranks == 0 || rank >= n_ranks {
+                return None;
+            }
+            Some(MultiprocEnv {
+                rank,
+                n_ranks,
+                dir: PathBuf::from(dir),
+                backend,
+            })
+        })();
+        if parsed.is_none() {
+            eprintln!(
+                "pcomm-net: ignoring malformed PCOMM_NET_* environment \
+                 (rank={rank:?}, ranks={ranks:?}, backend={backend:?})"
+            );
+        }
+        parsed
+    }
+
+    /// Set the rank environment on a child command, overriding `rank`.
+    pub fn apply_to(&self, cmd: &mut Command, rank: usize) {
+        cmd.env(ENV_RANK, rank.to_string())
+            .env(ENV_RANKS, self.n_ranks.to_string())
+            .env(ENV_DIR, &self.dir)
+            .env(ENV_BACKEND, self.backend.name());
+    }
+}
+
+/// Create a fresh, unique rendezvous directory under the system temp
+/// dir.
+pub fn unique_rendezvous_dir() -> io::Result<PathBuf> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pcomm-net-{}-{}-{}",
+        std::process::id(),
+        nonce,
+        stamp
+    ));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Spawn `n_ranks` copies of `argv` (program + args) with the rank
+/// environment set, wait for all of them, and return the first
+/// non-zero exit code (0 when every rank succeeded).
+///
+/// Ranks that die without an exit code (killed by a signal) count as
+/// exit code 101. The rendezvous `dir` is created if missing; the
+/// caller owns its lifetime.
+pub fn launch_ranks(
+    argv: &[String],
+    n_ranks: usize,
+    backend: Backend,
+    dir: &PathBuf,
+) -> io::Result<i32> {
+    assert!(!argv.is_empty(), "launch_ranks needs a program to run");
+    assert!(n_ranks >= 1, "launch_ranks needs at least one rank");
+    std::fs::create_dir_all(dir)?;
+    let env = MultiprocEnv {
+        rank: 0,
+        n_ranks,
+        dir: dir.clone(),
+        backend,
+    };
+    let mut children = Vec::with_capacity(n_ranks);
+    for rank in 0..n_ranks {
+        let mut cmd = Command::new(&argv[0]);
+        cmd.args(&argv[1..]);
+        env.apply_to(&mut cmd, rank);
+        children.push((rank, cmd.spawn()?));
+    }
+    let mut first_bad = 0i32;
+    let mut bad_rank = None;
+    for (rank, mut child) in children {
+        let status = child.wait()?;
+        let code = status.code().unwrap_or(101);
+        if code != 0 && first_bad == 0 {
+            first_bad = code;
+            bad_rank = Some(rank);
+        }
+    }
+    if let Some(rank) = bad_rank {
+        eprintln!("pcomm-launch: rank {rank} exited with code {first_bad}");
+    }
+    Ok(first_bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_to_sets_all_vars() {
+        let env = MultiprocEnv {
+            rank: 0,
+            n_ranks: 4,
+            dir: PathBuf::from("/tmp/x"),
+            backend: Backend::Tcp,
+        };
+        let mut cmd = Command::new("true");
+        env.apply_to(&mut cmd, 2);
+        let vars: Vec<(String, String)> = cmd
+            .get_envs()
+            .filter_map(|(k, v)| {
+                Some((
+                    k.to_string_lossy().into_owned(),
+                    v?.to_string_lossy().into_owned(),
+                ))
+            })
+            .collect();
+        assert!(vars.contains(&(ENV_RANK.into(), "2".into())));
+        assert!(vars.contains(&(ENV_RANKS.into(), "4".into())));
+        assert!(vars.contains(&(ENV_DIR.into(), "/tmp/x".into())));
+        assert!(vars.contains(&(ENV_BACKEND.into(), "tcp".into())));
+    }
+
+    #[test]
+    fn unique_dirs_do_not_collide() {
+        let a = unique_rendezvous_dir().unwrap();
+        let b = unique_rendezvous_dir().unwrap();
+        assert_ne!(a, b);
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn launch_ranks_propagates_failure() {
+        let dir = unique_rendezvous_dir().unwrap();
+        // `false` exits 1 in every rank; the first failure wins.
+        let code = launch_ranks(&["false".to_string()], 2, Backend::Uds, &dir).unwrap();
+        assert_eq!(code, 1);
+        let code = launch_ranks(&["true".to_string()], 2, Backend::Uds, &dir).unwrap();
+        assert_eq!(code, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,33 @@
+//! `pcomm-net` — the inter-process half of the pcomm transport layer.
+//!
+//! This crate is deliberately free of any dependency on `pcomm-core`: it
+//! only knows about bytes, sockets and processes. It provides
+//!
+//! * [`frame`] — the versioned, length-prefixed wire protocol every
+//!   backend speaks (eager payloads, RTS/CTS rendezvous, barrier,
+//!   one-sided put/get, abort/shutdown);
+//! * [`endpoint`] — a stream abstraction over Unix domain sockets and
+//!   TCP loopback, so the progress engine is backend-agnostic;
+//! * [`mesh`] — full-mesh connection establishment between the rank
+//!   processes of one universe, rendezvousing through a shared
+//!   directory;
+//! * [`launch`] — the `PCOMM_NET_*` environment contract between a
+//!   launcher and the rank processes, plus helpers to spawn ranks
+//!   (used by the `pcomm-launch` binary and
+//!   `Universe::run_multiprocess` in `pcomm-core`).
+//!
+//! The matching in-process glue — the `Transport` seam in
+//! `pcomm-core::fabric` and the progress-engine threads that own these
+//! sockets — lives in `pcomm-core`, which depends on this crate.
+
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod frame;
+pub mod launch;
+pub mod mesh;
+
+pub use endpoint::Endpoint;
+pub use frame::Frame;
+pub use launch::MultiprocEnv;
+pub use mesh::{Backend, Mesh, MeshConfig};

@@ -1,0 +1,294 @@
+//! Full-mesh connection establishment between the rank processes of one
+//! universe.
+//!
+//! Every rank binds a listener named after the universe (`u<seq>.r<rank>`
+//! in the shared rendezvous directory; TCP publishes a `.port` file
+//! written temp-then-rename so readers never see a partial write). For
+//! each pair the lower rank connects to the higher rank's listener and
+//! sends a [`Frame::Hello`] carrying its rank and the universe sequence
+//! number; the acceptor uses the hello to identify the peer and to
+//! reject cross-universe connections. Connects never wait on accepts
+//! (the OS listen backlog decouples them), so establishment cannot
+//! deadlock; every blocking step carries a deadline so a missing peer
+//! becomes a typed error, not a hang.
+
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::endpoint::{connect_retry, Endpoint, Listener};
+use crate::frame::Frame;
+
+/// How long establishment waits for peers before giving up.
+pub const ESTABLISH_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Which socket family carries the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Unix domain sockets (default).
+    Uds,
+    /// TCP over 127.0.0.1.
+    Tcp,
+}
+
+impl Backend {
+    /// Parse the `PCOMM_NET_BACKEND` value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "uds" | "unix" => Some(Backend::Uds),
+            "tcp" => Some(Backend::Tcp),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (`uds` / `tcp`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Uds => "uds",
+            Backend::Tcp => "tcp",
+        }
+    }
+}
+
+/// Everything needed to wire one rank into a universe's mesh.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// This process's rank.
+    pub rank: usize,
+    /// Total ranks in the universe.
+    pub n_ranks: usize,
+    /// Shared rendezvous directory all ranks can reach.
+    pub dir: PathBuf,
+    /// Socket backend.
+    pub backend: Backend,
+    /// Per-process multiproc universe sequence number; all ranks run the
+    /// same program (SPMD), so their counters agree.
+    pub seq: u64,
+}
+
+/// The established mesh: one endpoint per peer (`None` at `rank`).
+#[derive(Debug)]
+pub struct Mesh {
+    /// This process's rank.
+    pub rank: usize,
+    /// Total ranks.
+    pub n_ranks: usize,
+    /// `peers[r]` is the stream to rank `r`; `None` for self.
+    pub peers: Vec<Option<Endpoint>>,
+}
+
+fn sock_path(dir: &Path, seq: u64, rank: usize) -> PathBuf {
+    dir.join(format!("u{seq}.r{rank}"))
+}
+
+fn port_path(dir: &Path, seq: u64, rank: usize) -> PathBuf {
+    dir.join(format!("u{seq}.r{rank}.port"))
+}
+
+fn bind(cfg: &MeshConfig) -> io::Result<Listener> {
+    match cfg.backend {
+        Backend::Uds => {
+            let path = sock_path(&cfg.dir, cfg.seq, cfg.rank);
+            // A stale socket from a crashed earlier run with the same
+            // name would make bind fail; the name is per-universe, so
+            // removing it is safe.
+            let _ = std::fs::remove_file(&path);
+            let l = UnixListener::bind(&path)?;
+            l.set_nonblocking(true)?;
+            Ok(Listener::Uds(l))
+        }
+        Backend::Tcp => {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            l.set_nonblocking(true)?;
+            let port = l.local_addr()?.port();
+            // Publish the port temp-then-rename so a reader never sees
+            // a partially written file.
+            let tmp = port_path(&cfg.dir, cfg.seq, cfg.rank).with_extension("port.tmp");
+            std::fs::write(&tmp, port.to_string())?;
+            std::fs::rename(&tmp, port_path(&cfg.dir, cfg.seq, cfg.rank))?;
+            Ok(Listener::Tcp(l))
+        }
+    }
+}
+
+fn connect_to(cfg: &MeshConfig, peer: usize, deadline: Instant) -> io::Result<Endpoint> {
+    let what = format!("rank {peer} (universe {})", cfg.seq);
+    match cfg.backend {
+        Backend::Uds => {
+            let path = sock_path(&cfg.dir, cfg.seq, peer);
+            connect_retry(
+                || UnixStream::connect(&path).map(Endpoint::Uds),
+                deadline,
+                &what,
+            )
+        }
+        Backend::Tcp => {
+            let pfile = port_path(&cfg.dir, cfg.seq, peer);
+            connect_retry(
+                || {
+                    let port: u16 = std::fs::read_to_string(&pfile)?
+                        .trim()
+                        .parse()
+                        .map_err(|_| io::Error::new(io::ErrorKind::NotFound, "bad port file"))?;
+                    let s = std::net::TcpStream::connect(("127.0.0.1", port))?;
+                    let _ = s.set_nodelay(true);
+                    Ok(Endpoint::Tcp(s))
+                },
+                deadline,
+                &what,
+            )
+        }
+    }
+}
+
+/// Read the opening hello from an accepted connection, bounded by
+/// `deadline`.
+fn read_hello(ep: &mut Endpoint, deadline: Instant) -> io::Result<(u16, u64)> {
+    let left = deadline
+        .checked_duration_since(Instant::now())
+        .unwrap_or(Duration::from_millis(1));
+    ep.set_read_timeout(Some(left))?;
+    let frame = Frame::read_from(ep)?;
+    ep.set_read_timeout(None)?;
+    match frame {
+        Frame::Hello { rank, seq } => Ok((rank, seq)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("net: expected Hello, got {}", other.name()),
+        )),
+    }
+}
+
+/// Establish the full mesh for this rank. Returns once a stream to
+/// every peer exists; all streams are blocking.
+pub fn establish(cfg: &MeshConfig) -> io::Result<Mesh> {
+    assert!(cfg.rank < cfg.n_ranks, "rank out of range");
+    let deadline = Instant::now() + ESTABLISH_TIMEOUT;
+    let listener = bind(cfg)?;
+    let mut peers: Vec<Option<Endpoint>> = (0..cfg.n_ranks).map(|_| None).collect();
+
+    // Outbound first: connect() only needs the peer's listener to be
+    // bound (the backlog queues us), never its accept loop — so doing
+    // all connects before any accept cannot deadlock.
+    for (peer, slot) in peers.iter_mut().enumerate().skip(cfg.rank + 1) {
+        let mut ep = connect_to(cfg, peer, deadline)?;
+        Frame::Hello {
+            rank: cfg.rank as u16,
+            seq: cfg.seq,
+        }
+        .write_to(&mut ep)?;
+        ep.flush()?;
+        *slot = Some(ep);
+    }
+
+    // Then accept one connection per lower rank; the hello tells us who
+    // it is (accept order is arbitrary).
+    for _ in 0..cfg.rank {
+        let mut ep = listener.accept_deadline(deadline)?;
+        let (peer, seq) = read_hello(&mut ep, deadline)?;
+        if seq != cfg.seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "net: universe mismatch: peer rank {peer} is in universe {seq}, \
+                     this process is in universe {} — the rank processes have \
+                     diverged (non-SPMD main?)",
+                    cfg.seq
+                ),
+            ));
+        }
+        let peer = peer as usize;
+        if peer >= cfg.rank || peers[peer].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("net: unexpected or duplicate connection from rank {peer}"),
+            ));
+        }
+        peers[peer] = Some(ep);
+    }
+
+    // Everyone who needed our listener has connected; drop the
+    // rendezvous artifacts.
+    match cfg.backend {
+        Backend::Uds => {
+            let _ = std::fs::remove_file(sock_path(&cfg.dir, cfg.seq, cfg.rank));
+        }
+        Backend::Tcp => {
+            let _ = std::fs::remove_file(port_path(&cfg.dir, cfg.seq, cfg.rank));
+        }
+    }
+
+    Ok(Mesh {
+        rank: cfg.rank,
+        n_ranks: cfg.n_ranks,
+        peers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn mesh_roundtrip(backend: Backend) {
+        let dir = crate::launch::unique_rendezvous_dir().unwrap();
+        let n = 3;
+        let mut handles = Vec::new();
+        for rank in 0..n {
+            let cfg = MeshConfig {
+                rank,
+                n_ranks: n,
+                dir: dir.clone(),
+                backend,
+                seq: 0,
+            };
+            handles.push(std::thread::spawn(move || {
+                let mut mesh = establish(&cfg).unwrap();
+                // Everyone sends its rank to everyone, then reads one
+                // byte from each peer.
+                for peer in 0..n {
+                    if peer == rank {
+                        continue;
+                    }
+                    let ep = mesh.peers[peer].as_mut().unwrap();
+                    ep.write_all(&[rank as u8]).unwrap();
+                    ep.flush().unwrap();
+                }
+                for peer in 0..n {
+                    if peer == rank {
+                        continue;
+                    }
+                    let ep = mesh.peers[peer].as_mut().unwrap();
+                    let mut b = [0u8; 1];
+                    ep.read_exact(&mut b).unwrap();
+                    assert_eq!(b[0] as usize, peer, "byte identifies the peer stream");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uds_mesh_connects_all_pairs() {
+        mesh_roundtrip(Backend::Uds);
+    }
+
+    #[test]
+    fn tcp_mesh_connects_all_pairs() {
+        mesh_roundtrip(Backend::Tcp);
+    }
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(Backend::parse("uds"), Some(Backend::Uds));
+        assert_eq!(Backend::parse("unix"), Some(Backend::Uds));
+        assert_eq!(Backend::parse("TCP"), Some(Backend::Tcp));
+        assert_eq!(Backend::parse(""), Some(Backend::Uds));
+        assert_eq!(Backend::parse("infiniband"), None);
+    }
+}

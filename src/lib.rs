@@ -19,6 +19,7 @@
 //! | [`workloads`] | `pcomm-workloads` | compute/delay generators (Gaussian noise model, FFT/stencil presets) |
 //! | [`prng`] | `pcomm-prng` | deterministic xoshiro256++ / Gaussian sampling |
 //! | [`trace`] | `pcomm-trace` | unified low-overhead tracing: typed events, per-thread rings, Chrome JSON + summary exporters |
+//! | [`net`] | `pcomm-net` | inter-process transport: versioned wire framing, UDS/TCP endpoints, mesh rendezvous, `pcomm-launch` |
 //!
 //! ## Quickstart (real runtime)
 //!
@@ -59,6 +60,7 @@
 //! ```
 
 pub use pcomm_core as core;
+pub use pcomm_net as net;
 pub use pcomm_netmodel as netmodel;
 pub use pcomm_perfmodel as perfmodel;
 pub use pcomm_prng as prng;

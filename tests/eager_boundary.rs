@@ -1,0 +1,68 @@
+//! Boundary behaviour of the eager/rendezvous protocol switch: messages
+//! at exactly `eager_max`, one byte either side of it, and — the
+//! regression this file pins down — `with_eager_max(0)`, which must
+//! route *every* message through rendezvous instead of (as it once did)
+//! sending everything eagerly.
+
+use pcomm::core::Universe;
+use pcomm::trace::EventKind;
+
+/// Ship one `len`-byte message through a universe with the given eager
+/// ceiling and report how it travelled: `(eager_sends, rdv_sends)`.
+fn protocol_of(eager_max: usize, len: usize) -> (usize, usize) {
+    let (out, data) = Universe::new(2)
+        .with_eager_max(eager_max)
+        .run_traced(move |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &vec![0xA5u8; len]);
+            } else {
+                let mut buf = vec![0u8; len];
+                comm.recv_into(Some(0), Some(7), &mut buf);
+                assert!(buf.iter().all(|&b| b == 0xA5), "payload corrupted");
+            }
+        });
+    out.expect("boundary roundtrip must complete");
+    let mut eager = 0;
+    let mut rdv = 0;
+    for e in &data.events {
+        match e.kind {
+            EventKind::EagerSend { .. } => eager += 1,
+            EventKind::RdvSend { .. } => rdv += 1,
+            _ => {}
+        }
+    }
+    (eager, rdv)
+}
+
+#[test]
+fn at_eager_max_stays_eager() {
+    let (eager, rdv) = protocol_of(1024, 1024);
+    assert_eq!((eager, rdv), (1, 0), "len == eager_max is still eager");
+}
+
+#[test]
+fn one_below_eager_max_stays_eager() {
+    let (eager, rdv) = protocol_of(1024, 1023);
+    assert_eq!((eager, rdv), (1, 0), "len < eager_max is eager");
+}
+
+#[test]
+fn one_above_eager_max_goes_rendezvous() {
+    let (eager, rdv) = protocol_of(1024, 1025);
+    assert_eq!((eager, rdv), (0, 1), "len > eager_max must rendezvous");
+}
+
+#[test]
+fn eager_max_zero_forces_rendezvous_for_all_sizes() {
+    // Regression: the gate used to read `len <= eager_max`, which made a
+    // zero ceiling route everything *eagerly* (0 <= 0). A zero ceiling
+    // means "no eager path at all" — even a 1-byte message rendezvouses.
+    for len in [1usize, 64, 4096] {
+        let (eager, rdv) = protocol_of(0, len);
+        assert_eq!(
+            (eager, rdv),
+            (0, 1),
+            "eager_max=0 must force rendezvous for {len}-byte messages"
+        );
+    }
+}

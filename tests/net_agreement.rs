@@ -1,0 +1,146 @@
+//! Transport agreement: every one of the eight benchmark strategies must
+//! deliver byte-identical data whether the two ranks share an address
+//! space (shared-memory fabric) or live in separate OS processes wired
+//! together over Unix domain sockets. The receiver folds every received
+//! byte into an FNV-1a digest; the digests must match across fabrics,
+//! and the multi-process runs must come back clean under `PCOMM_VERIFY=1`
+//! (a finding turns the run into an error, which fails the child).
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pcomm::core::strategies::{measure_validated, RealApproach, RealScenario};
+use pcomm::net::{launch, Backend, MultiprocEnv};
+
+/// Two scenarios: one all-eager, one whose bulk buffers cross the 64 KiB
+/// eager ceiling so the single-message strategy exercises the wire
+/// rendezvous (RTS/CTS/RdvData) path.
+fn scenarios() -> Vec<RealScenario> {
+    vec![
+        RealScenario::immediate(2, 2, 96, 2, 2),
+        RealScenario::immediate(2, 1, 40 * 1024, 1, 2),
+    ]
+}
+
+/// Receiver-side digests for every (scenario, approach) pair, in a fixed
+/// order both sides of the comparison share.
+fn all_digests() -> Vec<u64> {
+    scenarios()
+        .iter()
+        .flat_map(|sc| {
+            RealApproach::ALL
+                .iter()
+                .map(|&a| measure_validated(a, sc).1)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// SPMD child body: re-runs every strategy, now with the `PCOMM_NET_*`
+/// environment routing the universe over sockets. The receiving rank
+/// writes its digests where the parent can read them. Runs (and returns
+/// immediately) as an ordinary empty test when the env is absent.
+#[test]
+fn net_agreement_child() {
+    let Some(env) = MultiprocEnv::from_env() else {
+        return;
+    };
+    let digests = all_digests();
+    if env.rank == 1 {
+        let lines: String = digests.iter().map(|d| format!("{d:#018x}\n")).collect();
+        std::fs::write(env.dir.join("out-1"), lines).expect("write digest file");
+    }
+}
+
+fn wait_with_deadline(mut child: Child, what: &str) -> std::process::Output {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                let mut stdout = String::new();
+                let mut stderr = String::new();
+                if let Some(mut s) = child.stdout.take() {
+                    let _ = s.read_to_string(&mut stdout);
+                }
+                if let Some(mut s) = child.stderr.take() {
+                    let _ = s.read_to_string(&mut stderr);
+                }
+                assert!(
+                    status.success(),
+                    "{what} failed ({status})\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+                );
+                return std::process::Output {
+                    status,
+                    stdout: stdout.into_bytes(),
+                    stderr: stderr.into_bytes(),
+                };
+            }
+            None => {
+                assert!(
+                    Instant::now() < deadline,
+                    "{what} hung past the deadline; killing it"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_strategies_agree_across_fabrics() {
+    // Reference digests on the shared-memory fabric, in this process.
+    let local = all_digests();
+
+    // The same workload as two OS processes over UDS, with the verify
+    // layer armed: any race/protocol finding fails the child run.
+    let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
+    let spmd = MultiprocEnv {
+        rank: 0,
+        n_ranks: 2,
+        dir: dir.clone(),
+        backend: Backend::Uds,
+    };
+    let exe = std::env::current_exe().expect("test binary path");
+    let children: Vec<Child> = (0..2)
+        .map(|rank| {
+            let mut cmd = Command::new(&exe);
+            cmd.args(["net_agreement_child", "--exact", "--nocapture"])
+                .env("PCOMM_VERIFY", "1")
+                .env_remove("PCOMM_FAULTS")
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            spmd.apply_to(&mut cmd, rank);
+            cmd.spawn().expect("spawn SPMD child")
+        })
+        .collect();
+    for (rank, child) in children.into_iter().enumerate() {
+        wait_with_deadline(child, &format!("rank {rank} child"));
+    }
+
+    let raw = std::fs::read_to_string(dir.join("out-1")).expect("receiver digest file");
+    let wire: Vec<u64> = raw
+        .lines()
+        .map(|l| u64::from_str_radix(l.trim_start_matches("0x"), 16).expect("digest line"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        wire.len(),
+        local.len(),
+        "one digest per (scenario, approach)"
+    );
+    let labels: Vec<String> = scenarios()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            RealApproach::ALL
+                .iter()
+                .map(move |a| format!("scenario {i} / {}", a.label()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for ((l, w), label) in local.iter().zip(&wire).zip(&labels) {
+        assert_eq!(l, w, "{label}: shared-memory and UDS fabrics disagree");
+    }
+}

@@ -1,0 +1,184 @@
+//! Chaos over the wire: the fault-injection layer and the error taxonomy
+//! must survive the jump from shared memory to real sockets. A seeded
+//! drop plan on a UDS mesh must recover through bounded resends; a
+//! certain-drop plan must surface `PcommError::MessageLost` on *both*
+//! sides (the abort travels as a wire frame); and killing one rank's OS
+//! process must come back as a structured `PeerPanicked` error on the
+//! survivor instead of a hang.
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pcomm::core::{PcommError, Universe};
+use pcomm::net::{launch, Backend, MultiprocEnv};
+
+const ECHO_TAGS: i64 = 16;
+
+/// The workload every SPMD child runs: 16 tagged eager messages
+/// rank 0 → rank 1, echoed back once at the end.
+fn echo_workload() -> Result<Vec<u8>, PcommError> {
+    Universe::new(2).run(|comm| {
+        if comm.rank() == 0 {
+            for tag in 0..ECHO_TAGS {
+                comm.send(1, tag, &[tag as u8; 32]);
+            }
+            let mut b = [0u8; 1];
+            comm.recv_into(Some(1), Some(99), &mut b);
+            b[0]
+        } else {
+            let mut sum = 0u8;
+            let mut b = [0u8; 32];
+            for tag in 0..ECHO_TAGS {
+                comm.recv_into(Some(0), Some(tag), &mut b);
+                assert!(b.iter().all(|&x| x == tag as u8), "payload survived chaos");
+                sum = sum.wrapping_add(b[0]);
+            }
+            comm.send(0, 99, &[sum]);
+            sum
+        }
+    })
+}
+
+/// SPMD child: drops at p=0.5 with a deep retry budget must still
+/// complete with intact data. Empty no-op when run as a plain test.
+#[test]
+fn net_chaos_recovery_child() {
+    if MultiprocEnv::from_env().is_none() {
+        return;
+    }
+    echo_workload().expect("bounded resend must recover dropped frames");
+}
+
+/// SPMD child: certain drop with no retries must yield `MessageLost` on
+/// both ranks — the sender raises it, the receiver learns it from the
+/// abort frame. Empty no-op when run as a plain test.
+#[test]
+fn net_chaos_lost_child() {
+    if MultiprocEnv::from_env().is_none() {
+        return;
+    }
+    let out = echo_workload();
+    match out {
+        Err(PcommError::MessageLost { src, dst, .. }) => {
+            assert_eq!((src, dst), (0, 1), "the dropped message was 0 -> 1");
+        }
+        other => panic!("expected MessageLost on the wire, got {other:?}"),
+    }
+}
+
+/// SPMD child: rank 1's process dies mid-run; rank 0, parked in a
+/// receive, must get a structured `PeerPanicked` instead of hanging.
+/// Empty no-op when run as a plain test.
+#[test]
+fn net_chaos_kill_child() {
+    let Some(env) = MultiprocEnv::from_env() else {
+        return;
+    };
+    let out = Universe::new(2).run(|comm| {
+        if comm.rank() == 0 {
+            let mut b = [0u8; 8];
+            comm.recv_into(Some(1), Some(9), &mut b);
+        } else {
+            // Simulate a crashed rank: vanish without teardown.
+            std::process::exit(42);
+        }
+    });
+    assert_eq!(env.rank, 0, "only rank 0 survives to inspect the result");
+    match out {
+        Err(PcommError::PeerPanicked { rank, message }) => {
+            assert_eq!(rank, 1, "the dead peer is rank 1");
+            assert!(
+                message.contains("rank process exited")
+                    || message.contains("connection")
+                    || message.contains("broke"),
+                "message names the lost connection: {message}"
+            );
+        }
+        other => panic!("expected PeerPanicked for the dead rank, got {other:?}"),
+    }
+}
+
+fn spawn_mesh(child_test: &str, faults: Option<&str>) -> (std::path::PathBuf, Vec<Child>) {
+    let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
+    let spmd = MultiprocEnv {
+        rank: 0,
+        n_ranks: 2,
+        dir: dir.clone(),
+        backend: Backend::Uds,
+    };
+    let exe = std::env::current_exe().expect("test binary path");
+    let children = (0..2)
+        .map(|rank| {
+            let mut cmd = Command::new(&exe);
+            cmd.args([child_test, "--exact", "--nocapture"])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped());
+            match faults {
+                Some(spec) => cmd.env("PCOMM_FAULTS", spec),
+                None => cmd.env_remove("PCOMM_FAULTS"),
+            };
+            spmd.apply_to(&mut cmd, rank);
+            cmd.spawn().expect("spawn SPMD child")
+        })
+        .collect();
+    (dir, children)
+}
+
+/// Wait for a child with a hard deadline; returns its exit code.
+fn wait_code(mut child: Child, what: &str) -> i32 {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            let code = status.code().unwrap_or(-1);
+            if code != 0 && code != 42 {
+                let mut err = String::new();
+                if let Some(mut s) = child.stderr.take() {
+                    let _ = s.read_to_string(&mut err);
+                }
+                panic!("{what} exited with {code}\n--- stderr ---\n{err}");
+            }
+            return code;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("{what} hung past the deadline");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn seeded_drops_over_uds_recover_via_resend() {
+    let (dir, children) = spawn_mesh(
+        "net_chaos_recovery_child",
+        Some("seed=7,drop=0.5,retries=24"),
+    );
+    for (rank, child) in children.into_iter().enumerate() {
+        assert_eq!(wait_code(child, &format!("rank {rank}")), 0);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn certain_drop_over_uds_is_message_lost_on_both_ranks() {
+    let (dir, children) = spawn_mesh("net_chaos_lost_child", Some("seed=1,drop=1.0,retries=0"));
+    for (rank, child) in children.into_iter().enumerate() {
+        // Exit 0 means the child saw exactly MessageLost — on both sides.
+        assert_eq!(wait_code(child, &format!("rank {rank}")), 0);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn killed_rank_process_surfaces_peer_panicked_not_a_hang() {
+    let (dir, children) = spawn_mesh("net_chaos_kill_child", None);
+    let codes: Vec<i32> = children
+        .into_iter()
+        .enumerate()
+        .map(|(rank, child)| wait_code(child, &format!("rank {rank}")))
+        .collect();
+    assert_eq!(codes[0], 0, "rank 0 must report PeerPanicked and pass");
+    assert_eq!(codes[1], 42, "rank 1 died by design");
+    let _ = std::fs::remove_dir_all(dir);
+}
