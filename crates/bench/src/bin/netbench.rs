@@ -100,13 +100,19 @@ fn bench_pingpong(reps: usize, iters: usize, bytes: usize) -> f64 {
 
 /// Perceived bandwidth of a partitioned transfer, receiver-side. Rank 0
 /// *receives* so the reporting rank is the same process in both the
-/// in-process and multi-process configurations. Returns MB/s (best rep).
-fn bench_part_bw(reps: usize, n_parts: usize, part_bytes: usize) -> f64 {
+/// in-process and multi-process configurations. `legacy` selects the
+/// single-message CTS baseline instead of the improved (and, over the
+/// wire, streaming) path. Returns MB/s (best rep).
+fn bench_part_bw(reps: usize, n_parts: usize, part_bytes: usize, legacy: bool) -> f64 {
     let total = (n_parts * part_bytes) as f64;
+    let opts = PartOptions {
+        legacy_single_message: legacy,
+        ..PartOptions::default()
+    };
     let out = Universe::new(2)
         .run(|comm| {
             if comm.rank() == 0 {
-                let pr = comm.precv_init(1, 3, n_parts, part_bytes, PartOptions::default());
+                let pr = comm.precv_init(1, 3, n_parts, part_bytes, opts.clone());
                 let best_ns = min_ns_per_op(reps, || {
                     comm.barrier();
                     let t0 = Instant::now();
@@ -117,7 +123,7 @@ fn bench_part_bw(reps: usize, n_parts: usize, part_bytes: usize) -> f64 {
                 // bytes per ns == GB/s; ×1000 for MB/s.
                 total / best_ns * 1000.0
             } else {
-                let ps = comm.psend_init(0, 3, n_parts, part_bytes, PartOptions::default());
+                let ps = comm.psend_init(0, 3, n_parts, part_bytes, opts.clone());
                 for _ in 0..reps {
                     comm.barrier();
                     ps.start();
@@ -133,12 +139,87 @@ fn bench_part_bw(reps: usize, n_parts: usize, part_bytes: usize) -> f64 {
     out[0]
 }
 
+/// Total message sizes of the early-bird crossover sweep (16 KiB …
+/// 4 MiB, 16 partitions each).
+const SWEEP_BYTES: [usize; 5] = [
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+];
+const SWEEP_PARTS: usize = 16;
+
+/// One point of the crossover sweep: the streaming (improved) path vs
+/// the legacy single-message baseline at the same total size.
+#[derive(Debug, Clone, Copy)]
+struct SweepPoint {
+    bytes: usize,
+    stream_mbps: f64,
+    legacy_mbps: f64,
+}
+
+/// Message-size sweep on the current fabric: where does early-bird
+/// streaming pull ahead of the legacy single-message transfer?
+fn bench_sweep(quick: bool) -> Vec<SweepPoint> {
+    if part_only() {
+        return Vec::new();
+    }
+    let reps = if quick { 2 } else { 8 };
+    SWEEP_BYTES
+        .iter()
+        .map(|&bytes| SweepPoint {
+            bytes,
+            stream_mbps: bench_part_bw(reps, SWEEP_PARTS, bytes / SWEEP_PARTS, false),
+            legacy_mbps: bench_part_bw(reps, SWEEP_PARTS, bytes / SWEEP_PARTS, true),
+        })
+        .collect()
+}
+
+fn sweep_json(points: &[SweepPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"bytes\": {}, \"stream_mbps\": {:.1}, \"legacy_mbps\": {:.1} }}",
+                p.bytes, p.stream_mbps, p.legacy_mbps
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "    \"fabric\": \"uds\",\n",
+            "    \"n_parts\": {},\n",
+            "    \"points\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        SWEEP_PARTS,
+        rows.join(",\n")
+    )
+}
+
 /// Run all three sections on whatever fabric the environment selects.
+/// `PCOMM_NETBENCH_PART_ONLY=1` skips the ping-pongs and the sweep — a
+/// fast inner loop for tuning the streaming path.
+fn part_only() -> bool {
+    std::env::var("PCOMM_NETBENCH_PART_ONLY").is_ok_and(|v| v == "1")
+}
+
 fn wire_sections(quick: bool) -> NetNumbers {
     let (reps, pp_iters) = if quick { (3, 300) } else { (10, 2_000) };
-    let pingpong_small_ns = bench_pingpong(reps, pp_iters, 256);
-    let pingpong_large_us = bench_pingpong(reps, pp_iters / 10 + 1, 256 * 1024) / 1_000.0;
-    let part_bw_mbps = bench_part_bw(reps, 16, 64 * 1024);
+    let (pingpong_small_ns, pingpong_large_us) = if part_only() {
+        (0.0, 0.0)
+    } else {
+        (
+            bench_pingpong(reps, pp_iters, 256),
+            bench_pingpong(reps, pp_iters / 10 + 1, 256 * 1024) / 1_000.0,
+        )
+    };
+    // One transfer is ~hundreds of µs; a deep rep count is cheap and the
+    // min is what rejects this box's scheduler noise (1 shared CPU).
+    let part_reps = if quick { 3 } else { 40 };
+    let part_bw_mbps = bench_part_bw(part_reps, 16, 64 * 1024, false);
     NetNumbers {
         pingpong_small_ns,
         pingpong_large_us,
@@ -146,17 +227,28 @@ fn wire_sections(quick: bool) -> NetNumbers {
     }
 }
 
-/// SPMD child body: rank 0 writes its numbers where the parent reads them.
+/// SPMD child body: rank 0 writes its numbers where the parent reads
+/// them. Both ranks run the sweep too — each point is its own 2-rank
+/// universe, and the mesh sequence numbers stay in lockstep only if both
+/// processes execute the same run sequence.
 fn run_child(quick: bool) {
     let env = MultiprocEnv::from_env().expect("--child requires the PCOMM_NET_* environment");
     let n = wire_sections(quick);
+    let sweep = bench_sweep(quick);
     if env.rank == 0 {
-        std::fs::write(env.dir.join("out-0"), n.to_json()).expect("write child results");
+        let body = format!(
+            "{{\n  \"figures\": {},\n  \"sweep\": {}\n}}",
+            n.to_json(),
+            sweep_json(&sweep)
+        );
+        std::fs::write(env.dir.join("out-0"), body).expect("write child results");
     }
 }
 
 /// Spawn the UDS pass: this binary, twice, as a 2-rank SPMD mesh.
-fn run_uds_pass(quick: bool) -> NetNumbers {
+/// Returns the three figures plus the crossover sweep (as a JSON object,
+/// passed through to the output file verbatim).
+fn run_uds_pass(quick: bool) -> (NetNumbers, String) {
     let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
     let spmd = MultiprocEnv {
         rank: 0,
@@ -205,11 +297,17 @@ fn run_uds_pass(quick: bool) -> NetNumbers {
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or_else(|| panic!("bad {key} in child output"))
     };
-    NetNumbers {
-        pingpong_small_ns: field("pingpong_small_ns"),
-        pingpong_large_us: field("pingpong_large_us"),
-        part_bw_mbps: field("part_bw_mbps"),
-    }
+    let sweep = extract_object(&raw, "sweep")
+        .expect("missing sweep in child output")
+        .to_owned();
+    (
+        NetNumbers {
+            pingpong_small_ns: field("pingpong_small_ns"),
+            pingpong_large_us: field("pingpong_large_us"),
+            part_bw_mbps: field("part_bw_mbps"),
+        },
+        sweep,
+    )
 }
 
 /// Extract the balanced-brace object following `"<key>":` in `json`.
@@ -248,6 +346,42 @@ fn pair_json(label: &str, shm: NetNumbers, uds: NetNumbers) -> String {
     )
 }
 
+/// Read `"key": <number>` anywhere in `json`.
+fn json_f64(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    json[at..]
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Regression guard: the freshly measured UDS partitioned bandwidth must
+/// not fall below the recorded baseline (10 % noise allowance). Exits
+/// nonzero on regression so CI fails loudly.
+fn run_guard(guard_path: &str, uds: NetNumbers) {
+    let raw = std::fs::read_to_string(guard_path)
+        .unwrap_or_else(|e| panic!("--guard: cannot read {guard_path}: {e}"));
+    let base = extract_object(&raw, "baseline")
+        .and_then(|b| extract_object(b, "uds"))
+        .and_then(|u| json_f64(u, "part_bw_mbps"))
+        .unwrap_or_else(|| panic!("--guard: no baseline.uds.part_bw_mbps in {guard_path}"));
+    let floor = base * 0.9;
+    if uds.part_bw_mbps < floor {
+        eprintln!(
+            "netbench: GUARD FAILED: uds part_bw_mbps {:.1} < {:.1} \
+             (baseline {:.1} from {guard_path}, 10% allowance)",
+            uds.part_bw_mbps, floor, base
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "netbench: guard ok: uds part_bw_mbps {:.1} >= {:.1} (baseline {:.1})",
+        uds.part_bw_mbps, floor, base
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -261,11 +395,15 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| format!("{}/../../BENCH_net.json", env!("CARGO_MANIFEST_DIR")));
+    let guard_path = args
+        .iter()
+        .position(|a| a == "--guard")
+        .and_then(|i| args.get(i + 1).cloned());
 
     eprintln!("netbench: shared-memory pass ...");
     let shm = wire_sections(quick);
     eprintln!("netbench: UDS pass (2 processes) ...");
-    let uds = run_uds_pass(quick);
+    let (uds, sweep) = run_uds_pass(quick);
 
     println!("                          shared-mem          UDS");
     println!(
@@ -280,6 +418,21 @@ fn main() {
         "partitioned 1 MiB    {:>10.1} MB/s  {:>10.1} MB/s",
         shm.part_bw_mbps, uds.part_bw_mbps
     );
+    println!("early-bird crossover (uds, {SWEEP_PARTS} parts):");
+    println!("      bytes      stream      legacy");
+    for &bytes in &SWEEP_BYTES {
+        let at = sweep.find(&format!("\"bytes\": {bytes},"));
+        let (s, l) = at
+            .map(|i| &sweep[i..])
+            .map(|row| {
+                (
+                    json_f64(row, "stream_mbps").unwrap_or(0.0),
+                    json_f64(row, "legacy_mbps").unwrap_or(0.0),
+                )
+            })
+            .unwrap_or((0.0, 0.0));
+        println!("{bytes:>11} {s:>9.1} MB/s {l:>7.1} MB/s");
+    }
 
     let current = pair_json("current", shm, uds);
     let baseline = if set_baseline {
@@ -296,13 +449,18 @@ fn main() {
             "  \"schema\": \"pcomm-net-v1\",\n",
             "  \"mode\": \"{}\",\n",
             "  \"baseline\": {},\n",
-            "  \"current\": {}\n",
+            "  \"current\": {},\n",
+            "  \"sweep\": {}\n",
             "}}\n"
         ),
         if quick { "quick" } else { "full" },
         baseline,
-        current
+        current,
+        sweep
     );
     std::fs::write(&out_path, json).expect("write bench output");
     eprintln!("netbench: wrote {out_path}");
+    if let Some(gpath) = guard_path {
+        run_guard(&gpath, uds);
+    }
 }

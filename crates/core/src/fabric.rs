@@ -1091,6 +1091,110 @@ impl Fabric {
         }
     }
 
+    /// Open a partitioned wire stream toward `dst` (see the transport's
+    /// streaming protocol); returns the stream id that pushes name.
+    /// `spans` carries the per-message sender completions: the writer
+    /// threads flip each one once its byte range is on the wire.
+    pub(crate) fn part_stream_begin(
+        &self,
+        dst: usize,
+        ctx: u64,
+        total_len: usize,
+        spans: Vec<crate::transport::SendSpan>,
+    ) -> u64 {
+        let id = self.transport.part_stream_begin(dst, ctx, total_len, spans);
+        self.touch();
+        id
+    }
+
+    /// Ship one ready partition range on a wire stream, under the same
+    /// fault taxonomy as [`Fabric::send_rdv`]'s RTS: a range is pushed
+    /// exactly once into pinned remote memory, so Duplicate and Reorder
+    /// decay to clean delivery, Delay sleeps, and Drop consumes retries
+    /// — exhausting them loses the message for good (the span's `done`
+    /// stays unset; the sender's wait unwinds via the abort).
+    #[allow(clippy::too_many_arguments)] // one per envelope field
+    pub(crate) fn part_stream_send(
+        &self,
+        dst: usize,
+        src_rank: usize,
+        ctx: u64,
+        tag: i64,
+        stream_id: u64,
+        offset: u64,
+        data: &[u8],
+        parts: u16,
+    ) {
+        if let Some(fs) = &self.fault {
+            let seq = fs.next_seq(src_rank, dst, ctx, tag);
+            let mut attempt: u32 = 0;
+            loop {
+                match fs.plan.decide(src_rank, dst, ctx, tag, seq, attempt) {
+                    FaultAction::Drop => {
+                        let dropped_attempt = attempt;
+                        self.trace
+                            .emit(src_rank as u16, || EventKind::FaultInjected {
+                                fault: FaultKind::Drop,
+                                dst: dst as u16,
+                                tag,
+                                arg: dropped_attempt as u64,
+                            });
+                        if attempt >= fs.plan.max_retries {
+                            self.fail(PcommError::MessageLost {
+                                src: src_rank,
+                                dst,
+                                tag,
+                                attempts: attempt + 1,
+                            });
+                            return;
+                        }
+                        attempt += 1;
+                        let retry = attempt;
+                        self.trace
+                            .emit(src_rank as u16, || EventKind::RetryAttempt {
+                                dst: dst as u16,
+                                attempt: retry as u16,
+                                tag,
+                            });
+                    }
+                    FaultAction::Delay { us } => {
+                        self.trace
+                            .emit(src_rank as u16, || EventKind::FaultInjected {
+                                fault: FaultKind::Delay,
+                                dst: dst as u16,
+                                tag,
+                                arg: us,
+                            });
+                        std::thread::sleep(Duration::from_micros(us));
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            // No held-eager flush here: partitioned pairs never put
+            // eager traffic on their context in streaming mode, so
+            // there is no channel-FIFO obligation to preserve.
+        }
+        self.transport
+            .part_stream_push(self, stream_id, offset, data, parts);
+        // The range stays pinned in the sender's buffer: the writer
+        // thread flips the message's span completion once the bytes are
+        // on the wire, so there is no local copy to declare done here.
+        self.touch();
+    }
+
+    /// Pin a whole partitioned destination buffer for the next stream
+    /// from `src` on `ctx`.
+    pub(crate) fn part_stream_post(
+        &self,
+        src: usize,
+        ctx: u64,
+        recv: crate::transport::PartStreamRecv,
+    ) {
+        self.transport.part_stream_post(self, src, ctx, recv);
+        self.touch();
+    }
+
     fn deliver(
         &self,
         dst: usize,
@@ -1314,6 +1418,40 @@ impl Fabric {
         *posted.info.lock() = Some(MsgInfo { src, tag, len });
         self.matched.fetch_add(1, Ordering::Relaxed);
         posted.completion.set();
+        self.touch();
+    }
+
+    /// Complete one message of an incoming partitioned stream: every
+    /// byte of its range has been committed by `PartData` frames (the
+    /// wire-streaming analogue of the tail of [`Fabric::fulfill`]).
+    /// Runs on a transport reader thread — possibly a different lane
+    /// for every range of the message.
+    pub(crate) fn complete_stream_msg(
+        &self,
+        src: usize,
+        tag: i64,
+        len: usize,
+        info: &Mutex<Option<MsgInfo>>,
+        completion: &Completion,
+        verify_msg: Option<(u16, u16)>,
+    ) {
+        if let Some((vreq, m)) = verify_msg {
+            // Before the completion fires, as in every other recv path,
+            // so the analyzer sees the buffer write ordered before any
+            // parrived / wait edge it enables.
+            self.trace
+                .emit_verify(self.transport.local_rank() as u16, || {
+                    EventKind::VerifyMsgRecv {
+                        req: vreq,
+                        msg: m,
+                        tid: pcomm_trace::current_tid(),
+                        eager: false,
+                    }
+                });
+        }
+        *info.lock() = Some(MsgInfo { src, tag, len });
+        self.matched.fetch_add(1, Ordering::Relaxed);
+        completion.set();
         self.touch();
     }
 

@@ -13,7 +13,7 @@
 
 use std::cell::UnsafeCell;
 use std::panic::panic_any;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use pcomm_trace::{EventKind, FaultKind};
@@ -281,13 +281,22 @@ struct PsendShared {
     legacy: bool,
     thread_hint: Option<Arc<Vec<usize>>>,
     defer_sends: bool,
+    /// Wire streaming: the destination rank lives in another process and
+    /// the request is on the improved path, so issued messages travel as
+    /// `PartData` ranges on a per-iteration partitioned stream instead
+    /// of per-message eager/rendezvous envelopes.
+    stream: bool,
+    /// The current iteration's stream id (valid while `started`).
+    stream_id: AtomicU64,
     storage: PartStorage,
     counters: Vec<AtomicI64>,
     /// Persistent per-message send signals: `sent[m]` is set once message
     /// `m` is injected *and* its bytes are safely out of the partition
     /// buffer (eagerly at injection; for rendezvous, when the receiver's
-    /// copy lands). Reset — never reallocated — by each `start()`, so the
-    /// `pready`→`issue` hot path touches no lock and allocates nothing.
+    /// copy lands; for wire streaming, when the writer threads finish
+    /// putting the message's span on the wire). Reset — never
+    /// reallocated — by each `start()`, so the `pready`→`issue` hot path
+    /// touches no lock and allocates nothing.
     sent: Vec<Arc<Completion>>,
     /// `issued[m]` is set once message `m` was handed to the fabric this
     /// iteration (the fabric may then hold a pointer into `storage`), so
@@ -464,6 +473,8 @@ impl Comm {
                 legacy: opts.legacy_single_message,
                 thread_hint: opts.thread_hint.clone(),
                 defer_sends: opts.defer_sends,
+                stream: !opts.legacy_single_message && !self.fabric().is_local(dst),
+                stream_id: AtomicU64::new(0),
                 storage: PartStorage::new(n_parts, part_bytes),
                 counters: (0..n_msgs).map(|_| AtomicI64::new(0)).collect(),
                 sent: (0..n_msgs).map(|_| Completion::new()).collect(),
@@ -544,6 +555,7 @@ impl Comm {
                 part_bytes,
                 layout,
                 legacy: opts.legacy_single_message,
+                stream: !opts.legacy_single_message && !self.fabric().is_local(src),
                 thread_hint: opts.thread_hint.clone(),
                 storage: PartStorage::new(n_parts, part_bytes),
                 arrived: (0..n_msgs).map(|_| Completion::new_set()).collect(),
@@ -629,6 +641,32 @@ impl PsendRequest {
             for (m, spec) in s.layout.msgs.iter().enumerate() {
                 s.sent[m].reset();
                 s.counters[m].store(spec.n_sparts as i64, Ordering::Release);
+            }
+            if s.stream {
+                // Announce the whole buffer now so the receiver's CTS
+                // can race the first pready — ranges stream the moment
+                // both are in. Each message's byte span carries its
+                // `sent` completion: the writer threads flip it when
+                // the span is fully on the wire.
+                let spans = s
+                    .layout
+                    .msgs
+                    .iter()
+                    .enumerate()
+                    .map(|(m, spec)| crate::transport::SendSpan {
+                        offset: spec.first_spart * s.part_bytes,
+                        len: spec.bytes,
+                        remaining: AtomicUsize::new(spec.bytes),
+                        done: Arc::clone(&s.sent[m]),
+                    })
+                    .collect();
+                let id = s.comm.fabric().part_stream_begin(
+                    s.dst,
+                    s.comm.ctx(),
+                    s.n_parts * s.part_bytes,
+                    spans,
+                );
+                s.stream_id.store(id, Ordering::Release);
             }
         }
     }
@@ -848,15 +886,32 @@ impl PsendRequest {
         // Marked before the fabric sees the pointer: teardown must drain
         // `sent[m]` whenever the fabric might hold a reference.
         s.issued[m].store(true, Ordering::Release);
-        s.comm.fabric().send_raw_signal(
-            s.dst,
-            shard,
-            s.comm.ctx(),
-            s.comm.rank(),
-            m as i64,
-            data,
-            &s.sent[m],
-        );
+        if s.stream {
+            // Wire streaming: the range is pinned into the stream's
+            // aggregation window — no copy, no per-message envelope, no
+            // CTS wait on this path. The writer thread flips `sent[m]`
+            // once the message's whole span is on the wire.
+            s.comm.fabric().part_stream_send(
+                s.dst,
+                s.comm.rank(),
+                s.comm.ctx(),
+                m as i64,
+                s.stream_id.load(Ordering::Acquire),
+                byte_off as u64,
+                data,
+                spec.n_sparts as u16,
+            );
+        } else {
+            s.comm.fabric().send_raw_signal(
+                s.dst,
+                shard,
+                s.comm.ctx(),
+                s.comm.rank(),
+                m as i64,
+                data,
+                &s.sent[m],
+            );
+        }
         if let Some(t0) = pready_ns {
             let trace = s.comm.fabric().trace();
             let gap_ns = trace.now_ns().map_or(0, |now| now.saturating_sub(t0));
@@ -936,7 +991,8 @@ impl PsendRequest {
                 }
             }
             // `sent[m]` covers both "issued" and "buffer reusable":
-            // eager sends set it at injection, rendezvous on remote copy.
+            // eager and stream sends set it at injection, rendezvous on
+            // remote copy.
             for (m, sent) in s.sent.iter().enumerate() {
                 s.comm.fabric().wait_on(sent, s.comm.rank(), || {
                     (
@@ -973,6 +1029,10 @@ struct PrecvShared {
     part_bytes: usize,
     layout: MsgLayout,
     legacy: bool,
+    /// Wire streaming: remote peer on the improved path. `start()` then
+    /// hands the whole pinned buffer to the transport instead of posting
+    /// per-message receives.
+    stream: bool,
     thread_hint: Option<Arc<Vec<usize>>>,
     storage: PartStorage,
     /// Persistent per-message arrival signals: created pre-set so probing
@@ -1071,6 +1131,36 @@ impl PrecvRequest {
                     info: Arc::clone(&s.infos[0]),
                     completion: Arc::clone(&s.arrived[0]),
                     verify_msg: Some((s.vreq, 0)),
+                },
+            );
+        } else if s.stream {
+            // Streaming path: hand the whole pinned buffer to the
+            // transport once; PartData ranges commit straight into it and
+            // flip each message's `arrived` as its bytes land.
+            let mut msgs = Vec::with_capacity(s.layout.msgs.len());
+            for (m, spec) in s.layout.msgs.iter().enumerate() {
+                s.arrived[m].reset();
+                *s.infos[m].lock() = None;
+                msgs.push(crate::transport::PartStreamMsg {
+                    offset: spec.first_rpart * s.part_bytes,
+                    len: spec.bytes,
+                    remaining: AtomicUsize::new(spec.bytes),
+                    completion: Arc::clone(&s.arrived[m]),
+                    info: Arc::clone(&s.infos[m]),
+                    verify_msg: Some((s.vreq, m as u16)),
+                    tag: m as i64,
+                });
+            }
+            let total = s.n_parts * s.part_bytes;
+            // SAFETY: buffer exclusively owned by the fabric until wait().
+            let buf = unsafe { s.storage.raw_range(0, total) };
+            s.comm.fabric().part_stream_post(
+                s.src,
+                s.comm.ctx(),
+                crate::transport::PartStreamRecv {
+                    base: buf.as_mut_ptr(),
+                    total_len: total,
+                    msgs,
                 },
             );
         } else {

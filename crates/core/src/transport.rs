@@ -18,6 +18,23 @@
 //!   zero-copy handoff) and only then sets the sender's completion, so
 //!   `pready`/`parrived` and every completion stay the same lock-free
 //!   atomics as in-process.
+//! * **Partitioned streaming**: a wire-bound partitioned send announces
+//!   its whole buffer with one `PartRts`; the receiver pins its whole
+//!   destination and answers `PartCts`. From then on every `pready`-
+//!   completed run of partitions is coalesced toward the
+//!   `PCOMM_NET_AGGR` threshold and shipped as an order-independent
+//!   `PartData { offset, payload }` range the moment it is ready —
+//!   partitions stream across the process boundary instead of waiting
+//!   for the whole buffer. Both ends are zero-copy: the source buffer
+//!   is pinned (MPI forbids touching it between `start` and `wait`
+//!   anyway), so writers put ranges on the wire with a vectored write
+//!   straight out of application memory, and readers `read(2)` each
+//!   range straight *into* the pinned destination — the only copies
+//!   are the kernel's socket transfers. A message's `sent` completion
+//!   flips when the writers have written its last byte; the receiver
+//!   flips the per-message completions whose byte ranges have fully
+//!   landed, so `parrived` goes true partition-by-partition across
+//!   processes, exactly like the in-process early-bird path.
 //! * **Barrier**: rank 0 coordinates; everyone ships `BarrierArrive`,
 //!   rank 0 broadcasts `BarrierRelease` for the generation.
 //! * **RMA**: windows announce their length to a remote origin; puts and
@@ -28,27 +45,37 @@
 //!
 //! # Threading model
 //!
-//! Per peer: one **writer** thread owning the socket's write half and an
-//! unbounded channel (senders only enqueue — a send can never block on a
-//! remote process, so there is no distributed write-write deadlock), and
-//! one **reader** thread owning the read half, dispatching frames into
-//! the fabric. Abort tears both down: the failing process broadcasts an
-//! `Abort` frame, then `shutdown(2)` unblocks its own readers.
+//! Per peer, per lane: one **writer** thread owning that lane's write
+//! half and an unbounded channel (senders only enqueue — a send can
+//! never block on a remote process, so there is no distributed
+//! write-write deadlock), and one **reader** thread owning the read
+//! half, dispatching frames into the fabric. Lane 0 carries all
+//! ordered traffic (eager, rendezvous control, barriers, RMA, abort,
+//! `Bye`); lanes `1..N` (`PCOMM_NET_LANES`) carry only the
+//! order-independent `PartData` ranges, round-robined so a large
+//! partition stream cannot head-of-line-block small eager traffic.
+//! Writers drain their channel in batches and put each batch on the
+//! wire with one vectored write. Abort tears everything down: the
+//! failing process broadcasts an `Abort` frame, then `shutdown(2)`
+//! unblocks its own readers.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pcomm_net::frame::{
-    Frame, ABORT_MESSAGE_LOST, ABORT_MISUSE, ABORT_MISUSE_RANK, ABORT_PEER_PANICKED,
+    self, Frame, ABORT_MESSAGE_LOST, ABORT_MISUSE, ABORT_MISUSE_RANK, ABORT_PEER_PANICKED,
+    MAX_FRAME_BODY,
 };
 use pcomm_net::{Endpoint, Mesh};
+use pcomm_trace::EventKind;
 
 use crate::error::{PcommError, PeerSocketState};
-use crate::fabric::{Fabric, PostedRecv};
+use crate::fabric::{Fabric, MsgInfo, PostedRecv};
 use crate::sync::{Completion, Mutex};
 
 /// Slice for non-unwinding waits in teardown paths (mirrors the
@@ -59,6 +86,11 @@ const TEARDOWN_SLICE: Duration = Duration::from_millis(2);
 /// as soon as its closure returns, so far past this something is wrong
 /// and the run fails instead of hanging.
 const FINALIZE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Most frames a writer puts on the wire with one vectored write. Past
+/// this the batch spans enough bytes that syscall overhead is already
+/// amortised.
+const WRITER_BATCH: usize = 16;
 
 /// How a fabric reaches ranks hosted outside this process. All methods
 /// except the introspective ones are called only for remote ranks of a
@@ -89,6 +121,39 @@ pub(crate) trait Transport: Send + Sync {
         tag: i64,
         rts_ns: Option<u64>,
     );
+
+    /// Open a partitioned stream toward `dst`: announce `total_len`
+    /// pinned bytes for the pair on `ctx` and return the stream id that
+    /// subsequent pushes name. `spans` are the sender's per-message byte
+    /// ranges; each span's `done` fires once the writers have put its
+    /// last byte on the wire.
+    fn part_stream_begin(
+        &self,
+        dst: usize,
+        ctx: u64,
+        total_len: usize,
+        spans: Vec<SendSpan>,
+    ) -> u64;
+
+    /// Hand one ready byte range (`parts` coalesced partitions ending
+    /// their `pready`s) to the stream. `data` is *pinned*, not copied:
+    /// it must stay alive and unmodified until the covering spans'
+    /// `done` completions fire (fabric invariant (1) — partitioned
+    /// storage lives until its signals drain). Ranges queue until the
+    /// `PartCts` arrives, then flow; the stream retires itself once
+    /// every one of `total_len` bytes has been pushed.
+    fn part_stream_push(
+        &self,
+        fabric: &Fabric,
+        stream_id: u64,
+        offset: u64,
+        data: &[u8],
+        parts: u16,
+    );
+
+    /// Pin a whole partitioned destination buffer for the next stream
+    /// from `src` on `ctx`; pairs FIFO with incoming `PartRts`s.
+    fn part_stream_post(&self, fabric: &Fabric, src: usize, ctx: u64, recv: PartStreamRecv);
 
     /// Cross-process barrier (rank 0 coordinates).
     fn barrier(&self, fabric: &Fabric, rank: usize);
@@ -137,63 +202,205 @@ pub(crate) struct PinnedSend {
 // the drain paths covers a copy already in flight.
 unsafe impl Send for PinnedSend {}
 
-/// The in-process "transport": every rank is local, so nothing here can
-/// ever be called. Exists so the fabric carries exactly one transport
-/// object either way and the seam costs one cached branch.
-pub(crate) struct SharedMemTransport;
-
-impl Transport for SharedMemTransport {
-    fn local_rank(&self) -> usize {
-        0
-    }
-
-    fn is_multiproc(&self) -> bool {
-        false
-    }
-
-    fn ship_eager(&self, _: usize, _: usize, _: u64, _: i64, _: &[u8]) {
-        unreachable!("shared-memory fabric never routes through the wire")
-    }
-
-    fn ship_rts(&self, _: usize, _: usize, _: u64, _: i64, _: PinnedSend) {
-        unreachable!("shared-memory fabric never routes through the wire")
-    }
-
-    fn accept_remote_rdv(&self, _: usize, _: u64, _: PostedRecv, _: usize, _: i64, _: Option<u64>) {
-        unreachable!("shared-memory fabric never routes through the wire")
-    }
-
-    fn barrier(&self, _: &Fabric, _: usize) {
-        unreachable!("in-process barriers use the fabric's condvar path")
-    }
-
-    fn announce_win(&self, _: usize, _: u64, _: usize) {
-        unreachable!("shared-memory fabric never routes through the wire")
-    }
-
-    fn wait_win_announce(&self, _: &Fabric, _: usize, _: u64) -> usize {
-        unreachable!("shared-memory fabric never routes through the wire")
-    }
-
-    fn put(&self, _: usize, _: u64, _: usize, _: &[u8]) {
-        unreachable!("shared-memory fabric never routes through the wire")
-    }
-
-    fn get(&self, _: &Fabric, _: usize, _: usize, _: u64, _: usize, _: usize) -> Vec<u8> {
-        unreachable!("shared-memory fabric never routes through the wire")
-    }
-
-    fn peer_states(&self) -> Vec<PeerSocketState> {
-        Vec::new()
-    }
-
-    fn broadcast_abort(&self, _: &PcommError) {}
+/// One message of a pinned partitioned destination: the byte range it
+/// owns and the request state to flip once every byte has landed.
+pub(crate) struct PartStreamMsg {
+    /// Byte offset of the message in the whole destination buffer.
+    pub(crate) offset: usize,
+    /// Message length in bytes.
+    pub(crate) len: usize,
+    /// Bytes of the range not yet committed; initialised to `len`.
+    pub(crate) remaining: AtomicUsize,
+    /// The `parrived`/wait completion for the message.
+    pub(crate) completion: Arc<Completion>,
+    /// Envelope slot the fabric fills on completion.
+    pub(crate) info: Arc<Mutex<Option<MsgInfo>>>,
+    /// Verify-layer identity `(request, message)` for the recv event.
+    pub(crate) verify_msg: Option<(u16, u16)>,
+    /// Message tag (the message index, as in the eager/rdv path).
+    pub(crate) tag: i64,
 }
 
-/// What the writer thread consumes.
+/// A whole partitioned destination buffer pinned for an incoming
+/// stream, handed to the transport by `precv.start()`.
+pub(crate) struct PartStreamRecv {
+    /// Base of the destination buffer.
+    pub(crate) base: *mut u8,
+    /// Whole-buffer length in bytes.
+    pub(crate) total_len: usize,
+    /// Per-message ranges covering `0..total_len`.
+    pub(crate) msgs: Vec<PartStreamMsg>,
+}
+
+// SAFETY: the destination buffer outlives the stream (the receiving
+// request's storage is pinned until its completions fire and the
+// request drains them before release — invariant (1) again), and the
+// reader threads that dereference `base` only write disjoint ranges.
+unsafe impl Send for PartStreamRecv {}
+
+/// One message's byte span of a pinned partitioned *source* buffer:
+/// `done` (the sender's "buffer reusable" signal) flips once the
+/// writers have put every byte of the span on the wire.
+pub(crate) struct SendSpan {
+    /// Byte offset of the message in the whole source buffer.
+    pub(crate) offset: usize,
+    /// Message length in bytes.
+    pub(crate) len: usize,
+    /// Bytes of the span not yet written; initialised to `len`.
+    pub(crate) remaining: AtomicUsize,
+    /// The sender-side wait completion for the message.
+    pub(crate) done: Arc<Completion>,
+}
+
+/// One coalesced run of ready partitions, pinned in the source buffer
+/// (adjacent pushes are contiguous memory, so coalescing just extends
+/// the length).
+struct PinChunk {
+    /// Byte offset of the run in the whole source buffer.
+    offset: u64,
+    /// First byte of the run; valid until the covering spans complete.
+    ptr: *const u8,
+    /// Run length in bytes.
+    len: usize,
+    /// Partitions coalesced into the run (trace geometry).
+    parts: u16,
+}
+
+// SAFETY: the pointed-to source buffer stays alive and unmodified until
+// the covering spans' `done` completions fire (fabric invariant (1) —
+// the request drains them before its storage drops), and only writer
+// threads read through it.
+unsafe impl Send for PinChunk {}
+
+/// Sender-side state of one partitioned stream: the aggregation window
+/// plus ranges queued while the `PartCts` is still in flight.
+struct StreamSend {
+    dst: usize,
+    /// The receiver pinned its destination (`PartCts` arrived).
+    cts: bool,
+    /// Every byte was pushed and the tail auto-flushed; the entry dies
+    /// once `cts` is also true.
+    flushed: bool,
+    /// Whole-buffer length; pushes auto-flush the tail on reaching it.
+    total_len: usize,
+    /// Bytes pushed so far.
+    pushed: usize,
+    /// The open aggregation window: grows while pushes stay adjacent.
+    pend: Option<PinChunk>,
+    /// Threshold-complete chunks waiting for the CTS.
+    queued: Vec<PinChunk>,
+    /// Per-message spans the writers complete as chunk writes finish.
+    spans: Arc<Vec<SendSpan>>,
+}
+
+impl StreamSend {
+    /// Fold one pushed range into the aggregation window and return the
+    /// chunks (if any) that are now ready for the wire: adjacent ranges
+    /// coalesce until they reach `aggr`, a gap flushes the open window,
+    /// an already-threshold-sized range goes out directly, and the final
+    /// byte of the buffer flushes whatever remains (no separate flush
+    /// call, so `wait` can never deadlock against an unshipped tail).
+    fn push(
+        &mut self,
+        offset: u64,
+        ptr: *const u8,
+        len: usize,
+        parts: u16,
+        aggr: usize,
+    ) -> Vec<PinChunk> {
+        self.pushed += len;
+        let mut out = Vec::new();
+        match &mut self.pend {
+            Some(p) if p.offset + p.len as u64 == offset => {
+                // Adjacent in the source buffer ⇒ contiguous memory:
+                // extend the pinned run in place.
+                // SAFETY: `p.ptr + p.len` stays within (one past) the
+                // same pinned allocation the run came from.
+                debug_assert_eq!(unsafe { p.ptr.add(p.len) }, ptr, "adjacent ⇒ contiguous");
+                p.len += len;
+                p.parts = p.parts.saturating_add(parts);
+                if p.len >= aggr {
+                    out.push(self.pend.take().expect("pend checked above"));
+                }
+            }
+            _ => {
+                if let Some(p) = self.pend.take() {
+                    out.push(p);
+                }
+                let chunk = PinChunk {
+                    offset,
+                    ptr,
+                    len,
+                    parts,
+                };
+                if len >= aggr {
+                    out.push(chunk);
+                } else {
+                    self.pend = Some(chunk);
+                }
+            }
+        }
+        if self.pushed >= self.total_len {
+            self.flushed = true;
+            if let Some(p) = self.pend.take() {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// Receiver-side state of one active partitioned stream: where ranges
+/// land and which message completions they flip.
+struct StreamRecv {
+    base: *mut u8,
+    total_len: usize,
+    /// Bytes of the whole buffer not yet committed; the stream retires
+    /// when this hits zero.
+    remaining_total: AtomicUsize,
+    msgs: Vec<PartStreamMsg>,
+}
+
+// SAFETY: same argument as [`PartStreamRecv`]; `Sync` because multiple
+// reader lanes commit concurrently, but every byte of the destination
+// belongs to exactly one `PartData` frame, so writes never alias.
+unsafe impl Send for StreamRecv {}
+unsafe impl Sync for StreamRecv {}
+
+/// FIFO pairing of incoming `PartRts`s with posted destinations for one
+/// `(src, ctx)` partitioned pair — whichever side shows up first waits.
+#[derive(Default)]
+struct PartPair {
+    /// Streams announced by the sender, not yet posted: `(id, len)`.
+    pending_rts: VecDeque<(u64, usize)>,
+    /// Destinations posted by the receiver, not yet announced.
+    waiting: VecDeque<PartStreamRecv>,
+}
+
+/// A pinned partitioned range headed for the wire: the writer encodes
+/// an 18-byte `PartData` header into scratch and writes the payload
+/// straight from the source buffer (no copy), then completes the spans
+/// the range covers.
+struct StreamWrite {
+    rdv_id: u64,
+    offset: u64,
+    ptr: *const u8,
+    len: usize,
+    spans: Arc<Vec<SendSpan>>,
+}
+
+// SAFETY: same argument as [`PinChunk`] — the source stays pinned until
+// the spans' `done` completions fire, and only the owning writer thread
+// reads through the pointer.
+unsafe impl Send for StreamWrite {}
+
+/// What a writer thread consumes. Frames cross the channel undecoded;
+/// the writer encodes into its own reusable scratch buffers.
 enum WriterMsg {
-    /// An encoded frame to put on the wire.
-    Frame(Vec<u8>),
+    /// A frame to put on the wire.
+    Frame(Frame),
+    /// A pinned partitioned range (zero-copy payload).
+    Stream(StreamWrite),
     /// Flush and exit (teardown).
     Shutdown,
 }
@@ -213,32 +420,58 @@ struct RemoteRecv {
     rts_ns: Option<u64>,
 }
 
-/// Per-peer socket machinery.
-struct Peer {
+/// One writer lane of a peer: its own socket, a writer thread draining
+/// `tx`, and a direct write handle under `direct` that lets *reader*
+/// threads put a CTS-released batch on the wire without a thread hop.
+struct Lane {
     /// The original stream; kept for `shutdown` (which unblocks the
     /// reader on abort). Reader and writer own `try_clone`s.
     endpoint: Endpoint,
     tx: Sender<WriterMsg>,
     /// Taken by `start`.
     rx: Mutex<Option<Receiver<WriterMsg>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+    /// The write half. The lane's writer thread locks it per batch;
+    /// reader threads releasing a CTS batch write under the same mutex
+    /// directly, skipping the context switch that would otherwise cap
+    /// partitioned bandwidth on small machines. App threads never
+    /// write here — a `pready` must not donate its timeslice to a
+    /// blocking socket write.
+    direct: Mutex<Option<Endpoint>>,
+}
+
+/// Per-peer socket machinery: `lanes[0]` is the ordered lane, the rest
+/// carry `PartData` only.
+struct Peer {
+    lanes: Vec<Lane>,
     connected: Arc<AtomicBool>,
     frames_sent: Arc<AtomicU64>,
     frames_received: Arc<AtomicU64>,
     saw_bye: Arc<AtomicBool>,
-    writer: Mutex<Option<JoinHandle<()>>>,
+    /// Round-robin cursor over the data lanes.
+    next_lane: AtomicUsize,
 }
 
-/// The socket progress engine: per-peer reader/writer threads plus the
-/// request state they complete (see the module docs for the model).
+/// The socket progress engine: per-peer-per-lane reader/writer threads
+/// plus the request state they complete (see the module docs for the
+/// model).
 pub(crate) struct SocketTransport {
     rank: usize,
     n_ranks: usize,
     peers: Vec<Option<Peer>>,
     next_rdv_id: AtomicU64,
+    /// `PCOMM_NET_AGGR`: partition-stream aggregation threshold.
+    aggr: usize,
     /// Sender side: pinned buffers waiting for a CTS, by rendezvous id.
     pending_rdv: Mutex<HashMap<u64, PendingRdv>>,
     /// Receiver side: matched buffers waiting for data, by (src, id).
     remote_recvs: Mutex<HashMap<(usize, u64), RemoteRecv>>,
+    /// Sender side: open partitioned streams, by stream id.
+    streams_out: Mutex<HashMap<u64, StreamSend>>,
+    /// Receiver side: RTS/post pairing per partitioned (src, ctx) pair.
+    part_registry: Mutex<HashMap<(usize, u64), PartPair>>,
+    /// Receiver side: active streams taking `PartData`, by (src, id).
+    streams_in: Mutex<HashMap<(usize, u64), Arc<StreamRecv>>>,
     /// This process's barrier generation counter (SPMD-aligned).
     barrier_gen: AtomicU64,
     /// Rank 0 only: arrival counts per generation.
@@ -265,18 +498,28 @@ impl SocketTransport {
         let peers = mesh
             .peers
             .into_iter()
-            .map(|ep| {
-                ep.map(|endpoint| {
-                    let (tx, rx) = std::sync::mpsc::channel();
+            .map(|eps| {
+                eps.map(|endpoints| {
+                    let lanes = endpoints
+                        .into_iter()
+                        .map(|endpoint| {
+                            let (tx, rx) = std::sync::mpsc::channel();
+                            Lane {
+                                endpoint,
+                                tx,
+                                rx: Mutex::new(Some(rx)),
+                                writer: Mutex::new(None),
+                                direct: Mutex::new(None),
+                            }
+                        })
+                        .collect();
                     Peer {
-                        endpoint,
-                        tx,
-                        rx: Mutex::new(Some(rx)),
+                        lanes,
                         connected: Arc::new(AtomicBool::new(true)),
                         frames_sent: Arc::new(AtomicU64::new(0)),
                         frames_received: Arc::new(AtomicU64::new(0)),
                         saw_bye: Arc::new(AtomicBool::new(false)),
-                        writer: Mutex::new(None),
+                        next_lane: AtomicUsize::new(0),
                     }
                 })
             })
@@ -286,8 +529,12 @@ impl SocketTransport {
             n_ranks,
             peers,
             next_rdv_id: AtomicU64::new(0),
+            aggr: pcomm_net::launch::aggr_from_env(),
             pending_rdv: Mutex::new(HashMap::new()),
             remote_recvs: Mutex::new(HashMap::new()),
+            streams_out: Mutex::new(HashMap::new()),
+            part_registry: Mutex::new(HashMap::new()),
+            streams_in: Mutex::new(HashMap::new()),
             barrier_gen: AtomicU64::new(0),
             arrivals: Mutex::new(HashMap::new()),
             releases: Mutex::new(HashMap::new()),
@@ -299,49 +546,433 @@ impl SocketTransport {
         }
     }
 
-    /// Spawn the per-peer reader and writer threads. Called once, after
-    /// the fabric referencing this transport exists.
+    /// Spawn the per-peer-per-lane reader and writer threads. Called
+    /// once, after the fabric referencing this transport exists.
     pub(crate) fn start(self: &Arc<SocketTransport>, fabric: &Arc<Fabric>) {
         let mut readers = self.readers.lock();
-        for peer_rank in 0..self.n_ranks {
-            let Some(peer) = &self.peers[peer_rank] else {
+        for (peer_rank, peer) in self.peers.iter().enumerate() {
+            let Some(peer) = peer else {
                 continue;
             };
-            let rx = peer
-                .rx
-                .lock()
-                .take()
-                .expect("SocketTransport::start called twice");
-            let ep = peer.endpoint.try_clone().expect("endpoint clone");
-            let sent = Arc::clone(&peer.frames_sent);
-            let connected = Arc::clone(&peer.connected);
-            let f = Arc::clone(fabric);
-            let writer = std::thread::Builder::new()
-                .name(format!("pcomm-wr{peer_rank}"))
-                .spawn(move || writer_loop(ep, rx, f, peer_rank, sent, connected))
-                .expect("spawn writer thread");
-            *peer.writer.lock() = Some(writer);
+            for (lane_idx, lane) in peer.lanes.iter().enumerate() {
+                let rx = lane
+                    .rx
+                    .lock()
+                    .take()
+                    .expect("SocketTransport::start called twice");
+                // Every lane gets BOTH a write handle under the lane
+                // mutex and a writer thread draining the channel. App
+                // threads always enqueue (a `pready` must never block
+                // on socket I/O — inline writes stall the computation
+                // for a scheduler quantum on oversubscribed hosts);
+                // reader threads releasing a CTS batch write directly
+                // under the same mutex, skipping the thread hop.
+                *lane.direct.lock() = Some(lane.endpoint.try_clone().expect("endpoint clone"));
+                let sent = Arc::clone(&peer.frames_sent);
+                let connected = Arc::clone(&peer.connected);
+                let f = Arc::clone(fabric);
+                let t = Arc::clone(self);
+                let writer = std::thread::Builder::new()
+                    .name(format!("pcomm-wr{peer_rank}.{lane_idx}"))
+                    .spawn(move || writer_loop(t, rx, f, peer_rank, lane_idx, sent, connected))
+                    .expect("spawn writer thread");
+                *lane.writer.lock() = Some(writer);
 
-            let ep = peer.endpoint.try_clone().expect("endpoint clone");
-            let received = Arc::clone(&peer.frames_received);
-            let connected = Arc::clone(&peer.connected);
-            let saw_bye = Arc::clone(&peer.saw_bye);
-            let t = Arc::clone(self);
-            let f = Arc::clone(fabric);
-            let reader = std::thread::Builder::new()
-                .name(format!("pcomm-rd{peer_rank}"))
-                .spawn(move || reader_loop(t, f, peer_rank, ep, received, connected, saw_bye))
-                .expect("spawn reader thread");
-            readers.push(reader);
+                let ep = lane.endpoint.try_clone().expect("endpoint clone");
+                let received = Arc::clone(&peer.frames_received);
+                let connected = Arc::clone(&peer.connected);
+                let saw_bye = Arc::clone(&peer.saw_bye);
+                let t = Arc::clone(self);
+                let f = Arc::clone(fabric);
+                let reader = std::thread::Builder::new()
+                    .name(format!("pcomm-rd{peer_rank}.{lane_idx}"))
+                    .spawn(move || {
+                        reader_loop(t, f, peer_rank, lane_idx, ep, received, connected, saw_bye)
+                    })
+                    .expect("spawn reader thread");
+                readers.push(reader);
+            }
         }
     }
 
-    /// Enqueue one frame toward `dst` (never blocks; the writer thread
-    /// does the I/O). Sends to an already-torn-down peer are dropped.
-    fn send_frame(&self, dst: usize, frame: &Frame) {
+    /// Enqueue one frame toward `dst` on a specific lane (never blocks;
+    /// the writer thread does the I/O). Sends to an already-torn-down
+    /// peer are dropped.
+    fn send_frame_lane(&self, dst: usize, lane: usize, frame: Frame) {
         if let Some(peer) = &self.peers[dst] {
-            let _ = peer.tx.send(WriterMsg::Frame(frame.encode()));
+            let _ = peer.lanes[lane].tx.send(WriterMsg::Frame(frame));
         }
+    }
+
+    /// Enqueue one ordered frame toward `dst` (lane 0).
+    fn send_frame(&self, dst: usize, frame: Frame) {
+        self.send_frame_lane(dst, 0, frame);
+    }
+
+    /// Round-robin a `PartData` chunk over the data lanes; with one
+    /// lane everything shares lane 0.
+    fn pick_lane(&self, peer: &Peer) -> usize {
+        let n = peer.lanes.len();
+        if n == 1 {
+            0
+        } else {
+            1 + peer.next_lane.fetch_add(1, Ordering::Relaxed) % (n - 1)
+        }
+    }
+
+    /// Put the ready chunks of stream `rdv_id` on the wire toward
+    /// `dst`, round-robined over the data lanes. `inline` picks the
+    /// write discipline: reader threads (CTS release) pass `true` and
+    /// write each lane's share directly as one vectored batch (headers
+    /// from the stack, payloads straight from the pinned source — no
+    /// thread hop); app threads (post-CTS `pready`) pass `false` and
+    /// enqueue to the lane writers instead, because a blocking socket
+    /// write inside `pready` stalls the computation for a scheduler
+    /// quantum whenever the host is oversubscribed.
+    fn dispatch_chunks(
+        &self,
+        fabric: &Fabric,
+        dst: usize,
+        rdv_id: u64,
+        spans: &Arc<Vec<SendSpan>>,
+        chunks: Vec<PinChunk>,
+        inline: bool,
+    ) {
+        let Some(peer) = &self.peers[dst] else {
+            return;
+        };
+        let n_lanes = peer.lanes.len();
+        let mut buckets: Vec<Vec<PinChunk>> = (0..n_lanes).map(|_| Vec::new()).collect();
+        for chunk in chunks {
+            let lane = self.pick_lane(peer);
+            let (parts, offset, bytes) = (chunk.parts, chunk.offset, chunk.len as u64);
+            fabric
+                .trace()
+                .emit(self.rank as u16, || EventKind::StreamChunk {
+                    lane: lane as u16,
+                    parts,
+                    offset,
+                    bytes,
+                });
+            buckets[lane].push(chunk);
+        }
+        if !inline {
+            for (lane_idx, bucket) in buckets.into_iter().enumerate() {
+                for chunk in bucket {
+                    let _ = peer.lanes[lane_idx].tx.send(WriterMsg::Stream(StreamWrite {
+                        rdv_id,
+                        offset: chunk.offset,
+                        ptr: chunk.ptr,
+                        len: chunk.len,
+                        spans: Arc::clone(spans),
+                    }));
+                }
+            }
+            return;
+        }
+        for (lane_idx, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let lane = &peer.lanes[lane_idx];
+            let mut guard = lane.direct.lock();
+            let Some(ep) = guard.as_mut() else {
+                drop(guard);
+                for chunk in bucket {
+                    let _ = lane.tx.send(WriterMsg::Stream(StreamWrite {
+                        rdv_id,
+                        offset: chunk.offset,
+                        ptr: chunk.ptr,
+                        len: chunk.len,
+                        spans: Arc::clone(spans),
+                    }));
+                }
+                continue;
+            };
+            if fabric.aborted() {
+                // The source buffers may already be unwinding: drop the
+                // chunks unsent (their waiters unwind via the abort).
+                continue;
+            }
+            let headers: Vec<[u8; 4 + frame::PART_DATA_BODY_HDR]> = bucket
+                .iter()
+                .map(|c| frame::part_data_header(rdv_id, c.offset, c.len))
+                .collect();
+            let mut slices: Vec<&[u8]> = Vec::with_capacity(bucket.len() * 2);
+            for (header, chunk) in headers.iter().zip(&bucket) {
+                slices.push(header);
+                // SAFETY: the source buffer stays pinned until the
+                // spans completed below fire (invariant (1)); the abort
+                // check above plus the drain grace cover teardown
+                // races, as in the rendezvous CTS path.
+                slices.push(unsafe { std::slice::from_raw_parts(chunk.ptr, chunk.len) });
+            }
+            if write_all_vectored(ep, &slices)
+                .and_then(|()| ep.flush())
+                .is_err()
+            {
+                peer.connected.store(false, Ordering::Release);
+                if !fabric.aborted() {
+                    fabric.fail(PcommError::PeerPanicked {
+                        rank: dst,
+                        message: format!(
+                            "rank process exited unexpectedly \
+                             (connection to rank {dst} broke mid-stream)"
+                        ),
+                    });
+                }
+                continue;
+            }
+            for chunk in &bucket {
+                complete_spans(spans, chunk.offset as usize, chunk.len);
+            }
+            peer.frames_sent
+                .fetch_add(bucket.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Receiver: a sender announced a stream. Pair it with a posted
+    /// destination if one is waiting, else park the announcement.
+    fn handle_part_rts(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        ctx: u64,
+        total_len: usize,
+        rdv_id: u64,
+    ) {
+        let recv = {
+            let mut reg = self.part_registry.lock();
+            let pair = reg.entry((src, ctx)).or_default();
+            match pair.waiting.pop_front() {
+                Some(recv) => Some(recv),
+                None => {
+                    pair.pending_rts.push_back((rdv_id, total_len));
+                    None
+                }
+            }
+        };
+        if let Some(recv) = recv {
+            self.activate_stream(fabric, src, rdv_id, total_len, recv, true);
+        }
+    }
+
+    /// Receiver: a posted destination met its announcement — validate,
+    /// register the active stream, and clear the sender to stream.
+    /// `inline` is true when called from a reader thread (RTS arrival),
+    /// false from an app thread (`start` posting the destination).
+    fn activate_stream(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        rdv_id: u64,
+        total_len: usize,
+        recv: PartStreamRecv,
+        inline: bool,
+    ) {
+        if recv.total_len != total_len {
+            fabric.fail(PcommError::misuse(
+                src,
+                format!(
+                    "partitioned stream length mismatch: sender announced {total_len} B, \
+                     receiver pinned {} B",
+                    recv.total_len
+                ),
+            ));
+            return;
+        }
+        let stream = Arc::new(StreamRecv {
+            base: recv.base,
+            total_len,
+            remaining_total: AtomicUsize::new(total_len),
+            msgs: recv.msgs,
+        });
+        self.streams_in.lock().insert((src, rdv_id), stream);
+        // From a reader thread, prefer a direct data-lane write for the
+        // CTS: the sender's data-lane reader then dispatches the queued
+        // chunks from its own thread, so the whole release chain costs
+        // no writer-thread wakeups. The CTS orders against nothing on
+        // the ordered lane — the sender just needs it as fast as
+        // possible. From an app thread, enqueue instead of blocking.
+        if inline {
+            self.send_data_frame(fabric, src, Frame::PartCts { rdv_id });
+        } else {
+            self.send_frame(src, Frame::PartCts { rdv_id });
+        }
+    }
+
+    /// Put a small control frame on a data lane's socket directly if
+    /// one exists (bypassing the lane-0 writer thread), else fall back
+    /// to the ordered lane. Only valid for frames with no ordering
+    /// obligation toward lane-0 traffic.
+    fn send_data_frame(&self, fabric: &Fabric, dst: usize, frame: Frame) {
+        let Some(peer) = &self.peers[dst] else {
+            return;
+        };
+        for lane in peer.lanes.iter().skip(1) {
+            let mut guard = lane.direct.lock();
+            if let Some(ep) = guard.as_mut() {
+                let mut buf = Vec::with_capacity(32);
+                frame.encode_into(&mut buf);
+                if write_all_vectored(ep, &[&buf])
+                    .and_then(|()| ep.flush())
+                    .is_err()
+                {
+                    peer.connected.store(false, Ordering::Release);
+                    if !fabric.aborted() {
+                        fabric.fail(PcommError::PeerPanicked {
+                            rank: dst,
+                            message: format!(
+                                "rank process exited unexpectedly \
+                                 (connection to rank {dst} broke mid-write)"
+                            ),
+                        });
+                    }
+                    return;
+                }
+                peer.frames_sent.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.send_frame(dst, frame);
+    }
+
+    /// Sender: the receiver pinned its destination — release every
+    /// queued chunk onto the data lanes.
+    fn handle_part_cts(&self, fabric: &Fabric, peer: usize, rdv_id: u64) {
+        if fabric.aborted() {
+            return;
+        }
+        let (dst, spans, chunks) = {
+            let mut out = self.streams_out.lock();
+            let Some(stream) = out.get_mut(&rdv_id) else {
+                return; // duplicate or post-abort straggler
+            };
+            stream.cts = true;
+            let chunks = std::mem::take(&mut stream.queued);
+            let dst = stream.dst;
+            let spans = Arc::clone(&stream.spans);
+            if stream.flushed {
+                out.remove(&rdv_id);
+            }
+            (dst, spans, chunks)
+        };
+        debug_assert_eq!(dst, peer, "PartCts must come from the stream's receiver");
+        // Runs on a reader thread: write the batch directly.
+        self.dispatch_chunks(fabric, dst, rdv_id, &spans, chunks, true);
+    }
+
+    /// Receiver: look up the active stream for `(src, rdv_id)` and
+    /// validate that `offset..offset+len` fits its destination. Returns
+    /// `None` for post-abort stragglers (the caller discards the bytes);
+    /// an overflowing range fails the universe.
+    fn stream_range(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        rdv_id: u64,
+        offset: usize,
+        len: usize,
+    ) -> Option<Arc<StreamRecv>> {
+        if fabric.aborted() {
+            return None;
+        }
+        let stream = self.streams_in.lock().get(&(src, rdv_id)).cloned()?;
+        match offset.checked_add(len) {
+            Some(end) if end <= stream.total_len => Some(stream),
+            _ => {
+                fabric.fail(PcommError::misuse(
+                    src,
+                    format!(
+                        "partitioned stream range {offset}+{len} overflows a \
+                         {}-byte destination",
+                        stream.total_len
+                    ),
+                ));
+                None
+            }
+        }
+    }
+
+    /// Receiver: the bytes of `offset..offset+len` are in the pinned
+    /// destination — flip every message completion the range finishes
+    /// and retire the stream once the whole buffer has landed.
+    #[allow(clippy::too_many_arguments)] // one per envelope field
+    fn commit_stream_range(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        lane: usize,
+        rdv_id: u64,
+        stream: &StreamRecv,
+        offset: usize,
+        len: usize,
+    ) {
+        let end = offset + len;
+        let mut msgs_done = 0u16;
+        for msg in &stream.msgs {
+            let lo = msg.offset.max(offset);
+            let hi = (msg.offset + msg.len).min(end);
+            if lo >= hi {
+                continue;
+            }
+            let overlap = hi - lo;
+            // AcqRel: the final decrement acquires every earlier
+            // committer's bytes, so the completion flip below publishes
+            // a fully written message range.
+            let before = msg.remaining.fetch_sub(overlap, Ordering::AcqRel);
+            if before == overlap {
+                fabric.complete_stream_msg(
+                    src,
+                    msg.tag,
+                    msg.len,
+                    &msg.info,
+                    &msg.completion,
+                    msg.verify_msg,
+                );
+                msgs_done += 1;
+            }
+        }
+        let (off64, bytes) = (offset as u64, len as u64);
+        fabric
+            .trace()
+            .emit(self.rank as u16, || EventKind::StreamCommit {
+                lane: lane as u16,
+                msgs: msgs_done,
+                offset: off64,
+                bytes,
+            });
+        if stream.remaining_total.fetch_sub(len, Ordering::AcqRel) == len {
+            self.streams_in.lock().remove(&(src, rdv_id));
+        }
+    }
+
+    /// Receiver: one already-decoded range landed (the `dispatch` slow
+    /// path; lane readers normally read payloads straight into the
+    /// destination instead) — copy it in and commit.
+    fn handle_part_data(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        lane: usize,
+        rdv_id: u64,
+        offset: u64,
+        payload: &[u8],
+    ) {
+        let len = payload.len();
+        let offset = offset as usize;
+        let Some(stream) = self.stream_range(fabric, src, rdv_id, offset, len) else {
+            return;
+        };
+        // SAFETY: the destination stays pinned until the completions set
+        // by the commit fire (invariant (1), via `PartStreamRecv`'s
+        // contract), the bounds were checked by `stream_range`, and
+        // every destination byte belongs to exactly one `PartData`
+        // frame, so concurrent commits from different lanes never alias.
+        unsafe {
+            std::ptr::copy_nonoverlapping(payload.as_ptr(), stream.base.add(offset), len);
+        }
+        self.commit_stream_range(fabric, src, lane, rdv_id, &stream, offset, len);
     }
 
     /// Get-or-create the release completion for barrier generation
@@ -367,7 +998,7 @@ impl SocketTransport {
         };
         if all_in {
             for peer in 1..self.n_ranks {
-                self.send_frame(peer, &Frame::BarrierRelease { gen });
+                self.send_frame(peer, Frame::BarrierRelease { gen });
             }
             self.release_completion(gen).set();
         }
@@ -392,7 +1023,7 @@ impl SocketTransport {
         let data = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
         self.send_frame(
             peer,
-            &Frame::RdvData {
+            Frame::RdvData {
                 rdv_id,
                 payload: data,
             },
@@ -402,7 +1033,7 @@ impl SocketTransport {
 
     /// Dispatch one received frame. Returns `false` when the peer said
     /// goodbye and the reader should exit.
-    fn dispatch(&self, fabric: &Arc<Fabric>, peer: usize, frame: Frame) -> bool {
+    fn dispatch(&self, fabric: &Arc<Fabric>, peer: usize, lane: usize, frame: Frame) -> bool {
         match frame {
             Frame::Eager {
                 shard,
@@ -424,6 +1055,17 @@ impl SocketTransport {
                     fabric.complete_remote_rdv(r.posted, peer, r.tag, r.shard, &payload, r.rts_ns);
                 }
             }
+            Frame::PartRts {
+                ctx,
+                total_len,
+                rdv_id,
+            } => self.handle_part_rts(fabric, peer, ctx, total_len as usize, rdv_id),
+            Frame::PartCts { rdv_id } => self.handle_part_cts(fabric, peer, rdv_id),
+            Frame::PartData {
+                rdv_id,
+                offset,
+                payload,
+            } => self.handle_part_data(fabric, peer, lane, rdv_id, offset, &payload),
             Frame::BarrierArrive { gen } => self.note_arrival(gen),
             Frame::BarrierRelease { gen } => self.release_completion(gen).set(),
             Frame::Abort {
@@ -459,7 +1101,7 @@ impl SocketTransport {
             } => match fabric.read_win(win_ctx, offset as usize, len as usize) {
                 Some(data) => self.send_frame(
                     peer,
-                    &Frame::GetResp {
+                    Frame::GetResp {
                         token,
                         payload: data,
                     },
@@ -488,7 +1130,9 @@ impl SocketTransport {
 
     /// Shut the wire down after the rank's closure returned. Clean runs
     /// pass a closing barrier first — nobody sends `Bye` while a peer
-    /// might still need them — then flush `Bye`, join the writers, and
+    /// might still need them, and no queued stream chunk can be
+    /// outstanding (a receiver cannot reach the barrier until its data
+    /// landed) — then flush `Bye` on every lane, join the writers, and
     /// join the readers (each exits on its peer's `Bye`). Aborted runs
     /// skip the barrier, make sure the abort was broadcast, and
     /// `shutdown(2)` the sockets so blocked readers return. Never
@@ -500,7 +1144,7 @@ impl SocketTransport {
             if self.rank == 0 {
                 self.note_arrival(gen);
             } else {
-                self.send_frame(0, &Frame::BarrierArrive { gen });
+                self.send_frame(0, Frame::BarrierArrive { gen });
             }
             let deadline = Instant::now() + FINALIZE_TIMEOUT;
             loop {
@@ -532,12 +1176,18 @@ impl SocketTransport {
             }
         }
         for peer in self.peers.iter().flatten() {
-            let _ = peer.tx.send(WriterMsg::Frame(Frame::Bye.encode()));
-            let _ = peer.tx.send(WriterMsg::Shutdown);
+            for lane in &peer.lanes {
+                // Through the writer thread on every lane, so the
+                // goodbye drains behind any still-queued stream chunks.
+                let _ = lane.tx.send(WriterMsg::Frame(Frame::Bye));
+                let _ = lane.tx.send(WriterMsg::Shutdown);
+            }
         }
         for peer in self.peers.iter().flatten() {
-            if let Some(writer) = peer.writer.lock().take() {
-                let _ = writer.join();
+            for lane in &peer.lanes {
+                if let Some(writer) = lane.writer.lock().take() {
+                    let _ = writer.join();
+                }
             }
         }
         if fabric.aborted() {
@@ -545,7 +1195,9 @@ impl SocketTransport {
             // will never speak again; killing our half unblocks them
             // (they exit quietly once the abort flag is up).
             for peer in self.peers.iter().flatten() {
-                peer.endpoint.shutdown();
+                for lane in &peer.lanes {
+                    lane.endpoint.shutdown();
+                }
             }
         } else {
             // Bound the clean-path reads too: every peer passed the
@@ -553,9 +1205,11 @@ impl SocketTransport {
             // not arrive within the establish-grade timeout the reader
             // errors out instead of hanging the join below.
             for peer in self.peers.iter().flatten() {
-                let _ = peer
-                    .endpoint
-                    .set_read_timeout(Some(pcomm_net::mesh::ESTABLISH_TIMEOUT));
+                for lane in &peer.lanes {
+                    let _ = lane
+                        .endpoint
+                        .set_read_timeout(Some(pcomm_net::mesh::ESTABLISH_TIMEOUT));
+                }
             }
         }
         let readers = std::mem::take(&mut *self.readers.lock());
@@ -577,7 +1231,7 @@ impl Transport for SocketTransport {
     fn ship_eager(&self, dst: usize, shard: usize, ctx: u64, tag: i64, data: &[u8]) {
         self.send_frame(
             dst,
-            &Frame::Eager {
+            Frame::Eager {
                 shard: shard as u16,
                 ctx,
                 tag,
@@ -594,7 +1248,7 @@ impl Transport for SocketTransport {
             .insert(rdv_id, PendingRdv { pinned, dst });
         self.send_frame(
             dst,
-            &Frame::Rts {
+            Frame::Rts {
                 shard: shard as u16,
                 ctx,
                 tag,
@@ -622,7 +1276,90 @@ impl Transport for SocketTransport {
                 rts_ns,
             },
         );
-        self.send_frame(src, &Frame::Cts { rdv_id });
+        self.send_frame(src, Frame::Cts { rdv_id });
+    }
+
+    fn part_stream_begin(
+        &self,
+        dst: usize,
+        ctx: u64,
+        total_len: usize,
+        spans: Vec<SendSpan>,
+    ) -> u64 {
+        let rdv_id = self.next_rdv_id.fetch_add(1, Ordering::Relaxed);
+        // Register before the RTS leaves so a fast PartCts finds us.
+        self.streams_out.lock().insert(
+            rdv_id,
+            StreamSend {
+                dst,
+                cts: false,
+                flushed: false,
+                total_len,
+                pushed: 0,
+                pend: None,
+                queued: Vec::new(),
+                spans: Arc::new(spans),
+            },
+        );
+        self.send_frame(
+            dst,
+            Frame::PartRts {
+                ctx,
+                total_len: total_len as u64,
+                rdv_id,
+            },
+        );
+        rdv_id
+    }
+
+    fn part_stream_push(
+        &self,
+        fabric: &Fabric,
+        stream_id: u64,
+        offset: u64,
+        data: &[u8],
+        parts: u16,
+    ) {
+        let aggr = self.aggr;
+        let (dst, spans, ready) = {
+            let mut out = self.streams_out.lock();
+            let Some(stream) = out.get_mut(&stream_id) else {
+                return; // post-abort straggler
+            };
+            let chunks = stream.push(offset, data.as_ptr(), data.len(), parts, aggr);
+            if stream.cts {
+                let dst = stream.dst;
+                let spans = Arc::clone(&stream.spans);
+                if stream.flushed {
+                    // Last byte pushed post-CTS: the entry is done.
+                    out.remove(&stream_id);
+                }
+                (dst, spans, chunks)
+            } else {
+                // The CTS handler drains `queued` (auto-flushed tail
+                // included) and retires the entry when it arrives.
+                stream.queued.extend(chunks);
+                return;
+            }
+        };
+        // Runs on an app thread (inside `pready`): enqueue, never block.
+        self.dispatch_chunks(fabric, dst, stream_id, &spans, ready, false);
+    }
+
+    fn part_stream_post(&self, fabric: &Fabric, src: usize, ctx: u64, recv: PartStreamRecv) {
+        let activate = {
+            let mut reg = self.part_registry.lock();
+            let pair = reg.entry((src, ctx)).or_default();
+            if let Some((rdv_id, total_len)) = pair.pending_rts.pop_front() {
+                Some((rdv_id, total_len, recv))
+            } else {
+                pair.waiting.push_back(recv);
+                None
+            }
+        };
+        if let Some((rdv_id, total_len, recv)) = activate {
+            self.activate_stream(fabric, src, rdv_id, total_len, recv, false);
+        }
     }
 
     fn barrier(&self, fabric: &Fabric, rank: usize) {
@@ -631,7 +1368,7 @@ impl Transport for SocketTransport {
         if self.rank == 0 {
             self.note_arrival(gen);
         } else {
-            self.send_frame(0, &Frame::BarrierArrive { gen });
+            self.send_frame(0, Frame::BarrierArrive { gen });
         }
         fabric.wait_on(&completion, rank, || {
             (format!("barrier (generation {gen})"), None, None)
@@ -642,7 +1379,7 @@ impl Transport for SocketTransport {
     fn announce_win(&self, origin: usize, win_ctx: u64, len: usize) {
         self.send_frame(
             origin,
-            &Frame::WinAnnounce {
+            Frame::WinAnnounce {
                 win_ctx,
                 len: len as u64,
             },
@@ -672,7 +1409,7 @@ impl Transport for SocketTransport {
     fn put(&self, target: usize, win_ctx: u64, offset: usize, data: &[u8]) {
         self.send_frame(
             target,
-            &Frame::Put {
+            Frame::Put {
                 win_ctx,
                 offset: offset as u64,
                 payload: data.to_vec(),
@@ -697,7 +1434,7 @@ impl Transport for SocketTransport {
             .insert(token, (Arc::clone(&completion), Arc::clone(&slot)));
         self.send_frame(
             target,
-            &Frame::GetReq {
+            Frame::GetReq {
                 win_ctx,
                 offset: offset as u64,
                 len: len as u64,
@@ -718,6 +1455,7 @@ impl Transport for SocketTransport {
 
     fn peer_states(&self) -> Vec<PeerSocketState> {
         let pending = self.pending_rdv.lock();
+        let streams = self.streams_out.lock();
         self.peers
             .iter()
             .enumerate()
@@ -728,7 +1466,10 @@ impl Transport for SocketTransport {
                     connected: peer.connected.load(Ordering::Acquire),
                     frames_sent: peer.frames_sent.load(Ordering::Relaxed),
                     frames_received: peer.frames_received.load(Ordering::Relaxed),
-                    pending_rdv: pending.values().filter(|p| p.dst == rank).count(),
+                    // Un-CTS'd partitioned streams count as pending
+                    // rendezvous: same diagnosis (waiting on the peer).
+                    pending_rdv: pending.values().filter(|p| p.dst == rank).count()
+                        + streams.values().filter(|s| s.dst == rank).count(),
                 })
             })
             .collect()
@@ -741,90 +1482,308 @@ impl Transport for SocketTransport {
         let frame = encode_abort(err);
         for peer in 0..self.n_ranks {
             if peer != self.rank {
-                self.send_frame(peer, &frame);
+                self.send_frame(peer, frame.clone());
             }
         }
     }
 }
 
-/// Writer thread: drain the channel onto the socket. A write error
-/// means the peer is gone — record it (unless the universe is already
-/// unwinding) and discard the rest of the queue so enqueuers never
-/// notice.
+/// Write every slice in `bufs`, retrying partial vectored writes with a
+/// manual `(slice, offset)` cursor — `write_all_vectored` is still
+/// unstable in std.
+fn write_all_vectored(w: &mut impl Write, bufs: &[&[u8]]) -> io::Result<()> {
+    let (mut idx, mut off) = (0usize, 0usize);
+    while idx < bufs.len() {
+        let slices: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&bufs[idx][off..]))
+            .chain(bufs[idx + 1..].iter().map(|b| IoSlice::new(b)))
+            .collect();
+        let mut n = w.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "net: socket accepted no bytes",
+            ));
+        }
+        while n > 0 && idx < bufs.len() {
+            let rem = bufs[idx].len() - off;
+            if n >= rem {
+                n -= rem;
+                off = 0;
+                idx += 1;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Flip the `done` completions of every sender span fully covered once
+/// `offset..offset+len` is on the wire (sender-side mirror of the
+/// receiver's commit bookkeeping).
+fn complete_spans(spans: &[SendSpan], offset: usize, len: usize) {
+    let end = offset + len;
+    for span in spans {
+        let lo = span.offset.max(offset);
+        let hi = (span.offset + span.len).min(end);
+        if lo >= hi {
+            continue;
+        }
+        let overlap = hi - lo;
+        // AcqRel chains the writers' progress like the receiver side.
+        if span.remaining.fetch_sub(overlap, Ordering::AcqRel) == overlap {
+            span.done.set();
+        }
+    }
+}
+
+/// Writer thread: drain the channel onto the socket in vectored
+/// batches. Control frames encode into per-slot scratch buffers reused
+/// across batches; pinned stream ranges get an 18-byte header in
+/// scratch and their payload slice passed to the kernel straight from
+/// the source buffer — the batch goes out as one vectored write. A
+/// write error means the peer is gone — record it (unless the universe
+/// is already unwinding) and discard the rest of the queue so enqueuers
+/// never notice.
 fn writer_loop(
-    mut ep: Endpoint,
+    transport: Arc<SocketTransport>,
     rx: Receiver<WriterMsg>,
     fabric: Arc<Fabric>,
     peer: usize,
+    lane_idx: usize,
     frames_sent: Arc<AtomicU64>,
     connected: Arc<AtomicBool>,
 ) {
-    use std::io::Write;
+    let lane = &transport.peers[peer]
+        .as_ref()
+        .expect("writer thread for a missing peer")
+        .lanes[lane_idx];
+    let mut scratch: Vec<Vec<u8>> = (0..WRITER_BATCH).map(|_| Vec::new()).collect();
+    let mut batch: Vec<WriterMsg> = Vec::with_capacity(WRITER_BATCH);
     loop {
+        batch.clear();
         match rx.recv() {
-            Ok(WriterMsg::Frame(bytes)) => {
-                if ep.write_all(&bytes).and_then(|()| ep.flush()).is_err() {
-                    connected.store(false, Ordering::Release);
-                    if !fabric.aborted() {
-                        fabric.fail(PcommError::PeerPanicked {
-                            rank: peer,
-                            message: format!(
-                                "rank process exited unexpectedly \
-                                 (connection to rank {peer} broke mid-write)"
-                            ),
-                        });
-                    }
-                    // Drain until Shutdown so senders keep enqueueing
-                    // into a live channel during teardown.
-                    loop {
-                        match rx.recv() {
-                            Ok(WriterMsg::Shutdown) | Err(_) => return,
-                            Ok(WriterMsg::Frame(_)) => {}
-                        }
-                    }
-                }
-                frames_sent.fetch_add(1, Ordering::Relaxed);
-            }
             Ok(WriterMsg::Shutdown) | Err(_) => return,
+            Ok(msg) => batch.push(msg),
         }
+        let mut shutdown = false;
+        while batch.len() < WRITER_BATCH {
+            match rx.try_recv() {
+                Ok(WriterMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        // An aborting universe may already be unwinding the buffers
+        // that stream entries point into: drop them unsent (their
+        // waiters unwind via the abort), keep the control frames (the
+        // abort broadcast is one of them).
+        let aborting = fabric.aborted();
+        for (slot, msg) in scratch.iter_mut().zip(&batch) {
+            match msg {
+                WriterMsg::Frame(f) => f.encode_into(slot),
+                WriterMsg::Stream(sw) => {
+                    frame::encode_part_data_header(sw.rdv_id, sw.offset, sw.len, slot)
+                }
+                WriterMsg::Shutdown => unreachable!("Shutdown never enters the batch"),
+            }
+        }
+        let mut slices: Vec<&[u8]> = Vec::with_capacity(batch.len() * 2);
+        for (slot, msg) in scratch.iter().zip(&batch) {
+            match msg {
+                WriterMsg::Frame(_) => slices.push(slot),
+                WriterMsg::Stream(sw) => {
+                    if aborting {
+                        continue;
+                    }
+                    slices.push(slot);
+                    // SAFETY: the source buffer stays pinned until the
+                    // spans completed below fire (invariant (1)); the
+                    // abort check above plus the drain grace cover
+                    // teardown races, as in the rendezvous CTS path.
+                    slices.push(unsafe { std::slice::from_raw_parts(sw.ptr, sw.len) });
+                }
+                WriterMsg::Shutdown => {}
+            }
+        }
+        // The write happens under the lane mutex: reader threads
+        // releasing a CTS batch write the same socket directly, and the
+        // mutex is what keeps the two writers' frames from interleaving.
+        let wrote = {
+            let mut guard = lane.direct.lock();
+            match guard.as_mut() {
+                Some(ep) => write_all_vectored(ep, &slices).and_then(|()| ep.flush()),
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "net: lane endpoint already torn down",
+                )),
+            }
+        };
+        if wrote.is_err() {
+            connected.store(false, Ordering::Release);
+            if !fabric.aborted() {
+                fabric.fail(PcommError::PeerPanicked {
+                    rank: peer,
+                    message: format!(
+                        "rank process exited unexpectedly \
+                         (connection to rank {peer} broke mid-write)"
+                    ),
+                });
+            }
+            if shutdown {
+                return;
+            }
+            // Drain until Shutdown so senders keep enqueueing into a
+            // live channel during teardown.
+            loop {
+                match rx.recv() {
+                    Ok(WriterMsg::Shutdown) | Err(_) => return,
+                    Ok(_) => {}
+                }
+            }
+        }
+        for msg in &batch {
+            if let WriterMsg::Stream(sw) = msg {
+                if !aborting {
+                    complete_spans(&sw.spans, sw.offset as usize, sw.len);
+                }
+            }
+        }
+        frames_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if shutdown {
+            return;
+        }
+    }
+}
+
+/// Read the six-byte frame head: length prefix, version, opcode. The
+/// version is validated here so both reader paths start from a trusted
+/// head.
+fn read_head(ep: &mut Endpoint) -> io::Result<(usize, u8)> {
+    let mut head = [0u8; 6];
+    ep.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head[..4].try_into().expect("4-byte prefix")) as usize;
+    if !(2..=MAX_FRAME_BODY).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("net: implausible frame length {len}"),
+        ));
+    }
+    frame::check_version(head[4])?;
+    Ok((len, head[5]))
+}
+
+/// Fast path for an incoming `PartData` frame: read the 16-byte stream
+/// header, then read the payload straight into the pinned destination —
+/// the socket is the only copy. Ranges for retired streams (post-abort
+/// stragglers) are read into `scratch` and discarded so the byte stream
+/// stays framed.
+fn read_part_data(
+    transport: &SocketTransport,
+    fabric: &Fabric,
+    peer: usize,
+    lane: usize,
+    ep: &mut Endpoint,
+    body_len: usize,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    if body_len < frame::PART_DATA_BODY_HDR {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("net: truncated PartData body ({body_len} B)"),
+        ));
+    }
+    let mut hdr = [0u8; 16];
+    ep.read_exact(&mut hdr)?;
+    let rdv_id = u64::from_le_bytes(hdr[..8].try_into().expect("8-byte id"));
+    let offset = u64::from_le_bytes(hdr[8..].try_into().expect("8-byte offset")) as usize;
+    let len = body_len - frame::PART_DATA_BODY_HDR;
+    match transport.stream_range(fabric, peer, rdv_id, offset, len) {
+        Some(stream) => {
+            // SAFETY: the destination stays pinned until the commit's
+            // completions fire (invariant (1), via `PartStreamRecv`'s
+            // contract), `stream_range` checked the bounds, and every
+            // destination byte belongs to exactly one `PartData` frame,
+            // so concurrent lane readers never alias.
+            let dest = unsafe { std::slice::from_raw_parts_mut(stream.base.add(offset), len) };
+            ep.read_exact(dest)?;
+            transport.commit_stream_range(fabric, peer, lane, rdv_id, &stream, offset, len);
+        }
+        None => {
+            scratch.clear();
+            scratch.resize(len, 0);
+            ep.read_exact(scratch)?;
+        }
+    }
+    Ok(())
+}
+
+/// Shared reader error path: EOF (or any read/decode error) without a
+/// `Bye` means the peer process died — turn the would-be hang into a
+/// typed error for every local waiter.
+fn reader_failed(fabric: &Fabric, connected: &AtomicBool, peer: usize, err: &io::Error) {
+    connected.store(false, Ordering::Release);
+    if !fabric.aborted() {
+        fabric.fail(PcommError::PeerPanicked {
+            rank: peer,
+            message: format!(
+                "rank process exited unexpectedly (connection to rank {peer} lost: {err})"
+            ),
+        });
     }
 }
 
 /// Reader thread: decode frames and dispatch them into the fabric until
 /// the peer says `Bye`, the connection drops, or the universe aborts.
+/// `PartData` frames take a borrow-decode fast path that commits the
+/// range straight out of the reusable receive buffer — one copy from
+/// socket to destination.
 #[allow(clippy::too_many_arguments)] // thread-capture plumbing
 fn reader_loop(
     transport: Arc<SocketTransport>,
     fabric: Arc<Fabric>,
     peer: usize,
+    lane: usize,
     mut ep: Endpoint,
     frames_received: Arc<AtomicU64>,
     connected: Arc<AtomicBool>,
     saw_bye: Arc<AtomicBool>,
 ) {
+    let mut body: Vec<u8> = Vec::new();
     loop {
-        match Frame::read_from(&mut ep) {
-            Ok(frame) => {
-                frames_received.fetch_add(1, Ordering::Relaxed);
-                if !transport.dispatch(&fabric, peer, frame) {
-                    saw_bye.store(true, Ordering::Release);
-                    return; // clean goodbye
-                }
+        let (len, op) = match read_head(&mut ep) {
+            Ok(head) => head,
+            Err(err) => {
+                reader_failed(&fabric, &connected, peer, &err);
+                return;
+            }
+        };
+        frames_received.fetch_add(1, Ordering::Relaxed);
+        let keep_going = if frame::is_part_data(op) {
+            read_part_data(&transport, &fabric, peer, lane, &mut ep, len, &mut body).map(|()| true)
+        } else {
+            body.clear();
+            body.resize(len, 0);
+            // `read_head` already validated the wire's version byte;
+            // rebuild the two head bytes `Frame::decode` expects.
+            body[0] = frame::WIRE_VERSION;
+            body[1] = op;
+            ep.read_exact(&mut body[2..])
+                .and_then(|()| Frame::decode(&body))
+                .map(|f| transport.dispatch(&fabric, peer, lane, f))
+        };
+        match keep_going {
+            Ok(true) => {}
+            Ok(false) => {
+                saw_bye.store(true, Ordering::Release);
+                return; // clean goodbye
             }
             Err(err) => {
-                connected.store(false, Ordering::Release);
-                if !fabric.aborted() {
-                    // EOF (or any read error) without a Bye: the peer
-                    // process died. Turn the would-be hang into a typed
-                    // error for every local waiter.
-                    fabric.fail(PcommError::PeerPanicked {
-                        rank: peer,
-                        message: format!(
-                            "rank process exited unexpectedly (connection to rank {peer} \
-                             lost: {err})"
-                        ),
-                    });
-                }
+                reader_failed(&fabric, &connected, peer, &err);
                 return;
             }
         }
@@ -909,6 +1868,71 @@ fn decode_abort(kind: u8, a: u64, b: u64, tag: i64, attempts: u64, detail: Strin
     }
 }
 
+/// The in-process "transport": every rank is local, so nothing here can
+/// ever be called. Exists so the fabric carries exactly one transport
+/// object either way and the seam costs one cached branch.
+pub(crate) struct SharedMemTransport;
+
+impl Transport for SharedMemTransport {
+    fn local_rank(&self) -> usize {
+        0
+    }
+
+    fn is_multiproc(&self) -> bool {
+        false
+    }
+
+    fn ship_eager(&self, _: usize, _: usize, _: u64, _: i64, _: &[u8]) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn ship_rts(&self, _: usize, _: usize, _: u64, _: i64, _: PinnedSend) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn accept_remote_rdv(&self, _: usize, _: u64, _: PostedRecv, _: usize, _: i64, _: Option<u64>) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn part_stream_begin(&self, _: usize, _: u64, _: usize, _: Vec<SendSpan>) -> u64 {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn part_stream_push(&self, _: &Fabric, _: u64, _: u64, _: &[u8], _: u16) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn part_stream_post(&self, _: &Fabric, _: usize, _: u64, _: PartStreamRecv) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn barrier(&self, _: &Fabric, _: usize) {
+        unreachable!("in-process barriers use the fabric's condvar path")
+    }
+
+    fn announce_win(&self, _: usize, _: u64, _: usize) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn wait_win_announce(&self, _: &Fabric, _: usize, _: u64) -> usize {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn put(&self, _: usize, _: u64, _: usize, _: &[u8]) {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn get(&self, _: &Fabric, _: usize, _: usize, _: u64, _: usize, _: usize) -> Vec<u8> {
+        unreachable!("shared-memory fabric never routes through the wire")
+    }
+
+    fn peer_states(&self) -> Vec<PeerSocketState> {
+        Vec::new()
+    }
+
+    fn broadcast_abort(&self, _: &PcommError) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -968,5 +1992,148 @@ mod tests {
         };
         assert_eq!(kind, ABORT_MISUSE);
         assert!(detail.contains("peer stalled"), "{detail}");
+    }
+
+    /// A writer that accepts at most 3 bytes per call, across however
+    /// many slices — exercises every partial-write resume path.
+    struct DribbleWriter {
+        out: Vec<u8>,
+    }
+
+    impl Write for DribbleWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(3);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let mut left = 3usize;
+            let mut written = 0usize;
+            for b in bufs {
+                if left == 0 {
+                    break;
+                }
+                let n = b.len().min(left);
+                self.out.extend_from_slice(&b[..n]);
+                written += n;
+                left -= n;
+            }
+            Ok(written)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_all_vectored_survives_partial_writes() {
+        let bufs: [Vec<u8>; 5] = [
+            vec![1u8, 2, 3, 4, 5],
+            vec![],
+            vec![6u8],
+            vec![7u8; 10],
+            vec![8u8, 9],
+        ];
+        let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let mut w = DribbleWriter { out: Vec::new() };
+        write_all_vectored(&mut w, &slices).unwrap();
+        let want: Vec<u8> = bufs.concat();
+        assert_eq!(w.out, want);
+    }
+
+    fn fresh_stream(total_len: usize) -> StreamSend {
+        StreamSend {
+            dst: 1,
+            cts: false,
+            flushed: false,
+            total_len,
+            pushed: 0,
+            pend: None,
+            queued: Vec::new(),
+            spans: Arc::new(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce_until_the_threshold() {
+        let buf = vec![0u8; 4096];
+        let mut s = fresh_stream(1 << 20);
+        assert!(s.push(0, buf.as_ptr(), 100, 1, 256).is_empty());
+        assert!(s.push(100, buf[100..].as_ptr(), 100, 1, 256).is_empty());
+        let out = s.push(200, buf[200..].as_ptr(), 100, 2, 256);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].offset, 0);
+        assert_eq!(out[0].len, 300);
+        assert_eq!(out[0].parts, 4);
+        assert!(s.pend.is_none(), "dispatched chunk leaves no window");
+    }
+
+    #[test]
+    fn a_gap_flushes_the_open_window() {
+        let buf = vec![0u8; 1024];
+        let mut s = fresh_stream(1 << 20);
+        assert!(s.push(0, buf.as_ptr(), 100, 1, 256).is_empty());
+        let out = s.push(500, buf[500..].as_ptr(), 100, 1, 256);
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].offset, out[0].len), (0, 100));
+        let tail = s.pend.take().expect("gap range opens a new window");
+        assert_eq!((tail.offset, tail.len), (500, 100));
+    }
+
+    #[test]
+    fn threshold_sized_ranges_skip_the_window() {
+        let buf = vec![0u8; 8192];
+        let mut s = fresh_stream(1 << 20);
+        let out = s.push(0, buf.as_ptr(), 512, 4, 256);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len, 512);
+        assert!(s.pend.is_none());
+        // And with a non-adjacent window open, both come out in order.
+        assert!(s.push(4096, buf[4096..].as_ptr(), 10, 1, 256).is_empty());
+        let out = s.push(0, buf.as_ptr(), 512, 4, 256);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].offset, out[0].len), (4096, 10));
+        assert_eq!((out[1].offset, out[1].len), (0, 512));
+    }
+
+    #[test]
+    fn the_final_push_flushes_the_tail_window() {
+        let buf = vec![0u8; 300];
+        let mut s = fresh_stream(300);
+        assert!(s.push(0, buf.as_ptr(), 100, 1, 1 << 20).is_empty());
+        let out = s.push(100, buf[100..].as_ptr(), 200, 3, 1 << 20);
+        assert_eq!(
+            out.len(),
+            1,
+            "reaching total_len flushes without an explicit call"
+        );
+        assert_eq!((out[0].offset, out[0].len, out[0].parts), (0, 300, 4));
+        assert!(s.flushed, "stream retires itself once fully pushed");
+        assert!(s.pend.is_none());
+    }
+
+    #[test]
+    fn span_completion_fires_exactly_when_a_span_is_fully_written() {
+        let spans = vec![
+            SendSpan {
+                offset: 0,
+                len: 100,
+                remaining: AtomicUsize::new(100),
+                done: Completion::new(),
+            },
+            SendSpan {
+                offset: 100,
+                len: 100,
+                remaining: AtomicUsize::new(100),
+                done: Completion::new(),
+            },
+        ];
+        complete_spans(&spans, 0, 150);
+        assert!(spans[0].done.is_set(), "fully covered span completes");
+        assert!(!spans[1].done.is_set(), "half-written span stays pending");
+        complete_spans(&spans, 150, 50);
+        assert!(spans[1].done.is_set(), "second write covers the remainder");
     }
 }

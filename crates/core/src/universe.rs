@@ -355,6 +355,7 @@ impl Universe {
             dir: env.dir.clone(),
             backend: env.backend,
             seq: next_multiproc_seq(),
+            lanes: pcomm_net::launch::lanes_from_env(),
         };
         let mesh = pcomm_net::mesh::establish(&cfg).map_err(|e| PcommError::Misuse {
             rank: Some(env.rank),

@@ -50,6 +50,24 @@ impl Endpoint {
             Endpoint::Tcp(s) => s.set_nonblocking(nb),
         }
     }
+
+    /// Disable Nagle on TCP endpoints so small frames (eager pingpong,
+    /// CTS handshakes) are not held back waiting for an ACK; a no-op on
+    /// UDS, which has no coalescing to disable.
+    pub fn set_nodelay(&self) -> io::Result<()> {
+        match self {
+            Endpoint::Uds(_) => Ok(()),
+            Endpoint::Tcp(s) => s.set_nodelay(true),
+        }
+    }
+
+    /// Whether TCP_NODELAY is set (`true` for UDS, which never delays).
+    pub fn nodelay(&self) -> io::Result<bool> {
+        match self {
+            Endpoint::Uds(_) => Ok(true),
+            Endpoint::Tcp(s) => s.nodelay(),
+        }
+    }
 }
 
 impl Read for Endpoint {
@@ -66,6 +84,16 @@ impl Write for Endpoint {
         match self {
             Endpoint::Uds(s) => s.write(buf),
             Endpoint::Tcp(s) => s.write(buf),
+        }
+    }
+
+    // Forward explicitly: the trait's default implementation writes only
+    // the first non-empty slice, which would turn a writer's batched
+    // frame submission back into one syscall per frame.
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Endpoint::Uds(s) => s.write_vectored(bufs),
+            Endpoint::Tcp(s) => s.write_vectored(bufs),
         }
     }
 
@@ -104,16 +132,14 @@ impl Listener {
         loop {
             let got = match self {
                 Listener::Uds(l) => l.accept().map(|(s, _)| Endpoint::Uds(s)),
-                Listener::Tcp(l) => l.accept().map(|(s, _)| {
-                    let _ = s.set_nodelay(true);
-                    Endpoint::Tcp(s)
-                }),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Endpoint::Tcp(s)),
             };
             match got {
                 Ok(ep) => {
                     // Accepted sockets do not reliably inherit the
                     // listener's non-blocking mode; force blocking.
                     ep.set_nonblocking(false)?;
+                    ep.set_nodelay()?;
                     return Ok(ep);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -161,5 +187,38 @@ pub(crate) fn connect_retry(
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodelay_is_set_on_both_tcp_sides() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let l = Listener::Tcp(listener);
+        let connecting = std::thread::spawn(move || {
+            let s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            let ep = Endpoint::Tcp(s);
+            ep.set_nodelay().unwrap();
+            ep
+        });
+        let accepted = l
+            .accept_deadline(Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        let connected = connecting.join().unwrap();
+        assert!(accepted.nodelay().unwrap(), "accept side");
+        assert!(connected.nodelay().unwrap(), "connect side");
+    }
+
+    #[test]
+    fn nodelay_is_a_noop_on_uds() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let ep = Endpoint::Uds(a);
+        ep.set_nodelay().unwrap();
+        assert!(ep.nodelay().unwrap());
     }
 }

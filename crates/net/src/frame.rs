@@ -9,7 +9,7 @@
 //!
 //! | opcode | frame            | fields                                     |
 //! |--------|------------------|--------------------------------------------|
-//! | 1      | `Hello`          | rank:u16, seq:u64                          |
+//! | 1      | `Hello`          | rank:u16, lane:u16, seq:u64                |
 //! | 2      | `Eager`          | shard:u16, ctx:u64, tag:i64, payload       |
 //! | 3      | `Rts`            | shard:u16, ctx:u64, tag:i64, len:u64, rdv_id:u64 |
 //! | 4      | `Cts`            | rdv_id:u64                                 |
@@ -22,11 +22,24 @@
 //! | 11     | `Put`            | win_ctx:u64, offset:u64, payload           |
 //! | 12     | `GetReq`         | win_ctx:u64, offset:u64, len:u64, token:u64 |
 //! | 13     | `GetResp`        | token:u64, payload                         |
+//! | 14     | `PartRts`        | ctx:u64, total_len:u64, rdv_id:u64         |
+//! | 15     | `PartCts`        | rdv_id:u64                                 |
+//! | 16     | `PartData`       | rdv_id:u64, offset:u64, payload            |
+//!
+//! Opcodes 14–16 carry the partition-granular streaming protocol: a
+//! `PartRts` announces a whole partitioned-send buffer for a given
+//! communicator context, the receiver answers `PartCts` once its
+//! destination is pinned, and each `PartData` commits one byte range
+//! (an aggregated run of ready partitions) at an explicit offset.
+//! Because every `PartData` names its own offset, data frames are
+//! order-independent and may travel on any writer lane.
 
 use std::io::{self, Read, Write};
 
-/// Protocol version carried in every frame body.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version carried in every frame body. Version 2 added the
+/// `lane` field to `Hello` and the partitioned streaming frames
+/// (`PartRts`/`PartCts`/`PartData`).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame body; larger lengths are treated as stream
 /// corruption rather than an allocation request.
@@ -55,15 +68,21 @@ const OP_WIN_ANNOUNCE: u8 = 10;
 const OP_PUT: u8 = 11;
 const OP_GET_REQ: u8 = 12;
 const OP_GET_RESP: u8 = 13;
+const OP_PART_RTS: u8 = 14;
+const OP_PART_CTS: u8 = 15;
+const OP_PART_DATA: u8 = 16;
 
 /// One decoded wire frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
-    /// First frame on every connection: who is connecting, for which
-    /// universe (the per-process multiproc universe sequence number).
+    /// First frame on every connection: who is connecting, on which
+    /// writer lane, for which universe (the per-process multiproc
+    /// universe sequence number).
     Hello {
         /// Rank of the connecting process.
         rank: u16,
+        /// Writer lane this connection carries (0 = primary).
+        lane: u16,
         /// Universe sequence number both sides must agree on.
         seq: u64,
     },
@@ -167,20 +186,50 @@ pub enum Frame {
         /// The window bytes read.
         payload: Vec<u8>,
     },
+    /// Partitioned-stream ready-to-send: the sender has `total_len`
+    /// bytes pinned for the partitioned pair on context `ctx` and will
+    /// stream ranges under `rdv_id` once a [`Frame::PartCts`] arrives.
+    PartRts {
+        /// Partitioned communicator context id (pairs sender/receiver).
+        ctx: u64,
+        /// Whole-buffer length in bytes.
+        total_len: u64,
+        /// Sender-chosen stream id, echoed by `PartCts`/`PartData`.
+        rdv_id: u64,
+    },
+    /// Partitioned-stream clear-to-send: the receiver has pinned its
+    /// whole destination buffer for `rdv_id`.
+    PartCts {
+        /// The stream id from the PartRts.
+        rdv_id: u64,
+    },
+    /// One committed byte range of a partitioned stream. Offsets are
+    /// explicit, so `PartData` frames are order-independent and may be
+    /// carried by any writer lane.
+    PartData {
+        /// The stream id from the PartRts.
+        rdv_id: u64,
+        /// Byte offset of this range in the destination buffer.
+        offset: u64,
+        /// The range bytes.
+        payload: Vec<u8>,
+    },
 }
 
 fn corrupt(what: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("net: {}", what.into()))
 }
 
-struct Enc {
-    buf: Vec<u8>,
+/// Frame body encoder writing into a caller-owned buffer so writers can
+/// reuse one scratch allocation across frames.
+struct Enc<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Enc {
-    fn new(op: u8) -> Enc {
+impl<'a> Enc<'a> {
+    fn new(buf: &'a mut Vec<u8>, op: u8) -> Enc<'a> {
         // Reserve the 4-byte length prefix up front; patched in finish().
-        let mut buf = Vec::with_capacity(32);
+        buf.clear();
         buf.extend_from_slice(&[0u8; 4]);
         buf.push(WIRE_VERSION);
         buf.push(op);
@@ -207,10 +256,9 @@ impl Enc {
         self.buf.extend_from_slice(v);
     }
 
-    fn finish(mut self) -> Vec<u8> {
+    fn finish(self) {
         let body = (self.buf.len() - 4) as u32;
         self.buf[..4].copy_from_slice(&body.to_le_bytes());
-        self.buf
     }
 }
 
@@ -245,11 +293,91 @@ impl<'a> Dec<'a> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn rest(&mut self) -> Vec<u8> {
-        let s = self.buf[self.at..].to_vec();
+    fn rest_slice(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.at..];
         self.at = self.buf.len();
         s
     }
+
+    fn rest(&mut self) -> Vec<u8> {
+        self.rest_slice().to_vec()
+    }
+}
+
+/// Check the version byte of a frame body and return the opcode byte
+/// without decoding the fields. Used by readers to route hot frames
+/// (`PartData`) to a zero-extra-copy fast path.
+pub fn body_opcode(body: &[u8]) -> io::Result<u8> {
+    let mut d = Dec { buf: body, at: 0 };
+    let version = d.u8()?;
+    if version != WIRE_VERSION {
+        return Err(corrupt(format!(
+            "wire version mismatch: got {version}, expected {WIRE_VERSION}"
+        )));
+    }
+    d.u8()
+}
+
+/// True if `op` (from [`body_opcode`]) is a `PartData` frame.
+pub fn is_part_data(op: u8) -> bool {
+    op == OP_PART_DATA
+}
+
+/// Validate a version byte read straight off the wire (readers that
+/// split the header from the body check it before anything else).
+pub fn check_version(version: u8) -> io::Result<()> {
+    if version != WIRE_VERSION {
+        return Err(corrupt(format!(
+            "wire version mismatch: got {version}, expected {WIRE_VERSION}"
+        )));
+    }
+    Ok(())
+}
+
+/// `PartData` body bytes before the payload: version, opcode, `rdv_id`,
+/// `offset`.
+pub const PART_DATA_BODY_HDR: usize = 2 + 16;
+
+/// Encode a `PartData` frame *header* — length prefix through `offset`,
+/// everything except the payload — into `out`. A writer follows it with
+/// the payload bytes themselves (one vectored write straight from the
+/// pinned source buffer), producing exactly the bytes
+/// `Frame::PartData { .. }.encode_into(..)` would.
+pub fn encode_part_data_header(rdv_id: u64, offset: u64, payload_len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&part_data_header(rdv_id, offset, payload_len));
+}
+
+/// Stack-allocated form of [`encode_part_data_header`], for writers
+/// that assemble vectored batches without touching the heap.
+pub fn part_data_header(
+    rdv_id: u64,
+    offset: u64,
+    payload_len: usize,
+) -> [u8; 4 + PART_DATA_BODY_HDR] {
+    let mut out = [0u8; 4 + PART_DATA_BODY_HDR];
+    let body = (PART_DATA_BODY_HDR + payload_len) as u32;
+    out[..4].copy_from_slice(&body.to_le_bytes());
+    out[4] = WIRE_VERSION;
+    out[5] = OP_PART_DATA;
+    out[6..14].copy_from_slice(&rdv_id.to_le_bytes());
+    out[14..22].copy_from_slice(&offset.to_le_bytes());
+    out
+}
+
+/// Decode a `PartData` body in place: returns `(rdv_id, offset,
+/// payload)` with the payload borrowed from `body`, so a reader can
+/// commit the range straight out of its receive buffer without the
+/// intermediate `Vec` a full [`Frame::decode`] would allocate.
+pub fn decode_part_data(body: &[u8]) -> io::Result<(u64, u64, &[u8])> {
+    let op = body_opcode(body)?;
+    if op != OP_PART_DATA {
+        return Err(corrupt(format!("expected PartData, got opcode {op}")));
+    }
+    let mut d = Dec { buf: body, at: 2 };
+    let rdv_id = d.u64()?;
+    let offset = d.u64()?;
+    Ok((rdv_id, offset, d.rest_slice()))
 }
 
 impl Frame {
@@ -269,15 +397,28 @@ impl Frame {
             Frame::Put { .. } => "Put",
             Frame::GetReq { .. } => "GetReq",
             Frame::GetResp { .. } => "GetResp",
+            Frame::PartRts { .. } => "PartRts",
+            Frame::PartCts { .. } => "PartCts",
+            Frame::PartData { .. } => "PartData",
         }
     }
 
     /// Encode the frame, including its 4-byte length prefix.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode the frame (length prefix + body) into `out`, clearing it
+    /// first. Reusing one scratch buffer across calls amortises the
+    /// allocation that a fresh [`Frame::encode`] pays per frame.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            Frame::Hello { rank, seq } => {
-                let mut e = Enc::new(OP_HELLO);
+            Frame::Hello { rank, lane, seq } => {
+                let mut e = Enc::new(out, OP_HELLO);
                 e.u16(*rank);
+                e.u16(*lane);
                 e.u64(*seq);
                 e.finish()
             }
@@ -287,7 +428,7 @@ impl Frame {
                 tag,
                 payload,
             } => {
-                let mut e = Enc::new(OP_EAGER);
+                let mut e = Enc::new(out, OP_EAGER);
                 e.u16(*shard);
                 e.u64(*ctx);
                 e.i64(*tag);
@@ -301,7 +442,7 @@ impl Frame {
                 len,
                 rdv_id,
             } => {
-                let mut e = Enc::new(OP_RTS);
+                let mut e = Enc::new(out, OP_RTS);
                 e.u16(*shard);
                 e.u64(*ctx);
                 e.i64(*tag);
@@ -310,23 +451,23 @@ impl Frame {
                 e.finish()
             }
             Frame::Cts { rdv_id } => {
-                let mut e = Enc::new(OP_CTS);
+                let mut e = Enc::new(out, OP_CTS);
                 e.u64(*rdv_id);
                 e.finish()
             }
             Frame::RdvData { rdv_id, payload } => {
-                let mut e = Enc::new(OP_RDV_DATA);
+                let mut e = Enc::new(out, OP_RDV_DATA);
                 e.u64(*rdv_id);
                 e.bytes(payload);
                 e.finish()
             }
             Frame::BarrierArrive { gen } => {
-                let mut e = Enc::new(OP_BARRIER_ARRIVE);
+                let mut e = Enc::new(out, OP_BARRIER_ARRIVE);
                 e.u64(*gen);
                 e.finish()
             }
             Frame::BarrierRelease { gen } => {
-                let mut e = Enc::new(OP_BARRIER_RELEASE);
+                let mut e = Enc::new(out, OP_BARRIER_RELEASE);
                 e.u64(*gen);
                 e.finish()
             }
@@ -338,7 +479,7 @@ impl Frame {
                 attempts,
                 detail,
             } => {
-                let mut e = Enc::new(OP_ABORT);
+                let mut e = Enc::new(out, OP_ABORT);
                 e.u8(*kind);
                 e.u64(*a);
                 e.u64(*b);
@@ -347,9 +488,9 @@ impl Frame {
                 e.bytes(detail.as_bytes());
                 e.finish()
             }
-            Frame::Bye => Enc::new(OP_BYE).finish(),
+            Frame::Bye => Enc::new(out, OP_BYE).finish(),
             Frame::WinAnnounce { win_ctx, len } => {
-                let mut e = Enc::new(OP_WIN_ANNOUNCE);
+                let mut e = Enc::new(out, OP_WIN_ANNOUNCE);
                 e.u64(*win_ctx);
                 e.u64(*len);
                 e.finish()
@@ -359,7 +500,7 @@ impl Frame {
                 offset,
                 payload,
             } => {
-                let mut e = Enc::new(OP_PUT);
+                let mut e = Enc::new(out, OP_PUT);
                 e.u64(*win_ctx);
                 e.u64(*offset);
                 e.bytes(payload);
@@ -371,7 +512,7 @@ impl Frame {
                 len,
                 token,
             } => {
-                let mut e = Enc::new(OP_GET_REQ);
+                let mut e = Enc::new(out, OP_GET_REQ);
                 e.u64(*win_ctx);
                 e.u64(*offset);
                 e.u64(*len);
@@ -379,8 +520,35 @@ impl Frame {
                 e.finish()
             }
             Frame::GetResp { token, payload } => {
-                let mut e = Enc::new(OP_GET_RESP);
+                let mut e = Enc::new(out, OP_GET_RESP);
                 e.u64(*token);
+                e.bytes(payload);
+                e.finish()
+            }
+            Frame::PartRts {
+                ctx,
+                total_len,
+                rdv_id,
+            } => {
+                let mut e = Enc::new(out, OP_PART_RTS);
+                e.u64(*ctx);
+                e.u64(*total_len);
+                e.u64(*rdv_id);
+                e.finish()
+            }
+            Frame::PartCts { rdv_id } => {
+                let mut e = Enc::new(out, OP_PART_CTS);
+                e.u64(*rdv_id);
+                e.finish()
+            }
+            Frame::PartData {
+                rdv_id,
+                offset,
+                payload,
+            } => {
+                let mut e = Enc::new(out, OP_PART_DATA);
+                e.u64(*rdv_id);
+                e.u64(*offset);
                 e.bytes(payload);
                 e.finish()
             }
@@ -400,6 +568,7 @@ impl Frame {
         let frame = match op {
             OP_HELLO => Frame::Hello {
                 rank: d.u16()?,
+                lane: d.u16()?,
                 seq: d.u64()?,
             },
             OP_EAGER => Frame::Eager {
@@ -450,6 +619,17 @@ impl Frame {
                 token: d.u64()?,
                 payload: d.rest(),
             },
+            OP_PART_RTS => Frame::PartRts {
+                ctx: d.u64()?,
+                total_len: d.u64()?,
+                rdv_id: d.u64()?,
+            },
+            OP_PART_CTS => Frame::PartCts { rdv_id: d.u64()? },
+            OP_PART_DATA => Frame::PartData {
+                rdv_id: d.u64()?,
+                offset: d.u64()?,
+                payload: d.rest(),
+            },
             other => return Err(corrupt(format!("unknown opcode {other}"))),
         };
         Ok(frame)
@@ -489,11 +669,19 @@ mod tests {
         // And through the stream API.
         let mut cursor = std::io::Cursor::new(&enc);
         assert_eq!(Frame::read_from(&mut cursor).unwrap(), f);
+        // encode_into with a dirty scratch buffer agrees with encode.
+        let mut scratch = vec![0xAAu8; 7];
+        f.encode_into(&mut scratch);
+        assert_eq!(scratch, enc, "scratch reuse matches fresh encode");
     }
 
     #[test]
     fn all_frames_roundtrip() {
-        roundtrip(Frame::Hello { rank: 3, seq: 7 });
+        roundtrip(Frame::Hello {
+            rank: 3,
+            lane: 1,
+            seq: 7,
+        });
         roundtrip(Frame::Eager {
             shard: 2,
             ctx: 99,
@@ -550,6 +738,17 @@ mod tests {
             token: 5,
             payload: vec![1; 64],
         });
+        roundtrip(Frame::PartRts {
+            ctx: 1 << 17,
+            total_len: 1 << 20,
+            rdv_id: 77,
+        });
+        roundtrip(Frame::PartCts { rdv_id: 77 });
+        roundtrip(Frame::PartData {
+            rdv_id: 77,
+            offset: 1 << 16,
+            payload: vec![5; 256],
+        });
     }
 
     #[test]
@@ -560,6 +759,48 @@ mod tests {
             tag: -1,
             payload: Vec::new(),
         });
+        roundtrip(Frame::PartData {
+            rdv_id: 1,
+            offset: 0,
+            payload: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn part_data_fast_path_matches_decode() {
+        let f = Frame::PartData {
+            rdv_id: 9,
+            offset: 4096,
+            payload: vec![0xCD; 33],
+        };
+        let enc = f.encode();
+        let body = &enc[4..];
+        assert!(is_part_data(body_opcode(body).unwrap()));
+        let (rdv_id, offset, payload) = decode_part_data(body).unwrap();
+        assert_eq!((rdv_id, offset), (9, 4096));
+        assert_eq!(payload, &[0xCD; 33][..]);
+        // Non-PartData bodies are refused by the fast path.
+        let cts = Frame::Cts { rdv_id: 9 }.encode();
+        assert!(!is_part_data(body_opcode(&cts[4..]).unwrap()));
+        assert!(decode_part_data(&cts[4..]).is_err());
+    }
+
+    #[test]
+    fn split_header_encoding_matches_the_full_frame() {
+        let payload = vec![0x5A; 57];
+        let full = Frame::PartData {
+            rdv_id: 77,
+            offset: 1 << 20,
+            payload: payload.clone(),
+        }
+        .encode();
+        let mut split = Vec::new();
+        encode_part_data_header(77, 1 << 20, payload.len(), &mut split);
+        assert_eq!(split.len(), 4 + PART_DATA_BODY_HDR);
+        split.extend_from_slice(&payload);
+        assert_eq!(split, full);
+        check_version(split[4]).unwrap();
+        assert!(check_version(WIRE_VERSION + 1).is_err());
     }
 
     #[test]
@@ -567,6 +808,7 @@ mod tests {
         let mut enc = Frame::Bye.encode();
         enc[4] = WIRE_VERSION + 1;
         assert!(Frame::decode(&enc[4..]).is_err());
+        assert!(body_opcode(&enc[4..]).is_err());
     }
 
     #[test]
@@ -579,6 +821,16 @@ mod tests {
     fn truncated_body_is_rejected() {
         let enc = Frame::Cts { rdv_id: 1 }.encode();
         assert!(Frame::decode(&enc[4..enc.len() - 2]).is_err());
+        let part = Frame::PartData {
+            rdv_id: 1,
+            offset: 8,
+            payload: Vec::new(),
+        }
+        .encode();
+        // PartData's fixed header is 16 bytes after version+opcode;
+        // anything shorter is rejected by both decode paths.
+        assert!(Frame::decode(&part[4..part.len() - 2]).is_err());
+        assert!(decode_part_data(&part[4..part.len() - 2]).is_err());
     }
 
     #[test]

@@ -27,6 +27,47 @@ pub const ENV_RANKS: &str = "PCOMM_NET_RANKS";
 pub const ENV_DIR: &str = "PCOMM_NET_DIR";
 /// Env var: socket backend (`uds` / `tcp`).
 pub const ENV_BACKEND: &str = "PCOMM_NET_BACKEND";
+/// Env var: partition-stream aggregation threshold in bytes (the
+/// paper's `MPIR_CVAR_PART_AGGR_SIZE` analogue).
+pub const ENV_AGGR: &str = "PCOMM_NET_AGGR";
+/// Env var: writer lanes per peer pair (the VCI analogue).
+pub const ENV_LANES: &str = "PCOMM_NET_LANES";
+
+/// Default partition-stream aggregation threshold.
+pub const DEFAULT_AGGR: usize = 256 * 1024;
+/// Default writer lanes per peer pair: one ordered lane plus one
+/// data-streaming lane.
+pub const DEFAULT_LANES: usize = 2;
+/// Upper bound on lanes; beyond this the fd and thread cost outweighs
+/// any parallelism on a loopback transport.
+pub const MAX_LANES: usize = 8;
+
+/// Parse a positive decimal env var, falling back to `default` when the
+/// variable is unset or malformed (a typo should degrade, not crash —
+/// same policy as [`MultiprocEnv::from_env`]).
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(v) if v >= 1 => v,
+            _ => {
+                eprintln!("pcomm-net: ignoring malformed {name}={s:?}, using {default}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// The `PCOMM_NET_AGGR` aggregation threshold in bytes.
+pub fn aggr_from_env() -> usize {
+    env_usize(ENV_AGGR, DEFAULT_AGGR)
+}
+
+/// The `PCOMM_NET_LANES` writer-lane count, clamped to `1..=MAX_LANES`.
+/// All ranks read the same environment (SPMD), so the mesh agrees.
+pub fn lanes_from_env() -> usize {
+    env_usize(ENV_LANES, DEFAULT_LANES).min(MAX_LANES)
+}
 
 /// The decoded multiprocess environment of a rank process.
 #[derive(Debug, Clone)]
@@ -174,6 +215,14 @@ mod tests {
         assert!(vars.contains(&(ENV_RANKS.into(), "4".into())));
         assert!(vars.contains(&(ENV_DIR.into(), "/tmp/x".into())));
         assert!(vars.contains(&(ENV_BACKEND.into(), "tcp".into())));
+    }
+
+    #[test]
+    fn knob_defaults_when_unset() {
+        // No in-process test mutates these vars (children get them via
+        // Command env), so the defaults are observable here.
+        assert_eq!(aggr_from_env(), DEFAULT_AGGR);
+        assert_eq!(lanes_from_env(), DEFAULT_LANES);
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! in the shared rendezvous directory; TCP publishes a `.port` file
 //! written temp-then-rename so readers never see a partial write). For
 //! each pair the lower rank connects to the higher rank's listener and
-//! sends a [`Frame::Hello`] carrying its rank and the universe sequence
-//! number; the acceptor uses the hello to identify the peer and to
-//! reject cross-universe connections. Connects never wait on accepts
-//! (the OS listen backlog decouples them), so establishment cannot
-//! deadlock; every blocking step carries a deadline so a missing peer
-//! becomes a typed error, not a hang.
+//! sends a [`Frame::Hello`] carrying its rank, the writer lane the
+//! connection will carry, and the universe sequence number; the acceptor
+//! uses the hello to identify the peer/lane and to reject cross-universe
+//! connections. A pair may be joined by several lanes (`PCOMM_NET_LANES`,
+//! the VCI analogue): lane 0 carries all ordered traffic, higher lanes
+//! carry only order-independent `PartData` ranges. Connects never wait
+//! on accepts (the OS listen backlog decouples them), so establishment
+//! cannot deadlock; every blocking step carries a deadline so a missing
+//! peer becomes a typed error, not a hang.
 
 use std::io::{self, Write};
 use std::net::TcpListener;
@@ -66,17 +69,22 @@ pub struct MeshConfig {
     /// Per-process multiproc universe sequence number; all ranks run the
     /// same program (SPMD), so their counters agree.
     pub seq: u64,
+    /// Writer lanes per peer pair (≥ 1). All ranks must agree (SPMD).
+    pub lanes: usize,
 }
 
-/// The established mesh: one endpoint per peer (`None` at `rank`).
+/// The established mesh: one stream per (peer, lane); `None` at `rank`.
 #[derive(Debug)]
 pub struct Mesh {
     /// This process's rank.
     pub rank: usize,
     /// Total ranks.
     pub n_ranks: usize,
-    /// `peers[r]` is the stream to rank `r`; `None` for self.
-    pub peers: Vec<Option<Endpoint>>,
+    /// Writer lanes per pair.
+    pub lanes: usize,
+    /// `peers[r][lane]` is the stream to rank `r` on `lane`; the outer
+    /// slot is `None` for self.
+    pub peers: Vec<Option<Vec<Endpoint>>>,
 }
 
 fn sock_path(dir: &Path, seq: u64, rank: usize) -> PathBuf {
@@ -115,14 +123,14 @@ fn bind(cfg: &MeshConfig) -> io::Result<Listener> {
 
 fn connect_to(cfg: &MeshConfig, peer: usize, deadline: Instant) -> io::Result<Endpoint> {
     let what = format!("rank {peer} (universe {})", cfg.seq);
-    match cfg.backend {
+    let ep = match cfg.backend {
         Backend::Uds => {
             let path = sock_path(&cfg.dir, cfg.seq, peer);
             connect_retry(
                 || UnixStream::connect(&path).map(Endpoint::Uds),
                 deadline,
                 &what,
-            )
+            )?
         }
         Backend::Tcp => {
             let pfile = port_path(&cfg.dir, cfg.seq, peer);
@@ -133,19 +141,20 @@ fn connect_to(cfg: &MeshConfig, peer: usize, deadline: Instant) -> io::Result<En
                         .parse()
                         .map_err(|_| io::Error::new(io::ErrorKind::NotFound, "bad port file"))?;
                     let s = std::net::TcpStream::connect(("127.0.0.1", port))?;
-                    let _ = s.set_nodelay(true);
                     Ok(Endpoint::Tcp(s))
                 },
                 deadline,
                 &what,
-            )
+            )?
         }
-    }
+    };
+    ep.set_nodelay()?;
+    Ok(ep)
 }
 
 /// Read the opening hello from an accepted connection, bounded by
-/// `deadline`.
-fn read_hello(ep: &mut Endpoint, deadline: Instant) -> io::Result<(u16, u64)> {
+/// `deadline`. Returns `(rank, lane, seq)`.
+fn read_hello(ep: &mut Endpoint, deadline: Instant) -> io::Result<(u16, u16, u64)> {
     let left = deadline
         .checked_duration_since(Instant::now())
         .unwrap_or(Duration::from_millis(1));
@@ -153,7 +162,7 @@ fn read_hello(ep: &mut Endpoint, deadline: Instant) -> io::Result<(u16, u64)> {
     let frame = Frame::read_from(ep)?;
     ep.set_read_timeout(None)?;
     match frame {
-        Frame::Hello { rank, seq } => Ok((rank, seq)),
+        Frame::Hello { rank, lane, seq } => Ok((rank, lane, seq)),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("net: expected Hello, got {}", other.name()),
@@ -161,33 +170,42 @@ fn read_hello(ep: &mut Endpoint, deadline: Instant) -> io::Result<(u16, u64)> {
     }
 }
 
-/// Establish the full mesh for this rank. Returns once a stream to
-/// every peer exists; all streams are blocking.
+/// Establish the full mesh for this rank. Returns once `lanes` streams
+/// to every peer exist; all streams are blocking.
 pub fn establish(cfg: &MeshConfig) -> io::Result<Mesh> {
     assert!(cfg.rank < cfg.n_ranks, "rank out of range");
+    assert!(cfg.lanes >= 1, "at least one lane");
     let deadline = Instant::now() + ESTABLISH_TIMEOUT;
     let listener = bind(cfg)?;
-    let mut peers: Vec<Option<Endpoint>> = (0..cfg.n_ranks).map(|_| None).collect();
+    let mut peers: Vec<Option<Vec<Endpoint>>> = (0..cfg.n_ranks).map(|_| None).collect();
 
     // Outbound first: connect() only needs the peer's listener to be
     // bound (the backlog queues us), never its accept loop — so doing
     // all connects before any accept cannot deadlock.
     for (peer, slot) in peers.iter_mut().enumerate().skip(cfg.rank + 1) {
-        let mut ep = connect_to(cfg, peer, deadline)?;
-        Frame::Hello {
-            rank: cfg.rank as u16,
-            seq: cfg.seq,
+        let mut lanes = Vec::with_capacity(cfg.lanes);
+        for lane in 0..cfg.lanes {
+            let mut ep = connect_to(cfg, peer, deadline)?;
+            Frame::Hello {
+                rank: cfg.rank as u16,
+                lane: lane as u16,
+                seq: cfg.seq,
+            }
+            .write_to(&mut ep)?;
+            ep.flush()?;
+            lanes.push(ep);
         }
-        .write_to(&mut ep)?;
-        ep.flush()?;
-        *slot = Some(ep);
+        *slot = Some(lanes);
     }
 
-    // Then accept one connection per lower rank; the hello tells us who
-    // it is (accept order is arbitrary).
-    for _ in 0..cfg.rank {
+    // Then accept `lanes` connections per lower rank; the hello tells
+    // us who and which lane it is (accept order is arbitrary).
+    let mut accepted: Vec<Vec<Option<Endpoint>>> = (0..cfg.rank)
+        .map(|_| (0..cfg.lanes).map(|_| None).collect())
+        .collect();
+    for _ in 0..cfg.rank * cfg.lanes {
         let mut ep = listener.accept_deadline(deadline)?;
-        let (peer, seq) = read_hello(&mut ep, deadline)?;
+        let (peer, lane, seq) = read_hello(&mut ep, deadline)?;
         if seq != cfg.seq {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -199,14 +217,26 @@ pub fn establish(cfg: &MeshConfig) -> io::Result<Mesh> {
                 ),
             ));
         }
-        let peer = peer as usize;
-        if peer >= cfg.rank || peers[peer].is_some() {
+        let (peer, lane) = (peer as usize, lane as usize);
+        if peer >= cfg.rank || lane >= cfg.lanes || accepted[peer][lane].is_some() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("net: unexpected or duplicate connection from rank {peer}"),
+                format!(
+                    "net: unexpected or duplicate connection from rank {peer} lane {lane} \
+                     (expected {} lanes from ranks below {})",
+                    cfg.lanes, cfg.rank
+                ),
             ));
         }
-        peers[peer] = Some(ep);
+        accepted[peer][lane] = Some(ep);
+    }
+    for (peer, lanes) in accepted.into_iter().enumerate() {
+        peers[peer] = Some(
+            lanes
+                .into_iter()
+                .map(|ep| ep.expect("all lanes accepted"))
+                .collect(),
+        );
     }
 
     // Everyone who needed our listener has connected; drop the
@@ -223,6 +253,7 @@ pub fn establish(cfg: &MeshConfig) -> io::Result<Mesh> {
     Ok(Mesh {
         rank: cfg.rank,
         n_ranks: cfg.n_ranks,
+        lanes: cfg.lanes,
         peers,
     })
 }
@@ -232,7 +263,7 @@ mod tests {
     use super::*;
     use std::io::{Read, Write};
 
-    fn mesh_roundtrip(backend: Backend) {
+    fn mesh_roundtrip(backend: Backend, lanes: usize) {
         let dir = crate::launch::unique_rendezvous_dir().unwrap();
         let n = 3;
         let mut handles = Vec::new();
@@ -243,27 +274,38 @@ mod tests {
                 dir: dir.clone(),
                 backend,
                 seq: 0,
+                lanes,
             };
             handles.push(std::thread::spawn(move || {
                 let mut mesh = establish(&cfg).unwrap();
-                // Everyone sends its rank to everyone, then reads one
-                // byte from each peer.
+                assert_eq!(mesh.lanes, lanes);
+                // Everyone sends (rank, lane) on every lane of every
+                // peer, then reads the identifying pair back.
                 for peer in 0..n {
                     if peer == rank {
                         continue;
                     }
-                    let ep = mesh.peers[peer].as_mut().unwrap();
-                    ep.write_all(&[rank as u8]).unwrap();
-                    ep.flush().unwrap();
+                    let eps = mesh.peers[peer].as_mut().unwrap();
+                    assert_eq!(eps.len(), lanes);
+                    for (lane, ep) in eps.iter_mut().enumerate() {
+                        ep.write_all(&[rank as u8, lane as u8]).unwrap();
+                        ep.flush().unwrap();
+                    }
                 }
                 for peer in 0..n {
                     if peer == rank {
                         continue;
                     }
-                    let ep = mesh.peers[peer].as_mut().unwrap();
-                    let mut b = [0u8; 1];
-                    ep.read_exact(&mut b).unwrap();
-                    assert_eq!(b[0] as usize, peer, "byte identifies the peer stream");
+                    let eps = mesh.peers[peer].as_mut().unwrap();
+                    for (lane, ep) in eps.iter_mut().enumerate() {
+                        let mut b = [0u8; 2];
+                        ep.read_exact(&mut b).unwrap();
+                        assert_eq!(
+                            (b[0] as usize, b[1] as usize),
+                            (peer, lane),
+                            "byte pair identifies the peer stream and lane"
+                        );
+                    }
                 }
             }));
         }
@@ -275,12 +317,22 @@ mod tests {
 
     #[test]
     fn uds_mesh_connects_all_pairs() {
-        mesh_roundtrip(Backend::Uds);
+        mesh_roundtrip(Backend::Uds, 1);
     }
 
     #[test]
     fn tcp_mesh_connects_all_pairs() {
-        mesh_roundtrip(Backend::Tcp);
+        mesh_roundtrip(Backend::Tcp, 1);
+    }
+
+    #[test]
+    fn uds_mesh_connects_multi_lane() {
+        mesh_roundtrip(Backend::Uds, 3);
+    }
+
+    #[test]
+    fn tcp_mesh_connects_multi_lane() {
+        mesh_roundtrip(Backend::Tcp, 2);
     }
 
     #[test]

@@ -161,6 +161,18 @@ fn args_json(kind: &EventKind) -> String {
             peer.map_or(-1i32, |p| p as i32),
             tag.unwrap_or(i64::MIN)
         ),
+        EventKind::StreamChunk {
+            lane,
+            parts,
+            offset,
+            bytes,
+        } => format!("\"lane\":{lane},\"parts\":{parts},\"offset\":{offset},\"bytes\":{bytes}"),
+        EventKind::StreamCommit {
+            lane,
+            msgs,
+            offset,
+            bytes,
+        } => format!("\"lane\":{lane},\"msgs\":{msgs},\"offset\":{offset},\"bytes\":{bytes}"),
     }
 }
 

@@ -228,6 +228,33 @@ pub enum EventKind {
         /// Observed quiet period with no fabric activity, ms.
         quiet_ms: u64,
     },
+    /// A run of ready partitions was coalesced into one `PartData`
+    /// chunk and handed to a writer lane — the wire-streaming analogue
+    /// of [`EventKind::EarlyBird`], recording chunk geometry under the
+    /// `PCOMM_NET_AGGR` threshold. Instant, attributed to the sender.
+    StreamChunk {
+        /// Writer lane the chunk was queued on.
+        lane: u16,
+        /// Partitions coalesced into the chunk.
+        parts: u16,
+        /// Byte offset of the chunk in the whole buffer.
+        offset: u64,
+        /// Chunk bytes.
+        bytes: u64,
+    },
+    /// A `PartData` range landed and was committed into the pinned
+    /// destination buffer, flipping `msgs` per-message completions.
+    /// Instant, attributed to the receiver.
+    StreamCommit {
+        /// Reader lane the range arrived on.
+        lane: u16,
+        /// Per-message completions flipped by this commit.
+        msgs: u16,
+        /// Byte offset of the range in the destination buffer.
+        offset: u64,
+        /// Range bytes.
+        bytes: u64,
+    },
     /// [verify] A partitioned request was created. One per side; `req`
     /// is the low 16 bits of the partitioned context, identical on the
     /// sender and the receiver. Instant.
@@ -402,6 +429,8 @@ const TAG_VERIFY_MSG_RECV: u64 = 24;
 const TAG_VERIFY_PARRIVED: u64 = 25;
 const TAG_VERIFY_WAIT_DONE: u64 = 26;
 const TAG_VERIFY_BLOCKED: u64 = 27;
+const TAG_STREAM_CHUNK: u64 = 28;
+const TAG_STREAM_COMMIT: u64 = 29;
 
 /// `w2` layout shared by the per-partition verify events:
 /// low 32 bits = partition / message index, high 32 bits = iteration.
@@ -574,6 +603,18 @@ impl Event {
                 tag.unwrap_or(0) as u64,
                 0,
             ),
+            EventKind::StreamChunk {
+                lane,
+                parts,
+                offset,
+                bytes,
+            } => (TAG_STREAM_CHUNK, lane, parts, offset, bytes),
+            EventKind::StreamCommit {
+                lane,
+                msgs,
+                offset,
+                bytes,
+            } => (TAG_STREAM_COMMIT, lane, msgs, offset, bytes),
         };
         [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
     }
@@ -731,6 +772,18 @@ impl Event {
                     None
                 },
             },
+            TAG_STREAM_CHUNK => EventKind::StreamChunk {
+                lane: aux1,
+                parts: aux2,
+                offset: w[2],
+                bytes: w[3],
+            },
+            TAG_STREAM_COMMIT => EventKind::StreamCommit {
+                lane: aux1,
+                msgs: aux2,
+                offset: w[2],
+                bytes: w[3],
+            },
             _ => return None,
         };
         Some(Event {
@@ -782,6 +835,8 @@ impl EventKind {
             EventKind::VerifyParrived { .. } => "verify_parrived",
             EventKind::VerifyWaitDone { .. } => "verify_wait_done",
             EventKind::VerifyBlocked { .. } => "verify_blocked",
+            EventKind::StreamChunk { .. } => "stream_chunk",
+            EventKind::StreamCommit { .. } => "stream_commit",
         }
     }
 
@@ -829,6 +884,7 @@ impl EventKind {
             | EventKind::RdvCopy { shard, .. }
             | EventKind::EarlyBird { shard, .. }
             | EventKind::EagerPool { shard, .. } => shard,
+            EventKind::StreamChunk { lane, .. } | EventKind::StreamCommit { lane, .. } => lane,
             _ => 0,
         }
     }
@@ -1053,6 +1109,24 @@ impl fmt::Display for Event {
                     None => Ok(()),
                 }
             }
+            EventKind::StreamChunk {
+                lane,
+                parts,
+                offset,
+                bytes,
+            } => write!(
+                f,
+                "stream chunk lane {lane}: {parts} partition(s) @ {offset} ({bytes} B)"
+            ),
+            EventKind::StreamCommit {
+                lane,
+                msgs,
+                offset,
+                bytes,
+            } => write!(
+                f,
+                "stream commit lane {lane}: range @ {offset} ({bytes} B, {msgs} msg(s) done)"
+            ),
         }
     }
 }
@@ -1202,6 +1276,18 @@ mod tests {
                 peer: Some(1),
                 tag: Some(-2),
             },
+            EventKind::StreamChunk {
+                lane: 1,
+                parts: 4,
+                offset: 1 << 18,
+                bytes: 1 << 18,
+            },
+            EventKind::StreamCommit {
+                lane: 1,
+                msgs: 2,
+                offset: 1 << 18,
+                bytes: 1 << 18,
+            },
         ]
     }
 
@@ -1245,8 +1331,10 @@ mod tests {
     #[test]
     fn names_are_unique_and_stable() {
         let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 27);
+        assert_eq!(names.len(), 29);
         assert!(names.contains("shard_lock_wait"));
+        assert!(names.contains("stream_chunk"));
+        assert!(names.contains("stream_commit"));
         assert!(names.contains("early_bird_send"));
         assert!(names.contains("eager_pool"));
         assert!(names.contains("probe_stats"));

@@ -78,6 +78,9 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
     let mut retries = 0u64;
     let mut stalls: Vec<(u16, u64, u64)> = Vec::new();
     let mut verify_events = 0u64;
+    let (mut chunks, mut chunk_bytes, mut chunk_parts) = (0u64, 0u64, 0u64);
+    let (mut commits, mut commit_bytes) = (0u64, 0u64);
+    let mut chunk_lanes: BTreeMap<u16, u64> = BTreeMap::new();
 
     // Per-rank wait-side blocking spans, for the overlap fraction.
     let mut blocked: BTreeMap<u16, Vec<(u64, u64)>> = BTreeMap::new();
@@ -153,6 +156,18 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
                 watchdog_ms,
                 quiet_ms,
             } => stalls.push((blocked, watchdog_ms, quiet_ms)),
+            EventKind::StreamChunk {
+                lane, parts, bytes, ..
+            } => {
+                chunks += 1;
+                chunk_bytes += bytes;
+                chunk_parts += parts as u64;
+                *chunk_lanes.entry(lane).or_default() += 1;
+            }
+            EventKind::StreamCommit { bytes, .. } => {
+                commits += 1;
+                commit_bytes += bytes;
+            }
             // Analysis-grade events are consumed by pcomm-verify; the
             // summary only counts them.
             k if k.is_verify() => verify_events += 1,
@@ -274,6 +289,28 @@ pub fn summary_report(events: &[Event], dropped: u64) -> String {
             "part waits:       {part_waits}  total blocked {}",
             fmt_ns(part_wait_ns),
         );
+    }
+    if chunks + commits > 0 {
+        let _ = writeln!(out, "\nwire streaming");
+        let _ = writeln!(out, "--------------");
+        if let Some(mean) = chunk_bytes.checked_div(chunks) {
+            let _ = writeln!(
+                out,
+                "chunks sent:      {chunks} ({chunk_parts} partitions, {chunk_bytes} bytes, \
+                 mean {mean} B/chunk)",
+            );
+            let lanes: Vec<String> = chunk_lanes
+                .iter()
+                .map(|(lane, n)| format!("lane {lane}: {n}"))
+                .collect();
+            let _ = writeln!(out, "lane spread:      {}", lanes.join("  "));
+        }
+        if commits > 0 {
+            let _ = writeln!(
+                out,
+                "ranges committed: {commits} ({commit_bytes} bytes received)"
+            );
+        }
     }
 
     if epochs + rma_puts > 0 {
@@ -471,6 +508,49 @@ mod tests {
         );
         // A fault-free trace has no chaos section.
         assert!(!summary_report(&[], 0).contains("chaos"));
+    }
+
+    #[test]
+    fn streaming_section_appears_when_chunks_recorded() {
+        let events = vec![
+            ev(
+                10,
+                1,
+                EventKind::StreamChunk {
+                    lane: 1,
+                    parts: 4,
+                    offset: 0,
+                    bytes: 256 * 1024,
+                },
+            ),
+            ev(
+                20,
+                1,
+                EventKind::StreamChunk {
+                    lane: 2,
+                    parts: 4,
+                    offset: 256 * 1024,
+                    bytes: 256 * 1024,
+                },
+            ),
+            ev(
+                30,
+                0,
+                EventKind::StreamCommit {
+                    lane: 1,
+                    msgs: 2,
+                    offset: 0,
+                    bytes: 256 * 1024,
+                },
+            ),
+        ];
+        let rpt = summary_report(&events, 0);
+        assert!(rpt.contains("wire streaming"));
+        assert!(rpt.contains("chunks sent:      2 (8 partitions"));
+        assert!(rpt.contains("lane 1: 1  lane 2: 1"));
+        assert!(rpt.contains("ranges committed: 1"));
+        // A stream-free trace has no streaming section.
+        assert!(!summary_report(&[], 0).contains("wire streaming"));
     }
 
     #[test]

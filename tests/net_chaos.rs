@@ -10,6 +10,7 @@ use std::io::Read;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
+use pcomm::core::part::PartOptions;
 use pcomm::core::{PcommError, Universe};
 use pcomm::net::{launch, Backend, MultiprocEnv};
 
@@ -38,6 +39,77 @@ fn echo_workload() -> Result<Vec<u8>, PcommError> {
             sum
         }
     })
+}
+
+const STREAM_PARTS: usize = 8;
+const STREAM_PART_BYTES: usize = 4 * 1024;
+
+/// The streaming workload: one partitioned transfer rank 1 → rank 0
+/// with the default (streaming, early-bird) options, partitions readied
+/// one by one so every `PartData` range crosses the wire separately.
+fn stream_workload() -> Result<Vec<u8>, PcommError> {
+    Universe::new(2).run(|comm| {
+        let opts = PartOptions::default();
+        if comm.rank() == 1 {
+            let ps = comm.psend_init(0, 5, STREAM_PARTS, STREAM_PART_BYTES, opts);
+            ps.start();
+            for p in 0..STREAM_PARTS {
+                ps.write_partition(p, |b| b.fill(p as u8 + 1));
+                ps.pready(p);
+            }
+            ps.wait();
+            0u8
+        } else {
+            let pr = comm.precv_init(1, 5, STREAM_PARTS, STREAM_PART_BYTES, opts);
+            pr.start();
+            pr.wait();
+            let mut sum = 0u8;
+            for p in 0..STREAM_PARTS {
+                pr.read_partition(p, |b| {
+                    assert!(
+                        b.iter().all(|&x| x == p as u8 + 1),
+                        "partition {p} payload survived chaos"
+                    );
+                    sum = sum.wrapping_add(b[0]);
+                });
+            }
+            sum
+        }
+    })
+}
+
+/// SPMD child: seeded `PartData` drops with a retry budget must still
+/// land every partition intact. Empty no-op when run as a plain test.
+#[test]
+fn net_chaos_stream_recovery_child() {
+    if MultiprocEnv::from_env().is_none() {
+        return;
+    }
+    stream_workload().expect("bounded resend must recover dropped PartData ranges");
+}
+
+/// SPMD child: certain drop with no retries must yield `MessageLost` on
+/// both ranks of a streaming transfer. Empty no-op as a plain test.
+#[test]
+fn net_chaos_stream_lost_child() {
+    if MultiprocEnv::from_env().is_none() {
+        return;
+    }
+    match stream_workload() {
+        Err(PcommError::MessageLost { .. }) => {}
+        other => panic!("expected MessageLost on the streaming wire, got {other:?}"),
+    }
+}
+
+/// SPMD child: the streaming path must come back clean under the verify
+/// layer (the parent arms `PCOMM_VERIFY=1`; a finding turns the run
+/// into an error). Empty no-op when run as a plain test.
+#[test]
+fn net_chaos_stream_verify_child() {
+    if MultiprocEnv::from_env().is_none() {
+        return;
+    }
+    stream_workload().expect("streaming must be clean under PCOMM_VERIFY=1");
 }
 
 /// SPMD child: drops at p=0.5 with a deep retry budget must still
@@ -99,7 +171,11 @@ fn net_chaos_kill_child() {
     }
 }
 
-fn spawn_mesh(child_test: &str, faults: Option<&str>) -> (std::path::PathBuf, Vec<Child>) {
+fn spawn_mesh(
+    child_test: &str,
+    faults: Option<&str>,
+    verify: bool,
+) -> (std::path::PathBuf, Vec<Child>) {
     let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
     let spmd = MultiprocEnv {
         rank: 0,
@@ -118,6 +194,11 @@ fn spawn_mesh(child_test: &str, faults: Option<&str>) -> (std::path::PathBuf, Ve
                 Some(spec) => cmd.env("PCOMM_FAULTS", spec),
                 None => cmd.env_remove("PCOMM_FAULTS"),
             };
+            if verify {
+                cmd.env("PCOMM_VERIFY", "1");
+            } else {
+                cmd.env_remove("PCOMM_VERIFY");
+            }
             spmd.apply_to(&mut cmd, rank);
             cmd.spawn().expect("spawn SPMD child")
         })
@@ -153,6 +234,7 @@ fn seeded_drops_over_uds_recover_via_resend() {
     let (dir, children) = spawn_mesh(
         "net_chaos_recovery_child",
         Some("seed=7,drop=0.5,retries=24"),
+        false,
     );
     for (rank, child) in children.into_iter().enumerate() {
         assert_eq!(wait_code(child, &format!("rank {rank}")), 0);
@@ -162,7 +244,11 @@ fn seeded_drops_over_uds_recover_via_resend() {
 
 #[test]
 fn certain_drop_over_uds_is_message_lost_on_both_ranks() {
-    let (dir, children) = spawn_mesh("net_chaos_lost_child", Some("seed=1,drop=1.0,retries=0"));
+    let (dir, children) = spawn_mesh(
+        "net_chaos_lost_child",
+        Some("seed=1,drop=1.0,retries=0"),
+        false,
+    );
     for (rank, child) in children.into_iter().enumerate() {
         // Exit 0 means the child saw exactly MessageLost — on both sides.
         assert_eq!(wait_code(child, &format!("rank {rank}")), 0);
@@ -171,8 +257,44 @@ fn certain_drop_over_uds_is_message_lost_on_both_ranks() {
 }
 
 #[test]
+fn seeded_part_data_drops_over_uds_recover_via_resend() {
+    let (dir, children) = spawn_mesh(
+        "net_chaos_stream_recovery_child",
+        Some("seed=11,drop=0.5,retries=24"),
+        false,
+    );
+    for (rank, child) in children.into_iter().enumerate() {
+        assert_eq!(wait_code(child, &format!("rank {rank}")), 0);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn certain_part_data_drop_is_message_lost_on_both_ranks() {
+    let (dir, children) = spawn_mesh(
+        "net_chaos_stream_lost_child",
+        Some("seed=3,drop=1.0,retries=0"),
+        false,
+    );
+    for (rank, child) in children.into_iter().enumerate() {
+        // Exit 0 means the child saw exactly MessageLost — on both sides.
+        assert_eq!(wait_code(child, &format!("rank {rank}")), 0);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn streaming_transfer_is_clean_under_verify() {
+    let (dir, children) = spawn_mesh("net_chaos_stream_verify_child", None, true);
+    for (rank, child) in children.into_iter().enumerate() {
+        assert_eq!(wait_code(child, &format!("rank {rank}")), 0);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn killed_rank_process_surfaces_peer_panicked_not_a_hang() {
-    let (dir, children) = spawn_mesh("net_chaos_kill_child", None);
+    let (dir, children) = spawn_mesh("net_chaos_kill_child", None, false);
     let codes: Vec<i32> = children
         .into_iter()
         .enumerate()
