@@ -119,4 +119,45 @@ for attempt in 1 2 3; do
     fi
 done
 
+echo "== wire chaos (seeded wire faults under pcomm-launch, must never hang) =="
+# The self-healing matrix: reset, torn-write/short-read, and lane-kill
+# plans over two examples running as real processes. Same contract as
+# the in-process chaos smoke — recover (exit 0) or fail with a typed
+# error (exit 2); a hang past the watchdog (timeout exit 124) or a
+# panic/abort fails CI. Lane kills run on a 3-lane mesh so the stream
+# has survivors to fail over to.
+wire_chaos() {
+    name="$1"; spec="$2"; lanes="${3:-2}"
+    echo "-- $name under pcomm-launch -n 2, PCOMM_FAULTS='$spec' (lanes=$lanes)"
+    status=0
+    PCOMM_FAULTS="$spec" PCOMM_WATCHDOG_MS=5000 PCOMM_NET_LANES="$lanes" \
+        timeout 120 ./target/release/pcomm-launch -n 2 -- \
+        "./target/release/examples/$name" >/dev/null 2>&1 || status=$?
+    case "$status" in
+        0) echo "   recovered (exit 0)" ;;
+        2) echo "   clean typed error (exit 2)" ;;
+        124) echo "   HANG over the wire: watchdog failed to fire" >&2; exit 1 ;;
+        *) echo "   unclean exit $status (panic/abort?)" >&2; exit 1 ;;
+    esac
+}
+for name in pingpong halo_exchange; do
+    wire_chaos "$name" "seed=42,reset=0.001"
+    wire_chaos "$name" "seed=42,torn=0.3,shortread=0.3"
+    wire_chaos "$name" "seed=42,lanekill=2:65536" 3
+done
+# Degraded-bandwidth floor: kill a data lane mid-stream and require the
+# failover path to keep at least half the healthy partitioned bandwidth
+# (bounded retries against shared-box noise, like the guard above).
+for attempt in 1 2 3; do
+    if PCOMM_NETBENCH_PART_ONLY=1 cargo run --release -p pcomm-bench --bin netbench --offline -- \
+        --quick --degraded --out target/bench_net_degraded.json; then
+        break
+    elif [ "$attempt" = 3 ]; then
+        echo "netbench --degraded failed on all $attempt attempts" >&2
+        exit 1
+    else
+        echo "netbench --degraded attempt $attempt failed; retrying" >&2
+    fi
+done
+
 echo "CI OK"

@@ -245,10 +245,14 @@ fn run_child(quick: bool) {
     }
 }
 
-/// Spawn the UDS pass: this binary, twice, as a 2-rank SPMD mesh.
-/// Returns the three figures plus the crossover sweep (as a JSON object,
-/// passed through to the output file verbatim).
-fn run_uds_pass(quick: bool) -> (NetNumbers, String) {
+/// Spawn this binary twice as a 2-rank SPMD mesh over UDS and return
+/// rank 0's raw result file. `common_env` applies to both ranks,
+/// `rank1_env` only to rank 1 (per-rank fault plans).
+fn spawn_uds_children(
+    quick: bool,
+    common_env: &[(&str, &str)],
+    rank1_env: &[(&str, &str)],
+) -> String {
     let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
     let spmd = MultiprocEnv {
         rank: 0,
@@ -266,6 +270,14 @@ fn run_uds_pass(quick: bool) -> (NetNumbers, String) {
             }
             cmd.stdout(Stdio::null());
             spmd.apply_to(&mut cmd, rank);
+            for (k, v) in common_env {
+                cmd.env(k, v);
+            }
+            if rank == 1 {
+                for (k, v) in rank1_env {
+                    cmd.env(k, v);
+                }
+            }
             cmd.spawn().expect("spawn netbench child")
         })
         .collect();
@@ -287,27 +299,44 @@ fn run_uds_pass(quick: bool) -> (NetNumbers, String) {
     }
     let raw = std::fs::read_to_string(dir.join("out-0")).expect("child results");
     let _ = std::fs::remove_dir_all(&dir);
-    let field = |key: &str| -> f64 {
-        let pat = format!("\"{key}\":");
-        let at = raw.find(&pat).unwrap_or_else(|| panic!("missing {key}")) + pat.len();
-        raw[at..]
-            .trim_start()
-            .split([',', '\n', '}'])
-            .next()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or_else(|| panic!("bad {key} in child output"))
-    };
+    raw
+}
+
+/// Read `"key": <number>` from `json`, panicking with context if absent.
+fn field(json: &str, key: &str) -> f64 {
+    json_f64(json, key).unwrap_or_else(|| panic!("missing or bad {key} in child output"))
+}
+
+/// Spawn the UDS pass: this binary, twice, as a 2-rank SPMD mesh.
+/// Returns the three figures plus the crossover sweep (as a JSON object,
+/// passed through to the output file verbatim).
+fn run_uds_pass(quick: bool) -> (NetNumbers, String) {
+    let raw = spawn_uds_children(quick, &[], &[]);
     let sweep = extract_object(&raw, "sweep")
         .expect("missing sweep in child output")
         .to_owned();
     (
         NetNumbers {
-            pingpong_small_ns: field("pingpong_small_ns"),
-            pingpong_large_us: field("pingpong_large_us"),
-            part_bw_mbps: field("part_bw_mbps"),
+            pingpong_small_ns: field(&raw, "pingpong_small_ns"),
+            pingpong_large_us: field(&raw, "pingpong_large_us"),
+            part_bw_mbps: field(&raw, "part_bw_mbps"),
         },
         sweep,
     )
+}
+
+/// The `--degraded` pass: the same partitioned-bandwidth workload over a
+/// 3-lane mesh whose data lane 2 is killed (seeded) 128 KiB into the
+/// sender's stream. The writer fails the lane over to the survivor
+/// mid-transfer; the min-of-reps figure is therefore the steady-state
+/// bandwidth of the degraded mesh, not the hiccup itself.
+fn run_degraded_pass(quick: bool) -> f64 {
+    let raw = spawn_uds_children(
+        quick,
+        &[("PCOMM_NETBENCH_PART_ONLY", "1"), ("PCOMM_NET_LANES", "3")],
+        &[("PCOMM_FAULTS", "seed=7,lanekill=2:131072")],
+    );
+    field(&raw, "part_bw_mbps")
 }
 
 /// Extract the balanced-brace object following `"<key>":` in `json`.
@@ -390,6 +419,7 @@ fn main() {
         return;
     }
     let set_baseline = args.iter().any(|a| a == "--set-baseline");
+    let degraded = args.iter().any(|a| a == "--degraded");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -404,6 +434,10 @@ fn main() {
     let shm = wire_sections(quick);
     eprintln!("netbench: UDS pass (2 processes) ...");
     let (uds, sweep) = run_uds_pass(quick);
+    let degraded_bw = degraded.then(|| {
+        eprintln!("netbench: degraded pass (lane 2 killed mid-stream) ...");
+        run_degraded_pass(quick)
+    });
 
     println!("                          shared-mem          UDS");
     println!(
@@ -418,6 +452,13 @@ fn main() {
         "partitioned 1 MiB    {:>10.1} MB/s  {:>10.1} MB/s",
         shm.part_bw_mbps, uds.part_bw_mbps
     );
+    if let Some(bw) = degraded_bw {
+        println!(
+            "  degraded (lane killed) {:>24.1} MB/s  ({:.2}x healthy)",
+            bw,
+            bw / uds.part_bw_mbps.max(f64::MIN_POSITIVE)
+        );
+    }
     println!("early-bird crossover (uds, {SWEEP_PARTS} parts):");
     println!("      bytes      stream      legacy");
     for &bytes in &SWEEP_BYTES {
@@ -443,6 +484,21 @@ fn main() {
             .and_then(|old| extract_object(&old, "baseline").map(str::to_owned))
             .unwrap_or_else(|| pair_json("baseline", shm, uds))
     };
+    let degraded_json = match degraded_bw {
+        Some(bw) => format!(
+            concat!(
+                "  \"degraded\": {{\n",
+                "    \"part_bw_mbps\": {:.1},\n",
+                "    \"healthy_part_bw_mbps\": {:.1},\n",
+                "    \"ratio\": {:.3}\n",
+                "  }},\n"
+            ),
+            bw,
+            uds.part_bw_mbps,
+            bw / uds.part_bw_mbps.max(f64::MIN_POSITIVE)
+        ),
+        None => String::new(),
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -450,17 +506,36 @@ fn main() {
             "  \"mode\": \"{}\",\n",
             "  \"baseline\": {},\n",
             "  \"current\": {},\n",
+            "{}",
             "  \"sweep\": {}\n",
             "}}\n"
         ),
         if quick { "quick" } else { "full" },
         baseline,
         current,
+        degraded_json,
         sweep
     );
     std::fs::write(&out_path, json).expect("write bench output");
     eprintln!("netbench: wrote {out_path}");
     if let Some(gpath) = guard_path {
         run_guard(&gpath, uds);
+    }
+    if let Some(bw) = degraded_bw {
+        // A mesh minus one data lane must keep at least half its healthy
+        // bandwidth — failover that limps is a regression, fail loudly.
+        let floor = uds.part_bw_mbps * 0.5;
+        if bw < floor {
+            eprintln!(
+                "netbench: DEGRADED FLOOR FAILED: {bw:.1} MB/s < {floor:.1} MB/s \
+                 (healthy {:.1} MB/s, 0.5x floor)",
+                uds.part_bw_mbps
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "netbench: degraded ok: {bw:.1} MB/s >= {floor:.1} MB/s (healthy {:.1} MB/s)",
+            uds.part_bw_mbps
+        );
     }
 }

@@ -81,6 +81,15 @@ pub struct PeerSocketState {
     pub frames_received: u64,
     /// Rendezvous sends to this peer still waiting for their CTS.
     pub pending_rdv: usize,
+    /// Writer messages queued toward this peer across all lanes (the
+    /// channels are unbounded, so backlog depth — not blocking — is the
+    /// congestion signal).
+    pub queued: u64,
+    /// Data lanes to this peer that died and were failed over.
+    pub lanes_down: u16,
+    /// Milliseconds since the last frame arrived from this peer (the
+    /// liveness signal the heartbeat monitor escalates on).
+    pub quiet_ms: u64,
 }
 
 /// Structured diagnosis the watchdog produces instead of hanging.
@@ -151,7 +160,8 @@ impl fmt::Display for StallReport {
         for p in &self.peers {
             writeln!(
                 f,
-                "  peer rank {}: {}, {} frames sent / {} received, {} rendezvous pending",
+                "  peer rank {}: {}, {} frames sent / {} received, {} rendezvous pending, \
+                 {} queued, {} lane(s) down, quiet {} ms",
                 p.peer,
                 if p.connected {
                     "connected"
@@ -160,7 +170,10 @@ impl fmt::Display for StallReport {
                 },
                 p.frames_sent,
                 p.frames_received,
-                p.pending_rdv
+                p.pending_rdv,
+                p.queued,
+                p.lanes_down,
+                p.quiet_ms
             )?;
         }
         Ok(())

@@ -59,20 +59,20 @@
 //! failing process broadcasts an `Abort` frame, then `shutdown(2)`
 //! unblocks its own readers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pcomm_net::frame::{
     self, Frame, ABORT_MESSAGE_LOST, ABORT_MISUSE, ABORT_MISUSE_RANK, ABORT_PEER_PANICKED,
-    MAX_FRAME_BODY,
+    MAX_FRAME_BODY, MAX_RESYNC_RANGES,
 };
-use pcomm_net::{Endpoint, Mesh};
-use pcomm_trace::EventKind;
+use pcomm_net::{Endpoint, Mesh, MeshConfig, WireFault, WireFaults};
+use pcomm_trace::{EventKind, FaultKind, FaultPlan};
 
 use crate::error::{PcommError, PeerSocketState};
 use crate::fabric::{Fabric, MsgInfo, PostedRecv};
@@ -91,6 +91,17 @@ const FINALIZE_TIMEOUT: Duration = Duration::from_secs(30);
 /// this the batch spans enough bytes that syscall overhead is already
 /// amortised.
 const WRITER_BATCH: usize = 16;
+
+/// Hard bound on the single lane-0 reconnect attempt: long enough for
+/// the peer to notice its own side died and rendezvous, short enough
+/// that a genuinely dead peer becomes a typed error well inside the
+/// default chaos watchdog budget.
+const RECONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// First writer-queue depth that emits a `WriterQueue` trace event; each
+/// further event needs double the depth (the channels are unbounded, so
+/// depth growth — not blocking — is the congestion signal).
+const QUEUE_HWM_BASE: usize = 64;
 
 /// How a fabric reaches ranks hosted outside this process. All methods
 /// except the introspective ones are called only for remote ranks of a
@@ -359,6 +370,11 @@ struct StreamRecv {
     /// when this hits zero.
     remaining_total: AtomicUsize,
     msgs: Vec<PartStreamMsg>,
+    /// Sorted, disjoint byte intervals already committed. Failover and
+    /// reconnect replay whole batches (at-least-once delivery), so every
+    /// commit first claims its range here and only the never-seen-before
+    /// sub-ranges count — a duplicate `PartData` is a no-op.
+    committed: Mutex<Vec<(usize, usize)>>,
 }
 
 // SAFETY: same argument as [`PartStreamRecv`]; `Sync` because multiple
@@ -436,8 +452,43 @@ struct Lane {
     /// directly, skipping the context switch that would otherwise cap
     /// partitioned bandwidth on small machines. App threads never
     /// write here — a `pready` must not donate its timeslice to a
-    /// blocking socket write.
+    /// blocking socket write. After a lane-0 reconnect this holds the
+    /// re-handshaken endpoint.
     direct: Mutex<Option<Endpoint>>,
+    /// Cleared when the lane's socket dies; dead data lanes drop out of
+    /// the round-robin and their in-flight work fails over.
+    alive: AtomicBool,
+    /// Writer messages enqueued but not yet consumed by the writer
+    /// thread (the backlog of the unbounded channel).
+    queued: AtomicUsize,
+}
+
+impl Lane {
+    /// Enqueue one writer message, keeping the backlog counter honest.
+    /// Gives the message back when the writer thread is gone (lane died
+    /// or teardown), so callers can reroute it.
+    fn enqueue(&self, msg: WriterMsg) -> Result<(), WriterMsg> {
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        match self.tx.send(msg) {
+            Ok(()) => Ok(()),
+            Err(back) => {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(back.0)
+            }
+        }
+    }
+}
+
+/// Outcome of the single bounded lane-0 reconnect attempt for a peer.
+enum Reconnected {
+    /// Never attempted.
+    No,
+    /// Attempted and failed: the peer is gone for good.
+    Failed,
+    /// The re-handshaken lane-0 endpoint (reader/writer use clones; kept
+    /// here so teardown can `shutdown` / time-bound it like the
+    /// original).
+    Yes(Endpoint),
 }
 
 /// Per-peer socket machinery: `lanes[0]` is the ordered lane, the rest
@@ -450,6 +501,14 @@ struct Peer {
     saw_bye: Arc<AtomicBool>,
     /// Round-robin cursor over the data lanes.
     next_lane: AtomicUsize,
+    /// Transport-relative ms timestamp of the last frame read from this
+    /// peer on any lane — the liveness signal the heartbeat monitor
+    /// escalates on.
+    last_heard_ms: AtomicU64,
+    /// The one bounded lane-0 reconnect, shared by the reader and writer
+    /// threads (whichever notices the death first performs it; the other
+    /// blocks on this lock and reuses the outcome).
+    reconnect: Mutex<Reconnected>,
 }
 
 /// The socket progress engine: per-peer-per-lane reader/writer threads
@@ -474,8 +533,10 @@ pub(crate) struct SocketTransport {
     streams_in: Mutex<HashMap<(usize, u64), Arc<StreamRecv>>>,
     /// This process's barrier generation counter (SPMD-aligned).
     barrier_gen: AtomicU64,
-    /// Rank 0 only: arrival counts per generation.
-    arrivals: Mutex<HashMap<u64, usize>>,
+    /// Rank 0 only: which ranks arrived per generation. A set, not a
+    /// count: the ordered lane is at-least-once across a reconnect, so a
+    /// replayed `BarrierArrive` must not double-count.
+    arrivals: Mutex<HashMap<u64, HashSet<usize>>>,
     /// Release completions per generation (waiter or release creates).
     releases: Mutex<HashMap<u64, Arc<Completion>>>,
     /// Window announcements: completion + announced length per win ctx.
@@ -487,22 +548,75 @@ pub(crate) struct SocketTransport {
     get_waiters: Mutex<HashMap<u64, (Arc<Completion>, Arc<Mutex<Option<Vec<u8>>>>)>>,
     abort_sent: AtomicBool,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Mesh parameters, kept for the bounded lane-0 reconnect.
+    cfg: MeshConfig,
+    /// `PCOMM_NET_HB_MS`: heartbeat interval; `None` disables liveness.
+    hb_ms: Option<u64>,
+    hb_stop: AtomicBool,
+    hb_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Transport epoch for the ms timestamps in `last_heard_ms`.
+    t0: Instant,
+    /// Sender side: span sets of live outgoing streams, for answering a
+    /// receiver's `StreamResync` after a reconnect. Pruned lazily when
+    /// new streams begin.
+    resync_spans: Mutex<HashMap<u64, Arc<Vec<SendSpan>>>>,
+    /// Set by `start`; lets the wire-fault observer (built in `new`,
+    /// before the fabric exists) emit trace events. `Weak` so the
+    /// fabric → transport → endpoint → observer chain is not a cycle.
+    fault_obs: Arc<OnceLock<Weak<Fabric>>>,
 }
 
 impl SocketTransport {
     /// Wrap an established mesh. Threads start in
-    /// [`SocketTransport::start`], once the fabric exists.
-    pub(crate) fn new(mesh: Mesh) -> SocketTransport {
+    /// [`SocketTransport::start`], once the fabric exists. When `plan`
+    /// carries wire-class faults every lane endpoint is wrapped in the
+    /// seeded fault injector, with an observer that traces each
+    /// injection once the fabric is attached.
+    pub(crate) fn new(mesh: Mesh, cfg: MeshConfig, plan: Option<&FaultPlan>) -> SocketTransport {
         let rank = mesh.rank;
         let n_ranks = mesh.n_ranks;
+        let fault_obs: Arc<OnceLock<Weak<Fabric>>> = Arc::new(OnceLock::new());
+        let wire = plan.filter(|p| p.any_wire_faults()).map(|p| {
+            let obs = Arc::clone(&fault_obs);
+            let local = rank as u16;
+            Arc::new(WireFaults {
+                seed: p.seed,
+                torn: p.wire_torn_p,
+                short_read: p.wire_short_read_p,
+                garbage: p.wire_garbage_p,
+                reset: p.wire_reset_p,
+                lane_kill: p.wire_lane_kill,
+                half_open: p.wire_half_open,
+                on_fault: Some(Arc::new(move |kind, peer, lane| {
+                    if let Some(fabric) = obs.get().and_then(Weak::upgrade) {
+                        fabric.trace().emit(local, || EventKind::FaultInjected {
+                            fault: wire_fault_kind(kind),
+                            dst: peer as u16,
+                            tag: lane as i64,
+                            arg: 0,
+                        });
+                    }
+                })),
+            })
+        });
         let peers = mesh
             .peers
             .into_iter()
-            .map(|eps| {
+            .enumerate()
+            .map(|(peer_rank, eps)| {
                 eps.map(|endpoints| {
                     let lanes = endpoints
                         .into_iter()
-                        .map(|endpoint| {
+                        .enumerate()
+                        .map(|(lane_idx, endpoint)| {
+                            let endpoint = match &wire {
+                                Some(plan) => endpoint.with_faults(
+                                    Arc::clone(plan),
+                                    peer_rank as u32,
+                                    lane_idx as u32,
+                                ),
+                                None => endpoint,
+                            };
                             let (tx, rx) = std::sync::mpsc::channel();
                             Lane {
                                 endpoint,
@@ -510,6 +624,8 @@ impl SocketTransport {
                                 rx: Mutex::new(Some(rx)),
                                 writer: Mutex::new(None),
                                 direct: Mutex::new(None),
+                                alive: AtomicBool::new(true),
+                                queued: AtomicUsize::new(0),
                             }
                         })
                         .collect();
@@ -520,6 +636,8 @@ impl SocketTransport {
                         frames_received: Arc::new(AtomicU64::new(0)),
                         saw_bye: Arc::new(AtomicBool::new(false)),
                         next_lane: AtomicUsize::new(0),
+                        last_heard_ms: AtomicU64::new(0),
+                        reconnect: Mutex::new(Reconnected::No),
                     }
                 })
             })
@@ -543,17 +661,50 @@ impl SocketTransport {
             get_waiters: Mutex::new(HashMap::new()),
             abort_sent: AtomicBool::new(false),
             readers: Mutex::new(Vec::new()),
+            cfg,
+            hb_ms: pcomm_net::launch::hb_ms_from_env(),
+            hb_stop: AtomicBool::new(false),
+            hb_thread: Mutex::new(None),
+            t0: Instant::now(),
+            resync_spans: Mutex::new(HashMap::new()),
+            fault_obs,
         }
     }
 
-    /// Spawn the per-peer-per-lane reader and writer threads. Called
-    /// once, after the fabric referencing this transport exists.
-    pub(crate) fn start(self: &Arc<SocketTransport>, fabric: &Arc<Fabric>) {
+    /// Milliseconds since the transport was built (the epoch of
+    /// `last_heard_ms`).
+    fn now_ms(&self) -> u64 {
+        self.t0.elapsed().as_millis() as u64
+    }
+
+    /// A frame arrived from `peer` — refresh its liveness timestamp.
+    fn note_heard(&self, peer: usize) {
+        if let Some(p) = &self.peers[peer] {
+            p.last_heard_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Spawn the per-peer-per-lane reader and writer threads (plus the
+    /// heartbeat monitor when enabled). Called once, after the fabric
+    /// referencing this transport exists. Thread-spawn or socket-clone
+    /// failure comes back as a typed error instead of a panic: resource
+    /// exhaustion at launch is an environment problem, not a bug.
+    pub(crate) fn start(
+        self: &Arc<SocketTransport>,
+        fabric: &Arc<Fabric>,
+    ) -> Result<(), PcommError> {
+        let start_err = |what: &str, e: io::Error| PcommError::Misuse {
+            rank: Some(self.rank),
+            detail: format!("transport start: {what}: {e}"),
+        };
+        let _ = self.fault_obs.set(Arc::downgrade(fabric));
+        let now = self.now_ms();
         let mut readers = self.readers.lock();
         for (peer_rank, peer) in self.peers.iter().enumerate() {
             let Some(peer) = peer else {
                 continue;
             };
+            peer.last_heard_ms.store(now, Ordering::Relaxed);
             for (lane_idx, lane) in peer.lanes.iter().enumerate() {
                 let rx = lane
                     .rx
@@ -567,7 +718,11 @@ impl SocketTransport {
                 // for a scheduler quantum on oversubscribed hosts);
                 // reader threads releasing a CTS batch write directly
                 // under the same mutex, skipping the thread hop.
-                *lane.direct.lock() = Some(lane.endpoint.try_clone().expect("endpoint clone"));
+                *lane.direct.lock() = Some(
+                    lane.endpoint
+                        .try_clone()
+                        .map_err(|e| start_err("cloning the lane write handle", e))?,
+                );
                 let sent = Arc::clone(&peer.frames_sent);
                 let connected = Arc::clone(&peer.connected);
                 let f = Arc::clone(fabric);
@@ -575,10 +730,13 @@ impl SocketTransport {
                 let writer = std::thread::Builder::new()
                     .name(format!("pcomm-wr{peer_rank}.{lane_idx}"))
                     .spawn(move || writer_loop(t, rx, f, peer_rank, lane_idx, sent, connected))
-                    .expect("spawn writer thread");
+                    .map_err(|e| start_err("spawning a writer thread", e))?;
                 *lane.writer.lock() = Some(writer);
 
-                let ep = lane.endpoint.try_clone().expect("endpoint clone");
+                let ep = lane
+                    .endpoint
+                    .try_clone()
+                    .map_err(|e| start_err("cloning the lane read handle", e))?;
                 let received = Arc::clone(&peer.frames_received);
                 let connected = Arc::clone(&peer.connected);
                 let saw_bye = Arc::clone(&peer.saw_bye);
@@ -589,10 +747,21 @@ impl SocketTransport {
                     .spawn(move || {
                         reader_loop(t, f, peer_rank, lane_idx, ep, received, connected, saw_bye)
                     })
-                    .expect("spawn reader thread");
+                    .map_err(|e| start_err("spawning a reader thread", e))?;
                 readers.push(reader);
             }
         }
+        drop(readers);
+        if self.hb_ms.is_some() {
+            let t = Arc::clone(self);
+            let f = Arc::clone(fabric);
+            let hb = std::thread::Builder::new()
+                .name("pcomm-hb".into())
+                .spawn(move || heartbeat_loop(t, f))
+                .map_err(|e| start_err("spawning the heartbeat thread", e))?;
+            *self.hb_thread.lock() = Some(hb);
+        }
+        Ok(())
     }
 
     /// Enqueue one frame toward `dst` on a specific lane (never blocks;
@@ -600,7 +769,7 @@ impl SocketTransport {
     /// peer are dropped.
     fn send_frame_lane(&self, dst: usize, lane: usize, frame: Frame) {
         if let Some(peer) = &self.peers[dst] {
-            let _ = peer.lanes[lane].tx.send(WriterMsg::Frame(frame));
+            let _ = peer.lanes[lane].enqueue(WriterMsg::Frame(frame));
         }
     }
 
@@ -609,14 +778,68 @@ impl SocketTransport {
         self.send_frame_lane(dst, 0, frame);
     }
 
-    /// Round-robin a `PartData` chunk over the data lanes; with one
-    /// lane everything shares lane 0.
+    /// Round-robin a `PartData` chunk over the *surviving* data lanes;
+    /// dead lanes drop out of the rotation. With one lane (or every
+    /// data lane down) everything shares lane 0.
     fn pick_lane(&self, peer: &Peer) -> usize {
         let n = peer.lanes.len();
-        if n == 1 {
-            0
-        } else {
-            1 + peer.next_lane.fetch_add(1, Ordering::Relaxed) % (n - 1)
+        if n > 1 {
+            for _ in 0..n - 1 {
+                let lane = 1 + peer.next_lane.fetch_add(1, Ordering::Relaxed) % (n - 1);
+                if peer.lanes[lane].alive.load(Ordering::Acquire) {
+                    return lane;
+                }
+            }
+        }
+        0
+    }
+
+    /// A data lane's socket died. First caller (reader and writer race)
+    /// marks it dead, kills both halves so the twin thread and the
+    /// remote end stop waiting on it, and traces the death. Lane 0 never
+    /// goes through here — its failure is a reconnect, not a failover.
+    fn data_lane_failed(&self, fabric: &Fabric, peer_rank: usize, lane_idx: usize) {
+        debug_assert!(lane_idx > 0, "lane 0 recovers, it does not fail over");
+        let Some(peer) = &self.peers[peer_rank] else {
+            return;
+        };
+        let lane = &peer.lanes[lane_idx];
+        if !lane.alive.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        lane.endpoint.shutdown();
+        let (p16, l16) = (peer_rank as u16, lane_idx as u16);
+        fabric
+            .trace()
+            .emit(self.rank as u16, || EventKind::LaneDown {
+                peer: p16,
+                lane: l16,
+            });
+    }
+
+    /// Re-route one pinned stream range after its lane died: pick a
+    /// surviving lane (data lanes first, lane 0 as the last resort) and
+    /// enqueue it there. An enqueue can only fail when that lane's
+    /// writer exited too — mark it dead and keep going; a failed lane-0
+    /// enqueue means the universe is tearing down and the range's
+    /// waiters unwind via the abort.
+    fn requeue_stream(&self, dst: usize, sw: StreamWrite) {
+        let Some(peer) = &self.peers[dst] else {
+            return;
+        };
+        let mut msg = WriterMsg::Stream(sw);
+        loop {
+            let lane_idx = self.pick_lane(peer);
+            match peer.lanes[lane_idx].enqueue(msg) {
+                Ok(()) => return,
+                Err(back) => {
+                    peer.lanes[lane_idx].alive.store(false, Ordering::Release);
+                    if lane_idx == 0 {
+                        return;
+                    }
+                    msg = back;
+                }
+            }
         }
     }
 
@@ -659,13 +882,20 @@ impl SocketTransport {
         if !inline {
             for (lane_idx, bucket) in buckets.into_iter().enumerate() {
                 for chunk in bucket {
-                    let _ = peer.lanes[lane_idx].tx.send(WriterMsg::Stream(StreamWrite {
+                    let sw = StreamWrite {
                         rdv_id,
                         offset: chunk.offset,
                         ptr: chunk.ptr,
                         len: chunk.len,
                         spans: Arc::clone(spans),
-                    }));
+                    };
+                    if let Err(WriterMsg::Stream(sw)) =
+                        peer.lanes[lane_idx].enqueue(WriterMsg::Stream(sw))
+                    {
+                        // Writer already gone (lane died under us):
+                        // reroute to a survivor.
+                        self.requeue_stream(dst, sw);
+                    }
                 }
             }
             return;
@@ -679,13 +909,16 @@ impl SocketTransport {
             let Some(ep) = guard.as_mut() else {
                 drop(guard);
                 for chunk in bucket {
-                    let _ = lane.tx.send(WriterMsg::Stream(StreamWrite {
+                    let sw = StreamWrite {
                         rdv_id,
                         offset: chunk.offset,
                         ptr: chunk.ptr,
                         len: chunk.len,
                         spans: Arc::clone(spans),
-                    }));
+                    };
+                    if let Err(WriterMsg::Stream(sw)) = lane.enqueue(WriterMsg::Stream(sw)) {
+                        self.requeue_stream(dst, sw);
+                    }
                 }
                 continue;
             };
@@ -707,20 +940,42 @@ impl SocketTransport {
                 // races, as in the rendezvous CTS path.
                 slices.push(unsafe { std::slice::from_raw_parts(chunk.ptr, chunk.len) });
             }
-            if write_all_vectored(ep, &slices)
-                .and_then(|()| ep.flush())
-                .is_err()
-            {
-                peer.connected.store(false, Ordering::Release);
-                if !fabric.aborted() {
-                    fabric.fail(PcommError::PeerPanicked {
-                        rank: dst,
-                        message: format!(
-                            "rank process exited unexpectedly \
-                             (connection to rank {dst} broke mid-stream)"
-                        ),
-                    });
+            let wrote = write_all_vectored(ep, &slices).and_then(|()| ep.flush());
+            drop(slices);
+            drop(guard);
+            if wrote.is_err() {
+                if fabric.aborted() {
+                    continue;
                 }
+                if lane_idx > 0 {
+                    // The bucket never reached the wire (or did so only
+                    // partially — the receiver's interval ledger absorbs
+                    // the overlap): fail the lane over and replay the
+                    // chunks on survivors.
+                    self.data_lane_failed(fabric, dst, lane_idx);
+                }
+                let requeued = bucket.len() as u64;
+                for chunk in bucket {
+                    let sw = StreamWrite {
+                        rdv_id,
+                        offset: chunk.offset,
+                        ptr: chunk.ptr,
+                        len: chunk.len,
+                        spans: Arc::clone(spans),
+                    };
+                    // For lane 0 (single-lane meshes) this re-enqueues to
+                    // the lane-0 writer, whose own error path performs
+                    // the bounded reconnect-and-retry.
+                    self.requeue_stream(dst, sw);
+                }
+                let (p16, l16) = (dst as u16, lane_idx as u16);
+                fabric
+                    .trace()
+                    .emit(self.rank as u16, || EventKind::LaneFailover {
+                        peer: p16,
+                        lane: l16,
+                        requeued,
+                    });
                 continue;
             }
             for chunk in &bucket {
@@ -786,6 +1041,7 @@ impl SocketTransport {
             total_len,
             remaining_total: AtomicUsize::new(total_len),
             msgs: recv.msgs,
+            committed: Mutex::new(Vec::new()),
         });
         self.streams_in.lock().insert((src, rdv_id), stream);
         // From a reader thread, prefer a direct data-lane write for the
@@ -809,29 +1065,35 @@ impl SocketTransport {
         let Some(peer) = &self.peers[dst] else {
             return;
         };
-        for lane in peer.lanes.iter().skip(1) {
-            let mut guard = lane.direct.lock();
-            if let Some(ep) = guard.as_mut() {
-                let mut buf = Vec::with_capacity(32);
-                frame.encode_into(&mut buf);
-                if write_all_vectored(ep, &[&buf])
-                    .and_then(|()| ep.flush())
-                    .is_err()
-                {
-                    peer.connected.store(false, Ordering::Release);
-                    if !fabric.aborted() {
-                        fabric.fail(PcommError::PeerPanicked {
-                            rank: dst,
-                            message: format!(
-                                "rank process exited unexpectedly \
-                                 (connection to rank {dst} broke mid-write)"
-                            ),
-                        });
+        for (lane_idx, lane) in peer.lanes.iter().enumerate().skip(1) {
+            if !lane.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            let wrote = {
+                let mut guard = lane.direct.lock();
+                match guard.as_mut() {
+                    Some(ep) => {
+                        let mut buf = Vec::with_capacity(32);
+                        frame.encode_into(&mut buf);
+                        Some(write_all_vectored(ep, &[&buf]).and_then(|()| ep.flush()))
                     }
+                    None => None,
+                }
+            };
+            match wrote {
+                Some(Ok(())) => {
+                    peer.frames_sent.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                peer.frames_sent.fetch_add(1, Ordering::Relaxed);
-                return;
+                Some(Err(_)) => {
+                    if fabric.aborted() {
+                        return;
+                    }
+                    // This lane is gone; the frame carries no ordering
+                    // obligation, so just try the next survivor.
+                    self.data_lane_failed(fabric, dst, lane_idx);
+                }
+                None => {}
             }
         }
         self.send_frame(dst, frame);
@@ -909,31 +1171,47 @@ impl SocketTransport {
         len: usize,
     ) {
         let end = offset + len;
+        // At-least-once wire: a lane failover or reconnect replays whole
+        // batches, so the same range can land twice. Claim it against
+        // the stream's interval ledger first — only the never-committed
+        // sub-ranges count toward message and stream completion.
+        let fresh = {
+            let mut committed = stream.committed.lock();
+            claim_range(&mut committed, offset, end)
+        };
+        let fresh_bytes: usize = fresh.iter().map(|&(lo, hi)| hi - lo).sum();
+        if fresh_bytes == 0 {
+            return; // pure duplicate: every byte landed before
+        }
         let mut msgs_done = 0u16;
-        for msg in &stream.msgs {
-            let lo = msg.offset.max(offset);
-            let hi = (msg.offset + msg.len).min(end);
-            if lo >= hi {
-                continue;
-            }
-            let overlap = hi - lo;
-            // AcqRel: the final decrement acquires every earlier
-            // committer's bytes, so the completion flip below publishes
-            // a fully written message range.
-            let before = msg.remaining.fetch_sub(overlap, Ordering::AcqRel);
-            if before == overlap {
-                fabric.complete_stream_msg(
-                    src,
-                    msg.tag,
-                    msg.len,
-                    &msg.info,
-                    &msg.completion,
-                    msg.verify_msg,
-                );
-                msgs_done += 1;
+        for &(f_lo, f_hi) in &fresh {
+            for msg in &stream.msgs {
+                let lo = msg.offset.max(f_lo);
+                let hi = (msg.offset + msg.len).min(f_hi);
+                if lo >= hi {
+                    continue;
+                }
+                let overlap = hi - lo;
+                // AcqRel: the final decrement acquires every earlier
+                // committer's bytes, so the completion flip below
+                // publishes a fully written message range. The ledger
+                // claim above guarantees each byte is subtracted exactly
+                // once, so this never underflows.
+                let before = msg.remaining.fetch_sub(overlap, Ordering::AcqRel);
+                if before == overlap {
+                    fabric.complete_stream_msg(
+                        src,
+                        msg.tag,
+                        msg.len,
+                        &msg.info,
+                        &msg.completion,
+                        msg.verify_msg,
+                    );
+                    msgs_done += 1;
+                }
             }
         }
-        let (off64, bytes) = (offset as u64, len as u64);
+        let (off64, bytes) = (offset as u64, fresh_bytes as u64);
         fabric
             .trace()
             .emit(self.rank as u16, || EventKind::StreamCommit {
@@ -942,7 +1220,11 @@ impl SocketTransport {
                 offset: off64,
                 bytes,
             });
-        if stream.remaining_total.fetch_sub(len, Ordering::AcqRel) == len {
+        if stream
+            .remaining_total
+            .fetch_sub(fresh_bytes, Ordering::AcqRel)
+            == fresh_bytes
+        {
             self.streams_in.lock().remove(&(src, rdv_id));
         }
     }
@@ -975,21 +1257,164 @@ impl SocketTransport {
         self.commit_stream_range(fabric, src, lane, rdv_id, &stream, offset, len);
     }
 
+    /// Recover from a dead lane-0 socket with ONE bounded reconnect per
+    /// peer for the transport's lifetime: re-run the pair rendezvous
+    /// (Hello re-handshake included), swap the new endpoint into the
+    /// lane's write handle, and tell the peer which stream bytes we
+    /// already hold so it can detect unreplayable loss. The reader and
+    /// writer threads race here; whoever arrives first performs the
+    /// attempt, the other blocks on the slot and reuses the outcome.
+    /// Returns a read handle on the new socket, or `None` when the peer
+    /// is gone for good (callers then raise the typed error).
+    ///
+    /// The reconnected endpoint is deliberately NOT re-wrapped in the
+    /// wire-fault plan: recovery is one bounded attempt, and a chaos
+    /// matrix must terminate instead of looping kill/reconnect forever.
+    fn recover_lane0(&self, fabric: &Fabric, peer_rank: usize) -> Option<Endpoint> {
+        let peer = self.peers[peer_rank].as_ref()?;
+        if fabric.aborted() || peer.saw_bye.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut slot = peer.reconnect.lock();
+        match &*slot {
+            Reconnected::Yes(ep) => return ep.try_clone().ok(),
+            Reconnected::Failed => return None,
+            Reconnected::No => {}
+        }
+        peer.connected.store(false, Ordering::Release);
+        let started = Instant::now();
+        let res =
+            pcomm_net::mesh::reconnect_pair(&self.cfg, peer_rank, started + RECONNECT_TIMEOUT);
+        let (ok, took_ms) = (res.is_ok(), started.elapsed().as_millis() as u64);
+        let p16 = peer_rank as u16;
+        fabric
+            .trace()
+            .emit(self.rank as u16, || EventKind::Reconnect {
+                peer: p16,
+                ok,
+                took_ms,
+            });
+        let ep = match res {
+            Ok(ep) => ep,
+            Err(_) => {
+                *slot = Reconnected::Failed;
+                return None;
+            }
+        };
+        let (writer_ep, caller_ep) = match (ep.try_clone(), ep.try_clone()) {
+            (Ok(w), Ok(c)) => (w, c),
+            _ => {
+                *slot = Reconnected::Failed;
+                return None;
+            }
+        };
+        *peer.lanes[0].direct.lock() = Some(writer_ep);
+        peer.last_heard_ms.store(self.now_ms(), Ordering::Relaxed);
+        peer.connected.store(true, Ordering::Release);
+        *slot = Reconnected::Yes(ep);
+        drop(slot);
+        self.send_stream_resyncs(peer_rank);
+        Some(caller_ep)
+    }
+
+    /// After a lane-0 reconnect: tell `peer` the high-water state of
+    /// every active incoming stream it sends us, as the complement of
+    /// the committed ledger. The sender cross-checks the missing ranges
+    /// against what it can still replay.
+    fn send_stream_resyncs(&self, peer: usize) {
+        // (rdv_id, received bytes, missing ranges) per active stream.
+        type ResyncReport = (u64, u64, Vec<(u64, u64)>);
+        let reports: Vec<ResyncReport> = {
+            let streams = self.streams_in.lock();
+            streams
+                .iter()
+                .filter(|((src, _), _)| *src == peer)
+                .map(|((_, rdv_id), stream)| {
+                    let committed = stream.committed.lock();
+                    let received: u64 = committed.iter().map(|&(lo, hi)| (hi - lo) as u64).sum();
+                    let mut missing = Vec::new();
+                    let mut cursor = 0usize;
+                    for &(lo, hi) in committed.iter() {
+                        if cursor < lo {
+                            missing.push((cursor as u64, lo as u64));
+                        }
+                        cursor = hi;
+                    }
+                    if cursor < stream.total_len {
+                        missing.push((cursor as u64, stream.total_len as u64));
+                    }
+                    missing.truncate(MAX_RESYNC_RANGES);
+                    (*rdv_id, received, missing)
+                })
+                .collect()
+        };
+        for (rdv_id, received, missing) in reports {
+            self.send_frame(
+                peer,
+                Frame::StreamResync {
+                    rdv_id,
+                    received,
+                    missing,
+                },
+            );
+        }
+    }
+
+    /// Sender side of a receiver's post-reconnect `StreamResync`: every
+    /// missing range must still be replayable. Ranges covered by spans
+    /// with writes still pending are fine (the requeued work will carry
+    /// them); a missing range whose span already completed means the
+    /// source buffer may be unpinned — that is unreplayable loss, and it
+    /// becomes a typed error instead of a receiver that waits forever.
+    fn handle_stream_resync(
+        &self,
+        fabric: &Fabric,
+        peer: usize,
+        rdv_id: u64,
+        missing: &[(u64, u64)],
+    ) {
+        if missing.is_empty() || fabric.aborted() {
+            return;
+        }
+        let spans = self.resync_spans.lock().get(&rdv_id).cloned();
+        let lost = match spans {
+            // Stream fully retired on our side yet bytes are missing
+            // over there: nothing pinned remains to replay.
+            None => true,
+            Some(spans) => missing.iter().any(|&(lo, hi)| {
+                let (lo, hi) = (lo as usize, hi as usize);
+                spans.iter().any(|s| {
+                    s.offset.max(lo) < (s.offset + s.len).min(hi)
+                        && s.remaining.load(Ordering::Acquire) == 0
+                })
+            }),
+        };
+        if lost {
+            fabric.fail(PcommError::MessageLost {
+                src: self.rank,
+                dst: peer,
+                tag: -1,
+                attempts: 1,
+            });
+        }
+    }
+
     /// Get-or-create the release completion for barrier generation
     /// `gen` (reader thread and waiting rank race to create it).
     fn release_completion(&self, gen: u64) -> Arc<Completion> {
         Arc::clone(self.releases.lock().entry(gen).or_default())
     }
 
-    /// Rank 0: count an arrival for `gen`; on the last one, broadcast
-    /// the release and complete the local waiter.
-    fn note_arrival(&self, gen: u64) {
+    /// Rank 0: record `from`'s arrival for `gen`; on the last distinct
+    /// one, broadcast the release and complete the local waiter. Keyed
+    /// by rank, not counted: a reconnect can replay a `BarrierArrive`.
+    fn note_arrival(&self, gen: u64, from: usize) {
         debug_assert_eq!(self.rank, 0, "only rank 0 coordinates barriers");
         let all_in = {
             let mut arrivals = self.arrivals.lock();
-            let count = arrivals.entry(gen).or_insert(0);
-            *count += 1;
-            if *count == self.n_ranks {
+            let ranks = arrivals.entry(gen).or_default();
+            ranks.insert(from);
+            if ranks.len() == self.n_ranks {
                 arrivals.remove(&gen);
                 true
             } else {
@@ -1066,8 +1491,13 @@ impl SocketTransport {
                 offset,
                 payload,
             } => self.handle_part_data(fabric, peer, lane, rdv_id, offset, &payload),
-            Frame::BarrierArrive { gen } => self.note_arrival(gen),
+            Frame::BarrierArrive { gen } => self.note_arrival(gen, peer),
             Frame::BarrierRelease { gen } => self.release_completion(gen).set(),
+            // Liveness only; the reader already refreshed `last_heard_ms`.
+            Frame::Heartbeat { .. } => {}
+            Frame::StreamResync {
+                rdv_id, missing, ..
+            } => self.handle_stream_resync(fabric, peer, rdv_id, &missing),
             Frame::Abort {
                 kind,
                 a,
@@ -1142,7 +1572,7 @@ impl SocketTransport {
             let gen = self.barrier_gen.fetch_add(1, Ordering::Relaxed);
             let completion = self.release_completion(gen);
             if self.rank == 0 {
-                self.note_arrival(gen);
+                self.note_arrival(gen, self.rank);
             } else {
                 self.send_frame(0, Frame::BarrierArrive { gen });
             }
@@ -1167,6 +1597,12 @@ impl SocketTransport {
             }
             self.releases.lock().remove(&gen);
         }
+        // Liveness held through the barrier above (a dead peer there
+        // must still escalate); from here on silence is expected.
+        self.hb_stop.store(true, Ordering::Release);
+        if let Some(hb) = self.hb_thread.lock().take() {
+            let _ = hb.join();
+        }
         if fabric.aborted() {
             // Usually already broadcast by the `fail` that aborted us;
             // `abort_sent` dedupes. Covers failures recorded before the
@@ -1179,8 +1615,8 @@ impl SocketTransport {
             for lane in &peer.lanes {
                 // Through the writer thread on every lane, so the
                 // goodbye drains behind any still-queued stream chunks.
-                let _ = lane.tx.send(WriterMsg::Frame(Frame::Bye));
-                let _ = lane.tx.send(WriterMsg::Shutdown);
+                let _ = lane.enqueue(WriterMsg::Frame(Frame::Bye));
+                let _ = lane.enqueue(WriterMsg::Shutdown);
             }
         }
         for peer in self.peers.iter().flatten() {
@@ -1193,10 +1629,15 @@ impl SocketTransport {
         if fabric.aborted() {
             // Readers may be parked in a blocking read on a peer that
             // will never speak again; killing our half unblocks them
-            // (they exit quietly once the abort flag is up).
+            // (they exit quietly once the abort flag is up). A
+            // reconnected lane 0 lives in the reconnect slot, not
+            // `endpoint` — kill it too.
             for peer in self.peers.iter().flatten() {
                 for lane in &peer.lanes {
                     lane.endpoint.shutdown();
+                }
+                if let Reconnected::Yes(ep) = &*peer.reconnect.lock() {
+                    ep.shutdown();
                 }
             }
         } else {
@@ -1209,6 +1650,9 @@ impl SocketTransport {
                     let _ = lane
                         .endpoint
                         .set_read_timeout(Some(pcomm_net::mesh::ESTABLISH_TIMEOUT));
+                }
+                if let Reconnected::Yes(ep) = &*peer.reconnect.lock() {
+                    let _ = ep.set_read_timeout(Some(pcomm_net::mesh::ESTABLISH_TIMEOUT));
                 }
             }
         }
@@ -1287,6 +1731,15 @@ impl Transport for SocketTransport {
         spans: Vec<SendSpan>,
     ) -> u64 {
         let rdv_id = self.next_rdv_id.fetch_add(1, Ordering::Relaxed);
+        let spans = Arc::new(spans);
+        {
+            // Keep the span set reachable for a post-reconnect resync
+            // check; prune entries whose spans all completed (their
+            // buffers may be unpinned — nothing left to vouch for).
+            let mut resync = self.resync_spans.lock();
+            resync.retain(|_, s| s.iter().any(|sp| !sp.done.is_set()));
+            resync.insert(rdv_id, Arc::clone(&spans));
+        }
         // Register before the RTS leaves so a fast PartCts finds us.
         self.streams_out.lock().insert(
             rdv_id,
@@ -1298,7 +1751,7 @@ impl Transport for SocketTransport {
                 pushed: 0,
                 pend: None,
                 queued: Vec::new(),
-                spans: Arc::new(spans),
+                spans,
             },
         );
         self.send_frame(
@@ -1366,7 +1819,7 @@ impl Transport for SocketTransport {
         let gen = self.barrier_gen.fetch_add(1, Ordering::Relaxed);
         let completion = self.release_completion(gen);
         if self.rank == 0 {
-            self.note_arrival(gen);
+            self.note_arrival(gen, self.rank);
         } else {
             self.send_frame(0, Frame::BarrierArrive { gen });
         }
@@ -1456,6 +1909,7 @@ impl Transport for SocketTransport {
     fn peer_states(&self) -> Vec<PeerSocketState> {
         let pending = self.pending_rdv.lock();
         let streams = self.streams_out.lock();
+        let now = self.now_ms();
         self.peers
             .iter()
             .enumerate()
@@ -1470,6 +1924,18 @@ impl Transport for SocketTransport {
                     // rendezvous: same diagnosis (waiting on the peer).
                     pending_rdv: pending.values().filter(|p| p.dst == rank).count()
                         + streams.values().filter(|s| s.dst == rank).count(),
+                    queued: peer
+                        .lanes
+                        .iter()
+                        .map(|l| l.queued.load(Ordering::Relaxed) as u64)
+                        .sum(),
+                    lanes_down: peer
+                        .lanes
+                        .iter()
+                        .skip(1)
+                        .filter(|l| !l.alive.load(Ordering::Acquire))
+                        .count() as u16,
+                    quiet_ms: now.saturating_sub(peer.last_heard_ms.load(Ordering::Relaxed)),
                 })
             })
             .collect()
@@ -1531,9 +1997,31 @@ fn complete_spans(spans: &[SendSpan], offset: usize, len: usize) {
             continue;
         }
         let overlap = hi - lo;
-        // AcqRel chains the writers' progress like the receiver side.
-        if span.remaining.fetch_sub(overlap, Ordering::AcqRel) == overlap {
-            span.done.set();
+        // Saturating CAS rather than a plain subtraction: a failover
+        // replays whole batches, so bytes already counted can come
+        // around again — the counter must neither underflow nor fire
+        // `done` twice. AcqRel chains the writers' progress like the
+        // receiver side.
+        let mut cur = span.remaining.load(Ordering::Acquire);
+        loop {
+            let take = overlap.min(cur);
+            if take == 0 {
+                break;
+            }
+            match span.remaining.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if cur == take {
+                        span.done.set();
+                    }
+                    break;
+                }
+                Err(seen) => cur = seen,
+            }
         }
     }
 }
@@ -1542,10 +2030,15 @@ fn complete_spans(spans: &[SendSpan], offset: usize, len: usize) {
 /// batches. Control frames encode into per-slot scratch buffers reused
 /// across batches; pinned stream ranges get an 18-byte header in
 /// scratch and their payload slice passed to the kernel straight from
-/// the source buffer — the batch goes out as one vectored write. A
-/// write error means the peer is gone — record it (unless the universe
-/// is already unwinding) and discard the rest of the queue so enqueuers
-/// never notice.
+/// the source buffer — the batch goes out as one vectored write.
+///
+/// Write errors split by lane. Lane 0 gets the one bounded reconnect
+/// and retries the failed batch on the new socket (at-least-once — the
+/// dispatch layer deduplicates); if that fails too the peer is gone:
+/// record the typed error and discard the rest of the queue so
+/// enqueuers never notice. A data lane fails over instead: mark it
+/// dead, push every pinned range (current batch plus backlog) to the
+/// surviving lanes, and keep rerouting stragglers until teardown.
 fn writer_loop(
     transport: Arc<SocketTransport>,
     rx: Receiver<WriterMsg>,
@@ -1561,21 +2054,49 @@ fn writer_loop(
         .lanes[lane_idx];
     let mut scratch: Vec<Vec<u8>> = (0..WRITER_BATCH).map(|_| Vec::new()).collect();
     let mut batch: Vec<WriterMsg> = Vec::with_capacity(WRITER_BATCH);
+    let mut queue_hwm = QUEUE_HWM_BASE;
     loop {
         batch.clear();
         match rx.recv() {
-            Ok(WriterMsg::Shutdown) | Err(_) => return,
-            Ok(msg) => batch.push(msg),
+            Err(_) => return,
+            Ok(msg) => {
+                lane.queued.fetch_sub(1, Ordering::Relaxed);
+                match msg {
+                    WriterMsg::Shutdown => return,
+                    m => batch.push(m),
+                }
+            }
         }
         let mut shutdown = false;
         while batch.len() < WRITER_BATCH {
             match rx.try_recv() {
-                Ok(WriterMsg::Shutdown) => {
-                    shutdown = true;
-                    break;
+                Ok(msg) => {
+                    lane.queued.fetch_sub(1, Ordering::Relaxed);
+                    match msg {
+                        WriterMsg::Shutdown => {
+                            shutdown = true;
+                            break;
+                        }
+                        m => batch.push(m),
+                    }
                 }
-                Ok(msg) => batch.push(msg),
                 Err(_) => break,
+            }
+        }
+        // Unbounded channels cannot push back, so depth growth is the
+        // congestion signal: trace it at doubling high-water marks.
+        let depth = lane.queued.load(Ordering::Relaxed);
+        if depth >= queue_hwm {
+            let (p16, l16, d64) = (peer as u16, lane_idx as u16, depth as u64);
+            fabric
+                .trace()
+                .emit(transport.rank as u16, || EventKind::WriterQueue {
+                    peer: p16,
+                    lane: l16,
+                    depth: d64,
+                });
+            while queue_hwm <= depth {
+                queue_hwm *= 2;
             }
         }
         // An aborting universe may already be unwinding the buffers
@@ -1613,7 +2134,7 @@ fn writer_loop(
         // The write happens under the lane mutex: reader threads
         // releasing a CTS batch write the same socket directly, and the
         // mutex is what keeps the two writers' frames from interleaving.
-        let wrote = {
+        let write_batch = || {
             let mut guard = lane.direct.lock();
             match guard.as_mut() {
                 Some(ep) => write_all_vectored(ep, &slices).and_then(|()| ep.flush()),
@@ -1623,7 +2144,66 @@ fn writer_loop(
                 )),
             }
         };
+        let mut wrote = write_batch();
+        if wrote.is_err() && lane_idx == 0 && !fabric.aborted() {
+            // One bounded reconnect, then the same batch goes out again
+            // on the new socket (`direct` was swapped underneath the
+            // closure). At-least-once: dispatch deduplicates replays.
+            if transport.recover_lane0(&fabric, peer).is_some() {
+                wrote = write_batch();
+            }
+        }
         if wrote.is_err() {
+            if lane_idx > 0 && !fabric.aborted() {
+                // Data-lane death: fail over. Nothing in this batch has
+                // completed its spans yet, so the pinned sources are
+                // still live — replay them whole on the survivors.
+                transport.data_lane_failed(&fabric, peer, lane_idx);
+                let mut requeued = 0u64;
+                for msg in batch.drain(..) {
+                    if let WriterMsg::Stream(sw) = msg {
+                        transport.requeue_stream(peer, sw);
+                        requeued += 1;
+                    }
+                }
+                while let Ok(msg) = rx.try_recv() {
+                    lane.queued.fetch_sub(1, Ordering::Relaxed);
+                    match msg {
+                        WriterMsg::Stream(sw) => {
+                            transport.requeue_stream(peer, sw);
+                            requeued += 1;
+                        }
+                        WriterMsg::Shutdown => shutdown = true,
+                        WriterMsg::Frame(_) => {}
+                    }
+                }
+                let (p16, l16) = (peer as u16, lane_idx as u16);
+                fabric
+                    .trace()
+                    .emit(transport.rank as u16, || EventKind::LaneFailover {
+                        peer: p16,
+                        lane: l16,
+                        requeued,
+                    });
+                if shutdown {
+                    return;
+                }
+                // Stay alive so late enqueues keep rerouting until the
+                // teardown Shutdown arrives.
+                loop {
+                    match rx.recv() {
+                        Err(_) => return,
+                        Ok(msg) => {
+                            lane.queued.fetch_sub(1, Ordering::Relaxed);
+                            match msg {
+                                WriterMsg::Stream(sw) => transport.requeue_stream(peer, sw),
+                                WriterMsg::Shutdown => return,
+                                WriterMsg::Frame(_) => {}
+                            }
+                        }
+                    }
+                }
+            }
             connected.store(false, Ordering::Release);
             if !fabric.aborted() {
                 fabric.fail(PcommError::PeerPanicked {
@@ -1641,8 +2221,13 @@ fn writer_loop(
             // live channel during teardown.
             loop {
                 match rx.recv() {
-                    Ok(WriterMsg::Shutdown) | Err(_) => return,
-                    Ok(_) => {}
+                    Err(_) => return,
+                    Ok(msg) => {
+                        lane.queued.fetch_sub(1, Ordering::Relaxed);
+                        if matches!(msg, WriterMsg::Shutdown) {
+                            return;
+                        }
+                    }
                 }
             }
         }
@@ -1737,11 +2322,51 @@ fn reader_failed(fabric: &Fabric, connected: &AtomicBool, peer: usize, err: &io:
     }
 }
 
+/// Reader error triage. Data lanes (index > 0) fail over quietly: the
+/// surviving lanes carry the stream and lane 0 carries liveness, so a
+/// dead data lane is a trace event, not a universe failure. Lane 0 gets
+/// the one bounded reconnect — on success the reader continues on the
+/// returned endpoint (a fresh socket starts at a frame boundary, so a
+/// mid-frame death resynchronizes naturally). Anything else is the
+/// typed end of the peer.
+#[allow(clippy::too_many_arguments)] // mirrors the reader's capture set
+fn reader_recover(
+    transport: &SocketTransport,
+    fabric: &Fabric,
+    peer: usize,
+    lane: usize,
+    connected: &AtomicBool,
+    recovered: &mut bool,
+    err: &io::Error,
+) -> Option<Endpoint> {
+    if fabric.aborted() {
+        return None; // teardown; the abort already carries the story
+    }
+    if lane > 0 {
+        transport.data_lane_failed(fabric, peer, lane);
+        return None;
+    }
+    if !*recovered {
+        // Kill our half first so the local writer and the remote peer
+        // both observe the failure and join the reconnect handshake.
+        if let Some(p) = &transport.peers[peer] {
+            p.lanes[0].endpoint.shutdown();
+        }
+        if let Some(ep) = transport.recover_lane0(fabric, peer) {
+            *recovered = true;
+            return Some(ep);
+        }
+    }
+    reader_failed(fabric, connected, peer, err);
+    None
+}
+
 /// Reader thread: decode frames and dispatch them into the fabric until
-/// the peer says `Bye`, the connection drops, or the universe aborts.
-/// `PartData` frames take a borrow-decode fast path that commits the
-/// range straight out of the reusable receive buffer — one copy from
-/// socket to destination.
+/// the peer says `Bye`, the connection drops past recovery, or the
+/// universe aborts. `PartData` frames take a borrow-decode fast path
+/// that commits the range straight out of the reusable receive buffer —
+/// one copy from socket to destination. Every successful head read
+/// refreshes the peer's liveness timestamp.
 #[allow(clippy::too_many_arguments)] // thread-capture plumbing
 fn reader_loop(
     transport: Arc<SocketTransport>,
@@ -1754,14 +2379,29 @@ fn reader_loop(
     saw_bye: Arc<AtomicBool>,
 ) {
     let mut body: Vec<u8> = Vec::new();
+    let mut recovered = false;
     loop {
         let (len, op) = match read_head(&mut ep) {
             Ok(head) => head,
             Err(err) => {
-                reader_failed(&fabric, &connected, peer, &err);
-                return;
+                match reader_recover(
+                    &transport,
+                    &fabric,
+                    peer,
+                    lane,
+                    &connected,
+                    &mut recovered,
+                    &err,
+                ) {
+                    Some(new_ep) => {
+                        ep = new_ep;
+                        continue;
+                    }
+                    None => return,
+                }
             }
         };
+        transport.note_heard(peer);
         frames_received.fetch_add(1, Ordering::Relaxed);
         let keep_going = if frame::is_part_data(op) {
             read_part_data(&transport, &fabric, peer, lane, &mut ep, len, &mut body).map(|()| true)
@@ -1783,10 +2423,124 @@ fn reader_loop(
                 return; // clean goodbye
             }
             Err(err) => {
-                reader_failed(&fabric, &connected, peer, &err);
+                match reader_recover(
+                    &transport,
+                    &fabric,
+                    peer,
+                    lane,
+                    &connected,
+                    &mut recovered,
+                    &err,
+                ) {
+                    Some(new_ep) => {
+                        ep = new_ep;
+                        continue;
+                    }
+                    None => return,
+                }
+            }
+        }
+    }
+}
+
+/// Heartbeat thread (lane 0, `PCOMM_NET_HB_MS`): every interval, beat
+/// toward each live peer; silence past ~2x the interval means the peer
+/// died without a word (process killed, half-open socket) — escalate as
+/// the typed peer death every survivor sees, instead of a stall that
+/// needs the watchdog. Peers mid-reconnect or past their `Bye` are
+/// exempt: those paths tell their own story.
+fn heartbeat_loop(transport: Arc<SocketTransport>, fabric: Arc<Fabric>) {
+    let Some(hb) = transport.hb_ms else { return };
+    let tick = Duration::from_millis((hb / 4).max(1));
+    // Declared dead at 7/4x the interval, so detection (tick jitter
+    // included) lands within the documented 2x budget.
+    let miss = hb.saturating_mul(7) / 4;
+    let mut seq = 0u64;
+    let mut last_sent: Option<u64> = None;
+    loop {
+        std::thread::sleep(tick);
+        if transport.hb_stop.load(Ordering::Acquire) || fabric.aborted() {
+            return;
+        }
+        let now = transport.now_ms();
+        if last_sent.is_none_or(|t| now.saturating_sub(t) >= hb) {
+            seq = seq.wrapping_add(1);
+            for (rank, peer) in transport.peers.iter().enumerate() {
+                let Some(peer) = peer else { continue };
+                if peer.saw_bye.load(Ordering::Acquire) || !peer.connected.load(Ordering::Acquire) {
+                    continue;
+                }
+                transport.send_frame(rank, Frame::Heartbeat { seq });
+            }
+            last_sent = Some(now);
+        }
+        for (rank, peer) in transport.peers.iter().enumerate() {
+            let Some(peer) = peer else { continue };
+            if peer.saw_bye.load(Ordering::Acquire) || !peer.connected.load(Ordering::Acquire) {
+                continue;
+            }
+            let quiet = now.saturating_sub(peer.last_heard_ms.load(Ordering::Relaxed));
+            if quiet >= miss {
+                let (p16, q) = (rank as u16, quiet);
+                fabric
+                    .trace()
+                    .emit(transport.rank as u16, || EventKind::HeartbeatMiss {
+                        peer: p16,
+                        quiet_ms: q,
+                    });
+                fabric.fail(PcommError::PeerPanicked {
+                    rank,
+                    message: format!(
+                        "no frame from rank {rank} for {quiet} ms \
+                         (heartbeat interval {hb} ms): peer presumed dead"
+                    ),
+                });
                 return;
             }
         }
+    }
+}
+
+/// Claim `[lo, hi)` against a sorted, disjoint interval ledger: merge
+/// the range in and return the sub-ranges that were NOT already present
+/// (the "fresh" bytes). An empty result means a pure duplicate.
+fn claim_range(committed: &mut Vec<(usize, usize)>, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    if lo >= hi {
+        return Vec::new();
+    }
+    // First interval that could overlap or touch the claim.
+    let first = committed.partition_point(|&(_, end)| end < lo);
+    let mut fresh = Vec::new();
+    let (mut merged_lo, mut merged_hi) = (lo, hi);
+    let mut cursor = lo;
+    let mut last = first;
+    while last < committed.len() && committed[last].0 <= hi {
+        let (s, e) = committed[last];
+        if cursor < s {
+            fresh.push((cursor, s.min(hi)));
+        }
+        cursor = cursor.max(e);
+        merged_lo = merged_lo.min(s);
+        merged_hi = merged_hi.max(e);
+        last += 1;
+    }
+    if cursor < hi {
+        fresh.push((cursor, hi));
+    }
+    committed.splice(first..last, std::iter::once((merged_lo, merged_hi)));
+    fresh
+}
+
+/// Map a wire-level fault (net crate's taxonomy) onto the trace event
+/// taxonomy.
+fn wire_fault_kind(kind: WireFault) -> FaultKind {
+    match kind {
+        WireFault::TornWrite => FaultKind::TornWrite,
+        WireFault::ShortRead => FaultKind::ShortRead,
+        WireFault::Garbage => FaultKind::Garbage,
+        WireFault::Reset => FaultKind::Reset,
+        WireFault::LaneKill => FaultKind::LaneKill,
+        WireFault::HalfOpen => FaultKind::HalfOpen,
     }
 }
 
@@ -2135,5 +2889,65 @@ mod tests {
         assert!(!spans[1].done.is_set(), "half-written span stays pending");
         complete_spans(&spans, 150, 50);
         assert!(spans[1].done.is_set(), "second write covers the remainder");
+    }
+
+    #[test]
+    fn span_completion_saturates_on_failover_replay() {
+        let spans = vec![SendSpan {
+            offset: 0,
+            len: 100,
+            remaining: AtomicUsize::new(100),
+            done: Completion::new(),
+        }];
+        complete_spans(&spans, 0, 60);
+        assert_eq!(spans[0].remaining.load(Ordering::Relaxed), 40);
+        complete_spans(&spans, 40, 60);
+        assert!(spans[0].done.is_set());
+        // Replays against a finished span saturate at zero: the counter
+        // never underflows (a plain `fetch_sub` would wrap to usize::MAX
+        // and the span could "complete" again on the way back down).
+        complete_spans(&spans, 0, 100);
+        complete_spans(&spans, 20, 50);
+        assert_eq!(
+            spans[0].remaining.load(Ordering::Relaxed),
+            0,
+            "post-completion replays are no-ops"
+        );
+    }
+
+    #[test]
+    fn claim_range_reports_only_fresh_bytes() {
+        let mut ledger = Vec::new();
+        assert_eq!(claim_range(&mut ledger, 10, 20), vec![(10, 20)]);
+        assert_eq!(ledger, vec![(10, 20)]);
+        // Pure duplicate.
+        assert!(claim_range(&mut ledger, 10, 20).is_empty());
+        // Overlap on both sides.
+        assert_eq!(claim_range(&mut ledger, 5, 25), vec![(5, 10), (20, 25)]);
+        assert_eq!(ledger, vec![(5, 25)]);
+        // Disjoint ranges stay separate and sorted.
+        assert_eq!(claim_range(&mut ledger, 40, 50), vec![(40, 50)]);
+        assert_eq!(claim_range(&mut ledger, 0, 2), vec![(0, 2)]);
+        assert_eq!(ledger, vec![(0, 2), (5, 25), (40, 50)]);
+        // A claim spanning several entries returns every gap and merges.
+        assert_eq!(
+            claim_range(&mut ledger, 1, 45),
+            vec![(2, 5), (25, 40)],
+            "gaps between existing intervals are the fresh bytes"
+        );
+        assert_eq!(ledger, vec![(0, 50)]);
+        // Empty and inverted claims are no-ops.
+        assert!(claim_range(&mut ledger, 7, 7).is_empty());
+        assert_eq!(ledger, vec![(0, 50)]);
+    }
+
+    #[test]
+    fn claim_range_merges_adjacent_intervals() {
+        let mut ledger = vec![(0usize, 10usize), (10, 20)];
+        // Touching (end == lo) intervals merge rather than duplicate.
+        assert_eq!(claim_range(&mut ledger, 20, 30), vec![(20, 30)]);
+        assert_eq!(ledger, vec![(0, 10), (10, 30)]);
+        assert!(claim_range(&mut ledger, 0, 30).is_empty());
+        assert_eq!(ledger, vec![(0, 30)]);
     }
 }

@@ -361,7 +361,11 @@ impl Universe {
             rank: Some(env.rank),
             detail: format!("multiprocess mesh establishment failed: {e}"),
         })?;
-        let transport = Arc::new(crate::transport::SocketTransport::new(mesh));
+        let transport = Arc::new(crate::transport::SocketTransport::new(
+            mesh,
+            cfg,
+            self.fault_plan.as_ref(),
+        ));
         let fabric = Fabric::new_configured(
             self.n_ranks,
             self.n_shards,
@@ -370,7 +374,7 @@ impl Universe {
             self.fault_plan.clone(),
             Arc::clone(&transport) as Arc<dyn crate::transport::Transport>,
         );
-        transport.start(&fabric);
+        transport.start(&fabric)?;
         let watchdog_ms = self.effective_watchdog_ms();
         let rank = env.rank;
         let result: Option<T> = std::thread::scope(|scope| {

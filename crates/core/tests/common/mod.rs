@@ -1,0 +1,230 @@
+//! Shared harness for the multiprocess wire tests.
+//!
+//! Each `#[test]` doubles as its own SPMD body: the parent run spawns
+//! this very test binary twice (filtered to the one test by name) with
+//! the `PCOMM_NET_*` environment plus `PCOMM_TEST_CHILD=<scenario>`,
+//! and the child branch — taken before any parent logic — joins the
+//! socket mesh via `Universe::run`, executes the scenario closure, and
+//! writes `ok <digest>` / `err <error>` to `test-out-<rank>` in the
+//! rendezvous directory. The parent asserts on those files (and on the
+//! per-rank Chrome traces the children write), so a child that fails in
+//! an *expected* way still exits 0 and the parent keeps the authority
+//! over what counts as a pass.
+
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::process::{Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+use pcomm_core::part::PartOptions;
+use pcomm_core::{Comm, Universe};
+use pcomm_net::{launch, Backend, MultiprocEnv};
+
+/// Marker + scenario selector for the child branch.
+pub const ENV_CHILD: &str = "PCOMM_TEST_CHILD";
+/// Partition count for the transfer scenario (child side).
+pub const ENV_PARTS: &str = "PCOMM_TEST_PARTS";
+/// Partition size in bytes for the transfer scenario (child side).
+pub const ENV_PART_BYTES: &str = "PCOMM_TEST_PART_BYTES";
+/// Sleep between `pready` calls, ms — the "slow but alive" knob.
+pub const ENV_PREADY_GAP_MS: &str = "PCOMM_TEST_PREADY_GAP_MS";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into a running FNV-1a accumulator.
+pub fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc = (acc ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+/// Deterministic payload for partition `p` — every byte depends on both
+/// the partition index and the offset, so a misrouted or replayed chunk
+/// shows up in the digest.
+pub fn fill_pattern(p: usize, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = (p.wrapping_mul(131) ^ i.wrapping_mul(7) ^ 0x5a) as u8;
+    }
+}
+
+/// The digest a correct receiver must compute for the transfer scenario.
+pub fn expected_digest(n_parts: usize, part_bytes: usize) -> u64 {
+    let mut buf = vec![0u8; part_bytes];
+    let mut acc = FNV_OFFSET;
+    for p in 0..n_parts {
+        fill_pattern(p, &mut buf);
+        acc = fnv1a(acc, &buf);
+    }
+    acc
+}
+
+/// The transfer scenario: rank 1 streams `n_parts` partitions to rank 0,
+/// which digests them in order. Returns the digest at rank 0, 0 at the
+/// sender. `pready_gap` paces the sender (slow-but-alive runs).
+pub fn transfer(comm: &Comm, n_parts: usize, part_bytes: usize, pready_gap: Duration) -> u64 {
+    if comm.rank() == 0 {
+        let pr = comm.precv_init(1, 7, n_parts, part_bytes, PartOptions::default());
+        pr.start();
+        pr.wait();
+        let mut acc = FNV_OFFSET;
+        for p in 0..n_parts {
+            acc = fnv1a(acc, pr.partition(p));
+        }
+        acc
+    } else {
+        let ps = comm.psend_init(0, 7, n_parts, part_bytes, PartOptions::default());
+        ps.start();
+        for p in 0..n_parts {
+            ps.write_partition(p, |buf| fill_pattern(p, buf));
+            ps.pready(p);
+            if !pready_gap.is_zero() {
+                std::thread::sleep(pready_gap);
+            }
+        }
+        ps.wait();
+        0
+    }
+}
+
+/// The barrier-storm scenario: pure lane-0 control traffic, so a
+/// half-open lane 0 leaves the peer with nothing but silence for the
+/// heartbeat monitor to judge.
+pub fn barrier_storm(comm: &Comm, rounds: usize) -> u64 {
+    for _ in 0..rounds {
+        comm.barrier();
+    }
+    0
+}
+
+/// Child branch: when `PCOMM_TEST_CHILD` is set, run the selected
+/// scenario as this process's rank and report through the out file.
+/// Returns `true` when this process was a child (the test should then
+/// return without running its parent logic).
+pub fn maybe_run_child() -> bool {
+    let Ok(scenario) = std::env::var(ENV_CHILD) else {
+        return false;
+    };
+    let env = MultiprocEnv::from_env().expect("child requires the PCOMM_NET_* environment");
+    let env_usize = |key: &str, default: usize| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n_parts = env_usize(ENV_PARTS, 16);
+    let part_bytes = env_usize(ENV_PART_BYTES, 16 * 1024);
+    let gap = Duration::from_millis(env_usize(ENV_PREADY_GAP_MS, 0) as u64);
+    let result = Universe::new(2).run(|comm| match scenario.as_str() {
+        "barrier-storm" => barrier_storm(&comm, 10_000),
+        _ => transfer(&comm, n_parts, part_bytes, gap),
+    });
+    let line = match result {
+        Ok(vals) => format!("ok {:016x}", vals[0]),
+        Err(e) => format!("err {}", format!("{e}").replace('\n', " | ")),
+    };
+    std::fs::write(env.dir.join(format!("test-out-{}", env.rank)), line)
+        .expect("write child out file");
+    true
+}
+
+/// What one rank process reported back to the parent.
+pub struct RankOutcome {
+    pub status: ExitStatus,
+    /// Contents of `test-out-<rank>`: `ok <digest>` or `err <message>`.
+    pub out: String,
+    /// The rank's Chrome trace JSON (children run under `PCOMM_TRACE`).
+    pub trace: String,
+}
+
+impl RankOutcome {
+    pub fn digest(&self) -> Option<u64> {
+        self.out
+            .strip_prefix("ok ")
+            .and_then(|d| u64::from_str_radix(d.trim(), 16).ok())
+    }
+}
+
+/// Spawn `test_name` from this test binary as a 2-rank UDS mesh and
+/// collect each rank's outcome. `common_env` applies to both ranks,
+/// `per_rank_env[r]` only to rank `r`; children always write Chrome
+/// traces into the rendezvous dir. Panics if a child outlives `timeout`
+/// (after killing it) — no scenario may hang the suite.
+pub fn run_wire_pair(
+    test_name: &str,
+    scenario: &str,
+    common_env: &[(&str, String)],
+    per_rank_env: [Vec<(&str, String)>; 2],
+    timeout: Duration,
+) -> Vec<RankOutcome> {
+    let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
+    let spmd = MultiprocEnv {
+        rank: 0,
+        n_ranks: 2,
+        dir: dir.clone(),
+        backend: Backend::Uds,
+    };
+    let exe = std::env::current_exe().expect("test binary path");
+    let trace_base = dir.join("trace.json");
+    let children: Vec<_> = (0..2)
+        .map(|rank| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg(test_name).arg("--exact").arg("--test-threads=1");
+            cmd.stdout(Stdio::null());
+            spmd.apply_to(&mut cmd, rank);
+            cmd.env(ENV_CHILD, scenario);
+            cmd.env("PCOMM_TRACE", &trace_base);
+            for (k, v) in common_env {
+                cmd.env(k, v);
+            }
+            for (k, v) in &per_rank_env[rank] {
+                cmd.env(k, v);
+            }
+            cmd.spawn().expect("spawn rank child")
+        })
+        .collect();
+    let deadline = Instant::now() + timeout;
+    let statuses: Vec<ExitStatus> = children
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut child)| loop {
+            match child.try_wait().expect("poll rank child") {
+                Some(status) => break status,
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!("{test_name}: rank {rank} child hung past {timeout:?}");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        })
+        .collect();
+    let outcomes = statuses
+        .into_iter()
+        .enumerate()
+        .map(|(rank, status)| RankOutcome {
+            status,
+            out: std::fs::read_to_string(dir.join(format!("test-out-{rank}"))).unwrap_or_default(),
+            trace: std::fs::read_to_string(trace_path(&trace_base, rank)).unwrap_or_default(),
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcomes
+}
+
+fn trace_path(base: &std::path::Path, rank: usize) -> PathBuf {
+    let mut s = base.as_os_str().to_owned();
+    s.push(format!(".rank{rank}"));
+    PathBuf::from(s)
+}
+
+/// In-process (shared-memory) digest of the same transfer — the
+/// baseline every wire run must agree with bit-for-bit.
+pub fn shm_baseline_digest(n_parts: usize, part_bytes: usize) -> u64 {
+    let out = Universe::new(2)
+        .run(|comm| transfer(&comm, n_parts, part_bytes, Duration::ZERO))
+        .expect("in-process baseline failed");
+    out[0]
+}

@@ -1,0 +1,169 @@
+//! Wire-level chaos end to end: seeded faults injected under a real
+//! 2-process UDS mesh must end in one of exactly two states — the
+//! transfer completes bit-exact, or a *typed* error surfaces on every
+//! affected rank within bounded time. Hangs are the one forbidden
+//! outcome.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{ENV_PARTS, ENV_PART_BYTES};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Torn writes and short reads are absorbed by the framing layer's
+/// write_all/read_exact loops: a run soaked in both still completes
+/// bit-exact with the fault-free expectation.
+#[test]
+fn torn_writes_and_short_reads_complete_bit_exact() {
+    if common::maybe_run_child() {
+        return;
+    }
+    let (n_parts, part_bytes) = (16, 16 * 1024);
+    let outs = common::run_wire_pair(
+        "torn_writes_and_short_reads_complete_bit_exact",
+        "transfer",
+        &[
+            (ENV_PARTS, n_parts.to_string()),
+            (ENV_PART_BYTES, part_bytes.to_string()),
+            (
+                "PCOMM_FAULTS",
+                "seed=3,torn=0.25,shortread=0.25".to_string(),
+            ),
+        ],
+        [vec![], vec![]],
+        TIMEOUT,
+    );
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(o.out.starts_with("ok "), "rank {rank}: `{}`", o.out);
+    }
+    assert_eq!(
+        outs[0].digest(),
+        Some(common::expected_digest(n_parts, part_bytes)),
+        "digest diverged under torn/short-read chaos: `{}`",
+        outs[0].out
+    );
+    // The sweep is only meaningful if faults actually fired.
+    assert!(
+        outs.iter().any(|o| o.trace.contains("fault_injected")),
+        "no wire fault was injected — the scenario tested nothing"
+    );
+}
+
+/// A data lane killed mid-stream re-routes its in-flight partitions to
+/// the surviving lanes: the transfer completes bit-exact and the
+/// sender's trace records the lane going down.
+#[test]
+fn data_lane_kill_fails_over_mid_stream() {
+    if common::maybe_run_child() {
+        return;
+    }
+    // 2 MiB across 3 lanes; lane 2 dies after 64 KiB — early enough
+    // that most of the stream must travel the surviving lane.
+    let (n_parts, part_bytes) = (32, 64 * 1024);
+    let outs = common::run_wire_pair(
+        "data_lane_kill_fails_over_mid_stream",
+        "transfer",
+        &[
+            (ENV_PARTS, n_parts.to_string()),
+            (ENV_PART_BYTES, part_bytes.to_string()),
+            ("PCOMM_NET_LANES", "3".to_string()),
+        ],
+        [
+            vec![],
+            vec![("PCOMM_FAULTS", "seed=7,lanekill=2:65536".to_string())],
+        ],
+        TIMEOUT,
+    );
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(
+            o.out.starts_with("ok "),
+            "rank {rank} did not survive the lane kill: `{}`",
+            o.out
+        );
+    }
+    assert_eq!(
+        outs[0].digest(),
+        Some(common::expected_digest(n_parts, part_bytes)),
+        "digest diverged after lane failover: `{}`",
+        outs[0].out
+    );
+    assert!(
+        outs[1].trace.contains("lane_down"),
+        "sender never recorded the killed lane — did the fault fire?"
+    );
+}
+
+/// A half-open peer — live socket, writes silently swallowed — is the
+/// failure only heartbeats can see. The survivor must escalate to a
+/// typed `PeerPanicked` naming the silence, within ~2x the heartbeat
+/// interval, and the silent rank itself must come back with a typed
+/// error once the survivor tears the mesh down. Nobody hangs.
+#[test]
+fn half_open_peer_escalates_to_typed_error() {
+    if common::maybe_run_child() {
+        return;
+    }
+    let hb_ms: u64 = 150;
+    let outs = common::run_wire_pair(
+        "half_open_peer_escalates_to_typed_error",
+        "barrier-storm",
+        &[("PCOMM_NET_HB_MS", hb_ms.to_string())],
+        [
+            vec![],
+            // Rank 1's lane 0 goes silent after 256 bytes of control
+            // traffic — a few barriers in, handshake long done.
+            vec![("PCOMM_FAULTS", "seed=9,halfopen=0:256".to_string())],
+        ],
+        TIMEOUT,
+    );
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(
+            o.out.starts_with("err "),
+            "rank {rank} should have surfaced a typed error, got `{}`",
+            o.out
+        );
+    }
+    let survivor = &outs[0];
+    assert!(
+        survivor.out.contains("presumed dead"),
+        "survivor's error does not name the silent peer: `{}`",
+        survivor.out
+    );
+    assert!(
+        survivor.trace.contains("heartbeat_miss"),
+        "survivor escalated without recording a heartbeat_miss event"
+    );
+    // Detection bound: the quiet period in the message is the monitor's
+    // own measurement; 2x interval plus scheduling slack.
+    let quiet_ms: u64 = survivor
+        .out
+        .split(" for ")
+        .nth(1)
+        .and_then(|s| s.split(" ms").next())
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no quiet period in `{}`", survivor.out));
+    assert!(
+        quiet_ms <= 2 * hb_ms + 350,
+        "silent death detected only after {quiet_ms} ms (heartbeat {hb_ms} ms)"
+    );
+}

@@ -5,7 +5,10 @@
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::faults::{FaultyLink, FaultyState, WireFaults};
 
 /// One connected, bidirectional byte stream to a peer rank.
 #[derive(Debug)]
@@ -14,9 +17,29 @@ pub enum Endpoint {
     Uds(UnixStream),
     /// TCP loopback socket.
     Tcp(TcpStream),
+    /// A wrapped endpoint injecting seeded wire faults (chaos runs
+    /// only). See [`crate::faults`].
+    Faulty(Box<FaultyLink>),
 }
 
 impl Endpoint {
+    /// Wrap this endpoint in a seeded wire-fault injector for `(peer,
+    /// lane)`. Clones made afterwards share one fault ledger, so the
+    /// reader and writer halves of a lane count bytes together. A
+    /// no-op (returns `self`) when the plan has no wire faults.
+    pub fn with_faults(self, plan: Arc<WireFaults>, peer: u32, lane: u32) -> Endpoint {
+        if !plan.any() || matches!(self, Endpoint::Faulty(_)) {
+            return self;
+        }
+        Endpoint::Faulty(Box::new(FaultyLink {
+            inner: self,
+            plan,
+            peer,
+            lane,
+            state: Arc::new(FaultyState::default()),
+        }))
+    }
+
     /// Clone the underlying socket handle (shared file description), so
     /// a reader thread and a writer thread can own the stream
     /// independently.
@@ -24,6 +47,7 @@ impl Endpoint {
         Ok(match self {
             Endpoint::Uds(s) => Endpoint::Uds(s.try_clone()?),
             Endpoint::Tcp(s) => Endpoint::Tcp(s.try_clone()?),
+            Endpoint::Faulty(l) => Endpoint::Faulty(Box::new(l.clone_shared()?)),
         })
     }
 
@@ -33,6 +57,10 @@ impl Endpoint {
         let _ = match self {
             Endpoint::Uds(s) => s.shutdown(Shutdown::Both),
             Endpoint::Tcp(s) => s.shutdown(Shutdown::Both),
+            Endpoint::Faulty(l) => {
+                l.inner.shutdown();
+                Ok(())
+            }
         };
     }
 
@@ -41,6 +69,7 @@ impl Endpoint {
         match self {
             Endpoint::Uds(s) => s.set_read_timeout(dur),
             Endpoint::Tcp(s) => s.set_read_timeout(dur),
+            Endpoint::Faulty(l) => l.inner.set_read_timeout(dur),
         }
     }
 
@@ -48,6 +77,7 @@ impl Endpoint {
         match self {
             Endpoint::Uds(s) => s.set_nonblocking(nb),
             Endpoint::Tcp(s) => s.set_nonblocking(nb),
+            Endpoint::Faulty(l) => l.inner.set_nonblocking(nb),
         }
     }
 
@@ -58,6 +88,7 @@ impl Endpoint {
         match self {
             Endpoint::Uds(_) => Ok(()),
             Endpoint::Tcp(s) => s.set_nodelay(true),
+            Endpoint::Faulty(l) => l.inner.set_nodelay(),
         }
     }
 
@@ -66,6 +97,7 @@ impl Endpoint {
         match self {
             Endpoint::Uds(_) => Ok(true),
             Endpoint::Tcp(s) => s.nodelay(),
+            Endpoint::Faulty(l) => l.inner.nodelay(),
         }
     }
 }
@@ -75,6 +107,7 @@ impl Read for Endpoint {
         match self {
             Endpoint::Uds(s) => s.read(buf),
             Endpoint::Tcp(s) => s.read(buf),
+            Endpoint::Faulty(l) => l.faulty_read(buf),
         }
     }
 }
@@ -84,16 +117,28 @@ impl Write for Endpoint {
         match self {
             Endpoint::Uds(s) => s.write(buf),
             Endpoint::Tcp(s) => s.write(buf),
+            Endpoint::Faulty(l) => l.faulty_write(buf),
         }
     }
 
     // Forward explicitly: the trait's default implementation writes only
     // the first non-empty slice, which would turn a writer's batched
-    // frame submission back into one syscall per frame.
+    // frame submission back into one syscall per frame. The faulty
+    // wrapper deliberately *keeps* the one-slice default (via `write`)
+    // so torn-write faults also exercise the vectored callers' partial
+    // handling.
     fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
         match self {
             Endpoint::Uds(s) => s.write_vectored(bufs),
             Endpoint::Tcp(s) => s.write_vectored(bufs),
+            Endpoint::Faulty(_) => {
+                let buf = bufs
+                    .iter()
+                    .find(|b| !b.is_empty())
+                    .map(|b| &b[..])
+                    .unwrap_or(&[]);
+                self.write(buf)
+            }
         }
     }
 
@@ -101,6 +146,7 @@ impl Write for Endpoint {
         match self {
             Endpoint::Uds(s) => s.flush(),
             Endpoint::Tcp(s) => s.flush(),
+            Endpoint::Faulty(l) => l.inner.flush(),
         }
     }
 }

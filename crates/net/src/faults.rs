@@ -1,0 +1,452 @@
+//! Seeded wire-level fault injection.
+//!
+//! [`WireFaults`] describes a plan of *wire-class* faults — torn
+//! (partial) writes, short reads, injected garbage bytes, connection
+//! reset at a frame boundary, lane kill after a byte threshold, and
+//! half-open silent death — and an [`Endpoint`] wrapped via
+//! [`Endpoint::with_faults`] applies them on every `read`/`write` call.
+//!
+//! Every decision is a pure function of `(seed, peer, lane, call
+//! index)`: two runs with the same plan and the same call sequence
+//! inject bit-for-bit the same faults, so a failing chaos run replays
+//! exactly. The probability draws use the same SplitMix64 folding
+//! discipline as the message-level `FaultPlan` in `pcomm-trace`, but
+//! live here so `pcomm-net` stays free of any `pcomm-core` dependency:
+//! the runtime converts its parsed `PCOMM_FAULTS` plan into a
+//! [`WireFaults`] when it builds the socket transport.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pcomm_prng::{Rng64, SplitMix64};
+
+use crate::endpoint::Endpoint;
+
+/// Domain separator for write-side draws.
+const DOMAIN_WRITE: u64 = 0x7772; // "wr"
+/// Domain separator for read-side draws.
+const DOMAIN_READ: u64 = 0x7264; // "rd"
+
+/// One wire-class fault, as injected (reported through the
+/// [`WireFaults::on_fault`] observer and counted per endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// A write call delivered only a prefix of the caller's bytes.
+    TornWrite,
+    /// A read call returned fewer bytes than the peer had available.
+    ShortRead,
+    /// A byte of an outgoing write was flipped in flight.
+    Garbage,
+    /// The connection was reset (socket shut down, error returned).
+    Reset,
+    /// A lane was killed after its configured byte threshold.
+    LaneKill,
+    /// Writes are silently swallowed: the peer sees a live socket that
+    /// never speaks again.
+    HalfOpen,
+}
+
+impl WireFault {
+    /// Stable short name (used by counters and log lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFault::TornWrite => "torn-write",
+            WireFault::ShortRead => "short-read",
+            WireFault::Garbage => "garbage",
+            WireFault::Reset => "reset",
+            WireFault::LaneKill => "lane-kill",
+            WireFault::HalfOpen => "half-open",
+        }
+    }
+
+    /// Index into per-endpoint fault counters.
+    fn slot(self) -> usize {
+        match self {
+            WireFault::TornWrite => 0,
+            WireFault::ShortRead => 1,
+            WireFault::Garbage => 2,
+            WireFault::Reset => 3,
+            WireFault::LaneKill => 4,
+            WireFault::HalfOpen => 5,
+        }
+    }
+}
+
+/// Observer invoked synchronously for every injected fault (the runtime
+/// uses it to emit trace events without `pcomm-net` knowing about the
+/// tracer).
+pub type FaultObserver = Arc<dyn Fn(WireFault, u32, u32) + Send + Sync>;
+
+/// A seeded wire-fault plan shared by every wrapped endpoint of one
+/// transport. Probabilities are per `read`/`write` *call*; thresholds
+/// are cumulative bytes written on the matching lane.
+#[derive(Clone, Default)]
+pub struct WireFaults {
+    /// Seed every decision derives from.
+    pub seed: u64,
+    /// Probability a write delivers only a seeded prefix.
+    pub torn: f64,
+    /// Probability a read returns fewer bytes than requested.
+    pub short_read: f64,
+    /// Probability one byte of a write is flipped in flight.
+    pub garbage: f64,
+    /// Probability a write call resets the connection instead.
+    pub reset: f64,
+    /// Kill lane `.0` once `.1` cumulative bytes were written on it.
+    pub lane_kill: Option<(u32, u64)>,
+    /// After `.1` bytes written on lane `.0`, silently swallow all
+    /// further writes (half-open peer: alive socket, dead process).
+    pub half_open: Option<(u32, u64)>,
+    /// Observer called as `(fault, peer, lane)` on every injection.
+    pub on_fault: Option<FaultObserver>,
+}
+
+impl fmt::Debug for WireFaults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WireFaults")
+            .field("seed", &self.seed)
+            .field("torn", &self.torn)
+            .field("short_read", &self.short_read)
+            .field("garbage", &self.garbage)
+            .field("reset", &self.reset)
+            .field("lane_kill", &self.lane_kill)
+            .field("half_open", &self.half_open)
+            .finish()
+    }
+}
+
+impl WireFaults {
+    /// Whether any wire fault can ever fire under this plan.
+    pub fn any(&self) -> bool {
+        self.torn > 0.0
+            || self.short_read > 0.0
+            || self.garbage > 0.0
+            || self.reset > 0.0
+            || self.lane_kill.is_some()
+            || self.half_open.is_some()
+    }
+}
+
+/// Mutable per-link state, shared by every clone of one wrapped
+/// endpoint so reader and writer threads see one byte/call ledger.
+#[derive(Debug, Default)]
+pub struct FaultyState {
+    written: AtomicU64,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    dead: AtomicBool,
+    half_open: AtomicBool,
+    injected: [AtomicU64; 6],
+}
+
+impl FaultyState {
+    /// How many faults of `kind` this link has injected so far.
+    pub fn injected(&self, kind: WireFault) -> u64 {
+        self.injected[kind.slot()].load(Ordering::Relaxed)
+    }
+}
+
+/// An [`Endpoint`] plus the fault plan that intercepts its I/O. Built
+/// by [`Endpoint::with_faults`]; clones share one [`FaultyState`].
+pub struct FaultyLink {
+    /// The real endpoint the surviving bytes travel over.
+    pub(crate) inner: Endpoint,
+    pub(crate) plan: Arc<WireFaults>,
+    pub(crate) peer: u32,
+    pub(crate) lane: u32,
+    pub(crate) state: Arc<FaultyState>,
+}
+
+impl fmt::Debug for FaultyLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyLink")
+            .field("inner", &self.inner)
+            .field("peer", &self.peer)
+            .field("lane", &self.lane)
+            .field("plan", &self.plan)
+            .finish()
+    }
+}
+
+/// Map a 64-bit draw to a uniform in `[0, 1)` (same convention as the
+/// message-level fault plan).
+fn u01(v: u64) -> f64 {
+    (v >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultyLink {
+    pub(crate) fn clone_shared(&self) -> io::Result<FaultyLink> {
+        Ok(FaultyLink {
+            inner: self.inner.try_clone()?,
+            plan: Arc::clone(&self.plan),
+            peer: self.peer,
+            lane: self.lane,
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    /// One deterministic 64-bit draw for call `idx` in `domain`.
+    fn draw(&self, domain: u64, idx: u64) -> u64 {
+        let mut acc = SplitMix64::new(self.plan.seed).next_u64();
+        for w in [domain, self.peer as u64, self.lane as u64, idx] {
+            acc = SplitMix64::new(acc ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+        }
+        SplitMix64::new(acc).next_u64()
+    }
+
+    fn report(&self, kind: WireFault) {
+        self.state.injected[kind.slot()].fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.plan.on_fault {
+            obs(kind, self.peer, self.lane);
+        }
+    }
+
+    fn reset_err(&self) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!(
+                "wire fault: connection reset (peer {}, lane {})",
+                self.peer, self.lane
+            ),
+        )
+    }
+
+    pub(crate) fn faulty_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.state.dead.load(Ordering::Relaxed) {
+            return Err(self.reset_err());
+        }
+        let written = self.state.written.load(Ordering::Relaxed);
+        if let Some((lane, after)) = self.plan.lane_kill {
+            if lane == self.lane && written >= after {
+                if !self.state.dead.swap(true, Ordering::Relaxed) {
+                    self.report(WireFault::LaneKill);
+                    // Kill the real socket so the peer's reader on this
+                    // lane fails too instead of waiting forever.
+                    self.inner.shutdown();
+                }
+                return Err(self.reset_err());
+            }
+        }
+        if let Some((lane, after)) = self.plan.half_open {
+            if lane == self.lane
+                && (written >= after || self.state.half_open.load(Ordering::Relaxed))
+            {
+                if !self.state.half_open.swap(true, Ordering::Relaxed) {
+                    self.report(WireFault::HalfOpen);
+                }
+                // Swallow: the caller believes the bytes left; the peer
+                // hears silence from now on.
+                self.state
+                    .written
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                return Ok(buf.len());
+            }
+        }
+        let idx = self.state.writes.fetch_add(1, Ordering::Relaxed);
+        let p = u01(self.draw(DOMAIN_WRITE, idx));
+        if p < self.plan.reset {
+            self.state.dead.store(true, Ordering::Relaxed);
+            self.report(WireFault::Reset);
+            self.inner.shutdown();
+            return Err(self.reset_err());
+        }
+        if p < self.plan.reset + self.plan.garbage && !buf.is_empty() {
+            // Flip one seeded byte of a copy; the peer's decode layer
+            // must turn this into a typed error, never a panic.
+            let pick = self.draw(DOMAIN_WRITE ^ 0xff, idx);
+            let mut corrupt = buf.to_vec();
+            let at = (pick as usize) % corrupt.len();
+            corrupt[at] ^= 1 << ((pick >> 32) % 8);
+            self.report(WireFault::Garbage);
+            let n = self.inner.write(&corrupt)?;
+            self.state.written.fetch_add(n as u64, Ordering::Relaxed);
+            return Ok(n);
+        }
+        if p < self.plan.reset + self.plan.garbage + self.plan.torn && buf.len() > 1 {
+            // Deliver only a seeded prefix; a correct caller loops.
+            let pick = self.draw(DOMAIN_WRITE ^ 0xaa, idx);
+            let k = 1 + (pick as usize) % (buf.len() - 1);
+            self.report(WireFault::TornWrite);
+            let n = self.inner.write(&buf[..k])?;
+            self.state.written.fetch_add(n as u64, Ordering::Relaxed);
+            return Ok(n);
+        }
+        let n = self.inner.write(buf)?;
+        self.state.written.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    pub(crate) fn faulty_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.state.dead.load(Ordering::Relaxed) {
+            return Err(self.reset_err());
+        }
+        let idx = self.state.reads.fetch_add(1, Ordering::Relaxed);
+        if buf.len() > 1 && u01(self.draw(DOMAIN_READ, idx)) < self.plan.short_read {
+            // Hand back fewer bytes than asked for; a correct caller
+            // (read_exact, the frame reader) loops.
+            let pick = self.draw(DOMAIN_READ ^ 0x55, idx);
+            let k = 1 + (pick as usize) % (buf.len() - 1);
+            self.report(WireFault::ShortRead);
+            return self.inner.read(&mut buf[..k]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    fn pair_with(plan: WireFaults, lane: u32) -> (Endpoint, Endpoint) {
+        let (a, b) = UnixStream::pair().unwrap();
+        let faulty = Endpoint::Uds(a).with_faults(Arc::new(plan), 1, lane);
+        (faulty, Endpoint::Uds(b))
+    }
+
+    #[test]
+    fn torn_writes_still_deliver_via_write_all() {
+        let (mut tx, mut rx) = pair_with(
+            WireFaults {
+                seed: 7,
+                torn: 1.0,
+                ..WireFaults::default()
+            },
+            1,
+        );
+        let msg = [0xabu8; 4096];
+        let writer = std::thread::spawn(move || {
+            tx.write_all(&msg).unwrap();
+            tx
+        });
+        let mut got = [0u8; 4096];
+        rx.read_exact(&mut got).unwrap();
+        let tx = writer.join().unwrap();
+        assert_eq!(got, msg);
+        match &tx {
+            Endpoint::Faulty(l) => assert!(l.state.injected(WireFault::TornWrite) > 0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn lane_kill_fires_at_threshold_and_peer_sees_eof() {
+        let (mut tx, mut rx) = pair_with(
+            WireFaults {
+                seed: 7,
+                lane_kill: Some((2, 1024)),
+                ..WireFaults::default()
+            },
+            2,
+        );
+        let chunk = [0u8; 512];
+        tx.write_all(&chunk).unwrap();
+        tx.write_all(&chunk).unwrap();
+        let err = tx.write_all(&chunk).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // Drain what made it through, then observe the shutdown.
+        let mut sink = Vec::new();
+        rx.read_to_end(&mut sink).unwrap();
+        assert_eq!(sink.len(), 1024);
+    }
+
+    #[test]
+    fn lane_kill_ignores_other_lanes() {
+        let (mut tx, _rx) = pair_with(
+            WireFaults {
+                seed: 7,
+                lane_kill: Some((2, 0)),
+                ..WireFaults::default()
+            },
+            1,
+        );
+        tx.write_all(&[1u8; 4096]).unwrap();
+    }
+
+    #[test]
+    fn half_open_swallows_writes_silently() {
+        let (mut tx, mut rx) = pair_with(
+            WireFaults {
+                seed: 7,
+                half_open: Some((0, 256)),
+                ..WireFaults::default()
+            },
+            0,
+        );
+        tx.write_all(&[9u8; 256]).unwrap();
+        tx.write_all(&[9u8; 256]).unwrap(); // swallowed, still Ok
+        drop(tx);
+        let mut sink = Vec::new();
+        rx.read_to_end(&mut sink).unwrap();
+        assert_eq!(sink.len(), 256, "only pre-threshold bytes arrive");
+    }
+
+    #[test]
+    fn decisions_are_seed_deterministic() {
+        let run = |seed| {
+            let (a, _b) = UnixStream::pair().unwrap();
+            let ep = Endpoint::Uds(a).with_faults(
+                Arc::new(WireFaults {
+                    seed,
+                    torn: 0.5,
+                    ..WireFaults::default()
+                }),
+                3,
+                1,
+            );
+            let mut ep = ep;
+            let mut pattern = Vec::new();
+            for _ in 0..64 {
+                pattern.push(ep.write(&[0u8; 64]).unwrap());
+            }
+            pattern
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn garbage_flips_exactly_one_bit() {
+        let (mut tx, mut rx) = pair_with(
+            WireFaults {
+                seed: 11,
+                garbage: 1.0,
+                ..WireFaults::default()
+            },
+            1,
+        );
+        let msg = [0u8; 128];
+        tx.write_all(&msg).unwrap();
+        drop(tx);
+        let mut got = Vec::new();
+        rx.read_to_end(&mut got).unwrap();
+        assert_eq!(got.len(), 128);
+        let flipped: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert!(flipped >= 1, "at least one bit flipped");
+    }
+
+    #[test]
+    fn observer_sees_injections() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let (mut tx, _rx) = pair_with(
+            WireFaults {
+                seed: 5,
+                torn: 1.0,
+                on_fault: Some(Arc::new(move |f, peer, lane| {
+                    assert_eq!(f, WireFault::TornWrite);
+                    assert_eq!((peer, lane), (1, 1));
+                    h.fetch_add(1, Ordering::Relaxed);
+                })),
+                ..WireFaults::default()
+            },
+            1,
+        );
+        let _ = tx.write(&[0u8; 64]).unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -25,6 +25,8 @@
 //! | 14     | `PartRts`        | ctx:u64, total_len:u64, rdv_id:u64         |
 //! | 15     | `PartCts`        | rdv_id:u64                                 |
 //! | 16     | `PartData`       | rdv_id:u64, offset:u64, payload            |
+//! | 17     | `Heartbeat`      | seq:u64                                    |
+//! | 18     | `StreamResync`   | rdv_id:u64, received:u64, missing ranges   |
 //!
 //! Opcodes 14–16 carry the partition-granular streaming protocol: a
 //! `PartRts` announces a whole partitioned-send buffer for a given
@@ -33,6 +35,13 @@
 //! (an aggregated run of ready partitions) at an explicit offset.
 //! Because every `PartData` names its own offset, data frames are
 //! order-independent and may travel on any writer lane.
+//!
+//! Opcodes 17–18 serve liveness and recovery: `Heartbeat` frames keep
+//! lane 0 audibly alive when `PCOMM_NET_HB_MS` is set, and after a
+//! lane-0 reconnect each receiver reports, per open inbound stream,
+//! which byte ranges it is still missing so the sender can replay
+//! exactly those (offset-addressed commits are idempotent, so replaying
+//! a range that did arrive is harmless).
 
 use std::io::{self, Read, Write};
 
@@ -71,6 +80,12 @@ const OP_GET_RESP: u8 = 13;
 const OP_PART_RTS: u8 = 14;
 const OP_PART_CTS: u8 = 15;
 const OP_PART_DATA: u8 = 16;
+const OP_HEARTBEAT: u8 = 17;
+const OP_STREAM_RESYNC: u8 = 18;
+
+/// Upper bound on the number of missing ranges one [`Frame::StreamResync`]
+/// may carry; a decoded count beyond this is treated as corruption.
+pub const MAX_RESYNC_RANGES: usize = 4096;
 
 /// One decoded wire frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -213,6 +228,24 @@ pub enum Frame {
         offset: u64,
         /// The range bytes.
         payload: Vec<u8>,
+    },
+    /// Liveness probe on lane 0. Carries a sender-local sequence number
+    /// for diagnostics; receipt of *any* frame counts as life, the
+    /// heartbeat just guarantees a bounded silence interval.
+    Heartbeat {
+        /// Monotonic per-peer heartbeat counter.
+        seq: u64,
+    },
+    /// After a lane-0 reconnect, the receiver of stream `rdv_id`
+    /// reports how much it has committed and which byte ranges are
+    /// still missing, so the sender replays exactly those.
+    StreamResync {
+        /// The stream id from the PartRts.
+        rdv_id: u64,
+        /// Total bytes committed so far (diagnostics).
+        received: u64,
+        /// Byte ranges `(offset, len)` not yet committed.
+        missing: Vec<(u64, u64)>,
     },
 }
 
@@ -400,6 +433,8 @@ impl Frame {
             Frame::PartRts { .. } => "PartRts",
             Frame::PartCts { .. } => "PartCts",
             Frame::PartData { .. } => "PartData",
+            Frame::Heartbeat { .. } => "Heartbeat",
+            Frame::StreamResync { .. } => "StreamResync",
         }
     }
 
@@ -552,6 +587,27 @@ impl Frame {
                 e.bytes(payload);
                 e.finish()
             }
+            Frame::Heartbeat { seq } => {
+                let mut e = Enc::new(out, OP_HEARTBEAT);
+                e.u64(*seq);
+                e.finish()
+            }
+            Frame::StreamResync {
+                rdv_id,
+                received,
+                missing,
+            } => {
+                let mut e = Enc::new(out, OP_STREAM_RESYNC);
+                e.u64(*rdv_id);
+                e.u64(*received);
+                debug_assert!(missing.len() <= MAX_RESYNC_RANGES);
+                e.u16(missing.len().min(MAX_RESYNC_RANGES) as u16);
+                for &(off, len) in missing.iter().take(MAX_RESYNC_RANGES) {
+                    e.u64(off);
+                    e.u64(len);
+                }
+                e.finish()
+            }
         }
     }
 
@@ -630,6 +686,26 @@ impl Frame {
                 offset: d.u64()?,
                 payload: d.rest(),
             },
+            OP_HEARTBEAT => Frame::Heartbeat { seq: d.u64()? },
+            OP_STREAM_RESYNC => {
+                let rdv_id = d.u64()?;
+                let received = d.u64()?;
+                let count = d.u16()? as usize;
+                if count > MAX_RESYNC_RANGES {
+                    return Err(corrupt(format!("implausible resync range count {count}")));
+                }
+                // Sized by bytes actually present, not the claimed
+                // count, so a lying count cannot reserve memory.
+                let mut missing = Vec::new();
+                for _ in 0..count {
+                    missing.push((d.u64()?, d.u64()?));
+                }
+                Frame::StreamResync {
+                    rdv_id,
+                    received,
+                    missing,
+                }
+            }
             other => return Err(corrupt(format!("unknown opcode {other}"))),
         };
         Ok(frame)
@@ -650,10 +726,29 @@ impl Frame {
         if !(2..=MAX_FRAME_BODY).contains(&len) {
             return Err(corrupt(format!("implausible frame length {len}")));
         }
-        let mut body = vec![0u8; len];
-        r.read_exact(&mut body)?;
+        let body = read_body(r, len)?;
         Frame::decode(&body)
     }
+}
+
+/// Allocation step for frame bodies read off the wire.
+const BODY_ALLOC_STEP: usize = 1 << 20;
+
+/// Read a `len`-byte frame body without trusting `len` for the initial
+/// allocation: grow in [`BODY_ALLOC_STEP`] increments as bytes actually
+/// arrive, so a corrupted or hostile length prefix costs at most one
+/// step of memory before the stream runs dry (a typed error), never an
+/// up-front gigabyte-sized allocation.
+fn read_body(r: &mut impl Read, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; len.min(BODY_ALLOC_STEP)];
+    r.read_exact(&mut body)?;
+    while body.len() < len {
+        let at = body.len();
+        let step = (len - at).min(BODY_ALLOC_STEP);
+        body.resize(at + step, 0);
+        r.read_exact(&mut body[at..])?;
+    }
+    Ok(body)
 }
 
 #[cfg(test)]
@@ -749,6 +844,17 @@ mod tests {
             offset: 1 << 16,
             payload: vec![5; 256],
         });
+        roundtrip(Frame::Heartbeat { seq: 999 });
+        roundtrip(Frame::StreamResync {
+            rdv_id: 77,
+            received: 1 << 19,
+            missing: vec![(0, 4096), (1 << 19, 65536)],
+        });
+        roundtrip(Frame::StreamResync {
+            rdv_id: 1,
+            received: 0,
+            missing: Vec::new(),
+        });
     }
 
     #[test]
@@ -839,5 +945,29 @@ mod tests {
         bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut cursor = std::io::Cursor::new(&bytes);
         assert!(Frame::read_from(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn lying_length_prefix_fails_without_oversized_allocation() {
+        // A prefix claiming MAX_FRAME_BODY over a nearly-empty stream
+        // must fail with a typed error after at most one alloc step,
+        // not allocate a gigabyte up front.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_BODY as u32).to_le_bytes());
+        bytes.extend_from_slice(&[WIRE_VERSION, OP_BYE]);
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let err = Frame::read_from(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn resync_range_count_lies_are_rejected() {
+        // Body claims u16::MAX ranges but carries none.
+        let mut body = vec![WIRE_VERSION, OP_STREAM_RESYNC];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&(u16::MAX).to_le_bytes());
+        let err = Frame::decode(&body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

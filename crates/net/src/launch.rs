@@ -32,6 +32,11 @@ pub const ENV_BACKEND: &str = "PCOMM_NET_BACKEND";
 pub const ENV_AGGR: &str = "PCOMM_NET_AGGR";
 /// Env var: writer lanes per peer pair (the VCI analogue).
 pub const ENV_LANES: &str = "PCOMM_NET_LANES";
+/// Env var: heartbeat interval in milliseconds on lane 0. Unset or `0`
+/// disables heartbeats (the default — benches measure the wire, not
+/// the liveness probes). When set, a peer silent for ~2× this interval
+/// is declared dead with a typed `PeerPanicked` error.
+pub const ENV_HB: &str = "PCOMM_NET_HB_MS";
 
 /// Default partition-stream aggregation threshold.
 pub const DEFAULT_AGGR: usize = 256 * 1024;
@@ -67,6 +72,22 @@ pub fn aggr_from_env() -> usize {
 /// All ranks read the same environment (SPMD), so the mesh agrees.
 pub fn lanes_from_env() -> usize {
     env_usize(ENV_LANES, DEFAULT_LANES).min(MAX_LANES)
+}
+
+/// The `PCOMM_NET_HB_MS` heartbeat interval. `None` (heartbeats off)
+/// when unset, `0`, or malformed — a typo degrades, not crashes.
+pub fn hb_ms_from_env() -> Option<u64> {
+    match std::env::var(ENV_HB) {
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(v) => Some(v),
+            Err(_) => {
+                eprintln!("pcomm-net: ignoring malformed {ENV_HB}={s:?}, heartbeats stay off");
+                None
+            }
+        },
+        Err(_) => None,
+    }
 }
 
 /// The decoded multiprocess environment of a rank process.

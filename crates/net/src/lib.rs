@@ -11,6 +11,9 @@
 //! * [`mesh`] — full-mesh connection establishment between the rank
 //!   processes of one universe, rendezvousing through a shared
 //!   directory;
+//! * [`faults`] — seeded wire-level fault injection (torn writes,
+//!   short reads, garbage, resets, lane kill, half-open death) for
+//!   chaos runs, wrapped around any endpoint;
 //! * [`launch`] — the `PCOMM_NET_*` environment contract between a
 //!   launcher and the rank processes, plus helpers to spawn ranks
 //!   (used by the `pcomm-launch` binary and
@@ -23,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod endpoint;
+pub mod faults;
 pub mod frame;
 pub mod launch;
 pub mod mesh;
 
 pub use endpoint::Endpoint;
+pub use faults::{WireFault, WireFaults};
 pub use frame::Frame;
 pub use launch::MultiprocEnv;
 pub use mesh::{Backend, Mesh, MeshConfig};

@@ -95,6 +95,14 @@ fn port_path(dir: &Path, seq: u64, rank: usize) -> PathBuf {
     dir.join(format!("u{seq}.r{rank}.port"))
 }
 
+/// Rendezvous name for a lane-0 *reconnect* between one pair. The
+/// original per-rank listeners and their artifacts are gone by the time
+/// a lane dies (removed at the end of [`establish`]), so recovery uses
+/// a fresh pair-scoped name that cannot collide with them.
+fn reconnect_path(dir: &Path, seq: u64, lo: usize, hi: usize) -> PathBuf {
+    dir.join(format!("u{seq}.r{lo}p{hi}.rc"))
+}
+
 fn bind(cfg: &MeshConfig) -> io::Result<Listener> {
     match cfg.backend {
         Backend::Uds => {
@@ -258,6 +266,108 @@ pub fn establish(cfg: &MeshConfig) -> io::Result<Mesh> {
     })
 }
 
+/// Re-establish the lane-0 stream between this rank and `peer` after
+/// the original connection died. Role assignment is deterministic: the
+/// lower rank of the pair listens on a fresh pair-scoped rendezvous
+/// name, the higher rank connects (both sides call this one function).
+/// Hellos are exchanged in *both* directions so each side proves who it
+/// is and that it still belongs to universe `cfg.seq`. Every blocking
+/// step is bounded by `deadline`, so a peer that died for real turns
+/// into a typed error, never a hang.
+pub fn reconnect_pair(cfg: &MeshConfig, peer: usize, deadline: Instant) -> io::Result<Endpoint> {
+    assert!(peer != cfg.rank && peer < cfg.n_ranks, "peer out of range");
+    let (lo, hi) = (cfg.rank.min(peer), cfg.rank.max(peer));
+    let path = reconnect_path(&cfg.dir, cfg.seq, lo, hi);
+    let hello = Frame::Hello {
+        rank: cfg.rank as u16,
+        lane: 0,
+        seq: cfg.seq,
+    };
+    let expect = |got: (u16, u16, u64)| -> io::Result<()> {
+        let (rank, lane, seq) = got;
+        if rank as usize != peer || lane != 0 || seq != cfg.seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "net: reconnect hello mismatch: got rank {rank} lane {lane} \
+                     universe {seq}, expected rank {peer} lane 0 universe {}",
+                    cfg.seq
+                ),
+            ));
+        }
+        Ok(())
+    };
+    if cfg.rank == lo {
+        // Listener role. Bind a fresh pair-scoped listener, wait for
+        // the peer, validate, answer with our own hello.
+        let listener = match cfg.backend {
+            Backend::Uds => {
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)?;
+                l.set_nonblocking(true)?;
+                Listener::Uds(l)
+            }
+            Backend::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                l.set_nonblocking(true)?;
+                let port = l.local_addr()?.port();
+                let pfile = path.with_extension("rc.port");
+                let tmp = path.with_extension("rc.port.tmp");
+                std::fs::write(&tmp, port.to_string())?;
+                std::fs::rename(&tmp, &pfile)?;
+                Listener::Tcp(l)
+            }
+        };
+        let result = (|| {
+            let mut ep = listener.accept_deadline(deadline)?;
+            expect(read_hello(&mut ep, deadline)?)?;
+            hello.write_to(&mut ep)?;
+            ep.flush()?;
+            Ok(ep)
+        })();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("rc.port"));
+        result
+    } else {
+        // Connector role: the listener side may take a moment to bind,
+        // so retry on not-yet-there errors until the deadline.
+        let what = format!("rank {peer} (lane-0 reconnect, universe {})", cfg.seq);
+        let mut ep = match cfg.backend {
+            Backend::Uds => connect_retry(
+                || UnixStream::connect(&path).map(Endpoint::Uds),
+                deadline,
+                &what,
+            )?,
+            Backend::Tcp => {
+                let pfile = path.with_extension("rc.port");
+                connect_retry(
+                    || {
+                        let port: u16 =
+                            std::fs::read_to_string(&pfile)?
+                                .trim()
+                                .parse()
+                                .map_err(|_| {
+                                    io::Error::new(
+                                        io::ErrorKind::NotFound,
+                                        "bad reconnect port file",
+                                    )
+                                })?;
+                        let s = std::net::TcpStream::connect(("127.0.0.1", port))?;
+                        Ok(Endpoint::Tcp(s))
+                    },
+                    deadline,
+                    &what,
+                )?
+            }
+        };
+        ep.set_nodelay()?;
+        hello.write_to(&mut ep)?;
+        ep.flush()?;
+        expect(read_hello(&mut ep, deadline)?)?;
+        Ok(ep)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +443,43 @@ mod tests {
     #[test]
     fn tcp_mesh_connects_multi_lane() {
         mesh_roundtrip(Backend::Tcp, 2);
+    }
+
+    fn reconnect_roundtrip(backend: Backend) {
+        let dir = crate::launch::unique_rendezvous_dir().unwrap();
+        let mut handles = Vec::new();
+        for rank in 0..2 {
+            let cfg = MeshConfig {
+                rank,
+                n_ranks: 2,
+                dir: dir.clone(),
+                backend,
+                seq: 3,
+                lanes: 1,
+            };
+            handles.push(std::thread::spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                let mut ep = reconnect_pair(&cfg, 1 - rank, deadline).unwrap();
+                ep.write_all(&[rank as u8]).unwrap();
+                let mut b = [0u8; 1];
+                ep.read_exact(&mut b).unwrap();
+                assert_eq!(b[0] as usize, 1 - rank);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uds_reconnect_pair_rejoins_and_validates() {
+        reconnect_roundtrip(Backend::Uds);
+    }
+
+    #[test]
+    fn tcp_reconnect_pair_rejoins_and_validates() {
+        reconnect_roundtrip(Backend::Tcp);
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl XorShift {
     }
 }
 
-const N_VARIANTS: usize = 16;
+const N_VARIANTS: usize = 18;
 
 /// One random instance of variant `v` (0..N_VARIANTS).
 fn gen_frame(rng: &mut XorShift, v: usize) -> Frame {
@@ -119,6 +119,15 @@ fn gen_frame(rng: &mut XorShift, v: usize) -> Frame {
             offset: rng.edgy(),
             payload: rng.payload(),
         },
+        16 => Frame::Heartbeat { seq: rng.edgy() },
+        17 => Frame::StreamResync {
+            rdv_id: rng.edgy(),
+            received: rng.edgy(),
+            missing: {
+                let n = (rng.next() % 5) as usize;
+                (0..n).map(|_| (rng.edgy(), rng.edgy())).collect()
+            },
+        },
         _ => unreachable!("variant index out of range"),
     }
 }
@@ -142,6 +151,8 @@ fn fixed_field_bytes(f: &Frame) -> usize {
         Frame::PartRts { .. } => 8 + 8 + 8,
         Frame::PartCts { .. } => 8,
         Frame::PartData { .. } => 8 + 8,
+        Frame::Heartbeat { .. } => 8,
+        Frame::StreamResync { .. } => 8 + 8 + 2,
     }
 }
 
@@ -249,6 +260,70 @@ fn truncated_streams_and_bad_headers_are_rejected() {
         Frame::read_from(&mut Cursor::new(&1u32.to_le_bytes())).is_err(),
         "sub-minimum frame length"
     );
+}
+
+#[test]
+fn seeded_corruption_sweep_never_panics_and_never_over_allocates() {
+    // Decode hardening: random byte flips over every frame variant, and
+    // length-prefix lies over the stream API, must come back as a clean
+    // typed error (or a different-but-valid frame — a flip can land in a
+    // payload byte), never a panic and never an allocation sized by the
+    // lie instead of by the bytes that actually arrived.
+    let mut rng = XorShift::new(SEED ^ 0xc0de);
+    for round in 0..ROUNDS {
+        for v in 0..N_VARIANTS {
+            let f = gen_frame(&mut rng, v);
+            let buf = f.encode();
+
+            // 1) Byte flips in the body.
+            let n_flips = 1 + (rng.next() % 3) as usize;
+            let mut mutated = buf[4..].to_vec();
+            for _ in 0..n_flips {
+                let at = (rng.next() as usize) % mutated.len();
+                mutated[at] ^= 1 << (rng.next() % 8);
+            }
+            let outcome = std::panic::catch_unwind(|| Frame::decode(&mutated).map(|_| ()));
+            assert!(
+                outcome.is_ok(),
+                "{} round {round}: decode of flipped body panicked",
+                f.name()
+            );
+
+            // 2) Length-prefix lies over the stream API: claim more
+            // bytes than follow. Must be UnexpectedEof/InvalidData, not
+            // a panic, and must not allocate the claimed length before
+            // the stream proves it has the bytes.
+            let mut lying = buf.clone();
+            let claim = match rng.next() % 3 {
+                0 => MAX_FRAME_BODY as u32,
+                1 => (buf.len() as u32).saturating_mul(1000).max(8),
+                _ => (buf.len() - 4 + 1 + (rng.next() % 4096) as usize) as u32,
+            };
+            lying[..4].copy_from_slice(&claim.to_le_bytes());
+            let outcome =
+                std::panic::catch_unwind(|| Frame::read_from(&mut Cursor::new(&lying)).map(|_| ()));
+            match outcome {
+                Ok(res) => assert!(
+                    res.is_err(),
+                    "{} round {round}: lying prefix ({claim} bytes claimed, {} present) \
+                     must not decode",
+                    f.name(),
+                    lying.len() - 4
+                ),
+                Err(_) => panic!("{} round {round}: lying prefix panicked", f.name()),
+            }
+
+            // 3) Truncated stream with an honest prefix: typed error.
+            if buf.len() > 5 {
+                let cut = 4 + 1 + (rng.next() as usize) % (buf.len() - 5);
+                assert!(
+                    Frame::read_from(&mut Cursor::new(&buf[..cut])).is_err(),
+                    "{} round {round}: truncated stream must error",
+                    f.name()
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -78,6 +78,20 @@ pub struct FaultPlan {
     pub jitter_pready: bool,
     /// Resend attempts after a dropped message before it counts as lost.
     pub max_retries: u32,
+    /// Probability a wire write delivers only a prefix of its bytes
+    /// (socket transport only; shm delivery is all-or-nothing).
+    pub wire_torn_p: f64,
+    /// Probability a wire read returns fewer bytes than available.
+    pub wire_short_read_p: f64,
+    /// Probability one byte of a wire write is flipped in flight.
+    pub wire_garbage_p: f64,
+    /// Probability a connection resets at a write boundary.
+    pub wire_reset_p: f64,
+    /// Kill writer lane `.0` after `.1` bytes have crossed it.
+    pub wire_lane_kill: Option<(u32, u64)>,
+    /// Silently swallow writes on lane `.0` after `.1` bytes (half-open
+    /// peer: the socket looks healthy, nothing arrives).
+    pub wire_half_open: Option<(u32, u64)>,
 }
 
 impl FaultPlan {
@@ -93,6 +107,12 @@ impl FaultPlan {
             reorder_p: 0.0,
             jitter_pready: false,
             max_retries: 3,
+            wire_torn_p: 0.0,
+            wire_short_read_p: 0.0,
+            wire_garbage_p: 0.0,
+            wire_reset_p: 0.0,
+            wire_lane_kill: None,
+            wire_half_open: None,
         }
     }
 
@@ -134,6 +154,34 @@ impl FaultPlan {
         self
     }
 
+    /// Tear wire writes with probability `p`.
+    pub fn torn_writes(mut self, p: f64) -> FaultPlan {
+        self.wire_torn_p = p;
+        self
+    }
+
+    /// Kill writer lane `lane` after `bytes` bytes have crossed it.
+    pub fn lane_kill(mut self, lane: u32, bytes: u64) -> FaultPlan {
+        self.wire_lane_kill = Some((lane, bytes));
+        self
+    }
+
+    /// Silently swallow writes on `lane` after `bytes` bytes (half-open).
+    pub fn half_open(mut self, lane: u32, bytes: u64) -> FaultPlan {
+        self.wire_half_open = Some((lane, bytes));
+        self
+    }
+
+    /// Whether the plan injects wire-class faults (socket transport).
+    pub fn any_wire_faults(&self) -> bool {
+        self.wire_torn_p > 0.0
+            || self.wire_short_read_p > 0.0
+            || self.wire_garbage_p > 0.0
+            || self.wire_reset_p > 0.0
+            || self.wire_lane_kill.is_some()
+            || self.wire_half_open.is_some()
+    }
+
     /// Whether the plan can inject anything at all.
     pub fn any_faults(&self) -> bool {
         self.drop_p > 0.0
@@ -141,13 +189,17 @@ impl FaultPlan {
             || self.dup_p > 0.0
             || self.reorder_p > 0.0
             || self.jitter_pready
+            || self.any_wire_faults()
     }
 
     /// Parse the `PCOMM_FAULTS` spec: comma-separated `key=value` items.
     ///
     /// Keys: `seed=N`, `drop=P`, `delay=P[:MAX_US]`, `dup=P`,
-    /// `reorder=P`, `jitter` (flag), `retries=N`. Probabilities are in
-    /// `[0, 1]`. Unknown keys and malformed values are errors.
+    /// `reorder=P`, `jitter` (flag), `retries=N`, and the wire-class
+    /// faults (socket transport only): `torn=P`, `shortread=P`,
+    /// `garbage=P`, `reset=P`, `lanekill=LANE:BYTES`,
+    /// `halfopen=LANE:BYTES`. Probabilities are in `[0, 1]`. Unknown
+    /// keys and malformed values are errors.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         fn need<'a>(key: &str, v: Option<&'a str>) -> Result<&'a str, String> {
             v.ok_or_else(|| format!("`{key}` needs a value"))
@@ -196,6 +248,27 @@ impl FaultPlan {
                     plan.max_retries = need(key, val)?
                         .parse()
                         .map_err(|_| format!("bad retries `{}`", val.unwrap_or("")))?;
+                }
+                "torn" => plan.wire_torn_p = prob(need(key, val)?)?,
+                "shortread" => plan.wire_short_read_p = prob(need(key, val)?)?,
+                "garbage" => plan.wire_garbage_p = prob(need(key, val)?)?,
+                "reset" => plan.wire_reset_p = prob(need(key, val)?)?,
+                "lanekill" | "halfopen" => {
+                    let v = need(key, val)?;
+                    let (lane, bytes) = v
+                        .split_once(':')
+                        .ok_or_else(|| format!("`{key}` needs LANE:BYTES, got `{v}`"))?;
+                    let lane: u32 = lane
+                        .parse()
+                        .map_err(|_| format!("bad {key} lane `{lane}`"))?;
+                    let bytes: u64 = bytes
+                        .parse()
+                        .map_err(|_| format!("bad {key} byte threshold `{bytes}`"))?;
+                    if key == "lanekill" {
+                        plan.wire_lane_kill = Some((lane, bytes));
+                    } else {
+                        plan.wire_half_open = Some((lane, bytes));
+                    }
                 }
                 _ => return Err(format!("unknown PCOMM_FAULTS key `{key}`")),
             }
@@ -367,5 +440,28 @@ mod tests {
         assert!(FaultPlan::parse("seed=abc").is_err());
         assert!(FaultPlan::parse("drop").is_err());
         assert!(FaultPlan::parse("").is_ok(), "empty spec is a no-op plan");
+    }
+
+    #[test]
+    fn parse_wire_fault_keys() {
+        let plan = FaultPlan::parse(
+            "seed=7, torn=0.1, shortread=0.2, garbage=0.05, reset=0.01, \
+             lanekill=2:65536, halfopen=0:1024",
+        )
+        .unwrap();
+        assert_eq!(plan.wire_torn_p, 0.1);
+        assert_eq!(plan.wire_short_read_p, 0.2);
+        assert_eq!(plan.wire_garbage_p, 0.05);
+        assert_eq!(plan.wire_reset_p, 0.01);
+        assert_eq!(plan.wire_lane_kill, Some((2, 65536)));
+        assert_eq!(plan.wire_half_open, Some((0, 1024)));
+        assert!(plan.any_wire_faults());
+        assert!(plan.any_faults());
+        // A message-class-only plan reports no wire faults.
+        assert!(!FaultPlan::parse("drop=0.1").unwrap().any_wire_faults());
+        // Thresholded faults need LANE:BYTES.
+        assert!(FaultPlan::parse("lanekill=2").is_err());
+        assert!(FaultPlan::parse("halfopen=x:1").is_err());
+        assert!(FaultPlan::parse("torn=2.0").is_err());
     }
 }

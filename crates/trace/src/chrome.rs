@@ -173,6 +173,21 @@ fn args_json(kind: &EventKind) -> String {
             offset,
             bytes,
         } => format!("\"lane\":{lane},\"msgs\":{msgs},\"offset\":{offset},\"bytes\":{bytes}"),
+        EventKind::LaneDown { peer, lane } => format!("\"peer\":{peer},\"lane\":{lane}"),
+        EventKind::LaneFailover {
+            peer,
+            lane,
+            requeued,
+        } => format!("\"peer\":{peer},\"lane\":{lane},\"requeued\":{requeued}"),
+        EventKind::Reconnect { peer, ok, took_ms } => {
+            format!("\"peer\":{peer},\"ok\":{ok},\"took_ms\":{took_ms}")
+        }
+        EventKind::HeartbeatMiss { peer, quiet_ms } => {
+            format!("\"peer\":{peer},\"quiet_ms\":{quiet_ms}")
+        }
+        EventKind::WriterQueue { peer, lane, depth } => {
+            format!("\"peer\":{peer},\"lane\":{lane},\"depth\":{depth}")
+        }
     }
 }
 

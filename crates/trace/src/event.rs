@@ -28,6 +28,18 @@ pub enum FaultKind {
     Reorder = 4,
     /// The issue order of a `pready_range`/`pready_list` was permuted.
     PreadyJitter = 5,
+    /// A wire write delivered only a prefix of its bytes.
+    TornWrite = 6,
+    /// A wire read returned fewer bytes than were available.
+    ShortRead = 7,
+    /// A byte of an outgoing wire write was flipped in flight.
+    Garbage = 8,
+    /// A connection was reset at a write boundary.
+    Reset = 9,
+    /// A writer lane was killed after its byte threshold.
+    LaneKill = 10,
+    /// Writes began disappearing silently (half-open peer).
+    HalfOpen = 11,
 }
 
 impl FaultKind {
@@ -44,6 +56,12 @@ impl FaultKind {
             3 => FaultKind::Duplicate,
             4 => FaultKind::Reorder,
             5 => FaultKind::PreadyJitter,
+            6 => FaultKind::TornWrite,
+            7 => FaultKind::ShortRead,
+            8 => FaultKind::Garbage,
+            9 => FaultKind::Reset,
+            10 => FaultKind::LaneKill,
+            11 => FaultKind::HalfOpen,
             _ => return None,
         })
     }
@@ -56,6 +74,12 @@ impl FaultKind {
             FaultKind::Duplicate => "duplicate",
             FaultKind::Reorder => "reorder",
             FaultKind::PreadyJitter => "pready_jitter",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::ShortRead => "short_read",
+            FaultKind::Garbage => "garbage",
+            FaultKind::Reset => "reset",
+            FaultKind::LaneKill => "lane_kill",
+            FaultKind::HalfOpen => "half_open",
         }
     }
 }
@@ -400,6 +424,53 @@ pub enum EventKind {
         /// Tag of the blocked wait, when known.
         tag: Option<i64>,
     },
+    /// A writer lane to `peer` died (socket error on its reader or
+    /// writer half) and was marked out of rotation. Instant.
+    LaneDown {
+        /// Peer rank the lane connected to.
+        peer: u16,
+        /// Which lane died.
+        lane: u16,
+    },
+    /// In-flight work from a dead data lane was re-routed to surviving
+    /// lanes (offset-addressed commits make the replay idempotent).
+    /// Instant, attributed to the sender.
+    LaneFailover {
+        /// Peer rank.
+        peer: u16,
+        /// The lane that died.
+        lane: u16,
+        /// Writer messages re-queued onto surviving lanes.
+        requeued: u64,
+    },
+    /// A lane-0 reconnect attempt finished. Instant.
+    Reconnect {
+        /// Peer rank.
+        peer: u16,
+        /// Whether the re-handshake succeeded.
+        ok: bool,
+        /// Wall time the attempt took, ms.
+        took_ms: u64,
+    },
+    /// A peer exceeded the heartbeat silence budget and is about to be
+    /// declared dead. Instant.
+    HeartbeatMiss {
+        /// The silent peer.
+        peer: u16,
+        /// Observed silence, ms.
+        quiet_ms: u64,
+    },
+    /// A writer lane's queue backlog crossed a power-of-two high-water
+    /// mark (the channel is unbounded, so depth — not blocking — is the
+    /// stall signal). Instant.
+    WriterQueue {
+        /// Peer rank.
+        peer: u16,
+        /// Lane whose queue grew.
+        lane: u16,
+        /// Queued writer messages at the crossing.
+        depth: u64,
+    },
 }
 
 const TAG_LOCK_WAIT: u64 = 1;
@@ -431,6 +502,11 @@ const TAG_VERIFY_WAIT_DONE: u64 = 26;
 const TAG_VERIFY_BLOCKED: u64 = 27;
 const TAG_STREAM_CHUNK: u64 = 28;
 const TAG_STREAM_COMMIT: u64 = 29;
+const TAG_LANE_DOWN: u64 = 30;
+const TAG_LANE_FAILOVER: u64 = 31;
+const TAG_RECONNECT: u64 = 32;
+const TAG_HEARTBEAT_MISS: u64 = 33;
+const TAG_WRITER_QUEUE: u64 = 34;
 
 /// `w2` layout shared by the per-partition verify events:
 /// low 32 bits = partition / message index, high 32 bits = iteration.
@@ -615,6 +691,21 @@ impl Event {
                 offset,
                 bytes,
             } => (TAG_STREAM_COMMIT, lane, msgs, offset, bytes),
+            EventKind::LaneDown { peer, lane } => (TAG_LANE_DOWN, peer, lane, 0, 0),
+            EventKind::LaneFailover {
+                peer,
+                lane,
+                requeued,
+            } => (TAG_LANE_FAILOVER, peer, lane, requeued, 0),
+            EventKind::Reconnect { peer, ok, took_ms } => {
+                (TAG_RECONNECT, peer, ok as u16, took_ms, 0)
+            }
+            EventKind::HeartbeatMiss { peer, quiet_ms } => {
+                (TAG_HEARTBEAT_MISS, peer, 0, quiet_ms, 0)
+            }
+            EventKind::WriterQueue { peer, lane, depth } => {
+                (TAG_WRITER_QUEUE, peer, lane, depth, 0)
+            }
         };
         [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
     }
@@ -784,6 +875,29 @@ impl Event {
                 offset: w[2],
                 bytes: w[3],
             },
+            TAG_LANE_DOWN => EventKind::LaneDown {
+                peer: aux1,
+                lane: aux2,
+            },
+            TAG_LANE_FAILOVER => EventKind::LaneFailover {
+                peer: aux1,
+                lane: aux2,
+                requeued: w[2],
+            },
+            TAG_RECONNECT => EventKind::Reconnect {
+                peer: aux1,
+                ok: aux2 != 0,
+                took_ms: w[2],
+            },
+            TAG_HEARTBEAT_MISS => EventKind::HeartbeatMiss {
+                peer: aux1,
+                quiet_ms: w[2],
+            },
+            TAG_WRITER_QUEUE => EventKind::WriterQueue {
+                peer: aux1,
+                lane: aux2,
+                depth: w[2],
+            },
             _ => return None,
         };
         Some(Event {
@@ -837,6 +951,11 @@ impl EventKind {
             EventKind::VerifyBlocked { .. } => "verify_blocked",
             EventKind::StreamChunk { .. } => "stream_chunk",
             EventKind::StreamCommit { .. } => "stream_commit",
+            EventKind::LaneDown { .. } => "lane_down",
+            EventKind::LaneFailover { .. } => "lane_failover",
+            EventKind::Reconnect { .. } => "reconnect",
+            EventKind::HeartbeatMiss { .. } => "heartbeat_miss",
+            EventKind::WriterQueue { .. } => "writer_queue",
         }
     }
 
@@ -884,7 +1003,11 @@ impl EventKind {
             | EventKind::RdvCopy { shard, .. }
             | EventKind::EarlyBird { shard, .. }
             | EventKind::EagerPool { shard, .. } => shard,
-            EventKind::StreamChunk { lane, .. } | EventKind::StreamCommit { lane, .. } => lane,
+            EventKind::StreamChunk { lane, .. }
+            | EventKind::StreamCommit { lane, .. }
+            | EventKind::LaneDown { lane, .. }
+            | EventKind::LaneFailover { lane, .. }
+            | EventKind::WriterQueue { lane, .. } => lane,
             _ => 0,
         }
     }
@@ -1127,6 +1250,28 @@ impl fmt::Display for Event {
                 f,
                 "stream commit lane {lane}: range @ {offset} ({bytes} B, {msgs} msg(s) done)"
             ),
+            EventKind::LaneDown { peer, lane } => {
+                write!(f, "lane {lane} -> rank {peer} DOWN")
+            }
+            EventKind::LaneFailover {
+                peer,
+                lane,
+                requeued,
+            } => write!(
+                f,
+                "failover from lane {lane} -> rank {peer} ({requeued} msg(s) requeued)"
+            ),
+            EventKind::Reconnect { peer, ok, took_ms } => write!(
+                f,
+                "reconnect to rank {peer} {} ({took_ms} ms)",
+                if ok { "OK" } else { "FAILED" }
+            ),
+            EventKind::HeartbeatMiss { peer, quiet_ms } => {
+                write!(f, "heartbeat miss: rank {peer} quiet {quiet_ms} ms")
+            }
+            EventKind::WriterQueue { peer, lane, depth } => {
+                write!(f, "writer queue lane {lane} -> rank {peer} depth {depth}")
+            }
         }
     }
 }
@@ -1288,6 +1433,26 @@ mod tests {
                 offset: 1 << 18,
                 bytes: 1 << 18,
             },
+            EventKind::LaneDown { peer: 1, lane: 2 },
+            EventKind::LaneFailover {
+                peer: 1,
+                lane: 2,
+                requeued: 17,
+            },
+            EventKind::Reconnect {
+                peer: 1,
+                ok: true,
+                took_ms: 42,
+            },
+            EventKind::HeartbeatMiss {
+                peer: 1,
+                quiet_ms: 401,
+            },
+            EventKind::WriterQueue {
+                peer: 1,
+                lane: 2,
+                depth: 1 << 12,
+            },
         ]
     }
 
@@ -1317,11 +1482,17 @@ mod tests {
             FaultKind::Duplicate,
             FaultKind::Reorder,
             FaultKind::PreadyJitter,
+            FaultKind::TornWrite,
+            FaultKind::ShortRead,
+            FaultKind::Garbage,
+            FaultKind::Reset,
+            FaultKind::LaneKill,
+            FaultKind::HalfOpen,
         ] {
             assert_eq!(FaultKind::from_code(k.code()), Some(k));
         }
         assert_eq!(FaultKind::from_code(0), None);
-        assert_eq!(FaultKind::from_code(6), None);
+        assert_eq!(FaultKind::from_code(12), None);
         // A torn fault_injected slot with a bogus fault code (aux1 = 99)
         // must not decode.
         let w = [7, (14u64 << 48) | (99u64 << 16), 0, 0];
@@ -1331,7 +1502,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_stable() {
         let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 29);
+        assert_eq!(names.len(), 34);
         assert!(names.contains("shard_lock_wait"));
         assert!(names.contains("stream_chunk"));
         assert!(names.contains("stream_commit"));
