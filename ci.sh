@@ -24,11 +24,6 @@ cargo test -q --offline --features proptests
 echo "== cargo bench --no-run (offline) =="
 cargo bench --workspace --no-run --offline
 
-echo "== unsafe SAFETY-comment lint =="
-# Every `unsafe` site must carry a `// SAFETY:` justification (or a
-# `# Safety` doc section for unsafe fns). See crates/bench/src/bin/safety_lint.rs.
-cargo run --release -p pcomm-bench --bin safety_lint --offline
-
 echo "== hotpath bench smoke (release, quick, scratch output) =="
 mkdir -p target
 cargo run --release -p pcomm-bench --bin hotpath --offline -- \
@@ -159,5 +154,51 @@ for attempt in 1 2 3; do
         echo "netbench --degraded attempt $attempt failed; retrying" >&2
     fi
 done
+
+echo "== audit (wire-chaos matrix with rings armed; every cell must audit clean) =="
+# The same matrix as above, re-run with PCOMM_VERIFY=1 and PCOMM_TRACE
+# so every rank persists its analysis-grade .events ring (typed-error
+# exits included). pcomm-audit merges each cell's rings and must find
+# nothing: chaos proves the run survives, the audit proves the survival
+# was correct (wire FSM, stream-ledger soundness, cross-process
+# happens-before). Audit wall time lands in target/bench_audit_smoke.json
+# (committed record: the "audit" object in BENCH_net.json). DESIGN.md §14.
+cargo build --release --offline -p pcomm-verify --bin pcomm-audit
+audit_cell() {
+    name="$1"; spec="$2"; lanes="${3:-2}"
+    echo "-- audit $name under PCOMM_FAULTS='$spec' (lanes=$lanes)"
+    ring_dir=$(mktemp -d)
+    status=0
+    PCOMM_FAULTS="$spec" PCOMM_WATCHDOG_MS=5000 PCOMM_NET_LANES="$lanes" \
+        PCOMM_VERIFY=1 PCOMM_TRACE="$ring_dir/trace.json" \
+        timeout 120 ./target/release/pcomm-launch -n 2 -- \
+        "./target/release/examples/$name" >/dev/null 2>&1 || status=$?
+    case "$status" in
+        0|2) ;;
+        124) echo "   HANG over the wire: watchdog failed to fire" >&2; exit 1 ;;
+        *) echo "   unclean exit $status (panic/abort?)" >&2; exit 1 ;;
+    esac
+    if ./target/release/pcomm-audit --bench-json target/bench_audit_smoke.json \
+        "$ring_dir"/trace.json.rank*.events >/dev/null; then
+        echo "   audits clean (run exit $status)"
+    else
+        echo "   AUDIT FINDINGS for $name under '$spec':" >&2
+        ./target/release/pcomm-audit "$ring_dir"/trace.json.rank*.events >&2 || true
+        exit 1
+    fi
+    rm -rf "$ring_dir"
+}
+for name in pingpong halo_exchange; do
+    audit_cell "$name" "seed=42,reset=0.001"
+    audit_cell "$name" "seed=42,torn=0.3,shortread=0.3"
+    audit_cell "$name" "seed=42,lanekill=2:65536" 3
+done
+
+echo "== safety lint (SAFETY / ORDERING / PANIC justification comments) =="
+# Every `unsafe` site repo-wide needs a `// SAFETY:` justification; on
+# the wire hot path (crates/core/src/transport.rs + crates/net/) every
+# Relaxed atomic needs `// ORDERING:` and every unwrap/expect needs
+# `// PANIC:`. See crates/bench/src/bin/safety_lint.rs.
+cargo run --release -p pcomm-bench --bin safety_lint --offline
 
 echo "CI OK"

@@ -7,6 +7,19 @@
 //! rustdoc section conventionally documenting an `unsafe fn`'s
 //! contract). Run from the repo root (`ci.sh` does); exits non-zero
 //! listing every unjustified site.
+//!
+//! The transport hot path gets two extra marker rules, scoped to
+//! `crates/core/src/transport.rs` and `crates/net/` (non-test code):
+//!
+//! * every `Ordering::Relaxed` load/store needs an adjacent
+//!   `// ORDERING:` comment saying why relaxed is enough — these are
+//!   exactly the sites where a missing fence becomes a wire-protocol
+//!   heisenbug, and the audit tooling can only check what the code
+//!   promises;
+//! * every `unwrap()` / `expect()` needs an adjacent `// PANIC:`
+//!   comment naming the invariant that makes the panic unreachable —
+//!   a panic in the progress engine takes the whole mesh down, so
+//!   "can't happen" must be written down where it can be reviewed.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -60,8 +73,11 @@ fn continues_block(trimmed: &str) -> bool {
         || trimmed.is_empty()
 }
 
-fn justified(lines: &[&str], idx: usize) -> bool {
-    if lines[idx].contains("SAFETY:") {
+/// A site is justified when the line itself, or the contiguous block of
+/// comment/attribute lines directly above it, contains any of `markers`.
+fn justified_by(lines: &[&str], idx: usize, markers: &[&str]) -> bool {
+    let hit = |line: &str| markers.iter().any(|m| line.contains(m));
+    if hit(lines[idx]) {
         return true;
     }
     let mut i = idx;
@@ -71,11 +87,48 @@ fn justified(lines: &[&str], idx: usize) -> bool {
         if !continues_block(trimmed) {
             return false;
         }
-        if trimmed.contains("SAFETY:") || trimmed.contains("# Safety") {
+        if hit(trimmed) {
             return true;
         }
     }
     false
+}
+
+fn justified(lines: &[&str], idx: usize) -> bool {
+    justified_by(lines, idx, &["SAFETY:", "# Safety"])
+}
+
+/// One scoped marker rule: `pattern` in the code portion of a line
+/// demands an adjacent `marker` justification comment.
+struct MarkerRule {
+    patterns: &'static [&'static str],
+    marker: &'static str,
+    what: &'static str,
+}
+
+const MARKER_RULES: &[MarkerRule] = &[
+    MarkerRule {
+        patterns: &["Ordering::Relaxed"],
+        marker: "ORDERING:",
+        what: "Relaxed atomic",
+    },
+    MarkerRule {
+        patterns: &[".unwrap(", ".expect("],
+        marker: "PANIC:",
+        what: "unwrap/expect",
+    },
+];
+
+/// Do the extra marker rules apply to this file? The scope is the wire
+/// transport and everything under `crates/net/` — the code where a
+/// silent ordering bug or a progress-engine panic is most expensive.
+fn marker_scoped(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    // Integration tests get the same dispensation as `#[cfg(test)]`.
+    if p.contains("/tests/") {
+        return false;
+    }
+    p.ends_with("crates/core/src/transport.rs") || p.contains("crates/net/")
 }
 
 fn scan_file(path: &Path, offenders: &mut Vec<String>) -> usize {
@@ -83,19 +136,45 @@ fn scan_file(path: &Path, offenders: &mut Vec<String>) -> usize {
         return 0;
     };
     let lines: Vec<&str> = text.lines().collect();
+    let scoped = marker_scoped(path);
     let mut sites = 0;
+    let mut in_tests = false;
     for (idx, line) in lines.iter().enumerate() {
         let trimmed = line.trim_start();
+        // The marker rules stop at the test module: tests unwrap freely
+        // and poke atomics without the hot path's obligations.
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
         // Doc/comment lines mentioning unsafe are prose, not sites.
         if trimmed.starts_with("//") {
             continue;
         }
-        if !has_unsafe_token(&code_portion(line)) {
+        let code = code_portion(line);
+        if has_unsafe_token(&code) {
+            sites += 1;
+            if !justified(&lines, idx) {
+                offenders.push(format!("{}:{}: {}", path.display(), idx + 1, trimmed));
+            }
+        }
+        if !scoped || in_tests {
             continue;
         }
-        sites += 1;
-        if !justified(&lines, idx) {
-            offenders.push(format!("{}:{}: {}", path.display(), idx + 1, trimmed));
+        for rule in MARKER_RULES {
+            if !rule.patterns.iter().any(|p| code.contains(p)) {
+                continue;
+            }
+            sites += 1;
+            if !justified_by(&lines, idx, &[rule.marker]) {
+                offenders.push(format!(
+                    "{}:{}: {} needs `// {}`: {}",
+                    path.display(),
+                    idx + 1,
+                    rule.what,
+                    rule.marker,
+                    trimmed
+                ));
+            }
         }
     }
     sites
@@ -133,21 +212,24 @@ fn main() -> ExitCode {
     }
     if offenders.is_empty() {
         println!(
-            "safety_lint: {} unsafe sites across {} files, all justified",
+            "safety_lint: {} justified sites (unsafe / Relaxed / unwrap) across {} files",
             sites,
             files.len()
         );
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "safety_lint: {} of {} unsafe sites lack a SAFETY justification:",
+            "safety_lint: {} of {} sites lack a written justification:",
             offenders.len(),
             sites
         );
         for o in &offenders {
             eprintln!("  {o}");
         }
-        eprintln!("add a `// SAFETY: ...` comment (or `# Safety` doc section) above each site");
+        eprintln!(
+            "add a `// SAFETY: ...` (unsafe), `// ORDERING: ...` (Relaxed atomics), or \
+             `// PANIC: ...` (unwrap/expect) comment above each site"
+        );
         ExitCode::FAILURE
     }
 }

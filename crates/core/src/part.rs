@@ -667,6 +667,36 @@ impl PsendRequest {
                     spans,
                 );
                 s.stream_id.store(id, Ordering::Release);
+                let trace = s.comm.fabric().trace();
+                if trace.is_verify() {
+                    let rank = s.comm.rank() as u16;
+                    let (p16, stream) = (s.dst as u16, id as u32);
+                    let total = (s.n_parts * s.part_bytes) as u64;
+                    trace.emit_verify(rank, || EventKind::VerifyStreamRts {
+                        peer: p16,
+                        tx: true,
+                        stream,
+                        total_len: total,
+                    });
+                    // Tie this process's interned request id to the wire
+                    // stream id, per message: the offline auditor joins
+                    // both ranks' id spaces through these events.
+                    for (m, spec) in s.layout.msgs.iter().enumerate() {
+                        let (m16, off, len32) = (
+                            m as u16,
+                            (spec.first_spart * s.part_bytes) as u64,
+                            spec.bytes as u32,
+                        );
+                        trace.emit_verify(rank, || EventKind::VerifyStreamMsg {
+                            stream,
+                            req: s.vreq,
+                            msg: m16,
+                            tx: true,
+                            offset: off,
+                            len: len32,
+                        });
+                    }
+                }
             }
         }
     }

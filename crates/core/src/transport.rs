@@ -61,7 +61,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
@@ -331,6 +331,7 @@ impl StreamSend {
                 p.len += len;
                 p.parts = p.parts.saturating_add(parts);
                 if p.len >= aggr {
+                    // PANIC: this match arm bound `Some(p)` from `pend`.
                     out.push(self.pend.take().expect("pend checked above"));
                 }
             }
@@ -461,6 +462,11 @@ struct Lane {
     /// Writer messages enqueued but not yet consumed by the writer
     /// thread (the backlog of the unbounded channel).
     queued: AtomicUsize,
+    /// Verify-grade runs only: monotone per-lane frame counter, bumped
+    /// under the lane's `direct` mutex just before each frame's write so
+    /// `VerifyWireSend.seq` reproduces exact wire order. Never reset —
+    /// a gap in one rank's recorded seqs marks ring overflow, not loss.
+    tx_seq: AtomicU32,
 }
 
 impl Lane {
@@ -468,14 +474,25 @@ impl Lane {
     /// Gives the message back when the writer thread is gone (lane died
     /// or teardown), so callers can reroute it.
     fn enqueue(&self, msg: WriterMsg) -> Result<(), WriterMsg> {
+        // ORDERING: `queued` is an advisory backlog gauge read for
+        // congestion tracing and diagnostics; nothing synchronizes on
+        // it, so a momentarily stale count is harmless.
         self.queued.fetch_add(1, Ordering::Relaxed);
         match self.tx.send(msg) {
             Ok(()) => Ok(()),
             Err(back) => {
+                // ORDERING: same advisory gauge as the increment above.
                 self.queued.fetch_sub(1, Ordering::Relaxed);
                 Err(back.0)
             }
         }
+    }
+
+    /// The writer thread took one message off the channel.
+    fn dequeued(&self) {
+        // ORDERING: `queued` is an advisory backlog gauge (see
+        // `enqueue`); exact interleaving with readers does not matter.
+        self.queued.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -509,6 +526,11 @@ struct Peer {
     /// threads (whichever notices the death first performs it; the other
     /// blocks on this lock and reuses the outcome).
     reconnect: Mutex<Reconnected>,
+    /// Reconnect epoch for audit events: 0 until the peer's one bounded
+    /// lane-0 reconnect succeeds, 1 after. Bumped while the lane-0
+    /// `direct` mutex is held, so writers reading it under that mutex
+    /// always stamp frames with the epoch of the socket they write to.
+    epoch: AtomicU32,
 }
 
 /// The socket progress engine: per-peer-per-lane reader/writer threads
@@ -626,6 +648,7 @@ impl SocketTransport {
                                 direct: Mutex::new(None),
                                 alive: AtomicBool::new(true),
                                 queued: AtomicUsize::new(0),
+                                tx_seq: AtomicU32::new(0),
                             }
                         })
                         .collect();
@@ -638,6 +661,7 @@ impl SocketTransport {
                         next_lane: AtomicUsize::new(0),
                         last_heard_ms: AtomicU64::new(0),
                         reconnect: Mutex::new(Reconnected::No),
+                        epoch: AtomicU32::new(0),
                     }
                 })
             })
@@ -680,8 +704,76 @@ impl SocketTransport {
     /// A frame arrived from `peer` — refresh its liveness timestamp.
     fn note_heard(&self, peer: usize) {
         if let Some(p) = &self.peers[peer] {
+            // ORDERING: liveness timestamp read only by the heartbeat
+            // monitor to estimate quiet time; a stale read just shifts
+            // the estimate by one poll interval.
             p.last_heard_ms.store(self.now_ms(), Ordering::Relaxed);
         }
+    }
+
+    /// Audit hook: one frame is about to leave on `lane_idx` toward
+    /// `dst`. Callers hold the lane's `direct` mutex (or run on its
+    /// writer thread mid-batch, which writes under the same mutex), so
+    /// the per-lane `tx_seq` order is exact wire order and the epoch
+    /// read matches the socket the frame goes to. No-op unless the
+    /// trace is verify-grade.
+    fn emit_wire_send(&self, fabric: &Fabric, dst: usize, lane_idx: usize, op: u8) {
+        let trace = fabric.trace();
+        if !trace.is_verify() {
+            return;
+        }
+        let Some(peer) = &self.peers[dst] else {
+            return;
+        };
+        // ORDERING: Relaxed suffices — the lane's `direct` mutex already
+        // serialises every sender on this counter; the atomic is only a
+        // convenience over `Mutex<u32>`.
+        let seq = peer.lanes[lane_idx].tx_seq.fetch_add(1, Ordering::Relaxed);
+        // Only lane 0 ever reconnects (`recover_lane0`); data lanes live
+        // and die on one socket, so their frames are all epoch 0 — which
+        // must match the receiver's reader-local count, not the shared
+        // peer epoch a lane-0 reconnect bumps.
+        let epoch = if lane_idx == 0 {
+            peer.epoch.load(Ordering::Acquire)
+        } else {
+            0
+        };
+        let (p16, l16, op16) = (dst as u16, lane_idx as u16, op as u16);
+        trace.emit_verify(self.rank as u16, || EventKind::VerifyWireSend {
+            peer: p16,
+            lane: l16,
+            op: op16,
+            epoch,
+            seq,
+        });
+    }
+
+    /// Audit hook: the `PartData` range `offset..offset+len` of stream
+    /// `rdv_id` is about to leave on `lane_idx`. Same locking contract
+    /// as [`emit_wire_send`](Self::emit_wire_send); emitted before the
+    /// write so a torn batch still records what may have reached the
+    /// peer. No-op unless the trace is verify-grade.
+    fn emit_stream_data_tx(
+        &self,
+        fabric: &Fabric,
+        dst: usize,
+        lane_idx: usize,
+        rdv_id: u64,
+        offset: u64,
+        len: usize,
+    ) {
+        let (p16, l16, stream) = (dst as u16, lane_idx as u16, rdv_id as u32);
+        let len32 = len as u32;
+        fabric
+            .trace()
+            .emit_verify(self.rank as u16, || EventKind::VerifyStreamData {
+                peer: p16,
+                lane: l16,
+                tx: true,
+                stream,
+                offset,
+                len: len32,
+            });
     }
 
     /// Spawn the per-peer-per-lane reader and writer threads (plus the
@@ -704,12 +796,16 @@ impl SocketTransport {
             let Some(peer) = peer else {
                 continue;
             };
+            // ORDERING: liveness timestamp (see `note_heard`); the
+            // heartbeat monitor tolerates staleness.
             peer.last_heard_ms.store(now, Ordering::Relaxed);
             for (lane_idx, lane) in peer.lanes.iter().enumerate() {
                 let rx = lane
                     .rx
                     .lock()
                     .take()
+                    // PANIC: `Universe::run` calls `start` exactly once
+                    // per transport; the rx halves are taken only here.
                     .expect("SocketTransport::start called twice");
                 // Every lane gets BOTH a write handle under the lane
                 // mutex and a writer thread draining the channel. App
@@ -785,6 +881,8 @@ impl SocketTransport {
         let n = peer.lanes.len();
         if n > 1 {
             for _ in 0..n - 1 {
+                // ORDERING: round-robin cursor — any interleaving still
+                // picks a valid lane; fairness is best-effort.
                 let lane = 1 + peer.next_lane.fetch_add(1, Ordering::Relaxed) % (n - 1);
                 if peer.lanes[lane].alive.load(Ordering::Acquire) {
                     return lane;
@@ -940,6 +1038,10 @@ impl SocketTransport {
                 // races, as in the rendezvous CTS path.
                 slices.push(unsafe { std::slice::from_raw_parts(chunk.ptr, chunk.len) });
             }
+            for chunk in &bucket {
+                self.emit_wire_send(fabric, dst, lane_idx, frame::op::PART_DATA);
+                self.emit_stream_data_tx(fabric, dst, lane_idx, rdv_id, chunk.offset, chunk.len);
+            }
             let wrote = write_all_vectored(ep, &slices).and_then(|()| ep.flush());
             drop(slices);
             drop(guard);
@@ -981,8 +1083,10 @@ impl SocketTransport {
             for chunk in &bucket {
                 complete_spans(spans, chunk.offset as usize, chunk.len);
             }
-            peer.frames_sent
-                .fetch_add(bucket.len() as u64, Ordering::Relaxed);
+            let sent = bucket.len() as u64;
+            // ORDERING: statistics counter surfaced in diagnostics
+            // snapshots only; no memory is published through it.
+            peer.frames_sent.fetch_add(sent, Ordering::Relaxed);
         }
     }
 
@@ -996,6 +1100,17 @@ impl SocketTransport {
         total_len: usize,
         rdv_id: u64,
     ) {
+        {
+            let (p16, stream, total) = (src as u16, rdv_id as u32, total_len as u64);
+            fabric
+                .trace()
+                .emit_verify(self.rank as u16, || EventKind::VerifyStreamRts {
+                    peer: p16,
+                    tx: false,
+                    stream,
+                    total_len: total,
+                });
+        }
         let recv = {
             let mut reg = self.part_registry.lock();
             let pair = reg.entry((src, ctx)).or_default();
@@ -1036,6 +1151,38 @@ impl SocketTransport {
             ));
             return;
         }
+        let trace = fabric.trace();
+        if trace.is_verify() {
+            // The receiver is the only side that knows both the wire
+            // stream id and the verify-layer (req, msg) identities; these
+            // join events let the offline auditor unify the two ranks'
+            // independently-interned request ids.
+            let stream32 = rdv_id as u32;
+            for msg in recv.msgs.iter() {
+                let Some((req, m16)) = msg.verify_msg else {
+                    continue;
+                };
+                let (off, len32) = (msg.offset as u64, msg.len as u32);
+                trace.emit_verify(self.rank as u16, || EventKind::VerifyStreamMsg {
+                    stream: stream32,
+                    req,
+                    msg: m16,
+                    tx: false,
+                    offset: off,
+                    len: len32,
+                });
+            }
+            let p16 = src as u16;
+            let epoch = self.peers[src]
+                .as_ref()
+                .map_or(0, |p| p.epoch.load(Ordering::Acquire));
+            trace.emit_verify(self.rank as u16, || EventKind::VerifyStreamCts {
+                peer: p16,
+                tx: true,
+                stream: stream32,
+                epoch,
+            });
+        }
         let stream = Arc::new(StreamRecv {
             base: recv.base,
             total_len,
@@ -1075,6 +1222,7 @@ impl SocketTransport {
                     Some(ep) => {
                         let mut buf = Vec::with_capacity(32);
                         frame.encode_into(&mut buf);
+                        self.emit_wire_send(fabric, dst, lane_idx, frame.op());
                         Some(write_all_vectored(ep, &[&buf]).and_then(|()| ep.flush()))
                     }
                     None => None,
@@ -1082,6 +1230,7 @@ impl SocketTransport {
             };
             match wrote {
                 Some(Ok(())) => {
+                    // ORDERING: statistics counter (diagnostics only).
                     peer.frames_sent.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
@@ -1104,6 +1253,20 @@ impl SocketTransport {
     fn handle_part_cts(&self, fabric: &Fabric, peer: usize, rdv_id: u64) {
         if fabric.aborted() {
             return;
+        }
+        {
+            let (p16, stream) = (peer as u16, rdv_id as u32);
+            let epoch = self.peers[peer]
+                .as_ref()
+                .map_or(0, |p| p.epoch.load(Ordering::Acquire));
+            fabric
+                .trace()
+                .emit_verify(self.rank as u16, || EventKind::VerifyStreamCts {
+                    peer: p16,
+                    tx: false,
+                    stream,
+                    epoch,
+                });
         }
         let (dst, spans, chunks) = {
             let mut out = self.streams_out.lock();
@@ -1171,6 +1334,22 @@ impl SocketTransport {
         len: usize,
     ) {
         let end = offset + len;
+        let trace = fabric.trace();
+        let stream32 = rdv_id as u32;
+        {
+            // Recorded before the dedup claim: the auditor's FSM pass
+            // wants every range the wire delivered, duplicates included
+            // (replay absorption is exactly what the ledger pass proves).
+            let (p16, l16, off64, len32) = (src as u16, lane as u16, offset as u64, len as u32);
+            trace.emit_verify(self.rank as u16, || EventKind::VerifyStreamData {
+                peer: p16,
+                lane: l16,
+                tx: false,
+                stream: stream32,
+                offset: off64,
+                len: len32,
+            });
+        }
         // At-least-once wire: a lane failover or reconnect replays whole
         // batches, so the same range can land twice. Claim it against
         // the stream's interval ledger first — only the never-committed
@@ -1182,6 +1361,17 @@ impl SocketTransport {
         let fresh_bytes: usize = fresh.iter().map(|&(lo, hi)| hi - lo).sum();
         if fresh_bytes == 0 {
             return; // pure duplicate: every byte landed before
+        }
+        for &(f_lo, f_hi) in &fresh {
+            let (p16, l16, lo64, flen) =
+                (src as u16, lane as u16, f_lo as u64, (f_hi - f_lo) as u32);
+            trace.emit_verify(self.rank as u16, || EventKind::VerifyStreamCommit {
+                peer: p16,
+                lane: l16,
+                stream: stream32,
+                lo: lo64,
+                len: flen,
+            });
         }
         let mut msgs_done = 0u16;
         for &(f_lo, f_hi) in &fresh {
@@ -1308,7 +1498,19 @@ impl SocketTransport {
                 return None;
             }
         };
-        *peer.lanes[0].direct.lock() = Some(writer_ep);
+        {
+            // Swap the socket and bump the audit epoch under the same
+            // mutex hold: a writer that caught the old endpoint stamps
+            // its frames epoch-old, one that sees the new endpoint
+            // stamps epoch-new — never mixed.
+            let mut direct = peer.lanes[0].direct.lock();
+            // ORDERING: Release pairs with the Acquire in
+            // `emit_wire_send`; the `direct` mutex already orders the
+            // two accesses, the fence is belt and braces.
+            peer.epoch.fetch_add(1, Ordering::Release);
+            *direct = Some(writer_ep);
+        }
+        // ORDERING: liveness timestamp (see `note_heard`).
         peer.last_heard_ms.store(self.now_ms(), Ordering::Relaxed);
         peer.connected.store(true, Ordering::Release);
         *slot = Reconnected::Yes(ep);
@@ -1390,6 +1592,15 @@ impl SocketTransport {
             }),
         };
         if lost {
+            let (p16, stream) = (peer as u16, rdv_id as u32);
+            let missing_bytes: u64 = missing.iter().map(|&(lo, hi)| hi - lo).sum();
+            fabric
+                .trace()
+                .emit_verify(self.rank as u16, || EventKind::VerifyStreamLost {
+                    peer: p16,
+                    stream,
+                    missing: missing_bytes,
+                });
             fabric.fail(PcommError::MessageLost {
                 src: self.rank,
                 dst: peer,
@@ -1569,6 +1780,8 @@ impl SocketTransport {
     /// unwinds: failures found here are recorded on the fabric.
     pub(crate) fn finalize(&self, fabric: &Fabric) {
         if !fabric.aborted() {
+            // ORDERING: generation allocator — only uniqueness matters;
+            // the value travels to peers inside frames, not via memory.
             let gen = self.barrier_gen.fetch_add(1, Ordering::Relaxed);
             let completion = self.release_completion(gen);
             if self.rank == 0 {
@@ -1685,6 +1898,8 @@ impl Transport for SocketTransport {
     }
 
     fn ship_rts(&self, dst: usize, shard: usize, ctx: u64, tag: i64, pinned: PinnedSend) {
+        // ORDERING: id allocator — only uniqueness matters; the id
+        // reaches the peer inside the Rts frame, not via memory.
         let rdv_id = self.next_rdv_id.fetch_add(1, Ordering::Relaxed);
         let len = pinned.len as u64;
         self.pending_rdv
@@ -1730,6 +1945,7 @@ impl Transport for SocketTransport {
         total_len: usize,
         spans: Vec<SendSpan>,
     ) -> u64 {
+        // ORDERING: id allocator (see `ship_rts`) — uniqueness only.
         let rdv_id = self.next_rdv_id.fetch_add(1, Ordering::Relaxed);
         let spans = Arc::new(spans);
         {
@@ -1816,6 +2032,8 @@ impl Transport for SocketTransport {
     }
 
     fn barrier(&self, fabric: &Fabric, rank: usize) {
+        // ORDERING: generation allocator (see `finalize`) — uniqueness
+        // only; barrier ordering comes from the frames themselves.
         let gen = self.barrier_gen.fetch_add(1, Ordering::Relaxed);
         let completion = self.release_completion(gen);
         if self.rank == 0 {
@@ -1856,6 +2074,9 @@ impl Transport for SocketTransport {
             .lock()
             .get(&win_ctx)
             .and_then(|slot| slot.1)
+            // PANIC: the completion waited on above is signalled only
+            // by the WinAnnounce handler, which stores the length
+            // before signalling.
             .expect("announced window carries a length")
     }
 
@@ -1879,6 +2100,8 @@ impl Transport for SocketTransport {
         offset: usize,
         len: usize,
     ) -> Vec<u8> {
+        // ORDERING: token allocator — uniqueness only, the token rides
+        // inside the GetReq frame.
         let token = self.next_get_token.fetch_add(1, Ordering::Relaxed);
         let completion = Completion::new();
         let slot: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
@@ -1903,6 +2126,8 @@ impl Transport for SocketTransport {
         });
         self.get_waiters.lock().remove(&token);
         let data = slot.lock().take();
+        // PANIC: the completion waited on above is signalled only by
+        // the GetResp handler, which fills the slot before signalling.
         data.expect("completed get carries its payload")
     }
 
@@ -1915,10 +2140,14 @@ impl Transport for SocketTransport {
             .enumerate()
             .filter_map(|(rank, peer)| {
                 let peer = peer.as_ref()?;
+                // The Relaxed loads below read advisory counters and
+                // gauges; this snapshot is inherently racy by design.
                 Some(PeerSocketState {
                     peer: rank,
                     connected: peer.connected.load(Ordering::Acquire),
+                    // ORDERING: advisory stat for the racy snapshot.
                     frames_sent: peer.frames_sent.load(Ordering::Relaxed),
+                    // ORDERING: advisory stat for the racy snapshot.
                     frames_received: peer.frames_received.load(Ordering::Relaxed),
                     // Un-CTS'd partitioned streams count as pending
                     // rendezvous: same diagnosis (waiting on the peer).
@@ -1927,6 +2156,8 @@ impl Transport for SocketTransport {
                     queued: peer
                         .lanes
                         .iter()
+                        // ORDERING: advisory backlog gauge (see
+                        // `Lane::enqueue`).
                         .map(|l| l.queued.load(Ordering::Relaxed) as u64)
                         .sum(),
                     lanes_down: peer
@@ -1935,6 +2166,8 @@ impl Transport for SocketTransport {
                         .skip(1)
                         .filter(|l| !l.alive.load(Ordering::Acquire))
                         .count() as u16,
+                    // ORDERING: liveness timestamp; staleness only
+                    // shifts the quiet-time estimate.
                     quiet_ms: now.saturating_sub(peer.last_heard_ms.load(Ordering::Relaxed)),
                 })
             })
@@ -2050,6 +2283,8 @@ fn writer_loop(
 ) {
     let lane = &transport.peers[peer]
         .as_ref()
+        // PANIC: writer threads are spawned (in `start`) only for
+        // ranks whose peer slot was populated by the mesh join.
         .expect("writer thread for a missing peer")
         .lanes[lane_idx];
     let mut scratch: Vec<Vec<u8>> = (0..WRITER_BATCH).map(|_| Vec::new()).collect();
@@ -2060,7 +2295,7 @@ fn writer_loop(
         match rx.recv() {
             Err(_) => return,
             Ok(msg) => {
-                lane.queued.fetch_sub(1, Ordering::Relaxed);
+                lane.dequeued();
                 match msg {
                     WriterMsg::Shutdown => return,
                     m => batch.push(m),
@@ -2071,7 +2306,7 @@ fn writer_loop(
         while batch.len() < WRITER_BATCH {
             match rx.try_recv() {
                 Ok(msg) => {
-                    lane.queued.fetch_sub(1, Ordering::Relaxed);
+                    lane.dequeued();
                     match msg {
                         WriterMsg::Shutdown => {
                             shutdown = true;
@@ -2085,6 +2320,7 @@ fn writer_loop(
         }
         // Unbounded channels cannot push back, so depth growth is the
         // congestion signal: trace it at doubling high-water marks.
+        // ORDERING: advisory backlog gauge (see `Lane::enqueue`).
         let depth = lane.queued.load(Ordering::Relaxed);
         if depth >= queue_hwm {
             let (p16, l16, d64) = (peer as u16, lane_idx as u16, depth as u64);
@@ -2137,7 +2373,31 @@ fn writer_loop(
         let write_batch = || {
             let mut guard = lane.direct.lock();
             match guard.as_mut() {
-                Some(ep) => write_all_vectored(ep, &slices).and_then(|()| ep.flush()),
+                Some(ep) => {
+                    // Audit record under the lane mutex, one event per
+                    // frame in wire order, re-stamped on a post-reconnect
+                    // retry (each attempt is a genuine new wire frame).
+                    for msg in &batch {
+                        match msg {
+                            WriterMsg::Frame(f) => {
+                                transport.emit_wire_send(&fabric, peer, lane_idx, f.op());
+                            }
+                            WriterMsg::Stream(sw) if !aborting => {
+                                transport.emit_wire_send(
+                                    &fabric,
+                                    peer,
+                                    lane_idx,
+                                    frame::op::PART_DATA,
+                                );
+                                transport.emit_stream_data_tx(
+                                    &fabric, peer, lane_idx, sw.rdv_id, sw.offset, sw.len,
+                                );
+                            }
+                            _ => {}
+                        }
+                    }
+                    write_all_vectored(ep, &slices).and_then(|()| ep.flush())
+                }
                 None => Err(io::Error::new(
                     io::ErrorKind::NotConnected,
                     "net: lane endpoint already torn down",
@@ -2167,7 +2427,7 @@ fn writer_loop(
                     }
                 }
                 while let Ok(msg) = rx.try_recv() {
-                    lane.queued.fetch_sub(1, Ordering::Relaxed);
+                    lane.dequeued();
                     match msg {
                         WriterMsg::Stream(sw) => {
                             transport.requeue_stream(peer, sw);
@@ -2194,7 +2454,7 @@ fn writer_loop(
                     match rx.recv() {
                         Err(_) => return,
                         Ok(msg) => {
-                            lane.queued.fetch_sub(1, Ordering::Relaxed);
+                            lane.dequeued();
                             match msg {
                                 WriterMsg::Stream(sw) => transport.requeue_stream(peer, sw),
                                 WriterMsg::Shutdown => return,
@@ -2223,7 +2483,7 @@ fn writer_loop(
                 match rx.recv() {
                     Err(_) => return,
                     Ok(msg) => {
-                        lane.queued.fetch_sub(1, Ordering::Relaxed);
+                        lane.dequeued();
                         if matches!(msg, WriterMsg::Shutdown) {
                             return;
                         }
@@ -2238,6 +2498,7 @@ fn writer_loop(
                 }
             }
         }
+        // ORDERING: statistics counter (diagnostics only).
         frames_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
         if shutdown {
             return;
@@ -2251,6 +2512,7 @@ fn writer_loop(
 fn read_head(ep: &mut Endpoint) -> io::Result<(usize, u8)> {
     let mut head = [0u8; 6];
     ep.read_exact(&mut head)?;
+    // PANIC: slicing a fixed 6-byte array — the length is static.
     let len = u32::from_le_bytes(head[..4].try_into().expect("4-byte prefix")) as usize;
     if !(2..=MAX_FRAME_BODY).contains(&len) {
         return Err(io::Error::new(
@@ -2284,7 +2546,10 @@ fn read_part_data(
     }
     let mut hdr = [0u8; 16];
     ep.read_exact(&mut hdr)?;
+    // PANIC: both slices of the fixed 16-byte header are statically 8
+    // bytes.
     let rdv_id = u64::from_le_bytes(hdr[..8].try_into().expect("8-byte id"));
+    // PANIC: see above — statically 8 bytes.
     let offset = u64::from_le_bytes(hdr[8..].try_into().expect("8-byte offset")) as usize;
     let len = body_len - frame::PART_DATA_BODY_HDR;
     match transport.stream_range(fabric, peer, rdv_id, offset, len) {
@@ -2380,6 +2645,13 @@ fn reader_loop(
 ) {
     let mut body: Vec<u8> = Vec::new();
     let mut recovered = false;
+    // Audit counters, local to this reader: `rx_seq` counts every frame
+    // head read off this lane in order, `rx_epoch` counts the lane-0
+    // reconnect this reader lived through. Thread-local (not the shared
+    // peer epoch) so frames still buffered in a dying socket keep their
+    // pre-reconnect epoch even if the writer side already reconnected.
+    let mut rx_seq = 0u32;
+    let mut rx_epoch = 0u32;
     loop {
         let (len, op) = match read_head(&mut ep) {
             Ok(head) => head,
@@ -2395,6 +2667,7 @@ fn reader_loop(
                 ) {
                     Some(new_ep) => {
                         ep = new_ep;
+                        rx_epoch += 1;
                         continue;
                     }
                     None => return,
@@ -2402,7 +2675,22 @@ fn reader_loop(
             }
         };
         transport.note_heard(peer);
+        // ORDERING: statistics counter (diagnostics only).
         frames_received.fetch_add(1, Ordering::Relaxed);
+        {
+            let (p16, l16, op16, epoch, seq) =
+                (peer as u16, lane as u16, op as u16, rx_epoch, rx_seq);
+            fabric
+                .trace()
+                .emit_verify(transport.rank as u16, || EventKind::VerifyWireRecv {
+                    peer: p16,
+                    lane: l16,
+                    op: op16,
+                    epoch,
+                    seq,
+                });
+            rx_seq = rx_seq.wrapping_add(1);
+        }
         let keep_going = if frame::is_part_data(op) {
             read_part_data(&transport, &fabric, peer, lane, &mut ep, len, &mut body).map(|()| true)
         } else {
@@ -2434,6 +2722,7 @@ fn reader_loop(
                 ) {
                     Some(new_ep) => {
                         ep = new_ep;
+                        rx_epoch += 1;
                         continue;
                     }
                     None => return,
@@ -2479,6 +2768,8 @@ fn heartbeat_loop(transport: Arc<SocketTransport>, fabric: Arc<Fabric>) {
             if peer.saw_bye.load(Ordering::Acquire) || !peer.connected.load(Ordering::Acquire) {
                 continue;
             }
+            // ORDERING: liveness timestamp; a stale read delays the
+            // verdict by at most one monitor poll.
             let quiet = now.saturating_sub(peer.last_heard_ms.load(Ordering::Relaxed));
             if quiet >= miss {
                 let (p16, q) = (rank as u16, quiet);

@@ -200,6 +200,22 @@ impl Universe {
         };
         let out = engine(trace.clone());
         let data = trace.snapshot().expect("trace was enabled");
+        if env_verify {
+            // Persist the analysis-grade ring next to the Chrome trace:
+            // `pcomm-audit` merges these per-rank `.events` sidecars
+            // after a multi-process run. This point is reached on typed
+            // failures too (`engine` already returned), so crashed and
+            // aborted runs still leave auditable evidence.
+            if let Some(path) = &env_json {
+                let rank = wire_env.as_ref().map_or(0, |e| e.rank as u16);
+                let ev_path = format!("{path}.events");
+                if let Err(e) =
+                    pcomm_trace::write_events(std::path::Path::new(&ev_path), rank, &data)
+                {
+                    eprintln!("pcomm: failed to write {ev_path}: {e}");
+                }
+            }
+        }
         if let Some(path) = env_json {
             let json = pcomm_trace::chrome_trace_json(&data.events, data.dropped);
             if let Err(e) = std::fs::write(&path, json) {
@@ -493,6 +509,79 @@ impl Universe {
                 message: format!("rank process exited with code {code}"),
             }),
         }
+    }
+
+    /// [`Universe::run_multiprocess`] with a cross-process audit: every
+    /// rank process records an analysis-grade trace ring and persists
+    /// it on exit (clean or failed); the launching process then merges
+    /// the per-rank `.events` sidecars and runs
+    /// [`pcomm_verify::audit`] — the wire-protocol FSM, stream-ledger,
+    /// and cross-process happens-before passes — over the whole run.
+    ///
+    /// The report is `Some` only in the launching process; the
+    /// re-executed rank processes return `None` (their evidence is the
+    /// persisted ring, audited by the launcher). A missing or
+    /// unreadable sidecar also yields `None`, with the reason on
+    /// stderr, rather than inventing a verdict from partial evidence.
+    pub fn run_multiprocess_verified<T, F>(
+        &self,
+        f: F,
+    ) -> (
+        Result<Vec<T>, PcommError>,
+        Option<pcomm_verify::AuditReport>,
+    )
+    where
+        T: Send + Clone,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        if pcomm_net::MultiprocEnv::from_env().is_some() {
+            // Child rank process: `PCOMM_TRACE` / `PCOMM_VERIFY` came
+            // with the spawn environment, so plain `run` persists the
+            // ring this process contributes to the launcher's audit.
+            return (self.run_multiprocess(f), None);
+        }
+        static AUDIT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = AUDIT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("pcomm-audit-{}-{seq}", std::process::id()));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!(
+                "pcomm: audit dir {} failed: {e}; running unaudited",
+                dir.display()
+            );
+            return (self.run_multiprocess(f), None);
+        }
+        let base = dir.join("trace.json");
+        let base_str = base.to_string_lossy().into_owned();
+        // Set before spawning so the children inherit both; restored
+        // after, so later universes in this process behave as before.
+        let saved_trace = std::env::var("PCOMM_TRACE").ok();
+        let saved_verify = std::env::var("PCOMM_VERIFY").ok();
+        std::env::set_var("PCOMM_TRACE", &base_str);
+        std::env::set_var("PCOMM_VERIFY", "1");
+        let out = self.run_multiprocess(f);
+        match saved_trace {
+            Some(v) => std::env::set_var("PCOMM_TRACE", v),
+            None => std::env::remove_var("PCOMM_TRACE"),
+        }
+        match saved_verify {
+            Some(v) => std::env::set_var("PCOMM_VERIFY", v),
+            None => std::env::remove_var("PCOMM_VERIFY"),
+        }
+        let mut ranks = Vec::with_capacity(self.n_ranks);
+        let mut complete = true;
+        for k in 0..self.n_ranks {
+            let path = format!("{base_str}.rank{k}.events");
+            match pcomm_trace::read_events(std::path::Path::new(&path)) {
+                Ok(r) => ranks.push(r),
+                Err(e) => {
+                    eprintln!("pcomm: audit cannot read rank {k} ring: {e}");
+                    complete = false;
+                }
+            }
+        }
+        let report = complete.then(|| pcomm_verify::audit(&ranks));
+        let _ = std::fs::remove_dir_all(&dir);
+        (out, report)
     }
 }
 

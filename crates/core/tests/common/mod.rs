@@ -137,6 +137,9 @@ pub struct RankOutcome {
     pub out: String,
     /// The rank's Chrome trace JSON (children run under `PCOMM_TRACE`).
     pub trace: String,
+    /// The rank's analysis-grade `.events` ring — written only when the
+    /// cell ran with `PCOMM_VERIFY=1`, and on typed-error exits too.
+    pub events: Option<pcomm_trace::RankEvents>,
 }
 
 impl RankOutcome {
@@ -204,10 +207,17 @@ pub fn run_wire_pair(
     let outcomes = statuses
         .into_iter()
         .enumerate()
-        .map(|(rank, status)| RankOutcome {
-            status,
-            out: std::fs::read_to_string(dir.join(format!("test-out-{rank}"))).unwrap_or_default(),
-            trace: std::fs::read_to_string(trace_path(&trace_base, rank)).unwrap_or_default(),
+        .map(|(rank, status)| {
+            let trace = trace_path(&trace_base, rank);
+            let mut events = trace.as_os_str().to_owned();
+            events.push(".events");
+            RankOutcome {
+                status,
+                out: std::fs::read_to_string(dir.join(format!("test-out-{rank}")))
+                    .unwrap_or_default(),
+                trace: std::fs::read_to_string(&trace).unwrap_or_default(),
+                events: pcomm_trace::read_events(std::path::Path::new(&events)).ok(),
+            }
         })
         .collect();
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,47 @@
+//! End-to-end audit of a real two-process wire run.
+//!
+//! IMPORTANT: this file must contain exactly ONE `#[test]`.
+//! `Universe::run_multiprocess_verified` re-executes the whole test
+//! binary as rank 1, so a second test in this file would run twice
+//! with desynchronized mesh sequence numbers.
+
+mod common;
+
+use std::time::Duration;
+
+use pcomm_core::Universe;
+
+const N_PARTS: usize = 16;
+const PART_BYTES: usize = 16 * 1024;
+
+#[test]
+fn multiprocess_transfer_audits_clean() {
+    let (out, report) = Universe::new(2).run_multiprocess_verified(|comm| {
+        common::transfer(&comm, N_PARTS, PART_BYTES, Duration::ZERO)
+    });
+    let results = out.expect("multiprocess transfer failed");
+    let Some(report) = report else {
+        // Rank 1 (the re-executed child): its contribution is the
+        // persisted `.events` ring the launcher audits.
+        return;
+    };
+    assert_eq!(
+        results[0],
+        common::expected_digest(N_PARTS, PART_BYTES),
+        "receiver digest disagrees with the expected pattern"
+    );
+    assert!(report.is_clean(), "audit found problems:\n{report}");
+    assert_eq!(report.stats.ranks, 2);
+    assert!(
+        report.stats.matched_frames > 0,
+        "no wire frames matched:\n{report}"
+    );
+    assert!(
+        report.stats.streams >= 1,
+        "the partitioned transfer should stream:\n{report}"
+    );
+    assert!(
+        report.stats.hb_events > 0,
+        "no events reached the merged happens-before pass:\n{report}"
+    );
+}

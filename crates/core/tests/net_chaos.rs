@@ -167,3 +167,121 @@ fn half_open_peer_escalates_to_typed_error() {
         "silent death detected only after {quiet_ms} ms (heartbeat {hb_ms} ms)"
     );
 }
+
+/// The lane-kill failover cell again, with verification on: both rank
+/// processes must persist analysis-grade `.events` rings, and the
+/// merged cross-process audit — wire FSM, stream ledger, happens-before
+/// — must come back clean even though a lane died and its in-flight
+/// bytes were replayed.
+#[test]
+fn lanekill_failover_run_audits_clean() {
+    if common::maybe_run_child() {
+        return;
+    }
+    let (n_parts, part_bytes) = (32, 64 * 1024);
+    let outs = common::run_wire_pair(
+        "lanekill_failover_run_audits_clean",
+        "transfer",
+        &[
+            (ENV_PARTS, n_parts.to_string()),
+            (ENV_PART_BYTES, part_bytes.to_string()),
+            ("PCOMM_NET_LANES", "3".to_string()),
+            ("PCOMM_VERIFY", "1".to_string()),
+        ],
+        [
+            vec![],
+            vec![("PCOMM_FAULTS", "seed=7,lanekill=2:65536".to_string())],
+        ],
+        TIMEOUT,
+    );
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(o.out.starts_with("ok "), "rank {rank}: `{}`", o.out);
+    }
+    assert_eq!(
+        outs[0].digest(),
+        Some(common::expected_digest(n_parts, part_bytes)),
+        "digest diverged after lane failover: `{}`",
+        outs[0].out
+    );
+    let rings: Vec<_> = outs
+        .iter()
+        .enumerate()
+        .map(|(rank, o)| {
+            o.events
+                .clone()
+                .unwrap_or_else(|| panic!("rank {rank} left no .events ring"))
+        })
+        .collect();
+    let report = pcomm_verify::audit(&rings);
+    assert!(
+        report.is_clean(),
+        "failover run failed its audit:\n{report}"
+    );
+    assert!(
+        report.stats.matched_frames > 0,
+        "no frames matched:\n{report}"
+    );
+    assert!(
+        report.stats.streams >= 1,
+        "transfer did not stream:\n{report}"
+    );
+}
+
+/// A run that dies with a typed error must still flush its rings: the
+/// half-open cell ends in `PeerPanicked` on both ranks, yet both
+/// `.events` sidecars exist, parse, and audit clean — failed runs are
+/// exactly the ones worth auditing.
+#[test]
+fn typed_error_exit_still_persists_audit_rings() {
+    if common::maybe_run_child() {
+        return;
+    }
+    let outs = common::run_wire_pair(
+        "typed_error_exit_still_persists_audit_rings",
+        "barrier-storm",
+        &[
+            ("PCOMM_NET_HB_MS", "150".to_string()),
+            ("PCOMM_VERIFY", "1".to_string()),
+        ],
+        [
+            vec![],
+            vec![("PCOMM_FAULTS", "seed=9,halfopen=0:256".to_string())],
+        ],
+        TIMEOUT,
+    );
+    let mut rings = Vec::new();
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(
+            o.out.starts_with("err "),
+            "rank {rank} should have died typed, got `{}`",
+            o.out
+        );
+        let ring = o
+            .events
+            .clone()
+            .unwrap_or_else(|| panic!("rank {rank} lost its ring on the typed-error exit"));
+        assert_eq!(ring.rank as usize, rank);
+        rings.push(ring);
+    }
+    let report = pcomm_verify::audit(&rings);
+    assert!(
+        report.is_clean(),
+        "typed-error run failed its audit:\n{report}"
+    );
+    assert!(
+        report.stats.matched_frames > 0,
+        "no control traffic was matched:\n{report}"
+    );
+}

@@ -144,6 +144,8 @@ pub struct FaultyState {
 impl FaultyState {
     /// How many faults of `kind` this link has injected so far.
     pub fn injected(&self, kind: WireFault) -> u64 {
+        // ORDERING: advisory fault tally, read for assertions after
+        // the I/O threads have been joined.
         self.injected[kind.slot()].load(Ordering::Relaxed)
     }
 }
@@ -197,6 +199,7 @@ impl FaultyLink {
     }
 
     fn report(&self, kind: WireFault) {
+        // ORDERING: advisory fault tally (see `FaultyState::injected`).
         self.state.injected[kind.slot()].fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.plan.on_fault {
             obs(kind, self.peer, self.lane);
@@ -214,12 +217,18 @@ impl FaultyLink {
     }
 
     pub(crate) fn faulty_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // ORDERING: sticky kill flag — reading it late only lets one
+        // more write reach a socket the kill already shut down.
         if self.state.dead.load(Ordering::Relaxed) {
             return Err(self.reset_err());
         }
+        // ORDERING: the byte ledger is written only by this lane's one
+        // writer thread; reads elsewhere are advisory.
         let written = self.state.written.load(Ordering::Relaxed);
         if let Some((lane, after)) = self.plan.lane_kill {
             if lane == self.lane && written >= after {
+                // ORDERING: the swap makes the fault report
+                // exactly-once; no other memory rides on the flag.
                 if !self.state.dead.swap(true, Ordering::Relaxed) {
                     self.report(WireFault::LaneKill);
                     // Kill the real socket so the peer's reader on this
@@ -231,22 +240,29 @@ impl FaultyLink {
         }
         if let Some((lane, after)) = self.plan.half_open {
             if lane == self.lane
+                // ORDERING: sticky half-open latch; a late read only
+                // delays the first swallowed write by one call.
                 && (written >= after || self.state.half_open.load(Ordering::Relaxed))
             {
+                // ORDERING: swap = exactly-once report (see lane_kill).
                 if !self.state.half_open.swap(true, Ordering::Relaxed) {
                     self.report(WireFault::HalfOpen);
                 }
                 // Swallow: the caller believes the bytes left; the peer
                 // hears silence from now on.
-                self.state
-                    .written
-                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                let n = buf.len() as u64;
+                // ORDERING: single-writer byte ledger (see above).
+                self.state.written.fetch_add(n, Ordering::Relaxed);
                 return Ok(buf.len());
             }
         }
+        // ORDERING: per-call index for the deterministic draw; calls on
+        // one lane come from one writer thread, so the sequence is
+        // already serial.
         let idx = self.state.writes.fetch_add(1, Ordering::Relaxed);
         let p = u01(self.draw(DOMAIN_WRITE, idx));
         if p < self.plan.reset {
+            // ORDERING: sticky kill flag (see the load at the top).
             self.state.dead.store(true, Ordering::Relaxed);
             self.report(WireFault::Reset);
             self.inner.shutdown();
@@ -261,6 +277,7 @@ impl FaultyLink {
             corrupt[at] ^= 1 << ((pick >> 32) % 8);
             self.report(WireFault::Garbage);
             let n = self.inner.write(&corrupt)?;
+            // ORDERING: single-writer byte ledger (see above).
             self.state.written.fetch_add(n as u64, Ordering::Relaxed);
             return Ok(n);
         }
@@ -270,18 +287,22 @@ impl FaultyLink {
             let k = 1 + (pick as usize) % (buf.len() - 1);
             self.report(WireFault::TornWrite);
             let n = self.inner.write(&buf[..k])?;
+            // ORDERING: single-writer byte ledger (see above).
             self.state.written.fetch_add(n as u64, Ordering::Relaxed);
             return Ok(n);
         }
         let n = self.inner.write(buf)?;
+        // ORDERING: single-writer byte ledger (see above).
         self.state.written.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
 
     pub(crate) fn faulty_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // ORDERING: sticky kill flag (see `faulty_write`).
         if self.state.dead.load(Ordering::Relaxed) {
             return Err(self.reset_err());
         }
+        // ORDERING: per-call draw index; one reader thread per lane.
         let idx = self.state.reads.fetch_add(1, Ordering::Relaxed);
         if buf.len() > 1 && u01(self.draw(DOMAIN_READ, idx)) < self.plan.short_read {
             // Hand back fewer bytes than asked for; a correct caller

@@ -64,24 +64,92 @@ pub const ABORT_MISUSE_RANK: u8 = 3;
 /// [`Frame::Abort`] kind: API misuse with no attributable rank.
 pub const ABORT_MISUSE: u8 = 4;
 
-const OP_HELLO: u8 = 1;
-const OP_EAGER: u8 = 2;
-const OP_RTS: u8 = 3;
-const OP_CTS: u8 = 4;
-const OP_RDV_DATA: u8 = 5;
-const OP_BARRIER_ARRIVE: u8 = 6;
-const OP_BARRIER_RELEASE: u8 = 7;
-const OP_ABORT: u8 = 8;
-const OP_BYE: u8 = 9;
-const OP_WIN_ANNOUNCE: u8 = 10;
-const OP_PUT: u8 = 11;
-const OP_GET_REQ: u8 = 12;
-const OP_GET_RESP: u8 = 13;
-const OP_PART_RTS: u8 = 14;
-const OP_PART_CTS: u8 = 15;
-const OP_PART_DATA: u8 = 16;
-const OP_HEARTBEAT: u8 = 17;
-const OP_STREAM_RESYNC: u8 = 18;
+/// Wire opcodes, public so the offline auditor (`pcomm-audit`) can
+/// reason about frame kinds without re-deriving the numbering. The
+/// values are part of the wire format and must never be renumbered.
+pub mod op {
+    /// Connection handshake ([`Frame::Hello`](super::Frame::Hello)).
+    pub const HELLO: u8 = 1;
+    /// Buffered eager message.
+    pub const EAGER: u8 = 2;
+    /// Rendezvous ready-to-send.
+    pub const RTS: u8 = 3;
+    /// Rendezvous clear-to-send.
+    pub const CTS: u8 = 4;
+    /// Rendezvous payload.
+    pub const RDV_DATA: u8 = 5;
+    /// Barrier arrival (rank → coordinator).
+    pub const BARRIER_ARRIVE: u8 = 6;
+    /// Barrier release (coordinator → rank).
+    pub const BARRIER_RELEASE: u8 = 7;
+    /// Peer abort carrying a typed error.
+    pub const ABORT: u8 = 8;
+    /// Clean shutdown.
+    pub const BYE: u8 = 9;
+    /// RMA window announcement.
+    pub const WIN_ANNOUNCE: u8 = 10;
+    /// RMA put.
+    pub const PUT: u8 = 11;
+    /// RMA get request.
+    pub const GET_REQ: u8 = 12;
+    /// RMA get response.
+    pub const GET_RESP: u8 = 13;
+    /// Partitioned-stream ready-to-send.
+    pub const PART_RTS: u8 = 14;
+    /// Partitioned-stream clear-to-send.
+    pub const PART_CTS: u8 = 15;
+    /// Partitioned-stream data chunk.
+    pub const PART_DATA: u8 = 16;
+    /// Liveness heartbeat.
+    pub const HEARTBEAT: u8 = 17;
+    /// Post-failover stream resynchronisation.
+    pub const STREAM_RESYNC: u8 = 18;
+
+    /// Human-readable opcode name for audit findings; `"op<N>"` is
+    /// never returned for valid wire traffic.
+    pub fn name(op: u8) -> &'static str {
+        match op {
+            HELLO => "Hello",
+            EAGER => "Eager",
+            RTS => "Rts",
+            CTS => "Cts",
+            RDV_DATA => "RdvData",
+            BARRIER_ARRIVE => "BarrierArrive",
+            BARRIER_RELEASE => "BarrierRelease",
+            ABORT => "Abort",
+            BYE => "Bye",
+            WIN_ANNOUNCE => "WinAnnounce",
+            PUT => "Put",
+            GET_REQ => "GetReq",
+            GET_RESP => "GetResp",
+            PART_RTS => "PartRts",
+            PART_CTS => "PartCts",
+            PART_DATA => "PartData",
+            HEARTBEAT => "Heartbeat",
+            STREAM_RESYNC => "StreamResync",
+            _ => "op?",
+        }
+    }
+}
+
+const OP_HELLO: u8 = op::HELLO;
+const OP_EAGER: u8 = op::EAGER;
+const OP_RTS: u8 = op::RTS;
+const OP_CTS: u8 = op::CTS;
+const OP_RDV_DATA: u8 = op::RDV_DATA;
+const OP_BARRIER_ARRIVE: u8 = op::BARRIER_ARRIVE;
+const OP_BARRIER_RELEASE: u8 = op::BARRIER_RELEASE;
+const OP_ABORT: u8 = op::ABORT;
+const OP_BYE: u8 = op::BYE;
+const OP_WIN_ANNOUNCE: u8 = op::WIN_ANNOUNCE;
+const OP_PUT: u8 = op::PUT;
+const OP_GET_REQ: u8 = op::GET_REQ;
+const OP_GET_RESP: u8 = op::GET_RESP;
+const OP_PART_RTS: u8 = op::PART_RTS;
+const OP_PART_CTS: u8 = op::PART_CTS;
+const OP_PART_DATA: u8 = op::PART_DATA;
+const OP_HEARTBEAT: u8 = op::HEARTBEAT;
+const OP_STREAM_RESYNC: u8 = op::STREAM_RESYNC;
 
 /// Upper bound on the number of missing ranges one [`Frame::StreamResync`]
 /// may carry; a decoded count beyond this is treated as corruption.
@@ -315,14 +383,17 @@ impl<'a> Dec<'a> {
     }
 
     fn u16(&mut self) -> io::Result<u16> {
+        // PANIC: `take(2)` either errs or returns exactly 2 bytes.
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
+        // PANIC: `take(8)` either errs or returns exactly 8 bytes.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     fn i64(&mut self) -> io::Result<i64> {
+        // PANIC: `take(8)` either errs or returns exactly 8 bytes.
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -435,6 +506,30 @@ impl Frame {
             Frame::PartData { .. } => "PartData",
             Frame::Heartbeat { .. } => "Heartbeat",
             Frame::StreamResync { .. } => "StreamResync",
+        }
+    }
+
+    /// The frame's wire opcode (one of the [`op`] constants).
+    pub fn op(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => op::HELLO,
+            Frame::Eager { .. } => op::EAGER,
+            Frame::Rts { .. } => op::RTS,
+            Frame::Cts { .. } => op::CTS,
+            Frame::RdvData { .. } => op::RDV_DATA,
+            Frame::BarrierArrive { .. } => op::BARRIER_ARRIVE,
+            Frame::BarrierRelease { .. } => op::BARRIER_RELEASE,
+            Frame::Abort { .. } => op::ABORT,
+            Frame::Bye => op::BYE,
+            Frame::WinAnnounce { .. } => op::WIN_ANNOUNCE,
+            Frame::Put { .. } => op::PUT,
+            Frame::GetReq { .. } => op::GET_REQ,
+            Frame::GetResp { .. } => op::GET_RESP,
+            Frame::PartRts { .. } => op::PART_RTS,
+            Frame::PartCts { .. } => op::PART_CTS,
+            Frame::PartData { .. } => op::PART_DATA,
+            Frame::Heartbeat { .. } => op::HEARTBEAT,
+            Frame::StreamResync { .. } => op::STREAM_RESYNC,
         }
     }
 

@@ -149,6 +149,8 @@ impl MultiprocEnv {
 /// dir.
 pub fn unique_rendezvous_dir() -> io::Result<PathBuf> {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
+    // ORDERING: nonce allocator — uniqueness within the process is all
+    // the directory name needs.
     let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
     let stamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

@@ -242,6 +242,9 @@ pub fn establish(cfg: &MeshConfig) -> io::Result<Mesh> {
         peers[peer] = Some(
             lanes
                 .into_iter()
+                // PANIC: the accept loop above runs until every
+                // expected (peer, lane) slot is filled, erroring on
+                // duplicates — no slot can still be None here.
                 .map(|ep| ep.expect("all lanes accepted"))
                 .collect(),
         );

@@ -188,6 +188,67 @@ fn args_json(kind: &EventKind) -> String {
         EventKind::WriterQueue { peer, lane, depth } => {
             format!("\"peer\":{peer},\"lane\":{lane},\"depth\":{depth}")
         }
+        EventKind::VerifyWireSend {
+            peer,
+            lane,
+            op,
+            epoch,
+            seq,
+        }
+        | EventKind::VerifyWireRecv {
+            peer,
+            lane,
+            op,
+            epoch,
+            seq,
+        } => format!("\"peer\":{peer},\"lane\":{lane},\"op\":{op},\"epoch\":{epoch},\"seq\":{seq}"),
+        EventKind::VerifyStreamRts {
+            peer,
+            tx,
+            stream,
+            total_len,
+        } => format!("\"peer\":{peer},\"tx\":{tx},\"stream\":{stream},\"total_len\":{total_len}"),
+        EventKind::VerifyStreamCts {
+            peer,
+            tx,
+            stream,
+            epoch,
+        } => format!("\"peer\":{peer},\"tx\":{tx},\"stream\":{stream},\"epoch\":{epoch}"),
+        EventKind::VerifyStreamData {
+            peer,
+            lane,
+            tx,
+            stream,
+            offset,
+            len,
+        } => format!(
+            "\"peer\":{peer},\"lane\":{lane},\"tx\":{tx},\"stream\":{stream},\
+             \"offset\":{offset},\"len\":{len}"
+        ),
+        EventKind::VerifyStreamCommit {
+            peer,
+            lane,
+            stream,
+            lo,
+            len,
+        } => format!(
+            "\"peer\":{peer},\"lane\":{lane},\"stream\":{stream},\"lo\":{lo},\"len\":{len}"
+        ),
+        EventKind::VerifyStreamLost {
+            peer,
+            stream,
+            missing,
+        } => format!("\"peer\":{peer},\"stream\":{stream},\"missing\":{missing}"),
+        EventKind::VerifyStreamMsg {
+            stream,
+            req,
+            msg,
+            tx,
+            offset,
+            len,
+        } => format!(
+            "\"stream\":{stream},\"req\":{req},\"msg\":{msg},\"tx\":{tx},\"offset\":{offset},\"len\":{len}"
+        ),
     }
 }
 

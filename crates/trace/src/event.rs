@@ -471,6 +471,135 @@ pub enum EventKind {
         /// Queued writer messages at the crossing.
         depth: u64,
     },
+    /// [verify] A wire frame was put on a lane's socket, in wire order
+    /// (emitted under the lane's write mutex, *before* the write, so a
+    /// partially transmitted frame is still recorded). `seq` is a
+    /// monotone per-lane counter; `epoch` counts lane-0 reconnects, and
+    /// frame *k* of an epoch on the sender pairs with frame *k* of the
+    /// same epoch at the receiver (per-epoch byte streams are FIFO with
+    /// the prefix property). Instant.
+    VerifyWireSend {
+        /// Destination peer rank.
+        peer: u16,
+        /// Lane the frame travelled.
+        lane: u16,
+        /// Wire opcode (`pcomm-net` frame op).
+        op: u16,
+        /// Reconnect epoch of the peer link at send time.
+        epoch: u32,
+        /// Monotone per-lane send ordinal (never reset; gaps reveal
+        /// dropped ring slots, not dropped frames).
+        seq: u32,
+    },
+    /// [verify] A wire frame was read off a lane's socket, in wire
+    /// order (single reader thread per lane). Fields as in
+    /// [`VerifyWireSend`](EventKind::VerifyWireSend). Instant.
+    VerifyWireRecv {
+        /// Source peer rank.
+        peer: u16,
+        /// Lane the frame arrived on.
+        lane: u16,
+        /// Wire opcode.
+        op: u16,
+        /// Reconnect epoch of the peer link at read time.
+        epoch: u32,
+        /// Monotone per-lane receive ordinal.
+        seq: u32,
+    },
+    /// [verify] A `PartRts` stream announcement: `tx` at the sender's
+    /// `part_stream_begin`, `rx` when the receiver handles the frame.
+    /// `stream` is the low 32 bits of the rdv id — unique per *sender*,
+    /// so the audit keys streams by `(sender rank, stream)`. Instant.
+    VerifyStreamRts {
+        /// The other end of the stream.
+        peer: u16,
+        /// True on the announcing (sender) side.
+        tx: bool,
+        /// Stream id (low 32 bits of the rdv id).
+        stream: u32,
+        /// Total pinned bytes the stream will carry.
+        total_len: u64,
+    },
+    /// [verify] A `PartCts` stream release: `tx` when the receiver
+    /// activates the stream and releases the sender, `rx` when the
+    /// sender handles the release. Instant.
+    VerifyStreamCts {
+        /// The other end of the stream.
+        peer: u16,
+        /// True on the releasing (receiver) side.
+        tx: bool,
+        /// Stream id.
+        stream: u32,
+        /// Reconnect epoch at release time — the FSM pass proves at
+        /// most one release per stream per epoch.
+        epoch: u32,
+    },
+    /// [verify] A `PartData` range: `tx` per chunk put on the wire
+    /// (inline or writer-thread path), `rx` when the receiver commits
+    /// bytes against the pinned buffer. Instant.
+    VerifyStreamData {
+        /// The other end of the stream.
+        peer: u16,
+        /// Lane the range travelled.
+        lane: u16,
+        /// True on the sending side.
+        tx: bool,
+        /// Stream id.
+        stream: u32,
+        /// Byte offset inside the pinned stream.
+        offset: u64,
+        /// Range length in bytes.
+        len: u32,
+    },
+    /// [verify] `claim_range` granted a *fresh* sub-range of an
+    /// incoming stream — one event per disjoint fresh range, none for a
+    /// pure duplicate (replays absorbed by the ledger leave no commit).
+    /// Instant, receiver side.
+    VerifyStreamCommit {
+        /// Sending peer rank.
+        peer: u16,
+        /// Lane whose reader committed the range.
+        lane: u16,
+        /// Stream id.
+        stream: u32,
+        /// First byte of the fresh range.
+        lo: u64,
+        /// Fresh bytes granted.
+        len: u32,
+    },
+    /// [verify] The sender declared a stream's bytes unrecoverable
+    /// (`MessageLost`) from a resync request naming a retired span.
+    /// Instant, sender side.
+    VerifyStreamLost {
+        /// Receiver rank whose resync triggered the verdict.
+        peer: u16,
+        /// Stream id.
+        stream: u32,
+        /// Bytes the receiver reported missing.
+        missing: u64,
+    },
+    /// [verify] Binds one wire message of a partitioned request to its
+    /// byte range inside a stream — emitted by both sides (sender at
+    /// `part_stream_begin`, receiver at stream activation), so the
+    /// audit can join each side's locally interned request ids across
+    /// processes. Instant.
+    VerifyStreamMsg {
+        /// Stream id.
+        stream: u32,
+        /// Request id (local interning of the emitting process).
+        req: u16,
+        /// Wire message index (15 bits on the wire).
+        msg: u16,
+        /// True on the originating (psend) side, false at the
+        /// receiver — rendezvous ids are allocated per process, so a
+        /// rank can both originate stream `s` and receive a different
+        /// peer's stream `s`; the side bit keeps them apart.
+        tx: bool,
+        /// The message's byte offset inside the stream.
+        offset: u64,
+        /// The message's length in bytes.
+        len: u32,
+    },
 }
 
 const TAG_LOCK_WAIT: u64 = 1;
@@ -507,6 +636,14 @@ const TAG_LANE_FAILOVER: u64 = 31;
 const TAG_RECONNECT: u64 = 32;
 const TAG_HEARTBEAT_MISS: u64 = 33;
 const TAG_WRITER_QUEUE: u64 = 34;
+const TAG_VERIFY_WIRE_SEND: u64 = 35;
+const TAG_VERIFY_WIRE_RECV: u64 = 36;
+const TAG_VERIFY_STREAM_RTS: u64 = 37;
+const TAG_VERIFY_STREAM_CTS: u64 = 38;
+const TAG_VERIFY_STREAM_DATA: u64 = 39;
+const TAG_VERIFY_STREAM_COMMIT: u64 = 40;
+const TAG_VERIFY_STREAM_LOST: u64 = 41;
+const TAG_VERIFY_STREAM_MSG: u64 = 42;
 
 /// `w2` layout shared by the per-partition verify events:
 /// low 32 bits = partition / message index, high 32 bits = iteration.
@@ -706,6 +843,102 @@ impl Event {
             EventKind::WriterQueue { peer, lane, depth } => {
                 (TAG_WRITER_QUEUE, peer, lane, depth, 0)
             }
+            EventKind::VerifyWireSend {
+                peer,
+                lane,
+                op,
+                epoch,
+                seq,
+            } => (
+                TAG_VERIFY_WIRE_SEND,
+                peer,
+                lane,
+                op as u64 | ((epoch as u64) << 32),
+                seq as u64,
+            ),
+            EventKind::VerifyWireRecv {
+                peer,
+                lane,
+                op,
+                epoch,
+                seq,
+            } => (
+                TAG_VERIFY_WIRE_RECV,
+                peer,
+                lane,
+                op as u64 | ((epoch as u64) << 32),
+                seq as u64,
+            ),
+            EventKind::VerifyStreamRts {
+                peer,
+                tx,
+                stream,
+                total_len,
+            } => (
+                TAG_VERIFY_STREAM_RTS,
+                peer,
+                tx as u16,
+                stream as u64,
+                total_len,
+            ),
+            EventKind::VerifyStreamCts {
+                peer,
+                tx,
+                stream,
+                epoch,
+            } => (
+                TAG_VERIFY_STREAM_CTS,
+                peer,
+                tx as u16,
+                stream as u64 | ((epoch as u64) << 32),
+                0,
+            ),
+            EventKind::VerifyStreamData {
+                peer,
+                lane,
+                tx,
+                stream,
+                offset,
+                len,
+            } => (
+                TAG_VERIFY_STREAM_DATA,
+                peer,
+                (lane & 0x7fff) | ((tx as u16) << 15),
+                stream as u64 | ((len as u64) << 32),
+                offset,
+            ),
+            EventKind::VerifyStreamCommit {
+                peer,
+                lane,
+                stream,
+                lo,
+                len,
+            } => (
+                TAG_VERIFY_STREAM_COMMIT,
+                peer,
+                lane,
+                stream as u64 | ((len as u64) << 32),
+                lo,
+            ),
+            EventKind::VerifyStreamLost {
+                peer,
+                stream,
+                missing,
+            } => (TAG_VERIFY_STREAM_LOST, peer, 0, stream as u64, missing),
+            EventKind::VerifyStreamMsg {
+                stream,
+                req,
+                msg,
+                tx,
+                offset,
+                len,
+            } => (
+                TAG_VERIFY_STREAM_MSG,
+                req,
+                (msg & 0x7fff) | ((tx as u16) << 15),
+                stream as u64 | ((len as u64) << 32),
+                offset,
+            ),
         };
         [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
     }
@@ -898,6 +1131,60 @@ impl Event {
                 lane: aux2,
                 depth: w[2],
             },
+            TAG_VERIFY_WIRE_SEND => EventKind::VerifyWireSend {
+                peer: aux1,
+                lane: aux2,
+                op: w[2] as u16,
+                epoch: (w[2] >> 32) as u32,
+                seq: w[3] as u32,
+            },
+            TAG_VERIFY_WIRE_RECV => EventKind::VerifyWireRecv {
+                peer: aux1,
+                lane: aux2,
+                op: w[2] as u16,
+                epoch: (w[2] >> 32) as u32,
+                seq: w[3] as u32,
+            },
+            TAG_VERIFY_STREAM_RTS => EventKind::VerifyStreamRts {
+                peer: aux1,
+                tx: aux2 != 0,
+                stream: w[2] as u32,
+                total_len: w[3],
+            },
+            TAG_VERIFY_STREAM_CTS => EventKind::VerifyStreamCts {
+                peer: aux1,
+                tx: aux2 != 0,
+                stream: w[2] as u32,
+                epoch: (w[2] >> 32) as u32,
+            },
+            TAG_VERIFY_STREAM_DATA => EventKind::VerifyStreamData {
+                peer: aux1,
+                lane: aux2 & 0x7fff,
+                tx: aux2 & 0x8000 != 0,
+                stream: w[2] as u32,
+                offset: w[3],
+                len: (w[2] >> 32) as u32,
+            },
+            TAG_VERIFY_STREAM_COMMIT => EventKind::VerifyStreamCommit {
+                peer: aux1,
+                lane: aux2,
+                stream: w[2] as u32,
+                lo: w[3],
+                len: (w[2] >> 32) as u32,
+            },
+            TAG_VERIFY_STREAM_LOST => EventKind::VerifyStreamLost {
+                peer: aux1,
+                stream: w[2] as u32,
+                missing: w[3],
+            },
+            TAG_VERIFY_STREAM_MSG => EventKind::VerifyStreamMsg {
+                stream: w[2] as u32,
+                req: aux1,
+                msg: aux2 & 0x7fff,
+                tx: aux2 >> 15 == 1,
+                offset: w[3],
+                len: (w[2] >> 32) as u32,
+            },
             _ => return None,
         };
         Some(Event {
@@ -956,6 +1243,14 @@ impl EventKind {
             EventKind::Reconnect { .. } => "reconnect",
             EventKind::HeartbeatMiss { .. } => "heartbeat_miss",
             EventKind::WriterQueue { .. } => "writer_queue",
+            EventKind::VerifyWireSend { .. } => "verify_wire_send",
+            EventKind::VerifyWireRecv { .. } => "verify_wire_recv",
+            EventKind::VerifyStreamRts { .. } => "verify_stream_rts",
+            EventKind::VerifyStreamCts { .. } => "verify_stream_cts",
+            EventKind::VerifyStreamData { .. } => "verify_stream_data",
+            EventKind::VerifyStreamCommit { .. } => "verify_stream_commit",
+            EventKind::VerifyStreamLost { .. } => "verify_stream_lost",
+            EventKind::VerifyStreamMsg { .. } => "verify_stream_msg",
         }
     }
 
@@ -990,6 +1285,14 @@ impl EventKind {
                 | EventKind::VerifyParrived { .. }
                 | EventKind::VerifyWaitDone { .. }
                 | EventKind::VerifyBlocked { .. }
+                | EventKind::VerifyWireSend { .. }
+                | EventKind::VerifyWireRecv { .. }
+                | EventKind::VerifyStreamRts { .. }
+                | EventKind::VerifyStreamCts { .. }
+                | EventKind::VerifyStreamData { .. }
+                | EventKind::VerifyStreamCommit { .. }
+                | EventKind::VerifyStreamLost { .. }
+                | EventKind::VerifyStreamMsg { .. }
         )
     }
 
@@ -1007,7 +1310,11 @@ impl EventKind {
             | EventKind::StreamCommit { lane, .. }
             | EventKind::LaneDown { lane, .. }
             | EventKind::LaneFailover { lane, .. }
-            | EventKind::WriterQueue { lane, .. } => lane,
+            | EventKind::WriterQueue { lane, .. }
+            | EventKind::VerifyWireSend { lane, .. }
+            | EventKind::VerifyWireRecv { lane, .. }
+            | EventKind::VerifyStreamData { lane, .. }
+            | EventKind::VerifyStreamCommit { lane, .. } => lane,
             _ => 0,
         }
     }
@@ -1272,6 +1579,88 @@ impl fmt::Display for Event {
             EventKind::WriterQueue { peer, lane, depth } => {
                 write!(f, "writer queue lane {lane} -> rank {peer} depth {depth}")
             }
+            EventKind::VerifyWireSend {
+                peer,
+                lane,
+                op,
+                epoch,
+                seq,
+            } => write!(
+                f,
+                "verify: wire send op {op} -> rank {peer} lane {lane} epoch {epoch} seq {seq}"
+            ),
+            EventKind::VerifyWireRecv {
+                peer,
+                lane,
+                op,
+                epoch,
+                seq,
+            } => write!(
+                f,
+                "verify: wire recv op {op} <- rank {peer} lane {lane} epoch {epoch} seq {seq}"
+            ),
+            EventKind::VerifyStreamRts {
+                peer,
+                tx,
+                stream,
+                total_len,
+            } => write!(
+                f,
+                "verify: stream {stream} rts {} rank {peer} ({total_len} B)",
+                if tx { "->" } else { "<-" }
+            ),
+            EventKind::VerifyStreamCts {
+                peer,
+                tx,
+                stream,
+                epoch,
+            } => write!(
+                f,
+                "verify: stream {stream} cts {} rank {peer} epoch {epoch}",
+                if tx { "->" } else { "<-" }
+            ),
+            EventKind::VerifyStreamData {
+                peer,
+                lane,
+                tx,
+                stream,
+                offset,
+                len,
+            } => write!(
+                f,
+                "verify: stream {stream} data {} rank {peer} lane {lane} @ {offset} ({len} B)",
+                if tx { "->" } else { "<-" }
+            ),
+            EventKind::VerifyStreamCommit {
+                peer,
+                lane,
+                stream,
+                lo,
+                len,
+            } => write!(
+                f,
+                "verify: stream {stream} commit <- rank {peer} lane {lane} @ {lo} ({len} B fresh)"
+            ),
+            EventKind::VerifyStreamLost {
+                peer,
+                stream,
+                missing,
+            } => write!(
+                f,
+                "verify: stream {stream} declared lost (rank {peer} missing {missing} B)"
+            ),
+            EventKind::VerifyStreamMsg {
+                stream,
+                req,
+                msg,
+                tx,
+                offset,
+                len,
+            } => write!(
+                f,
+                "verify: stream {stream} carries req {req} msg {msg} ({}) @ {offset} ({len} B)",
+                if tx { "tx" } else { "rx" }
+            ),
         }
     }
 }
@@ -1453,6 +1842,60 @@ mod tests {
                 lane: 2,
                 depth: 1 << 12,
             },
+            EventKind::VerifyWireSend {
+                peer: 1,
+                lane: 0,
+                op: 14,
+                epoch: 1,
+                seq: 4_000_000,
+            },
+            EventKind::VerifyWireRecv {
+                peer: 0,
+                lane: 2,
+                op: 16,
+                epoch: 0,
+                seq: 77,
+            },
+            EventKind::VerifyStreamRts {
+                peer: 1,
+                tx: true,
+                stream: 9,
+                total_len: 1 << 21,
+            },
+            EventKind::VerifyStreamCts {
+                peer: 0,
+                tx: false,
+                stream: 9,
+                epoch: 1,
+            },
+            EventKind::VerifyStreamData {
+                peer: 1,
+                lane: 2,
+                tx: true,
+                stream: 9,
+                offset: 1 << 18,
+                len: 1 << 16,
+            },
+            EventKind::VerifyStreamCommit {
+                peer: 1,
+                lane: 2,
+                stream: 9,
+                lo: 1 << 18,
+                len: 1 << 16,
+            },
+            EventKind::VerifyStreamLost {
+                peer: 0,
+                stream: 9,
+                missing: 4096,
+            },
+            EventKind::VerifyStreamMsg {
+                stream: 9,
+                req: 42,
+                msg: 3,
+                tx: true,
+                offset: 1 << 18,
+                len: 1 << 16,
+            },
         ]
     }
 
@@ -1502,7 +1945,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_stable() {
         let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 34);
+        assert_eq!(names.len(), 42);
         assert!(names.contains("shard_lock_wait"));
         assert!(names.contains("stream_chunk"));
         assert!(names.contains("stream_commit"));
@@ -1515,12 +1958,17 @@ mod tests {
         assert!(names.contains("verify_pready"));
         assert!(names.contains("verify_msg_recv"));
         assert!(names.contains("verify_blocked"));
+        assert!(names.contains("verify_wire_send"));
+        assert!(names.contains("verify_wire_recv"));
+        assert!(names.contains("verify_stream_rts"));
+        assert!(names.contains("verify_stream_commit"));
+        assert!(names.contains("verify_stream_msg"));
     }
 
     #[test]
     fn verify_kinds_are_flagged() {
         let verify = all_kinds().iter().filter(|k| k.is_verify()).count();
-        assert_eq!(verify, 11);
+        assert_eq!(verify, 19);
         assert!(!EventKind::Pready { part: 0 }.is_verify());
     }
 

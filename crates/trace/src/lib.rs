@@ -49,6 +49,7 @@
 mod chaos;
 mod chrome;
 mod event;
+mod persist;
 mod recorder;
 mod report;
 mod ring;
@@ -56,6 +57,7 @@ mod ring;
 pub use chaos::{action_fault_kind, FaultAction, FaultPlan};
 pub use chrome::chrome_trace_json;
 pub use event::{Event, EventKind, FaultKind};
+pub use persist::{events_from_str, events_to_string, read_events, write_events, RankEvents};
 pub use recorder::{NullRecorder, Recorder, TraceData, VecRecorder};
 pub use report::summary_report;
 pub use ring::RingRecorder;

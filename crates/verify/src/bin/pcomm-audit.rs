@@ -1,0 +1,79 @@
+//! Audit the persisted per-rank `.events` rings of a multi-process run.
+//!
+//! ```text
+//! pcomm-audit [--bench-json PATH] <rank0.events> <rank1.events> ...
+//! ```
+//!
+//! Reads every `.events` sidecar (written next to the Chrome trace when
+//! `PCOMM_TRACE` and `PCOMM_VERIFY=1` are set), merges them into one
+//! global order, and runs the wire-FSM, stream-ledger, and
+//! cross-process happens-before passes. The full report goes to
+//! stdout.
+//!
+//! Exit status: 0 when the run audits clean, 1 when any finding
+//! survived, 2 on usage or input errors. `--bench-json` additionally
+//! writes `{"audit_wall_ms": ..., ...}` to the given path so CI can
+//! fold audit cost into its benchmark records.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pcomm-audit [--bench-json PATH] <file.events>...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut bench_json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bench-json" => match args.next() {
+                Some(p) => bench_json = Some(p),
+                None => return usage(),
+            },
+            "-h" | "--help" => {
+                println!("usage: pcomm-audit [--bench-json PATH] <file.events>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let start = Instant::now();
+    let mut ranks = Vec::new();
+    for f in &files {
+        match pcomm_trace::read_events(std::path::Path::new(f)) {
+            Ok(r) => ranks.push(r),
+            Err(e) => {
+                eprintln!("pcomm-audit: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = pcomm_verify::audit(&ranks);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{report}");
+
+    if let Some(path) = bench_json {
+        let json = format!(
+            "{{\"audit_wall_ms\": {wall_ms:.3}, \"files\": {}, \"events\": {}, \"findings\": {}}}\n",
+            files.len(),
+            report.stats.events,
+            report.finding_count(),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("pcomm-audit: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

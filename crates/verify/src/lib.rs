@@ -31,10 +31,13 @@ use std::fmt;
 
 use pcomm_trace::Event;
 
+mod audit;
 mod hb;
 mod lints;
 mod model;
 mod waitgraph;
+
+pub use audit::{audit, AuditFinding, AuditKind, AuditReport, AuditStats};
 
 pub use model::Side;
 

@@ -1,0 +1,814 @@
+//! Golden fixtures for the cross-process auditor: hand-built two-rank
+//! `.events` streams with one planted violation each must produce
+//! exactly that finding, with provenance pointing at the planted event;
+//! the clean fixtures (streaming, failover replay, reconnect epochs)
+//! must audit with zero findings.
+
+use pcomm_net::frame::op;
+use pcomm_trace::{Event, EventKind, RankEvents};
+use pcomm_verify::{audit, AuditKind};
+
+fn ev(ts_ns: u64, rank: u16, kind: EventKind) -> Event {
+    Event { ts_ns, rank, kind }
+}
+
+fn ring(rank: u16, events: Vec<Event>) -> RankEvents {
+    RankEvents {
+        rank,
+        dropped: 0,
+        events,
+    }
+}
+
+/// Wire frame pair helper: the k-th frame src sent on a lane epoch and
+/// its arrival at dst, 5 ns later.
+fn frame(ts: u64, src: u16, dst: u16, lane: u16, epoch: u32, seq: u32, fop: u8) -> (Event, Event) {
+    let send = ev(
+        ts,
+        src,
+        EventKind::VerifyWireSend {
+            peer: dst,
+            lane,
+            op: fop as u16,
+            epoch,
+            seq,
+        },
+    );
+    let recv = ev(
+        ts + 5,
+        dst,
+        EventKind::VerifyWireRecv {
+            peer: src,
+            lane,
+            op: fop as u16,
+            epoch,
+            seq,
+        },
+    );
+    (send, recv)
+}
+
+/// A complete clean streaming run, rank 0 -> rank 1: RTS/CTS on lane 0,
+/// payload (with one failover replay the ledger absorbs) on lane 1,
+/// barrier, goodbye — plus the partitioned-request verify events whose
+/// happens-before chain is intact. Returns the two rings.
+fn clean_run() -> Vec<RankEvents> {
+    let mut r0: Vec<Event> = Vec::new();
+    let mut r1: Vec<Event> = Vec::new();
+
+    // Partitioned request: rank 0 interned it as req 0, rank 1 as req 3.
+    r0.push(ev(
+        10,
+        0,
+        EventKind::VerifyPartInit {
+            req: 0,
+            sender: true,
+            parts: 1,
+            msgs: 1,
+        },
+    ));
+    r0.push(ev(
+        11,
+        0,
+        EventKind::VerifyLayoutMsg {
+            req: 0,
+            msg: 0,
+            first_spart: 0,
+            n_sparts: 1,
+            first_rpart: 0,
+            n_rparts: 1,
+            bytes: 8192,
+        },
+    ));
+    r1.push(ev(
+        10,
+        1,
+        EventKind::VerifyPartInit {
+            req: 3,
+            sender: false,
+            parts: 1,
+            msgs: 1,
+        },
+    ));
+    r1.push(ev(
+        11,
+        1,
+        EventKind::VerifyLayoutMsg {
+            req: 3,
+            msg: 0,
+            first_spart: 0,
+            n_sparts: 1,
+            first_rpart: 0,
+            n_rparts: 1,
+            bytes: 8192,
+        },
+    ));
+
+    // Sender app thread (tid 100): start, write, pready, inject.
+    r0.push(ev(
+        20,
+        0,
+        EventKind::VerifyStart {
+            req: 0,
+            sender: true,
+            iter: 0,
+            tid: 100,
+        },
+    ));
+    r0.push(ev(
+        30,
+        0,
+        EventKind::VerifyWrite {
+            req: 0,
+            part: 0,
+            iter: 0,
+            tid: 100,
+            dur_ns: 5,
+        },
+    ));
+    r0.push(ev(
+        40,
+        0,
+        EventKind::VerifyPready {
+            req: 0,
+            part: 0,
+            iter: 0,
+            tid: 100,
+        },
+    ));
+
+    // Stream negotiation: sender pins 8192 bytes as stream 7.
+    r0.push(ev(
+        50,
+        0,
+        EventKind::VerifyStreamRts {
+            peer: 1,
+            tx: true,
+            stream: 7,
+            total_len: 8192,
+        },
+    ));
+    r0.push(ev(
+        51,
+        0,
+        EventKind::VerifyStreamMsg {
+            stream: 7,
+            req: 0,
+            msg: 0,
+            tx: true,
+            offset: 0,
+            len: 8192,
+        },
+    ));
+    r0.push(ev(
+        52,
+        0,
+        EventKind::VerifyMsgSend {
+            req: 0,
+            msg: 0,
+            iter: 0,
+            tid: 100,
+        },
+    ));
+    let (s, r) = frame(60, 0, 1, 0, 0, 0, op::PART_RTS);
+    r0.push(s);
+    r1.push(r);
+    r1.push(ev(
+        70,
+        1,
+        EventKind::VerifyStreamRts {
+            peer: 0,
+            tx: false,
+            stream: 7,
+            total_len: 8192,
+        },
+    ));
+    r1.push(ev(
+        71,
+        1,
+        EventKind::VerifyStreamMsg {
+            stream: 7,
+            req: 3,
+            msg: 0,
+            tx: false,
+            offset: 0,
+            len: 8192,
+        },
+    ));
+    r1.push(ev(
+        72,
+        1,
+        EventKind::VerifyStreamCts {
+            peer: 0,
+            tx: true,
+            stream: 7,
+            epoch: 0,
+        },
+    ));
+    let (s, r) = frame(80, 1, 0, 0, 0, 0, op::PART_CTS);
+    r1.push(s);
+    r0.push(r);
+
+    // Payload on lane 1: two halves, the second replayed once by a
+    // failover retry — the ledger commits it exactly once.
+    r0.push(ev(
+        100,
+        0,
+        EventKind::VerifyStreamData {
+            peer: 1,
+            lane: 1,
+            tx: true,
+            stream: 7,
+            offset: 0,
+            len: 4096,
+        },
+    ));
+    let (s, r) = frame(101, 0, 1, 1, 0, 0, op::PART_DATA);
+    r0.push(s);
+    r1.push(r);
+    r1.push(ev(
+        110,
+        1,
+        EventKind::VerifyStreamData {
+            peer: 0,
+            lane: 1,
+            tx: false,
+            stream: 7,
+            offset: 0,
+            len: 4096,
+        },
+    ));
+    r1.push(ev(
+        111,
+        1,
+        EventKind::VerifyStreamCommit {
+            peer: 0,
+            lane: 1,
+            stream: 7,
+            lo: 0,
+            len: 4096,
+        },
+    ));
+    for (i, ts) in [(1u32, 120u64), (2, 140)].into_iter() {
+        // Same second half twice: wire retry after failover.
+        r0.push(ev(
+            ts,
+            0,
+            EventKind::VerifyStreamData {
+                peer: 1,
+                lane: 1,
+                tx: true,
+                stream: 7,
+                offset: 4096,
+                len: 4096,
+            },
+        ));
+        let (s, r) = frame(ts + 1, 0, 1, 1, 0, i, op::PART_DATA);
+        r0.push(s);
+        r1.push(r);
+        r1.push(ev(
+            ts + 10,
+            1,
+            EventKind::VerifyStreamData {
+                peer: 0,
+                lane: 1,
+                tx: false,
+                stream: 7,
+                offset: 4096,
+                len: 4096,
+            },
+        ));
+    }
+    // Only the first arrival was fresh.
+    r1.push(ev(
+        131,
+        1,
+        EventKind::VerifyStreamCommit {
+            peer: 0,
+            lane: 1,
+            stream: 7,
+            lo: 4096,
+            len: 4096,
+        },
+    ));
+
+    // Receiver completion: transport thread (tid 200) lands the
+    // message, app thread (tid 201) probes and reads.
+    r1.push(ev(
+        150,
+        1,
+        EventKind::VerifyMsgRecv {
+            req: 3,
+            msg: 0,
+            tid: 200,
+            eager: false,
+        },
+    ));
+    r1.push(ev(
+        160,
+        1,
+        EventKind::VerifyParrived {
+            req: 3,
+            part: 0,
+            iter: 0,
+            tid: 201,
+            arrived: true,
+        },
+    ));
+    r1.push(ev(
+        170,
+        1,
+        EventKind::VerifyRead {
+            req: 3,
+            part: 0,
+            iter: 0,
+            tid: 201,
+            dur_ns: 5,
+        },
+    ));
+
+    // Finalize: barrier (arrive to rank 0, release back), then Bye on
+    // every lane.
+    let (s, r) = frame(200, 1, 0, 0, 0, 1, op::BARRIER_ARRIVE);
+    r1.push(s);
+    r0.push(r);
+    let (s, r) = frame(210, 0, 1, 0, 0, 1, op::BARRIER_RELEASE);
+    r0.push(s);
+    r1.push(r);
+    let (s, r) = frame(220, 0, 1, 0, 0, 2, op::BYE);
+    r0.push(s);
+    r1.push(r);
+    let (s, r) = frame(220, 0, 1, 1, 0, 3, op::BYE);
+    r0.push(s);
+    r1.push(r);
+    let (s, r) = frame(221, 1, 0, 0, 0, 2, op::BYE);
+    r1.push(s);
+    r0.push(r);
+
+    vec![ring(0, r0), ring(1, r1)]
+}
+
+#[test]
+fn clean_streaming_run_audits_clean() {
+    let report = audit(&clean_run());
+    assert!(report.is_clean(), "expected clean audit, got:\n{report}");
+    assert_eq!(report.stats.ranks, 2);
+    assert!(report.stats.matched_frames >= 8);
+    assert_eq!(report.stats.streams, 1);
+    // The failover replay was absorbed, not double-committed.
+    assert_eq!(report.stats.replayed_bytes, 4096);
+}
+
+#[test]
+fn reconnect_epoch_keeps_lanes_apart() {
+    // Frames before and after a lane-0 reconnect live in different
+    // epochs; ordinal matching must not mix them even though the
+    // post-reconnect ordinals restart relative order.
+    let mut r0 = Vec::new();
+    let mut r1 = Vec::new();
+    let (s, r) = frame(10, 0, 1, 0, 0, 0, op::HEARTBEAT);
+    r0.push(s);
+    r1.push(r);
+    // Epoch 0 loses a frame in flight (sent, never received).
+    r0.push(ev(
+        20,
+        0,
+        EventKind::VerifyWireSend {
+            peer: 1,
+            lane: 0,
+            op: op::HEARTBEAT as u16,
+            epoch: 0,
+            seq: 1,
+        },
+    ));
+    // Epoch 1 resumes with fresh ordinals on both sides.
+    let (s, r) = frame(30, 0, 1, 0, 1, 2, op::HEARTBEAT);
+    r0.push(s);
+    r1.push(r);
+    let report = audit(&[ring(0, r0), ring(1, r1)]);
+    assert!(report.is_clean(), "unexpected findings:\n{report}");
+    assert_eq!(report.stats.unmatched_sends, 1);
+    assert_eq!(report.stats.matched_frames, 2);
+}
+
+#[test]
+fn planted_data_before_rts_is_flagged() {
+    let r0 = vec![ev(
+        10,
+        0,
+        EventKind::VerifyStreamData {
+            peer: 1,
+            lane: 1,
+            tx: true,
+            stream: 9,
+            offset: 0,
+            len: 1024,
+        },
+    )];
+    // Receiver sees payload for stream 9 with no RTS anywhere.
+    let r1 = vec![ev(
+        20,
+        1,
+        EventKind::VerifyStreamData {
+            peer: 0,
+            lane: 1,
+            tx: false,
+            stream: 9,
+            offset: 0,
+            len: 1024,
+        },
+    )];
+    let report = audit(&[ring(0, r0), ring(1, r1)]);
+    assert_eq!(report.finding_count(), 1, "report:\n{report}");
+    let f = &report.findings[0];
+    assert_eq!(f.kind, AuditKind::DataBeforeRts);
+    assert_eq!(f.rank, 1);
+    assert_eq!(f.seq, 0);
+    assert_eq!(f.peer, 0);
+    assert_eq!(f.stream, Some(9));
+}
+
+#[test]
+fn planted_overlapping_commit_is_flagged() {
+    let r0 = vec![
+        ev(
+            10,
+            0,
+            EventKind::VerifyStreamRts {
+                peer: 1,
+                tx: true,
+                stream: 5,
+                total_len: 8192,
+            },
+        ),
+        ev(
+            20,
+            0,
+            EventKind::VerifyStreamData {
+                peer: 1,
+                lane: 1,
+                tx: true,
+                stream: 5,
+                offset: 0,
+                len: 4096,
+            },
+        ),
+    ];
+    let r1 = vec![
+        ev(
+            15,
+            1,
+            EventKind::VerifyStreamRts {
+                peer: 0,
+                tx: false,
+                stream: 5,
+                total_len: 8192,
+            },
+        ),
+        ev(
+            30,
+            1,
+            EventKind::VerifyStreamData {
+                peer: 0,
+                lane: 1,
+                tx: false,
+                stream: 5,
+                offset: 0,
+                len: 4096,
+            },
+        ),
+        ev(
+            31,
+            1,
+            EventKind::VerifyStreamCommit {
+                peer: 0,
+                lane: 1,
+                stream: 5,
+                lo: 0,
+                len: 4096,
+            },
+        ),
+        // claim_range must never re-commit bytes: [2048, 4096) is
+        // already inside the first commit.
+        ev(
+            40,
+            1,
+            EventKind::VerifyStreamCommit {
+                peer: 0,
+                lane: 2,
+                stream: 5,
+                lo: 2048,
+                len: 2048,
+            },
+        ),
+    ];
+    let report = audit(&[ring(0, r0), ring(1, r1)]);
+    assert_eq!(report.finding_count(), 1, "report:\n{report}");
+    let f = &report.findings[0];
+    assert_eq!(f.kind, AuditKind::CommitOverlap);
+    assert_eq!(f.rank, 1);
+    assert_eq!(f.seq, 3);
+    assert_eq!(f.stream, Some(5));
+    assert!(f.detail.contains("[2048, 4096)"), "detail: {}", f.detail);
+}
+
+#[test]
+fn planted_premature_lost_is_flagged() {
+    let r0 = vec![
+        ev(
+            10,
+            0,
+            EventKind::VerifyStreamRts {
+                peer: 1,
+                tx: true,
+                stream: 2,
+                total_len: 4096,
+            },
+        ),
+        ev(
+            20,
+            0,
+            EventKind::VerifyStreamData {
+                peer: 1,
+                lane: 1,
+                tx: true,
+                stream: 2,
+                offset: 0,
+                len: 4096,
+            },
+        ),
+        // Sender escalates MessageLost even though every byte landed.
+        ev(
+            50,
+            0,
+            EventKind::VerifyStreamLost {
+                peer: 1,
+                stream: 2,
+                missing: 1024,
+            },
+        ),
+    ];
+    let r1 = vec![
+        ev(
+            15,
+            1,
+            EventKind::VerifyStreamRts {
+                peer: 0,
+                tx: false,
+                stream: 2,
+                total_len: 4096,
+            },
+        ),
+        ev(
+            30,
+            1,
+            EventKind::VerifyStreamData {
+                peer: 0,
+                lane: 1,
+                tx: false,
+                stream: 2,
+                offset: 0,
+                len: 4096,
+            },
+        ),
+        ev(
+            31,
+            1,
+            EventKind::VerifyStreamCommit {
+                peer: 0,
+                lane: 1,
+                stream: 2,
+                lo: 0,
+                len: 4096,
+            },
+        ),
+    ];
+    let report = audit(&[ring(0, r0), ring(1, r1)]);
+    assert_eq!(report.finding_count(), 1, "report:\n{report}");
+    let f = &report.findings[0];
+    assert_eq!(f.kind, AuditKind::PrematureLost);
+    assert_eq!(f.rank, 0);
+    assert_eq!(f.seq, 2);
+    assert_eq!(f.stream, Some(2));
+}
+
+#[test]
+fn planted_read_before_commit_race_is_flagged() {
+    // Rank 1 reads partition 0 without ever probing parrived: the
+    // transport's commit (TransferWrite at MsgRecv) and the user read
+    // are unordered across the two processes.
+    let r0 = vec![
+        ev(
+            10,
+            0,
+            EventKind::VerifyPartInit {
+                req: 0,
+                sender: true,
+                parts: 1,
+                msgs: 1,
+            },
+        ),
+        ev(
+            11,
+            0,
+            EventKind::VerifyLayoutMsg {
+                req: 0,
+                msg: 0,
+                first_spart: 0,
+                n_sparts: 1,
+                first_rpart: 0,
+                n_rparts: 1,
+                bytes: 4096,
+            },
+        ),
+        ev(
+            20,
+            0,
+            EventKind::VerifyStreamRts {
+                peer: 1,
+                tx: true,
+                stream: 4,
+                total_len: 4096,
+            },
+        ),
+        ev(
+            21,
+            0,
+            EventKind::VerifyStreamMsg {
+                stream: 4,
+                req: 0,
+                msg: 0,
+                tx: true,
+                offset: 0,
+                len: 4096,
+            },
+        ),
+        ev(
+            30,
+            0,
+            EventKind::VerifyMsgSend {
+                req: 0,
+                msg: 0,
+                iter: 0,
+                tid: 100,
+            },
+        ),
+    ];
+    let r1 = vec![
+        // Receiver interned the same context as req 6.
+        ev(
+            10,
+            1,
+            EventKind::VerifyPartInit {
+                req: 6,
+                sender: false,
+                parts: 1,
+                msgs: 1,
+            },
+        ),
+        ev(
+            11,
+            1,
+            EventKind::VerifyLayoutMsg {
+                req: 6,
+                msg: 0,
+                first_spart: 0,
+                n_sparts: 1,
+                first_rpart: 0,
+                n_rparts: 1,
+                bytes: 4096,
+            },
+        ),
+        ev(
+            40,
+            1,
+            EventKind::VerifyStreamRts {
+                peer: 0,
+                tx: false,
+                stream: 4,
+                total_len: 4096,
+            },
+        ),
+        ev(
+            41,
+            1,
+            EventKind::VerifyStreamMsg {
+                stream: 4,
+                req: 6,
+                msg: 0,
+                tx: false,
+                offset: 0,
+                len: 4096,
+            },
+        ),
+        ev(
+            50,
+            1,
+            EventKind::VerifyMsgRecv {
+                req: 6,
+                msg: 0,
+                tid: 200,
+                eager: true,
+            },
+        ),
+        // No parrived probe before the read: unsynchronized.
+        ev(
+            60,
+            1,
+            EventKind::VerifyRead {
+                req: 6,
+                part: 0,
+                iter: 0,
+                tid: 201,
+                dur_ns: 5,
+            },
+        ),
+    ];
+    let report = audit(&[ring(0, r0), ring(1, r1)]);
+    assert!(report.findings.is_empty(), "report:\n{report}");
+    assert_eq!(report.races.len(), 1, "report:\n{report}");
+    let race = &report.races[0];
+    assert_eq!(race.part, 0);
+    // The race pairs the transport's write with the user's read, with
+    // provenance on both sides.
+    assert_eq!(race.first.rank, 1);
+    assert_eq!(race.second.rank, 1);
+    // Request ids were unified across the two processes: the sender's
+    // req 0 and receiver's req 6 resolved to one global id (2 inits,
+    // 2 layouts, send, recv, read — stream bookkeeping stays out).
+    assert_eq!(report.stats.hb_events, 7);
+}
+
+#[test]
+fn overflowed_ring_demotes_absence_findings() {
+    // Same payload-without-RTS shape as the planted test, but the
+    // receiver's ring overflowed: the auditor must stay silent rather
+    // than accuse based on an incomplete record.
+    let r1 = RankEvents {
+        rank: 1,
+        dropped: 12,
+        events: vec![ev(
+            20,
+            1,
+            EventKind::VerifyStreamData {
+                peer: 0,
+                lane: 1,
+                tx: false,
+                stream: 9,
+                offset: 0,
+                len: 1024,
+            },
+        )],
+    };
+    let report = audit(&[ring(0, vec![]), r1]);
+    assert!(report.is_clean(), "report:\n{report}");
+    assert_eq!(report.stats.dropped_events, 12);
+}
+
+#[test]
+fn wire_op_mismatch_and_phantom_frames_are_flagged() {
+    let mut r0 = Vec::new();
+    let mut r1 = Vec::new();
+    // Ordinal 0 disagrees on the op.
+    r0.push(ev(
+        10,
+        0,
+        EventKind::VerifyWireSend {
+            peer: 1,
+            lane: 0,
+            op: op::EAGER as u16,
+            epoch: 0,
+            seq: 0,
+        },
+    ));
+    r1.push(ev(
+        15,
+        1,
+        EventKind::VerifyWireRecv {
+            peer: 0,
+            lane: 0,
+            op: op::PUT as u16,
+            epoch: 0,
+            seq: 0,
+        },
+    ));
+    // A second frame arrives that nobody sent.
+    r1.push(ev(
+        25,
+        1,
+        EventKind::VerifyWireRecv {
+            peer: 0,
+            lane: 0,
+            op: op::EAGER as u16,
+            epoch: 0,
+            seq: 1,
+        },
+    ));
+    let report = audit(&[ring(0, r0), ring(1, r1)]);
+    let kinds: Vec<AuditKind> = report.findings.iter().map(|f| f.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![AuditKind::OpMismatch, AuditKind::RecvWithoutSend],
+        "report:\n{report}"
+    );
+}
