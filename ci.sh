@@ -95,9 +95,10 @@ net_smoke() {
 net_smoke quickstart
 net_smoke pingpong
 net_smoke halo_exchange
-# netbench smoke: both fabrics, scratch output (committed BENCH_net.json
-# stays untouched). --guard fails the stage if the measured UDS
-# partitioned bandwidth regresses below the committed baseline. The
+# netbench smoke: every fabric, scratch output (committed BENCH_net.json
+# stays untouched). --guard fails the stage if the measured partitioned
+# bandwidth regresses below the committed baseline on any fabric the
+# baseline records — uds always, ipc wherever the platform supports it. The
 # partitioned bench runs at full rep depth (part-only skips pingpongs
 # and the sweep, so it stays fast); the shared 1-CPU container can
 # still depress a whole run, so a guard failure gets bounded retries
@@ -113,6 +114,51 @@ for attempt in 1 2 3; do
         echo "netbench guard attempt $attempt failed; retrying" >&2
     fi
 done
+
+echo "== ipc (same-host segment fabric: launcher examples + audited cell) =="
+# The same examples over the shared-memory ipc fabric
+# (PCOMM_NET_FABRIC=ipc): a memfd segment bootstrapped over the UDS
+# mesh, then zero syscalls per message. Hard timeout as always —
+# futex-parked progress threads must still tear down bounded. The
+# netbench guard above already floors ipc partitioned bandwidth against
+# the committed baseline. On platforms without the raw-syscall layer
+# the runtime falls back to sockets, so this stage degrades instead of
+# failing there. DESIGN.md §15.
+ipc_smoke() {
+    name="$1"
+    echo "-- $name under pcomm-launch -n 2 (ipc)"
+    status=0
+    PCOMM_NET_FABRIC=ipc timeout 120 ./target/release/pcomm-launch -n 2 -- \
+        "./target/release/examples/$name" >/dev/null 2>&1 || status=$?
+    case "$status" in
+        0) echo "   ok" ;;
+        124) echo "   HANG on the ipc fabric" >&2; exit 1 ;;
+        *) echo "   failed with exit $status" >&2; exit 1 ;;
+    esac
+}
+ipc_smoke pingpong
+ipc_smoke halo_exchange
+# One audited cell: a verified ipc run persists per-rank .events rings
+# like any other fabric (one lane, epoch pinned to 0) and the merged
+# cross-process audit must come back clean.
+cargo build --release --offline -p pcomm-verify --bin pcomm-audit
+ipc_ring_dir=$(mktemp -d)
+status=0
+PCOMM_NET_FABRIC=ipc PCOMM_VERIFY=1 PCOMM_TRACE="$ipc_ring_dir/trace.json" \
+    timeout 120 ./target/release/pcomm-launch -n 2 -- \
+    ./target/release/examples/halo_exchange >/dev/null 2>&1 || status=$?
+if [ "$status" != 0 ]; then
+    echo "verified ipc halo_exchange failed with exit $status" >&2
+    exit 1
+fi
+if ./target/release/pcomm-audit "$ipc_ring_dir"/trace.json.rank*.events >/dev/null; then
+    echo "-- ipc audit cell clean"
+else
+    echo "AUDIT FINDINGS for the ipc cell:" >&2
+    ./target/release/pcomm-audit "$ipc_ring_dir"/trace.json.rank*.events >&2 || true
+    exit 1
+fi
+rm -rf "$ipc_ring_dir"
 
 echo "== wire chaos (seeded wire faults under pcomm-launch, must never hang) =="
 # The self-healing matrix: reset, torn-write/short-read, and lane-kill

@@ -1,6 +1,7 @@
-//! `netbench` — the same workload timed on both fabrics: ranks as
-//! threads in one address space (shared memory) vs ranks as OS processes
-//! wired together over Unix domain sockets.
+//! `netbench` — the same workload timed on all three fabrics: ranks as
+//! threads in one address space (shared memory), ranks as OS processes
+//! wired together over Unix domain sockets, and ranks as OS processes
+//! sharing a mapped segment with futex doorbells (`ipc`).
 //!
 //! Three figures per fabric:
 //!
@@ -176,7 +177,7 @@ fn bench_sweep(quick: bool) -> Vec<SweepPoint> {
         .collect()
 }
 
-fn sweep_json(points: &[SweepPoint]) -> String {
+fn sweep_json(fabric: &str, points: &[SweepPoint]) -> String {
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
@@ -189,14 +190,24 @@ fn sweep_json(points: &[SweepPoint]) -> String {
     format!(
         concat!(
             "{{\n",
-            "    \"fabric\": \"uds\",\n",
+            "    \"fabric\": \"{}\",\n",
             "    \"n_parts\": {},\n",
             "    \"points\": [\n{}\n    ]\n",
             "  }}"
         ),
+        fabric,
         SWEEP_PARTS,
         rows.join(",\n")
     )
+}
+
+/// The wire fabric this process (or its children) will use, as the
+/// label that goes into the output JSON.
+fn fabric_label() -> &'static str {
+    match launch::fabric_from_env() {
+        launch::FabricKind::Ipc => "ipc",
+        launch::FabricKind::Socket => "uds",
+    }
 }
 
 /// Run all three sections on whatever fabric the environment selects.
@@ -239,7 +250,7 @@ fn run_child(quick: bool) {
         let body = format!(
             "{{\n  \"figures\": {},\n  \"sweep\": {}\n}}",
             n.to_json(),
-            sweep_json(&sweep)
+            sweep_json(fabric_label(), &sweep)
         );
         std::fs::write(env.dir.join("out-0"), body).expect("write child results");
     }
@@ -307,11 +318,12 @@ fn field(json: &str, key: &str) -> f64 {
     json_f64(json, key).unwrap_or_else(|| panic!("missing or bad {key} in child output"))
 }
 
-/// Spawn the UDS pass: this binary, twice, as a 2-rank SPMD mesh.
-/// Returns the three figures plus the crossover sweep (as a JSON object,
-/// passed through to the output file verbatim).
-fn run_uds_pass(quick: bool) -> (NetNumbers, String) {
-    let raw = spawn_uds_children(quick, &[], &[]);
+/// Spawn a wire pass: this binary, twice, as a 2-rank SPMD mesh over a
+/// UDS bootstrap, with `common_env` selecting the fabric. Returns the
+/// three figures plus the crossover sweep (as a JSON object, passed
+/// through to the output file verbatim).
+fn run_wire_pass(quick: bool, common_env: &[(&str, &str)]) -> (NetNumbers, String) {
+    let raw = spawn_uds_children(quick, common_env, &[]);
     let sweep = extract_object(&raw, "sweep")
         .expect("missing sweep in child output")
         .to_owned();
@@ -360,18 +372,23 @@ fn extract_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     None
 }
 
-fn pair_json(label: &str, shm: NetNumbers, uds: NetNumbers) -> String {
+fn trio_json(label: &str, shm: NetNumbers, uds: NetNumbers, ipc: Option<NetNumbers>) -> String {
+    let ipc_line = match ipc {
+        Some(n) => format!(",\n    \"ipc\": {}", n.to_json()),
+        None => String::new(),
+    };
     format!(
         concat!(
             "{{\n",
             "    \"label\": \"{}\",\n",
             "    \"shm\": {},\n",
-            "    \"uds\": {}\n",
+            "    \"uds\": {}{}\n",
             "  }}"
         ),
         label,
         shm.to_json(),
-        uds.to_json()
+        uds.to_json(),
+        ipc_line
     )
 }
 
@@ -386,29 +403,42 @@ fn json_f64(json: &str, key: &str) -> Option<f64> {
         .and_then(|v| v.trim().parse().ok())
 }
 
-/// Regression guard: the freshly measured UDS partitioned bandwidth must
-/// not fall below the recorded baseline (10 % noise allowance). Exits
-/// nonzero on regression so CI fails loudly.
-fn run_guard(guard_path: &str, uds: NetNumbers) {
+/// Regression guard: the freshly measured partitioned bandwidth must
+/// not fall below the recorded baseline (10 % noise allowance), per
+/// fabric — `uds` always, `ipc` whenever the baseline has recorded ipc
+/// figures and this run measured them. Exits nonzero on regression so
+/// CI fails loudly.
+fn run_guard(guard_path: &str, uds: NetNumbers, ipc: Option<NetNumbers>) {
     let raw = std::fs::read_to_string(guard_path)
         .unwrap_or_else(|e| panic!("--guard: cannot read {guard_path}: {e}"));
-    let base = extract_object(&raw, "baseline")
-        .and_then(|b| extract_object(b, "uds"))
-        .and_then(|u| json_f64(u, "part_bw_mbps"))
-        .unwrap_or_else(|| panic!("--guard: no baseline.uds.part_bw_mbps in {guard_path}"));
-    let floor = base * 0.9;
-    if uds.part_bw_mbps < floor {
+    let baseline = extract_object(&raw, "baseline")
+        .unwrap_or_else(|| panic!("--guard: no baseline in {guard_path}"));
+    let check = |fabric: &str, measured: f64| {
+        let Some(base) = extract_object(baseline, fabric).and_then(|u| json_f64(u, "part_bw_mbps"))
+        else {
+            if fabric == "uds" {
+                panic!("--guard: no baseline.uds.part_bw_mbps in {guard_path}");
+            }
+            eprintln!("netbench: guard: no {fabric} baseline recorded yet, skipping");
+            return;
+        };
+        let floor = base * 0.9;
+        if measured < floor {
+            eprintln!(
+                "netbench: GUARD FAILED: {fabric} part_bw_mbps {measured:.1} < {floor:.1} \
+                 (baseline {base:.1} from {guard_path}, 10% allowance)"
+            );
+            std::process::exit(1);
+        }
         eprintln!(
-            "netbench: GUARD FAILED: uds part_bw_mbps {:.1} < {:.1} \
-             (baseline {:.1} from {guard_path}, 10% allowance)",
-            uds.part_bw_mbps, floor, base
+            "netbench: guard ok: {fabric} part_bw_mbps {measured:.1} >= {floor:.1} \
+             (baseline {base:.1})"
         );
-        std::process::exit(1);
+    };
+    check("uds", uds.part_bw_mbps);
+    if let Some(ipc) = ipc {
+        check("ipc", ipc.part_bw_mbps);
     }
-    eprintln!(
-        "netbench: guard ok: uds part_bw_mbps {:.1} >= {:.1} (baseline {:.1})",
-        uds.part_bw_mbps, floor, base
-    );
 }
 
 fn main() {
@@ -433,24 +463,42 @@ fn main() {
     eprintln!("netbench: shared-memory pass ...");
     let shm = wire_sections(quick);
     eprintln!("netbench: UDS pass (2 processes) ...");
-    let (uds, sweep) = run_uds_pass(quick);
+    let (uds, sweep) = run_wire_pass(quick, &[]);
+    let ipc_pass = pcomm_net::sys::supported().then(|| {
+        eprintln!("netbench: ipc pass (2 processes, shared segment) ...");
+        run_wire_pass(quick, &[("PCOMM_NET_FABRIC", "ipc")])
+    });
+    if ipc_pass.is_none() {
+        eprintln!("netbench: ipc fabric unsupported on this platform, skipping");
+    }
+    let ipc = ipc_pass.as_ref().map(|(n, _)| *n);
     let degraded_bw = degraded.then(|| {
         eprintln!("netbench: degraded pass (lane 2 killed mid-stream) ...");
         run_degraded_pass(quick)
     });
 
-    println!("                          shared-mem          UDS");
+    let ipc_col = |v: f64, unit: &str| match ipc {
+        Some(_) => format!(" {v:>10.1} {unit}"),
+        None => String::new(),
+    };
+    println!("                          shared-mem          UDS          ipc");
     println!(
-        "pingpong 256 B       {:>10.1} ns/rt {:>10.1} ns/rt",
-        shm.pingpong_small_ns, uds.pingpong_small_ns
+        "pingpong 256 B       {:>10.1} ns/rt {:>10.1} ns/rt{}",
+        shm.pingpong_small_ns,
+        uds.pingpong_small_ns,
+        ipc_col(ipc.map_or(0.0, |n| n.pingpong_small_ns), "ns/rt")
     );
     println!(
-        "pingpong 256 KiB     {:>10.2} us/rt {:>10.2} us/rt",
-        shm.pingpong_large_us, uds.pingpong_large_us
+        "pingpong 256 KiB     {:>10.2} us/rt {:>10.2} us/rt{}",
+        shm.pingpong_large_us,
+        uds.pingpong_large_us,
+        ipc_col(ipc.map_or(0.0, |n| n.pingpong_large_us), "us/rt")
     );
     println!(
-        "partitioned 1 MiB    {:>10.1} MB/s  {:>10.1} MB/s",
-        shm.part_bw_mbps, uds.part_bw_mbps
+        "partitioned 1 MiB    {:>10.1} MB/s  {:>10.1} MB/s{}",
+        shm.part_bw_mbps,
+        uds.part_bw_mbps,
+        ipc_col(ipc.map_or(0.0, |n| n.part_bw_mbps), "MB/s")
     );
     if let Some(bw) = degraded_bw {
         println!(
@@ -475,14 +523,14 @@ fn main() {
         println!("{bytes:>11} {s:>9.1} MB/s {l:>7.1} MB/s");
     }
 
-    let current = pair_json("current", shm, uds);
+    let current = trio_json("current", shm, uds, ipc);
     let baseline = if set_baseline {
-        pair_json("baseline", shm, uds)
+        trio_json("baseline", shm, uds, ipc)
     } else {
         std::fs::read_to_string(&out_path)
             .ok()
             .and_then(|old| extract_object(&old, "baseline").map(str::to_owned))
-            .unwrap_or_else(|| pair_json("baseline", shm, uds))
+            .unwrap_or_else(|| trio_json("baseline", shm, uds, ipc))
     };
     let degraded_json = match degraded_bw {
         Some(bw) => format!(
@@ -499,6 +547,10 @@ fn main() {
         ),
         None => String::new(),
     };
+    let sweep_ipc = match &ipc_pass {
+        Some((_, s)) => format!(",\n  \"sweep_ipc\": {s}"),
+        None => String::new(),
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -507,19 +559,20 @@ fn main() {
             "  \"baseline\": {},\n",
             "  \"current\": {},\n",
             "{}",
-            "  \"sweep\": {}\n",
+            "  \"sweep\": {}{}\n",
             "}}\n"
         ),
         if quick { "quick" } else { "full" },
         baseline,
         current,
         degraded_json,
-        sweep
+        sweep,
+        sweep_ipc
     );
     std::fs::write(&out_path, json).expect("write bench output");
     eprintln!("netbench: wrote {out_path}");
     if let Some(gpath) = guard_path {
-        run_guard(&gpath, uds);
+        run_guard(&gpath, uds, ipc);
     }
     if let Some(bw) = degraded_bw {
         // A mesh minus one data lane must keep at least half its healthy

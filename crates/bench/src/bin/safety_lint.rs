@@ -19,7 +19,12 @@
 //! * every `unwrap()` / `expect()` needs an adjacent `// PANIC:`
 //!   comment naming the invariant that makes the panic unreachable —
 //!   a panic in the progress engine takes the whole mesh down, so
-//!   "can't happen" must be written down where it can be reviewed.
+//!   "can't happen" must be written down where it can be reviewed;
+//! * every inline-`asm!` raw-syscall site needs an adjacent
+//!   `// SYSCALL:` comment naming the kernel interface it issues and
+//!   why std has no safe equivalent — the ipc fabric talks to the
+//!   kernel directly (`crates/net/src/sys.rs`) and each such site must
+//!   be auditable against the documented ABI.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -117,6 +122,11 @@ const MARKER_RULES: &[MarkerRule] = &[
         marker: "PANIC:",
         what: "unwrap/expect",
     },
+    MarkerRule {
+        patterns: &["asm!"],
+        marker: "SYSCALL:",
+        what: "raw syscall (inline asm)",
+    },
 ];
 
 /// Do the extra marker rules apply to this file? The scope is the wire
@@ -212,7 +222,7 @@ fn main() -> ExitCode {
     }
     if offenders.is_empty() {
         println!(
-            "safety_lint: {} justified sites (unsafe / Relaxed / unwrap) across {} files",
+            "safety_lint: {} justified sites (unsafe / Relaxed / unwrap / asm) across {} files",
             sites,
             files.len()
         );
@@ -227,8 +237,9 @@ fn main() -> ExitCode {
             eprintln!("  {o}");
         }
         eprintln!(
-            "add a `// SAFETY: ...` (unsafe), `// ORDERING: ...` (Relaxed atomics), or \
-             `// PANIC: ...` (unwrap/expect) comment above each site"
+            "add a `// SAFETY: ...` (unsafe), `// ORDERING: ...` (Relaxed atomics), \
+             `// PANIC: ...` (unwrap/expect), or `// SYSCALL: ...` (inline asm) comment \
+             above each site"
         );
         ExitCode::FAILURE
     }

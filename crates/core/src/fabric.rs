@@ -48,7 +48,7 @@ use crate::sync::Completion;
 /// slices of this and poll the abort flag between them. Short enough
 /// that an abort propagates promptly, long enough that a blocked thread
 /// wakes only ~500 times/s.
-const WAIT_SLICE: Duration = Duration::from_millis(2);
+pub(crate) const WAIT_SLICE: Duration = Duration::from_millis(2);
 
 /// After an abort, how long teardown paths keep waiting for an
 /// in-progress fulfill to finish before giving up the buffer. No *new*
@@ -589,7 +589,11 @@ impl Fabric {
         let mut label = Some(label);
         let mut reg_id = None;
         loop {
-            if completion.wait_timeout(WAIT_SLICE) {
+            // The transport owns the park: the default sleeps one
+            // WAIT_SLICE on the completion; the ipc fabric instead runs
+            // inline progress (drain + yield-spin + futex) so a waiting
+            // app thread is also the progress engine.
+            if self.transport.wait_slice(self, completion) {
                 break;
             }
             if self.aborted() {
@@ -1195,6 +1199,19 @@ impl Fabric {
         self.touch();
     }
 
+    /// Try to pin a partitioned destination the sender can reach
+    /// directly (the ipc fabric's shared arena); `None` on transports
+    /// without shared destination memory — callers fall back to owned
+    /// storage.
+    pub(crate) fn alloc_part_dest(&self, src: usize, len: usize) -> Option<(u64, *mut u8)> {
+        self.transport.alloc_part_dest(src, len)
+    }
+
+    /// Return a grant from [`Fabric::alloc_part_dest`].
+    pub(crate) fn release_part_dest(&self, src: usize, token: u64, len: usize) {
+        self.transport.release_part_dest(src, token, len);
+    }
+
     fn deliver(
         &self,
         dst: usize,
@@ -1396,6 +1413,25 @@ impl Fabric {
                 std::ptr::copy_nonoverlapping(data.as_ptr(), posted.dest_ptr, len);
             }
         }
+        self.complete_remote_rdv_in_place(posted, src, tag, shard, len, rts_ns);
+    }
+
+    /// Tail of [`Fabric::complete_remote_rdv`] for transports that have
+    /// already landed the payload in the posted destination (the
+    /// zero-copy `RdvData` socket fast path and the ipc fabric): emit
+    /// the spans/verify events, publish the envelope, fire the
+    /// completion. The caller must have checked the abort flag before
+    /// writing the destination.
+    pub(crate) fn complete_remote_rdv_in_place(
+        &self,
+        posted: PostedRecv,
+        src: usize,
+        tag: i64,
+        shard: usize,
+        len: usize,
+        rts_ns: Option<u64>,
+    ) {
+        debug_assert!(len <= posted.dest_cap, "checked at RTS match time");
         self.trace.emit_span(rts_ns, src as u16, |start, dur| {
             EventKind::RdvCopy {
                 shard: shard as u16,

@@ -68,6 +68,7 @@ pub mod rma;
 pub mod strategies;
 pub mod sync;
 mod transport;
+mod transport_ipc;
 mod universe;
 
 pub use comm::Comm;

@@ -169,10 +169,27 @@ const PART_WRITABLE: u8 = 0;
 const PART_WRITING: u8 = 1;
 const PART_READY: u8 = 2;
 
+/// Shared-arena backing for a receive-side partition buffer: the
+/// transport granted `len` bytes at `ptr` (grant `token`) inside the
+/// ipc segment's partition arena for the pair with `src`, so the
+/// sender's `pready` commits bytes straight into this buffer — no copy
+/// on either side. Released back to the transport when the request
+/// drops.
+struct SegBacking {
+    ptr: *mut u8,
+    len: usize,
+    token: u64,
+    src: usize,
+}
+
 /// The partitioned buffer: contiguous storage with per-partition access
-/// states that make the raw-pointer sharing sound.
+/// states that make the raw-pointer sharing sound. Backed by owned heap
+/// memory, or — receive side on the ipc fabric — by a granted range of
+/// the shared partition arena.
 struct PartStorage {
+    /// Owned storage; empty (and unused) when `seg` backs the buffer.
     data: UnsafeCell<Box<[u8]>>,
+    seg: Option<SegBacking>,
     states: Vec<AtomicU8>,
     part_bytes: usize,
 }
@@ -188,8 +205,53 @@ impl PartStorage {
     fn new(n_parts: usize, part_bytes: usize) -> PartStorage {
         PartStorage {
             data: UnsafeCell::new(vec![0u8; n_parts * part_bytes].into_boxed_slice()),
+            seg: None,
             states: (0..n_parts).map(|_| AtomicU8::new(PART_WRITABLE)).collect(),
             part_bytes,
+        }
+    }
+
+    /// Storage over a transport-granted shared-arena range (see
+    /// [`SegBacking`]). Zeroed for parity with the heap constructor.
+    fn new_in_segment(
+        ptr: *mut u8,
+        token: u64,
+        src: usize,
+        n_parts: usize,
+        part_bytes: usize,
+    ) -> PartStorage {
+        let len = n_parts * part_bytes;
+        // SAFETY: the transport granted `ptr..ptr+len` exclusively to
+        // this storage until the grant is released on drop.
+        unsafe {
+            std::ptr::write_bytes(ptr, 0, len);
+        }
+        PartStorage {
+            data: UnsafeCell::new(Vec::new().into_boxed_slice()),
+            seg: Some(SegBacking {
+                ptr,
+                len,
+                token,
+                src,
+            }),
+            states: (0..n_parts).map(|_| AtomicU8::new(PART_WRITABLE)).collect(),
+            part_bytes,
+        }
+    }
+
+    /// The arena grant to return on drop, if segment-backed:
+    /// `(src, token, len)`.
+    fn seg_grant(&self) -> Option<(usize, u64, usize)> {
+        self.seg.as_ref().map(|s| (s.src, s.token, s.len))
+    }
+
+    /// Base of the buffer, wherever it lives.
+    fn base(&self) -> *mut u8 {
+        match &self.seg {
+            Some(s) => s.ptr,
+            // SAFETY: taking a raw base pointer aliases nothing by
+            // itself; all dereferences go through the state machine.
+            None => unsafe { (*self.data.get()).as_mut_ptr() },
         }
     }
 
@@ -211,11 +273,9 @@ impl PartStorage {
             panic!("partition {p} not writable (state {cur}): already ready or being written")
         });
         let off = p * self.part_bytes;
-        // SAFETY: WRITING grants exclusive access to this disjoint range.
-        let slice = unsafe {
-            let all = &mut *self.data.get();
-            &mut all[off..off + self.part_bytes]
-        };
+        let slice =
+            // SAFETY: WRITING grants exclusive access to this disjoint range.
+            unsafe { std::slice::from_raw_parts_mut(self.base().add(off), self.part_bytes) };
         f(slice);
         s.store(PART_WRITABLE, Ordering::Release);
     }
@@ -241,8 +301,9 @@ impl PartStorage {
     /// Caller must ensure every partition in the range is READY (no
     /// writers) and remains READY while the slice is used.
     unsafe fn ready_slice(&self, byte_off: usize, len: usize) -> &[u8] {
-        let all = &*self.data.get();
-        &all[byte_off..byte_off + len]
+        // SAFETY: bounds and aliasing forwarded from the caller's
+        // contract (every covered partition READY for the lifetime).
+        unsafe { std::slice::from_raw_parts(self.base().add(byte_off), len) }
     }
 
     /// Mutable view for the receive side (fabric writes while in flight).
@@ -251,8 +312,9 @@ impl PartStorage {
     /// Caller must guarantee no concurrent access until completion.
     #[allow(clippy::mut_from_ref)]
     unsafe fn raw_range(&self, byte_off: usize, len: usize) -> &mut [u8] {
-        let all = &mut *self.data.get();
-        &mut all[byte_off..byte_off + len]
+        // SAFETY: exclusivity forwarded from the caller's contract (the
+        // fabric owns the range until its completion fires).
+        unsafe { std::slice::from_raw_parts_mut(self.base().add(byte_off), len) }
     }
 
     fn read_partition(&self, p: usize) -> &[u8] {
@@ -265,7 +327,7 @@ impl PartStorage {
         // probe loads it with Acquire, so the fabric's writes
         // happened-before this read and no writer touches the range
         // again until the next start().
-        unsafe { &(&*self.data.get())[off..off + self.part_bytes] }
+        unsafe { std::slice::from_raw_parts(self.base().add(off), self.part_bytes) }
     }
 }
 
@@ -546,6 +608,21 @@ impl Comm {
             &layout,
             n_parts * part_bytes,
         );
+        let stream = !opts.legacy_single_message && !self.fabric().is_local(src);
+        // On the ipc fabric, pin the destination inside the shared
+        // partition arena when it fits: the sender then commits every
+        // `pready` range directly into this buffer (true zero-copy).
+        // Heap storage is the fallback everywhere else.
+        let storage = if stream {
+            match self.fabric().alloc_part_dest(src, n_parts * part_bytes) {
+                Some((token, ptr)) => {
+                    PartStorage::new_in_segment(ptr, token, src, n_parts, part_bytes)
+                }
+                None => PartStorage::new(n_parts, part_bytes),
+            }
+        } else {
+            PartStorage::new(n_parts, part_bytes)
+        };
         PrecvRequest {
             inner: Arc::new(PrecvShared {
                 comm: part_comm,
@@ -555,9 +632,9 @@ impl Comm {
                 part_bytes,
                 layout,
                 legacy: opts.legacy_single_message,
-                stream: !opts.legacy_single_message && !self.fabric().is_local(src),
+                stream,
                 thread_hint: opts.thread_hint.clone(),
-                storage: PartStorage::new(n_parts, part_bytes),
+                storage,
                 arrived: (0..n_msgs).map(|_| Completion::new_set()).collect(),
                 infos: (0..n_msgs).map(|_| Arc::new(Mutex::new(None))).collect(),
                 started: AtomicBool::new(false),
@@ -1088,6 +1165,12 @@ impl Drop for PrecvShared {
             for arrived in &self.arrived {
                 self.comm.fabric().drain_completion(arrived);
             }
+        }
+        // Hand a shared-arena destination back to the transport (no-op
+        // for heap storage). After the drains above, no commit can still
+        // target the range.
+        if let Some((src, token, len)) = self.storage.seg_grant() {
+            self.comm.fabric().release_part_dest(src, token, len);
         }
     }
 }

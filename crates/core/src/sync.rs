@@ -52,6 +52,26 @@ impl<T> Mutex<T> {
             inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
+
+    /// Acquire the lock only if it is free right now (poison-ignoring).
+    /// `None` when any thread — this one included — already holds it,
+    /// which is exactly what reentrant progress paths need: a nested
+    /// drain skips the channel its caller is already draining.
+    pub(crate) fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => {
+                hotpath::count_mutex_lock();
+                Some(MutexGuard { inner: Some(g) })
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                hotpath::count_mutex_lock();
+                Some(MutexGuard {
+                    inner: Some(e.into_inner()),
+                })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T> std::ops::Deref for MutexGuard<'_, T> {

@@ -75,17 +75,17 @@ use pcomm_net::{Endpoint, Mesh, MeshConfig, WireFault, WireFaults};
 use pcomm_trace::{EventKind, FaultKind, FaultPlan};
 
 use crate::error::{PcommError, PeerSocketState};
-use crate::fabric::{Fabric, MsgInfo, PostedRecv};
+use crate::fabric::{Fabric, MsgInfo, PostedRecv, WAIT_SLICE};
 use crate::sync::{Completion, Mutex};
 
 /// Slice for non-unwinding waits in teardown paths (mirrors the
 /// fabric's `WAIT_SLICE`).
-const TEARDOWN_SLICE: Duration = Duration::from_millis(2);
+pub(crate) const TEARDOWN_SLICE: Duration = Duration::from_millis(2);
 
 /// Hard deadline on the finalize barrier: every healthy peer reaches it
 /// as soon as its closure returns, so far past this something is wrong
 /// and the run fails instead of hanging.
-const FINALIZE_TIMEOUT: Duration = Duration::from_secs(30);
+pub(crate) const FINALIZE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Most frames a writer puts on the wire with one vectored write. Past
 /// this the batch spans enough bytes that syscall overhead is already
@@ -196,6 +196,32 @@ pub(crate) trait Transport: Send + Sync {
     /// Tell every peer the universe failed (first broadcast wins;
     /// subsequent calls are no-ops).
     fn broadcast_abort(&self, err: &PcommError);
+
+    /// One bounded wait step inside `Fabric::wait_on`: park until
+    /// `completion` fires or a transport-chosen slice elapses; returns
+    /// whether it fired. The default simply sleeps on the completion;
+    /// transports without progress threads (ipc) override this to run
+    /// inline progress while the app thread waits.
+    fn wait_slice(&self, fabric: &Fabric, completion: &Completion) -> bool {
+        let _ = fabric;
+        completion.wait_timeout(WAIT_SLICE)
+    }
+
+    /// Try to pin a receiver-side destination of `len` bytes that the
+    /// sender can reach directly (the ipc partition arena). Returns the
+    /// transport's grant token and the mapped base pointer, or `None`
+    /// when the transport has no shared destination memory (sockets) or
+    /// the arena is exhausted — callers fall back to owned storage.
+    fn alloc_part_dest(&self, src: usize, len: usize) -> Option<(u64, *mut u8)> {
+        let _ = (src, len);
+        None
+    }
+
+    /// Return a grant from `alloc_part_dest` once the receive-side
+    /// storage is done with it.
+    fn release_part_dest(&self, src: usize, token: u64, len: usize) {
+        let _ = (src, token, len);
+    }
 }
 
 /// A rendezvous source buffer pinned for the wire: the pointer stays
@@ -364,18 +390,18 @@ impl StreamSend {
 
 /// Receiver-side state of one active partitioned stream: where ranges
 /// land and which message completions they flip.
-struct StreamRecv {
-    base: *mut u8,
-    total_len: usize,
+pub(crate) struct StreamRecv {
+    pub(crate) base: *mut u8,
+    pub(crate) total_len: usize,
     /// Bytes of the whole buffer not yet committed; the stream retires
     /// when this hits zero.
-    remaining_total: AtomicUsize,
-    msgs: Vec<PartStreamMsg>,
+    pub(crate) remaining_total: AtomicUsize,
+    pub(crate) msgs: Vec<PartStreamMsg>,
     /// Sorted, disjoint byte intervals already committed. Failover and
     /// reconnect replay whole batches (at-least-once delivery), so every
     /// commit first claims its range here and only the never-seen-before
     /// sub-ranges count — a duplicate `PartData` is a no-op.
-    committed: Mutex<Vec<(usize, usize)>>,
+    pub(crate) committed: Mutex<Vec<(usize, usize)>>,
 }
 
 // SAFETY: same argument as [`PartStreamRecv`]; `Sync` because multiple
@@ -387,11 +413,11 @@ unsafe impl Sync for StreamRecv {}
 /// FIFO pairing of incoming `PartRts`s with posted destinations for one
 /// `(src, ctx)` partitioned pair — whichever side shows up first waits.
 #[derive(Default)]
-struct PartPair {
+pub(crate) struct PartPair {
     /// Streams announced by the sender, not yet posted: `(id, len)`.
-    pending_rts: VecDeque<(u64, usize)>,
+    pub(crate) pending_rts: VecDeque<(u64, usize)>,
     /// Destinations posted by the receiver, not yet announced.
-    waiting: VecDeque<PartStreamRecv>,
+    pub(crate) waiting: VecDeque<PartStreamRecv>,
 }
 
 /// A pinned partitioned range headed for the wire: the writer encodes
@@ -411,6 +437,17 @@ struct StreamWrite {
 // reads through the pointer.
 unsafe impl Send for StreamWrite {}
 
+/// A CTS-released rendezvous payload travelling to the wire without an
+/// intermediate copy: the 14 header bytes go in writer scratch, the
+/// payload slice is handed to the kernel straight from the pinned
+/// source buffer, and `pinned.done` fires only after the vectored
+/// write — so large non-partitioned sends pay one kernel copy instead
+/// of three buffer hops (pinned→Vec, Vec→scratch, scratch→socket).
+struct RdvWrite {
+    rdv_id: u64,
+    pinned: PinnedSend,
+}
+
 /// What a writer thread consumes. Frames cross the channel undecoded;
 /// the writer encodes into its own reusable scratch buffers.
 enum WriterMsg {
@@ -418,6 +455,8 @@ enum WriterMsg {
     Frame(Frame),
     /// A pinned partitioned range (zero-copy payload).
     Stream(StreamWrite),
+    /// A pinned rendezvous payload (zero-copy, lane 0).
+    Rdv(RdvWrite),
     /// Flush and exit (teardown).
     Shutdown,
 }
@@ -1651,20 +1690,17 @@ impl SocketTransport {
             // on its way out — do not touch it, do not set done.
             return;
         }
-        let PinnedSend { ptr, len, done } = pending.pinned;
-        // SAFETY: invariant (1) — the source buffer stays alive and
-        // unmodified until `done.set()` below; the abort check above plus
-        // the drain grace cover teardown races, as in the in-process
-        // fulfill path.
-        let data = unsafe { std::slice::from_raw_parts(ptr, len) }.to_vec();
-        self.send_frame(
-            peer,
-            Frame::RdvData {
+        // Zero-copy: the pinned source rides to the lane-0 writer as an
+        // `RdvWrite`; its `done` fires there, after the vectored write,
+        // so the buffer stays pinned through the kernel handoff
+        // (invariant (1)). If the writer is already gone the universe is
+        // tearing down and the sender unwinds via the abort flag.
+        if let Some(p) = &self.peers[peer] {
+            let _ = p.lanes[0].enqueue(WriterMsg::Rdv(RdvWrite {
                 rdv_id,
-                payload: data,
-            },
-        );
-        done.set();
+                pinned: pending.pinned,
+            }));
+        }
     }
 
     /// Dispatch one received frame. Returns `false` when the peer said
@@ -2221,7 +2257,7 @@ fn write_all_vectored(w: &mut impl Write, bufs: &[&[u8]]) -> io::Result<()> {
 /// Flip the `done` completions of every sender span fully covered once
 /// `offset..offset+len` is on the wire (sender-side mirror of the
 /// receiver's commit bookkeeping).
-fn complete_spans(spans: &[SendSpan], offset: usize, len: usize) {
+pub(crate) fn complete_spans(spans: &[SendSpan], offset: usize, len: usize) {
     let end = offset + len;
     for span in spans {
         let lo = span.offset.max(offset);
@@ -2346,6 +2382,7 @@ fn writer_loop(
                 WriterMsg::Stream(sw) => {
                     frame::encode_part_data_header(sw.rdv_id, sw.offset, sw.len, slot)
                 }
+                WriterMsg::Rdv(rw) => frame::encode_rdv_data_header(rw.rdv_id, rw.pinned.len, slot),
                 WriterMsg::Shutdown => unreachable!("Shutdown never enters the batch"),
             }
         }
@@ -2363,6 +2400,19 @@ fn writer_loop(
                     // abort check above plus the drain grace cover
                     // teardown races, as in the rendezvous CTS path.
                     slices.push(unsafe { std::slice::from_raw_parts(sw.ptr, sw.len) });
+                }
+                WriterMsg::Rdv(rw) => {
+                    if aborting {
+                        continue;
+                    }
+                    slices.push(slot);
+                    let pinned =
+                        // SAFETY: the rendezvous source stays pinned until
+                        // `pinned.done` fires after this batch's write
+                        // (invariant (1)); same abort/drain-grace argument
+                        // as the stream slices above.
+                        unsafe { std::slice::from_raw_parts(rw.pinned.ptr, rw.pinned.len) };
+                    slices.push(pinned);
                 }
                 WriterMsg::Shutdown => {}
             }
@@ -2391,6 +2441,14 @@ fn writer_loop(
                                 );
                                 transport.emit_stream_data_tx(
                                     &fabric, peer, lane_idx, sw.rdv_id, sw.offset, sw.len,
+                                );
+                            }
+                            WriterMsg::Rdv(_) if !aborting => {
+                                transport.emit_wire_send(
+                                    &fabric,
+                                    peer,
+                                    lane_idx,
+                                    frame::op::RDV_DATA,
                                 );
                             }
                             _ => {}
@@ -2434,7 +2492,8 @@ fn writer_loop(
                             requeued += 1;
                         }
                         WriterMsg::Shutdown => shutdown = true,
-                        WriterMsg::Frame(_) => {}
+                        // Rdv rides lane 0 only; unreachable here.
+                        WriterMsg::Frame(_) | WriterMsg::Rdv(_) => {}
                     }
                 }
                 let (p16, l16) = (peer as u16, lane_idx as u16);
@@ -2458,7 +2517,8 @@ fn writer_loop(
                             match msg {
                                 WriterMsg::Stream(sw) => transport.requeue_stream(peer, sw),
                                 WriterMsg::Shutdown => return,
-                                WriterMsg::Frame(_) => {}
+                                // Rdv rides lane 0 only; unreachable here.
+                                WriterMsg::Frame(_) | WriterMsg::Rdv(_) => {}
                             }
                         }
                     }
@@ -2492,10 +2552,12 @@ fn writer_loop(
             }
         }
         for msg in &batch {
-            if let WriterMsg::Stream(sw) = msg {
-                if !aborting {
+            match msg {
+                WriterMsg::Stream(sw) if !aborting => {
                     complete_spans(&sw.spans, sw.offset as usize, sw.len);
                 }
+                WriterMsg::Rdv(rw) if !aborting => rw.pinned.done.set(),
+                _ => {}
             }
         }
         // ORDERING: statistics counter (diagnostics only).
@@ -2564,6 +2626,56 @@ fn read_part_data(
             transport.commit_stream_range(fabric, peer, lane, rdv_id, &stream, offset, len);
         }
         None => {
+            scratch.clear();
+            scratch.resize(len, 0);
+            ep.read_exact(scratch)?;
+        }
+    }
+    Ok(())
+}
+
+/// Fast path for an incoming `RdvData` frame: read the 8-byte rdv id,
+/// then read the payload straight off the socket into the matched
+/// posted destination — the kernel read is the only copy, mirroring
+/// the writer's vectored send of the pinned source. Unmatched ids
+/// (reconnect replays, post-abort stragglers) drain into `scratch` so
+/// the byte stream stays framed.
+fn read_rdv_data(
+    transport: &SocketTransport,
+    fabric: &Fabric,
+    peer: usize,
+    ep: &mut Endpoint,
+    body_len: usize,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    if body_len < frame::RDV_DATA_BODY_HDR {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("net: truncated RdvData body ({body_len} B)"),
+        ));
+    }
+    let mut hdr = [0u8; 8];
+    ep.read_exact(&mut hdr)?;
+    let rdv_id = u64::from_le_bytes(hdr);
+    let len = body_len - frame::RDV_DATA_BODY_HDR;
+    let entry = transport.remote_recvs.lock().remove(&(peer, rdv_id));
+    match entry {
+        Some(r) if !fabric.aborted() && len <= r.posted.dest_cap => {
+            // SAFETY: invariant (2) — the posted destination is exclusive
+            // and stays alive until the completion fires below; the abort
+            // check above guards the teardown race exactly as
+            // `complete_remote_rdv` does on the slow path.
+            let dest = unsafe { std::slice::from_raw_parts_mut(r.posted.dest_ptr, len) };
+            if let Err(err) = ep.read_exact(dest) {
+                // Put the entry back so a lane-0 reconnect replay (the
+                // writer re-sends the whole frame on a fresh socket) can
+                // still complete this recv.
+                transport.remote_recvs.lock().insert((peer, rdv_id), r);
+                return Err(err);
+            }
+            fabric.complete_remote_rdv_in_place(r.posted, peer, r.tag, r.shard, len, r.rts_ns);
+        }
+        _ => {
             scratch.clear();
             scratch.resize(len, 0);
             ep.read_exact(scratch)?;
@@ -2693,6 +2805,8 @@ fn reader_loop(
         }
         let keep_going = if frame::is_part_data(op) {
             read_part_data(&transport, &fabric, peer, lane, &mut ep, len, &mut body).map(|()| true)
+        } else if op == frame::op::RDV_DATA {
+            read_rdv_data(&transport, &fabric, peer, &mut ep, len, &mut body).map(|()| true)
         } else {
             body.clear();
             body.resize(len, 0);
@@ -2795,7 +2909,11 @@ fn heartbeat_loop(transport: Arc<SocketTransport>, fabric: Arc<Fabric>) {
 /// Claim `[lo, hi)` against a sorted, disjoint interval ledger: merge
 /// the range in and return the sub-ranges that were NOT already present
 /// (the "fresh" bytes). An empty result means a pure duplicate.
-fn claim_range(committed: &mut Vec<(usize, usize)>, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+pub(crate) fn claim_range(
+    committed: &mut Vec<(usize, usize)>,
+    lo: usize,
+    hi: usize,
+) -> Vec<(usize, usize)> {
     if lo >= hi {
         return Vec::new();
     }
@@ -2836,7 +2954,7 @@ fn wire_fault_kind(kind: WireFault) -> FaultKind {
 }
 
 /// Encode a [`PcommError`] into the wire's `Abort` frame.
-fn encode_abort(err: &PcommError) -> Frame {
+pub(crate) fn encode_abort(err: &PcommError) -> Frame {
     match err {
         PcommError::MessageLost {
             src,
@@ -2893,7 +3011,14 @@ fn encode_abort(err: &PcommError) -> Frame {
 }
 
 /// Decode a wire `Abort` frame back into a [`PcommError`].
-fn decode_abort(kind: u8, a: u64, b: u64, tag: i64, attempts: u64, detail: String) -> PcommError {
+pub(crate) fn decode_abort(
+    kind: u8,
+    a: u64,
+    b: u64,
+    tag: i64,
+    attempts: u64,
+    detail: String,
+) -> PcommError {
     match kind {
         ABORT_MESSAGE_LOST => PcommError::MessageLost {
             src: a as usize,

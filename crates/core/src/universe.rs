@@ -365,32 +365,87 @@ impl Universe {
         F: Fn(Comm) -> T + Send + Sync,
     {
         install_quiet_abort_hook();
+        // The ipc fabric needs a same-host UDS mesh (to pass the memfd),
+        // a platform with the raw syscall funnel, and a fault-free plan
+        // (wire chaos is a socket concept: the shared segment has no
+        // byte stream to corrupt). Anything else falls back to sockets.
+        let want_ipc = pcomm_net::launch::fabric_from_env() == pcomm_net::launch::FabricKind::Ipc;
+        let use_ipc = want_ipc
+            && pcomm_net::sys::supported()
+            && env.backend == pcomm_net::Backend::Uds
+            && !self
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.any_wire_faults());
+        if want_ipc && !use_ipc {
+            eprintln!(
+                "pcomm: PCOMM_NET_FABRIC=ipc unavailable here \
+                 (needs linux x86_64/aarch64, a UDS mesh, and no wire faults); \
+                 falling back to the socket fabric"
+            );
+        }
         let cfg = pcomm_net::MeshConfig {
             rank: env.rank,
             n_ranks: env.n_ranks,
             dir: env.dir.clone(),
             backend: env.backend,
             seq: next_multiproc_seq(),
-            lanes: pcomm_net::launch::lanes_from_env(),
+            // The segment is one lane per pair; extra mesh sockets
+            // would idle after bootstrap.
+            lanes: if use_ipc {
+                1
+            } else {
+                pcomm_net::launch::lanes_from_env()
+            },
         };
-        let mesh = pcomm_net::mesh::establish(&cfg).map_err(|e| PcommError::Misuse {
+        let mut mesh = pcomm_net::mesh::establish(&cfg).map_err(|e| PcommError::Misuse {
             rank: Some(env.rank),
             detail: format!("multiprocess mesh establishment failed: {e}"),
         })?;
-        let transport = Arc::new(crate::transport::SocketTransport::new(
-            mesh,
-            cfg,
-            self.fault_plan.as_ref(),
-        ));
+        enum WireEngine {
+            Socket(Arc<crate::transport::SocketTransport>),
+            Ipc(Arc<crate::transport_ipc::IpcTransport>),
+        }
+        let engine = if use_ipc {
+            let (slots, slab, arena) = pcomm_net::launch::ipc_params_from_env();
+            let params = pcomm_net::ipc::IpcParams {
+                n_ranks: env.n_ranks,
+                ring_slots: slots as u32,
+                fifo_bytes: slab as u64,
+                arena_bytes: arena as u64,
+            };
+            let segment = crate::transport_ipc::bootstrap(&mut mesh, params)?;
+            // The mesh sockets carried the fd exchange; the segment is
+            // the wire from here on.
+            drop(mesh);
+            WireEngine::Ipc(crate::transport_ipc::IpcTransport::new(
+                segment,
+                env.rank,
+                env.n_ranks,
+            ))
+        } else {
+            WireEngine::Socket(Arc::new(crate::transport::SocketTransport::new(
+                mesh,
+                cfg,
+                self.fault_plan.as_ref(),
+            )))
+        };
+        let transport: Arc<dyn crate::transport::Transport> = match &engine {
+            WireEngine::Socket(t) => Arc::clone(t) as _,
+            WireEngine::Ipc(t) => Arc::clone(t) as _,
+        };
         let fabric = Fabric::new_configured(
             self.n_ranks,
             self.n_shards,
             self.eager_max,
             trace,
             self.fault_plan.clone(),
-            Arc::clone(&transport) as Arc<dyn crate::transport::Transport>,
+            transport,
         );
-        transport.start(&fabric)?;
+        match &engine {
+            WireEngine::Socket(t) => t.start(&fabric)?,
+            WireEngine::Ipc(t) => t.start(&fabric)?,
+        }
         let watchdog_ms = self.effective_watchdog_ms();
         let rank = env.rank;
         let result: Option<T> = std::thread::scope(|scope| {
@@ -413,7 +468,10 @@ impl Universe {
         });
         fabric.flush_held();
         // Closing barrier, goodbye frames, thread joins — never unwinds.
-        transport.finalize(&fabric);
+        match &engine {
+            WireEngine::Socket(t) => t.finalize(&fabric),
+            WireEngine::Ipc(t) => t.finalize(&fabric),
+        }
         match fabric.take_failure() {
             Some(err) => Err(err),
             None => {

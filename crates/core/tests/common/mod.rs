@@ -119,6 +119,16 @@ pub fn maybe_run_child() -> bool {
     let gap = Duration::from_millis(env_usize(ENV_PREADY_GAP_MS, 0) as u64);
     let result = Universe::new(2).run(|comm| match scenario.as_str() {
         "barrier-storm" => barrier_storm(&comm, 10_000),
+        // Rank 1 vanishes without ceremony after one barrier — the
+        // harness's stand-in for a peer process dying mid-run. Rank 0
+        // keeps hammering barriers until liveness monitoring notices.
+        "abort-mid" => {
+            comm.barrier();
+            if comm.rank() == 1 {
+                std::process::abort();
+            }
+            barrier_storm(&comm, 10_000)
+        }
         _ => transfer(&comm, n_parts, part_bytes, gap),
     });
     let line = match result {

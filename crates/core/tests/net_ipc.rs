@@ -1,0 +1,252 @@
+//! The shared-memory (`ipc`) fabric end to end: two real processes map
+//! a common segment and stream partitions through lock-free rings with
+//! futex doorbells. The same transfer must agree bit-for-bit with the
+//! in-process baseline, backpressure must block rather than drop,
+//! peer death must surface as a typed error within the heartbeat
+//! bound, and a verified run must audit clean — the exact contract the
+//! socket fabric already honors, on a transport with no syscalls on
+//! the data path.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{ENV_PARTS, ENV_PART_BYTES};
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Every test in this file needs the raw-syscall layer; off-platform
+/// builds skip rather than fail.
+fn ipc_supported() -> bool {
+    if pcomm_net::sys::supported() {
+        return true;
+    }
+    eprintln!("skipping: pcomm ipc fabric unsupported on this platform");
+    false
+}
+
+fn fabric_env() -> (&'static str, String) {
+    ("PCOMM_NET_FABRIC", "ipc".to_string())
+}
+
+/// Baseline: a fault-free ipc run agrees bit-for-bit with the
+/// in-process run of the same transfer, and the processes really took
+/// the shared-segment path (the doorbell leaves a trace).
+#[test]
+fn ipc_digest_matches_shm_baseline() {
+    if common::maybe_run_child() {
+        return;
+    }
+    if !ipc_supported() {
+        return;
+    }
+    let (n_parts, part_bytes) = (16, 16 * 1024);
+    let shm = common::shm_baseline_digest(n_parts, part_bytes);
+    assert_eq!(
+        shm,
+        common::expected_digest(n_parts, part_bytes),
+        "in-process baseline does not match the sender's pattern"
+    );
+    let outs = common::run_wire_pair(
+        "ipc_digest_matches_shm_baseline",
+        "transfer",
+        &[
+            fabric_env(),
+            (ENV_PARTS, n_parts.to_string()),
+            (ENV_PART_BYTES, part_bytes.to_string()),
+        ],
+        [vec![], vec![]],
+        TIMEOUT,
+    );
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(o.out.starts_with("ok "), "rank {rank}: `{}`", o.out);
+    }
+    assert_eq!(
+        outs[0].digest(),
+        Some(shm),
+        "ipc digest diverged from shm baseline: `{}`",
+        outs[0].out
+    );
+    // The sender reports 0 only when it really ran as rank 1 of a wire
+    // mesh; an accidental in-process fallback would hand it rank 0's
+    // digest instead.
+    assert_eq!(outs[1].digest(), Some(0), "rank 1 fell back in-process");
+    assert!(
+        outs.iter().any(|o| o.trace.contains("ipc_doorbell")),
+        "no rank recorded an ipc doorbell — did the run fall back to sockets?"
+    );
+}
+
+/// Backpressure: a ring squeezed to 2 slots with a 4 KiB fifo and no
+/// usable arena (so every chunk rides the fifo) forces the sender to
+/// block on ring-full dozens of times. The contract: block, never
+/// drop — the transfer still completes bit-exact under full
+/// verification, and the waits are visible in the trace.
+#[test]
+fn ipc_ring_full_blocks_without_dropping() {
+    if common::maybe_run_child() {
+        return;
+    }
+    if !ipc_supported() {
+        return;
+    }
+    let (n_parts, part_bytes) = (16, 16 * 1024);
+    let outs = common::run_wire_pair(
+        "ipc_ring_full_blocks_without_dropping",
+        "transfer",
+        &[
+            fabric_env(),
+            (ENV_PARTS, n_parts.to_string()),
+            (ENV_PART_BYTES, part_bytes.to_string()),
+            ("PCOMM_NET_IPC_SLOTS", "2".to_string()),
+            ("PCOMM_NET_IPC_SLAB", "4096".to_string()),
+            // 1 byte: below any allocation, so the zero-copy grant is
+            // refused and all 256 KiB funnel through the tiny fifo.
+            ("PCOMM_NET_IPC_ARENA", "1".to_string()),
+            ("PCOMM_VERIFY", "1".to_string()),
+        ],
+        [vec![], vec![]],
+        TIMEOUT,
+    );
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(o.out.starts_with("ok "), "rank {rank}: `{}`", o.out);
+    }
+    assert_eq!(
+        outs[0].digest(),
+        Some(common::expected_digest(n_parts, part_bytes)),
+        "digest diverged under ring backpressure: `{}`",
+        outs[0].out
+    );
+    assert!(
+        outs[1].trace.contains("ipc_ring_full"),
+        "sender never hit ring-full — the squeeze tested nothing"
+    );
+}
+
+/// A peer process that dies mid-run must become a typed
+/// `PeerPanicked` on the survivor, within the advertised heartbeat
+/// bound — the segment heartbeat is the only liveness signal the ipc
+/// fabric has (no socket to break), so this is the failure mode the
+/// monitor exists for.
+#[test]
+fn ipc_killed_peer_escalates_within_heartbeat_bound() {
+    if common::maybe_run_child() {
+        return;
+    }
+    if !ipc_supported() {
+        return;
+    }
+    let hb_ms: u64 = 150;
+    let outs = common::run_wire_pair(
+        "ipc_killed_peer_escalates_within_heartbeat_bound",
+        "abort-mid",
+        &[fabric_env(), ("PCOMM_NET_HB_MS", hb_ms.to_string())],
+        [vec![], vec![]],
+        TIMEOUT,
+    );
+    let survivor = &outs[0];
+    assert!(
+        survivor.status.success(),
+        "rank 0: {:?} ({})",
+        survivor.status,
+        survivor.out
+    );
+    assert!(
+        !outs[1].status.success(),
+        "rank 1 was supposed to abort, yet exited clean: `{}`",
+        outs[1].out
+    );
+    assert!(
+        survivor.out.starts_with("err ") && survivor.out.contains("rank 1"),
+        "survivor should have surfaced a typed error naming rank 1, got `{}`",
+        survivor.out
+    );
+    // Detection bound: the staleness in the message is the monitor's
+    // own measurement. 1.75x interval is the trip point; allow generous
+    // scheduler slack on a loaded single-core CI box.
+    let stale_ms: u64 = survivor
+        .out
+        .split("stale for ")
+        .nth(1)
+        .and_then(|s| s.split(" ms").next())
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no staleness measurement in `{}`", survivor.out));
+    assert!(
+        stale_ms <= 2 * hb_ms + 1000,
+        "dead peer detected only after {stale_ms} ms (heartbeat {hb_ms} ms)"
+    );
+}
+
+/// The full verification stack over ipc: both ranks persist
+/// analysis-grade `.events` rings and the merged cross-process audit —
+/// wire FSM, stream ledger, happens-before — comes back clean, with
+/// frames matched and the transfer recognized as a stream. Zero-copy
+/// commits must not confuse a checker built for sockets.
+#[test]
+fn ipc_verified_run_audits_clean() {
+    if common::maybe_run_child() {
+        return;
+    }
+    if !ipc_supported() {
+        return;
+    }
+    let (n_parts, part_bytes) = (16, 16 * 1024);
+    let outs = common::run_wire_pair(
+        "ipc_verified_run_audits_clean",
+        "transfer",
+        &[
+            fabric_env(),
+            (ENV_PARTS, n_parts.to_string()),
+            (ENV_PART_BYTES, part_bytes.to_string()),
+            ("PCOMM_VERIFY", "1".to_string()),
+        ],
+        [vec![], vec![]],
+        TIMEOUT,
+    );
+    for (rank, o) in outs.iter().enumerate() {
+        assert!(
+            o.status.success(),
+            "rank {rank}: {:?} ({})",
+            o.status,
+            o.out
+        );
+        assert!(o.out.starts_with("ok "), "rank {rank}: `{}`", o.out);
+    }
+    assert_eq!(
+        outs[0].digest(),
+        Some(common::expected_digest(n_parts, part_bytes)),
+        "verified ipc digest diverged: `{}`",
+        outs[0].out
+    );
+    let rings: Vec<_> = outs
+        .iter()
+        .enumerate()
+        .map(|(rank, o)| {
+            o.events
+                .clone()
+                .unwrap_or_else(|| panic!("rank {rank} left no .events ring"))
+        })
+        .collect();
+    let report = pcomm_verify::audit(&rings);
+    assert!(report.is_clean(), "ipc run failed its audit:\n{report}");
+    assert!(
+        report.stats.matched_frames > 0,
+        "no frames matched:\n{report}"
+    );
+    assert!(
+        report.stats.streams >= 1,
+        "the partitioned transfer should stream:\n{report}"
+    );
+}

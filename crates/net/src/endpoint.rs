@@ -64,6 +64,18 @@ impl Endpoint {
         };
     }
 
+    /// The raw OS file descriptor of a Unix-domain endpoint (`None` for
+    /// TCP). Used by the ipc fabric's bootstrap to pass the shared
+    /// segment's memfd over the already-established mesh with
+    /// `SCM_RIGHTS`.
+    pub fn raw_fd(&self) -> Option<i32> {
+        match self {
+            Endpoint::Uds(s) => Some(std::os::fd::AsRawFd::as_raw_fd(s)),
+            Endpoint::Tcp(_) => None,
+            Endpoint::Faulty(l) => l.inner.raw_fd(),
+        }
+    }
+
     /// Set or clear the read timeout.
     pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         match self {

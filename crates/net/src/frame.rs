@@ -452,6 +452,24 @@ pub fn encode_part_data_header(rdv_id: u64, offset: u64, payload_len: usize, out
     out.extend_from_slice(&part_data_header(rdv_id, offset, payload_len));
 }
 
+/// Body bytes of an `RdvData` frame before the payload: version, op,
+/// rdv id.
+pub const RDV_DATA_BODY_HDR: usize = 2 + 8;
+
+/// Encode an `RdvData` frame *header* — length prefix through the rdv
+/// id, everything except the payload — into `out`. A writer follows it
+/// with the payload bytes themselves (one vectored write straight from
+/// the pinned rendezvous source), producing exactly the bytes
+/// `Frame::RdvData { .. }.encode_into(..)` would.
+pub fn encode_rdv_data_header(rdv_id: u64, payload_len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    let body = (RDV_DATA_BODY_HDR + payload_len) as u32;
+    out.extend_from_slice(&body.to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.push(OP_RDV_DATA);
+    out.extend_from_slice(&rdv_id.to_le_bytes());
+}
+
 /// Stack-allocated form of [`encode_part_data_header`], for writers
 /// that assemble vectored batches without touching the heap.
 pub fn part_data_header(
@@ -1002,6 +1020,21 @@ mod tests {
         assert_eq!(split, full);
         check_version(split[4]).unwrap();
         assert!(check_version(WIRE_VERSION + 1).is_err());
+    }
+
+    #[test]
+    fn split_rdv_header_encoding_matches_the_full_frame() {
+        let payload = vec![0xA7; 143];
+        let full = Frame::RdvData {
+            rdv_id: 91,
+            payload: payload.clone(),
+        }
+        .encode();
+        let mut split = Vec::new();
+        encode_rdv_data_header(91, payload.len(), &mut split);
+        assert_eq!(split.len(), 4 + RDV_DATA_BODY_HDR);
+        split.extend_from_slice(&payload);
+        assert_eq!(split, full);
     }
 
     #[test]

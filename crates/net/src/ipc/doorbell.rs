@@ -1,0 +1,103 @@
+//! Futex doorbells: the only blocking primitive in the ipc fabric.
+//!
+//! A doorbell is a pair of process-shared words — a monotonic *bell*
+//! counter and a *sleepers* count. The waiter side drains its work,
+//! snapshots the bell ([`Doorbell::seq`]), drains again, and only then
+//! parks in [`Doorbell::wait`]; the notifier bumps the bell and issues
+//! a `FUTEX_WAKE` **only when someone is actually asleep** — which is
+//! what makes the steady state zero-syscall: a spinning (yielding)
+//! receiver never costs the sender a kernel entry.
+//!
+//! The snapshot/recheck protocol closes the classic lost-wakeup race
+//! the same way glibc condvars do: if the bell moved between the
+//! snapshot and the park, `FUTEX_WAIT` bounces with `EAGAIN`; if the
+//! sleeper registered before the ring, the notifier sees
+//! `sleepers > 0` and wakes. Waits are additionally bounded by the
+//! caller's slice (≤ a few ms), so even a theoretically lost wake only
+//! costs one slice, never liveness.
+
+use crate::sys;
+use std::io;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A bell/sleepers word pair somewhere in the shared segment.
+pub struct Doorbell<'a> {
+    bell: &'a AtomicU32,
+    sleepers: &'a AtomicU32,
+}
+
+impl<'a> Doorbell<'a> {
+    /// Wrap a bell/sleepers pair (segment layout picks the words).
+    pub fn new(bell: &'a AtomicU32, sleepers: &'a AtomicU32) -> Self {
+        Doorbell { bell, sleepers }
+    }
+
+    /// Snapshot the bell. Drain once more after taking this and pass it
+    /// to [`Doorbell::wait`] — any ring after the snapshot makes the
+    /// wait return immediately.
+    pub fn seq(&self) -> u32 {
+        self.bell.load(Ordering::Acquire)
+    }
+
+    /// Ring the bell: make pending work visible, then wake sleepers —
+    /// skipping the `futex_wake` syscall entirely when nobody is
+    /// parked (the common, spinning-receiver case).
+    pub fn ring(&self) -> io::Result<()> {
+        self.bell.fetch_add(1, Ordering::AcqRel);
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            sys::futex_wake(self.bell, u32::MAX)?;
+        }
+        Ok(())
+    }
+
+    /// Park until the bell moves past `seen` or `timeout_ns` elapses.
+    /// Returns `Ok(true)` if (probably) rung, `Ok(false)` on timeout;
+    /// callers re-drain in a loop either way.
+    pub fn wait(&self, seen: u32, timeout_ns: u64) -> io::Result<bool> {
+        self.sleepers.fetch_add(1, Ordering::AcqRel);
+        let woken = sys::futex_wait(self.bell, seen, timeout_ns);
+        self.sleepers.fetch_sub(1, Ordering::AcqRel);
+        woken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wakes_waiter_across_threads() {
+        if !sys::supported() {
+            return;
+        }
+        let bell = AtomicU32::new(0);
+        let sleepers = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let db = Doorbell::new(&bell, &sleepers);
+                let seen = db.seq();
+                db.wait(seen, 2_000_000_000).unwrap()
+            });
+            let db = Doorbell::new(&bell, &sleepers);
+            while sleepers.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            db.ring().unwrap();
+            assert!(waiter.join().unwrap());
+        });
+    }
+
+    #[test]
+    fn stale_snapshot_returns_immediately() {
+        if !sys::supported() {
+            return;
+        }
+        let bell = AtomicU32::new(0);
+        let sleepers = AtomicU32::new(0);
+        let db = Doorbell::new(&bell, &sleepers);
+        let seen = db.seq();
+        db.ring().unwrap();
+        // Bell moved after the snapshot: wait must not block.
+        assert!(db.wait(seen, 5_000_000_000).unwrap());
+    }
+}

@@ -37,6 +37,18 @@ pub const ENV_LANES: &str = "PCOMM_NET_LANES";
 /// the liveness probes). When set, a peer silent for ~2× this interval
 /// is declared dead with a typed `PeerPanicked` error.
 pub const ENV_HB: &str = "PCOMM_NET_HB_MS";
+/// Env var: inter-process fabric — `socket` (default: the UDS/TCP
+/// stream transport) or `ipc` (same-host process-shared memory rings;
+/// requires the `uds` backend and a platform [`crate::sys::supported`]
+/// reports usable, otherwise falls back to sockets with a note).
+pub const ENV_FABRIC: &str = "PCOMM_NET_FABRIC";
+/// Env var: ipc descriptor-ring capacity per directed channel, in
+/// slots.
+pub const ENV_IPC_SLOTS: &str = "PCOMM_NET_IPC_SLOTS";
+/// Env var: ipc FIFO payload-slab capacity per directed channel, bytes.
+pub const ENV_IPC_SLAB: &str = "PCOMM_NET_IPC_SLAB";
+/// Env var: ipc partition-arena capacity per directed channel, bytes.
+pub const ENV_IPC_ARENA: &str = "PCOMM_NET_IPC_ARENA";
 
 /// Default partition-stream aggregation threshold.
 pub const DEFAULT_AGGR: usize = 256 * 1024;
@@ -46,6 +58,48 @@ pub const DEFAULT_LANES: usize = 2;
 /// Upper bound on lanes; beyond this the fd and thread cost outweighs
 /// any parallelism on a loopback transport.
 pub const MAX_LANES: usize = 8;
+/// Default ipc ring capacity (slots per directed channel).
+pub const DEFAULT_IPC_SLOTS: usize = 128;
+/// Default ipc FIFO slab capacity per directed channel.
+pub const DEFAULT_IPC_SLAB: usize = 1 << 20;
+/// Default ipc partition arena per directed channel.
+pub const DEFAULT_IPC_ARENA: usize = 32 << 20;
+
+/// Which inter-process fabric carries the rank mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricKind {
+    /// The UDS/TCP stream transport with reader/writer threads.
+    Socket,
+    /// Same-host process-shared memory rings with futex doorbells.
+    Ipc,
+}
+
+/// The `PCOMM_NET_FABRIC` selection. Unknown values degrade to
+/// [`FabricKind::Socket`] with a note, same policy as the other knobs.
+pub fn fabric_from_env() -> FabricKind {
+    match std::env::var(ENV_FABRIC) {
+        Ok(s) => match s.trim() {
+            "ipc" => FabricKind::Ipc,
+            "" | "socket" => FabricKind::Socket,
+            other => {
+                eprintln!("pcomm-net: ignoring unknown {ENV_FABRIC}={other:?}, using socket");
+                FabricKind::Socket
+            }
+        },
+        Err(_) => FabricKind::Socket,
+    }
+}
+
+/// The ipc segment geometry from the environment: ring slots clamped to
+/// at least 2, slab to at least 4 KiB (a smaller slab could not hold
+/// one spill chunk). All ranks read the same SPMD environment, so the
+/// geometry agrees — and the segment header double-checks at attach.
+pub fn ipc_params_from_env() -> (usize, usize, usize) {
+    let slots = env_usize(ENV_IPC_SLOTS, DEFAULT_IPC_SLOTS).max(2);
+    let slab = env_usize(ENV_IPC_SLAB, DEFAULT_IPC_SLAB).max(4096);
+    let arena = env_usize(ENV_IPC_ARENA, DEFAULT_IPC_ARENA);
+    (slots, slab, arena)
+}
 
 /// Parse a positive decimal env var, falling back to `default` when the
 /// variable is unset or malformed (a typo should degrade, not crash —

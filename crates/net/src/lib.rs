@@ -28,8 +28,10 @@
 pub mod endpoint;
 pub mod faults;
 pub mod frame;
+pub mod ipc;
 pub mod launch;
 pub mod mesh;
+pub mod sys;
 
 pub use endpoint::Endpoint;
 pub use faults::{WireFault, WireFaults};

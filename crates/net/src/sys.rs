@@ -1,0 +1,530 @@
+//! Raw Linux syscall wrappers for the same-host ipc fabric.
+//!
+//! The workspace is std-only and offline, so the process-shared memory
+//! fabric cannot lean on `libc`: the handful of kernel entry points it
+//! needs — anonymous memory files, shared mappings, cross-process
+//! futexes, and `SCM_RIGHTS` fd passing — are issued directly with
+//! `std::arch::asm!` on the two supported Linux targets (x86_64 and
+//! aarch64). Everywhere else [`supported`] reports `false` and the
+//! transport layer stays on sockets, so none of these wrappers is ever
+//! reached off-platform.
+//!
+//! Why raw syscalls are sound here (see also DESIGN.md §15):
+//!
+//! * Every wrapper is a thin, audited translation of one documented
+//!   kernel ABI entry; no wrapper touches errno, signals, or any libc
+//!   state, so they cannot conflict with std's own syscall usage.
+//! * The asm blocks follow the kernel calling convention exactly
+//!   (x86_64: `syscall`, args in rdi/rsi/rdx/r10/r8/r9, rcx/r11
+//!   clobbered; aarch64: `svc 0`, nr in x8, args in x0..x5) and mark
+//!   every register the kernel may clobber.
+//! * Errors come back as `-errno` in the return register; the wrappers
+//!   convert them to `io::Error` instead of leaking raw integers.
+//!
+//! Every wrapper carries a `// SYSCALL:` marker naming the kernel
+//! interface and why it is needed; `safety_lint` enforces the marker on
+//! any `asm!` site in the workspace.
+
+use std::io;
+
+/// Whether the raw-syscall ipc fabric can run on this build target.
+/// Off-target the transport layer falls back to sockets before any
+/// wrapper below is reachable.
+pub const fn supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+/// `FUTEX_WAIT` without `FUTEX_PRIVATE_FLAG`: the futex words live in a
+/// memory segment shared between rank *processes*, so the kernel must
+/// hash them by physical page, not per-mm.
+const FUTEX_WAIT: usize = 0;
+/// `FUTEX_WAKE`, shared for the same reason as [`FUTEX_WAIT`].
+const FUTEX_WAKE: usize = 1;
+
+/// `PROT_READ | PROT_WRITE` for [`mmap`].
+const PROT_RW: usize = 0x1 | 0x2;
+/// `MAP_SHARED`: writes must be visible to every process mapping the
+/// segment.
+const MAP_SHARED: usize = 0x01;
+
+/// `struct timespec` as the kernel expects it on both supported targets.
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const MEMFD_CREATE: usize = 319;
+    pub const FTRUNCATE: usize = 77;
+    pub const MMAP: usize = 9;
+    pub const MUNMAP: usize = 11;
+    pub const CLOSE: usize = 3;
+    pub const FUTEX: usize = 202;
+    pub const SENDMSG: usize = 46;
+    pub const RECVMSG: usize = 47;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const MEMFD_CREATE: usize = 279;
+    pub const FTRUNCATE: usize = 46;
+    pub const MMAP: usize = 222;
+    pub const MUNMAP: usize = 215;
+    pub const CLOSE: usize = 57;
+    pub const FUTEX: usize = 98;
+    pub const SENDMSG: usize = 211;
+    pub const RECVMSG: usize = 212;
+}
+
+/// Issue one syscall with up to six arguments and return the raw kernel
+/// result (`-errno` on failure). The single funnel keeps the asm in one
+/// audited place; every public wrapper goes through it.
+///
+/// # Safety
+/// The caller must pass arguments that are valid for the named syscall
+/// (live pointers with correct lengths, owned fds); the kernel trusts
+/// them as-is.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: register constraints match the kernel calling convention;
+    // the caller guarantees the arguments are valid for syscall `n`.
+    unsafe {
+        // SYSCALL: the one asm funnel every wrapper in this module uses
+        // — x86_64 `syscall` instruction, args per the kernel ABI,
+        // rcx/r11 clobbered by the instruction itself.
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// See the x86_64 [`syscall6`]; aarch64 uses `svc 0` with the number in
+/// `x8` and arguments in `x0..x5`.
+///
+/// # Safety
+/// Same contract as the x86_64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: register constraints match the kernel calling convention;
+    // the caller guarantees the arguments are valid for syscall `n`.
+    unsafe {
+        // SYSCALL: the one asm funnel every wrapper in this module uses
+        // — aarch64 `svc 0`, number in x8, args in x0..x5 per the
+        // kernel ABI.
+        std::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Unsupported-target stub: never reached ([`supported`] gates every
+/// caller), present so the module typechecks everywhere.
+///
+/// # Safety
+/// Trivially safe — it only returns an error code.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+// SAFETY: trivially safe stub — returns ENOSYS without touching its arguments.
+unsafe fn syscall6(
+    _n: usize,
+    _a1: usize,
+    _a2: usize,
+    _a3: usize,
+    _a4: usize,
+    _a5: usize,
+    _a6: usize,
+) -> isize {
+    -38 // -ENOSYS
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod nr {
+    pub const MEMFD_CREATE: usize = 0;
+    pub const FTRUNCATE: usize = 0;
+    pub const MMAP: usize = 0;
+    pub const MUNMAP: usize = 0;
+    pub const CLOSE: usize = 0;
+    pub const FUTEX: usize = 0;
+    pub const SENDMSG: usize = 0;
+    pub const RECVMSG: usize = 0;
+}
+
+/// Convert a raw kernel return into `io::Result`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// `memfd_create(2)`: an anonymous, fd-addressable memory file — the
+/// backing object of the shared segment, passed to the peer ranks over
+/// the UDS bootstrap with [`send_fd`].
+pub fn memfd_create(name: &str) -> io::Result<i32> {
+    let mut buf = [0u8; 32];
+    let n = name.len().min(buf.len() - 1);
+    buf[..n].copy_from_slice(&name.as_bytes()[..n]);
+    // SYSCALL: memfd_create(name, 0) — no libc wrapper in std.
+    // SAFETY: `buf` is a live NUL-terminated buffer for the duration of
+    // the call; flags 0 requests a plain sealable-less memfd.
+    let ret = unsafe { syscall6(nr::MEMFD_CREATE, buf.as_ptr() as usize, 0, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// `ftruncate(2)`: size the fresh memfd to the full segment length
+/// (sparse — pages materialise on first touch).
+pub fn ftruncate(fd: i32, len: usize) -> io::Result<()> {
+    // SYSCALL: ftruncate(fd, len) on the segment memfd.
+    // SAFETY: no pointers; the fd is owned by the caller.
+    let ret = unsafe { syscall6(nr::FTRUNCATE, fd as usize, len, 0, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// `mmap(2)` with `PROT_READ|PROT_WRITE, MAP_SHARED`: map the segment
+/// into this process. Each rank gets a different base address, which is
+/// why the segment layout speaks only in offsets.
+pub fn mmap_shared(fd: i32, len: usize) -> io::Result<*mut u8> {
+    // SYSCALL: mmap(NULL, len, PROT_RW, MAP_SHARED, fd, 0).
+    // SAFETY: NULL hint lets the kernel pick a free range; the fd is a
+    // live memfd of at least `len` bytes (sized by `ftruncate` above).
+    let ret = unsafe { syscall6(nr::MMAP, 0, len, PROT_RW, MAP_SHARED, fd as usize, 0) };
+    check(ret).map(|addr| addr as *mut u8)
+}
+
+/// `munmap(2)`: drop the mapping at segment teardown.
+///
+/// # Safety
+/// `addr..addr+len` must be exactly one live mapping returned by
+/// [`mmap_shared`], with no remaining references into it.
+pub unsafe fn munmap(addr: *mut u8, len: usize) -> io::Result<()> {
+    // SYSCALL: munmap(addr, len) — releases the segment mapping.
+    // SAFETY: forwarded to the caller: the range is one whole mapping
+    // this process owns and no longer reads or writes.
+    let ret = unsafe { syscall6(nr::MUNMAP, addr as usize, len, 0, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// `close(2)`: release the memfd once mapped (the mapping keeps the
+/// memory alive).
+pub fn close(fd: i32) -> io::Result<()> {
+    // SYSCALL: close(fd) on the segment memfd after mmap.
+    // SAFETY: no pointers; the caller owns the fd and drops it here.
+    let ret = unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// `futex(FUTEX_WAIT)` on a *process-shared* word: sleep while
+/// `*word == expect`, up to `timeout_ns` (relative). Returns `Ok(true)`
+/// when woken (or the value changed), `Ok(false)` on timeout. `EINTR`
+/// and `EAGAIN` (value already changed) both report as woken — callers
+/// re-check shared state in a loop anyway.
+pub fn futex_wait(
+    word: &std::sync::atomic::AtomicU32,
+    expect: u32,
+    timeout_ns: u64,
+) -> io::Result<bool> {
+    let ts = Timespec {
+        tv_sec: (timeout_ns / 1_000_000_000) as i64,
+        tv_nsec: (timeout_ns % 1_000_000_000) as i64,
+    };
+    // SYSCALL: futex(word, FUTEX_WAIT, expect, &timeout) — the shared
+    // (non-PRIVATE) form, because waiter and waker are different
+    // processes mapping the same physical page.
+    // SAFETY: `word` and `ts` are live for the duration of the call;
+    // FUTEX_WAIT only reads the word and sleeps.
+    let ret = unsafe {
+        syscall6(
+            nr::FUTEX,
+            word as *const _ as usize,
+            FUTEX_WAIT,
+            expect as usize,
+            &ts as *const Timespec as usize,
+            0,
+            0,
+        )
+    };
+    match check(ret) {
+        Ok(_) => Ok(true),
+        Err(e) => match e.raw_os_error() {
+            Some(110) => Ok(false),         // ETIMEDOUT
+            Some(11) | Some(4) => Ok(true), // EAGAIN (value changed) / EINTR
+            _ => Err(e),
+        },
+    }
+}
+
+/// `futex(FUTEX_WAKE)` on a process-shared word: wake up to `n`
+/// sleepers. Returns how many were woken.
+pub fn futex_wake(word: &std::sync::atomic::AtomicU32, n: u32) -> io::Result<usize> {
+    // SYSCALL: futex(word, FUTEX_WAKE, n) — shared form, see
+    // `futex_wait`.
+    // SAFETY: `word` is a live shared futex word; FUTEX_WAKE reads
+    // nothing through it, it only scans the kernel wait queue.
+    let ret = unsafe {
+        syscall6(
+            nr::FUTEX,
+            word as *const _ as usize,
+            FUTEX_WAKE,
+            n as usize,
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret)
+}
+
+/// `SOL_SOCKET` for the `SCM_RIGHTS` control message.
+const SOL_SOCKET: i32 = 1;
+/// `SCM_RIGHTS`: the control-message type that transfers fds.
+const SCM_RIGHTS: i32 = 1;
+
+/// `struct iovec` as the kernel expects it.
+#[repr(C)]
+struct Iovec {
+    base: *const u8,
+    len: usize,
+}
+
+/// `struct msghdr` as the kernel expects it on both supported targets.
+#[repr(C)]
+struct Msghdr {
+    name: usize,
+    namelen: u32,
+    _pad0: u32,
+    iov: *const Iovec,
+    iovlen: usize,
+    control: *const u8,
+    controllen: usize,
+    flags: i32,
+    _pad1: u32,
+}
+
+/// One-fd `SCM_RIGHTS` control buffer: `cmsghdr` (16 bytes on LP64)
+/// plus the fd, padded to alignment.
+#[repr(C, align(8))]
+struct CmsgOneFd {
+    len: usize,
+    level: i32,
+    typ: i32,
+    fd: i32,
+    _pad: i32,
+}
+
+/// `sendmsg(2)` with a one-byte payload and the segment fd attached as
+/// `SCM_RIGHTS` — how rank 0 hands the memfd to each peer over the
+/// already-established UDS bootstrap stream.
+pub fn send_fd(sock_fd: i32, fd: i32, tag: u8) -> io::Result<()> {
+    let byte = [tag];
+    let iov = Iovec {
+        base: byte.as_ptr(),
+        len: 1,
+    };
+    let cmsg = CmsgOneFd {
+        len: 20, // CMSG_LEN(4): 16-byte header + one fd
+        level: SOL_SOCKET,
+        typ: SCM_RIGHTS,
+        fd,
+        _pad: 0,
+    };
+    let msg = Msghdr {
+        name: 0,
+        namelen: 0,
+        _pad0: 0,
+        iov: &iov,
+        iovlen: 1,
+        control: &cmsg as *const CmsgOneFd as *const u8,
+        controllen: std::mem::size_of::<CmsgOneFd>(),
+        flags: 0,
+        _pad1: 0,
+    };
+    // SYSCALL: sendmsg(sock, &msg, 0) carrying one SCM_RIGHTS fd — std
+    // has no fd-passing API.
+    // SAFETY: `byte`, `iov`, `cmsg` and `msg` all outlive the call; the
+    // layouts above match the kernel's LP64 msghdr/cmsghdr ABI.
+    let ret = unsafe {
+        syscall6(
+            nr::SENDMSG,
+            sock_fd as usize,
+            &msg as *const Msghdr as usize,
+            0,
+            0,
+            0,
+            0,
+        )
+    };
+    check(ret).and_then(|n| {
+        if n == 1 {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "ipc: sendmsg wrote no payload byte",
+            ))
+        }
+    })
+}
+
+/// `recvmsg(2)` counterpart of [`send_fd`]: returns the received fd and
+/// the one-byte tag.
+pub fn recv_fd(sock_fd: i32) -> io::Result<(i32, u8)> {
+    let mut byte = [0u8; 1];
+    let iov = Iovec {
+        base: byte.as_mut_ptr(),
+        len: 1,
+    };
+    let mut cmsg = CmsgOneFd {
+        len: 0,
+        level: 0,
+        typ: 0,
+        fd: -1,
+        _pad: 0,
+    };
+    let msg = Msghdr {
+        name: 0,
+        namelen: 0,
+        _pad0: 0,
+        iov: &iov,
+        iovlen: 1,
+        control: &mut cmsg as *mut CmsgOneFd as *const u8,
+        controllen: std::mem::size_of::<CmsgOneFd>(),
+        flags: 0,
+        _pad1: 0,
+    };
+    // SYSCALL: recvmsg(sock, &msg, 0) expecting one SCM_RIGHTS fd.
+    // SAFETY: same lifetime/layout argument as `send_fd`; the kernel
+    // writes the fd into `cmsg` and the tag byte into `byte`.
+    let ret = unsafe {
+        syscall6(
+            nr::RECVMSG,
+            sock_fd as usize,
+            &msg as *const Msghdr as usize,
+            0,
+            0,
+            0,
+            0,
+        )
+    };
+    let n = check(ret)?;
+    if n != 1 || cmsg.typ != SCM_RIGHTS || cmsg.fd < 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "ipc: expected one SCM_RIGHTS fd with a tag byte, got {n} bytes \
+                 (cmsg type {}, fd {})",
+                cmsg.typ, cmsg.fd
+            ),
+        ));
+    }
+    Ok((cmsg.fd, byte[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn memfd_map_write_read_roundtrip() {
+        if !supported() {
+            return;
+        }
+        let fd = memfd_create("pcomm-sys-test").unwrap();
+        ftruncate(fd, 8192).unwrap();
+        let base = mmap_shared(fd, 8192).unwrap();
+        close(fd).unwrap();
+        // SAFETY: `base` is a fresh 8 KiB private test mapping.
+        unsafe {
+            base.add(4096).write(0xa5);
+            assert_eq!(base.add(4096).read(), 0xa5);
+            munmap(base, 8192).unwrap();
+        }
+    }
+
+    #[test]
+    fn futex_wait_times_out_and_wakes() {
+        if !supported() {
+            return;
+        }
+        let word = AtomicU32::new(0);
+        // Value mismatch: returns immediately as "woken".
+        assert!(futex_wait(&word, 1, 1_000_000).unwrap());
+        // Value match: sleeps until the 2 ms timeout.
+        assert!(!futex_wait(&word, 0, 2_000_000).unwrap());
+        // Nobody is sleeping: wake reports 0.
+        assert_eq!(futex_wake(&word, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn scm_rights_passes_a_real_fd() {
+        if !supported() {
+            return;
+        }
+        use std::io::{Read, Seek, Write};
+        use std::os::unix::io::{AsRawFd, FromRawFd};
+        use std::os::unix::net::UnixStream;
+        let (a, b) = UnixStream::pair().unwrap();
+        let fd = memfd_create("pcomm-scm-test").unwrap();
+        ftruncate(fd, 16).unwrap();
+        send_fd(a.as_raw_fd(), fd, 7).unwrap();
+        close(fd).unwrap();
+        let (got, tag) = recv_fd(b.as_raw_fd()).unwrap();
+        assert_eq!(tag, 7);
+        // SAFETY: `got` is a fresh fd the kernel just installed for us.
+        let mut f = unsafe { std::fs::File::from_raw_fd(got) };
+        f.write_all(b"hello").unwrap();
+        f.seek(std::io::SeekFrom::Start(0)).unwrap();
+        let mut s = String::new();
+        f.read_to_string(&mut s).unwrap();
+        assert!(s.starts_with("hello"));
+    }
+}

@@ -249,6 +249,12 @@ fn args_json(kind: &EventKind) -> String {
         } => format!(
             "\"stream\":{stream},\"req\":{req},\"msg\":{msg},\"tx\":{tx},\"offset\":{offset},\"len\":{len}"
         ),
+        EventKind::IpcRingFull {
+            peer,
+            kind,
+            wait_ns,
+        } => format!("\"peer\":{peer},\"kind\":{kind},\"wait_ns\":{wait_ns}"),
+        EventKind::IpcDoorbell { seq, woken } => format!("\"seq\":{seq},\"woken\":{woken}"),
     }
 }
 

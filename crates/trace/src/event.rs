@@ -600,6 +600,27 @@ pub enum EventKind {
         /// The message's length in bytes.
         len: u32,
     },
+    /// The ipc fabric's producer found the descriptor ring (or FIFO
+    /// slab) to a peer full and blocked until the consumer freed
+    /// space — emitted once per backpressure episode, after it
+    /// resolves. Instant.
+    IpcRingFull {
+        /// The peer whose inbound channel was full.
+        peer: u16,
+        /// Slot kind the producer was trying to publish.
+        kind: u16,
+        /// How long the producer was blocked, ns.
+        wait_ns: u64,
+    },
+    /// The ipc progress thread parked on its futex doorbell (it only
+    /// parks after a yield-spin budget finds no work, so these mark
+    /// genuine idle periods, not per-message syscalls). Instant.
+    IpcDoorbell {
+        /// Bell sequence snapshot the park waited on.
+        seq: u32,
+        /// Whether the park ended by a ring (vs timeout).
+        woken: bool,
+    },
 }
 
 const TAG_LOCK_WAIT: u64 = 1;
@@ -644,6 +665,8 @@ const TAG_VERIFY_STREAM_DATA: u64 = 39;
 const TAG_VERIFY_STREAM_COMMIT: u64 = 40;
 const TAG_VERIFY_STREAM_LOST: u64 = 41;
 const TAG_VERIFY_STREAM_MSG: u64 = 42;
+const TAG_IPC_RING_FULL: u64 = 43;
+const TAG_IPC_DOORBELL: u64 = 44;
 
 /// `w2` layout shared by the per-partition verify events:
 /// low 32 bits = partition / message index, high 32 bits = iteration.
@@ -939,6 +962,14 @@ impl Event {
                 stream as u64 | ((len as u64) << 32),
                 offset,
             ),
+            EventKind::IpcRingFull {
+                peer,
+                kind,
+                wait_ns,
+            } => (TAG_IPC_RING_FULL, peer, kind, wait_ns, 0),
+            EventKind::IpcDoorbell { seq, woken } => {
+                (TAG_IPC_DOORBELL, woken as u16, 0, seq as u64, 0)
+            }
         };
         [self.ts_ns, pack_w1(tag, self.rank, aux1, aux2), w2, w3]
     }
@@ -1185,6 +1216,15 @@ impl Event {
                 offset: w[3],
                 len: (w[2] >> 32) as u32,
             },
+            TAG_IPC_RING_FULL => EventKind::IpcRingFull {
+                peer: aux1,
+                kind: aux2,
+                wait_ns: w[2],
+            },
+            TAG_IPC_DOORBELL => EventKind::IpcDoorbell {
+                seq: w[2] as u32,
+                woken: aux1 == 1,
+            },
             _ => return None,
         };
         Some(Event {
@@ -1251,6 +1291,8 @@ impl EventKind {
             EventKind::VerifyStreamCommit { .. } => "verify_stream_commit",
             EventKind::VerifyStreamLost { .. } => "verify_stream_lost",
             EventKind::VerifyStreamMsg { .. } => "verify_stream_msg",
+            EventKind::IpcRingFull { .. } => "ipc_ring_full",
+            EventKind::IpcDoorbell { .. } => "ipc_doorbell",
         }
     }
 
@@ -1661,6 +1703,19 @@ impl fmt::Display for Event {
                 "verify: stream {stream} carries req {req} msg {msg} ({}) @ {offset} ({len} B)",
                 if tx { "tx" } else { "rx" }
             ),
+            EventKind::IpcRingFull {
+                peer,
+                kind,
+                wait_ns,
+            } => write!(
+                f,
+                "ipc: ring to rank {peer} full (slot kind {kind}), blocked {wait_ns} ns"
+            ),
+            EventKind::IpcDoorbell { seq, woken } => write!(
+                f,
+                "ipc: parked on doorbell @ seq {seq}, {}",
+                if woken { "rung" } else { "timed out" }
+            ),
         }
     }
 }
@@ -1896,6 +1951,15 @@ mod tests {
                 offset: 1 << 18,
                 len: 1 << 16,
             },
+            EventKind::IpcRingFull {
+                peer: 1,
+                kind: 2,
+                wait_ns: 55_000,
+            },
+            EventKind::IpcDoorbell {
+                seq: 77,
+                woken: true,
+            },
         ]
     }
 
@@ -1945,7 +2009,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_stable() {
         let names: std::collections::HashSet<&str> = all_kinds().iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), 42);
+        assert_eq!(names.len(), 44);
         assert!(names.contains("shard_lock_wait"));
         assert!(names.contains("stream_chunk"));
         assert!(names.contains("stream_commit"));

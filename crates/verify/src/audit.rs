@@ -35,6 +35,17 @@
 //! data-before-rts, commit coverage) is demoted to a statistic for
 //! channels touching that rank. Presence-based checks (op mismatch on
 //! matched frames, overlapping commits, premature loss) stay on.
+//!
+//! The fabric is invisible to all three passes by design. The `ipc`
+//! transport (same-host shared segment) brackets its ring traffic with
+//! the same `VerifyWire*`/`VerifyStream*` events the socket engine
+//! emits, presenting itself as a single always-`lane 0`, always-
+//! `epoch 0` channel per peer pair: an SPSC descriptor ring is one
+//! FIFO stream (so ordinal matching holds exactly as for a socket) and
+//! there is no reconnect (so the epoch never advances and the
+//! one-CTS-per-epoch rule degenerates to one CTS per stream). Zero-copy
+//! arena commits emit `VerifyStreamData`/`Commit` like any other range,
+//! so the ledger invariants apply unchanged.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;

@@ -1,9 +1,10 @@
 //! Transport agreement: every one of the eight benchmark strategies must
 //! deliver byte-identical data whether the two ranks share an address
-//! space (shared-memory fabric) or live in separate OS processes wired
-//! together over Unix domain sockets. The receiver folds every received
-//! byte into an FNV-1a digest; the digests must match across fabrics,
-//! and the multi-process runs must come back clean under `PCOMM_VERIFY=1`
+//! space (shared-memory fabric), live in separate OS processes wired
+//! together over Unix domain sockets, or share a mapped segment over the
+//! same-host `ipc` fabric. The receiver folds every received byte into
+//! an FNV-1a digest; the digests must match across fabrics, and the
+//! multi-process runs must come back clean under `PCOMM_VERIFY=1`
 //! (a finding turns the run into an error, which fails the child).
 
 use std::io::Read;
@@ -87,13 +88,10 @@ fn wait_with_deadline(mut child: Child, what: &str) -> std::process::Output {
     }
 }
 
-#[test]
-fn all_strategies_agree_across_fabrics() {
-    // Reference digests on the shared-memory fabric, in this process.
-    let local = all_digests();
-
-    // The same workload as two OS processes over UDS, with the verify
-    // layer armed: any race/protocol finding fails the child run.
+/// Run the SPMD child pair with `extra_env` on both ranks and return
+/// the receiver's digests. Verify is always armed: any race/protocol
+/// finding fails the child run.
+fn wire_digests(extra_env: &[(&str, &str)], what: &str) -> Vec<u64> {
     let dir = launch::unique_rendezvous_dir().expect("rendezvous dir");
     let spmd = MultiprocEnv {
         rank: 0,
@@ -110,12 +108,15 @@ fn all_strategies_agree_across_fabrics() {
                 .env_remove("PCOMM_FAULTS")
                 .stdout(Stdio::piped())
                 .stderr(Stdio::piped());
+            for (k, v) in extra_env {
+                cmd.env(k, v);
+            }
             spmd.apply_to(&mut cmd, rank);
             cmd.spawn().expect("spawn SPMD child")
         })
         .collect();
     for (rank, child) in children.into_iter().enumerate() {
-        wait_with_deadline(child, &format!("rank {rank} child"));
+        wait_with_deadline(child, &format!("{what} rank {rank} child"));
     }
 
     let raw = std::fs::read_to_string(dir.join("out-1")).expect("receiver digest file");
@@ -124,12 +125,13 @@ fn all_strategies_agree_across_fabrics() {
         .map(|l| u64::from_str_radix(l.trim_start_matches("0x"), 16).expect("digest line"))
         .collect();
     let _ = std::fs::remove_dir_all(&dir);
+    wire
+}
 
-    assert_eq!(
-        wire.len(),
-        local.len(),
-        "one digest per (scenario, approach)"
-    );
+#[test]
+fn all_strategies_agree_across_fabrics() {
+    // Reference digests on the shared-memory fabric, in this process.
+    let local = all_digests();
     let labels: Vec<String> = scenarios()
         .iter()
         .enumerate()
@@ -140,7 +142,23 @@ fn all_strategies_agree_across_fabrics() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    for ((l, w), label) in local.iter().zip(&wire).zip(&labels) {
-        assert_eq!(l, w, "{label}: shared-memory and UDS fabrics disagree");
+
+    // The same workload as two OS processes, on every wire fabric the
+    // platform supports: UDS streams always, the shared-segment ipc
+    // fabric where the raw-syscall layer exists.
+    let mut fabrics = vec![("uds", vec![])];
+    if pcomm::net::sys::supported() {
+        fabrics.push(("ipc", vec![("PCOMM_NET_FABRIC", "ipc")]));
+    }
+    for (fabric, extra_env) in fabrics {
+        let wire = wire_digests(&extra_env, fabric);
+        assert_eq!(
+            wire.len(),
+            local.len(),
+            "{fabric}: one digest per (scenario, approach)"
+        );
+        for ((l, w), label) in local.iter().zip(&wire).zip(&labels) {
+            assert_eq!(l, w, "{label}: shared-memory and {fabric} fabrics disagree");
+        }
     }
 }
